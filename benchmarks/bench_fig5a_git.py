@@ -1,0 +1,49 @@
+"""Fig 5a: Git throughput/latency with and without LibSEAL.
+
+Paper: native 491 req/s; LibSEAL-process 472 (−4%); LibSEAL-mem 452
+(−8%); LibSEAL-disk 425 (−14%).
+"""
+
+from repro.bench.perf import GIT_PAPER_THROUGHPUT, fig5a_git_curves
+from repro.sim.costs import Mode
+
+
+def test_fig5a_git_throughput_latency(benchmark, emit):
+    curves = benchmark.pedantic(fig5a_git_curves, rounds=1, iterations=1)
+    rows = []
+    peaks = {}
+    for mode, points in curves.items():
+        peak = max(p.throughput_rps for p in points)
+        peaks[mode] = peak
+        paper = GIT_PAPER_THROUGHPUT[mode]
+        rows.append(
+            [
+                mode.value,
+                round(peak),
+                paper,
+                f"{(1 - peak / peaks[Mode.NATIVE]) * 100:.1f}%",
+                f"{(1 - paper / GIT_PAPER_THROUGHPUT[Mode.NATIVE]) * 100:.1f}%",
+            ]
+        )
+    emit(
+        "fig5a_git",
+        "Fig 5a - Git throughput (req/s): measured vs paper",
+        ["config", "measured", "paper", "overhead", "paper overhead"],
+        rows,
+    )
+    curve_rows = [
+        [mode.value, p.clients, round(p.throughput_rps), round(p.latency_ms, 1)]
+        for mode, points in curves.items()
+        for p in points
+    ]
+    emit(
+        "fig5a_git_curves",
+        "Fig 5a - throughput/latency curves",
+        ["config", "clients", "req/s", "latency ms"],
+        curve_rows,
+    )
+    # Shape assertions: ordering and rough overhead magnitudes.
+    assert peaks[Mode.NATIVE] > peaks[Mode.LIBSEAL_PROCESS] > peaks[Mode.LIBSEAL_MEM]
+    assert peaks[Mode.LIBSEAL_MEM] > peaks[Mode.LIBSEAL_DISK]
+    disk_overhead = 1 - peaks[Mode.LIBSEAL_DISK] / peaks[Mode.NATIVE]
+    assert 0.06 < disk_overhead < 0.25  # paper: 14%

@@ -1,0 +1,38 @@
+"""Fig 5c: Dropbox request latency through the Squid/LibSEAL proxy.
+
+Paper medians for commit_batch: native 363 ms, LibSEAL-mem 370 ms,
+LibSEAL-disk 377 ms; list messages similar. All increases are marginal
+relative to the 76 ms WAN + Dropbox processing path.
+"""
+
+from repro.bench.perf import DROPBOX_PAPER_LATENCY_MS, fig5c_dropbox_latencies
+from repro.sim.costs import Mode
+
+
+def test_fig5c_dropbox_latency(benchmark, emit):
+    results = benchmark.pedantic(fig5c_dropbox_latencies, rounds=1, iterations=1)
+    rows = []
+    for (kind, mode), result in results.items():
+        rows.append(
+            [
+                kind,
+                mode.value,
+                round(result.median_latency_s * 1e3),
+                round(result.p25_latency_s * 1e3),
+                round(result.p75_latency_s * 1e3),
+                DROPBOX_PAPER_LATENCY_MS[(kind, mode)],
+            ]
+        )
+    emit(
+        "fig5c_dropbox",
+        "Fig 5c - Dropbox latency (ms): measured vs paper medians",
+        ["message", "config", "median", "p25", "p75", "paper median"],
+        rows,
+    )
+    for kind in ("commit_batch", "list"):
+        native = results[(kind, Mode.NATIVE)].median_latency_s
+        mem = results[(kind, Mode.LIBSEAL_MEM)].median_latency_s
+        disk = results[(kind, Mode.LIBSEAL_DISK)].median_latency_s
+        assert native <= mem <= disk
+        # "Marginal increases": LibSEAL adds < 10% latency.
+        assert disk / native < 1.10

@@ -1,0 +1,49 @@
+"""Fig 7a: Apache throughput vs content size, LibSEAL vs LibreSSL.
+
+Paper: overhead 22.9% at 0 B, 23.4% at 1 KB, 25.1% at 10 KB, falling to
+1.3% at 100 MB where the 10 Gbps network binds (8.7 Gbps goodput).
+"""
+
+from repro.bench.perf import fig7a_apache_content_sweep
+
+
+def _label(size: int) -> str:
+    if size >= 1024 * 1024:
+        return f"{size // (1024 * 1024)}MB"
+    if size >= 1024:
+        return f"{size // 1024}KB"
+    return f"{size}B"
+
+
+def test_fig7a_apache_content_sweep(benchmark, emit):
+    rows = benchmark.pedantic(fig7a_apache_content_sweep, rounds=1, iterations=1)
+    table = [
+        [
+            _label(r["content_bytes"]),
+            round(r["native_rps"]),
+            round(r["libseal_rps"]),
+            f"{r['overhead_pct']:.1f}%",
+            f"{r['paper_overhead_pct']:.1f}%",
+            f"{r['libseal_gbps']:.2f}",
+        ]
+        for r in rows
+    ]
+    emit(
+        "fig7a_apache",
+        "Fig 7a - Apache throughput vs content size",
+        ["content", "native req/s", "LibSEAL req/s", "overhead",
+         "paper overhead", "LibSEAL Gbps"],
+        table,
+    )
+    by_size = {r["content_bytes"]: r for r in rows}
+    # Small content: the TLS handshake dominates => >15% overhead.
+    assert by_size[0]["overhead_pct"] > 15
+    # Large content: the network binds => <5% overhead.
+    assert by_size[100 * 1024 * 1024]["overhead_pct"] < 5
+    # ~8-10 Gbps goodput at 100 MB (paper: 8.7 Gbps).
+    assert 7.0 < by_size[100 * 1024 * 1024]["libseal_gbps"] < 10.0
+    # The crossover: once the network binds (>= 1 MB here), LibSEAL and
+    # LibreSSL perform identically ("the same performance once the
+    # network becomes the bottleneck", §6.6).
+    for size in (1024 * 1024, 10 * 1024 * 1024, 100 * 1024 * 1024):
+        assert by_size[size]["overhead_pct"] < 5.0

@@ -1,0 +1,35 @@
+"""Fig 7c: multi-core scalability of Apache and Squid, 1-4 cores.
+
+Paper: throughput improves linearly with cores for both servers, native
+and LibSEAL alike.
+"""
+
+from repro.bench.perf import fig7c_core_scaling
+
+
+def test_fig7c_core_scaling(benchmark, emit):
+    rows = benchmark.pedantic(fig7c_core_scaling, rounds=1, iterations=1)
+    table = [
+        [
+            r["cores"],
+            round(r["apache_native"]),
+            round(r["apache_libseal"]),
+            round(r["squid_native"]),
+            round(r["squid_libseal"]),
+        ]
+        for r in rows
+    ]
+    emit(
+        "fig7c_scaling",
+        "Fig 7c - throughput (req/s) vs CPU cores",
+        ["cores", "Apache native", "Apache LibSEAL", "Squid native",
+         "Squid LibSEAL"],
+        table,
+    )
+    for column in ("apache_native", "apache_libseal", "squid_native",
+                   "squid_libseal"):
+        series = [r[column] for r in rows]
+        # Monotonic growth with cores...
+        assert all(b > a for a, b in zip(series, series[1:])), column
+        # ...and roughly linear: 4 cores give at least 2.7x one core.
+        assert series[-1] / series[0] > 2.7, column

@@ -1,0 +1,47 @@
+"""§6.5: log size proportionality after trimming.
+
+Paper: Git ≈ #pointers x 530 B; ownCloud ≈ #updates x 131 B (7 B payload);
+Dropbox ≈ #files x 64 B (the stored blocklist digest). Our absolute
+per-entry constants differ (we store readable text columns), but the
+proportionality — the paper's actual claim — must hold.
+"""
+
+from repro.bench.functional import logsize_dropbox, logsize_git, logsize_owncloud
+
+
+def _check_proportional(rows, count_key, per_key, emit, name, title, paper_bytes):
+    table = [
+        [r[count_key], r["log_bytes"], round(r[per_key], 1), paper_bytes]
+        for r in rows
+    ]
+    emit(name, title, [count_key, "log bytes", "bytes/entry", "paper bytes/entry"], table)
+    per_entry = [r[per_key] for r in rows]
+    spread = (max(per_entry) - min(per_entry)) / max(per_entry)
+    assert spread < 0.35, f"log size not proportional: {per_entry}"
+
+
+def test_logsize_git(benchmark, emit):
+    rows = benchmark.pedantic(logsize_git, rounds=1, iterations=1)
+    _check_proportional(
+        rows, "pointers", "bytes_per_pointer", emit, "logsize_git",
+        "Log size - Git: bytes per branch/tag pointer after trimming",
+        530,
+    )
+
+
+def test_logsize_owncloud(benchmark, emit):
+    rows = benchmark.pedantic(logsize_owncloud, rounds=1, iterations=1)
+    _check_proportional(
+        rows, "updates", "bytes_per_update", emit, "logsize_owncloud",
+        "Log size - ownCloud: bytes per single-character update",
+        131,
+    )
+
+
+def test_logsize_dropbox(benchmark, emit):
+    rows = benchmark.pedantic(logsize_dropbox, rounds=1, iterations=1)
+    _check_proportional(
+        rows, "files", "bytes_per_file", emit, "logsize_dropbox",
+        "Log size - Dropbox: bytes per live file after trimming",
+        64,
+    )

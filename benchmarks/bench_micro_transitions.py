@@ -1,0 +1,56 @@
+"""§6.8 microbenchmark: enclave transition cost vs concurrent threads.
+
+Paper: one ecall costs ~8,500 cycles with one thread and ~170,000 cycles
+with 48 threads — a 20x increase; a transition is ~6x a system call.
+"""
+
+from repro.bench.perf import micro_transition_costs
+from repro.sgx import Enclave, EnclaveConfig
+
+
+def test_micro_transition_costs(benchmark, emit):
+    rows = benchmark.pedantic(micro_transition_costs, rounds=1, iterations=1)
+    table = [
+        [r["threads"], f"{r['cycles_per_transition']:,}",
+         f"{r['vs_syscall']:.1f}x"]
+        for r in rows
+    ]
+    emit(
+        "micro_transitions",
+        "§6.8 - enclave transition cost vs concurrent enclave threads",
+        ["threads", "cycles/transition", "vs syscall"],
+        table,
+    )
+    by_threads = {r["threads"]: r["cycles_per_transition"] for r in rows}
+    assert by_threads[1] == 8_400
+    assert by_threads[48] == 170_000
+    assert 19 < by_threads[48] / by_threads[1] < 21
+    assert 5 < by_threads[1] / 1_400 < 7  # ~6x a syscall
+
+
+def test_interface_charges_transition_costs(benchmark, emit):
+    """The simulated interface actually meters these costs per call."""
+
+    def run():
+        enclave = Enclave(EnclaveConfig(code_identity="micro"))
+        enclave.interface.register_ocall("noop", lambda: None)
+        enclave.interface.register_ecall(
+            "work", lambda: enclave.interface.ocall("noop")
+        )
+        for _ in range(1000):
+            enclave.interface.ecall("work")
+        return enclave.interface.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "micro_transitions_metered",
+        "§6.8 - metered transitions (1000 ecall+ocall pairs, 1 thread)",
+        ["metric", "value"],
+        [
+            ["ecalls", stats.ecalls],
+            ["ocalls", stats.ocalls],
+            ["cycles/ecall", stats.ecall_cycles // stats.ecalls],
+            ["cycles/ocall", stats.ocall_cycles // stats.ocalls],
+        ],
+    )
+    assert stats.ecall_cycles // stats.ecalls == 8_400

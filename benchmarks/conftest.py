@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints its paper-vs-measured table through ``emit`` (so it
+is visible even without ``-s``) and appends it to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a results table to the real terminal and persist it."""
+
+    def _emit(name: str, title: str, headers, rows) -> None:
+        table = format_table(headers, rows)
+        banner = "=" * len(title)
+        text = f"\n{title}\n{banner}\n{table}\n"
+        with capsys.disabled():
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    return _emit

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""ownCloud scenario: catching a lost document edit (§6.1).
+
+Three users collaborate on a document. The service silently drops one
+user's edit before redistributing it; the other collaborators converge on
+a document that is missing text — and nobody can prove whose fault it
+was, until LibSEAL's update-completeness invariant names the lost update.
+
+Run:  python examples/collaborative_documents.py
+"""
+
+import json
+
+from repro.core import LibSeal
+from repro.http import HttpRequest
+from repro.services.owncloud import OwnCloudHttpService, OwnCloudServer
+from repro.ssm import OwnCloudSSM
+
+DOC = "design-notes"
+
+
+def post(service, libseal, action, payload):
+    request = HttpRequest(
+        "POST", f"/documents/{DOC}/{action}", body=json.dumps(payload).encode()
+    )
+    response = service.handle(request)
+    libseal.log_pair(request, response)
+    assert response.status == 200, response.body
+    return json.loads(response.body) if response.body else {}
+
+
+def insert(pos, text):
+    return {"op": "insert", "pos": pos, "text": text, "len": 0}
+
+
+def main() -> None:
+    service = OwnCloudHttpService(OwnCloudServer())
+    libseal = LibSeal(OwnCloudSSM())
+
+    for user in ("alice", "bob", "carol"):
+        post(service, libseal, "join", {"member": user})
+
+    # Alice writes the heading; Bob appends the important warning.
+    post(service, libseal, "sync",
+         {"member": "alice", "seq": 0, "ops": [insert(0, "Design notes. ")]})
+    post(service, libseal, "sync",
+         {"member": "bob", "seq": 1,
+          "ops": [insert(14, "WARNING: do not ship before audit. ")]})
+
+    # The provider's buggy sync layer drops Bob's update (seq 2).
+    service.server.attack_drop_update(DOC, 2)
+
+    # Alice keeps editing (seq 3) — the document history moves on.
+    post(service, libseal, "sync",
+         {"member": "alice", "seq": 2, "ops": [insert(0, "[draft] ")]})
+
+    # Carol syncs: she receives updates 1 and 3, but never Bob's seq 2 —
+    # the history she holds is *not* a prefix of what the service accepted.
+    reply = post(service, libseal, "sync", {"member": "carol", "seq": 0, "ops": []})
+    received = [op["seq"] for op in reply["ops"]]
+    print(f"carol received update seqs: {received} (bob's edit is missing!)")
+
+    outcome = libseal.check_invariants()
+    print(f"invariant check: {outcome.header_value()}")
+    for doc, member, seq in outcome.violations["update_completeness"]:
+        print(f"  PROOF: update {seq} of document {doc!r} was never "
+              f"delivered to {member!r}")
+
+    # The audit log constitutes non-repudiable evidence for the dispute.
+    libseal.verify_log()
+    print("the log verifies: the provider cannot deny the lost edit")
+
+
+if __name__ == "__main__":
+    main()

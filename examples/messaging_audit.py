@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Messaging scenario: dropped, forged and misdelivered messages (§2.2).
+
+The paper names communication services (Slack, XMPP, email) as a LibSEAL
+application: relayed messages can be dropped, modified, or delivered to
+the wrong recipients by a buggy provider. This example audits a channel
+messaging service with the MessagingSSM extension and catches all three.
+
+Run:  python examples/messaging_audit.py
+"""
+
+from repro.core import LibSeal, LibSealConfig
+from repro.ssm import MessagingSSM
+from repro.workloads import MessagingWorkload
+
+
+def main() -> None:
+    libseal = LibSeal(MessagingSSM(), config=LibSealConfig(flush_each_pair=False))
+    workload = MessagingWorkload(libseal, channels=1, members=3)
+    channel = workload.channels[0]
+    alice, bob, _ = workload.members
+
+    # Normal chatter.
+    workload.run(20)
+    print(f"after honest chatter  : {libseal.check_invariants().header_value()}")
+
+    server = workload.service.server
+
+    # Attack 1: the next message is silently dropped before delivery.
+    seq = workload.post_once(channel)
+    server.attack_drop_message(channel, seq)
+
+    # Attack 2: one earlier message is rewritten in transit.
+    forged_seq = workload.post_once(channel)
+    server.attack_rewrite_message(channel, forged_seq,
+                                  "(this text was forged by the provider)")
+
+    # Attack 3: the channel leaks to an outsider.
+    server.attack_leak_channel(channel, "industrial-spy")
+    workload._last_seen[(channel, "industrial-spy")] = 0
+
+    # Members and the outsider fetch.
+    workload.fetch_once(channel, bob)
+    workload.fetch_once(channel, "industrial-spy")
+
+    outcome = libseal.check_invariants()
+    print(f"after the three attacks: {outcome.header_value()}")
+    for name in ("delivery_completeness", "message_soundness",
+                 "recipient_correctness"):
+        for row in outcome.violations[name]:
+            print(f"  PROOF[{name}]: {row}")
+
+    libseal.audit_log.seal_epoch()
+    libseal.verify_log()
+    print("audit log verified: all three §2.2 failure classes proven")
+
+
+if __name__ == "__main__":
+    main()

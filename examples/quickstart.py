@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: audit a Git service with LibSEAL in ~50 lines.
+
+Demonstrates the core loop of the paper (Fig 1): service traffic flows
+through LibSEAL, tuples land in the tamper-evident relational audit log,
+and SQL invariants reveal integrity violations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LibSeal
+from repro.http import HttpRequest
+from repro.services.git import GitHttpService, GitServer
+from repro.services.git.repo import RefUpdate
+from repro.services.git.smart_http import encode_push
+from repro.ssm import GitSSM
+
+
+def drive(service, libseal, request):
+    """One request/response pair through the service + the audit library."""
+    response = service.handle(request)
+    libseal.log_pair(request, response)
+    return response
+
+
+def main() -> None:
+    # 1. A Git hosting service and a LibSEAL instance with the Git SSM.
+    service = GitHttpService(GitServer())
+    repo = service.server.create_repository("project.git")
+    libseal = LibSeal(GitSSM())
+
+    # 2. Normal developer activity: two pushes, then a fetch.
+    for i, content in enumerate((b"v1", b"v2")):
+        old = repo.refs.get("master")
+        commit = repo.objects.create_commit(old, f"commit {i}", "alice",
+                                            {"file.txt": content})
+        drive(service, libseal, HttpRequest(
+            "POST", "/project.git/git-receive-pack",
+            body=encode_push([RefUpdate("master", old, commit.commit_id)]),
+        ))
+    drive(service, libseal,
+          HttpRequest("GET", "/project.git/info/refs?service=git-upload-pack"))
+
+    outcome = libseal.check_invariants()
+    print(f"after honest traffic : {outcome.header_value()}")
+
+    # 3. The provider silently rolls master back one commit — an attack
+    #    Git's own hash chain cannot reveal (§6.1).
+    repo.attack_rollback("master")
+    drive(service, libseal,
+          HttpRequest("GET", "/project.git/info/refs?service=git-upload-pack"))
+
+    outcome = libseal.check_invariants()
+    print(f"after rollback attack: {outcome.header_value()}")
+    for name, rows in outcome.violations.items():
+        for row in rows:
+            print(f"  violation[{name}]: advertisement {row}")
+
+    # 4. The log itself is tamper-evident and rollback-protected.
+    libseal.verify_log()
+    print("audit log verified   : hash chain, signature and freshness OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""LibSEAL reproduction: a SEcure Audit Library for Internet services.
+
+A from-scratch Python reproduction of *LibSEAL: Revealing Service
+Integrity Violations Using Trusted Execution* (Aublin et al.,
+EuroSys 2018) — the audit library plus every substrate it depends on.
+
+Most-used entry points::
+
+    from repro.core import LibSeal, LibSealClient
+    from repro.ssm import GitSSM, OwnCloudSSM, DropboxSSM
+    from repro.enclave_tls import EnclaveTlsRuntime
+
+See README.md for the architecture map and DESIGN.md for the
+paper-to-implementation inventory.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "LibSEAL: Revealing Service Integrity Violations Using Trusted "
+    "Execution, EuroSys 2018, https://doi.org/10.1145/3190508.3190547"
+)

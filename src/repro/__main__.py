@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo <git|owncloud|dropbox|messaging>``
+    Run a service with an injected integrity violation and show LibSEAL
+    detecting it (the §6.1/§6.2 scenarios).
+``detect``
+    Run the full attack-detection matrix and print the results table.
+``perf <fig5a|fig7a|table2|table3>``
+    Run one simulated performance experiment and print measured-vs-paper.
+``inventory``
+    Print the Table 1 code inventory for this reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import print_experiment
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.bench.functional import detection_matrix
+
+    rows = [r for r in detection_matrix() if r["service"] == args.service]
+    if not rows:
+        print(f"unknown service {args.service!r}", file=sys.stderr)
+        return 2
+    print_experiment(
+        f"LibSEAL attack detection - {args.service}",
+        ["attack", "result", "violated invariants"],
+        [
+            [r["attack"], "DETECTED" if r["detected"] else "clean",
+             r["violated_invariants"]]
+            for r in rows
+        ],
+    )
+    return 0
+
+
+def _cmd_detect(_args: argparse.Namespace) -> int:
+    from repro.bench.functional import detection_matrix
+
+    rows = detection_matrix()
+    print_experiment(
+        "LibSEAL attack-detection matrix",
+        ["service", "attack", "result", "violated invariants"],
+        [
+            [r["service"], r["attack"],
+             "DETECTED" if r["detected"] else "clean",
+             r["violated_invariants"]]
+            for r in rows
+        ],
+    )
+    failures = [r for r in rows if r["detected"] != r["expected_detected"]]
+    return 1 if failures else 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import perf
+    from repro.sim.costs import Mode
+
+    if args.experiment == "fig5a":
+        curves = perf.fig5a_git_curves(client_counts=(16, 48, 80))
+        rows = [
+            [mode.value, round(max(p.throughput_rps for p in pts)),
+             perf.GIT_PAPER_THROUGHPUT[mode]]
+            for mode, pts in curves.items()
+        ]
+        print_experiment("Fig 5a - Git peak throughput (req/s)",
+                         ["config", "measured", "paper"], rows)
+    elif args.experiment == "fig7a":
+        rows = [
+            [r["content_bytes"], round(r["native_rps"]),
+             round(r["libseal_rps"]), f"{r['overhead_pct']:.1f}%",
+             f"{r['paper_overhead_pct']}%"]
+            for r in perf.fig7a_apache_content_sweep()
+        ]
+        print_experiment("Fig 7a - Apache enclave-TLS overhead",
+                         ["bytes", "native", "LibSEAL", "overhead", "paper"],
+                         rows)
+    elif args.experiment == "table2":
+        rows = [
+            [r["content_bytes"], round(r["sync_rps"]), round(r["async_rps"]),
+             f"{r['improvement_pct']:.0f}%", f"{r['paper_improvement_pct']:.0f}%"]
+            for r in perf.table2_async_calls()
+        ]
+        print_experiment("Table 2 - async enclave calls",
+                         ["bytes", "sync", "async", "gain", "paper gain"],
+                         rows)
+    elif args.experiment == "table3":
+        rows = [
+            [r["sgx_threads"], round(r["throughput_rps"]), r["paper_rps"]]
+            for r in perf.table3_sgx_threads()
+        ]
+        print_experiment("Table 3 - SGX thread sweep",
+                         ["S", "measured req/s", "paper req/s"], rows)
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    from repro.bench.functional import table1_inventory
+
+    rows = [[r["module"], r["loc"]] for r in table1_inventory()]
+    print_experiment("Table 1 - reproduction inventory", ["module", "LoC"], rows)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LibSEAL reproduction (EuroSys 2018) command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="attack detection for a service")
+    demo.add_argument("service",
+                      choices=["git", "owncloud", "dropbox", "messaging"])
+    demo.set_defaults(func=_cmd_demo)
+
+    detect = subparsers.add_parser("detect", help="full detection matrix")
+    detect.set_defaults(func=_cmd_detect)
+
+    perf = subparsers.add_parser("perf", help="one performance experiment")
+    perf.add_argument("experiment",
+                      choices=["fig5a", "fig7a", "table2", "table3"])
+    perf.set_defaults(func=_cmd_perf)
+
+    inventory = subparsers.add_parser("inventory", help="code inventory")
+    inventory.set_defaults(func=_cmd_inventory)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Asynchronous enclave calls (§4.3).
+
+Instead of paying a full enclave transition per ecall/ocall, LibSEAL keeps
+lthread tasks resident inside the enclave and communicates with application
+threads through shared request-slot arrays:
+
+1. the application thread writes its async-ecall into its own slot;
+2. the first available lthread task picks it up and executes it inside;
+3. when the task needs untrusted functionality it writes an async-ocall
+   into the *same application thread's* ocall slot and parks;
+4. the application thread executes the ocall and posts the result;
+5. the *same* lthread task resumes with that result;
+6. the application thread reads the final async-ecall result.
+
+:class:`AsyncCallRuntime` executes this protocol for real (generator-based
+ecall bodies, actual slot arrays, the binding invariants above enforced),
+and meters the per-call costs the performance model uses for Tables 2-4.
+"""
+
+from repro.asynccalls.runtime import (
+    ASYNC_CALL_OVERHEAD_CYCLES,
+    AsyncCallRuntime,
+    AsyncStats,
+    OcallRequest,
+)
+
+__all__ = [
+    "ASYNC_CALL_OVERHEAD_CYCLES",
+    "AsyncCallRuntime",
+    "AsyncStats",
+    "OcallRequest",
+]

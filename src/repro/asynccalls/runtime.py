@@ -1,0 +1,228 @@
+"""The async ecall/ocall runtime over slot arrays.
+
+Ecall bodies registered with the runtime are *generator functions*: they
+``yield OcallRequest(name, args)`` whenever they need untrusted code, and
+the yield evaluates to the ocall's return value. Plain (non-generator)
+functions are allowed for ecalls that never leave the enclave.
+
+Cost model: a synchronous transition costs
+:func:`repro.sgx.interface.transition_cost_cycles` (contention-dependent);
+an asynchronous call replaces that with a slot write + polling handoff of
+``ASYNC_CALL_OVERHEAD_CYCLES`` on each side. The dedicated polling thread
+(the design LibSEAL selects in §4.3) burns one hardware thread, which the
+performance simulator accounts for.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EnclaveError, SimulationError
+from repro.lthreads import LThreadScheduler, TaskState
+
+ASYNC_CALL_OVERHEAD_CYCLES = 600  # slot write + cacheline ping-pong
+POLL_SPIN_CYCLES = 120  # one polling-loop iteration
+
+
+@dataclass(frozen=True)
+class OcallRequest:
+    """Yielded by an ecall body to request untrusted functionality."""
+
+    name: str
+    args: tuple[Any, ...] = ()
+
+
+@dataclass
+class _EcallSlot:
+    name: str | None = None
+    args: tuple[Any, ...] = ()
+    busy: bool = False
+    result: Any = None
+    has_result: bool = False
+    task_id: int | None = None  # lthread task bound to this call
+
+
+@dataclass
+class _OcallSlot:
+    request: OcallRequest | None = None
+    result: Any = None
+    has_result: bool = False
+
+
+@dataclass
+class AsyncStats:
+    """Counters for the async-call mechanism."""
+
+    async_ecalls: int = 0
+    async_ocalls: int = 0
+    slot_cycles: int = 0
+    poll_cycles: int = 0
+    task_wait_events: int = 0  # app thread found no idle task
+    per_ecall: dict[str, int] = field(default_factory=dict)
+    per_ocall: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.slot_cycles + self.poll_cycles
+
+
+class AsyncCallRuntime:
+    """Executes ecalls asynchronously via lthread tasks and slot arrays."""
+
+    def __init__(
+        self,
+        num_app_threads: int,
+        num_sgx_threads: int,
+        tasks_per_thread: int,
+    ):
+        if num_app_threads < 1:
+            raise SimulationError("need at least one application thread")
+        self.num_app_threads = num_app_threads
+        self.num_sgx_threads = num_sgx_threads
+        self.tasks_per_thread = tasks_per_thread
+        self.scheduler = LThreadScheduler(
+            num_tasks=num_sgx_threads * tasks_per_thread,
+            num_workers=num_sgx_threads,
+        )
+        self._ecall_slots = [_EcallSlot() for _ in range(num_app_threads)]
+        self._ocall_slots = [_OcallSlot() for _ in range(num_app_threads)]
+        self._ecalls: dict[str, Callable[..., Any]] = {}
+        self._ocalls: dict[str, Callable[..., Any]] = {}
+        self.stats = AsyncStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_ecall(self, name: str, func: Callable[..., Any]) -> None:
+        if name in self._ecalls:
+            raise EnclaveError(f"duplicate async ecall {name!r}")
+        self._ecalls[name] = func
+
+    def register_ocall(self, name: str, func: Callable[..., Any]) -> None:
+        if name in self._ocalls:
+            raise EnclaveError(f"duplicate async ocall {name!r}")
+        self._ocalls[name] = func
+
+    # ------------------------------------------------------------------
+    # The async-ecall protocol
+    # ------------------------------------------------------------------
+
+    def async_ecall(self, app_thread: int, name: str, *args: Any) -> Any:
+        """Issue an async-ecall from ``app_thread`` and wait for its result.
+
+        Runs the full protocol to completion (the calling Python thread
+        plays both the application thread and, when scheduling, the
+        enclave's lthread machinery — concurrency is simulated, the
+        state-machine semantics are real).
+        """
+        if not 0 <= app_thread < self.num_app_threads:
+            raise SimulationError(f"app thread {app_thread} out of range")
+        func = self._ecalls.get(name)
+        if func is None:
+            raise EnclaveError(f"no such async ecall: {name}")
+        slot = self._ecall_slots[app_thread]
+        if slot.busy:
+            raise SimulationError(
+                f"app thread {app_thread} already has an async-ecall in flight"
+            )
+
+        # Step 1: write the request into this thread's slot.
+        slot.name = name
+        slot.args = args
+        slot.busy = True
+        slot.has_result = False
+        slot.task_id = None
+        self.stats.async_ecalls += 1
+        self.stats.per_ecall[name] = self.stats.per_ecall.get(name, 0) + 1
+        self.stats.slot_cycles += ASYNC_CALL_OVERHEAD_CYCLES
+
+        # Steps 2-6: drive scheduler and ocall servicing until done.
+        spin_guard = 0
+        while not slot.has_result:
+            progressed = self._dispatch_pending_ecalls()
+            progressed |= self.scheduler.step()
+            progressed |= self._service_ocall(app_thread)
+            progressed |= self._collect_results()
+            self.stats.poll_cycles += POLL_SPIN_CYCLES
+            spin_guard += 1
+            if not progressed and spin_guard > 10_000:
+                raise SimulationError("async-ecall made no progress (deadlock)")
+        slot.busy = False
+        result = slot.result
+        slot.result = None
+        return result
+
+    # -- internal machinery ---------------------------------------------
+
+    def _dispatch_pending_ecalls(self) -> bool:
+        """Hand queued slot requests to idle lthread tasks (step 2)."""
+        progressed = False
+        for thread_id, slot in enumerate(self._ecall_slots):
+            if not slot.busy or slot.task_id is not None or slot.has_result:
+                continue
+            func = self._ecalls[slot.name]  # type: ignore[index]
+            generator = self._as_generator(func, slot.args)
+            task = self.scheduler.assign(generator)
+            if task is None:
+                self.stats.task_wait_events += 1
+                continue
+            task.context["app_thread"] = thread_id
+            slot.task_id = task.task_id
+            progressed = True
+        return progressed
+
+    @staticmethod
+    def _as_generator(func: Callable[..., Any], args: tuple[Any, ...]):
+        if inspect.isgeneratorfunction(func):
+            return func(*args)
+
+        def _wrapper():
+            return func(*args)
+            yield  # pragma: no cover - makes this a generator function
+
+        return _wrapper()
+
+    def _service_ocall(self, app_thread: int) -> bool:
+        """Execute a pending async-ocall bound to ``app_thread`` (step 4)."""
+        progressed = False
+        for task in list(self.scheduler.waiting_tasks()):
+            request = task.pending_yield
+            if not isinstance(request, OcallRequest):
+                raise SimulationError("lthread task yielded a non-ocall value")
+            owner = task.context.get("app_thread")
+            if owner != app_thread:
+                # §4.3 invariant: only the owning application thread may
+                # execute this task's ocalls.
+                continue
+            func = self._ocalls.get(request.name)
+            if func is None:
+                raise EnclaveError(f"no such async ocall: {request.name}")
+            self.stats.async_ocalls += 1
+            self.stats.per_ocall[request.name] = (
+                self.stats.per_ocall.get(request.name, 0) + 1
+            )
+            self.stats.slot_cycles += 2 * ASYNC_CALL_OVERHEAD_CYCLES
+            result = func(*request.args)
+            task.pending_yield = None
+            self.scheduler.resume(task, result)  # step 5: same task resumes
+            progressed = True
+        return progressed
+
+    def _collect_results(self) -> bool:
+        """Move finished task results into their ecall slots (step 6)."""
+        progressed = False
+        for slot in self._ecall_slots:
+            if not slot.busy or slot.task_id is None or slot.has_result:
+                continue
+            task = self.scheduler.tasks[slot.task_id]
+            if task.has_result and task.state is TaskState.IDLE:
+                slot.result = task.result
+                slot.has_result = True
+                task.has_result = False
+                task.context.clear()
+                self.stats.slot_cycles += ASYNC_CALL_OVERHEAD_CYCLES
+                progressed = True
+        return progressed

@@ -1,0 +1,157 @@
+"""Hash chain and epoch signatures over audit-log tuples.
+
+Every logged tuple becomes a :class:`ChainEntry`: its payload hash chained
+onto the previous entry (like PeerReview's tamper-evident logs, which §5.1
+cites). The chain head is periodically signed with the enclave's ECDSA key
+(created at provisioning), together with the current monotonic counter
+value, producing a :class:`SignedHead` that anchors both integrity and
+freshness.
+
+Hashes are stored *separately* from the entries and associated by entry id
+— the paper does this so trimming need not rewrite every row (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
+from repro.crypto.hashing import sha256
+from repro.errors import IntegrityError
+
+GENESIS = sha256(b"libseal-audit-genesis")
+
+
+def encode_tuple(table: str, values: Sequence[object]) -> bytes:
+    """Canonical byte encoding of one logged tuple (type-tagged)."""
+    parts = [b"T", table.encode(), b"\x00"]
+    for value in values:
+        if value is None:
+            parts.append(b"N")
+        elif isinstance(value, bool):
+            parts.append(b"B" + (b"1" if value else b"0"))
+        elif isinstance(value, int):
+            parts.append(b"I" + str(value).encode())
+        elif isinstance(value, float):
+            parts.append(b"F" + repr(value).encode())
+        elif isinstance(value, bytes):
+            parts.append(b"Y" + len(value).to_bytes(4, "big") + value)
+        else:
+            encoded = str(value).encode()
+            parts.append(b"S" + len(encoded).to_bytes(4, "big") + encoded)
+        parts.append(b"\x00")
+    return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class ChainEntry:
+    """One link: ``chain_hash = H(prev_chain_hash || payload_hash)``."""
+
+    entry_id: int
+    table: str
+    payload_hash: bytes
+    chain_hash: bytes
+
+
+@dataclass(frozen=True)
+class SignedHead:
+    """A signed (chain head, counter value, entry count) anchor."""
+
+    head_hash: bytes
+    counter_value: int
+    entry_count: int
+    signature: EcdsaSignature
+
+    def payload(self) -> bytes:
+        return (
+            b"LOG-HEAD\x00"
+            + self.head_hash
+            + self.counter_value.to_bytes(8, "big")
+            + self.entry_count.to_bytes(8, "big")
+        )
+
+    @staticmethod
+    def sign(
+        key: EcdsaPrivateKey, head_hash: bytes, counter_value: int, entry_count: int
+    ) -> "SignedHead":
+        unsigned = SignedHead(head_hash, counter_value, entry_count, EcdsaSignature(0, 0))
+        return SignedHead(
+            head_hash, counter_value, entry_count, key.sign(unsigned.payload())
+        )
+
+    def verify(self, public_key: EcdsaPublicKey) -> None:
+        if not public_key.verify(self.payload(), self.signature):
+            raise IntegrityError("audit log head signature invalid")
+
+
+class HashChain:
+    """An append-only hash chain with rebuild support for trimming."""
+
+    def __init__(self) -> None:
+        self._entries: list[ChainEntry] = []
+        self._next_id = 1
+
+    @property
+    def entries(self) -> list[ChainEntry]:
+        return list(self._entries)
+
+    @property
+    def head(self) -> bytes:
+        return self._entries[-1].chain_hash if self._entries else GENESIS
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, table: str, values: Sequence[object]) -> ChainEntry:
+        """Chain one tuple; returns the new entry."""
+        payload_hash = sha256(encode_tuple(table, values))
+        chain_hash = sha256(self.head + payload_hash)
+        entry = ChainEntry(self._next_id, table, payload_hash, chain_hash)
+        self._next_id += 1
+        self._entries.append(entry)
+        return entry
+
+    def rebuild(self, surviving: Iterable[tuple[str, Sequence[object]]]) -> None:
+        """Recompute the chain over the entries surviving a trim (§5.1).
+
+        Entry ids are reassigned in order; the counter/signature anchor is
+        refreshed by the caller after rebuilding.
+        """
+        self._entries = []
+        self._next_id = 1
+        for table, values in surviving:
+            self.append(table, values)
+
+    def verify_payloads(
+        self, payloads: Iterable[tuple[str, Sequence[object]]]
+    ) -> None:
+        """Check the stored chain against claimed payload tuples.
+
+        Raises :class:`IntegrityError` if any tuple was modified, removed,
+        reordered or injected relative to the chained hashes.
+        """
+        payload_list = list(payloads)
+        entries = self._entries
+        if len(payload_list) != len(entries):
+            raise IntegrityError(
+                f"audit log length mismatch: {len(payload_list)} payloads "
+                f"for {len(entries)} chained entries"
+            )
+        previous = GENESIS
+        for (table, values), entry in zip(payload_list, entries):
+            payload_hash = sha256(encode_tuple(table, values))
+            if payload_hash != entry.payload_hash:
+                raise IntegrityError(
+                    f"audit entry {entry.entry_id} payload hash mismatch"
+                )
+            expected_chain = sha256(previous + payload_hash)
+            if expected_chain != entry.chain_hash:
+                raise IntegrityError(
+                    f"audit entry {entry.entry_id} chain hash mismatch"
+                )
+            if entry.table != table:
+                raise IntegrityError(
+                    f"audit entry {entry.entry_id} table mismatch"
+                )
+            previous = entry.chain_hash

@@ -1,0 +1,231 @@
+""":class:`AuditLog`: the relational, tamper-evident, rollback-protected log.
+
+Composition (§5.1):
+
+- tuples live in a SealDB database (the in-enclave SQLite stand-in), so
+  invariants and trimming are plain SQL;
+- every appended tuple extends a hash chain; the head is signed together
+  with a fresh ROTE counter value on each epoch seal;
+- the serialized log lands on untrusted storage; on load, everything is
+  re-verified — payloads against the chain, the chain head against the
+  signature, and the claimed counter against the live ROTE quorum.
+
+Trimming runs the service's trimming queries, then rebuilds the chain over
+the surviving tuples and seals a fresh epoch (the paper stores hashes
+separately so precisely this recomputation is cheap).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.audit.hashchain import HashChain, SignedHead
+from repro.audit.persistence import LogStorage
+from repro.audit.rote import RoteCluster
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
+from repro.errors import IntegrityError, RollbackError
+from repro.sealdb import Database
+from repro.sealdb.executor import Result
+from repro.sealdb.table import SqlValue
+
+
+def _encode_value(value: SqlValue) -> object:
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    return value
+
+
+def _decode_value(value: object) -> SqlValue:
+    if isinstance(value, dict) and "__bytes__" in value:
+        return bytes.fromhex(value["__bytes__"])
+    return value  # type: ignore[return-value]
+
+
+class AuditLog:
+    """The enclave's audit log for one service instance."""
+
+    def __init__(
+        self,
+        schema_sql: str,
+        signing_key: EcdsaPrivateKey,
+        rote: RoteCluster,
+        log_id: str = "libseal-log",
+        storage: LogStorage | None = None,
+    ):
+        self.db = Database()
+        self.schema_sql = schema_sql
+        if schema_sql.strip():
+            self.db.executescript(schema_sql)
+        self._signing_key = signing_key
+        self.rote = rote
+        self.log_id = log_id
+        self.storage = storage
+        self.chain = HashChain()
+        self._payloads: list[tuple[str, tuple[SqlValue, ...]]] = []
+        self.signed_head: SignedHead | None = None
+        self.appends = 0
+        self.epochs_sealed = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, table: str, values: Sequence[SqlValue]) -> None:
+        """Append one tuple: DB insert + hash-chain extension."""
+        placeholders = ", ".join("?" * len(values))
+        self.db.execute(
+            f"INSERT INTO {table} VALUES ({placeholders})", tuple(values)
+        )
+        self.chain.append(table, list(values))
+        self._payloads.append((table, tuple(values)))
+        self.appends += 1
+
+    def seal_epoch(self) -> SignedHead:
+        """Sign the chain head against a fresh counter; flush if configured.
+
+        Called after each request/response pair in the paper's synchronous
+        configuration (LibSEAL-disk), or at coarser intervals.
+        """
+        counter_value = self.rote.increment(self.log_id)
+        self.signed_head = SignedHead.sign(
+            self._signing_key, self.chain.head, counter_value, len(self.chain)
+        )
+        self.epochs_sealed += 1
+        if self.storage is not None:
+            self.storage.save(self.serialize())
+        return self.signed_head
+
+    # ------------------------------------------------------------------
+    # Reading / checking
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str, params: tuple[SqlValue, ...] = ()) -> Result:
+        """Run an invariant query (SELECT) against the log."""
+        return self.db.execute(sql, params)
+
+    def row_count(self, table: str) -> int:
+        return self.db.row_count(table)
+
+    def size_bytes(self) -> int:
+        """Approximate log size for the §6.5 accounting."""
+        return self.db.approximate_size_bytes()
+
+    # ------------------------------------------------------------------
+    # Trimming (§5.1)
+    # ------------------------------------------------------------------
+
+    def trim(self, trimming_queries: Sequence[str]) -> int:
+        """Run trimming queries, rebuild the chain, seal a fresh epoch.
+
+        Returns the number of tuples removed.
+        """
+        for sql in trimming_queries:
+            self.db.execute(sql)
+        survivors = self._surviving_payloads()
+        removed = len(self._payloads) - len(survivors)
+        self._payloads = survivors
+        self.chain.rebuild((t, list(v)) for t, v in survivors)
+        self.seal_epoch()
+        return removed
+
+    def _surviving_payloads(self) -> list[tuple[str, tuple[SqlValue, ...]]]:
+        """Match the DB contents after DELETEs back to the ordered payloads."""
+        remaining: dict[str, dict[tuple, int]] = {}
+        for table_name in self.db.table_names():
+            counts: dict[tuple, int] = {}
+            for row in self.db.lookup_table(table_name).rows:
+                key = tuple(row)
+                counts[key] = counts.get(key, 0) + 1
+            remaining[table_name.lower()] = counts
+        survivors = []
+        for table, values in self._payloads:
+            counts = remaining.get(table.lower(), {})
+            count = counts.get(values, 0)
+            if count > 0:
+                counts[values] = count - 1
+                survivors.append((table, values))
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Serialization and verification
+    # ------------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Serialize log state for untrusted storage."""
+        head = self.signed_head
+        doc = {
+            "log_id": self.log_id,
+            "schema": self.schema_sql,
+            "payloads": [
+                [table, [_encode_value(v) for v in values]]
+                for table, values in self._payloads
+            ],
+            "head": None
+            if head is None
+            else {
+                "head_hash": head.head_hash.hex(),
+                "counter": head.counter_value,
+                "count": head.entry_count,
+                "signature": head.signature.encode().hex(),
+            },
+        }
+        return json.dumps(doc).encode()
+
+    @classmethod
+    def load(
+        cls,
+        blob: bytes,
+        signing_key: EcdsaPrivateKey,
+        public_key: EcdsaPublicKey,
+        rote: RoteCluster,
+        storage: LogStorage | None = None,
+    ) -> "AuditLog":
+        """Load and fully verify a serialized log from untrusted storage.
+
+        Raises :class:`IntegrityError` on tampering and
+        :class:`RollbackError` if the log is stale w.r.t. the ROTE quorum.
+        """
+        try:
+            doc = json.loads(blob.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise IntegrityError(f"audit log snapshot unparsable: {exc}") from exc
+        log = cls(
+            schema_sql=doc.get("schema", ""),
+            signing_key=signing_key,
+            rote=rote,
+            log_id=doc["log_id"],
+            storage=storage,
+        )
+        for table, values in doc["payloads"]:
+            log.append(table, [_decode_value(v) for v in values])
+        log.appends = 0  # loading is not appending
+        head_doc = doc.get("head")
+        if head_doc is None:
+            raise IntegrityError("audit log snapshot lacks a signed head")
+        log.signed_head = SignedHead(
+            head_hash=bytes.fromhex(head_doc["head_hash"]),
+            counter_value=head_doc["counter"],
+            entry_count=head_doc["count"],
+            signature=EcdsaSignature.decode(bytes.fromhex(head_doc["signature"])),
+        )
+        log.verify(public_key)
+        return log
+
+    def verify(self, public_key: EcdsaPublicKey) -> None:
+        """Full verification: chain, signature, freshness (§5.1)."""
+        self.chain.verify_payloads((t, list(v)) for t, v in self._payloads)
+        head = self.signed_head
+        if head is None:
+            raise IntegrityError("audit log has no signed head")
+        head.verify(public_key)
+        if head.head_hash != self.chain.head:
+            raise IntegrityError("signed head does not match the hash chain")
+        if head.entry_count != len(self.chain):
+            raise IntegrityError("signed entry count does not match the log")
+        live_counter = self.rote.retrieve(self.log_id)
+        if head.counter_value < live_counter:
+            raise RollbackError(
+                f"stale audit log: counter {head.counter_value} < quorum "
+                f"value {live_counter}"
+            )

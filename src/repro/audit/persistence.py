@@ -1,0 +1,76 @@
+"""Untrusted persistent storage for the audit log.
+
+The storage layer is deliberately dumb — a file of bytes with atomic
+replace — because in the threat model it is *adversarial*: the provider can
+rewrite it at will. All integrity and freshness guarantees come from the
+hash chain, the head signature and the ROTE counter, never from storage.
+
+Disk latency is metered (synchronous flush per request/response pair is
+the LibSEAL-disk configuration of Fig. 5).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+DISK_FLUSH_LATENCY_MS = 0.25  # fsync on a datacenter SSD
+
+
+class LogStorage:
+    """File-backed blob store with atomic replace and flush accounting."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.flush_count = 0
+        self.bytes_written = 0
+        self.total_latency_ms = 0.0
+
+    def save(self, blob: bytes) -> None:
+        """Atomically replace the stored blob (write + rename + fsync)."""
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self.flush_count += 1
+        self.bytes_written += len(blob)
+        self.total_latency_ms += DISK_FLUSH_LATENCY_MS
+
+    def load(self) -> bytes:
+        with open(self.path, "rb") as handle:
+            return handle.read()
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size if self.exists() else 0
+
+
+class InMemoryStorage(LogStorage):
+    """The LibSEAL-mem configuration: no disk, but same interface."""
+
+    def __init__(self) -> None:
+        self.path = Path("<memory>")
+        self.flush_count = 0
+        self.bytes_written = 0
+        self.total_latency_ms = 0.0
+        self._blob: bytes | None = None
+
+    def save(self, blob: bytes) -> None:
+        self._blob = blob
+        self.flush_count += 1
+        self.bytes_written += len(blob)
+
+    def load(self) -> bytes:
+        if self._blob is None:
+            raise FileNotFoundError("no in-memory snapshot saved")
+        return self._blob
+
+    def exists(self) -> bool:
+        return self._blob is not None
+
+    def size_bytes(self) -> int:
+        return len(self._blob) if self._blob is not None else 0

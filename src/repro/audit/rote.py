@@ -1,0 +1,130 @@
+"""The ROTE distributed monotonic counter protocol (§5.1).
+
+SGX's hardware counters are too slow and wear out, so LibSEAL adopts
+ROTE's scheme: for each log update, the enclave contacts ``n = 3f + 1``
+counter nodes (other LibSEAL instances, including itself) to increment and
+retrieve a monotonic counter, tolerating ``f`` malicious/crashed nodes.
+
+Protocol as implemented here:
+
+- **increment**: propose ``current + 1`` to every node; a correct node
+  advances its stored value to ``max(stored, proposed)`` and echoes it.
+  The operation succeeds when a quorum of ``2f + 1`` nodes acknowledge the
+  proposed value.
+- **retrieve**: query all nodes; with a quorum of responses, the counter
+  value is the maximum reported by the quorum (a correct node never
+  under-reports after acknowledging an increment, so a stale/rolled-back
+  log claiming an older value is detected).
+
+Fault injection (crash, equivocation) is built in so the tolerance bound
+is testable: ``f`` faults are survived, ``f + 1`` are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RollbackError, SimulationError
+
+ROTE_ROUNDTRIP_MS = 0.18  # intra-cluster RPC round trip (10 Gbps LAN)
+
+
+@dataclass
+class RoteNode:
+    """One counter node: stores per-log counter values."""
+
+    node_id: int
+    crashed: bool = False
+    equivocating: bool = False
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def handle_increment(self, log_id: str, proposed: int) -> int | None:
+        """Advance the stored counter; returns the ack value (None if down)."""
+        if self.crashed:
+            return None
+        if self.equivocating:
+            return max(0, proposed - 2)  # under-acknowledge
+        current = self.counters.get(log_id, 0)
+        self.counters[log_id] = max(current, proposed)
+        return self.counters[log_id]
+
+    def handle_retrieve(self, log_id: str) -> int | None:
+        if self.crashed:
+            return None
+        if self.equivocating:
+            return 0  # claim the log was never written
+        return self.counters.get(log_id, 0)
+
+
+class RoteCluster:
+    """A quorum of counter nodes plus the client-side protocol logic."""
+
+    def __init__(self, f: int = 1):
+        if f < 0:
+            raise SimulationError("f must be non-negative")
+        self.f = f
+        self.n = 3 * f + 1
+        self.quorum = 2 * f + 1
+        self.nodes = [RoteNode(node_id=i) for i in range(self.n)]
+        self.increments = 0
+        self.retrieves = 0
+        self.total_latency_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        self.nodes[node_id].crashed = True
+
+    def recover(self, node_id: int) -> None:
+        self.nodes[node_id].crashed = False
+
+    def equivocate(self, node_id: int) -> None:
+        self.nodes[node_id].equivocating = True
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def increment(self, log_id: str) -> int:
+        """Advance the counter for ``log_id``; returns the new value.
+
+        Raises :class:`RollbackError` if no quorum acknowledges (the
+        enclave must refuse to proceed — freshness can't be guaranteed).
+        """
+        self.increments += 1
+        self.total_latency_ms += ROTE_ROUNDTRIP_MS
+        proposed = self._current_maximum(log_id) + 1
+        acks = 0
+        for node in self.nodes:
+            reply = node.handle_increment(log_id, proposed)
+            if reply is not None and reply >= proposed:
+                acks += 1
+        if acks < self.quorum:
+            raise RollbackError(
+                f"ROTE increment failed: {acks}/{self.n} acks, quorum {self.quorum}"
+            )
+        return proposed
+
+    def retrieve(self, log_id: str) -> int:
+        """Read the freshest counter value with quorum certainty."""
+        self.retrieves += 1
+        self.total_latency_ms += ROTE_ROUNDTRIP_MS
+        replies = [
+            value
+            for node in self.nodes
+            if (value := node.handle_retrieve(log_id)) is not None
+        ]
+        if len(replies) < self.quorum:
+            raise RollbackError(
+                f"ROTE retrieve failed: {len(replies)}/{self.n} replies, "
+                f"quorum {self.quorum}"
+            )
+        return max(replies)
+
+    def _current_maximum(self, log_id: str) -> int:
+        values = [
+            node.counters.get(log_id, 0) for node in self.nodes if not node.crashed
+        ]
+        return max(values, default=0)

@@ -1,0 +1,12 @@
+"""Benchmark harness: experiment drivers and paper-vs-measured reporting.
+
+- :mod:`repro.bench.report` — result tables and paper-comparison rows;
+- :mod:`repro.bench.perf` — the simulator-backed experiments (Fig 5a/5b/
+  5c, Fig 7a/7b/7c, Tables 2/3/4, the §4.2 ablation, the §6.8
+  transition microbenchmark);
+- :mod:`repro.bench.functional` — the real-code experiments (Fig 6
+  check/trim costs, §6.5 log sizes, the §6.1/§6.2 detection matrix,
+  Table 1 inventory).
+
+Every ``benchmarks/bench_*.py`` file wraps exactly one of these drivers.
+"""

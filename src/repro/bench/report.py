@@ -1,0 +1,66 @@
+"""Formatting helpers for benchmark output.
+
+Every experiment prints a table with measured values next to the paper's
+reported numbers, so `pytest benchmarks/ --benchmark-only` output doubles
+as the EXPERIMENTS.md source data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class PaperComparison:
+    """One measured-vs-paper scalar."""
+
+    label: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper == 0:
+            return 0.0
+        return (self.measured - self.paper) / self.paper
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with aligned columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_experiment(title: str, headers: Sequence[str], rows) -> None:
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}")
+    print(format_table(headers, rows))
+
+
+def comparison_rows(comparisons: Sequence[PaperComparison]):
+    return [
+        [c.label, c.paper, c.measured, c.unit, f"{c.relative_error * 100:+.1f}%"]
+        for c in comparisons
+    ]

@@ -1,0 +1,37 @@
+"""LibSEAL proper: the secure audit library (§3, §5).
+
+This package is the paper's primary contribution, assembled from the
+substrates:
+
+- :mod:`repro.core.logger` — taps ``SSL_read``/``SSL_write`` plaintext,
+  pairs requests with responses, dispatches to the service-specific
+  module, and injects ``Libseal-Check-Result`` headers in-band;
+- :mod:`repro.core.checker` — runs invariant SQL at configurable
+  intervals or on client request (``Libseal-Check`` header), with rate
+  limiting against check-based denial of service (§6.3);
+- :mod:`repro.core.libseal` — :class:`LibSeal`, the deployable object: a
+  TLS-terminating, audit-logging, invariant-checking enclave service
+  companion;
+- :mod:`repro.core.provisioning` — attestation-gated provisioning of the
+  service's TLS certificate into a *genuine* LibSEAL enclave, defeating
+  the bypass-logging attack (§6.3).
+"""
+
+from repro.core.checker import CheckOutcome, InvariantChecker, RateLimiter
+from repro.core.client import CheckVerdict, IntegrityViolationReported, LibSealClient
+from repro.core.libseal import LibSeal, LibSealConfig
+from repro.core.logger import AuditLogger
+from repro.core.provisioning import provision_tls_identity
+
+__all__ = [
+    "CheckOutcome",
+    "InvariantChecker",
+    "RateLimiter",
+    "CheckVerdict",
+    "IntegrityViolationReported",
+    "LibSealClient",
+    "LibSeal",
+    "LibSealConfig",
+    "AuditLogger",
+    "provision_tls_identity",
+]

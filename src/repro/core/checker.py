@@ -1,0 +1,108 @@
+"""Invariant checking (§5.2) and check-rate limiting (§6.3).
+
+Invariants are the SSM's SQL queries, each phrased as the *negation* of
+the property: a non-empty result set is a violation. Checks run inside
+the enclave against the audit log; results return to clients in-band.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.audit.log import AuditLog
+from repro.ssm.base import ServiceSpecificModule
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of one invariant-checking pass."""
+
+    violations: dict[str, list[tuple]]
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not any(self.violations.values())
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(rows) for rows in self.violations.values())
+
+    def header_value(self) -> str:
+        """The ``Libseal-Check-Result`` header payload (§5.2)."""
+        if self.ok:
+            return "OK"
+        parts = [
+            f"{name}={len(rows)}"
+            for name, rows in sorted(self.violations.items())
+            if rows
+        ]
+        return "VIOLATIONS " + ",".join(parts)
+
+
+class RateLimiter:
+    """Token bucket per client: caps client-triggered checks (§6.3)."""
+
+    def __init__(self, capacity: int = 3, refill_per_request: float = 0.2):
+        self.capacity = capacity
+        self.refill_per_request = refill_per_request
+        self._buckets: dict[object, float] = {}
+
+    def allow(self, client_key: object) -> bool:
+        """Spend one token for ``client_key`` if available."""
+        tokens = self._buckets.get(client_key, float(self.capacity))
+        if tokens < 1.0:
+            self._buckets[client_key] = tokens
+            return False
+        self._buckets[client_key] = tokens - 1.0
+        return True
+
+    def on_request(self) -> None:
+        """Refill all buckets a little as legitimate traffic flows."""
+        for key, tokens in self._buckets.items():
+            self._buckets[key] = min(self.capacity, tokens + self.refill_per_request)
+
+
+@dataclass
+class CheckerStats:
+    checks_run: int = 0
+    trims_run: int = 0
+    tuples_trimmed: int = 0
+    total_check_seconds: float = 0.0
+    total_trim_seconds: float = 0.0
+    rate_limited: int = 0
+    violation_history: list[str] = field(default_factory=list)
+
+
+class InvariantChecker:
+    """Runs the SSM's invariants and trimming queries over an audit log."""
+
+    def __init__(self, ssm: ServiceSpecificModule, audit_log: AuditLog):
+        self.ssm = ssm
+        self.audit_log = audit_log
+        self.stats = CheckerStats()
+
+    def run_checks(self) -> CheckOutcome:
+        """Execute every invariant; returns all violating rows."""
+        started = _time.perf_counter()
+        violations: dict[str, list[tuple]] = {}
+        for name, sql in self.ssm.invariants.items():
+            rows = self.audit_log.query(sql).rows
+            violations[name] = rows
+            if rows:
+                self.stats.violation_history.append(name)
+        elapsed = _time.perf_counter() - started
+        self.stats.checks_run += 1
+        self.stats.total_check_seconds += elapsed
+        return CheckOutcome(violations, elapsed)
+
+    def run_trimming(self) -> int:
+        """Execute the SSM's trimming queries; returns tuples removed."""
+        started = _time.perf_counter()
+        removed = self.audit_log.trim(self.ssm.trimming_queries)
+        elapsed = _time.perf_counter() - started
+        self.stats.trims_run += 1
+        self.stats.tuples_trimmed += removed
+        self.stats.total_trim_seconds += elapsed
+        return removed

@@ -1,0 +1,103 @@
+"""Client-side check helper — the paper's browser-plugin role (§5.2).
+
+The paper's clients trigger invariant checks by setting a
+``Libseal-Check`` request header and read the verdict from the
+``Libseal-Check-Result`` response header, surfaced by a browser plugin.
+:class:`LibSealClient` is that plugin as a library: it decorates outgoing
+requests, parses verdicts, keeps a verdict history, and can raise on
+violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SecurityError
+from repro.http import (
+    LIBSEAL_CHECK_HEADER,
+    LIBSEAL_RESULT_HEADER,
+    HttpRequest,
+    HttpResponse,
+)
+
+
+class IntegrityViolationReported(SecurityError):
+    """The service's LibSEAL instance reported an invariant violation."""
+
+
+@dataclass(frozen=True)
+class CheckVerdict:
+    """One parsed ``Libseal-Check-Result`` header."""
+
+    raw: str
+
+    @property
+    def ok(self) -> bool:
+        return self.raw == "OK"
+
+    @property
+    def rate_limited(self) -> bool:
+        return self.raw == "RATE-LIMITED"
+
+    @property
+    def violations(self) -> dict[str, int]:
+        """Parsed ``VIOLATIONS name=count,...`` payload (empty if OK)."""
+        if not self.raw.startswith("VIOLATIONS"):
+            return {}
+        _, _, body = self.raw.partition(" ")
+        result: dict[str, int] = {}
+        for part in body.split(","):
+            if "=" in part:
+                name, _, count = part.partition("=")
+                try:
+                    result[name] = int(count)
+                except ValueError:
+                    continue
+        return result
+
+
+@dataclass
+class LibSealClient:
+    """Decorates requests with check triggers and interprets verdicts."""
+
+    check_every: int = 10  # request a check every N requests
+    raise_on_violation: bool = False
+    requests_sent: int = 0
+    verdicts: list[CheckVerdict] = field(default_factory=list)
+
+    def prepare(self, request: HttpRequest, force_check: bool = False) -> HttpRequest:
+        """Mark ``request`` for an invariant check when one is due."""
+        self.requests_sent += 1
+        if force_check or (
+            self.check_every > 0 and self.requests_sent % self.check_every == 0
+        ):
+            request.headers.set(LIBSEAL_CHECK_HEADER, "1")
+        return request
+
+    def inspect(self, response: HttpResponse) -> CheckVerdict | None:
+        """Extract and record the verdict carried by ``response`` (if any).
+
+        Raises
+        ------
+        IntegrityViolationReported
+            When ``raise_on_violation`` is set and the verdict names
+            violations.
+        """
+        raw = response.headers.get(LIBSEAL_RESULT_HEADER)
+        if raw is None:
+            return None
+        verdict = CheckVerdict(raw)
+        self.verdicts.append(verdict)
+        if self.raise_on_violation and verdict.violations:
+            raise IntegrityViolationReported(
+                f"service integrity violated: {verdict.raw}"
+            )
+        return verdict
+
+    @property
+    def last_verdict(self) -> CheckVerdict | None:
+        return self.verdicts[-1] if self.verdicts else None
+
+    @property
+    def any_violation(self) -> bool:
+        return any(v.violations for v in self.verdicts)

@@ -1,0 +1,182 @@
+""":class:`LibSeal` — the deployable secure audit library (§3).
+
+One ``LibSeal`` instance audits one service: give it the service's SSM and
+(optionally) an :class:`~repro.enclave_tls.EnclaveTlsRuntime` to attach to,
+and it will observe every request/response pair flowing through the TLS
+endpoint, maintain the tamper-evident relational log, answer in-band
+invariant checks, and trim the log on schedule.
+
+It can also be driven directly (``log_pair``) for deployments where the
+TLS taps are wired differently (e.g. the performance simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.log import AuditLog
+from repro.audit.persistence import InMemoryStorage, LogStorage
+from repro.audit.rote import RoteCluster
+from repro.core.checker import CheckOutcome, InvariantChecker, RateLimiter
+from repro.core.logger import AuditLogger
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
+from repro.enclave_tls.runtime import EnclaveTlsRuntime
+from repro.http import HttpRequest, HttpResponse
+from repro.ssm.base import ServiceSpecificModule
+
+
+@dataclass
+class LibSealConfig:
+    """Deployment knobs (defaults follow the paper's evaluation set-up)."""
+
+    #: Seal + flush after every request/response pair (LibSEAL-disk mode).
+    flush_each_pair: bool = True
+    #: Run invariant checks every N pairs (None = only on client request).
+    check_interval: int | None = None
+    #: Trim the log every N pairs (None = never automatically).
+    trim_interval: int | None = None
+    #: Token-bucket size for client-triggered checks (§6.3 DoS limit).
+    check_rate_capacity: int = 3
+    #: Tokens refilled per logged pair.
+    check_rate_refill: float = 0.2
+    #: ROTE fault tolerance (n = 3f + 1 nodes).
+    rote_f: int = 1
+    log_id: str = "libseal-log"
+
+
+class LibSeal:
+    """The secure audit library for one service instance."""
+
+    def __init__(
+        self,
+        ssm: ServiceSpecificModule,
+        config: LibSealConfig | None = None,
+        signing_key: EcdsaPrivateKey | None = None,
+        rote: RoteCluster | None = None,
+        storage: LogStorage | None = None,
+    ):
+        self.ssm = ssm
+        self.config = config or LibSealConfig()
+        self.signing_key = (
+            signing_key
+            if signing_key is not None
+            else EcdsaPrivateKey.generate(HmacDrbg(seed=b"libseal-" + ssm.name.encode()))
+        )
+        self.rote = rote if rote is not None else RoteCluster(f=self.config.rote_f)
+        self.storage = storage if storage is not None else InMemoryStorage()
+        self.audit_log = AuditLog(
+            ssm.schema_sql,
+            self.signing_key,
+            self.rote,
+            log_id=self.config.log_id,
+            storage=self.storage,
+        )
+        self.checker = InvariantChecker(ssm, self.audit_log)
+        self.rate_limiter = RateLimiter(
+            self.config.check_rate_capacity, self.config.check_rate_refill
+        )
+        self.logger = AuditLogger(self._handle_pair)
+        self.logical_time = 0
+        self.pairs_logged = 0
+        self.last_outcome: CheckOutcome | None = None
+        self._attached_runtime: EnclaveTlsRuntime | None = None
+        # Maps a connection handle to the rate-limiting key. By default
+        # the handle itself; with client authentication (§6.3), attach()
+        # upgrades this to the authenticated client identity so an
+        # attacker cannot reset their budget by reconnecting.
+        self.client_key_resolver = lambda handle: handle
+
+    # ------------------------------------------------------------------
+    # Attachment to the enclave TLS runtime
+    # ------------------------------------------------------------------
+
+    def attach(self, runtime: EnclaveTlsRuntime) -> None:
+        """Install the audit taps on a LibSEAL TLS enclave (§5.1)."""
+        runtime.set_audit_hooks(
+            on_read=self.logger.on_read, on_write=self.logger.on_write
+        )
+        self._attached_runtime = runtime
+
+        def resolve(handle: int):
+            # Runs inside the enclave (within the ssl_read/write ecall):
+            # key client-triggered checks by the authenticated client
+            # certificate subject when TLS client auth is in use (§6.3).
+            entry = runtime._inside["connections"].get(handle)
+            conn = entry["conn"] if entry else None
+            if conn is not None and conn.peer_certificate is not None:
+                return ("client", conn.peer_certificate.subject)
+            return handle
+
+        self.client_key_resolver = resolve
+
+    # ------------------------------------------------------------------
+    # The per-pair pipeline
+    # ------------------------------------------------------------------
+
+    def _handle_pair(
+        self, request: HttpRequest, response: HttpResponse, handle: int
+    ) -> str | None:
+        self.logical_time += 1
+        self.pairs_logged += 1
+        emitted = 0
+
+        def emit(table: str, values) -> None:
+            nonlocal emitted
+            self.audit_log.append(table, values)
+            emitted += 1
+
+        self.ssm.log(request, response, emit, self.logical_time)
+        if emitted and self.config.flush_each_pair:
+            self.audit_log.seal_epoch()
+
+        self.rate_limiter.on_request()
+        header_value: str | None = None
+        if request.wants_invariant_check:
+            if self.rate_limiter.allow(self.client_key_resolver(handle)):
+                outcome = self.check_invariants()
+                header_value = outcome.header_value()
+            else:
+                self.checker.stats.rate_limited += 1
+                header_value = "RATE-LIMITED"
+
+        interval = self.config.check_interval
+        if interval is not None and self.pairs_logged % interval == 0:
+            self.check_invariants()
+        trim_interval = self.config.trim_interval
+        if trim_interval is not None and self.pairs_logged % trim_interval == 0:
+            self.trim()
+        return header_value
+
+    # ------------------------------------------------------------------
+    # Direct-drive API (bypasses the TLS taps)
+    # ------------------------------------------------------------------
+
+    def log_pair(
+        self, request: HttpRequest, response: HttpResponse, handle: int = 0
+    ) -> str | None:
+        """Log one already-parsed pair; returns a check-result header value
+        if the request asked for a check."""
+        return self._handle_pair(request, response, handle)
+
+    # ------------------------------------------------------------------
+    # Checking / trimming / verification
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> CheckOutcome:
+        """Run all invariants now (enclave-internal, §5.2)."""
+        self.last_outcome = self.checker.run_checks()
+        return self.last_outcome
+
+    def trim(self) -> int:
+        """Trim the log now; returns tuples removed (§5.1)."""
+        return self.checker.run_trimming()
+
+    def verify_log(self, public_key: EcdsaPublicKey | None = None) -> None:
+        """Full log verification (chain, signature, freshness)."""
+        key = public_key if public_key is not None else self.signing_key.public_key()
+        self.audit_log.verify(key)
+
+    @property
+    def log_size_bytes(self) -> int:
+        return self.audit_log.size_bytes()

@@ -1,0 +1,47 @@
+"""Attestation-gated TLS identity provisioning (§6.3, "bypassing logging").
+
+A provider could try to deactivate auditing by linking the service against
+a stock TLS library. LibSEAL defeats this: the service's TLS certificate
+and private key are released *only* to an attested, genuine LibSEAL
+enclave, so clients that see the certificate know a LibSEAL enclave is
+terminating their connection, and the key never exists outside one.
+
+Flow implemented here:
+
+1. the provisioning authority knows the expected LibSEAL measurement;
+2. the enclave obtains a quote binding a fresh provisioning nonce;
+3. the authority verifies the quote via the attestation service, then
+   installs the certificate and private key through the enclave API.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.enclave_tls.runtime import EnclaveTlsRuntime, LibSealSSLCtx
+from repro.errors import AttestationError
+from repro.sgx.attestation import AttestationService, QuotingEnclave
+from repro.tls.cert import Certificate
+
+
+def provision_tls_identity(
+    runtime: EnclaveTlsRuntime,
+    ctx: LibSealSSLCtx,
+    certificate: Certificate,
+    private_key: EcdsaPrivateKey,
+    quoting_enclave: QuotingEnclave,
+    attestation_service: AttestationService,
+    expected_measurement: bytes,
+    nonce: bytes = b"provisioning-nonce",
+) -> None:
+    """Verify the enclave, then install the TLS identity into it.
+
+    Raises :class:`~repro.errors.AttestationError` if the enclave is not
+    the expected LibSEAL build (wrong measurement, unknown platform or
+    forged quote) — in which case the key is *not* released.
+    """
+    quote = quoting_enclave.quote(runtime.enclave, report_data=nonce)
+    attestation_service.verify(quote, expected_measurement=expected_measurement)
+    if quote.report_data[: len(nonce)] != nonce:
+        raise AttestationError("provisioning nonce mismatch (replayed quote?)")
+    runtime.api.SSL_CTX_use_certificate(ctx, certificate)
+    runtime.api.SSL_CTX_use_PrivateKey(ctx, private_key)

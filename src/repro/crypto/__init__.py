@@ -1,0 +1,41 @@
+"""Cryptographic primitives used throughout the LibSEAL reproduction.
+
+The paper relies on LibreSSL inside the enclave for TLS, on ECDSA for audit
+log signatures, and on the SGX sealing facilities. This package provides the
+equivalent primitives in pure Python:
+
+- :mod:`repro.crypto.hashing` — SHA-256 helpers, HMAC, HKDF.
+- :mod:`repro.crypto.drbg` — deterministic HMAC-DRBG (reproducible tests).
+- :mod:`repro.crypto.ec` — NIST P-256 elliptic curve group arithmetic.
+- :mod:`repro.crypto.ecdsa` — deterministic ECDSA (RFC 6979 style).
+- :mod:`repro.crypto.ecdh` — elliptic-curve Diffie-Hellman key agreement.
+- :mod:`repro.crypto.aead` — authenticated encryption (encrypt-then-MAC over
+  an HMAC-derived keystream), used by the TLS record layer and sealing.
+
+These are *functional* implementations with real security structure (wrong
+keys fail, tampering is detected, signatures verify only for the signing
+key). They are not intended to be side-channel hardened.
+"""
+
+from repro.crypto.aead import AEAD, AEADKey
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import CURVE_P256, ECPoint
+from repro.crypto.ecdh import ecdh_shared_secret, generate_keypair
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
+from repro.crypto.hashing import hkdf, hmac_sha256, sha256
+
+__all__ = [
+    "AEAD",
+    "AEADKey",
+    "HmacDrbg",
+    "CURVE_P256",
+    "ECPoint",
+    "ecdh_shared_secret",
+    "generate_keypair",
+    "EcdsaPrivateKey",
+    "EcdsaPublicKey",
+    "EcdsaSignature",
+    "hkdf",
+    "hmac_sha256",
+    "sha256",
+]

@@ -1,0 +1,89 @@
+"""Authenticated encryption with associated data (encrypt-then-MAC).
+
+The TLS record layer and the SGX sealing facility both need an AEAD. We
+build one from primitives available in the standard library: a keystream
+cipher derived from HMAC-SHA256 in counter mode (CTR construction over a
+PRF), with an HMAC-SHA256 tag over ``nonce || associated_data || ciphertext``
+under an independent key. Structurally this mirrors AES-CTR + HMAC
+(encrypt-then-MAC), which is a standard, provably sound composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import HASH_LEN, constant_time_equal, hkdf, hmac_sha256
+from repro.errors import IntegrityError
+
+NONCE_LEN = 12
+TAG_LEN = 32
+
+
+@dataclass(frozen=True)
+class AEADKey:
+    """Independent encryption and MAC keys derived from one master key."""
+
+    enc_key: bytes
+    mac_key: bytes
+
+    @classmethod
+    def derive(cls, master: bytes, label: bytes = b"") -> "AEADKey":
+        """Derive an AEAD key pair from ``master`` for the given ``label``."""
+        material = hkdf(master, info=b"repro-aead" + label, length=2 * HASH_LEN)
+        return cls(enc_key=material[:HASH_LEN], mac_key=material[HASH_LEN:])
+
+
+class AEAD:
+    """Nonce-based AEAD: ``seal``/``open`` with associated data."""
+
+    def __init__(self, key: AEADKey):
+        self._key = key
+
+    def seal(self, nonce: bytes, plaintext: bytes, associated_data: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ``ciphertext || tag``."""
+        self._check_nonce(nonce)
+        ciphertext = _xor_keystream(self._key.enc_key, nonce, plaintext)
+        tag = self._tag(nonce, associated_data, ciphertext)
+        return ciphertext + tag
+
+    def open(self, nonce: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt ``ciphertext || tag``.
+
+        Raises
+        ------
+        IntegrityError
+            If the tag does not verify (tampered ciphertext, wrong key,
+            wrong nonce, or wrong associated data).
+        """
+        self._check_nonce(nonce)
+        if len(sealed) < TAG_LEN:
+            raise IntegrityError("sealed blob shorter than authentication tag")
+        ciphertext, tag = sealed[:-TAG_LEN], sealed[-TAG_LEN:]
+        expected = self._tag(nonce, associated_data, ciphertext)
+        if not constant_time_equal(tag, expected):
+            raise IntegrityError("AEAD tag verification failed")
+        return _xor_keystream(self._key.enc_key, nonce, ciphertext)
+
+    def _tag(self, nonce: bytes, associated_data: bytes, ciphertext: bytes) -> bytes:
+        ad_len = len(associated_data).to_bytes(8, "big")
+        return hmac_sha256(self._key.mac_key, nonce + ad_len + associated_data + ciphertext)
+
+    @staticmethod
+    def _check_nonce(nonce: bytes) -> None:
+        if len(nonce) != NONCE_LEN:
+            raise ValueError(f"nonce must be {NONCE_LEN} bytes, got {len(nonce)}")
+
+
+def _xor_keystream(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with an HMAC-CTR keystream bound to ``nonce``."""
+    output = bytearray(len(data))
+    offset = 0
+    counter = 0
+    while offset < len(data):
+        block = hmac_sha256(key, nonce + counter.to_bytes(8, "big"))
+        take = min(len(block), len(data) - offset)
+        for i in range(take):
+            output[offset + i] = data[offset + i] ^ block[i]
+        offset += take
+        counter += 1
+    return bytes(output)

@@ -1,0 +1,208 @@
+"""NIST P-256 elliptic curve group arithmetic.
+
+Pure-Python short-Weierstrass arithmetic (``y^2 = x^3 + ax + b`` over GF(p))
+in Jacobian coordinates for speed. This backs ECDSA audit-log signatures,
+ECDHE in the TLS handshake, and certificate signatures — the same roles
+LibreSSL's EC code plays inside the LibSEAL enclave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Domain parameters of a prime-field short-Weierstrass curve."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int  # order of the base point
+
+    @property
+    def generator(self) -> "ECPoint":
+        return ECPoint(self, self.gx, self.gy)
+
+    @property
+    def coordinate_bytes(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+
+CURVE_P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+
+class ECPoint:
+    """A point on a :class:`Curve`, including the point at infinity.
+
+    Instances are immutable; arithmetic returns new points. The point at
+    infinity is represented with ``x is None and y is None``.
+    """
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: Curve, x: int | None, y: int | None):
+        self.curve = curve
+        self.x = x
+        self.y = y
+        if x is not None and not self._on_curve():
+            raise ValueError(f"point ({x}, {y}) is not on curve {curve.name}")
+
+    @classmethod
+    def infinity(cls, curve: Curve) -> "ECPoint":
+        return cls(curve, None, None)
+
+    def _on_curve(self) -> bool:
+        p = self.curve.p
+        lhs = self.y * self.y % p
+        rhs = (self.x * self.x * self.x + self.curve.a * self.x + self.curve.b) % p
+        return lhs == rhs
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ECPoint):
+            return NotImplemented
+        return self.curve is other.curve and self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"ECPoint({self.curve.name}, infinity)"
+        return f"ECPoint({self.curve.name}, x={self.x:#x}, y={self.y:#x})"
+
+    def __neg__(self) -> "ECPoint":
+        if self.is_infinity:
+            return self
+        return ECPoint(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "ECPoint") -> "ECPoint":
+        if self.curve is not other.curve:
+            raise ValueError("cannot add points on different curves")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        p = self.curve.p
+        if self.x == other.x:
+            if (self.y + other.y) % p == 0:
+                return ECPoint.infinity(self.curve)
+            return self._double()
+        slope = (other.y - self.y) * pow(other.x - self.x, -1, p) % p
+        x3 = (slope * slope - self.x - other.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return ECPoint(self.curve, x3, y3)
+
+    def _double(self) -> "ECPoint":
+        p = self.curve.p
+        slope = (3 * self.x * self.x + self.curve.a) * pow(2 * self.y, -1, p) % p
+        x3 = (slope * slope - 2 * self.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return ECPoint(self.curve, x3, y3)
+
+    def __mul__(self, scalar: int) -> "ECPoint":
+        """Scalar multiplication via Jacobian double-and-add."""
+        if scalar < 0:
+            return (-self) * (-scalar)
+        scalar %= self.curve.n
+        if scalar == 0 or self.is_infinity:
+            return ECPoint.infinity(self.curve)
+        return _jacobian_multiply(self, scalar)
+
+    __rmul__ = __mul__
+
+    def encode(self) -> bytes:
+        """Uncompressed SEC1 encoding: ``04 || X || Y`` (infinity: ``00``)."""
+        if self.is_infinity:
+            return b"\x00"
+        size = self.curve.coordinate_bytes
+        return b"\x04" + self.x.to_bytes(size, "big") + self.y.to_bytes(size, "big")
+
+    @classmethod
+    def decode(cls, curve: Curve, data: bytes) -> "ECPoint":
+        """Decode a point produced by :meth:`encode`, validating it on-curve."""
+        if data == b"\x00":
+            return cls.infinity(curve)
+        size = curve.coordinate_bytes
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise ValueError("malformed EC point encoding")
+        x = int.from_bytes(data[1 : 1 + size], "big")
+        y = int.from_bytes(data[1 + size :], "big")
+        return cls(curve, x, y)
+
+
+def _jacobian_multiply(point: ECPoint, scalar: int) -> ECPoint:
+    """Left-to-right double-and-add in Jacobian coordinates.
+
+    Avoids a modular inversion per group operation; a single inversion
+    converts the result back to affine coordinates at the end.
+    """
+    curve = point.curve
+    p = curve.p
+    a = curve.a % p
+    # Jacobian (X, Y, Z) with x = X/Z^2, y = Y/Z^3; Z == 0 encodes infinity.
+    rx, ry, rz = 0, 1, 0
+    qx, qy, qz = point.x, point.y, 1
+    for bit in bin(scalar)[2:]:
+        rx, ry, rz = _jac_double(rx, ry, rz, p, a)
+        if bit == "1":
+            rx, ry, rz = _jac_add(rx, ry, rz, qx, qy, qz, p, a)
+    if rz == 0:
+        return ECPoint.infinity(curve)
+    z_inv = pow(rz, -1, p)
+    z_inv2 = z_inv * z_inv % p
+    return ECPoint(curve, rx * z_inv2 % p, ry * z_inv2 * z_inv % p)
+
+
+def _jac_double(x: int, y: int, z: int, p: int, a: int) -> tuple[int, int, int]:
+    if z == 0 or y == 0:
+        return (0, 1, 0)
+    ysq = y * y % p
+    s = 4 * x * ysq % p
+    m = (3 * x * x + a * z * z % p * z % p * z) % p
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * ysq * ysq) % p
+    nz = 2 * y * z % p
+    return (nx, ny, nz)
+
+
+def _jac_add(
+    x1: int, y1: int, z1: int, x2: int, y2: int, z2: int, p: int, a: int
+) -> tuple[int, int, int]:
+    if z1 == 0:
+        return (x2, y2, z2)
+    if z2 == 0:
+        return (x1, y1, z1)
+    z1sq = z1 * z1 % p
+    z2sq = z2 * z2 % p
+    u1 = x1 * z2sq % p
+    u2 = x2 * z1sq % p
+    s1 = y1 * z2sq * z2 % p
+    s2 = y2 * z1sq * z1 % p
+    if u1 == u2:
+        if s1 != s2:
+            return (0, 1, 0)
+        return _jac_double(x1, y1, z1, p, a)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    hsq = h * h % p
+    hcu = hsq * h % p
+    nx = (r * r - hcu - 2 * u1 * hsq) % p
+    ny = (r * (u1 * hsq - nx) - s1 * hcu) % p
+    nz = h * z1 % p * z2 % p
+    return (nx, ny, nz)

@@ -1,0 +1,32 @@
+"""Elliptic-curve Diffie-Hellman key agreement on P-256.
+
+Used by the TLS handshake (ECDHE) to establish per-session keys — the keys
+that, in LibSEAL, never leave the enclave.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import CURVE_P256, Curve, ECPoint
+from repro.crypto.hashing import sha256
+
+
+def generate_keypair(drbg: HmacDrbg, curve: Curve = CURVE_P256) -> tuple[int, ECPoint]:
+    """Return an ephemeral ``(private_scalar, public_point)`` pair."""
+    private = 1 + drbg.randint_below(curve.n - 1)
+    return private, private * curve.generator
+
+
+def ecdh_shared_secret(private: int, peer_public: ECPoint) -> bytes:
+    """Derive the 32-byte shared secret ``SHA256(x(d * Q_peer))``.
+
+    Raises
+    ------
+    ValueError
+        If the peer contributed the point at infinity (invalid share).
+    """
+    shared_point = private * peer_public
+    if shared_point.is_infinity:
+        raise ValueError("ECDH produced the point at infinity")
+    size = peer_public.curve.coordinate_bytes
+    return sha256(shared_point.x.to_bytes(size, "big"))

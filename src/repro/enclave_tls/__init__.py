@@ -1,0 +1,27 @@
+"""LibSEAL's enclave TLS partitioning (§4).
+
+The TLS protocol, private keys and session keys live *inside* the enclave;
+BIOs, API wrappers and application context stay *outside* (Fig. 2). This
+package implements that split over the :mod:`repro.sgx` and
+:mod:`repro.tls` substrates:
+
+- :mod:`repro.enclave_tls.runtime` — the enclave build: every TLS API
+  operation becomes an ecall, network I/O becomes ``bio_read``/``bio_write``
+  ocalls, and plaintext passes through audit hooks inside the enclave;
+- :mod:`repro.enclave_tls.shadow` — sanitised shadow copies of the SSL
+  structure kept outside, synchronised at the boundary so applications can
+  read non-sensitive fields without an ecall (§4.1);
+- :mod:`repro.enclave_tls.callbacks` — secure callbacks: outside function
+  pointers are stored inside and invoked through trampoline ocalls (§4.1);
+- :mod:`repro.enclave_tls.mempool` — the preallocated outside memory pool
+  that eliminates ``malloc``/``free`` ocalls (§4.2, optimisation 1).
+
+The runtime exposes an OpenSSL-compatible API namespace
+(:attr:`EnclaveTlsRuntime.api`), making it a drop-in replacement for
+:mod:`repro.tls.api` — the paper's central deployment claim (R2).
+"""
+
+from repro.enclave_tls.mempool import MemoryPool
+from repro.enclave_tls.runtime import EnclaveTlsRuntime, LibSealTlsOptions
+
+__all__ = ["EnclaveTlsRuntime", "LibSealTlsOptions", "MemoryPool"]

@@ -1,0 +1,65 @@
+"""Secure callbacks (§4.1).
+
+TLS API functions accept application callbacks (e.g.
+``SSL_CTX_set_info_callback``). The callback code is untrusted and must run
+*outside* the enclave, but the TLS engine invoking it runs *inside*. LibSEAL
+bridges the gap with trampolines:
+
+1. the API wrapper ecalls the callback's address into the enclave;
+2. the enclave stores the address in a hashmap and installs a trampoline;
+3. when the TLS engine fires the callback, the trampoline runs instead;
+4. the trampoline ocalls out, where the stored address is invoked.
+
+Here "addresses" are integer ids into an outside registry (a faithful
+analogue: the enclave only ever holds an opaque token, never the code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EnclaveError
+
+
+@dataclass
+class CallbackRegistry:
+    """Outside: maps callback ids to application functions."""
+
+    _functions: dict[int, Callable[..., Any]] = field(default_factory=dict)
+    _next_id: int = 1
+    invocations: int = 0
+
+    def register(self, func: Callable[..., Any]) -> int:
+        cb_id = self._next_id
+        self._next_id += 1
+        self._functions[cb_id] = func
+        return cb_id
+
+    def invoke(self, cb_id: int, *args: Any) -> Any:
+        func = self._functions.get(cb_id)
+        if func is None:
+            raise EnclaveError(f"unknown callback id {cb_id}")
+        self.invocations += 1
+        return func(*args)
+
+
+class TrampolineTable:
+    """Inside: maps a (context handle, hook name) to the outside callback id.
+
+    The enclave code only stores the opaque id; firing the hook performs an
+    ocall carrying the id, never a raw function reference.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[int, str], int] = {}
+
+    def install(self, handle: int, hook: str, cb_id: int) -> None:
+        self._table[(handle, hook)] = cb_id
+
+    def lookup(self, handle: int, hook: str) -> int | None:
+        return self._table.get((handle, hook))
+
+    def remove_handle(self, handle: int) -> None:
+        for key in [k for k in self._table if k[0] == handle]:
+            del self._table[key]

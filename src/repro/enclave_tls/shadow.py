@@ -1,0 +1,58 @@
+"""Shadow SSL structures (§4.1).
+
+Applications like Apache and Squid poke at fields of the ``SSL`` structure
+directly. The real structure holds session keys and must stay inside the
+enclave, so LibSEAL maintains a *sanitised copy* outside and synchronises
+it at every ecall/ocall boundary. The shadow never contains key material —
+:data:`SANITISED_FIELDS` is the explicit allow-list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# The only fields ever copied out of the enclave. Deliberately excludes
+# keys, randoms and transcript state.
+SANITISED_FIELDS = (
+    "established",
+    "is_server",
+    "handshake_messages_seen",
+    "peer_subject",
+    "pending_bytes",
+)
+
+
+@dataclass
+class ShadowSSL:
+    """The outside, sanitised view of one enclave-resident SSL structure."""
+
+    handle: int
+    established: bool = False
+    is_server: bool = False
+    handshake_messages_seen: int = 0
+    peer_subject: str | None = None
+    pending_bytes: int = 0
+    # Application-specific data stays outside (§4.2, optimisation 3).
+    ex_data: dict[int, Any] = field(default_factory=dict)
+
+    def apply_sanitised(self, fields: dict[str, Any]) -> None:
+        """Update the shadow from a sanitised field dict (boundary sync)."""
+        for name, value in fields.items():
+            if name not in SANITISED_FIELDS:
+                raise ValueError(
+                    f"refusing to copy non-sanitised field {name!r} outside"
+                )
+            setattr(self, name, value)
+
+
+def sanitised_view(conn: Any) -> dict[str, Any]:
+    """Extract the sanitised field dict from an in-enclave TLSConnection."""
+    peer = conn.peer_certificate
+    return {
+        "established": conn.established,
+        "is_server": conn.is_server,
+        "handshake_messages_seen": conn.handshake_messages_seen,
+        "peer_subject": peer.subject if peer is not None else None,
+        "pending_bytes": conn.pending(),
+    }

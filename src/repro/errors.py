@@ -1,0 +1,57 @@
+"""Exception hierarchy shared across the LibSEAL reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish library failures from programming errors. Security
+failures (integrity violations, tamper detection, attestation failures) get
+their own branch because callers typically must *not* swallow them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SecurityError(ReproError):
+    """Base class for violations of a security guarantee."""
+
+
+class IntegrityError(SecurityError):
+    """Data failed an integrity check (hash chain, MAC, signature)."""
+
+
+class AttestationError(SecurityError):
+    """An enclave quote or measurement could not be verified."""
+
+
+class SealingError(SecurityError):
+    """Sealed data could not be unsealed (wrong authority or corrupt)."""
+
+
+class RollbackError(SecurityError):
+    """A stale state was presented where freshness is required."""
+
+
+class EnclaveError(ReproError):
+    """Illegal use of the enclave interface (bad ecall, memory violation)."""
+
+
+class TLSError(ReproError):
+    """TLS protocol failure (handshake, record MAC, state machine)."""
+
+
+class HTTPError(ReproError):
+    """Malformed HTTP message."""
+
+
+class SQLError(ReproError):
+    """SQL parse, plan or execution failure in SealDB."""
+
+
+class ServiceError(ReproError):
+    """Application-level failure in one of the simulated services."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation engine."""

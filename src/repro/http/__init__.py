@@ -1,0 +1,25 @@
+"""Minimal HTTP/1.1 message handling.
+
+LibSEAL's service-specific modules parse HTTP requests and responses to
+extract auditable facts (§5.1), and clients trigger invariant checks with a
+``Libseal-Check`` request header whose result returns in a
+``Libseal-Check-Result`` response header (§5.2). This package provides the
+message model, parser and serializer those features need.
+"""
+
+from repro.http.messages import (
+    LIBSEAL_CHECK_HEADER,
+    LIBSEAL_RESULT_HEADER,
+    HttpRequest,
+    HttpResponse,
+)
+from repro.http.parser import parse_request, parse_response
+
+__all__ = [
+    "LIBSEAL_CHECK_HEADER",
+    "LIBSEAL_RESULT_HEADER",
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "parse_response",
+]

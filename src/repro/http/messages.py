@@ -1,0 +1,92 @@
+"""HTTP request/response message model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LIBSEAL_CHECK_HEADER = "Libseal-Check"
+LIBSEAL_RESULT_HEADER = "Libseal-Check-Result"
+
+
+class Headers:
+    """Case-insensitive header multimap preserving insertion order."""
+
+    def __init__(self, items: list[tuple[str, str]] | None = None):
+        self._items: list[tuple[str, str]] = list(items or [])
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def set(self, name: str, value: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+        self._items.append((name, value))
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, value))
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def encode(self) -> bytes:
+        headers = Headers(self.headers.items())
+        if self.body and headers.get("Content-Length") is None:
+            headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.method} {self.path} {self.version}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + self.body
+
+    @property
+    def wants_invariant_check(self) -> bool:
+        return LIBSEAL_CHECK_HEADER in self.headers
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str = ""
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    _REASONS = {
+        200: "OK", 201: "Created", 204: "No Content", 304: "Not Modified",
+        400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+        404: "Not Found", 409: "Conflict", 429: "Too Many Requests",
+        500: "Internal Server Error", 503: "Service Unavailable",
+    }
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            self.reason = self._REASONS.get(self.status, "Unknown")
+
+    def encode(self) -> bytes:
+        headers = Headers(self.headers.items())
+        if headers.get("Content-Length") is None:
+            headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.version} {self.status} {self.reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + self.body

@@ -1,0 +1,109 @@
+"""HTTP/1.1 wire-format parser."""
+
+from __future__ import annotations
+
+from repro.errors import HTTPError
+from repro.http.messages import Headers, HttpRequest, HttpResponse
+
+
+def parse_request(data: bytes) -> HttpRequest:
+    """Parse one complete HTTP request from ``data``."""
+    head, body = _split_head(data)
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) != 3:
+        raise HTTPError(f"malformed request line: {lines[0]!r}")
+    method, path, version = parts
+    if not version.startswith("HTTP/"):
+        raise HTTPError(f"bad HTTP version: {version!r}")
+    headers = _parse_headers(lines[1:])
+    body = _limit_body(headers, body)
+    return HttpRequest(method=method, path=path, headers=headers, body=body,
+                       version=version)
+
+
+def parse_response(data: bytes) -> HttpResponse:
+    """Parse one complete HTTP response from ``data``."""
+    head, body = _split_head(data)
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HTTPError(f"malformed status line: {lines[0]!r}")
+    version = parts[0]
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HTTPError(f"bad status code: {parts[1]!r}") from exc
+    reason = parts[2] if len(parts) == 3 else ""
+    headers = _parse_headers(lines[1:])
+    body = _limit_body(headers, body)
+    return HttpResponse(status=status, reason=reason, headers=headers, body=body,
+                        version=version)
+
+
+def _split_head(data: bytes) -> tuple[str, bytes]:
+    separator = data.find(b"\r\n\r\n")
+    if separator == -1:
+        raise HTTPError("incomplete HTTP message (no header terminator)")
+    try:
+        head = data[:separator].decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HTTPError("undecodable header bytes") from exc
+    return head, data[separator + 4 :]
+
+
+def _parse_headers(lines: list[str]) -> Headers:
+    headers = Headers()
+    for line in lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HTTPError(f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        headers.add(name.strip(), value.strip())
+    return headers
+
+
+def _limit_body(headers: Headers, body: bytes) -> bytes:
+    declared = headers.get("Content-Length")
+    if declared is None:
+        return body
+    try:
+        length = int(declared)
+    except ValueError as exc:
+        raise HTTPError(f"bad Content-Length: {declared!r}") from exc
+    if length > len(body):
+        raise HTTPError("body shorter than Content-Length")
+    return body[:length]
+
+
+def message_complete(data: bytes) -> bool:
+    """Whether ``data`` contains at least one full message (head + body)."""
+    separator = data.find(b"\r\n\r\n")
+    if separator == -1:
+        return False
+    head = data[:separator].decode("latin-1", errors="replace")
+    length = 0
+    for line in head.split("\r\n")[1:]:
+        if line.lower().startswith("content-length:"):
+            try:
+                length = int(line.split(":", 1)[1].strip())
+            except ValueError:
+                return False
+    return len(data) >= separator + 4 + length
+
+
+def extract_message(data: bytearray) -> bytes | None:
+    """Pop one complete message's bytes from ``data`` (or ``None``)."""
+    if not message_complete(bytes(data)):
+        return None
+    separator = bytes(data).find(b"\r\n\r\n")
+    head = bytes(data[:separator]).decode("latin-1", errors="replace")
+    length = 0
+    for line in head.split("\r\n")[1:]:
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1].strip())
+    total = separator + 4 + length
+    message = bytes(data[:total])
+    del data[:total]
+    return message

@@ -1,0 +1,13 @@
+"""User-level cooperative threading (the lthread library equivalent).
+
+LibSEAL avoids entering/exiting the enclave per call by keeping a pool of
+user-level tasks *inside* the enclave that execute ecall bodies on behalf of
+application threads (§4.3). This package provides the task abstraction:
+generator-based coroutines multiplexed by a cooperative scheduler, with the
+suspension/resumption semantics the async-call runtime needs (a task that
+issues an ocall parks until its result arrives, and the *same* task resumes).
+"""
+
+from repro.lthreads.scheduler import LThreadScheduler, LThreadTask, TaskState
+
+__all__ = ["LThreadScheduler", "LThreadTask", "TaskState"]

@@ -1,0 +1,145 @@
+"""Generator-based cooperative task scheduler.
+
+A task body is a generator: it runs until it ``yield``s. Yielding a value
+parks the task in ``WAITING`` state and hands the value to whoever resumes
+it (the async-call runtime uses this to surface ocall requests); the waiter
+later calls :meth:`LThreadScheduler.resume` with a reply, which becomes the
+result of the ``yield`` expression inside the task.
+
+The scheduler models S enclave threads × T tasks per thread: only
+``num_workers`` tasks can be in ``RUNNING`` state simultaneously (one per
+simulated enclave thread), which is what makes task-count effects (Table 4)
+and thread-count effects (Table 3) observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Generator, Iterator
+
+from repro.errors import SimulationError
+
+
+class TaskState(Enum):
+    READY = auto()  # has work queued, waiting for a worker slot
+    RUNNING = auto()  # currently occupying a worker
+    WAITING = auto()  # parked on a yield (e.g. pending ocall)
+    IDLE = auto()  # no work assigned
+    DONE = auto()  # generator exhausted
+
+
+@dataclass
+class LThreadTask:
+    """One user-level task."""
+
+    task_id: int
+    state: TaskState = TaskState.IDLE
+    generator: Generator[Any, Any, Any] | None = None
+    pending_yield: Any = None  # value the task yielded (e.g. ocall request)
+    resume_value: Any = None
+    result: Any = None
+    has_result: bool = False
+    steps_executed: int = 0
+    context: dict[str, Any] = field(default_factory=dict)
+
+
+class LThreadScheduler:
+    """Multiplexes tasks over a fixed number of worker slots."""
+
+    def __init__(self, num_tasks: int, num_workers: int):
+        if num_tasks < 1 or num_workers < 1:
+            raise SimulationError("scheduler needs at least one task and worker")
+        self.tasks = [LThreadTask(task_id=i) for i in range(num_tasks)]
+        self.num_workers = num_workers
+        self.total_dispatches = 0
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+
+    def idle_task(self) -> LThreadTask | None:
+        """First task with no work assigned (paper: 'first available')."""
+        for task in self.tasks:
+            if task.state is TaskState.IDLE:
+                return task
+        return None
+
+    def assign(self, generator: Generator[Any, Any, Any]) -> LThreadTask | None:
+        """Give ``generator`` to an idle task; ``None`` if all are busy."""
+        task = self.idle_task()
+        if task is None:
+            return None
+        task.generator = generator
+        task.state = TaskState.READY
+        task.has_result = False
+        task.result = None
+        task.pending_yield = None
+        return task
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _running_count(self) -> int:
+        return sum(1 for t in self.tasks if t.state is TaskState.RUNNING)
+
+    def step(self) -> bool:
+        """Run one READY task for one slice; returns whether anything ran."""
+        if self._running_count() >= self.num_workers:
+            return False
+        for task in self.tasks:
+            if task.state is TaskState.READY:
+                self._run_task(task)
+                return True
+        return False
+
+    def run_until_blocked(self) -> int:
+        """Run READY tasks until none remain; returns slices executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+        return executed
+
+    def resume(self, task: LThreadTask, value: Any) -> None:
+        """Deliver ``value`` to a WAITING task and mark it runnable."""
+        if task.state is not TaskState.WAITING:
+            raise SimulationError(f"task {task.task_id} is not waiting")
+        task.resume_value = value
+        task.state = TaskState.READY
+
+    def _run_task(self, task: LThreadTask) -> None:
+        if task.generator is None:
+            raise SimulationError(f"task {task.task_id} has no generator")
+        task.state = TaskState.RUNNING
+        task.steps_executed += 1
+        self.total_dispatches += 1
+        try:
+            if task.resume_value is not None or task.pending_yield is not None:
+                value, task.resume_value = task.resume_value, None
+                yielded = task.generator.send(value)
+            else:
+                yielded = next(task.generator)
+        except StopIteration as stop:
+            task.result = stop.value
+            task.has_result = True
+            task.generator = None
+            task.pending_yield = None
+            task.state = TaskState.IDLE
+            return
+        if yielded is None:
+            raise SimulationError(
+                f"task {task.task_id} yielded None; yields must carry a request"
+            )
+        task.pending_yield = yielded
+        task.state = TaskState.WAITING
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def waiting_tasks(self) -> Iterator[LThreadTask]:
+        return (t for t in self.tasks if t.state is TaskState.WAITING)
+
+    def busy_count(self) -> int:
+        return sum(1 for t in self.tasks if t.state is not TaskState.IDLE)

@@ -1,0 +1,28 @@
+"""SealDB — an embedded relational database engine.
+
+LibSEAL maintains its audit log in SQLite running inside the SGX enclave
+(§3.1, §5). This package is the reproduction of that substrate: a
+from-scratch embedded SQL engine — tokenizer, recursive-descent parser,
+planner and executor — supporting the SQL subset the paper's audit schemas,
+invariant queries and trimming queries require:
+
+- ``CREATE TABLE`` / ``CREATE VIEW`` / ``DROP``
+- ``INSERT`` (values and from-select), ``DELETE``, ``UPDATE``
+- ``SELECT`` with ``DISTINCT``, arbitrary expressions, aliases,
+  ``JOIN ... ON``, ``NATURAL JOIN``, comma cross joins, ``WHERE``,
+  ``GROUP BY`` / ``HAVING``, ``ORDER BY ... ASC|DESC``, ``LIMIT/OFFSET``
+- scalar and ``IN``/``NOT IN`` subqueries, including *correlated* subqueries
+  (the Git soundness invariant in §3.1 relies on these)
+- aggregates ``COUNT`` (incl. ``COUNT(DISTINCT …)``), ``SUM``, ``AVG``,
+  ``MIN``, ``MAX``
+- SQL three-valued logic with ``NULL`` propagation
+
+The engine is cross-checked against Python's stdlib ``sqlite3`` in the test
+suite (property tests feed both engines identical statements and compare
+result sets).
+"""
+
+from repro.sealdb.engine import Database
+from repro.sealdb.errors import SQLExecutionError, SQLParseError
+
+__all__ = ["Database", "SQLParseError", "SQLExecutionError"]

@@ -1,0 +1,135 @@
+"""The SealDB public API: the :class:`Database` catalog and entry points.
+
+Usage mirrors an embedded database driver::
+
+    db = Database()
+    db.execute("CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT)")
+    db.execute("INSERT INTO updates VALUES (?, ?, ?)", (1, "r", "main"))
+    result = db.execute("SELECT branch FROM updates WHERE time > ?", (0,))
+    result.rows  # [("main",)]
+"""
+
+from __future__ import annotations
+
+from repro.sealdb import ast
+from repro.sealdb.errors import SQLExecutionError
+from repro.sealdb.executor import Executor, Result
+from repro.sealdb.parser import parse_script, parse_statement
+from repro.sealdb.table import Column, SqlValue, Table
+
+
+class Database:
+    """An in-memory relational database with a SQL interface.
+
+    Thread-unsafe by design: LibSEAL serialises log access inside the
+    enclave, and the simulation layer does the same.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ast.Select] = {}
+        self._view_names: dict[str, str] = {}
+        self._executor = Executor(self)
+        self._statement_cache: dict[str, ast.Statement] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple[SqlValue, ...] | list[SqlValue] = ()) -> Result:
+        """Parse (with caching) and execute a single statement."""
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            if len(self._statement_cache) > 512:
+                self._statement_cache.clear()
+            self._statement_cache[sql] = statement
+        return self._executor.execute(statement, tuple(params))
+
+    def executescript(self, sql: str) -> None:
+        """Execute a ``;``-separated sequence of statements."""
+        for statement in parse_script(sql):
+            self._executor.execute(statement, ())
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self._tables.values()]
+
+    def view_names(self) -> list[str]:
+        return list(self._view_names.values())
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.lookup_table(table_name).rows)
+
+    def approximate_size_bytes(self) -> int:
+        """Rough footprint of all base tables (used by §6.5 accounting)."""
+        return sum(t.approximate_size_bytes() for t in self._tables.values())
+
+    def snapshot(self) -> dict[str, list[tuple[SqlValue, ...]]]:
+        """Copy of all base-table contents, for persistence layers."""
+        return {
+            table.name: [tuple(row) for row in table.rows]
+            for table in self._tables.values()
+        }
+
+    def clone_schema(self) -> "Database":
+        """A new empty database with the same tables and views."""
+        other = Database()
+        for table in self._tables.values():
+            other._tables[table.name.lower()] = Table(
+                table.name, list(table.columns)
+            )
+        other._views = dict(self._views)
+        other._view_names = dict(self._view_names)
+        return other
+
+    # ------------------------------------------------------------------
+    # Catalog operations (used by the executor)
+    # ------------------------------------------------------------------
+
+    def lookup_table(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise SQLExecutionError(f"no such table: {name}")
+        return table
+
+    def lookup_view(self, name: str) -> ast.Select | None:
+        return self._views.get(name.lower())
+
+    def has_object(self, name: str) -> bool:
+        lowered = name.lower()
+        return lowered in self._tables or lowered in self._views
+
+    def create_table(self, stmt: ast.CreateTable) -> None:
+        lowered = stmt.name.lower()
+        if self.has_object(stmt.name):
+            if stmt.if_not_exists:
+                return
+            raise SQLExecutionError(f"object already exists: {stmt.name}")
+        columns = [
+            Column(c.name, c.type_name, c.primary_key, c.unique)
+            for c in stmt.columns
+        ]
+        self._tables[lowered] = Table(stmt.name, columns)
+
+    def create_view(self, stmt: ast.CreateView) -> None:
+        lowered = stmt.name.lower()
+        if self.has_object(stmt.name):
+            if stmt.if_not_exists:
+                return
+            raise SQLExecutionError(f"object already exists: {stmt.name}")
+        self._views[lowered] = stmt.select
+        self._view_names[lowered] = stmt.name
+
+    def drop_object(self, stmt: ast.DropObject) -> None:
+        lowered = stmt.name.lower()
+        if stmt.kind == "TABLE":
+            if lowered in self._tables:
+                del self._tables[lowered]
+                return
+        else:
+            if lowered in self._views:
+                del self._views[lowered]
+                del self._view_names[lowered]
+                return
+        if not stmt.if_exists:
+            raise SQLExecutionError(f"no such {stmt.kind.lower()}: {stmt.name}")

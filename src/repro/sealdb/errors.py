@@ -1,0 +1,14 @@
+"""SealDB error types."""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+
+
+class SQLParseError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SQLExecutionError(SQLError):
+    """The statement is well-formed but cannot be executed
+    (unknown table/column, type misuse, arity errors, ...)."""

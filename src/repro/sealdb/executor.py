@@ -1,0 +1,1064 @@
+"""Query execution for SealDB.
+
+The executor walks parsed ASTs directly (no separate physical plan — with
+nested-loop joins and materialised intermediates, the AST *is* the plan).
+Correlated subqueries work through scope chaining: each row scope keeps a
+reference to the enclosing scope, and column resolution walks outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.sealdb import ast
+from repro.sealdb.errors import SQLExecutionError
+from repro.sealdb.functions import evaluate_aggregate, evaluate_scalar, is_aggregate
+from repro.sealdb.table import SqlValue
+from repro.sealdb.values import (
+    arithmetic,
+    bool_to_sql,
+    concat,
+    sort_key,
+    sql_and,
+    sql_compare,
+    sql_like,
+    sql_not,
+    sql_or,
+    sql_truth,
+)
+
+if TYPE_CHECKING:
+    from repro.sealdb.engine import Database
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One column of an intermediate relation."""
+
+    alias: str | None  # table alias this column is reachable through
+    name: str
+    hidden: bool = False  # suppressed from bare `*` (NATURAL JOIN duplicates)
+
+
+@dataclass
+class Relation:
+    """A materialised intermediate result."""
+
+    columns: list[ColumnInfo]
+    rows: list[list[SqlValue]]
+
+
+# Memoised resolution maps per column list: (qualifier, name) -> index,
+# with -1 marking ambiguity. Entries pin the column list itself so a
+# recycled id() can be detected with an identity check.
+_COLUMN_MAPS: dict[int, tuple[list, dict]] = {}
+_AMBIGUOUS = -1
+
+
+def _resolution_map(columns: list) -> dict:
+    entry = _COLUMN_MAPS.get(id(columns))
+    if entry is not None and entry[0] is columns:
+        return entry[1]
+    mapping: dict[tuple[str | None, str], int] = {}
+    for i, info in enumerate(columns):
+        name_lower = info.name.lower()
+        if info.alias is not None:
+            key = (info.alias.lower(), name_lower)
+            mapping[key] = _AMBIGUOUS if key in mapping else i
+        if not info.hidden:
+            key = (None, name_lower)
+            mapping[key] = _AMBIGUOUS if key in mapping else i
+    if len(_COLUMN_MAPS) > 8192:
+        _COLUMN_MAPS.clear()
+    _COLUMN_MAPS[id(columns)] = (columns, mapping)
+    return mapping
+
+
+class Scope:
+    """Column-resolution environment for one row, chained to outer scopes."""
+
+    __slots__ = ("columns", "row", "parent")
+
+    def __init__(
+        self,
+        columns: list[ColumnInfo],
+        row: Sequence[SqlValue],
+        parent: "Scope | GroupScope | None" = None,
+    ):
+        self.columns = columns
+        self.row = row
+        self.parent = parent
+
+    def resolve(self, table: str | None, column: str) -> SqlValue:
+        key = (table.lower() if table else None, column.lower())
+        scope: "Scope | GroupScope" = self
+        while True:
+            if isinstance(scope, GroupScope):
+                scope = scope.representative()
+            index = _resolution_map(scope.columns).get(key)
+            if index is not None:
+                if index == _AMBIGUOUS:
+                    raise SQLExecutionError(f"ambiguous column name: {column}")
+                return scope.row[index]
+            parent = scope.parent
+            if parent is None:
+                qualified = f"{table}.{column}" if table else column
+                raise SQLExecutionError(f"no such column: {qualified}")
+            if not isinstance(parent, (Scope, GroupScope)):
+                # Foreign scope type (e.g. the recording wrapper used for
+                # subquery memoisation): delegate to its own resolve.
+                return parent.resolve(table, column)
+            scope = parent
+
+
+class GroupScope:
+    """Resolution environment for one *group* of rows (aggregate queries).
+
+    Non-aggregate column references resolve against a representative row
+    (the group's first row, or all-NULL for an empty group); aggregate
+    function calls are computed over every row in the group.
+    """
+
+    __slots__ = ("columns", "rows", "parent")
+
+    def __init__(
+        self,
+        columns: list[ColumnInfo],
+        rows: list[Sequence[SqlValue]],
+        parent: "Scope | GroupScope | None" = None,
+    ):
+        self.columns = columns
+        self.rows = rows
+        self.parent = parent
+
+    def representative(self) -> Scope:
+        if self.rows:
+            return Scope(self.columns, self.rows[0], self.parent)
+        return Scope(self.columns, [None] * len(self.columns), self.parent)
+
+    def resolve(self, table: str | None, column: str) -> SqlValue:
+        return self.representative().resolve(table, column)
+
+    def row_scopes(self) -> list[Scope]:
+        return [Scope(self.columns, row, self.parent) for row in self.rows]
+
+
+
+class Result:
+    """Rows and column names returned by :meth:`Database.execute`."""
+
+    def __init__(self, columns: list[str], rows: list[tuple[SqlValue, ...]], rowcount: int = -1):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> tuple[SqlValue, ...] | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> SqlValue:
+        """Value of the first column of the first row (None if empty)."""
+        return self.rows[0][0] if self.rows else None
+
+    def __repr__(self) -> str:
+        return f"Result(columns={self.columns!r}, rows={len(self.rows)})"
+
+
+class _RecordingScope:
+    """Wraps an outer scope, recording every resolution made through it.
+
+    Used to discover a subquery's correlation variables: the first
+    evaluation records which outer columns it reads; later evaluations
+    can then be served from a cache keyed by those columns' values.
+    """
+
+    __slots__ = ("_inner", "recorded")
+
+    def __init__(self, inner: Scope | GroupScope):
+        self._inner = inner
+        self.recorded: dict[tuple[str | None, str], SqlValue] = {}
+
+    def resolve(self, table: str | None, column: str) -> SqlValue:
+        value = self._inner.resolve(table, column)
+        self.recorded[(table.lower() if table else None, column.lower())] = value
+        return value
+
+
+class Executor:
+    """Executes parsed statements against a :class:`Database` catalog."""
+
+    def __init__(self, database: "Database"):
+        self._db = database
+        # Per-statement memo: id(subquery AST) -> {(names, values): result}.
+        # Table contents are stable while one statement evaluates (DML
+        # applies mutations only after predicate evaluation), so caching
+        # by correlation values is sound within a statement.
+        self._subquery_cache: dict[int, dict] = {}
+        # Executor-lifetime memo of compiled expression closures.
+        self._compiled: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, statement: ast.Statement, params: tuple[SqlValue, ...]) -> Result:
+        self._subquery_cache = {}
+        return self._execute_statement(statement, params)
+
+    def _execute_statement(
+        self, statement: ast.Statement, params: tuple[SqlValue, ...]
+    ) -> Result:
+        if isinstance(statement, ast.Select):
+            relation, names = self.run_select(statement, params, outer=None)
+            return Result(names, [tuple(row) for row in relation.rows])
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, params)
+        if isinstance(statement, ast.CreateTable):
+            self._db.create_table(statement)
+            return Result([], [], rowcount=0)
+        if isinstance(statement, ast.CreateView):
+            self._db.create_view(statement)
+            return Result([], [], rowcount=0)
+        if isinstance(statement, ast.DropObject):
+            self._db.drop_object(statement)
+            return Result([], [], rowcount=0)
+        raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def run_select(
+        self,
+        select: ast.Select,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+    ) -> tuple[Relation, list[str]]:
+        """Execute a SELECT; returns the result relation and output names."""
+        relation, names, order_keys = self._select_core(select, params, outer)
+        for op, rhs in select.compound:
+            rhs_relation, rhs_names, _ = self._select_core(rhs, params, outer)
+            if len(rhs_names) != len(names):
+                raise SQLExecutionError("compound SELECT arity mismatch")
+            relation = _combine(op, relation, rhs_relation)
+            order_keys = None  # positional ORDER BY only after compounds
+        if select.order_by:
+            self._apply_order(select, relation, names, order_keys, params, outer)
+        self._apply_limit(select, relation, params, outer)
+        return relation, names
+
+    def _select_core(
+        self,
+        select: ast.Select,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+    ) -> tuple[Relation, list[str], list[list[SqlValue]] | None]:
+        source = self._source_relation(select.source, params, outer)
+
+        if select.where is not None:
+            kept = []
+            for row in source.rows:
+                scope = Scope(source.columns, row, outer)
+                if sql_truth(self._eval(select.where, scope, params)) is True:
+                    kept.append(row)
+            source = Relation(source.columns, kept)
+
+        aggregated = bool(select.group_by) or any(
+            _contains_aggregate(item.expr) for item in select.items
+        ) or (select.having is not None)
+
+        items = self._expand_stars(select.items, source.columns)
+        names = [_output_name(item) for item in items]
+
+        order_exprs = [self._order_expr(o.expr, items, names) for o in select.order_by]
+
+        out_rows: list[list[SqlValue]] = []
+        order_keys: list[list[SqlValue]] = []
+
+        if aggregated:
+            groups = self._group_rows(select, source, params, outer, items, names)
+            for group in groups:
+                scope = GroupScope(source.columns, group, outer)
+                if select.having is not None:
+                    if sql_truth(self._eval(select.having, scope, params)) is not True:
+                        continue
+                out_rows.append([self._eval(item.expr, scope, params) for item in items])
+                order_keys.append([self._eval(e, scope, params) for e in order_exprs])
+        else:
+            for row in source.rows:
+                scope = Scope(source.columns, row, outer)
+                out_rows.append([self._eval(item.expr, scope, params) for item in items])
+                order_keys.append([self._eval(e, scope, params) for e in order_exprs])
+
+        if select.distinct:
+            out_rows, order_keys = _distinct_rows(out_rows, order_keys)
+
+        relation = Relation(
+            [ColumnInfo(None, name) for name in names], out_rows
+        )
+        return relation, names, order_keys if select.order_by else None
+
+    def _group_rows(
+        self,
+        select: ast.Select,
+        source: Relation,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+        items: list[ast.SelectItem],
+        names: list[str],
+    ) -> list[list[list[SqlValue]]]:
+        if not select.group_by:
+            return [source.rows]
+        group_exprs = [self._order_expr(e, items, names) for e in select.group_by]
+        buckets: dict[tuple, list[list[SqlValue]]] = {}
+        for row in source.rows:
+            scope = Scope(source.columns, row, outer)
+            key = tuple(
+                _hashable(self._eval(expr, scope, params)) for expr in group_exprs
+            )
+            buckets.setdefault(key, []).append(row)
+        return list(buckets.values())
+
+    def _order_expr(
+        self, expr: ast.Expr, items: list[ast.SelectItem], names: list[str]
+    ) -> ast.Expr:
+        """Resolve ORDER BY/GROUP BY aliases and 1-based positions."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value
+            if not 1 <= position <= len(items):
+                raise SQLExecutionError(f"ORDER BY position {position} out of range")
+            return items[position - 1].expr
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for item, name in zip(items, names):
+                if item.alias is not None and item.alias.lower() == expr.column.lower():
+                    return item.expr
+        return expr
+
+    def _apply_order(
+        self,
+        select: ast.Select,
+        relation: Relation,
+        names: list[str],
+        order_keys: list[list[SqlValue]] | None,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+    ) -> None:
+        if order_keys is None:
+            # Post-compound ordering: only output columns / positions.
+            order_keys = []
+            for row in relation.rows:
+                scope = Scope(relation.columns, row, outer)
+                keys = []
+                for order in select.order_by:
+                    expr = self._order_expr(
+                        order.expr,
+                        [ast.SelectItem(ast.ColumnRef(None, n), n) for n in names],
+                        names,
+                    )
+                    keys.append(self._eval(expr, scope, params))
+                order_keys.append(keys)
+        directions = [order.descending for order in select.order_by]
+        tagged = list(zip(order_keys, relation.rows))
+        for index in reversed(range(len(directions))):
+            tagged.sort(
+                key=lambda pair: sort_key(pair[0][index]),
+                reverse=directions[index],
+            )
+        relation.rows = [row for _, row in tagged]
+
+    def _apply_limit(
+        self,
+        select: ast.Select,
+        relation: Relation,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+    ) -> None:
+        if select.limit is None:
+            return
+        empty_scope = Scope([], [], outer)
+        limit = self._eval(select.limit, empty_scope, params)
+        offset = 0
+        if select.offset is not None:
+            offset = int(self._eval(select.offset, empty_scope, params) or 0)
+        count = int(limit) if limit is not None else None
+        rows = relation.rows[offset:]
+        if count is not None and count >= 0:
+            rows = rows[:count]
+        relation.rows = rows
+
+    def _expand_stars(
+        self, items: tuple[ast.SelectItem, ...], columns: list[ColumnInfo]
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if not isinstance(item.expr, ast.Star):
+                expanded.append(item)
+                continue
+            star = item.expr
+            matched = False
+            for info in columns:
+                if star.table is None:
+                    if info.hidden:
+                        continue
+                else:
+                    if info.alias is None or info.alias.lower() != star.table.lower():
+                        continue
+                expanded.append(
+                    ast.SelectItem(ast.ColumnRef(info.alias, info.name), info.name)
+                )
+                matched = True
+            if not matched:
+                if star.table is not None:
+                    raise SQLExecutionError(f"no such table: {star.table}")
+                raise SQLExecutionError("SELECT * with no source columns")
+        return expanded
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _source_relation(
+        self,
+        source: ast.TableRef | None,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+    ) -> Relation:
+        if source is None:
+            return Relation([], [[]])
+        if isinstance(source, ast.NamedTable):
+            return self._named_relation(source, params)
+        if isinstance(source, ast.SubquerySource):
+            inner, names = self.run_select(source.select, params, outer)
+            columns = [ColumnInfo(source.alias, name) for name in names]
+            return Relation(columns, inner.rows)
+        if isinstance(source, ast.Join):
+            return self._join(source, params, outer)
+        raise SQLExecutionError(f"unsupported FROM item {type(source).__name__}")
+
+    def _named_relation(
+        self, ref: ast.NamedTable, params: tuple[SqlValue, ...]
+    ) -> Relation:
+        alias = ref.alias or ref.name
+        view = self._db.lookup_view(ref.name)
+        if view is not None:
+            inner, names = self.run_select(view, params, outer=None)
+            columns = [ColumnInfo(alias, name) for name in names]
+            return Relation(columns, inner.rows)
+        table = self._db.lookup_table(ref.name)
+        columns = [ColumnInfo(alias, c.name) for c in table.columns]
+        # Rows are shared, not copied: the executor never mutates row
+        # lists in place (projection and joins build new lists), and DML
+        # replaces whole rows. Correlated subqueries re-read tables per
+        # outer row, so copying here would be quadratic.
+        return Relation(columns, table.rows)
+
+    def _join(
+        self,
+        join: ast.Join,
+        params: tuple[SqlValue, ...],
+        outer: Scope | GroupScope | None,
+    ) -> Relation:
+        left = self._source_relation(join.left, params, outer)
+        right = self._source_relation(join.right, params, outer)
+
+        pair_condition = join.condition
+        hidden_right: set[int] = set()
+        equal_pairs: list[tuple[int, int]] = []
+
+        shared_names: list[str] = []
+        if join.natural:
+            left_names = {c.name.lower() for c in left.columns if not c.hidden}
+            shared_names = [
+                c.name
+                for c in right.columns
+                if not c.hidden and c.name.lower() in left_names
+            ]
+        elif join.using:
+            shared_names = list(join.using)
+
+        for name in shared_names:
+            left_index = _find_column(left.columns, name)
+            right_index = _find_column(right.columns, name)
+            equal_pairs.append((left_index, right_index))
+            hidden_right.add(right_index)
+
+        combined_columns = list(left.columns) + [
+            ColumnInfo(c.alias, c.name, hidden=c.hidden or (i in hidden_right))
+            for i, c in enumerate(right.columns)
+        ]
+
+        rows: list[list[SqlValue]] = []
+        right_width = len(right.columns)
+        for left_row in left.rows:
+            matched = False
+            for right_row in right.rows:
+                if not self._pairs_match(equal_pairs, left_row, right_row):
+                    continue
+                combined = list(left_row) + list(right_row)
+                if pair_condition is not None:
+                    scope = Scope(combined_columns, combined, outer)
+                    if sql_truth(self._eval(pair_condition, scope, params)) is not True:
+                        continue
+                rows.append(combined)
+                matched = True
+            if join.kind == "LEFT" and not matched:
+                rows.append(list(left_row) + [None] * right_width)
+        return Relation(combined_columns, rows)
+
+    @staticmethod
+    def _pairs_match(
+        pairs: list[tuple[int, int]],
+        left_row: Sequence[SqlValue],
+        right_row: Sequence[SqlValue],
+    ) -> bool:
+        for left_index, right_index in pairs:
+            if sql_compare(left_row[left_index], right_row[right_index]) != 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.Insert, params: tuple[SqlValue, ...]) -> Result:
+        table = self._db.lookup_table(stmt.table)
+        if stmt.columns:
+            indexes = [table.column_index(name) for name in stmt.columns]
+        else:
+            indexes = list(range(len(table.columns)))
+
+        def build_full_row(values: list[SqlValue]) -> list[SqlValue]:
+            if len(values) != len(indexes):
+                raise SQLExecutionError(
+                    f"INSERT expects {len(indexes)} values, got {len(values)}"
+                )
+            full: list[SqlValue] = [None] * len(table.columns)
+            for index, value in zip(indexes, values):
+                full[index] = value
+            return full
+
+        inserted = 0
+        if stmt.select is not None:
+            relation, _ = self.run_select(stmt.select, params, outer=None)
+            for row in relation.rows:
+                table.insert_row(build_full_row(list(row)))
+                inserted += 1
+        else:
+            scope = Scope([], [])
+            for value_exprs in stmt.rows:
+                values = [self._eval(e, scope, params) for e in value_exprs]
+                table.insert_row(build_full_row(values))
+                inserted += 1
+        return Result([], [], rowcount=inserted)
+
+    def _execute_delete(self, stmt: ast.Delete, params: tuple[SqlValue, ...]) -> Result:
+        table = self._db.lookup_table(stmt.table)
+        columns = [ColumnInfo(stmt.table, c.name) for c in table.columns]
+        if stmt.where is None:
+            deleted = len(table.rows)
+            table.delete_rows([False] * len(table.rows))
+            return Result([], [], rowcount=deleted)
+        # Evaluate the predicate for every row *before* mutating, so
+        # subqueries over the same table see a consistent snapshot.
+        keep_mask = []
+        for row in list(table.rows):
+            scope = Scope(columns, row)
+            keep_mask.append(sql_truth(self._eval(stmt.where, scope, params)) is not True)
+        deleted = table.delete_rows(keep_mask)
+        return Result([], [], rowcount=deleted)
+
+    def _execute_update(self, stmt: ast.Update, params: tuple[SqlValue, ...]) -> Result:
+        table = self._db.lookup_table(stmt.table)
+        columns = [ColumnInfo(stmt.table, c.name) for c in table.columns]
+        assignments = [
+            (table.column_index(name), expr) for name, expr in stmt.assignments
+        ]
+        pending: list[tuple[int, dict[int, SqlValue]]] = []
+        for index, row in enumerate(table.rows):
+            scope = Scope(columns, row)
+            if stmt.where is not None:
+                if sql_truth(self._eval(stmt.where, scope, params)) is not True:
+                    continue
+            new_values = {
+                col_index: self._eval(expr, scope, params)
+                for col_index, expr in assignments
+            }
+            pending.append((index, new_values))
+        for index, new_values in pending:
+            table.update_row(index, new_values)
+        return Result([], [], rowcount=len(pending))
+
+    # ------------------------------------------------------------------
+    # Expression evaluation (closure compilation)
+    # ------------------------------------------------------------------
+    #
+    # Expressions are compiled once per AST node into nested closures of
+    # signature ``fn(scope, params) -> SqlValue``; evaluation then avoids
+    # per-row type dispatch entirely. Compiled closures are memoised for
+    # the executor's lifetime (AST nodes are immutable and pinned by the
+    # entry, so id() reuse is detected with an identity check).
+
+    def _eval(
+        self,
+        expr: ast.Expr,
+        scope: Scope | GroupScope,
+        params: tuple[SqlValue, ...],
+    ) -> SqlValue:
+        return self._compile(expr)(scope, params)
+
+    def _compile(self, expr: ast.Expr):
+        entry = self._compiled.get(id(expr))
+        if entry is not None and entry[0] is expr:
+            return entry[1]
+        fn = self._build_closure(expr)
+        if len(self._compiled) > 16384:
+            self._compiled.clear()
+        self._compiled[id(expr)] = (expr, fn)
+        return fn
+
+    def _build_closure(self, expr: ast.Expr):
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda scope, params: value
+        if isinstance(expr, ast.Parameter):
+            index = expr.index
+
+            def param_fn(scope, params):
+                if index >= len(params):
+                    raise SQLExecutionError(
+                        f"statement requires at least {index + 1} parameters, "
+                        f"got {len(params)}"
+                    )
+                return params[index]
+
+            return param_fn
+        if isinstance(expr, ast.ColumnRef):
+            table, column = expr.table, expr.column
+            return lambda scope, params: scope.resolve(table, column)
+        if isinstance(expr, ast.Unary):
+            return self._build_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._build_binary(expr)
+        if isinstance(expr, ast.IsNull):
+            operand = self._compile(expr.operand)
+            if expr.negated:
+                return lambda scope, params: bool_to_sql(
+                    operand(scope, params) is not None
+                )
+            return lambda scope, params: bool_to_sql(operand(scope, params) is None)
+        if isinstance(expr, ast.Between):
+            return self._build_between(expr)
+        if isinstance(expr, ast.Like):
+            operand = self._compile(expr.operand)
+            pattern = self._compile(expr.pattern)
+            negated = expr.negated
+
+            def like_fn(scope, params):
+                result = sql_like(operand(scope, params), pattern(scope, params))
+                return bool_to_sql(sql_not(result) if negated else result)
+
+            return like_fn
+        if isinstance(expr, ast.InList):
+            operand = self._compile(expr.operand)
+            items = [self._compile(item) for item in expr.items]
+            negated = expr.negated
+            return lambda scope, params: self._eval_in(
+                operand(scope, params),
+                [item(scope, params) for item in items],
+                negated,
+            )
+        if isinstance(expr, ast.InSelect):
+            return self._build_in_select(expr)
+        if isinstance(expr, ast.ScalarSelect):
+            return self._build_scalar_select(expr)
+        if isinstance(expr, ast.ExistsSelect):
+            return self._build_exists(expr)
+        if isinstance(expr, ast.FunctionCall):
+            return self._build_function(expr)
+        if isinstance(expr, ast.Case):
+            return self._build_case(expr)
+        if isinstance(expr, ast.Star):
+            def star_fn(scope, params):
+                raise SQLExecutionError(
+                    "'*' is only valid in a select list or COUNT(*)"
+                )
+
+            return star_fn
+        raise SQLExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    def _build_unary(self, expr: ast.Unary):
+        operand = self._compile(expr.operand)
+        if expr.op == "NOT":
+            return lambda scope, params: bool_to_sql(
+                sql_not(sql_truth(operand(scope, params)))
+            )
+        op = expr.op
+
+        def sign_fn(scope, params):
+            value = operand(scope, params)
+            if value is None:
+                return None
+            return arithmetic(op, 0, value)
+
+        return sign_fn
+
+    def _build_binary(self, expr: ast.Binary):
+        op = expr.op
+        left = self._compile(expr.left)
+        right = self._compile(expr.right)
+        if op == "AND":
+
+            def and_fn(scope, params):
+                lhs = sql_truth(left(scope, params))
+                if lhs is False:
+                    return 0
+                return bool_to_sql(sql_and(lhs, sql_truth(right(scope, params))))
+
+            return and_fn
+        if op == "OR":
+
+            def or_fn(scope, params):
+                lhs = sql_truth(left(scope, params))
+                if lhs is True:
+                    return 1
+                return bool_to_sql(sql_or(lhs, sql_truth(right(scope, params))))
+
+            return or_fn
+        if op in ("=", "==", "!=", "<", "<=", ">", ">="):
+            predicates = {
+                "=": lambda c: c == 0,
+                "==": lambda c: c == 0,
+                "!=": lambda c: c != 0,
+                "<": lambda c: c < 0,
+                "<=": lambda c: c <= 0,
+                ">": lambda c: c > 0,
+                ">=": lambda c: c >= 0,
+            }
+            predicate = predicates[op]
+
+            def compare_fn(scope, params):
+                comparison = sql_compare(left(scope, params), right(scope, params))
+                if comparison is None:
+                    return None
+                return 1 if predicate(comparison) else 0
+
+            return compare_fn
+        if op == "||":
+            return lambda scope, params: concat(
+                left(scope, params), right(scope, params)
+            )
+        return lambda scope, params: arithmetic(
+            op, left(scope, params), right(scope, params)
+        )
+
+    def _build_between(self, expr: ast.Between):
+        operand = self._compile(expr.operand)
+        low = self._compile(expr.low)
+        high = self._compile(expr.high)
+        negated = expr.negated
+
+        def between_fn(scope, params):
+            value = operand(scope, params)
+            low_cmp = sql_compare(value, low(scope, params))
+            high_cmp = sql_compare(value, high(scope, params))
+            ge_low = None if low_cmp is None else low_cmp >= 0
+            le_high = None if high_cmp is None else high_cmp <= 0
+            result = sql_and(ge_low, le_high)
+            return bool_to_sql(sql_not(result) if negated else result)
+
+        return between_fn
+
+    def _build_in_select(self, expr: ast.InSelect):
+        operand = self._compile(expr.operand)
+        select = expr.select
+        negated = expr.negated
+
+        def in_select_fn(scope, params):
+            def run_in(outer) -> list[SqlValue]:
+                relation, names = self.run_select(select, params, outer=outer)
+                if len(names) != 1:
+                    raise SQLExecutionError("IN subquery must return one column")
+                return [row[0] for row in relation.rows]
+
+            values = self._cached_subquery(select, scope, run_in)
+            return self._eval_in(operand(scope, params), values, negated)
+
+        return in_select_fn
+
+    def _build_scalar_select(self, expr: ast.ScalarSelect):
+        select = expr.select
+
+        def scalar_select_fn(scope, params):
+            def run_scalar(outer) -> SqlValue:
+                relation, names = self.run_select(select, params, outer=outer)
+                if len(names) != 1:
+                    raise SQLExecutionError(
+                        "scalar subquery must return one column"
+                    )
+                return relation.rows[0][0] if relation.rows else None
+
+            return self._cached_subquery(select, scope, run_scalar)
+
+        return scalar_select_fn
+
+    def _build_exists(self, expr: ast.ExistsSelect):
+        select = expr.select
+        negated = expr.negated
+        probe = select
+        if probe.limit is None and not probe.compound:
+            # EXISTS only needs one row; short-circuit the scan.
+            probe = replace(probe, limit=ast.Literal(1))
+
+        def exists_fn(scope, params):
+            def run_exists(outer) -> bool:
+                relation, _ = self.run_select(probe, params, outer=outer)
+                return bool(relation.rows)
+
+            exists = self._cached_subquery(select, scope, run_exists)
+            return bool_to_sql(not exists if negated else exists)
+
+        return exists_fn
+
+    def _build_function(self, expr: ast.FunctionCall):
+        name = expr.name
+        if expr.star or is_aggregate(name, len(expr.args)):
+            star = expr.star
+            distinct = expr.distinct
+            if not star and len(expr.args) != 1:
+                raise SQLExecutionError(
+                    f"aggregate {name}() takes exactly one argument"
+                )
+            arg = None if star else self._compile(expr.args[0])
+
+            def aggregate_fn(scope, params):
+                if not isinstance(scope, GroupScope):
+                    raise SQLExecutionError(
+                        f"aggregate {name}() used outside an aggregate context"
+                    )
+                if star:
+                    values: list[SqlValue] = [1] * len(scope.rows)
+                else:
+                    values = [
+                        arg(row_scope, params) for row_scope in scope.row_scopes()
+                    ]
+                return evaluate_aggregate(name, values, distinct, star)
+
+            return aggregate_fn
+        arg_fns = [self._compile(arg) for arg in expr.args]
+        return lambda scope, params: evaluate_scalar(
+            name, [fn(scope, params) for fn in arg_fns]
+        )
+
+    def _build_case(self, expr: ast.Case):
+        branches = [
+            (self._compile(cond), self._compile(result))
+            for cond, result in expr.branches
+        ]
+        default = self._compile(expr.default) if expr.default is not None else None
+        operand = self._compile(expr.operand) if expr.operand is not None else None
+
+        def case_fn(scope, params):
+            if operand is not None:
+                subject = operand(scope, params)
+                for cond_fn, result_fn in branches:
+                    if sql_compare(subject, cond_fn(scope, params)) == 0:
+                        return result_fn(scope, params)
+            else:
+                for cond_fn, result_fn in branches:
+                    if sql_truth(cond_fn(scope, params)) is True:
+                        return result_fn(scope, params)
+            if default is not None:
+                return default(scope, params)
+            return None
+
+        return case_fn
+
+    @staticmethod
+    def _eval_in(
+        operand: SqlValue, values: list[SqlValue], negated: bool
+    ) -> SqlValue:
+        if operand is None:
+            return None
+        found = False
+        saw_null = False
+        for value in values:
+            comparison = sql_compare(operand, value)
+            if comparison is None:
+                saw_null = True
+            elif comparison == 0:
+                found = True
+                break
+        if found:
+            result: bool | None = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        return bool_to_sql(sql_not(result) if negated else result)
+
+    def _cached_subquery(self, select: ast.Select, scope, runner):
+        """Evaluate a subquery with correlation-value memoisation.
+
+        The first run records which outer columns the subquery reads; all
+        runs are cached under (recorded names, their values). Uncorrelated
+        subqueries collapse to a single cached evaluation.
+        """
+        memo = self._subquery_cache.setdefault(id(select), {"names": None, "hits": {}})
+        names = memo["names"]
+        if names is not None:
+            try:
+                key = (names, tuple(scope.resolve(t, c) for t, c in names))
+            except SQLExecutionError:
+                key = None
+            if key is not None and key in memo["hits"]:
+                return memo["hits"][key]
+        recorder = _RecordingScope(scope)
+        result = runner(recorder)
+        recorded_names = tuple(recorder.recorded.keys())
+        memo["names"] = recorded_names
+        key = (recorded_names, tuple(recorder.recorded.values()))
+        try:
+            memo["hits"][key] = result
+        except TypeError:
+            pass  # unhashable correlation value: skip caching
+        return result
+
+
+# --------------------------------------------------------------------------
+# Helpers
+# --------------------------------------------------------------------------
+
+
+def _find_column(columns: list[ColumnInfo], name: str) -> int:
+    lowered = name.lower()
+    matches = [
+        i for i, c in enumerate(columns) if not c.hidden and c.name.lower() == lowered
+    ]
+    if not matches:
+        raise SQLExecutionError(f"no such column in join: {name}")
+    if len(matches) > 1:
+        raise SQLExecutionError(f"ambiguous join column: {name}")
+    return matches[0]
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star or is_aggregate(expr.name, len(expr.args)):
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.IsNull):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Between):
+        return any(
+            _contains_aggregate(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.Like):
+        return _contains_aggregate(expr.operand) or _contains_aggregate(expr.pattern)
+    if isinstance(expr, ast.InList):
+        return _contains_aggregate(expr.operand) or any(
+            _contains_aggregate(i) for i in expr.items
+        )
+    if isinstance(expr, ast.InSelect):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Case):
+        parts: list[ast.Expr] = [e for pair in expr.branches for e in pair]
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate(p) for p in parts)
+    return False
+
+
+def _output_name(item: ast.SelectItem) -> str:
+    if item.alias is not None:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.column
+    return _expr_text(item.expr)
+
+
+def _expr_text(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value) if expr.value is not None else "NULL"
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        inner = ", ".join(_expr_text(a) for a in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{inner})"
+    if isinstance(expr, ast.Binary):
+        return f"{_expr_text(expr.left)} {expr.op} {_expr_text(expr.right)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op} {_expr_text(expr.operand)}"
+    return type(expr).__name__.lower()
+
+
+def _hashable(value: SqlValue) -> SqlValue | tuple:
+    # int/float cross-hash fine in Python; bytes/str are hashable already.
+    return value
+
+
+def _distinct_rows(
+    rows: list[list[SqlValue]], order_keys: list[list[SqlValue]]
+) -> tuple[list[list[SqlValue]], list[list[SqlValue]]]:
+    seen: set[tuple] = set()
+    out_rows: list[list[SqlValue]] = []
+    out_keys: list[list[SqlValue]] = []
+    for row, keys in zip(rows, order_keys):
+        marker = tuple(row)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        out_rows.append(row)
+        out_keys.append(keys)
+    return out_rows, out_keys
+
+
+def _combine(op: str, left: Relation, right: Relation) -> Relation:
+    left_set = [tuple(r) for r in left.rows]
+    right_set = [tuple(r) for r in right.rows]
+    if op == "UNION ALL":
+        combined = left_set + right_set
+    elif op == "UNION":
+        seen: set[tuple] = set()
+        combined = []
+        for row in left_set + right_set:
+            if row not in seen:
+                seen.add(row)
+                combined.append(row)
+    elif op == "EXCEPT":
+        right_only = set(right_set)
+        seen = set()
+        combined = []
+        for row in left_set:
+            if row not in right_only and row not in seen:
+                seen.add(row)
+                combined.append(row)
+    elif op == "INTERSECT":
+        right_only = set(right_set)
+        seen = set()
+        combined = []
+        for row in left_set:
+            if row in right_only and row not in seen:
+                seen.add(row)
+                combined.append(row)
+    else:
+        raise SQLExecutionError(f"unknown compound operator {op!r}")
+    return Relation(left.columns, [list(r) for r in combined])

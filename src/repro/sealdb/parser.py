@@ -1,0 +1,621 @@
+"""Recursive-descent SQL parser for SealDB.
+
+Grammar follows the SQLite dialect closely for the subset SealDB supports.
+Expression parsing uses classic precedence climbing:
+
+    OR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < additive ('+','-','||')
+       < multiplicative ('*','/','%') < unary < primary
+"""
+
+from __future__ import annotations
+
+from repro.sealdb import ast
+from repro.sealdb.errors import SQLParseError
+from repro.sealdb.tokens import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+# Keywords that may double as identifiers (SQLite treats these, and type
+# names, as non-reserved): a column can be called "text" or "key".
+_NON_RESERVED = ("KEY", "SET", "VALUES", "TEXT", "INTEGER", "INT", "REAL", "BLOB")
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(sql), sql)
+    statement = parser.statement()
+    parser.expect_end()
+    return statement
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(sql), sql)
+    statements: list[ast.Statement] = []
+    while not parser.at_end():
+        statements.append(parser.statement())
+        if not parser.accept_punct(";"):
+            break
+    parser.expect_end()
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str):
+        self._tokens = tokens
+        self._sql = sql
+        self._pos = 0
+        self._param_count = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SQLParseError:
+        token = self._peek()
+        context = self._sql[max(0, token.position - 20) : token.position + 20]
+        return SQLParseError(f"{message} near {token.value!r} (…{context}…)")
+
+    def at_end(self) -> bool:
+        token = self._peek()
+        return token.type is TokenType.EOF
+
+    def expect_end(self) -> None:
+        while self.accept_punct(";"):
+            pass
+        if not self.at_end():
+            raise self._error("unexpected trailing input")
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        if self._peek().matches_keyword(*names):
+            return self._advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.accept_keyword(*names)
+        if token is None:
+            raise self._error(f"expected {'/'.join(names)}")
+        return token
+
+    def accept_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise self._error(f"expected {value!r}")
+
+    def accept_operator(self, *values: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in values:
+            return self._advance()
+        return None
+
+    def expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        # Permit non-reserved keywords used as identifiers (e.g. a column
+        # named "key" or "text" tokenised as KEYWORD).
+        if token.type is TokenType.KEYWORD and token.value in _NON_RESERVED:
+            self._advance()
+            return token.value.lower()
+        raise self._error("expected identifier")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.matches_keyword("SELECT"):
+            return self.select()
+        if token.matches_keyword("INSERT"):
+            return self._insert()
+        if token.matches_keyword("DELETE"):
+            return self._delete()
+        if token.matches_keyword("UPDATE"):
+            return self._update()
+        if token.matches_keyword("CREATE"):
+            return self._create()
+        if token.matches_keyword("DROP"):
+            return self._drop()
+        raise self._error("expected a statement")
+
+    def select(self) -> ast.Select:
+        """Parse a SELECT, including UNION/EXCEPT/INTERSECT chains."""
+        core = self._select_core()
+        compound: list[tuple[str, ast.Select]] = []
+        while True:
+            op_token = self.accept_keyword("UNION", "EXCEPT", "INTERSECT")
+            if op_token is None:
+                break
+            op = op_token.value
+            if op == "UNION" and self.accept_keyword("ALL"):
+                op = "UNION ALL"
+            compound.append((op, self._select_core()))
+        if not compound:
+            order_by, limit, offset = self._order_limit()
+            return ast.Select(
+                items=core.items,
+                source=core.source,
+                where=core.where,
+                group_by=core.group_by,
+                having=core.having,
+                order_by=order_by,
+                limit=limit,
+                offset=offset,
+                distinct=core.distinct,
+            )
+        order_by, limit, offset = self._order_limit()
+        return ast.Select(
+            items=core.items,
+            source=core.source,
+            where=core.where,
+            group_by=core.group_by,
+            having=core.having,
+            distinct=core.distinct,
+            compound=tuple(compound),
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _order_limit(
+        self,
+    ) -> tuple[tuple[ast.OrderItem, ...], ast.Expr | None, ast.Expr | None]:
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.expression()
+                descending = False
+                if self.accept_keyword("DESC"):
+                    descending = True
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append(ast.OrderItem(expr, descending))
+                if not self.accept_punct(","):
+                    break
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expression()
+            if self.accept_keyword("OFFSET"):
+                offset = self.expression()
+            elif self.accept_punct(","):
+                # LIMIT offset, count  (SQLite compatibility)
+                offset = limit
+                limit = self.expression()
+        return tuple(order_by), limit, offset
+
+    def _select_core(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        if not distinct:
+            self.accept_keyword("ALL")
+        items = [self._select_item()]
+        while self.accept_punct(","):
+            items.append(self._select_item())
+        source = None
+        where = None
+        group_by: tuple[ast.Expr, ...] = ()
+        having = None
+        if self.accept_keyword("FROM"):
+            source = self._table_expression()
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            exprs = [self.expression()]
+            while self.accept_punct(","):
+                exprs.append(self.expression())
+            group_by = tuple(exprs)
+        if self.accept_keyword("HAVING"):
+            having = self.expression()
+        return ast.Select(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # table.* form
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek(1).type is TokenType.PUNCT
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            self._advance()
+            self._advance()
+            self._advance()
+            return ast.SelectItem(ast.Star(table=token.value))
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _table_expression(self) -> ast.TableRef:
+        left = self._table_primary()
+        while True:
+            if self.accept_punct(","):
+                right = self._table_primary()
+                left = ast.Join(left, right, kind="CROSS")
+                continue
+            natural = bool(self.accept_keyword("NATURAL"))
+            kind = "INNER"
+            if self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                kind = "LEFT"
+            elif self.accept_keyword("INNER"):
+                kind = "INNER"
+            elif self.accept_keyword("CROSS"):
+                kind = "CROSS"
+            elif not natural and not self._peek().matches_keyword("JOIN"):
+                break
+            self.expect_keyword("JOIN")
+            right = self._table_primary()
+            condition = None
+            using: tuple[str, ...] = ()
+            if not natural and kind != "CROSS":
+                if self.accept_keyword("ON"):
+                    condition = self.expression()
+                elif self.accept_keyword("USING"):
+                    self.expect_punct("(")
+                    names = [self.expect_identifier()]
+                    while self.accept_punct(","):
+                        names.append(self.expect_identifier())
+                    self.expect_punct(")")
+                    using = tuple(names)
+            left = ast.Join(left, right, kind=kind, natural=natural,
+                            condition=condition, using=using)
+        return left
+
+    def _table_primary(self) -> ast.TableRef:
+        if self.accept_punct("("):
+            if self._peek().matches_keyword("SELECT"):
+                select = self.select()
+                self.expect_punct(")")
+                self.accept_keyword("AS")
+                alias = self.expect_identifier()
+                return ast.SubquerySource(select, alias)
+            inner = self._table_expression()
+            self.expect_punct(")")
+            return inner
+        name = self.expect_identifier()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.NamedTable(name, alias)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            if self._peek().matches_keyword("EXISTS"):
+                return self._exists(negated=True)
+            return ast.Unary("NOT", self._not_expr())
+        if self._peek().matches_keyword("EXISTS"):
+            return self._exists(negated=False)
+        return self._comparison()
+
+    def _exists(self, negated: bool) -> ast.Expr:
+        self.expect_keyword("EXISTS")
+        self.expect_punct("(")
+        select = self.select()
+        self.expect_punct(")")
+        return ast.ExistsSelect(select, negated)
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        while True:
+            op_token = self.accept_operator(*_COMPARISON_OPS)
+            if op_token is not None:
+                op = "!=" if op_token.value == "<>" else op_token.value
+                left = ast.Binary(op, left, self._additive())
+                continue
+            negated = False
+            if self._peek().matches_keyword("NOT") and self._peek(1).matches_keyword(
+                "IN", "LIKE", "BETWEEN"
+            ):
+                self._advance()
+                negated = True
+            if self.accept_keyword("IS"):
+                is_not = bool(self.accept_keyword("NOT"))
+                self.expect_keyword("NULL")
+                left = ast.IsNull(left, negated=is_not)
+                continue
+            if self.accept_keyword("IN"):
+                left = self._in_tail(left, negated)
+                continue
+            if self.accept_keyword("LIKE"):
+                left = ast.Like(left, self._additive(), negated)
+                continue
+            if self.accept_keyword("BETWEEN"):
+                low = self._additive()
+                self.expect_keyword("AND")
+                high = self._additive()
+                left = ast.Between(left, low, high, negated)
+                continue
+            return left
+
+    def _in_tail(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        self.expect_punct("(")
+        if self._peek().matches_keyword("SELECT"):
+            select = self.select()
+            self.expect_punct(")")
+            return ast.InSelect(operand, select, negated)
+        items: list[ast.Expr] = []
+        if not self.accept_punct(")"):
+            items.append(self.expression())
+            while self.accept_punct(","):
+                items.append(self.expression())
+            self.expect_punct(")")
+        return ast.InList(operand, tuple(items), negated)
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            op_token = self.accept_operator("+", "-", "||")
+            if op_token is None:
+                return left
+            left = ast.Binary(op_token.value, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op_token = self.accept_operator("*", "/", "%")
+            if op_token is None:
+                return left
+            left = ast.Binary(op_token.value, left, self._unary())
+
+    def _unary(self) -> ast.Expr:
+        op_token = self.accept_operator("-", "+")
+        if op_token is not None:
+            return ast.Unary(op_token.value, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            param = ast.Parameter(self._param_count)
+            self._param_count += 1
+            return param
+        if token.matches_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.matches_keyword("CASE"):
+            return self._case()
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._advance()
+            if self._peek().matches_keyword("SELECT"):
+                select = self.select()
+                self.expect_punct(")")
+                return ast.ScalarSelect(select)
+            expr = self.expression()
+            self.expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER or token.matches_keyword(
+            *_NON_RESERVED
+        ):
+            return self._identifier_expr()
+        raise self._error("expected an expression")
+
+    def _case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self._peek().matches_keyword("WHEN"):
+            operand = self.expression()
+        branches: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.expression()
+            self.expect_keyword("THEN")
+            branches.append((condition, self.expression()))
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.expression()
+        self.expect_keyword("END")
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        return ast.Case(operand, tuple(branches), default)
+
+    def _identifier_expr(self) -> ast.Expr:
+        name = self.expect_identifier()
+        # Function call?
+        if self.accept_punct("("):
+            return self._function_call(name)
+        # table.column or table.*
+        if self.accept_punct("."):
+            nxt = self._peek()
+            if nxt.type is TokenType.OPERATOR and nxt.value == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self.expect_identifier()
+            return ast.ColumnRef(table=name, column=column)
+        return ast.ColumnRef(table=None, column=name)
+
+    def _function_call(self, name: str) -> ast.Expr:
+        upper = name.upper()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            self.expect_punct(")")
+            return ast.FunctionCall(upper, (), star=True)
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        args: list[ast.Expr] = []
+        if not self.accept_punct(")"):
+            args.append(self.expression())
+            while self.accept_punct(","):
+                args.append(self.expression())
+            self.expect_punct(")")
+        return ast.FunctionCall(upper, tuple(args), distinct=distinct)
+
+    # ------------------------------------------------------------------
+    # DML / DDL
+    # ------------------------------------------------------------------
+
+    def _insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier()
+        columns: tuple[str, ...] = ()
+        if self._peek().type is TokenType.PUNCT and self._peek().value == "(":
+            self._advance()
+            names = [self.expect_identifier()]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier())
+            self.expect_punct(")")
+            columns = tuple(names)
+        if self.accept_keyword("VALUES"):
+            rows: list[tuple[ast.Expr, ...]] = []
+            while True:
+                self.expect_punct("(")
+                values = [self.expression()]
+                while self.accept_punct(","):
+                    values.append(self.expression())
+                self.expect_punct(")")
+                rows.append(tuple(values))
+                if not self.accept_punct(","):
+                    break
+            return ast.Insert(table, columns, rows=tuple(rows))
+        if self._peek().matches_keyword("SELECT"):
+            return ast.Insert(table, columns, select=self.select())
+        raise self._error("expected VALUES or SELECT in INSERT")
+
+    def _delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Delete(table, where)
+
+    def _update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier()
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, ast.Expr]] = []
+        while True:
+            column = self.expect_identifier()
+            op = self.accept_operator("=")
+            if op is None:
+                raise self._error("expected '=' in UPDATE assignment")
+            assignments.append((column, self.expression()))
+            if not self.accept_punct(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Update(table, tuple(assignments), where)
+
+    def _create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            if_not_exists = self._if_not_exists()
+            name = self.expect_identifier()
+            self.expect_punct("(")
+            columns = [self._column_def()]
+            while self.accept_punct(","):
+                columns.append(self._column_def())
+            self.expect_punct(")")
+            return ast.CreateTable(name, tuple(columns), if_not_exists)
+        if self.accept_keyword("VIEW"):
+            if_not_exists = self._if_not_exists()
+            name = self.expect_identifier()
+            self.expect_keyword("AS")
+            return ast.CreateView(name, self.select(), if_not_exists)
+        raise self._error("expected TABLE or VIEW after CREATE")
+
+    def _if_not_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self.expect_identifier()
+        type_name = ""
+        type_token = self.accept_keyword("INTEGER", "INT", "REAL", "TEXT", "BLOB")
+        if type_token is not None:
+            type_name = "INTEGER" if type_token.value == "INT" else type_token.value
+        primary_key = False
+        unique = False
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+                continue
+            if self.accept_keyword("UNIQUE"):
+                unique = True
+                continue
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                continue
+            break
+        return ast.ColumnDef(name, type_name, primary_key, unique)
+
+    def _drop(self) -> ast.DropObject:
+        self.expect_keyword("DROP")
+        kind_token = self.expect_keyword("TABLE", "VIEW")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        name = self.expect_identifier()
+        return ast.DropObject(kind_token.value, name, if_exists)

@@ -1,0 +1,171 @@
+"""In-memory table storage for SealDB.
+
+Rows are stored as plain lists; the schema records column names, declared
+affinities and primary-key membership. Affinity coercion on insert follows
+SQLite's model (INTEGER/REAL affinity parses numeric text; TEXT affinity
+stringifies numbers) so that SealDB and the stdlib ``sqlite3`` cross-check
+cleanly in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sealdb.errors import SQLExecutionError
+
+SqlValue = int | float | str | bytes | None
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: name plus declared affinity."""
+
+    name: str
+    affinity: str = ""  # 'INTEGER', 'REAL', 'TEXT', 'BLOB' or '' (none)
+    primary_key: bool = False
+    unique: bool = False
+
+
+def apply_affinity(value: SqlValue, affinity: str) -> SqlValue:
+    """Coerce ``value`` according to SQLite-style column affinity."""
+    if value is None:
+        return None
+    if affinity == "INTEGER":
+        coerced = _to_number_or_none(value)
+        if coerced is None:
+            return value
+        if isinstance(coerced, float) and coerced.is_integer():
+            return int(coerced)
+        return coerced
+    if affinity == "REAL":
+        coerced = _to_number_or_none(value)
+        if coerced is None:
+            return value
+        return float(coerced)
+    if affinity == "TEXT":
+        if isinstance(value, (int, float)):
+            return _number_to_text(value)
+        return value
+    return value
+
+
+def _to_number_or_none(value: SqlValue) -> int | float | None:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            return None
+    return None
+
+
+def _number_to_text(value: int | float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value.is_integer():
+        return f"{value:.1f}"
+    return repr(value)
+
+
+@dataclass
+class Table:
+    """A named relation with affinity-coerced rows and optional PK check."""
+
+    name: str
+    columns: list[Column]
+    rows: list[list[SqlValue]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SQLExecutionError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            seen.add(lowered)
+        self._pk_indexes = [
+            i for i, column in enumerate(self.columns) if column.primary_key
+        ]
+        self._pk_values: set[tuple[SqlValue, ...]] = set()
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return i
+        raise SQLExecutionError(f"table {self.name!r} has no column {name!r}")
+
+    def insert_row(self, values: list[SqlValue]) -> None:
+        """Insert one row, applying affinities and enforcing the PK."""
+        if len(values) != len(self.columns):
+            raise SQLExecutionError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = [
+            apply_affinity(value, column.affinity)
+            for value, column in zip(values, self.columns)
+        ]
+        if self._pk_indexes:
+            key = tuple(row[i] for i in self._pk_indexes)
+            if key in self._pk_values:
+                raise SQLExecutionError(
+                    f"PRIMARY KEY violation in table {self.name!r}: {key!r}"
+                )
+            self._pk_values.add(key)
+        self.rows.append(row)
+
+    def delete_rows(self, keep_mask: list[bool]) -> int:
+        """Keep rows where mask is True; returns number deleted."""
+        if len(keep_mask) != len(self.rows):
+            raise SQLExecutionError("internal: keep mask length mismatch")
+        deleted = sum(1 for keep in keep_mask if not keep)
+        self.rows = [row for row, keep in zip(self.rows, keep_mask) if keep]
+        self._rebuild_pk()
+        return deleted
+
+    def update_row(self, index: int, new_values: dict[int, SqlValue]) -> None:
+        row = self.rows[index]
+        for col_index, value in new_values.items():
+            row[col_index] = apply_affinity(value, self.columns[col_index].affinity)
+        self._rebuild_pk()
+
+    def _rebuild_pk(self) -> None:
+        if not self._pk_indexes:
+            return
+        self._pk_values = set()
+        for row in self.rows:
+            key = tuple(row[i] for i in self._pk_indexes)
+            if key in self._pk_values:
+                raise SQLExecutionError(
+                    f"PRIMARY KEY violation in table {self.name!r}: {key!r}"
+                )
+            self._pk_values.add(key)
+
+    def approximate_size_bytes(self) -> int:
+        """Rough on-disk footprint used by log-size accounting (§6.5)."""
+        total = 0
+        for row in self.rows:
+            for value in row:
+                if value is None:
+                    total += 1
+                elif isinstance(value, int):
+                    total += 8
+                elif isinstance(value, float):
+                    total += 8
+                elif isinstance(value, bytes):
+                    total += len(value)
+                else:
+                    total += len(str(value).encode())
+        return total

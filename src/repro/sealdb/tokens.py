@@ -1,0 +1,151 @@
+"""SQL tokenizer for SealDB.
+
+Produces a flat list of :class:`Token` objects. Keywords are
+case-insensitive and normalised to upper case; identifiers keep their
+original spelling (matching is case-insensitive at resolution time, like
+SQLite). String literals use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.sealdb.errors import SQLParseError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL AS
+    JOIN INNER LEFT OUTER CROSS NATURAL ON USING AND OR NOT IN IS NULL
+    BETWEEN LIKE ASC DESC INSERT INTO VALUES DELETE UPDATE SET CREATE TABLE
+    VIEW DROP IF EXISTS PRIMARY KEY UNIQUE DEFAULT INTEGER INT REAL TEXT
+    BLOB CASE WHEN THEN ELSE END UNION EXCEPT INTERSECT
+    """.split()
+)
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCT = auto()  # ( ) , . ;
+    PARAMETER = auto()  # ?
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SQLParseError` on illegal input."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            literal, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, literal, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            token, i = _read_number(sql, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if ch == '"':
+            # Quoted identifier.
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise SQLParseError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TokenType.IDENTIFIER, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", i))
+            i += 1
+            continue
+        matched_op = next((op for op in _OPERATORS if sql.startswith(op, i)), None)
+        if matched_op is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLParseError(f"illegal character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal starting at ``start``."""
+    i = start + 1
+    parts: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < len(sql) and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLParseError(f"unterminated string literal at position {start}")
+
+
+def _read_number(sql: str, start: int) -> tuple[Token, int]:
+    """Read an integer or float literal starting at ``start``."""
+    i = start
+    seen_dot = False
+    seen_exp = False
+    while i < len(sql):
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < len(sql) and sql[i] in "+-":
+                i += 1
+        else:
+            break
+    text = sql[start:i]
+    if seen_dot or seen_exp:
+        return Token(TokenType.FLOAT, text, start), i
+    return Token(TokenType.INTEGER, text, start), i

@@ -1,0 +1,168 @@
+"""SQL value semantics: three-valued logic, comparisons, arithmetic, LIKE.
+
+Follows SQLite's storage-class model: NULL < numbers < text < blob for
+ordering; comparisons between values of different classes are decided by
+class rank; any comparison involving NULL yields NULL (``None`` here).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sealdb.errors import SQLExecutionError
+from repro.sealdb.table import SqlValue
+
+
+def type_rank(value: SqlValue) -> int:
+    """Storage-class rank: NULL(0) < numeric(1) < text(2) < blob(3)."""
+    if value is None:
+        return 0
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return 1
+    if isinstance(value, str):
+        return 2
+    if isinstance(value, bytes):
+        return 3
+    raise SQLExecutionError(f"unsupported SQL value type: {type(value).__name__}")
+
+
+def sql_compare(left: SqlValue, right: SqlValue) -> int | None:
+    """Three-valued comparison: -1/0/1, or ``None`` if either side is NULL."""
+    if left is None or right is None:
+        return None
+    left_rank, right_rank = type_rank(left), type_rank(right)
+    if left_rank != right_rank:
+        return -1 if left_rank < right_rank else 1
+    if left < right:  # type: ignore[operator]
+        return -1
+    if left > right:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+def sort_key(value: SqlValue):
+    """Total-order sort key across storage classes (NULLs first)."""
+    rank = type_rank(value)
+    if rank == 0:
+        return (0, 0)
+    return (rank, value)
+
+
+def sql_truth(value: SqlValue) -> bool | None:
+    """SQL truthiness: NULL → unknown; numbers → != 0; text → numeric prefix."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return to_number(value) != 0
+    return False
+
+
+def sql_and(left: bool | None, right: bool | None) -> bool | None:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: bool | None, right: bool | None) -> bool | None:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: bool | None) -> bool | None:
+    if value is None:
+        return None
+    return not value
+
+
+def bool_to_sql(value: bool | None) -> SqlValue:
+    """Map Python three-valued booleans back to SQL (1/0/NULL)."""
+    if value is None:
+        return None
+    return 1 if value else 0
+
+
+def to_number(value: SqlValue) -> int | float:
+    """SQLite-style numeric coercion: longest numeric prefix, else 0."""
+    if value is None:
+        return 0
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, bytes):
+        value = value.decode("utf-8", errors="replace")
+    text = value.strip()
+    match = re.match(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?", text)
+    if not match:
+        return 0
+    literal = match.group(0)
+    try:
+        return int(literal)
+    except ValueError:
+        return float(literal)
+
+
+def arithmetic(op: str, left: SqlValue, right: SqlValue) -> SqlValue:
+    """NULL-propagating arithmetic with SQLite integer-division semantics."""
+    if left is None or right is None:
+        return None
+    a, b = to_number(left), to_number(right)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0:
+            return None
+        if isinstance(a, int) and isinstance(b, int):
+            # SQLite truncates toward zero.
+            quotient = abs(a) // abs(b)
+            return quotient if (a >= 0) == (b >= 0) else -quotient
+        return a / b
+    if op == "%":
+        if b == 0:
+            return None
+        a_int, b_int = int(a), int(b)
+        remainder = abs(a_int) % abs(b_int)
+        return remainder if a_int >= 0 else -remainder
+    raise SQLExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def concat(left: SqlValue, right: SqlValue) -> SqlValue:
+    """SQL ``||`` string concatenation (NULL-propagating)."""
+    if left is None or right is None:
+        return None
+    return _as_text(left) + _as_text(right)
+
+
+def _as_text(value: SqlValue) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bytes):
+        return value.decode("utf-8", errors="replace")
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return str(value)
+
+
+def sql_like(text: SqlValue, pattern: SqlValue) -> bool | None:
+    """SQL LIKE with ``%``/``_`` wildcards, ASCII case-insensitive."""
+    if text is None or pattern is None:
+        return None
+    regex_parts = ["^"]
+    for ch in str(pattern):
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    regex_parts.append("$")
+    return re.match("".join(regex_parts), str(text), re.IGNORECASE | re.DOTALL) is not None

@@ -1,0 +1,11 @@
+"""Server machine models and experiment drivers.
+
+:mod:`repro.servers.machine` executes :class:`~repro.sim.costs.RequestProfile`
+request streams on a simulated 4-core server with closed-loop clients;
+:mod:`repro.servers.experiments` wraps it into one driver function per
+figure/table of the paper's evaluation.
+"""
+
+from repro.servers.machine import MachineConfig, RunResult, ServerMachine
+
+__all__ = ["MachineConfig", "RunResult", "ServerMachine"]

@@ -1,0 +1,18 @@
+"""Functional models of the paper's three evaluated services.
+
+Each service is implemented far enough that (a) real clients can drive it
+through its HTTP protocol, (b) the LibSEAL service-specific modules can
+parse its traffic, and (c) the §6.1 integrity violations can be injected
+*at the service* — below LibSEAL, exactly where a buggy or negligent
+provider would corrupt state:
+
+- :mod:`repro.services.git` — smart-HTTP Git hosting: commit hash chains,
+  branch/tag refs, push (receive-pack) and ref advertisement
+  (upload-pack); attacks: teleport, rollback, reference deletion [101];
+- :mod:`repro.services.owncloud` — collaborative document editing:
+  sessions, operation sync, snapshots; attacks: dropped updates, stale
+  snapshots, corrupted edits;
+- :mod:`repro.services.dropbox` — file storage metadata: 4 MB blocks,
+  blocklists, ``commit_batch``/``list`` messages; attacks: blocklist
+  corruption, file-list omission, deletion resurrection.
+"""

@@ -1,0 +1,5 @@
+"""The Dropbox file-storage service (metadata + blocks)."""
+
+from repro.services.dropbox.server import DropboxHttpService, DropboxServer, FileEntry
+
+__all__ = ["DropboxHttpService", "DropboxServer", "FileEntry"]

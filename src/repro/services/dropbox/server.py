@@ -1,0 +1,192 @@
+"""Dropbox-style storage: 4 MB blocks, blocklists, commit_batch and list.
+
+Protocol shape from §6.1: files are split into 4 MB blocks, each hashed;
+the hash list (*blocklist*) is file metadata. Uploads send ``commit_batch``
+naming the blocklist, the filename and the size (−1 encodes deletion),
+then any blocks the server is missing. Clients periodically send ``list``
+requests and receive each changed file's size and blocklist.
+
+Dropbox verifies block *content* hashes client-side; what it does not
+protect is the metadata — the blocklists and the file list — which is what
+the attacks below corrupt and the LibSEAL SSM audits.
+
+HTTP surface:
+
+- ``POST /commit_batch``  body ``{"account", "host", "commits":
+  [{"file", "blocklist": [h...], "size"}]}``
+- ``POST /store_block``   body ``{"hash", "data_hex"}``
+- ``GET /list``           headers ``X-Account``/``X-Host`` →
+  ``{"files": [{"file", "blocklist", "size"}]}``
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256_hex
+from repro.errors import ServiceError
+from repro.http import HttpRequest, HttpResponse
+
+BLOCK_SIZE = 4 * 1024 * 1024
+
+
+def split_into_blocks(content: bytes) -> list[bytes]:
+    """Split file content into 4 MB blocks (at least one, possibly empty)."""
+    if not content:
+        return [b""]
+    return [content[i : i + BLOCK_SIZE] for i in range(0, len(content), BLOCK_SIZE)]
+
+
+def block_hash(block: bytes) -> str:
+    return sha256_hex(b"dropbox-block\x00" + block)
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """Metadata for one stored file."""
+
+    path: str
+    blocklist: tuple[str, ...]
+    size: int
+
+
+class DropboxServer:
+    """Per-account metadata plus the global block store."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[str, dict[str, FileEntry]] = {}
+        self.blocks: dict[str, bytes] = {}
+        # Attack switches.
+        self._corrupted_blocklists: set[tuple[str, str]] = set()
+        self._omitted_files: set[tuple[str, str]] = set()
+        self._resurrected: dict[tuple[str, str], FileEntry] = {}
+        self._resurrection_enabled: set[tuple[str, str]] = set()
+
+    def _account(self, account: str) -> dict[str, FileEntry]:
+        return self._accounts.setdefault(account, {})
+
+    # ------------------------------------------------------------------
+    # Protocol operations
+    # ------------------------------------------------------------------
+
+    def commit_batch(
+        self, account: str, commits: list[FileEntry]
+    ) -> list[str]:
+        """Apply metadata commits; returns blocks the server still needs."""
+        missing: list[str] = []
+        files = self._account(account)
+        for entry in commits:
+            if entry.size == -1:
+                if entry.path in files:
+                    deleted = files.pop(entry.path)
+                    self._resurrected.setdefault((account, entry.path), deleted)
+                continue
+            files[entry.path] = entry
+            missing.extend(h for h in entry.blocklist if h not in self.blocks)
+        return missing
+
+    def store_block(self, digest: str, data: bytes) -> None:
+        if block_hash(data) != digest:
+            raise ServiceError("block content does not match its hash")
+        self.blocks[digest] = data
+
+    def list_files(self, account: str) -> list[FileEntry]:
+        """The file list as the (possibly malicious) server reports it."""
+        files = dict(self._account(account))
+        result: list[FileEntry] = []
+        for path, entry in sorted(files.items()):
+            key = (account, path)
+            if key in self._omitted_files:
+                continue  # ATTACK: file silently missing from the list
+            if key in self._corrupted_blocklists:
+                forged = tuple(sha256_hex(h.encode())[:64] for h in entry.blocklist)
+                entry = FileEntry(path, forged, entry.size)  # ATTACK
+            result.append(entry)
+        for (acct, path), entry in self._resurrected.items():
+            if acct == account and (account, path) in self._resurrection_enabled:
+                result.append(entry)  # ATTACK: deleted file reappears
+        return sorted(result, key=lambda e: e.path)
+
+    # ------------------------------------------------------------------
+    # Attack injection
+    # ------------------------------------------------------------------
+
+    def attack_corrupt_blocklist(self, account: str, path: str) -> None:
+        self._corrupted_blocklists.add((account, path))
+
+    def attack_omit_file(self, account: str, path: str) -> None:
+        self._omitted_files.add((account, path))
+
+    def attack_resurrect_file(self, account: str, path: str) -> None:
+        if (account, path) not in self._resurrected:
+            raise ServiceError("file was never deleted; nothing to resurrect")
+        self._resurrection_enabled.add((account, path))
+
+    # ------------------------------------------------------------------
+    # Client-side helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def make_entry(path: str, content: bytes) -> tuple[FileEntry, list[bytes]]:
+        """Compute the entry + blocks a client would produce for ``content``."""
+        blocks = split_into_blocks(content)
+        blocklist = tuple(block_hash(b) for b in blocks)
+        return FileEntry(path, blocklist, len(content)), blocks
+
+
+class DropboxHttpService:
+    """HTTP front-end for :class:`DropboxServer` (what Squid proxies)."""
+
+    def __init__(self, server: DropboxServer | None = None):
+        self.server = server if server is not None else DropboxServer()
+        self.requests_served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        try:
+            return self._route(request)
+        except ServiceError as exc:
+            return HttpResponse(400, body=str(exc).encode())
+        except (ValueError, KeyError) as exc:
+            return HttpResponse(400, body=f"bad request: {exc}".encode())
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        path = request.path.split("?")[0].strip("/")
+        if request.method == "POST" and path == "commit_batch":
+            body = json.loads(request.body.decode())
+            commits = [
+                FileEntry(c["file"], tuple(c["blocklist"]), c["size"])
+                for c in body["commits"]
+            ]
+            missing = self.server.commit_batch(body["account"], commits)
+            return self._json({"need_blocks": missing})
+        if request.method == "POST" and path == "store_block":
+            body = json.loads(request.body.decode())
+            self.server.store_block(body["hash"], bytes.fromhex(body["data_hex"]))
+            return self._json({"stored": True})
+        if path == "list":
+            account = request.headers.get("X-Account")
+            if account is None:
+                return HttpResponse(400, body=b"missing X-Account header")
+            files = self.server.list_files(account)
+            return self._json(
+                {
+                    "account": account,
+                    "files": [
+                        {
+                            "file": e.path,
+                            "blocklist": list(e.blocklist),
+                            "size": e.size,
+                        }
+                        for e in files
+                    ],
+                }
+            )
+        return HttpResponse(404, body=b"unknown dropbox endpoint")
+
+    @staticmethod
+    def _json(payload: dict) -> HttpResponse:
+        response = HttpResponse(200, body=json.dumps(payload).encode())
+        response.headers.set("Content-Type", "application/json")
+        return response

@@ -1,0 +1,7 @@
+"""The Git hosting service (smart HTTP)."""
+
+from repro.services.git.objects import Commit, ObjectStore
+from repro.services.git.repo import GitRepository, GitServer
+from repro.services.git.smart_http import GitHttpService
+
+__all__ = ["Commit", "ObjectStore", "GitRepository", "GitServer", "GitHttpService"]

@@ -1,0 +1,136 @@
+"""Repositories, refs, and the attack surface.
+
+A :class:`GitRepository` owns an object store plus the mutable ref
+namespace (branches and tags → commit ids). Ref updates are exactly what
+Git's hash chain does *not* protect, so this is where the §6.1 attacks are
+injected: the server silently rewrites refs while the object store stays
+perfectly valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+from repro.services.git.objects import Commit, ObjectStore
+
+
+@dataclass(frozen=True)
+class RefUpdate:
+    """One ref change as carried in a push (receive-pack command)."""
+
+    branch: str
+    old_cid: str | None
+    new_cid: str | None  # None encodes deletion
+
+    @property
+    def kind(self) -> str:
+        if self.new_cid is None:
+            return "delete"
+        if self.old_cid is None:
+            return "create"
+        return "update"
+
+
+class GitRepository:
+    """One hosted repository: object store + refs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.objects = ObjectStore()
+        self.refs: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Client-side-equivalent operations (commit building)
+    # ------------------------------------------------------------------
+
+    def commit(
+        self,
+        branch: str,
+        message: str,
+        author: str,
+        files: dict[str, bytes],
+    ) -> Commit:
+        """Create a commit on ``branch`` (parent = current tip, if any)."""
+        parent = self.refs.get(branch)
+        commit = self.objects.create_commit(parent, message, author, files)
+        self.refs[branch] = commit.commit_id
+        return commit
+
+    # ------------------------------------------------------------------
+    # Server-side protocol operations
+    # ------------------------------------------------------------------
+
+    def advertise_refs(self) -> list[tuple[str, str]]:
+        """Ref advertisement (upload-pack): sorted (branch, cid) pairs."""
+        return sorted(self.refs.items())
+
+    def apply_push(self, update: RefUpdate) -> None:
+        """Apply one receive-pack command with Git's usual checks."""
+        current = self.refs.get(update.branch)
+        if update.kind == "delete":
+            if current is None:
+                raise ServiceError(f"cannot delete missing ref {update.branch}")
+            if update.old_cid is not None and update.old_cid != current:
+                raise ServiceError(f"stale delete of {update.branch}")
+            del self.refs[update.branch]
+            return
+        assert update.new_cid is not None
+        if not self.objects.has_commit(update.new_cid):
+            raise ServiceError(f"push references unknown commit {update.new_cid}")
+        if update.kind == "update":
+            if current is None:
+                raise ServiceError(f"update of missing ref {update.branch}")
+            if update.old_cid != current:
+                raise ServiceError(f"non-fast-forward push to {update.branch}")
+        elif current is not None:
+            raise ServiceError(f"create of existing ref {update.branch}")
+        self.refs[update.branch] = update.new_cid
+
+    # ------------------------------------------------------------------
+    # Attack injection (§6.1): silent server-side ref corruption
+    # ------------------------------------------------------------------
+
+    def attack_teleport(self, branch: str, foreign_cid: str) -> None:
+        """Point ``branch`` at a commit from a different line of history."""
+        if not self.objects.has_commit(foreign_cid):
+            raise ServiceError("teleport target must exist in the object store")
+        self.refs[branch] = foreign_cid
+
+    def attack_rollback(self, branch: str, steps: int = 1) -> None:
+        """Silently move ``branch`` back ``steps`` commits."""
+        cursor = self.refs.get(branch)
+        if cursor is None:
+            raise ServiceError(f"no such branch {branch}")
+        for _ in range(steps):
+            parent = self.objects.get_commit(cursor).parent_id
+            if parent is None:
+                raise ServiceError("cannot roll back past the root commit")
+            cursor = parent
+        self.refs[branch] = cursor
+
+    def attack_delete_reference(self, branch: str) -> None:
+        """Silently drop a branch/tag from the advertisement."""
+        if branch not in self.refs:
+            raise ServiceError(f"no such branch {branch}")
+        del self.refs[branch]
+
+
+class GitServer:
+    """The hosting service: a collection of repositories."""
+
+    def __init__(self) -> None:
+        self.repositories: dict[str, GitRepository] = {}
+
+    def create_repository(self, name: str) -> GitRepository:
+        if name in self.repositories:
+            raise ServiceError(f"repository {name!r} already exists")
+        repo = GitRepository(name)
+        self.repositories[name] = repo
+        return repo
+
+    def repository(self, name: str) -> GitRepository:
+        repo = self.repositories.get(name)
+        if repo is None:
+            raise ServiceError(f"no such repository {name!r}")
+        return repo

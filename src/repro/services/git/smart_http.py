@@ -1,0 +1,101 @@
+"""Git's smart-HTTP protocol surface.
+
+Two endpoints, matching real Git-over-HTTP:
+
+- ``GET /{repo}/info/refs?service=git-upload-pack`` — ref advertisement;
+  response body: one ``<cid> <branch>`` line per ref;
+- ``POST /{repo}/git-receive-pack`` — push; request body: one
+  ``<old> <new> <branch>`` command line per ref update (``0``*40 encodes
+  "absent", as in the real protocol).
+
+The LibSEAL Git SSM parses exactly these messages (§5.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServiceError
+from repro.http import HttpRequest, HttpResponse
+from repro.services.git.repo import GitServer, RefUpdate
+
+ZERO_ID = "0" * 40
+
+
+def encode_ref_advertisement(refs: list[tuple[str, str]]) -> bytes:
+    return "".join(f"{cid} {branch}\n" for branch, cid in refs).encode()
+
+
+def decode_ref_advertisement(body: bytes) -> list[tuple[str, str]]:
+    refs = []
+    for line in body.decode().splitlines():
+        cid, _, branch = line.partition(" ")
+        if not branch:
+            raise ServiceError(f"malformed advertisement line {line!r}")
+        refs.append((branch, cid))
+    return refs
+
+
+def encode_push(updates: list[RefUpdate]) -> bytes:
+    lines = []
+    for update in updates:
+        old = update.old_cid or ZERO_ID
+        new = update.new_cid or ZERO_ID
+        lines.append(f"{old} {new} {update.branch}\n")
+    return "".join(lines).encode()
+
+
+def decode_push(body: bytes) -> list[RefUpdate]:
+    updates = []
+    for line in body.decode().splitlines():
+        parts = line.split(" ", 2)
+        if len(parts) != 3:
+            raise ServiceError(f"malformed push command {line!r}")
+        old, new, branch = parts
+        updates.append(
+            RefUpdate(
+                branch=branch,
+                old_cid=None if old == ZERO_ID else old,
+                new_cid=None if new == ZERO_ID else new,
+            )
+        )
+    return updates
+
+
+class GitHttpService:
+    """HTTP request handler wrapping a :class:`GitServer`."""
+
+    def __init__(self, server: GitServer | None = None):
+        self.server = server if server is not None else GitServer()
+        self.requests_served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        try:
+            return self._route(request)
+        except ServiceError as exc:
+            return HttpResponse(400, body=str(exc).encode())
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        path, _, query = request.path.partition("?")
+        segments = [s for s in path.split("/") if s]
+        if len(segments) >= 2 and segments[-2:] == ["info", "refs"]:
+            if "service=git-upload-pack" not in query:
+                return HttpResponse(400, body=b"unsupported service")
+            repo_name = "/".join(segments[:-2])
+            repo = self.server.repository(repo_name)
+            body = encode_ref_advertisement(repo.advertise_refs())
+            response = HttpResponse(200, body=body)
+            response.headers.set(
+                "Content-Type", "application/x-git-upload-pack-advertisement"
+            )
+            return response
+        if request.method == "POST" and segments and segments[-1] == "git-receive-pack":
+            repo_name = "/".join(segments[:-1])
+            repo = self.server.repository(repo_name)
+            for update in decode_push(request.body):
+                repo.apply_push(update)
+            response = HttpResponse(200, body=b"unpack ok\n")
+            response.headers.set(
+                "Content-Type", "application/x-git-receive-pack-result"
+            )
+            return response
+        return HttpResponse(404, body=b"unknown git endpoint")

@@ -1,0 +1,9 @@
+"""A channel-based messaging service (the §2.2 communication scenario)."""
+
+from repro.services.messaging.server import (
+    Message,
+    MessagingHttpService,
+    MessagingServer,
+)
+
+__all__ = ["Message", "MessagingHttpService", "MessagingServer"]

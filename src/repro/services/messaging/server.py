@@ -1,0 +1,173 @@
+"""A Slack/XMPP-style messaging service with attack injection.
+
+§2.2 names communication services as a LibSEAL scenario: "faults or bugs
+may compromise message integrity, e.g. causing messages to be dropped,
+modified or delivered to the wrong recipients". This service exhibits all
+three failure classes.
+
+Model: named channels with member lists; members post messages (the
+server assigns a per-channel sequence number) and fetch messages since a
+sequence number. HTTP/JSON surface (so the standard LibSEAL HTTP logger
+applies, as for ownCloud):
+
+- ``POST /channels/{ch}/post``  ``{"sender": s, "text": t}`` →
+  ``{"seq": n}``
+- ``GET  /channels/{ch}/fetch?member=m&since=k`` →
+  ``{"messages": [{"seq", "sender", "text"}...], "head_seq": n}``
+- ``POST /channels/{ch}/join``  ``{"member": m}`` → ``{"head_seq": n}``
+
+Attacks: drop a message, rewrite its text before delivery, or leak it to
+a non-member (wrong recipient).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.http import HttpRequest, HttpResponse
+
+
+@dataclass(frozen=True)
+class Message:
+    seq: int
+    sender: str
+    text: str
+
+    def encode(self) -> dict:
+        return {"seq": self.seq, "sender": self.sender, "text": self.text}
+
+
+@dataclass
+class Channel:
+    name: str
+    members: set[str] = field(default_factory=set)
+    messages: list[Message] = field(default_factory=list)
+    _next_seq: int = 1
+
+    def post(self, sender: str, text: str) -> Message:
+        if sender not in self.members:
+            raise ServiceError(f"{sender!r} is not a member of {self.name!r}")
+        message = Message(self._next_seq, sender, text)
+        self._next_seq += 1
+        self.messages.append(message)
+        return message
+
+    def since(self, seq: int) -> list[Message]:
+        return [m for m in self.messages if m.seq > seq]
+
+    @property
+    def head_seq(self) -> int:
+        return self._next_seq - 1
+
+
+class MessagingServer:
+    """Channels, members and the attack switches."""
+
+    def __init__(self) -> None:
+        self.channels: dict[str, Channel] = {}
+        self._dropped: set[tuple[str, int]] = set()
+        self._rewritten: dict[tuple[str, int], str] = {}
+        self._leak_to: dict[str, set[str]] = {}
+
+    def channel(self, name: str) -> Channel:
+        if name not in self.channels:
+            self.channels[name] = Channel(name)
+        return self.channels[name]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def join(self, channel: str, member: str) -> int:
+        chan = self.channel(channel)
+        chan.members.add(member)
+        return chan.head_seq
+
+    def post(self, channel: str, sender: str, text: str) -> Message:
+        return self.channel(channel).post(sender, text)
+
+    def fetch(self, channel: str, member: str, since: int) -> list[Message]:
+        chan = self.channel(channel)
+        leaked = member in self._leak_to.get(channel, set())
+        if member not in chan.members and not leaked:
+            raise ServiceError(f"{member!r} is not a member of {channel!r}")
+        delivered = []
+        for message in chan.since(since):
+            key = (channel, message.seq)
+            if key in self._dropped:
+                continue  # ATTACK: silently dropped
+            if key in self._rewritten:
+                message = Message(
+                    message.seq, message.sender, self._rewritten[key]
+                )  # ATTACK: modified in transit
+            delivered.append(message)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Attack injection (§2.2's three failure classes)
+    # ------------------------------------------------------------------
+
+    def attack_drop_message(self, channel: str, seq: int) -> None:
+        self._dropped.add((channel, seq))
+
+    def attack_rewrite_message(self, channel: str, seq: int, text: str) -> None:
+        self._rewritten[(channel, seq)] = text
+
+    def attack_leak_channel(self, channel: str, outsider: str) -> None:
+        """Deliver the channel to a non-member (wrong recipient)."""
+        self._leak_to.setdefault(channel, set()).add(outsider)
+
+
+class MessagingHttpService:
+    """HTTP front-end for :class:`MessagingServer`."""
+
+    def __init__(self, server: MessagingServer | None = None):
+        self.server = server if server is not None else MessagingServer()
+        self.requests_served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        try:
+            return self._route(request)
+        except ServiceError as exc:
+            return HttpResponse(403, body=str(exc).encode())
+        except (ValueError, KeyError) as exc:
+            return HttpResponse(400, body=f"bad request: {exc}".encode())
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        path, _, query = request.path.partition("?")
+        segments = [s for s in path.split("/") if s]
+        if len(segments) != 3 or segments[0] != "channels":
+            return HttpResponse(404, body=b"unknown messaging endpoint")
+        channel, action = segments[1], segments[2]
+        if request.method == "POST" and action == "join":
+            body = json.loads(request.body.decode())
+            head = self.server.join(channel, body["member"])
+            return self._json({"head_seq": head})
+        if request.method == "POST" and action == "post":
+            body = json.loads(request.body.decode())
+            message = self.server.post(channel, body["sender"], body["text"])
+            return self._json({"seq": message.seq})
+        if request.method == "GET" and action == "fetch":
+            params = dict(
+                pair.split("=", 1) for pair in query.split("&") if "=" in pair
+            )
+            member = params.get("member", "")
+            since = int(params.get("since", "0"))
+            messages = self.server.fetch(channel, member, since)
+            return self._json(
+                {
+                    "member": member,
+                    "messages": [m.encode() for m in messages],
+                    "head_seq": self.server.channel(channel).head_seq,
+                }
+            )
+        return HttpResponse(404, body=b"unknown messaging action")
+
+    @staticmethod
+    def _json(payload: dict) -> HttpResponse:
+        response = HttpResponse(200, body=json.dumps(payload).encode())
+        response.headers.set("Content-Type", "application/json")
+        return response

@@ -1,0 +1,6 @@
+"""The ownCloud Documents collaborative editing service."""
+
+from repro.services.owncloud.document import Document, EditOp
+from repro.services.owncloud.server import OwnCloudHttpService, OwnCloudServer
+
+__all__ = ["Document", "EditOp", "OwnCloudHttpService", "OwnCloudServer"]

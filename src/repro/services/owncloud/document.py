@@ -1,0 +1,117 @@
+"""Collaborative documents: snapshots plus ordered operation history.
+
+The paper's model (§6.2): a document is a snapshot and an ordered list of
+updates; the server decides the global order; a client leaving a session
+posts a fresh snapshot; joining clients receive the latest snapshot plus
+all subsequent updates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One text edit: insert or delete at a position."""
+
+    kind: str  # 'insert' | 'delete'
+    position: int
+    text: str = ""  # inserted text
+    length: int = 0  # deletion length
+
+    def apply(self, content: str) -> str:
+        if not 0 <= self.position <= len(content):
+            raise ServiceError(
+                f"op position {self.position} outside document of "
+                f"length {len(content)}"
+            )
+        if self.kind == "insert":
+            return content[: self.position] + self.text + content[self.position :]
+        if self.kind == "delete":
+            if self.position + self.length > len(content):
+                raise ServiceError("delete range exceeds document length")
+            return content[: self.position] + content[self.position + self.length :]
+        raise ServiceError(f"unknown op kind {self.kind!r}")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "op": self.kind,
+                "pos": self.position,
+                "text": self.text,
+                "len": self.length,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EditOp":
+        try:
+            doc = json.loads(payload)
+            return cls(
+                kind=doc["op"],
+                position=doc["pos"],
+                text=doc.get("text", ""),
+                length=doc.get("len", 0),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ServiceError(f"malformed edit op: {payload!r}") from exc
+
+
+@dataclass(frozen=True)
+class SequencedOp:
+    """An op with its server-assigned global sequence number and author."""
+
+    seq: int
+    member: str
+    op: EditOp
+
+
+class Document:
+    """Server-side state of one collaborative document."""
+
+    def __init__(self, doc_id: str, initial_content: str = ""):
+        self.doc_id = doc_id
+        self.snapshot_text = initial_content
+        self.snapshot_seq = 0
+        self.ops: list[SequencedOp] = []
+        self._next_seq = 1
+
+    @property
+    def head_seq(self) -> int:
+        return self.ops[-1].seq if self.ops else self.snapshot_seq
+
+    def append_op(self, member: str, op: EditOp) -> SequencedOp:
+        """Assign the next global sequence number to ``op``."""
+        sequenced = SequencedOp(self._next_seq, member, op)
+        self._next_seq += 1
+        self.ops.append(sequenced)
+        return sequenced
+
+    def ops_after(self, seq: int) -> list[SequencedOp]:
+        return [s for s in self.ops if s.seq > seq]
+
+    def current_text(self) -> str:
+        """Materialise the document: snapshot + ops after the snapshot."""
+        content = self.snapshot_text
+        for sequenced in self.ops:
+            if sequenced.seq > self.snapshot_seq:
+                content = sequenced.op.apply(content)
+        return content
+
+    def install_snapshot(self, text: str, seq: int) -> None:
+        """Adopt a client-provided snapshot covering ops up to ``seq``.
+
+        Older ops are *retained*: members still in the session may not
+        have received them yet, and dropping them would lose their edits
+        (the very violation LibSEAL exists to catch). ``ops_after``
+        continues to serve laggards; joiners start from the snapshot.
+        """
+        if seq < self.snapshot_seq:
+            raise ServiceError("snapshot older than the current one")
+        self.snapshot_text = text
+        self.snapshot_seq = seq

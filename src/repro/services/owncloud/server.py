@@ -1,0 +1,166 @@
+"""The ownCloud Documents HTTP service, with attack injection.
+
+Protocol (JSON bodies, modelled on ownCloud Documents' sync messages):
+
+- ``POST /documents/{doc}/join``  ``{"member": m}`` →
+  ``{"snapshot": text, "snapshot_seq": n, "ops": [...]}``
+- ``POST /documents/{doc}/sync``  ``{"member": m, "seq": last_seen,
+  "ops": [op...]}`` → ``{"ops": [ops since last_seen by others],
+  "head_seq": n}``
+- ``POST /documents/{doc}/leave`` ``{"member": m, "snapshot": text,
+  "seq": n}`` → ``{}``
+
+Attacks (§6.1 "lost document edits", inconsistent snapshots): the server
+can silently drop queued updates, serve stale snapshots to joiners, or
+corrupt an edit before redistribution.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServiceError
+from repro.http import HttpRequest, HttpResponse
+from repro.services.owncloud.document import Document, EditOp, SequencedOp
+
+
+class OwnCloudServer:
+    """State: documents plus attack switches."""
+
+    def __init__(self) -> None:
+        self.documents: dict[str, Document] = {}
+        # Attack switches.
+        self._drop_seqs: dict[str, set[int]] = {}
+        self._serve_stale_snapshot: dict[str, tuple[str, int]] = {}
+        self._corrupt_seqs: dict[str, set[int]] = {}
+
+    def document(self, doc_id: str) -> Document:
+        if doc_id not in self.documents:
+            self.documents[doc_id] = Document(doc_id)
+        return self.documents[doc_id]
+
+    # ------------------------------------------------------------------
+    # Protocol operations
+    # ------------------------------------------------------------------
+
+    def join(self, doc_id: str, member: str) -> dict:
+        doc = self.document(doc_id)
+        snapshot_text, snapshot_seq = doc.snapshot_text, doc.snapshot_seq
+        stale = self._serve_stale_snapshot.get(doc_id)
+        if stale is not None:
+            snapshot_text, snapshot_seq = stale  # ATTACK: stale snapshot
+        ops = doc.ops_after(snapshot_seq)
+        return {
+            "snapshot": snapshot_text,
+            "snapshot_seq": snapshot_seq,
+            "ops": [self._encode_op(doc_id, s) for s in self._filter(doc_id, ops)],
+        }
+
+    def sync(
+        self, doc_id: str, member: str, last_seen: int, ops: list[EditOp]
+    ) -> tuple[list[SequencedOp], list[SequencedOp], int]:
+        """Returns (accepted client ops, ops to deliver, head seq)."""
+        doc = self.document(doc_id)
+        accepted = [doc.append_op(member, op) for op in ops]
+        deliver = [
+            s
+            for s in self._filter(doc_id, doc.ops_after(last_seen))
+            if s.member != member
+        ]
+        return accepted, deliver, doc.head_seq
+
+    def leave(self, doc_id: str, member: str, snapshot: str, seq: int) -> None:
+        self.document(doc_id).install_snapshot(snapshot, seq)
+
+    # ------------------------------------------------------------------
+    # Attack injection
+    # ------------------------------------------------------------------
+
+    def attack_drop_update(self, doc_id: str, seq: int) -> None:
+        """Never deliver op ``seq`` to other clients (lost edit)."""
+        self._drop_seqs.setdefault(doc_id, set()).add(seq)
+
+    def attack_stale_snapshot(self, doc_id: str) -> None:
+        """Serve joiners the *current* snapshot forever, even as it moves."""
+        doc = self.document(doc_id)
+        self._serve_stale_snapshot[doc_id] = (doc.snapshot_text, doc.snapshot_seq)
+
+    def attack_corrupt_update(self, doc_id: str, seq: int) -> None:
+        """Deliver op ``seq`` with corrupted text."""
+        self._corrupt_seqs.setdefault(doc_id, set()).add(seq)
+
+    def _filter(self, doc_id: str, ops: list[SequencedOp]) -> list[SequencedOp]:
+        dropped = self._drop_seqs.get(doc_id, set())
+        corrupt = self._corrupt_seqs.get(doc_id, set())
+        result = []
+        for sequenced in ops:
+            if sequenced.seq in dropped:
+                continue
+            if sequenced.seq in corrupt:
+                bad_op = EditOp(
+                    kind=sequenced.op.kind,
+                    position=sequenced.op.position,
+                    text="~CORRUPTED~" if sequenced.op.kind == "insert" else "",
+                    length=sequenced.op.length,
+                )
+                result.append(SequencedOp(sequenced.seq, sequenced.member, bad_op))
+                continue
+            result.append(sequenced)
+        return result
+
+    @staticmethod
+    def _encode_op(doc_id: str, sequenced: SequencedOp) -> dict:
+        return {
+            "seq": sequenced.seq,
+            "member": sequenced.member,
+            "payload": sequenced.op.to_json(),
+        }
+
+
+class OwnCloudHttpService:
+    """HTTP front-end for :class:`OwnCloudServer` (the PHP layer)."""
+
+    def __init__(self, server: OwnCloudServer | None = None):
+        self.server = server if server is not None else OwnCloudServer()
+        self.requests_served = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        try:
+            return self._route(request)
+        except ServiceError as exc:
+            return HttpResponse(400, body=str(exc).encode())
+        except (ValueError, KeyError) as exc:
+            return HttpResponse(400, body=f"bad request: {exc}".encode())
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        segments = [s for s in request.path.split("/") if s]
+        if len(segments) != 3 or segments[0] != "documents":
+            return HttpResponse(404, body=b"unknown owncloud endpoint")
+        doc_id, action = segments[1], segments[2]
+        body = json.loads(request.body.decode()) if request.body else {}
+        if action == "join":
+            reply = self.server.join(doc_id, body["member"])
+            return self._json(reply)
+        if action == "sync":
+            ops = [EditOp.from_json(json.dumps(o)) for o in body.get("ops", [])]
+            accepted, deliver, head_seq = self.server.sync(
+                doc_id, body["member"], body.get("seq", 0), ops
+            )
+            return self._json(
+                {
+                    "accepted": [s.seq for s in accepted],
+                    "ops": [OwnCloudServer._encode_op(doc_id, s) for s in deliver],
+                    "head_seq": head_seq,
+                }
+            )
+        if action == "leave":
+            self.server.leave(doc_id, body["member"], body["snapshot"], body["seq"])
+            return self._json({})
+        return HttpResponse(404, body=b"unknown owncloud action")
+
+    @staticmethod
+    def _json(payload: dict) -> HttpResponse:
+        response = HttpResponse(200, body=json.dumps(payload).encode())
+        response.headers.set("Content-Type", "application/json")
+        return response

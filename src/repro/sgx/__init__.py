@@ -1,0 +1,44 @@
+"""Simulated Intel SGX trusted execution environment.
+
+The paper's root of trust is an SGX enclave (§2.5). Python cannot execute
+inside real SGX, so this package provides a *simulated* TEE with the same
+interface, isolation rules, failure modes and cost behaviour:
+
+- :mod:`repro.sgx.enclave` — enclave lifecycle, measurement (MRENCLAVE),
+  protected memory objects that untrusted code cannot touch, EPC size
+  accounting with paging penalties.
+- :mod:`repro.sgx.interface` — the ecall/ocall boundary: an explicit
+  registry (like an SGX SDK EDL file), inside/outside execution contexts,
+  transition counting and cycle accounting (8,400-cycle transitions that
+  degrade under thread contention, §4.2/§6.8).
+- :mod:`repro.sgx.sealing` — sealing keyed to MRENCLAVE or MRSIGNER, so
+  sealed data survives restarts and can migrate between enclaves of the
+  same signing authority (§6.3 "log privacy").
+- :mod:`repro.sgx.counters` — SGX monotonic counters with the poor
+  latency and limited lifespan the paper cites as motivation for ROTE.
+- :mod:`repro.sgx.attestation` — quoting enclave + attestation service,
+  used to provision the TLS private key into the enclave (§6.3
+  "bypassing logging").
+"""
+
+from repro.sgx.attestation import AttestationService, Quote, QuotingEnclave
+from repro.sgx.counters import SgxMonotonicCounter
+from repro.sgx.enclave import Enclave, EnclaveConfig, EnclaveObject
+from repro.sgx.interface import EnclaveInterface, TransitionStats, transition_cost_cycles
+from repro.sgx.sealing import KeyPolicy, SealedBlob, SigningAuthority
+
+__all__ = [
+    "AttestationService",
+    "Quote",
+    "QuotingEnclave",
+    "SgxMonotonicCounter",
+    "Enclave",
+    "EnclaveConfig",
+    "EnclaveObject",
+    "EnclaveInterface",
+    "TransitionStats",
+    "transition_cost_cycles",
+    "KeyPolicy",
+    "SealedBlob",
+    "SigningAuthority",
+]

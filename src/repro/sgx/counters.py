@@ -1,0 +1,54 @@
+"""SGX hardware monotonic counters.
+
+The paper dismisses them for per-request use: they are slow (tens to
+hundreds of milliseconds per increment, backed by flash in the Management
+Engine) and wear out (limited write endurance) — which motivates the ROTE
+distributed counter protocol (§5.1). This model reproduces both failure
+modes so the ROTE-vs-SGX-counter trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EnclaveError
+
+SGX_COUNTER_INCREMENT_LATENCY_MS = 100.0  # typical ME flash write latency
+SGX_COUNTER_READ_LATENCY_MS = 60.0
+SGX_COUNTER_WEAR_LIMIT = 1_000_000  # increments before the counter dies
+
+
+class SgxMonotonicCounter:
+    """A hardware monotonic counter with latency cost and wear-out."""
+
+    def __init__(self, wear_limit: int = SGX_COUNTER_WEAR_LIMIT):
+        self._value = 0
+        self._writes = 0
+        self._wear_limit = wear_limit
+        self.total_latency_ms = 0.0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def writes(self) -> int:
+        return self._writes
+
+    @property
+    def worn_out(self) -> bool:
+        return self._writes >= self._wear_limit
+
+    def read(self) -> int:
+        """Read the counter (charged read latency)."""
+        self.total_latency_ms += SGX_COUNTER_READ_LATENCY_MS
+        return self._value
+
+    def increment(self) -> int:
+        """Increment and return the new value; fails once worn out."""
+        if self.worn_out:
+            raise EnclaveError(
+                "SGX monotonic counter exhausted its write endurance"
+            )
+        self._writes += 1
+        self._value += 1
+        self.total_latency_ms += SGX_COUNTER_INCREMENT_LATENCY_MS
+        return self._value

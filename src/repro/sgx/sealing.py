@@ -1,0 +1,130 @@
+"""SGX sealing: persisting enclave secrets to untrusted storage.
+
+Sealing encrypts data under a key derived inside the CPU from the enclave's
+identity (§2.5). Two key policies exist:
+
+- ``MRENCLAVE``: only the *exact same* enclave can unseal;
+- ``MRSIGNER``: any enclave signed by the same authority can unseal — the
+  policy LibSEAL uses so a sealed audit log can move across machines and
+  enclave versions (§6.3).
+
+The simulation derives sealing keys from a per-authority root secret (the
+stand-in for the fused CPU key) plus the relevant measurement, then seals
+with the AEAD. Tampering with a sealed blob or unsealing with the wrong
+identity raises :class:`~repro.errors.SealingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.aead import AEAD, AEADKey, NONCE_LEN
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.crypto.hashing import hkdf, sha256
+from repro.errors import IntegrityError, SealingError
+from repro.sgx.enclave import Enclave
+
+
+class KeyPolicy(Enum):
+    MRENCLAVE = "mrenclave"
+    MRSIGNER = "mrsigner"
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """A sealed payload as stored on untrusted media."""
+
+    policy: KeyPolicy
+    key_id: bytes  # measurement the sealing key was derived from
+    nonce: bytes
+    ciphertext: bytes  # AEAD ciphertext || tag
+
+    def encode(self) -> bytes:
+        policy_byte = b"\x01" if self.policy is KeyPolicy.MRENCLAVE else b"\x02"
+        return policy_byte + self.key_id + self.nonce + self.ciphertext
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SealedBlob":
+        if len(data) < 1 + 32 + NONCE_LEN:
+            raise SealingError("sealed blob too short")
+        policy = KeyPolicy.MRENCLAVE if data[0] == 1 else KeyPolicy.MRSIGNER
+        key_id = data[1:33]
+        nonce = data[33 : 33 + NONCE_LEN]
+        return cls(policy, key_id, nonce, data[33 + NONCE_LEN :])
+
+
+class SigningAuthority:
+    """The enclave signing authority — the trust anchor for MRSIGNER sealing.
+
+    Holds (a) the authority's code-signing ECDSA key and (b) the root
+    secret standing in for the CPU's fused sealing key. One authority
+    instance is shared by all enclaves it "signed".
+    """
+
+    def __init__(self, name: str, seed: bytes | None = None):
+        self.name = name
+        drbg = HmacDrbg(seed=seed if seed is not None else sha256(name.encode()))
+        self.signing_key = EcdsaPrivateKey.generate(drbg)
+        self._root_secret = drbg.generate(32)
+        self._nonce_counter = 0
+
+    def _sealing_key(self, key_id: bytes) -> AEADKey:
+        material = hkdf(self._root_secret, info=b"sgx-seal" + key_id, length=32)
+        return AEADKey.derive(material)
+
+    def _next_nonce(self) -> bytes:
+        self._nonce_counter += 1
+        return self._nonce_counter.to_bytes(NONCE_LEN, "big")
+
+    # ------------------------------------------------------------------
+    # Seal / unseal (must run inside the enclave)
+    # ------------------------------------------------------------------
+
+    def seal(
+        self,
+        enclave: Enclave,
+        plaintext: bytes,
+        policy: KeyPolicy = KeyPolicy.MRSIGNER,
+        associated_data: bytes = b"",
+    ) -> SealedBlob:
+        """Seal ``plaintext`` for ``enclave`` under ``policy``."""
+        enclave.require_inside("seal data")
+        self._check_authority(enclave)
+        key_id = (
+            enclave.measurement()
+            if policy is KeyPolicy.MRENCLAVE
+            else enclave.signer_measurement()
+        )
+        nonce = self._next_nonce()
+        aead = AEAD(self._sealing_key(key_id))
+        return SealedBlob(policy, key_id, nonce, aead.seal(nonce, plaintext, associated_data))
+
+    def unseal(
+        self, enclave: Enclave, blob: SealedBlob, associated_data: bytes = b""
+    ) -> bytes:
+        """Unseal ``blob``; fails for foreign enclaves or tampered data."""
+        enclave.require_inside("unseal data")
+        self._check_authority(enclave)
+        expected_id = (
+            enclave.measurement()
+            if blob.policy is KeyPolicy.MRENCLAVE
+            else enclave.signer_measurement()
+        )
+        if blob.key_id != expected_id:
+            raise SealingError(
+                "sealed blob was created for a different enclave identity"
+            )
+        aead = AEAD(self._sealing_key(blob.key_id))
+        try:
+            return aead.open(blob.nonce, blob.ciphertext, associated_data)
+        except IntegrityError as exc:
+            raise SealingError(f"sealed blob failed authentication: {exc}") from exc
+
+    def _check_authority(self, enclave: Enclave) -> None:
+        if enclave.config.signer_name != self.name:
+            raise SealingError(
+                f"enclave signed by {enclave.config.signer_name!r}, "
+                f"not by this authority ({self.name!r})"
+            )

@@ -1,0 +1,136 @@
+"""The discrete-event engine: an event heap plus generator processes.
+
+A *process* is a generator that yields requests to the simulator:
+
+- a ``float`` — sleep for that many simulated seconds;
+- a :class:`Waiter` — park until someone calls :meth:`Waiter.wake`;
+- another generator — run it as a sub-process to completion
+  (``yield from`` also works and is preferred inside library code).
+
+This is a minimal SimPy-like kernel; resources are built on top of
+:class:`Waiter` in :mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterator
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Waiter:
+    """A one-shot wake-up point for a parked process."""
+
+    __slots__ = ("_sim", "_process", "value", "woken")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._process: "Process | None" = None
+        self.value: Any = None
+        self.woken = False
+
+    def wake(self, value: Any = None) -> None:
+        if self.woken:
+            return
+        self.woken = True
+        self.value = value
+        if self._process is not None:
+            self._sim._schedule_step(self._process, value)
+
+
+class Process:
+    """One running process: a stack of generators."""
+
+    __slots__ = ("stack", "alive", "name")
+
+    def __init__(self, generator: ProcessGen, name: str = ""):
+        self.stack: list[ProcessGen] = [generator]
+        self.alive = True
+        self.name = name
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator: ProcessGen, name: str = "") -> Process:
+        """Start a new process; it runs from the current time."""
+        process = Process(generator, name)
+        self._schedule_step(process, None)
+        return process
+
+    def waiter(self) -> Waiter:
+        return Waiter(self)
+
+    def run_until(self, t_end: float) -> None:
+        """Process events until the clock passes ``t_end``."""
+        while self._heap and self._heap[0][0] <= t_end:
+            self.now, _, process, value = heapq.heappop(self._heap)
+            self.events_processed += 1
+            self._step(process, value)
+        self.now = max(self.now, t_end)
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        """Process every scheduled event (bounded against livelock)."""
+        processed = 0
+        while self._heap:
+            self.now, _, process, value = heapq.heappop(self._heap)
+            self.events_processed += 1
+            self._step(process, value)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("simulation exceeded the event budget")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _schedule_step(self, process: Process, value: Any, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, process, value))
+
+    def _step(self, process: Process, send_value: Any) -> None:
+        if not process.alive:
+            return
+        while True:
+            generator = process.stack[-1]
+            try:
+                yielded = generator.send(send_value)
+            except StopIteration as stop:
+                process.stack.pop()
+                if not process.stack:
+                    process.alive = False
+                    return
+                send_value = stop.value
+                continue
+            # Dispatch on what the process asked for.
+            if isinstance(yielded, (int, float)):
+                if yielded < 0:
+                    raise SimulationError("cannot sleep a negative duration")
+                self._schedule_step(process, None, delay=float(yielded))
+                return
+            if isinstance(yielded, Waiter):
+                if yielded.woken:
+                    send_value = yielded.value
+                    continue
+                yielded._process = process
+                return
+            if isinstance(yielded, Iterator):
+                process.stack.append(yielded)  # sub-process
+                send_value = None
+                continue
+            raise SimulationError(
+                f"process yielded unsupported value {yielded!r}"
+            )

@@ -1,0 +1,54 @@
+"""Measurement collectors for simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Collects request latencies; reports percentiles after warm-up."""
+
+    warmup: int = 0
+    samples: list[float] = field(default_factory=list)
+    _seen: int = 0
+
+    def record(self, latency_s: float) -> None:
+        self._seen += 1
+        if self._seen > self.warmup:
+            self.samples.append(latency_s)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, math.ceil(p / 100 * len(ordered)) - 1))
+        return ordered[index]
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts completions inside a measurement window."""
+
+    window_start: float = 0.0
+    window_end: float = 0.0
+    completed: int = 0
+
+    def record(self, now: float) -> None:
+        if self.window_start <= now <= self.window_end or self.window_end == 0.0:
+            self.completed += 1
+
+    def throughput(self) -> float:
+        span = self.window_end - self.window_start
+        return self.completed / span if span > 0 else 0.0

@@ -1,0 +1,34 @@
+"""Service-specific modules (SSMs, §5.1).
+
+An SSM teaches LibSEAL one service's protocol: it declares the relational
+log schema, parses request/response pairs to extract auditable tuples, and
+supplies the invariant SQL and trimming queries. The paper sizes these at
+250-400 lines of C++ each; the interface here is their Python equivalent:
+
+- :class:`~repro.ssm.base.ServiceSpecificModule` — the SSM API
+  (``libseal_log``-shaped entry point, schema, invariants, trimming);
+- :mod:`repro.ssm.git` — teleport / rollback / reference-deletion
+  detection with the paper's verbatim SQL (§3.1, §5.1, §6.2);
+- :mod:`repro.ssm.owncloud` — snapshot consistency and update-history
+  prefix invariants (§6.2; SQL reconstructed from the paper's prose);
+- :mod:`repro.ssm.dropbox` — file-list completeness and blocklist
+  soundness invariants (§6.2; SQL reconstructed from the paper's prose);
+- :mod:`repro.ssm.messaging` — an *additional* SSM for the §2.2
+  communication-service scenario (dropped / modified / misdelivered
+  messages), demonstrating how new services are onboarded.
+"""
+
+from repro.ssm.base import LogEmitter, ServiceSpecificModule
+from repro.ssm.dropbox import DropboxSSM
+from repro.ssm.git import GitSSM
+from repro.ssm.messaging import MessagingSSM
+from repro.ssm.owncloud import OwnCloudSSM
+
+__all__ = [
+    "LogEmitter",
+    "ServiceSpecificModule",
+    "DropboxSSM",
+    "GitSSM",
+    "MessagingSSM",
+    "OwnCloudSSM",
+]

@@ -1,0 +1,84 @@
+"""The SSM interface.
+
+The paper's C API is::
+
+    void libseal_log(char *req, char *rsp, size_t req_len, size_t rsp_len,
+                     void (*cb)(char *));
+
+i.e. the SSM receives one request/response pair and emits zero or more
+tuples through a callback. :meth:`ServiceSpecificModule.log` is the typed
+equivalent: parsed HTTP messages in, tuples out through a
+:class:`LogEmitter`. ``libseal_log`` is also provided verbatim for byte
+interfaces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.errors import HTTPError
+from repro.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.sealdb.table import SqlValue
+
+LogEmitter = Callable[[str, Sequence[SqlValue]], None]
+
+
+class ServiceSpecificModule(ABC):
+    """One service's auditing logic."""
+
+    #: Short service identifier, e.g. ``"git"``.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def schema_sql(self) -> str:
+        """``CREATE TABLE``/``CREATE VIEW`` script for the audit relations."""
+
+    @property
+    @abstractmethod
+    def invariants(self) -> dict[str, str]:
+        """Named invariant queries. Each SELECT returns *violations*:
+        an empty result set means the invariant holds (§5.2)."""
+
+    @property
+    @abstractmethod
+    def trimming_queries(self) -> list[str]:
+        """DELETE statements that discard entries no longer needed (§5.1)."""
+
+    @abstractmethod
+    def log(
+        self,
+        request: HttpRequest,
+        response: HttpResponse,
+        emit: LogEmitter,
+        time: int,
+    ) -> None:
+        """Extract auditable tuples from one request/response pair.
+
+        ``time`` is the logical timestamp maintained in the enclave; all
+        tuples emitted for one pair share it.
+        """
+
+    # ------------------------------------------------------------------
+    # The paper's byte-level entry point
+    # ------------------------------------------------------------------
+
+    def libseal_log(
+        self,
+        req: bytes,
+        rsp: bytes,
+        emit: LogEmitter,
+        time: int,
+    ) -> None:
+        """Parse raw request/response bytes and delegate to :meth:`log`.
+
+        Unparsable traffic is skipped (non-HTTP connections carry nothing
+        auditable for HTTP-based SSMs).
+        """
+        try:
+            request = parse_request(req)
+            response = parse_response(rsp)
+        except HTTPError:
+            return
+        self.log(request, response, emit, time)

@@ -1,0 +1,142 @@
+"""The Dropbox SSM.
+
+Log schema from §6.2 (verbatim relations, plus one reconstruction)::
+
+    commit_batch(time, file, blocks, account, host, size)
+    list(time, file, blocks, account, host, size)
+
+``blocks`` holds the 64-character hash of the file's blocklist — the paper
+stores "a 64 byte hash for each file blocklist" (§6.5). We additionally
+record ``list_requests(time, account, host)``, one row per list request,
+so that a *fully empty* (maliciously truncated) listing is still visible
+to the completeness invariant; the paper's TR presumably handles this
+similarly but is not available.
+
+Invariants (§6.2 prose → SQL):
+
+1. *list completeness* — "each file update or deletion is reported to
+   clients when they request an updated file list": any live file missing
+   from a listing is a violation;
+2. *blocklist soundness* — "the blocklist returned by the server must
+   correspond to the blocklist most recently uploaded by the client";
+3. *deletion soundness* — a file whose latest commit is a deletion must
+   not appear in a listing (catches resurrection).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.crypto.hashing import sha256_hex
+from repro.http import HttpRequest, HttpResponse
+from repro.ssm.base import LogEmitter, ServiceSpecificModule
+
+DROPBOX_SCHEMA = """
+CREATE TABLE commit_batch(
+    time INTEGER, file TEXT, blocks TEXT, account TEXT, host TEXT, size INTEGER
+);
+CREATE TABLE list(
+    time INTEGER, file TEXT, blocks TEXT, account TEXT, host TEXT, size INTEGER
+);
+CREATE TABLE list_requests(time INTEGER, account TEXT, host TEXT);
+"""
+
+LIST_COMPLETENESS = """
+SELECT r.time, c.file FROM list_requests r
+JOIN commit_batch c ON c.account = r.account AND c.time < r.time
+WHERE c.size != -1
+  AND c.time = (SELECT MAX(time) FROM commit_batch
+                WHERE file = c.file AND account = c.account
+                AND time < r.time)
+  AND NOT EXISTS (SELECT 1 FROM list l WHERE l.time = r.time
+                  AND l.account = r.account AND l.file = c.file)
+"""
+
+BLOCKLIST_SOUNDNESS = """
+SELECT l.time, l.file FROM list l WHERE l.blocks != (
+  SELECT c.blocks FROM commit_batch c
+  WHERE c.file = l.file AND c.account = l.account AND c.time < l.time
+  ORDER BY c.time DESC LIMIT 1)
+"""
+
+DELETION_SOUNDNESS = """
+SELECT l.time, l.file FROM list l WHERE -1 = (
+  SELECT c.size FROM commit_batch c
+  WHERE c.file = l.file AND c.account = l.account AND c.time < l.time
+  ORDER BY c.time DESC LIMIT 1)
+"""
+
+TRIMMING = [
+    "DELETE FROM list",
+    "DELETE FROM list_requests",
+    """DELETE FROM commit_batch WHERE time NOT IN
+  (SELECT MAX(time) FROM commit_batch GROUP BY account, file)""",
+]
+
+
+def blocklist_digest(blocklist: list[str]) -> str:
+    """The 64-char digest of a blocklist, as stored in ``blocks`` (§6.5)."""
+    return sha256_hex("\n".join(blocklist).encode())
+
+
+class DropboxSSM(ServiceSpecificModule):
+    """Audits Dropbox metadata traffic for list/blocklist violations."""
+
+    name = "dropbox"
+
+    @property
+    def schema_sql(self) -> str:
+        return DROPBOX_SCHEMA
+
+    @property
+    def invariants(self) -> dict[str, str]:
+        return {
+            "list_completeness": LIST_COMPLETENESS,
+            "blocklist_soundness": BLOCKLIST_SOUNDNESS,
+            "deletion_soundness": DELETION_SOUNDNESS,
+        }
+
+    @property
+    def trimming_queries(self) -> list[str]:
+        return list(TRIMMING)
+
+    def log(
+        self,
+        request: HttpRequest,
+        response: HttpResponse,
+        emit: LogEmitter,
+        time: int,
+    ) -> None:
+        if response.status != 200:
+            return
+        path = request.path.split("?")[0].strip("/")
+        if request.method == "POST" and path == "commit_batch":
+            try:
+                body = json.loads(request.body.decode())
+            except ValueError:
+                return
+            account = body.get("account", "")
+            host = body.get("host", "")
+            for commit in body.get("commits", []):
+                emit(
+                    "commit_batch",
+                    (time, commit["file"],
+                     blocklist_digest(commit.get("blocklist", [])),
+                     account, host, commit["size"]),
+                )
+            return
+        if path == "list":
+            account = request.headers.get("X-Account", "")
+            host = request.headers.get("X-Host", "")
+            try:
+                body = json.loads(response.body.decode())
+            except ValueError:
+                return
+            emit("list_requests", (time, account, host))
+            for entry in body.get("files", []):
+                emit(
+                    "list",
+                    (time, entry["file"],
+                     blocklist_digest(entry.get("blocklist", [])),
+                     account, host, entry["size"]),
+                )

@@ -1,0 +1,97 @@
+"""The Git SSM: schemas, parsing and invariants from §3.1/§5.1/§6.2.
+
+The SQL below is taken *verbatim* from the paper:
+
+- the soundness invariant ("every advertisement must correspond to the
+  most recent update for the corresponding (repo, branch, cid) triple");
+- the ``branchcnt`` view and the completeness invariant ("when an
+  advertisement happens, all triples must be advertised");
+- both trimming queries.
+"""
+
+from __future__ import annotations
+
+from repro.http import HttpRequest, HttpResponse
+from repro.services.git.smart_http import decode_push, decode_ref_advertisement
+from repro.ssm.base import LogEmitter, ServiceSpecificModule
+
+GIT_SCHEMA = """
+CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT);
+CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+CREATE VIEW branchcnt AS
+SELECT DISTINCT a.time,a.repo,COUNT(u.branch) AS cnt
+FROM advertisements a
+JOIN updates u ON u.time < a.time AND u.repo = a.repo
+WHERE u.type != 'delete' AND u.time = (SELECT MAX(time)
+  FROM updates WHERE branch = u.branch
+  AND repo = u.repo AND time < a.time) GROUP BY
+  a.time,a.repo,a.branch;
+"""
+
+SOUNDNESS = """
+SELECT * FROM advertisements a WHERE cid != (
+  SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+    u.branch = a.branch AND u.time < a.time ORDER BY
+    u.time DESC LIMIT 1)
+"""
+
+COMPLETENESS = """
+SELECT time, repo FROM advertisements
+NATURAL JOIN branchcnt
+GROUP BY time, repo, cnt HAVING COUNT(branch) != cnt
+"""
+
+TRIMMING = [
+    "DELETE FROM advertisements",
+    """DELETE FROM updates WHERE time NOT IN
+  (SELECT MAX(time) FROM updates GROUP BY repo, branch)""",
+]
+
+
+class GitSSM(ServiceSpecificModule):
+    """Audits Git smart-HTTP traffic for ref-tampering attacks [101]."""
+
+    name = "git"
+
+    @property
+    def schema_sql(self) -> str:
+        return GIT_SCHEMA
+
+    @property
+    def invariants(self) -> dict[str, str]:
+        return {"soundness": SOUNDNESS, "completeness": COMPLETENESS}
+
+    @property
+    def trimming_queries(self) -> list[str]:
+        return list(TRIMMING)
+
+    def log(
+        self,
+        request: HttpRequest,
+        response: HttpResponse,
+        emit: LogEmitter,
+        time: int,
+    ) -> None:
+        if response.status != 200:
+            return  # failed operations change no server state
+        path, _, query = request.path.partition("?")
+        segments = [s for s in path.split("/") if s]
+        if (
+            request.method == "POST"
+            and segments
+            and segments[-1] == "git-receive-pack"
+        ):
+            repo = "/".join(segments[:-1])
+            for update in decode_push(request.body):
+                # For deletions, record the last known commit id (the old
+                # side of the command) so the log retains what was lost.
+                cid = update.new_cid or update.old_cid or ""
+                emit("updates", (time, repo, update.branch, cid, update.kind))
+            return
+        if (
+            segments[-2:] == ["info", "refs"]
+            and "service=git-upload-pack" in query
+        ):
+            repo = "/".join(segments[:-2])
+            for branch, cid in decode_ref_advertisement(response.body):
+                emit("advertisements", (time, repo, branch, cid))

@@ -1,0 +1,137 @@
+"""The messaging SSM (the §2.2 communication-service scenario).
+
+Audits a channel-based messaging service for the three failure classes
+the paper names for communication services: dropped messages, modified
+messages, and delivery to wrong recipients.
+
+Log schema::
+
+    posts(time, channel, seq, sender, text)           -- c2s
+    deliveries(time, channel, seq, sender, text, member)  -- s2c
+    fetches(time, channel, member, since, head)       -- one per fetch
+    members(time, channel, member)                    -- join events
+
+Invariants:
+
+1. *message soundness* — every delivered message is byte-identical to
+   the post with the same (channel, seq);
+2. *delivery completeness* — a fetch that claims head sequence ``h``
+   must deliver every post in ``(since, h]``: a silently dropped message
+   leaves a hole;
+3. *recipient correctness* — only members that joined a channel may be
+   served its messages: a leak to an outsider is recorded and flagged.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.http import HttpRequest, HttpResponse
+from repro.ssm.base import LogEmitter, ServiceSpecificModule
+
+MESSAGING_SCHEMA = """
+CREATE TABLE posts(time INTEGER, channel TEXT, seq INTEGER,
+                   sender TEXT, text TEXT);
+CREATE TABLE deliveries(time INTEGER, channel TEXT, seq INTEGER,
+                        sender TEXT, text TEXT, member TEXT);
+CREATE TABLE fetches(time INTEGER, channel TEXT, member TEXT,
+                     since INTEGER, head INTEGER);
+CREATE TABLE members(time INTEGER, channel TEXT, member TEXT);
+"""
+
+MESSAGE_SOUNDNESS = """
+SELECT d.time, d.channel, d.seq FROM deliveries d WHERE NOT EXISTS (
+  SELECT 1 FROM posts p
+  WHERE p.channel = d.channel AND p.seq = d.seq
+    AND p.sender = d.sender AND p.text = d.text AND p.time <= d.time)
+"""
+
+DELIVERY_COMPLETENESS = """
+SELECT f.time, f.channel, p.seq FROM fetches f
+JOIN posts p ON p.channel = f.channel AND p.seq > f.since
+  AND p.seq <= f.head AND p.time < f.time
+WHERE NOT EXISTS (
+  SELECT 1 FROM deliveries d
+  WHERE d.time = f.time AND d.channel = f.channel
+    AND d.member = f.member AND d.seq = p.seq)
+"""
+
+RECIPIENT_CORRECTNESS = """
+SELECT f.time, f.channel, f.member FROM fetches f WHERE NOT EXISTS (
+  SELECT 1 FROM members m
+  WHERE m.channel = f.channel AND m.member = f.member AND m.time <= f.time)
+"""
+
+# Deliveries and fetch markers are checked once; posts and membership are
+# retained (future fetches may reach arbitrarily far back).
+TRIMMING = ["DELETE FROM deliveries", "DELETE FROM fetches"]
+
+
+class MessagingSSM(ServiceSpecificModule):
+    """Audits the messaging service's post/fetch traffic."""
+
+    name = "messaging"
+
+    @property
+    def schema_sql(self) -> str:
+        return MESSAGING_SCHEMA
+
+    @property
+    def invariants(self) -> dict[str, str]:
+        return {
+            "message_soundness": MESSAGE_SOUNDNESS,
+            "delivery_completeness": DELIVERY_COMPLETENESS,
+            "recipient_correctness": RECIPIENT_CORRECTNESS,
+        }
+
+    @property
+    def trimming_queries(self) -> list[str]:
+        return list(TRIMMING)
+
+    def log(
+        self,
+        request: HttpRequest,
+        response: HttpResponse,
+        emit: LogEmitter,
+        time: int,
+    ) -> None:
+        if response.status != 200:
+            return
+        path, _, query = request.path.partition("?")
+        segments = [s for s in path.split("/") if s]
+        if len(segments) != 3 or segments[0] != "channels":
+            return
+        channel, action = segments[1], segments[2]
+        try:
+            rsp_body = json.loads(response.body.decode()) if response.body else {}
+            req_body = (
+                json.loads(request.body.decode()) if request.body else {}
+            )
+        except ValueError:
+            return
+        if action == "join":
+            emit("members", (time, channel, req_body.get("member", "")))
+            return
+        if action == "post":
+            emit(
+                "posts",
+                (time, channel, rsp_body.get("seq", 0),
+                 req_body.get("sender", ""), req_body.get("text", "")),
+            )
+            return
+        if action == "fetch":
+            params = dict(
+                pair.split("=", 1) for pair in query.split("&") if "=" in pair
+            )
+            member = params.get("member", "")
+            since = int(params.get("since", "0"))
+            emit(
+                "fetches",
+                (time, channel, member, since, rsp_body.get("head_seq", 0)),
+            )
+            for message in rsp_body.get("messages", []):
+                emit(
+                    "deliveries",
+                    (time, channel, message["seq"], message["sender"],
+                     message["text"], member),
+                )

@@ -1,0 +1,212 @@
+"""OpenSSL/LibreSSL-style function API over :class:`TLSConnection`.
+
+Applications (the Apache/Squid simulators) program against these functions
+exactly as real servers program against OpenSSL. LibSEAL's contribution is
+a *drop-in replacement* for this API whose implementation lives in an
+enclave (§4.1) — see :mod:`repro.enclave_tls.api`, which exposes the same
+names with the same semantics.
+
+Conventions follow OpenSSL where sensible:
+
+- ``SSL_accept``/``SSL_connect`` return ``1`` when established and ``0``
+  when more peer I/O is needed (WANT_READ);
+- ``SSL_read`` returns ``bytes`` (empty when nothing is pending);
+- ``ex_data`` slots let applications attach context to an SSL object
+  (Apache stores the current request there, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.errors import TLSError
+from repro.tls.bio import BIO
+from repro.tls.cert import Certificate, CertificateAuthority
+from repro.tls.connection import TLSConfig, TLSConnection
+
+SSL_VERIFY_NONE = 0
+SSL_VERIFY_PEER = 1
+SSL_VERIFY_FAIL_IF_NO_PEER_CERT = 2
+
+_SERVER_METHOD = "TLS_server_method"
+_CLIENT_METHOD = "TLS_client_method"
+
+
+def TLS_server_method() -> str:
+    return _SERVER_METHOD
+
+
+def TLS_client_method() -> str:
+    return _CLIENT_METHOD
+
+
+@dataclass
+class SSL_CTX:
+    """Connection factory configuration (OpenSSL ``SSL_CTX``)."""
+
+    method: str
+    certificate: Certificate | None = None
+    private_key: EcdsaPrivateKey | None = None
+    ca: CertificateAuthority | None = None
+    verify_mode: int = SSL_VERIFY_NONE
+    info_callback: Callable[[Any, int, int], None] | None = None
+    drbg_seed: bytes = b"ssl-ctx"
+    sessions_created: int = 0
+
+
+class SSL:
+    """One TLS endpoint (OpenSSL ``SSL``)."""
+
+    def __init__(self, ctx: SSL_CTX):
+        self.ctx = ctx
+        self.rbio: BIO | None = None
+        self.wbio: BIO | None = None
+        self.conn: TLSConnection | None = None
+        self.ex_data: dict[int, Any] = {}
+        self._is_server: bool | None = None
+
+    # Internal: build the connection lazily once the role is known.
+    def _materialise(self, is_server: bool) -> TLSConnection:
+        if self.conn is not None:
+            if self._is_server != is_server:
+                raise TLSError("SSL object already used in the other role")
+            return self.conn
+        if self.rbio is None or self.wbio is None:
+            raise TLSError("SSL object has no BIOs; call SSL_set_bio first")
+        self.ctx.sessions_created += 1
+        config = TLSConfig(
+            certificate=self.ctx.certificate,
+            private_key=self.ctx.private_key,
+            ca=self.ctx.ca,
+            require_client_cert=bool(self.ctx.verify_mode & SSL_VERIFY_PEER)
+            and is_server,
+            drbg=HmacDrbg(
+                seed=self.ctx.drbg_seed + self.ctx.sessions_created.to_bytes(4, "big")
+            ),
+        )
+        self.conn = TLSConnection(config, is_server, self.rbio, self.wbio)
+        self.conn.info_callback = self._relay_info
+        self._is_server = is_server
+        return self.conn
+
+    def _relay_info(self, _conn: TLSConnection, event: int, value: int) -> None:
+        if self.ctx.info_callback is not None:
+            self.ctx.info_callback(self, event, value)
+
+
+# ---------------------------------------------------------------------------
+# Context functions
+# ---------------------------------------------------------------------------
+
+
+def SSL_CTX_new(method: str) -> SSL_CTX:
+    if method not in (_SERVER_METHOD, _CLIENT_METHOD):
+        raise TLSError(f"unknown TLS method {method!r}")
+    return SSL_CTX(method=method)
+
+
+def SSL_CTX_use_certificate(ctx: SSL_CTX, certificate: Certificate) -> int:
+    ctx.certificate = certificate
+    return 1
+
+
+def SSL_CTX_use_PrivateKey(ctx: SSL_CTX, key: EcdsaPrivateKey) -> int:
+    ctx.private_key = key
+    return 1
+
+
+def SSL_CTX_load_verify_locations(ctx: SSL_CTX, ca: CertificateAuthority) -> int:
+    ctx.ca = ca
+    return 1
+
+
+def SSL_CTX_set_verify(ctx: SSL_CTX, mode: int) -> None:
+    ctx.verify_mode = mode
+
+
+def SSL_CTX_set_info_callback(
+    ctx: SSL_CTX, callback: Callable[[Any, int, int], None] | None
+) -> None:
+    ctx.info_callback = callback
+
+
+# ---------------------------------------------------------------------------
+# Connection functions
+# ---------------------------------------------------------------------------
+
+
+def SSL_new(ctx: SSL_CTX) -> SSL:
+    return SSL(ctx)
+
+
+def SSL_set_bio(ssl: SSL, rbio: BIO, wbio: BIO) -> None:
+    ssl.rbio = rbio
+    ssl.wbio = wbio
+
+
+def SSL_accept(ssl: SSL) -> int:
+    """Server-side handshake step: 1 = established, 0 = want more I/O."""
+    conn = ssl._materialise(is_server=True)
+    return 1 if conn.do_handshake() else 0
+
+
+def SSL_connect(ssl: SSL) -> int:
+    """Client-side handshake step: 1 = established, 0 = want more I/O."""
+    conn = ssl._materialise(is_server=False)
+    return 1 if conn.do_handshake() else 0
+
+
+def SSL_do_handshake(ssl: SSL) -> int:
+    if ssl.conn is None:
+        raise TLSError("role not chosen; call SSL_accept or SSL_connect")
+    return 1 if ssl.conn.do_handshake() else 0
+
+
+def SSL_is_init_finished(ssl: SSL) -> bool:
+    return ssl.conn is not None and ssl.conn.established
+
+
+def SSL_read(ssl: SSL, max_bytes: int | None = None) -> bytes:
+    if ssl.conn is None:
+        raise TLSError("SSL_read before handshake")
+    return ssl.conn.read(max_bytes)
+
+
+def SSL_write(ssl: SSL, data: bytes) -> int:
+    if ssl.conn is None:
+        raise TLSError("SSL_write before handshake")
+    return ssl.conn.write(data)
+
+
+def SSL_pending(ssl: SSL) -> int:
+    return 0 if ssl.conn is None else ssl.conn.pending()
+
+
+def SSL_get_peer_certificate(ssl: SSL) -> Certificate | None:
+    return None if ssl.conn is None else ssl.conn.peer_certificate
+
+
+def SSL_get_rbio(ssl: SSL) -> BIO | None:
+    return ssl.rbio
+
+
+def SSL_get_wbio(ssl: SSL) -> BIO | None:
+    return ssl.wbio
+
+
+def SSL_set_ex_data(ssl: SSL, index: int, value: Any) -> None:
+    ssl.ex_data[index] = value
+
+
+def SSL_get_ex_data(ssl: SSL, index: int) -> Any:
+    return ssl.ex_data.get(index)
+
+
+def SSL_free(ssl: SSL) -> None:
+    ssl.conn = None
+    ssl.rbio = None
+    ssl.wbio = None
+    ssl.ex_data.clear()

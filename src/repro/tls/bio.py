@@ -1,0 +1,63 @@
+"""Memory BIOs: OpenSSL's I/O abstraction.
+
+A :class:`BIO` is a byte FIFO. :func:`bio_pair` creates two cross-connected
+BIOs modelling the two directions of one transport connection, exactly like
+``BIO_new_bio_pair``. In LibSEAL, BIO objects are non-sensitive and stay
+*outside* the enclave (§4.1, Fig. 2) — the enclave reads/writes them via
+ocalls — so this class also carries the ``ex_data`` slot applications use
+to stash request context (§4.2 optimisation 3).
+"""
+
+from __future__ import annotations
+
+
+class BIO:
+    """A byte FIFO with OpenSSL-style read/write semantics."""
+
+    _next_id = 1
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._buffer = bytearray()
+        self.peer: "BIO | None" = None
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.ex_data: dict[int, object] = {}
+        self.bio_id = BIO._next_id
+        BIO._next_id += 1
+
+    def write(self, data: bytes) -> int:
+        """Append ``data``; if paired, it lands in the peer's read buffer."""
+        target = self.peer if self.peer is not None else self
+        target._buffer.extend(data)
+        self.bytes_written += len(data)
+        return len(data)
+
+    def read(self, max_bytes: int | None = None) -> bytes:
+        """Consume up to ``max_bytes`` (all pending if ``None``)."""
+        if max_bytes is None or max_bytes >= len(self._buffer):
+            data = bytes(self._buffer)
+            self._buffer.clear()
+        else:
+            data = bytes(self._buffer[:max_bytes])
+            del self._buffer[:max_bytes]
+        self.bytes_read += len(data)
+        return data
+
+    def peek(self) -> bytes:
+        return bytes(self._buffer)
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return f"<BIO {self.name or self.bio_id} pending={self.pending()}>"
+
+
+def bio_pair(name: str = "pair") -> tuple[BIO, BIO]:
+    """Two cross-connected BIOs: writes to one are readable from the other."""
+    a = BIO(f"{name}-a")
+    b = BIO(f"{name}-b")
+    a.peer = b
+    b.peer = a
+    return a, b

@@ -1,0 +1,104 @@
+"""Certificates and certificate authorities.
+
+A structural stand-in for X.509: a certificate binds a subject name to an
+ECDSA public key and carries the issuer's signature over the TBS bytes.
+Chains are depth-1 (root CA → leaf), which is all the evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
+from repro.crypto.hashing import sha256
+from repro.errors import TLSError
+from repro.tls.codec import Reader, encode_parts
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of ``subject`` to ``public_key``."""
+
+    subject: str
+    issuer: str
+    public_key: EcdsaPublicKey
+    serial: int
+    signature: EcdsaSignature
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed portion."""
+        return encode_parts(
+            self.subject.encode(),
+            self.issuer.encode(),
+            self.public_key.encode(),
+            self.serial.to_bytes(8, "big"),
+        )
+
+    def encode(self) -> bytes:
+        return encode_parts(
+            self.subject.encode(),
+            self.issuer.encode(),
+            self.public_key.encode(),
+            self.serial.to_bytes(8, "big"),
+            self.signature.encode(),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        reader = Reader(data)
+        subject = reader.read_bytes().decode()
+        issuer = reader.read_bytes().decode()
+        public_key = EcdsaPublicKey.decode(reader.read_bytes())
+        serial = int.from_bytes(reader.read_bytes(), "big")
+        signature = EcdsaSignature.decode(reader.read_bytes())
+        reader.expect_end()
+        return cls(subject, issuer, public_key, serial, signature)
+
+    def fingerprint(self) -> bytes:
+        return sha256(self.encode())
+
+
+class CertificateAuthority:
+    """A root CA that issues leaf certificates."""
+
+    def __init__(self, name: str, seed: bytes | None = None):
+        self.name = name
+        drbg = HmacDrbg(seed=seed if seed is not None else sha256(b"ca" + name.encode()))
+        self._key = EcdsaPrivateKey.generate(drbg)
+        self._serial = 0
+
+    @property
+    def public_key(self) -> EcdsaPublicKey:
+        return self._key.public_key()
+
+    def issue(self, subject: str, public_key: EcdsaPublicKey) -> Certificate:
+        """Issue a certificate for ``subject``."""
+        self._serial += 1
+        unsigned = Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            serial=self._serial,
+            signature=EcdsaSignature(0, 0),
+        )
+        signature = self._key.sign(unsigned.tbs_bytes())
+        return Certificate(subject, self.name, public_key, self._serial, signature)
+
+    def verify(self, certificate: Certificate) -> None:
+        """Check issuer and signature; raises :class:`TLSError` on failure."""
+        if certificate.issuer != self.name:
+            raise TLSError(
+                f"certificate issued by {certificate.issuer!r}, expected {self.name!r}"
+            )
+        if not self.public_key.verify(certificate.tbs_bytes(), certificate.signature):
+            raise TLSError("certificate signature invalid")
+
+
+def make_server_identity(
+    ca: CertificateAuthority, subject: str, seed: bytes | None = None
+) -> tuple[EcdsaPrivateKey, Certificate]:
+    """Convenience: generate a key pair and a CA-issued certificate."""
+    drbg = HmacDrbg(seed=seed if seed is not None else sha256(b"id" + subject.encode()))
+    key = EcdsaPrivateKey.generate(drbg)
+    return key, ca.issue(subject, key.public_key())

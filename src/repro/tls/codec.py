@@ -1,0 +1,40 @@
+"""Length-prefixed binary encoding helpers shared by TLS messages."""
+
+from __future__ import annotations
+
+from repro.errors import TLSError
+
+
+def encode_bytes(data: bytes) -> bytes:
+    """4-byte big-endian length prefix + payload."""
+    return len(data).to_bytes(4, "big") + data
+
+
+def encode_parts(*parts: bytes) -> bytes:
+    return b"".join(encode_bytes(p) for p in parts)
+
+
+class Reader:
+    """Sequential reader over a length-prefixed byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def read_bytes(self) -> bytes:
+        if self._pos + 4 > len(self._data):
+            raise TLSError("truncated TLS message (missing length)")
+        length = int.from_bytes(self._data[self._pos : self._pos + 4], "big")
+        self._pos += 4
+        if self._pos + length > len(self._data):
+            raise TLSError("truncated TLS message (missing payload)")
+        payload = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return payload
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def expect_end(self) -> None:
+        if self.remaining():
+            raise TLSError("trailing bytes in TLS message")

@@ -1,0 +1,370 @@
+"""The TLS connection state machine.
+
+One :class:`TLSConnection` drives a full ECDHE handshake over a pair of
+BIOs, then carries application data in AEAD records. Both roles live in the
+same class (like OpenSSL's ``SSL`` object with ``SSL_accept``/``SSL_connect``
+selecting the role).
+
+The message flow (client left, server right)::
+
+    ClientHello          -->
+                         <--  ServerHello, Certificate,
+                              ServerKeyExchange, [CertificateRequest],
+                              ServerHelloDone
+    [Certificate],
+    ClientKeyExchange,
+    [CertificateVerify],
+    CCS, Finished        -->
+                         <--  CCS, Finished
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdh import ecdh_shared_secret, generate_keypair
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaSignature
+from repro.crypto.ec import CURVE_P256, ECPoint
+from repro.crypto.hashing import constant_time_equal, sha256
+from repro.errors import TLSError
+from repro.tls import handshake as hs
+from repro.tls.bio import BIO
+from repro.tls.cert import Certificate, CertificateAuthority
+from repro.tls.record import (
+    RECORD_APPDATA,
+    RECORD_CCS,
+    RECORD_HANDSHAKE,
+    RecordLayer,
+    parse_records,
+)
+
+# Info-callback event codes (OpenSSL-compatible names).
+SSL_CB_HANDSHAKE_START = 0x10
+SSL_CB_HANDSHAKE_DONE = 0x20
+SSL_CB_READ = 0x04
+SSL_CB_WRITE = 0x08
+
+
+@dataclass
+class TLSConfig:
+    """Role-independent connection configuration."""
+
+    certificate: Certificate | None = None
+    private_key: EcdsaPrivateKey | None = None
+    ca: CertificateAuthority | None = None  # trust anchor for peer certs
+    require_client_cert: bool = False
+    drbg: HmacDrbg = field(default_factory=lambda: HmacDrbg(seed=b"tls-default"))
+
+
+class TLSConnection:
+    """A single TLS endpoint over (rbio, wbio)."""
+
+    def __init__(self, config: TLSConfig, is_server: bool, rbio: BIO, wbio: BIO):
+        if is_server and (config.certificate is None or config.private_key is None):
+            raise TLSError("server requires a certificate and private key")
+        self.config = config
+        self.is_server = is_server
+        self.rbio = rbio
+        self.wbio = wbio
+        self.records = RecordLayer()
+        self.established = False
+        self.peer_certificate: Certificate | None = None
+        self.info_callback: Callable[["TLSConnection", int, int], None] | None = None
+        self.handshake_messages_seen = 0
+
+        self._in_buffer = bytearray()
+        self._app_data = bytearray()
+        self._transcript = bytearray()
+        self._client_random = b""
+        self._server_random = b""
+        self._eph_private: int | None = None
+        self._peer_eph_public: ECPoint | None = None
+        self._keys: hs.SessionKeys | None = None
+        self._peer_ccs_seen = False
+        self._sent_hello = False
+        self._client_cert_requested = False
+        self._state = "WAIT_CLIENT_HELLO" if is_server else "START"
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def do_handshake(self) -> bool:
+        """Advance the handshake as far as pending I/O allows.
+
+        Returns ``True`` once the session is established. Call repeatedly
+        while pumping bytes between the two endpoints' BIOs.
+        """
+        if self.established:
+            return True
+        if not self.is_server and not self._sent_hello:
+            self._emit_event(SSL_CB_HANDSHAKE_START, 1)
+            self._client_random = self.config.drbg.generate(hs.RANDOM_LEN)
+            self._send_handshake(hs.msg_client_hello(self._client_random))
+            self._sent_hello = True
+            self._state = "WAIT_SERVER_HELLO"
+        self._pump_incoming()
+        return self.established
+
+    def write(self, data: bytes) -> int:
+        """Send application data (requires an established session)."""
+        if not self.established:
+            raise TLSError("cannot write application data before handshake")
+        self.wbio.write(self.records.seal(RECORD_APPDATA, data))
+        self._emit_event(SSL_CB_WRITE, len(data))
+        return len(data)
+
+    def read(self, max_bytes: int | None = None) -> bytes:
+        """Receive decrypted application data (may be empty)."""
+        self._pump_incoming()
+        if max_bytes is None or max_bytes >= len(self._app_data):
+            data = bytes(self._app_data)
+            self._app_data.clear()
+        else:
+            data = bytes(self._app_data[:max_bytes])
+            del self._app_data[:max_bytes]
+        if data:
+            self._emit_event(SSL_CB_READ, len(data))
+        return data
+
+    def pending(self) -> int:
+        return len(self._app_data)
+
+    # ------------------------------------------------------------------
+    # Record pump
+    # ------------------------------------------------------------------
+
+    def _pump_incoming(self) -> None:
+        self._in_buffer.extend(self.rbio.read())
+        for record in parse_records(self._in_buffer):
+            if record.type == RECORD_CCS:
+                self._handle_ccs()
+                continue
+            plaintext = self.records.open(record)
+            if record.type == RECORD_HANDSHAKE:
+                self._handle_handshake(hs.HandshakeMessage.decode(plaintext))
+            elif record.type == RECORD_APPDATA:
+                if not self.established:
+                    raise TLSError("application data before handshake completion")
+                self._app_data.extend(plaintext)
+            else:
+                raise TLSError(f"unexpected record type {record.type}")
+
+    def _send_handshake(self, message: hs.HandshakeMessage) -> None:
+        encoded = message.encode()
+        self._transcript.extend(encoded)
+        self.wbio.write(self.records.seal(RECORD_HANDSHAKE, encoded))
+
+    def _send_ccs(self) -> None:
+        self.wbio.write(self.records.seal(RECORD_CCS, b"\x01"))
+
+    def _handle_ccs(self) -> None:
+        if self._keys is None:
+            raise TLSError("ChangeCipherSpec before key material exists")
+        self._peer_ccs_seen = True
+        peer_key = (
+            self._keys.client_write if self.is_server else self._keys.server_write
+        )
+        self.records.enable_recv(peer_key)
+
+    # ------------------------------------------------------------------
+    # Handshake state machine
+    # ------------------------------------------------------------------
+
+    def _handle_handshake(self, message: hs.HandshakeMessage) -> None:
+        self.handshake_messages_seen += 1
+        handler = (
+            self._server_handle if self.is_server else self._client_handle
+        )
+        handler(message)
+
+    # -- server side ----------------------------------------------------
+
+    def _server_handle(self, message: hs.HandshakeMessage) -> None:
+        if self._state == "WAIT_CLIENT_HELLO" and message.type == hs.CLIENT_HELLO:
+            self._emit_event(SSL_CB_HANDSHAKE_START, 1)
+            self._transcript.extend(message.encode())
+            self._client_random = hs.read_single_field(message)
+            self._server_random = self.config.drbg.generate(hs.RANDOM_LEN)
+            self._send_handshake(hs.msg_server_hello(self._server_random))
+            assert self.config.certificate is not None
+            self._send_handshake(hs.msg_certificate(self.config.certificate))
+            self._eph_private, eph_public = generate_keypair(self.config.drbg)
+            eph_encoded = eph_public.encode()
+            assert self.config.private_key is not None
+            signature = self.config.private_key.sign(
+                hs.signed_key_exchange_payload(
+                    self._client_random, self._server_random, eph_encoded
+                )
+            )
+            self._send_handshake(hs.msg_server_key_exchange(eph_encoded, signature))
+            if self.config.require_client_cert:
+                self._send_handshake(hs.msg_certificate_request())
+            self._send_handshake(hs.msg_server_hello_done())
+            self._state = (
+                "WAIT_CLIENT_CERT"
+                if self.config.require_client_cert
+                else "WAIT_CLIENT_KEY_EXCHANGE"
+            )
+            return
+        if self._state == "WAIT_CLIENT_CERT" and message.type == hs.CERTIFICATE:
+            self._transcript.extend(message.encode())
+            self._receive_peer_certificate(message)
+            self._state = "WAIT_CLIENT_KEY_EXCHANGE"
+            return
+        if (
+            self._state == "WAIT_CLIENT_KEY_EXCHANGE"
+            and message.type == hs.CLIENT_KEY_EXCHANGE
+        ):
+            self._transcript.extend(message.encode())
+            peer_public = ECPoint.decode(CURVE_P256, hs.read_single_field(message))
+            assert self._eph_private is not None
+            secret = ecdh_shared_secret(self._eph_private, peer_public)
+            self._keys = hs.derive_session_keys(
+                secret, self._client_random, self._server_random
+            )
+            self._state = (
+                "WAIT_CERT_VERIFY"
+                if self.config.require_client_cert
+                else "WAIT_CLIENT_FINISHED"
+            )
+            return
+        if self._state == "WAIT_CERT_VERIFY" and message.type == hs.CERTIFICATE_VERIFY:
+            transcript_before = bytes(self._transcript)
+            self._transcript.extend(message.encode())
+            signature = EcdsaSignature.decode(hs.read_single_field(message))
+            if self.peer_certificate is None:
+                raise TLSError("CertificateVerify without a client certificate")
+            payload = b"CV\x00" + sha256(transcript_before)
+            if not self.peer_certificate.public_key.verify(payload, signature):
+                raise TLSError("client CertificateVerify signature invalid")
+            self._state = "WAIT_CLIENT_FINISHED"
+            return
+        if self._state == "WAIT_CLIENT_FINISHED" and message.type == hs.FINISHED:
+            if not self._peer_ccs_seen:
+                raise TLSError("Finished before ChangeCipherSpec")
+            assert self._keys is not None
+            expected = hs.finished_verify_data(
+                self._keys.master_secret, b"client finished", bytes(self._transcript)
+            )
+            if not constant_time_equal(hs.read_single_field(message), expected):
+                raise TLSError("client Finished verification failed")
+            self._transcript.extend(message.encode())
+            self._send_ccs()
+            self.records.enable_send(self._keys.server_write)
+            verify_data = hs.finished_verify_data(
+                self._keys.master_secret, b"server finished", bytes(self._transcript)
+            )
+            self._send_handshake(hs.msg_finished(verify_data))
+            self.established = True
+            self._emit_event(SSL_CB_HANDSHAKE_DONE, 1)
+            return
+        raise TLSError(
+            f"unexpected handshake message {message.type} in state {self._state}"
+        )
+
+    # -- client side ----------------------------------------------------
+
+    def _client_handle(self, message: hs.HandshakeMessage) -> None:
+        if self._state == "WAIT_SERVER_HELLO" and message.type == hs.SERVER_HELLO:
+            self._transcript.extend(message.encode())
+            self._server_random = hs.read_single_field(message)
+            self._state = "WAIT_CERTIFICATE"
+            return
+        if self._state == "WAIT_CERTIFICATE" and message.type == hs.CERTIFICATE:
+            self._transcript.extend(message.encode())
+            self._receive_peer_certificate(message)
+            self._state = "WAIT_SERVER_KEY_EXCHANGE"
+            return
+        if (
+            self._state == "WAIT_SERVER_KEY_EXCHANGE"
+            and message.type == hs.SERVER_KEY_EXCHANGE
+        ):
+            self._transcript.extend(message.encode())
+            eph_encoded, sig_encoded = hs.read_two_fields(message)
+            if self.peer_certificate is None:
+                raise TLSError("ServerKeyExchange before Certificate")
+            payload = hs.signed_key_exchange_payload(
+                self._client_random, self._server_random, eph_encoded
+            )
+            signature = EcdsaSignature.decode(sig_encoded)
+            if not self.peer_certificate.public_key.verify(payload, signature):
+                raise TLSError("server key exchange signature invalid")
+            self._peer_eph_public = ECPoint.decode(CURVE_P256, eph_encoded)
+            self._state = "WAIT_SERVER_DONE"
+            return
+        if self._state == "WAIT_SERVER_DONE" and message.type == hs.CERTIFICATE_REQUEST:
+            self._transcript.extend(message.encode())
+            self._client_cert_requested = True
+            return
+        if self._state == "WAIT_SERVER_DONE" and message.type == hs.SERVER_HELLO_DONE:
+            self._transcript.extend(message.encode())
+            self._client_flight_two()
+            self._state = "WAIT_SERVER_FINISHED"
+            return
+        if self._state == "WAIT_SERVER_FINISHED" and message.type == hs.FINISHED:
+            if not self._peer_ccs_seen:
+                raise TLSError("Finished before ChangeCipherSpec")
+            assert self._keys is not None
+            expected = hs.finished_verify_data(
+                self._keys.master_secret, b"server finished", bytes(self._transcript)
+            )
+            if not constant_time_equal(hs.read_single_field(message), expected):
+                raise TLSError("server Finished verification failed")
+            self._transcript.extend(message.encode())
+            self.established = True
+            self._emit_event(SSL_CB_HANDSHAKE_DONE, 1)
+            return
+        raise TLSError(
+            f"unexpected handshake message {message.type} in state {self._state}"
+        )
+
+    def _client_flight_two(self) -> None:
+        if self._client_cert_requested:
+            if self.config.certificate is None or self.config.private_key is None:
+                raise TLSError("server requires a client certificate; none configured")
+            self._send_handshake(hs.msg_certificate(self.config.certificate))
+        self._eph_private, eph_public = generate_keypair(self.config.drbg)
+        self._send_handshake(hs.msg_client_key_exchange(eph_public.encode()))
+        assert self._peer_eph_public is not None
+        secret = ecdh_shared_secret(self._eph_private, self._peer_eph_public)
+        self._keys = hs.derive_session_keys(
+            secret, self._client_random, self._server_random
+        )
+        if self._client_cert_requested:
+            assert self.config.private_key is not None
+            payload = b"CV\x00" + sha256(bytes(self._transcript))
+            signature = self.config.private_key.sign(payload)
+            self._send_handshake(hs.msg_certificate_verify(signature))
+        self._send_ccs()
+        self.records.enable_send(self._keys.client_write)
+        verify_data = hs.finished_verify_data(
+            self._keys.master_secret, b"client finished", bytes(self._transcript)
+        )
+        self._send_handshake(hs.msg_finished(verify_data))
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _receive_peer_certificate(self, message: hs.HandshakeMessage) -> None:
+        certificate = Certificate.decode(hs.read_single_field(message))
+        if self.config.ca is not None:
+            self.config.ca.verify(certificate)
+        self.peer_certificate = certificate
+
+    def _emit_event(self, event: int, value: int) -> None:
+        if self.info_callback is not None:
+            self.info_callback(self, event, value)
+
+
+def pump_handshake(client: TLSConnection, server: TLSConnection, max_rounds: int = 10) -> None:
+    """Drive both endpoints until the handshake completes (test helper)."""
+    for _ in range(max_rounds):
+        client.do_handshake()
+        server.do_handshake()
+        if client.established and server.established:
+            return
+    raise TLSError("handshake did not converge")

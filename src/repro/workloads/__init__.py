@@ -1,0 +1,28 @@
+"""Workload generators for the evaluation.
+
+Each workload drives a *real* service instance through a *real* LibSeal
+instance (service handler + SSM + SealDB + hash chain), mirroring the
+paper's workloads:
+
+- :class:`~repro.workloads.git_replay.GitReplayWorkload` — replays a
+  synthetic commit history (pushes + fetches), the stand-in for the
+  paper's replay of real Apache-project repositories (§6.4);
+- :class:`~repro.workloads.owncloud_edits.OwnCloudEditWorkload` —
+  multiple clients collaboratively editing documents (single characters
+  and whole paragraphs, §6.4);
+- :class:`~repro.workloads.dropbox_ops.DropboxOpsWorkload` — file
+  create/update/delete plus periodic list requests, after the Drago et
+  al. personal-cloud benchmark the paper uses (§6.4).
+"""
+
+from repro.workloads.dropbox_ops import DropboxOpsWorkload
+from repro.workloads.git_replay import GitReplayWorkload
+from repro.workloads.messaging_traffic import MessagingWorkload
+from repro.workloads.owncloud_edits import OwnCloudEditWorkload
+
+__all__ = [
+    "DropboxOpsWorkload",
+    "GitReplayWorkload",
+    "MessagingWorkload",
+    "OwnCloudEditWorkload",
+]

@@ -1,0 +1,87 @@
+"""Dropbox file-operation workload (after Drago et al. [31], §6.4)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core import LibSeal
+from repro.http import HttpRequest
+from repro.services.dropbox import DropboxHttpService, DropboxServer
+
+TEXT_SIZES = [200, 2_000, 20_000]
+BINARY_SIZES = [50_000, 400_000]
+
+
+class DropboxOpsWorkload:
+    """Creates, updates and deletes text/binary files; lists periodically."""
+
+    def __init__(
+        self,
+        libseal: LibSeal,
+        accounts: int = 2,
+        list_every: int = 5,
+        delete_ratio: float = 0.15,
+        max_live_files: int | None = None,
+        seed: int = 13,
+    ):
+        self.libseal = libseal
+        self.service = DropboxHttpService(DropboxServer())
+        self.rng = random.Random(seed)
+        self.accounts = [f"account-{i}" for i in range(accounts)]
+        self.list_every = list_every
+        self.delete_ratio = delete_ratio
+        self.max_live_files = max_live_files
+        self._live_files: dict[str, list[str]] = {a: [] for a in self.accounts}
+        self._file_counter = 0
+        self.requests_issued = 0
+
+    def _drive(self, request: HttpRequest):
+        response = self.service.handle(request)
+        self.libseal.log_pair(request, response)
+        self.requests_issued += 1
+        assert response.status == 200, response.body
+        return response
+
+    def commit_once(self) -> None:
+        account = self.rng.choice(self.accounts)
+        live = self._live_files[account]
+        if live and self.rng.random() < self.delete_ratio:
+            path = live.pop(self.rng.randrange(len(live)))
+            commits = [{"file": path, "blocklist": [], "size": -1}]
+        else:
+            at_cap = (
+                self.max_live_files is not None
+                and len(live) >= self.max_live_files
+            )
+            if live and (at_cap or self.rng.random() < 0.3):
+                path = self.rng.choice(live)  # update existing
+            else:
+                self._file_counter += 1
+                suffix = "txt" if self.rng.random() < 0.7 else "bin"
+                path = f"file-{self._file_counter}.{suffix}"
+                live.append(path)
+            sizes = TEXT_SIZES if path.endswith("txt") else BINARY_SIZES
+            content = self.rng.randbytes(self.rng.choice(sizes))
+            entry, _ = DropboxServer.make_entry(path, content)
+            commits = [
+                {"file": path, "blocklist": list(entry.blocklist), "size": entry.size}
+            ]
+        body = json.dumps(
+            {"account": account, "host": "bench-host", "commits": commits}
+        ).encode()
+        self._drive(HttpRequest("POST", "/commit_batch", body=body))
+
+    def list_once(self) -> None:
+        account = self.rng.choice(self.accounts)
+        request = HttpRequest("GET", "/list")
+        request.headers.set("X-Account", account)
+        request.headers.set("X-Host", "bench-host")
+        self._drive(request)
+
+    def run(self, num_requests: int) -> None:
+        for i in range(num_requests):
+            if i > 0 and i % self.list_every == 0:
+                self.list_once()
+            else:
+                self.commit_once()

@@ -1,0 +1,85 @@
+"""Git commit-replay workload (§6.4's repository replay)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import LibSeal
+from repro.http import HttpRequest
+from repro.services.git import GitHttpService, GitServer
+from repro.services.git.repo import RefUpdate
+from repro.services.git.smart_http import encode_push
+
+BRANCH_NAMES = ["master", "develop", "feature/a", "feature/b", "release/1.0"]
+
+
+class GitReplayWorkload:
+    """Replays a synthetic commit history: pushes mixed with fetches."""
+
+    def __init__(
+        self,
+        libseal: LibSeal,
+        repos: int = 2,
+        branches_per_repo: int = 3,
+        fetch_ratio: float = 0.5,
+        seed: int = 7,
+    ):
+        self.libseal = libseal
+        self.service = GitHttpService(GitServer())
+        self.rng = random.Random(seed)
+        self.fetch_ratio = fetch_ratio
+        self.repo_names = [f"repo{i}.git" for i in range(repos)]
+        self.branches = BRANCH_NAMES[:branches_per_repo]
+        self.requests_issued = 0
+        for name in self.repo_names:
+            repo = self.service.server.create_repository(name)
+            # The initial commit is *pushed* through LibSEAL like any
+            # other traffic, so the audit log covers the full ref history.
+            commit = repo.objects.create_commit(
+                None, "initial", "setup", {"README": b"init"}
+            )
+            request = HttpRequest(
+                "POST",
+                f"/{name}/git-receive-pack",
+                body=encode_push([RefUpdate("master", None, commit.commit_id)]),
+            )
+            response = self._drive(request)
+            assert response.status == 200, response.body
+
+    def _drive(self, request: HttpRequest):
+        response = self.service.handle(request)
+        self.libseal.log_pair(request, response)
+        self.requests_issued += 1
+        return response
+
+    def push_once(self) -> None:
+        repo_name = self.rng.choice(self.repo_names)
+        repo = self.service.server.repository(repo_name)
+        branch = self.rng.choice(self.branches)
+        old = repo.refs.get(branch)
+        content = self.rng.randbytes(64)
+        commit = repo.objects.create_commit(
+            old, f"commit {self.requests_issued}", "replayer", {"file": content}
+        )
+        update = RefUpdate(branch, old, commit.commit_id)
+        request = HttpRequest(
+            "POST", f"/{repo_name}/git-receive-pack", body=encode_push([update])
+        )
+        response = self._drive(request)
+        assert response.status == 200, response.body
+
+    def fetch_once(self) -> None:
+        repo_name = self.rng.choice(self.repo_names)
+        request = HttpRequest(
+            "GET", f"/{repo_name}/info/refs?service=git-upload-pack"
+        )
+        response = self._drive(request)
+        assert response.status == 200, response.body
+
+    def run(self, num_requests: int) -> None:
+        """Issue ``num_requests`` operations with the configured mix."""
+        for _ in range(num_requests):
+            if self.rng.random() < self.fetch_ratio:
+                self.fetch_once()
+            else:
+                self.push_once()

@@ -1,0 +1,80 @@
+"""Messaging workload: channel chatter with periodic fetches."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core import LibSeal
+from repro.http import HttpRequest
+from repro.services.messaging import MessagingHttpService, MessagingServer
+
+PHRASES = [
+    "deploy is green", "see the attached doc", "lgtm", "ship it",
+    "rolling back", "lunch?", "the audit log never lies",
+]
+
+
+class MessagingWorkload:
+    """Members post to channels and periodically fetch."""
+
+    def __init__(
+        self,
+        libseal: LibSeal,
+        channels: int = 2,
+        members: int = 3,
+        fetch_ratio: float = 0.4,
+        seed: int = 17,
+    ):
+        self.libseal = libseal
+        self.service = MessagingHttpService(MessagingServer())
+        self.rng = random.Random(seed)
+        self.fetch_ratio = fetch_ratio
+        self.channels = [f"chan-{i}" for i in range(channels)]
+        self.members = [f"user-{i}" for i in range(members)]
+        self._last_seen: dict[tuple[str, str], int] = {}
+        self.requests_issued = 0
+        for channel in self.channels:
+            for member in self.members:
+                self._drive(HttpRequest(
+                    "POST", f"/channels/{channel}/join",
+                    body=json.dumps({"member": member}).encode(),
+                ))
+                self._last_seen[(channel, member)] = 0
+
+    def _drive(self, request: HttpRequest):
+        response = self.service.handle(request)
+        self.libseal.log_pair(request, response)
+        self.requests_issued += 1
+        assert response.status == 200, response.body
+        return response
+
+    def post_once(self, channel: str | None = None) -> int:
+        channel = channel or self.rng.choice(self.channels)
+        sender = self.rng.choice(self.members)
+        response = self._drive(HttpRequest(
+            "POST", f"/channels/{channel}/post",
+            body=json.dumps(
+                {"sender": sender, "text": self.rng.choice(PHRASES)}
+            ).encode(),
+        ))
+        return json.loads(response.body)["seq"]
+
+    def fetch_once(self, channel: str | None = None,
+                   member: str | None = None) -> None:
+        channel = channel or self.rng.choice(self.channels)
+        member = member or self.rng.choice(self.members)
+        key = (channel, member)
+        response = self._drive(HttpRequest(
+            "GET",
+            f"/channels/{channel}/fetch?member={member}"
+            f"&since={self._last_seen[key]}",
+        ))
+        self._last_seen[key] = json.loads(response.body)["head_seq"]
+
+    def run(self, num_requests: int) -> None:
+        for _ in range(num_requests):
+            if self.rng.random() < self.fetch_ratio:
+                self.fetch_once()
+            else:
+                self.post_once()

@@ -1,0 +1,93 @@
+"""ownCloud collaborative-editing workload (§6.4)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core import LibSeal
+from repro.http import HttpRequest
+from repro.services.owncloud import OwnCloudHttpService, OwnCloudServer
+
+PARAGRAPH = (
+    "Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do "
+    "eiusmod tempor incididunt ut labore et dolore magna aliqua. "
+)
+
+
+class OwnCloudEditWorkload:
+    """Multiple clients edit shared documents: single chars + paragraphs."""
+
+    def __init__(
+        self,
+        libseal: LibSeal,
+        documents: int = 2,
+        members: int = 3,
+        paragraph_ratio: float = 0.2,
+        seed: int = 11,
+    ):
+        self.libseal = libseal
+        self.service = OwnCloudHttpService(OwnCloudServer())
+        self.rng = random.Random(seed)
+        self.paragraph_ratio = paragraph_ratio
+        self.documents = [f"doc-{i}" for i in range(documents)]
+        self.members = [f"user-{i}" for i in range(members)]
+        self._last_seen: dict[tuple[str, str], int] = {}
+        self.requests_issued = 0
+        for doc in self.documents:
+            for member in self.members:
+                self._post(doc, "join", {"member": member})
+                self._last_seen[(doc, member)] = 0
+
+    def _post(self, doc: str, action: str, payload: dict) -> dict:
+        request = HttpRequest(
+            "POST", f"/documents/{doc}/{action}", body=json.dumps(payload).encode()
+        )
+        response = self.service.handle(request)
+        self.libseal.log_pair(request, response)
+        self.requests_issued += 1
+        assert response.status == 200, response.body
+        return json.loads(response.body) if response.body else {}
+
+    def edit_once(self, doc: str | None = None) -> None:
+        if doc is None:
+            doc = self.rng.choice(self.documents)
+        member = self.rng.choice(self.members)
+        server_doc = self.service.server.document(doc)
+        doc_length = len(server_doc.current_text())
+        position = self.rng.randint(0, doc_length)
+        if self.rng.random() < self.paragraph_ratio:
+            text = PARAGRAPH
+        else:
+            text = self.rng.choice("abcdefghijklmnopqrstuvwxyz ")
+        op = {"op": "insert", "pos": position, "text": text, "len": 0}
+        key = (doc, member)
+        reply = self._post(
+            doc, "sync", {"member": member, "seq": self._last_seen[key], "ops": [op]}
+        )
+        self._last_seen[key] = reply["head_seq"]
+
+    def snapshot_once(self, doc: str | None = None) -> None:
+        """One member leaves, posting a snapshot (session boundary)."""
+        if doc is None:
+            doc = self.rng.choice(self.documents)
+        member = self.rng.choice(self.members)
+        server_doc = self.service.server.document(doc)
+        self._post(
+            doc,
+            "leave",
+            {
+                "member": member,
+                "snapshot": server_doc.current_text(),
+                "seq": server_doc.head_seq,
+            },
+        )
+        joined = self._post(doc, "join", {"member": member})
+        self._last_seen[(doc, member)] = joined["snapshot_seq"] + len(joined["ops"])
+
+    def run(self, num_requests: int, snapshot_every: int = 40) -> None:
+        for i in range(num_requests):
+            if i > 0 and i % snapshot_every == 0:
+                self.snapshot_once()
+            else:
+                self.edit_once()

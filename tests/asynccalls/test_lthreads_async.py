@@ -1,0 +1,198 @@
+"""Tests for the lthread scheduler and the async enclave-call runtime."""
+
+import pytest
+
+from repro.asynccalls import AsyncCallRuntime, OcallRequest
+from repro.errors import EnclaveError, SimulationError
+from repro.lthreads import LThreadScheduler, TaskState
+
+
+class TestLThreadScheduler:
+    def test_simple_task_runs_to_completion(self):
+        sched = LThreadScheduler(num_tasks=2, num_workers=1)
+
+        def work():
+            return 42
+            yield  # pragma: no cover
+
+        task = sched.assign(work())
+        assert task is not None
+        sched.run_until_blocked()
+        assert task.has_result and task.result == 42
+        assert task.state is TaskState.IDLE
+
+    def test_yield_parks_and_resume_continues(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+
+        def work():
+            reply = yield "request"
+            return reply * 2
+
+        task = sched.assign(work())
+        sched.run_until_blocked()
+        assert task.state is TaskState.WAITING
+        assert task.pending_yield == "request"
+        sched.resume(task, 21)
+        sched.run_until_blocked()
+        assert task.result == 42
+
+    def test_worker_limit_caps_concurrency(self):
+        sched = LThreadScheduler(num_tasks=4, num_workers=2)
+        started = []
+
+        def work(i):
+            started.append(i)
+            yield f"wait-{i}"
+            return i
+
+        for i in range(4):
+            assert sched.assign(work(i)) is not None
+        # Each step runs one task up to its yield; workers bound RUNNING
+        # count, but all READY tasks eventually execute.
+        sched.run_until_blocked()
+        assert sorted(started) == [0, 1, 2, 3]
+
+    def test_assign_returns_none_when_full(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+
+        def work():
+            yield "park"
+            return None
+
+        assert sched.assign(work()) is not None
+        sched.run_until_blocked()
+        assert sched.assign(work()) is None  # sole task is WAITING
+
+    def test_resume_non_waiting_task_rejected(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+        with pytest.raises(SimulationError):
+            sched.resume(sched.tasks[0], 1)
+
+    def test_yielding_none_rejected(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+
+        def bad():
+            yield None
+
+        sched.assign(bad())
+        with pytest.raises(SimulationError):
+            sched.run_until_blocked()
+
+
+class TestAsyncCallRuntime:
+    @pytest.fixture
+    def runtime(self):
+        rt = AsyncCallRuntime(num_app_threads=4, num_sgx_threads=2, tasks_per_thread=3)
+        rt.register_ecall("double", lambda x: x * 2)
+
+        def with_ocall(x):
+            outside = yield OcallRequest("fetch", (x,))
+            return outside + 1
+
+        rt.register_ecall("with_ocall", with_ocall)
+        rt.register_ocall("fetch", lambda x: x * 10)
+        return rt
+
+    def test_plain_async_ecall(self, runtime):
+        assert runtime.async_ecall(0, "double", 21) == 42
+        assert runtime.stats.async_ecalls == 1
+
+    def test_ecall_with_ocall_roundtrip(self, runtime):
+        assert runtime.async_ecall(1, "with_ocall", 4) == 41
+        assert runtime.stats.async_ocalls == 1
+
+    def test_many_sequential_calls(self, runtime):
+        results = [runtime.async_ecall(i % 4, "with_ocall", i) for i in range(20)]
+        assert results == [i * 10 + 1 for i in range(20)]
+        assert runtime.stats.async_ecalls == 20
+        assert runtime.stats.async_ocalls == 20
+
+    def test_ocall_served_by_owning_app_thread(self, runtime):
+        # The protocol requires the issuing app thread to execute the
+        # task's ocalls; track which thread ran the ocall.
+        served_by = []
+
+        def spy(x):
+            served_by.append(x)
+            return x
+
+        runtime.register_ocall("spy", spy)
+
+        def body(tag):
+            result = yield OcallRequest("spy", (tag,))
+            return result
+
+        runtime.register_ecall("spy_ecall", body)
+        assert runtime.async_ecall(2, "spy_ecall", "from-2") == "from-2"
+        assert served_by == ["from-2"]
+
+    def test_same_task_resumes_after_ocall(self, runtime):
+        task_ids = []
+
+        def body():
+            task = next(
+                t for t in runtime.scheduler.tasks
+                if t.state is TaskState.RUNNING
+            )
+            task_ids.append(task.task_id)
+            yield OcallRequest("fetch", (1,))
+            task2 = next(
+                t for t in runtime.scheduler.tasks
+                if t.state is TaskState.RUNNING
+            )
+            task_ids.append(task2.task_id)
+            return None
+
+        runtime.register_ecall("introspect", body)
+        runtime.async_ecall(0, "introspect")
+        assert len(task_ids) == 2
+        assert task_ids[0] == task_ids[1]
+
+    def test_unknown_ecall_rejected(self, runtime):
+        with pytest.raises(EnclaveError):
+            runtime.async_ecall(0, "missing")
+
+    def test_unknown_ocall_rejected(self, runtime):
+        def body():
+            yield OcallRequest("missing", ())
+
+        runtime.register_ecall("bad", body)
+        with pytest.raises(EnclaveError):
+            runtime.async_ecall(0, "bad")
+
+    def test_app_thread_out_of_range(self, runtime):
+        with pytest.raises(SimulationError):
+            runtime.async_ecall(99, "double", 1)
+
+    def test_duplicate_registration_rejected(self, runtime):
+        with pytest.raises(EnclaveError):
+            runtime.register_ecall("double", lambda x: x)
+
+    def test_cycles_are_metered(self, runtime):
+        runtime.async_ecall(0, "with_ocall", 1)
+        assert runtime.stats.slot_cycles > 0
+        assert runtime.stats.poll_cycles > 0
+
+    def test_task_wait_recorded_when_pool_exhausted(self):
+        # 1 task total; issue an ecall whose dispatch initially has no
+        # idle task because a previous generator is parked... with the
+        # sequential driver the pool frees up, so instead verify the
+        # stat by shrinking to zero concurrent headroom artificially.
+        rt = AsyncCallRuntime(num_app_threads=2, num_sgx_threads=1, tasks_per_thread=1)
+
+        def body(x):
+            value = yield OcallRequest("echo", (x,))
+            return value
+
+        rt.register_ecall("call", body)
+        rt.register_ocall("echo", lambda x: x)
+        # Park the single task on behalf of app thread 1 by pre-assigning.
+        parked = rt.scheduler.assign(body("parked"))
+        parked.context["app_thread"] = 1
+        rt.scheduler.run_until_blocked()
+        assert parked.state is TaskState.WAITING
+        # Slot written, no task available -> task_wait_events increments,
+        # then thread 1's pending ocall can never be served by thread 0,
+        # so this would deadlock; use thread 1 so it unblocks itself.
+        assert rt.async_ecall(1, "call", 7) == 7
+        assert rt.stats.task_wait_events > 0

@@ -1,0 +1,118 @@
+"""Tests for the client-side check helper and identity-keyed rate limiting."""
+
+import pytest
+
+from repro.core import LibSeal, LibSealConfig
+from repro.core.client import (
+    CheckVerdict,
+    IntegrityViolationReported,
+    LibSealClient,
+)
+from repro.http import (
+    LIBSEAL_CHECK_HEADER,
+    LIBSEAL_RESULT_HEADER,
+    HttpRequest,
+    HttpResponse,
+)
+from repro.ssm import GitSSM
+
+
+class TestCheckVerdict:
+    def test_ok(self):
+        verdict = CheckVerdict("OK")
+        assert verdict.ok and not verdict.violations
+
+    def test_violations_parse(self):
+        verdict = CheckVerdict("VIOLATIONS soundness=2,completeness=1")
+        assert verdict.violations == {"soundness": 2, "completeness": 1}
+        assert not verdict.ok
+
+    def test_rate_limited(self):
+        assert CheckVerdict("RATE-LIMITED").rate_limited
+
+    def test_malformed_counts_skipped(self):
+        verdict = CheckVerdict("VIOLATIONS soundness=x,completeness=3")
+        assert verdict.violations == {"completeness": 3}
+
+
+class TestLibSealClient:
+    def test_check_every_n_requests(self):
+        client = LibSealClient(check_every=3)
+        marked = []
+        for _ in range(6):
+            request = HttpRequest("GET", "/x")
+            client.prepare(request)
+            marked.append(LIBSEAL_CHECK_HEADER in request.headers)
+        assert marked == [False, False, True, False, False, True]
+
+    def test_force_check(self):
+        client = LibSealClient(check_every=0)
+        request = client.prepare(HttpRequest("GET", "/x"), force_check=True)
+        assert LIBSEAL_CHECK_HEADER in request.headers
+
+    def test_inspect_records_verdicts(self):
+        client = LibSealClient()
+        response = HttpResponse(200)
+        response.headers.set(LIBSEAL_RESULT_HEADER, "OK")
+        verdict = client.inspect(response)
+        assert verdict is not None and verdict.ok
+        assert client.last_verdict is verdict
+        assert not client.any_violation
+
+    def test_inspect_ignores_plain_responses(self):
+        client = LibSealClient()
+        assert client.inspect(HttpResponse(200)) is None
+        assert client.last_verdict is None
+
+    def test_raise_on_violation(self):
+        client = LibSealClient(raise_on_violation=True)
+        response = HttpResponse(200)
+        response.headers.set(LIBSEAL_RESULT_HEADER, "VIOLATIONS soundness=1")
+        with pytest.raises(IntegrityViolationReported):
+            client.inspect(response)
+        assert client.any_violation
+
+    def test_end_to_end_with_libseal(self):
+        libseal = LibSeal(GitSSM())
+        client = LibSealClient(check_every=1)
+        request = client.prepare(HttpRequest("GET", "/x"))
+        header = libseal.log_pair(request, HttpResponse(200))
+        response = HttpResponse(200)
+        response.headers.set(LIBSEAL_RESULT_HEADER, header)
+        verdict = client.inspect(response)
+        assert verdict is not None and verdict.ok
+
+
+class TestIdentityKeyedRateLimiting:
+    def test_default_keying_by_handle(self):
+        libseal = LibSeal(
+            GitSSM(),
+            config=LibSealConfig(check_rate_capacity=1, check_rate_refill=0.0),
+        )
+        request = HttpRequest("GET", "/x")
+        request.headers.set(LIBSEAL_CHECK_HEADER, "1")
+        assert libseal.log_pair(request, HttpResponse(200), handle=1) == "OK"
+        # A "new connection" (different handle) resets the budget — the
+        # weakness client certificates close.
+        assert libseal.log_pair(request, HttpResponse(200), handle=2) == "OK"
+        assert (
+            libseal.log_pair(request, HttpResponse(200), handle=1)
+            == "RATE-LIMITED"
+        )
+
+    def test_resolver_keying_by_identity(self):
+        libseal = LibSeal(
+            GitSSM(),
+            config=LibSealConfig(check_rate_capacity=1, check_rate_refill=0.0),
+        )
+        # Simulate attach()'s identity resolver: both handles belong to
+        # the same authenticated client.
+        libseal.client_key_resolver = lambda handle: ("client", "mallory")
+        request = HttpRequest("GET", "/x")
+        request.headers.set(LIBSEAL_CHECK_HEADER, "1")
+        assert libseal.log_pair(request, HttpResponse(200), handle=1) == "OK"
+        # Reconnecting (new handle) does NOT reset the budget.
+        assert (
+            libseal.log_pair(request, HttpResponse(200), handle=2)
+            == "RATE-LIMITED"
+        )

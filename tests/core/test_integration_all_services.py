@@ -1,0 +1,166 @@
+"""Full-stack (enclave TLS) integration for ownCloud, Dropbox, messaging.
+
+The Git path is covered in test_integration_endtoend.py; these tests push
+the remaining SSMs' traffic — JSON bodies, query strings, headers —
+through the real enclave TLS pipeline and verify both the audit trail and
+in-band check results.
+"""
+
+import json
+
+import pytest
+
+from repro.core import LibSeal, LibSealClient
+from repro.enclave_tls import EnclaveTlsRuntime
+from repro.http import (
+    LIBSEAL_CHECK_HEADER,
+    LIBSEAL_RESULT_HEADER,
+    HttpRequest,
+    parse_request,
+    parse_response,
+)
+from repro.services.dropbox import DropboxHttpService, DropboxServer
+from repro.services.messaging import MessagingHttpService, MessagingServer
+from repro.services.owncloud import OwnCloudHttpService, OwnCloudServer
+from repro.ssm import DropboxSSM, MessagingSSM, OwnCloudSSM
+from repro.tls import api as native_api
+from repro.tls.bio import bio_pair
+from repro.tls.cert import CertificateAuthority, make_server_identity
+
+
+class EnclaveDeployment:
+    """Any HTTP service behind the LibSEAL enclave TLS endpoint."""
+
+    def __init__(self, service, ssm):
+        self.ca = CertificateAuthority("svc-root", seed=b"svc-ca")
+        key, cert = make_server_identity(self.ca, "svc.example", seed=b"svc-id")
+        self.runtime = EnclaveTlsRuntime()
+        self.ctx = self.runtime.api.SSL_CTX_new(
+            self.runtime.api.TLS_server_method()
+        )
+        self.runtime.api.SSL_CTX_use_certificate(self.ctx, cert)
+        self.runtime.api.SSL_CTX_use_PrivateKey(self.ctx, key)
+        self.libseal = LibSeal(ssm)
+        self.libseal.attach(self.runtime)
+        self.service = service
+        self._counter = 0
+
+    def roundtrip(self, request: HttpRequest):
+        self._counter += 1
+        c2s, s_from_c = bio_pair()
+        s2c, c_from_s = bio_pair()
+        server_ssl = self.runtime.api.SSL_new(self.ctx)
+        self.runtime.api.SSL_set_bio(server_ssl, s_from_c, s2c)
+        client_ctx = native_api.SSL_CTX_new(native_api.TLS_client_method())
+        native_api.SSL_CTX_load_verify_locations(client_ctx, self.ca)
+        client_ctx.drbg_seed = self._counter.to_bytes(4, "big")
+        client_ssl = native_api.SSL_new(client_ctx)
+        native_api.SSL_set_bio(client_ssl, c_from_s, c2s)
+        for _ in range(10):
+            done_c = native_api.SSL_connect(client_ssl)
+            done_s = self.runtime.api.SSL_accept(server_ssl)
+            if done_c and done_s:
+                break
+        native_api.SSL_write(client_ssl, request.encode())
+        raw = self.runtime.api.SSL_read(server_ssl)
+        response = self.service.handle(parse_request(raw))
+        self.runtime.api.SSL_write(server_ssl, response.encode())
+        return parse_response(native_api.SSL_read(client_ssl))
+
+
+class TestOwnCloudOverEnclaveTls:
+    def test_lost_edit_reported_in_band(self):
+        deployment = EnclaveDeployment(
+            OwnCloudHttpService(OwnCloudServer()), OwnCloudSSM()
+        )
+
+        def post(action, payload, check=False):
+            request = HttpRequest(
+                "POST", f"/documents/d/{action}",
+                body=json.dumps(payload).encode(),
+            )
+            if check:
+                request.headers.set(LIBSEAL_CHECK_HEADER, "1")
+            response = deployment.roundtrip(request)
+            assert response.status == 200
+            return response
+
+        def op(pos, text):
+            return {"op": "insert", "pos": pos, "text": text, "len": 0}
+
+        post("join", {"member": "ann"})
+        post("join", {"member": "bob"})
+        post("sync", {"member": "ann", "seq": 0, "ops": [op(0, "one")]})
+        post("sync", {"member": "ann", "seq": 1, "ops": [op(3, "two")]})
+        deployment.service.server.attack_drop_update("d", 2)
+        post("sync", {"member": "ann", "seq": 2, "ops": [op(6, "three")]})
+        response = post("sync", {"member": "bob", "seq": 0, "ops": []},
+                        check=True)
+        header = response.headers.get(LIBSEAL_RESULT_HEADER)
+        assert header is not None and "update_completeness" in header
+        deployment.libseal.verify_log()
+
+
+class TestDropboxOverEnclaveTls:
+    def test_blocklist_corruption_reported_in_band(self):
+        deployment = EnclaveDeployment(
+            DropboxHttpService(DropboxServer()), DropboxSSM()
+        )
+        entry, _ = DropboxServer.make_entry("f.bin", b"content")
+        commit = HttpRequest(
+            "POST", "/commit_batch",
+            body=json.dumps(
+                {"account": "a", "host": "h",
+                 "commits": [{"file": entry.path,
+                              "blocklist": list(entry.blocklist),
+                              "size": entry.size}]}
+            ).encode(),
+        )
+        assert deployment.roundtrip(commit).status == 200
+        deployment.service.server.attack_corrupt_blocklist("a", "f.bin")
+        listing = HttpRequest("GET", "/list")
+        listing.headers.set("X-Account", "a")
+        listing.headers.set("X-Host", "h")
+        listing.headers.set(LIBSEAL_CHECK_HEADER, "1")
+        response = deployment.roundtrip(listing)
+        header = response.headers.get(LIBSEAL_RESULT_HEADER)
+        assert header is not None and "blocklist_soundness" in header
+
+
+class TestMessagingOverEnclaveTls:
+    def test_forged_message_reported_in_band_via_client_helper(self):
+        deployment = EnclaveDeployment(
+            MessagingHttpService(MessagingServer()), MessagingSSM()
+        )
+        client = LibSealClient(check_every=0)
+
+        def send(request, check=False):
+            client.prepare(request, force_check=check)
+            response = deployment.roundtrip(request)
+            client.inspect(response)
+            return response
+
+        send(HttpRequest("POST", "/channels/c/join",
+                         body=json.dumps({"member": "ann"}).encode()))
+        send(HttpRequest("POST", "/channels/c/join",
+                         body=json.dumps({"member": "bob"}).encode()))
+        send(HttpRequest("POST", "/channels/c/post",
+                         body=json.dumps({"sender": "ann",
+                                          "text": "original"}).encode()))
+        deployment.service.server.attack_rewrite_message("c", 1, "forged")
+        send(HttpRequest("GET", "/channels/c/fetch?member=bob&since=0"),
+             check=True)
+        assert client.any_violation
+        assert client.last_verdict.violations.get("message_soundness") == 1
+
+    def test_honest_messaging_is_clean_in_band(self):
+        deployment = EnclaveDeployment(
+            MessagingHttpService(MessagingServer()), MessagingSSM()
+        )
+        join = HttpRequest("POST", "/channels/c/join",
+                           body=json.dumps({"member": "ann"}).encode())
+        assert deployment.roundtrip(join).status == 200
+        fetch = HttpRequest("GET", "/channels/c/fetch?member=ann&since=0")
+        fetch.headers.set(LIBSEAL_CHECK_HEADER, "1")
+        response = deployment.roundtrip(fetch)
+        assert response.headers.get(LIBSEAL_RESULT_HEADER) == "OK"

@@ -1,0 +1,202 @@
+"""Full-stack integration: client ⇄ TLS ⇄ LibSEAL enclave ⇄ service.
+
+The complete Fig. 1 pipeline: a stock TLS client sends HTTP requests; the
+LibSEAL enclave terminates TLS, taps the plaintext, logs audit tuples; the
+service processes the request; the response is audited and (for check
+requests) rewritten with the in-band result header — all over real
+(simulated-enclave) boundaries with real crypto.
+"""
+
+import pytest
+
+from repro.core import LibSeal, LibSealConfig, provision_tls_identity
+from repro.crypto.drbg import HmacDrbg
+from repro.enclave_tls import EnclaveTlsRuntime
+from repro.errors import AttestationError
+from repro.http import (
+    LIBSEAL_CHECK_HEADER,
+    LIBSEAL_RESULT_HEADER,
+    HttpRequest,
+    parse_request,
+    parse_response,
+)
+from repro.services.git import GitHttpService, GitServer
+from repro.services.git.repo import RefUpdate
+from repro.services.git.smart_http import encode_push
+from repro.sgx import AttestationService, QuotingEnclave
+from repro.ssm import GitSSM
+from repro.tls import api as native_api
+from repro.tls.bio import bio_pair
+from repro.tls.cert import CertificateAuthority, make_server_identity
+
+
+class LibSealGitDeployment:
+    """A Git service behind an Apache-style loop linked against LibSEAL."""
+
+    def __init__(self):
+        self.ca = CertificateAuthority("deploy-root", seed=b"deploy-ca")
+        key, cert = make_server_identity(self.ca, "git.example", seed=b"deploy-git")
+        self.runtime = EnclaveTlsRuntime()
+        self.api = self.runtime.api
+        self.server_ctx = self.api.SSL_CTX_new(self.api.TLS_server_method())
+        self.api.SSL_CTX_use_certificate(self.server_ctx, cert)
+        self.api.SSL_CTX_use_PrivateKey(self.server_ctx, key)
+        self.libseal = LibSeal(GitSSM(), config=LibSealConfig())
+        self.libseal.attach(self.runtime)
+        self.git = GitHttpService(GitServer())
+        self.repo = self.git.server.create_repository("proj.git")
+        self._counter = 0
+
+    def new_client_connection(self):
+        self._counter += 1
+        c2s, s_from_c = bio_pair()
+        s2c, c_from_s = bio_pair()
+        server_ssl = self.api.SSL_new(self.server_ctx)
+        self.api.SSL_set_bio(server_ssl, s_from_c, s2c)
+        client_ctx = native_api.SSL_CTX_new(native_api.TLS_client_method())
+        native_api.SSL_CTX_load_verify_locations(client_ctx, self.ca)
+        client_ctx.drbg_seed = b"client" + bytes([self._counter])
+        client_ssl = native_api.SSL_new(client_ctx)
+        native_api.SSL_set_bio(client_ssl, c_from_s, c2s)
+        for _ in range(10):
+            done_c = native_api.SSL_connect(client_ssl)
+            done_s = self.api.SSL_accept(server_ssl)
+            if done_c and done_s:
+                return client_ssl, server_ssl
+        raise AssertionError("handshake failed")
+
+    def roundtrip(self, request: HttpRequest):
+        """Client sends a request; server serves it; returns the response."""
+        client_ssl, server_ssl = self.new_client_connection()
+        native_api.SSL_write(client_ssl, request.encode())
+        raw_request = self.api.SSL_read(server_ssl)  # read tap fires
+        response = self.git.handle(parse_request(raw_request))
+        self.api.SSL_write(server_ssl, response.encode())  # write tap fires
+        return parse_response(native_api.SSL_read(client_ssl))
+
+
+@pytest.fixture
+def deployment():
+    return LibSealGitDeployment()
+
+
+def push(deployment, branch, files=None, message="m"):
+    repo = deployment.repo
+    old = repo.refs.get(branch)
+    commit = repo.objects.create_commit(old, message, "ann", files or {})
+    request = HttpRequest(
+        "POST",
+        "/proj.git/git-receive-pack",
+        body=encode_push([RefUpdate(branch, old, commit.commit_id)]),
+    )
+    response = deployment.roundtrip(request)
+    assert response.status == 200
+    return commit
+
+
+def fetch(deployment, check=False):
+    request = HttpRequest("GET", "/proj.git/info/refs?service=git-upload-pack")
+    if check:
+        request.headers.set(LIBSEAL_CHECK_HEADER, "1")
+    return deployment.roundtrip(request)
+
+
+class TestEndToEnd:
+    def test_traffic_is_audited_through_the_enclave(self, deployment):
+        push(deployment, "master", files={"f": b"1"})
+        fetch(deployment)
+        assert deployment.libseal.audit_log.row_count("updates") == 1
+        assert deployment.libseal.audit_log.row_count("advertisements") == 1
+        deployment.libseal.verify_log()
+
+    def test_clean_service_reports_ok_in_band(self, deployment):
+        push(deployment, "master", files={"f": b"1"})
+        response = fetch(deployment, check=True)
+        assert response.headers.get(LIBSEAL_RESULT_HEADER) == "OK"
+
+    def test_rollback_attack_reported_in_band(self, deployment):
+        push(deployment, "master", files={"f": b"1"})
+        push(deployment, "master", files={"f": b"2"})
+        deployment.repo.attack_rollback("master")
+        response = fetch(deployment, check=True)
+        header = response.headers.get(LIBSEAL_RESULT_HEADER)
+        assert header is not None and header.startswith("VIOLATIONS")
+        assert "soundness" in header
+
+    def test_reference_deletion_reported_in_band(self, deployment):
+        push(deployment, "master", files={"f": b"1"})
+        push(deployment, "feature", files={"g": b"2"})
+        fetch(deployment)  # a clean advertisement first
+        deployment.repo.attack_delete_reference("feature")
+        response = fetch(deployment, check=True)
+        header = response.headers.get(LIBSEAL_RESULT_HEADER)
+        assert header is not None and "completeness" in header
+
+    def test_client_never_sees_header_without_asking(self, deployment):
+        push(deployment, "master", files={"f": b"1"})
+        response = fetch(deployment, check=False)
+        assert response.headers.get(LIBSEAL_RESULT_HEADER) is None
+
+    def test_audit_hooks_fired_inside_enclave(self, deployment):
+        push(deployment, "master", files={"f": b"1"})
+        stats = deployment.runtime.enclave.interface.stats
+        assert stats.per_ecall.get("ssl_read", 0) >= 1
+        assert stats.per_ecall.get("ssl_write", 0) >= 1
+
+    def test_log_survives_and_verifies_after_many_requests(self, deployment):
+        for i in range(5):
+            push(deployment, "master", files={"f": str(i).encode()})
+            fetch(deployment)
+        deployment.libseal.verify_log()
+        outcome = deployment.libseal.check_invariants()
+        assert outcome.ok
+
+
+class TestProvisioning:
+    def make_attestation(self):
+        qe = QuotingEnclave(platform_seed=b"prov-platform")
+        service = AttestationService()
+        service.register_platform(qe)
+        return qe, service
+
+    def test_genuine_enclave_receives_identity(self):
+        qe, attestation = self.make_attestation()
+        runtime = EnclaveTlsRuntime()
+        ca = CertificateAuthority("prov-root", seed=b"prov-ca")
+        key, cert = make_server_identity(ca, "svc.example", seed=b"prov-id")
+        ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+        provision_tls_identity(
+            runtime, ctx, cert, key, qe, attestation,
+            expected_measurement=runtime.enclave.measurement(),
+        )
+        # The key is installed and protected; context is usable.
+        contexts = runtime._inside["contexts"]
+        assert any(c["private_key"] is not None for c in contexts.values())
+
+    def test_wrong_build_is_refused_the_key(self):
+        qe, attestation = self.make_attestation()
+        genuine = EnclaveTlsRuntime(code_version="libseal-tls-1.0")
+        rogue = EnclaveTlsRuntime(code_version="rogue-build-9.9")
+        ca = CertificateAuthority("prov-root", seed=b"prov-ca")
+        key, cert = make_server_identity(ca, "svc.example", seed=b"prov-id")
+        ctx = rogue.api.SSL_CTX_new(rogue.api.TLS_server_method())
+        with pytest.raises(AttestationError):
+            provision_tls_identity(
+                rogue, ctx, cert, key, qe, attestation,
+                expected_measurement=genuine.enclave.measurement(),
+            )
+        contexts = rogue._inside["contexts"]
+        assert all(c["private_key"] is None for c in contexts.values())
+
+    def test_unknown_platform_is_refused(self):
+        _, attestation = self.make_attestation()
+        foreign_qe = QuotingEnclave(platform_seed=b"foreign")
+        runtime = EnclaveTlsRuntime()
+        ca = CertificateAuthority("prov-root", seed=b"prov-ca")
+        key, cert = make_server_identity(ca, "svc.example", seed=b"prov-id")
+        ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+        with pytest.raises(AttestationError):
+            provision_tls_identity(
+                runtime, ctx, cert, key, foreign_qe, attestation,
+                expected_measurement=runtime.enclave.measurement(),
+            )

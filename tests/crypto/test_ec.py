@@ -1,0 +1,97 @@
+"""Tests for P-256 group arithmetic."""
+
+import pytest
+
+from repro.crypto.ec import CURVE_P256, ECPoint
+
+G = CURVE_P256.generator
+
+# Known multiples of the P-256 base point (public test vectors).
+TWO_G_X = 0x7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978
+TWO_G_Y = 0x07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1
+THREE_G_X = 0x5ECBE4D1A6330A44C8F7EF951D4BF165E6C6B721EFADA985FB41661BC6E7FD6C
+THREE_G_Y = 0x8734640C4998FF7E374B06CE1A64A2ECD82AB036384FB83D9A79B127A27D5032
+
+
+def test_generator_is_on_curve():
+    assert not G.is_infinity
+    assert G == ECPoint(CURVE_P256, CURVE_P256.gx, CURVE_P256.gy)
+
+
+def test_double_generator_known_vector():
+    two_g = G + G
+    assert two_g.x == TWO_G_X
+    assert two_g.y == TWO_G_Y
+
+
+def test_scalar_multiplication_known_vectors():
+    assert (2 * G).x == TWO_G_X
+    assert (3 * G).x == THREE_G_X
+    assert (3 * G).y == THREE_G_Y
+
+
+def test_addition_consistent_with_scalar_multiplication():
+    assert 2 * G + 3 * G == 5 * G
+    assert 7 * G + 11 * G == 18 * G
+
+
+def test_order_annihilates_generator():
+    assert (CURVE_P256.n * G).is_infinity
+
+
+def test_negation_and_inverse():
+    p = 9 * G
+    assert (p + (-p)).is_infinity
+    assert -(-p) == p
+
+
+def test_infinity_is_identity():
+    inf = ECPoint.infinity(CURVE_P256)
+    assert inf + G == G
+    assert G + inf == G
+    assert (0 * G).is_infinity
+
+
+def test_scalar_reduction_mod_order():
+    assert (CURVE_P256.n + 5) * G == 5 * G
+
+
+def test_negative_scalar():
+    assert (-3) * G == -(3 * G)
+
+
+def test_encode_decode_roundtrip():
+    p = 12345 * G
+    assert ECPoint.decode(CURVE_P256, p.encode()) == p
+
+
+def test_encode_decode_infinity():
+    inf = ECPoint.infinity(CURVE_P256)
+    assert ECPoint.decode(CURVE_P256, inf.encode()).is_infinity
+
+
+def test_decode_rejects_off_curve_point():
+    bad = b"\x04" + (5).to_bytes(32, "big") + (7).to_bytes(32, "big")
+    with pytest.raises(ValueError):
+        ECPoint.decode(CURVE_P256, bad)
+
+
+def test_decode_rejects_malformed_encoding():
+    with pytest.raises(ValueError):
+        ECPoint.decode(CURVE_P256, b"\x02" + b"\x00" * 64)
+    with pytest.raises(ValueError):
+        ECPoint.decode(CURVE_P256, b"\x04" + b"\x00" * 10)
+
+
+def test_constructor_rejects_off_curve():
+    with pytest.raises(ValueError):
+        ECPoint(CURVE_P256, 5, 7)
+
+
+def test_cross_curve_addition_rejected():
+    from dataclasses import replace
+
+    other = replace(CURVE_P256, name="clone")
+    q = ECPoint(other, other.gx, other.gy)
+    with pytest.raises(ValueError):
+        _ = G + q

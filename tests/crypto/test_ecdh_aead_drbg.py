@@ -1,0 +1,129 @@
+"""Tests for ECDH, AEAD and the deterministic DRBG."""
+
+import pytest
+
+from repro.crypto.aead import AEAD, AEADKey, NONCE_LEN
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import CURVE_P256, ECPoint
+from repro.crypto.ecdh import ecdh_shared_secret, generate_keypair
+from repro.errors import IntegrityError
+
+
+class TestEcdh:
+    def test_shared_secret_agreement(self):
+        drbg = HmacDrbg(seed=b"ecdh")
+        a_priv, a_pub = generate_keypair(drbg)
+        b_priv, b_pub = generate_keypair(drbg)
+        assert ecdh_shared_secret(a_priv, b_pub) == ecdh_shared_secret(b_priv, a_pub)
+
+    def test_different_peers_different_secrets(self):
+        drbg = HmacDrbg(seed=b"ecdh2")
+        a_priv, _ = generate_keypair(drbg)
+        _, b_pub = generate_keypair(drbg)
+        _, c_pub = generate_keypair(drbg)
+        assert ecdh_shared_secret(a_priv, b_pub) != ecdh_shared_secret(a_priv, c_pub)
+
+    def test_infinity_share_rejected(self):
+        with pytest.raises(ValueError):
+            ecdh_shared_secret(5, ECPoint.infinity(CURVE_P256))
+
+
+class TestAead:
+    @pytest.fixture
+    def aead(self):
+        return AEAD(AEADKey.derive(b"master key", label=b"test"))
+
+    def test_seal_open_roundtrip(self, aead):
+        nonce = bytes(NONCE_LEN)
+        sealed = aead.seal(nonce, b"plaintext", b"ad")
+        assert aead.open(nonce, sealed, b"ad") == b"plaintext"
+
+    def test_empty_plaintext(self, aead):
+        nonce = bytes(NONCE_LEN)
+        assert aead.open(nonce, aead.seal(nonce, b""), b"") == b""
+
+    def test_large_plaintext_roundtrip(self, aead):
+        nonce = b"\x07" * NONCE_LEN
+        data = bytes(range(256)) * 300
+        assert aead.open(nonce, aead.seal(nonce, data)) == data
+
+    def test_tampered_ciphertext_rejected(self, aead):
+        nonce = bytes(NONCE_LEN)
+        sealed = bytearray(aead.seal(nonce, b"payload"))
+        sealed[0] ^= 0x01
+        with pytest.raises(IntegrityError):
+            aead.open(nonce, bytes(sealed))
+
+    def test_tampered_tag_rejected(self, aead):
+        nonce = bytes(NONCE_LEN)
+        sealed = bytearray(aead.seal(nonce, b"payload"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            aead.open(nonce, bytes(sealed))
+
+    def test_wrong_associated_data_rejected(self, aead):
+        nonce = bytes(NONCE_LEN)
+        sealed = aead.seal(nonce, b"payload", b"ad-1")
+        with pytest.raises(IntegrityError):
+            aead.open(nonce, sealed, b"ad-2")
+
+    def test_wrong_nonce_rejected(self, aead):
+        sealed = aead.seal(b"\x00" * NONCE_LEN, b"payload")
+        with pytest.raises(IntegrityError):
+            aead.open(b"\x01" * NONCE_LEN, sealed)
+
+    def test_wrong_key_rejected(self, aead):
+        other = AEAD(AEADKey.derive(b"different master"))
+        sealed = aead.seal(bytes(NONCE_LEN), b"payload")
+        with pytest.raises(IntegrityError):
+            other.open(bytes(NONCE_LEN), sealed)
+
+    def test_truncated_blob_rejected(self, aead):
+        with pytest.raises(IntegrityError):
+            aead.open(bytes(NONCE_LEN), b"short")
+
+    def test_bad_nonce_length_rejected(self, aead):
+        with pytest.raises(ValueError):
+            aead.seal(b"short", b"data")
+
+    def test_key_derivation_labels_are_independent(self):
+        k1 = AEADKey.derive(b"master", label=b"a")
+        k2 = AEADKey.derive(b"master", label=b"b")
+        assert k1 != k2
+
+
+class TestDrbg:
+    def test_deterministic_for_same_seed(self):
+        assert HmacDrbg(seed=b"s").generate(64) == HmacDrbg(seed=b"s").generate(64)
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg(seed=b"s1").generate(32) != HmacDrbg(seed=b"s2").generate(32)
+
+    def test_stream_advances(self):
+        drbg = HmacDrbg(seed=b"s")
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(seed=b"s")
+        b = HmacDrbg(seed=b"s")
+        b.reseed(b"fresh entropy")
+        assert a.generate(32) != b.generate(32)
+
+    def test_randint_below_in_range(self):
+        drbg = HmacDrbg(seed=b"range")
+        values = [drbg.randint_below(100) for _ in range(500)]
+        assert all(0 <= v < 100 for v in values)
+        # With 500 draws the extremes should both be hit w.h.p.
+        assert min(values) < 10
+        assert max(values) >= 90
+
+    def test_randint_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(seed=b"x").randint_below(0)
+
+    def test_generate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(seed=b"x").generate(-1)
+
+    def test_unseeded_instances_differ(self):
+        assert HmacDrbg().generate(32) != HmacDrbg().generate(32)

@@ -1,0 +1,44 @@
+"""Additional published test vectors for the crypto substrate."""
+
+from repro.crypto.ec import CURVE_P256
+from repro.crypto.ecdh import ecdh_shared_secret
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.crypto.hashing import sha256
+
+# NIST CAVP ECDH (P-256) known-answer vector (SP 800-56A, count 0):
+CAVP_D = 0x7D7DC5F71EB29DDAF80D6214632EEAE03D9058AF1FB6D22ED80BADB62BC1A534
+CAVP_PEER_X = 0x700C48F77F56584C5CC632CA65640DB91B6BACCE3A4DF6B42CE7CC838833D287
+CAVP_PEER_Y = 0xDB71E509E3FD9B060DDB20BA5C51DCC5948D46FBF640DFE0441782CAB85FA4AC
+CAVP_SHARED_X = 0x46FC62106420FF012E54A434FBDD2D25CCC5852060561E68040DD7778997BD7B
+
+
+def test_cavp_ecdh_shared_secret():
+    from repro.crypto.ec import ECPoint
+
+    peer = ECPoint(CURVE_P256, CAVP_PEER_X, CAVP_PEER_Y)
+    # Our API hashes the x-coordinate; reproduce that on the vector.
+    expected = sha256(CAVP_SHARED_X.to_bytes(32, "big"))
+    assert ecdh_shared_secret(CAVP_D, peer) == expected
+
+
+# RFC 6979 A.2.5, message "test" (complements the "sample" vector).
+RFC6979_D = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+TEST_R = 0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367
+TEST_S = 0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083
+
+
+def test_rfc6979_test_message_vector():
+    signature = EcdsaPrivateKey(RFC6979_D).sign(b"test")
+    assert signature.r == TEST_R
+    assert signature.s == TEST_S
+
+
+# NIST P-256 scalar multiplication: k*G for k = 20 (public test vector).
+K20_X = 0x83A01A9378395BAB9BCD6A0AD03CC56D56E6B19250465A94A234DC4C6B28DA9A
+K20_Y = 0x76E49B6DE2F73234AE6A5EB9D612B75C9F2202BB6923F54FF8240AAA86F640B8
+
+
+def test_p256_twenty_g_vector():
+    point = 20 * CURVE_P256.generator
+    assert point.x == K20_X
+    assert point.y == K20_Y

@@ -1,0 +1,115 @@
+"""Unit tests for the memory pool and callback machinery (§4.1/§4.2)."""
+
+import pytest
+
+from repro.enclave_tls.callbacks import CallbackRegistry, TrampolineTable
+from repro.enclave_tls.mempool import MemoryPool
+from repro.enclave_tls.shadow import ShadowSSL
+from repro.errors import EnclaveError, SimulationError
+
+
+class TestMemoryPool:
+    def test_alloc_free_cycle(self):
+        pool = MemoryPool(block_size=64, capacity=4)
+        blocks = [pool.alloc() for _ in range(4)]
+        assert pool.in_use == 4
+        for block in blocks:
+            pool.free(block)
+        assert pool.in_use == 0
+        assert pool.stats.ocalls_avoided == 8
+
+    def test_exhaustion_raises(self):
+        pool = MemoryPool(capacity=2)
+        pool.alloc()
+        pool.alloc()
+        with pytest.raises(SimulationError):
+            pool.alloc()
+
+    def test_double_free_rejected(self):
+        pool = MemoryPool(capacity=2)
+        block = pool.alloc()
+        pool.free(block)
+        with pytest.raises(SimulationError):
+            pool.free(block)
+
+    def test_foreign_block_rejected(self):
+        pool = MemoryPool(capacity=2)
+        with pytest.raises(SimulationError):
+            pool.free(9999)
+
+    def test_high_watermark(self):
+        pool = MemoryPool(capacity=8)
+        blocks = [pool.alloc() for _ in range(5)]
+        for block in blocks:
+            pool.free(block)
+        pool.alloc()
+        assert pool.stats.high_watermark == 5
+
+    def test_blocks_are_reusable(self):
+        pool = MemoryPool(capacity=1)
+        first = pool.alloc()
+        pool.free(first)
+        second = pool.alloc()
+        assert second == first
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryPool(block_size=0)
+        with pytest.raises(SimulationError):
+            MemoryPool(capacity=0)
+
+
+class TestCallbackRegistry:
+    def test_register_invoke(self):
+        registry = CallbackRegistry()
+        cb_id = registry.register(lambda x: x * 2)
+        assert registry.invoke(cb_id, 21) == 42
+        assert registry.invocations == 1
+
+    def test_unknown_id_rejected(self):
+        registry = CallbackRegistry()
+        with pytest.raises(EnclaveError):
+            registry.invoke(42)
+
+    def test_ids_are_unique(self):
+        registry = CallbackRegistry()
+        ids = {registry.register(lambda: None) for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestTrampolineTable:
+    def test_install_lookup(self):
+        table = TrampolineTable()
+        table.install(handle=1, hook="info", cb_id=7)
+        assert table.lookup(1, "info") == 7
+        assert table.lookup(1, "other") is None
+        assert table.lookup(2, "info") is None
+
+    def test_remove_handle_clears_all_hooks(self):
+        table = TrampolineTable()
+        table.install(1, "info", 7)
+        table.install(1, "msg", 8)
+        table.install(2, "info", 9)
+        table.remove_handle(1)
+        assert table.lookup(1, "info") is None
+        assert table.lookup(1, "msg") is None
+        assert table.lookup(2, "info") == 9
+
+
+class TestShadowStructure:
+    def test_apply_sanitised_updates_fields(self):
+        shadow = ShadowSSL(handle=3)
+        shadow.apply_sanitised({"established": True, "pending_bytes": 10})
+        assert shadow.established
+        assert shadow.pending_bytes == 10
+
+    def test_non_allowlisted_field_rejected(self):
+        shadow = ShadowSSL(handle=3)
+        for forbidden in ("master_secret", "private_key", "session_keys"):
+            with pytest.raises(ValueError):
+                shadow.apply_sanitised({forbidden: b"leak"})
+
+    def test_ex_data_is_local(self):
+        shadow = ShadowSSL(handle=3)
+        shadow.ex_data[0] = {"request": "GET /"}
+        assert ShadowSSL(handle=4).ex_data == {}

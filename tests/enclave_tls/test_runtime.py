@@ -1,0 +1,263 @@
+"""Tests for the LibSEAL enclave TLS runtime (§4).
+
+The central claims under test:
+
+- drop-in: a stock client (native TLS API) talks to a LibSEAL server;
+- isolation: keys live inside, shadows outside carry no secrets;
+- boundary mechanics: BIO I/O is ocalls, API calls are ecalls;
+- §4.2 optimisations measurably remove ecalls/ocalls;
+- audit hooks observe request/response plaintext inside the enclave.
+"""
+
+import pytest
+
+from repro.enclave_tls import EnclaveTlsRuntime, LibSealTlsOptions
+from repro.enclave_tls.shadow import SANITISED_FIELDS
+from repro.errors import EnclaveError, TLSError
+from repro.tls import api as native_api
+from repro.tls.bio import bio_pair
+from repro.tls.cert import CertificateAuthority, make_server_identity
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("etls-root", seed=b"etls-ca")
+
+
+@pytest.fixture
+def identity(ca):
+    return make_server_identity(ca, "enclave.example", seed=b"etls-server")
+
+
+def make_runtime(identity, options=None):
+    runtime = EnclaveTlsRuntime(options=options)
+    key, cert = identity
+    ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+    runtime.api.SSL_CTX_use_certificate(ctx, cert)
+    runtime.api.SSL_CTX_use_PrivateKey(ctx, key)
+    return runtime, ctx
+
+
+def connect_native_client(runtime, server_ctx, ca, client_seed=b"nc"):
+    """Stock client (native API) <-> LibSEAL server (enclave API)."""
+    c2s, s_from_c = bio_pair()
+    s2c, c_from_s = bio_pair()
+    server_ssl = runtime.api.SSL_new(server_ctx)
+    runtime.api.SSL_set_bio(server_ssl, s_from_c, s2c)
+    client_ctx = native_api.SSL_CTX_new(native_api.TLS_client_method())
+    native_api.SSL_CTX_load_verify_locations(client_ctx, ca)
+    client_ctx.drbg_seed = client_seed
+    client_ssl = native_api.SSL_new(client_ctx)
+    native_api.SSL_set_bio(client_ssl, c_from_s, c2s)
+    for _ in range(10):
+        done_c = native_api.SSL_connect(client_ssl)
+        done_s = runtime.api.SSL_accept(server_ssl)
+        if done_c and done_s:
+            return client_ssl, server_ssl
+    raise AssertionError("handshake did not converge")
+
+
+class TestDropInReplacement:
+    def test_native_client_talks_to_enclave_server(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        client, server = connect_native_client(runtime, ctx, ca)
+        native_api.SSL_write(client, b"GET / HTTP/1.1\r\n\r\n")
+        assert runtime.api.SSL_read(server) == b"GET / HTTP/1.1\r\n\r\n"
+        runtime.api.SSL_write(server, b"HTTP/1.1 200 OK\r\n\r\n")
+        assert native_api.SSL_read(client) == b"HTTP/1.1 200 OK\r\n\r\n"
+
+    def test_shadow_reflects_connection_state(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        _, server = connect_native_client(runtime, ctx, ca)
+        assert server.shadow.established
+        assert server.shadow.is_server
+        assert runtime.api.SSL_is_init_finished(server)
+
+    def test_multiple_connections(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        pairs = [
+            connect_native_client(runtime, ctx, ca, client_seed=bytes([i]))
+            for i in range(3)
+        ]
+        for i, (client, server) in enumerate(pairs):
+            native_api.SSL_write(client, f"req-{i}".encode())
+            assert runtime.api.SSL_read(server) == f"req-{i}".encode()
+
+    def test_ssl_free_releases_resources(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        _, server = connect_native_client(runtime, ctx, ca)
+        in_use_before = runtime.pool.in_use
+        runtime.api.SSL_free(server)
+        assert runtime.pool.in_use < in_use_before
+        with pytest.raises((TLSError, EnclaveError)):
+            runtime.api.SSL_read(server)
+
+
+class TestIsolation:
+    def test_private_key_is_not_reachable_from_outside(self, identity):
+        runtime, _ = make_runtime(identity)
+        contexts = runtime._inside["contexts"]
+        (ctx_entry,) = contexts.values()
+        protected_key = ctx_entry["private_key"]
+        with pytest.raises(EnclaveError):
+            protected_key.get()
+
+    def test_shadow_contains_no_key_material(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        _, server = connect_native_client(runtime, ctx, ca)
+        shadow_fields = vars(server.shadow)
+        for name in shadow_fields:
+            assert "key" not in name.lower()
+            assert "secret" not in name.lower()
+        # And the allow-list is what it claims to be.
+        assert "established" in SANITISED_FIELDS
+        assert all("key" not in f for f in SANITISED_FIELDS)
+
+    def test_shadow_rejects_non_sanitised_field(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        _, server = connect_native_client(runtime, ctx, ca)
+        with pytest.raises(ValueError):
+            server.shadow.apply_sanitised({"master_secret": b"leak"})
+
+    def test_interface_is_sealed(self, identity):
+        runtime, _ = make_runtime(identity)
+        with pytest.raises(EnclaveError):
+            runtime.enclave.interface.register_ecall("backdoor", lambda: None)
+
+
+class TestBoundaryMechanics:
+    def test_bio_io_happens_via_ocalls(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        stats = runtime.enclave.interface.stats
+        connect_native_client(runtime, ctx, ca)
+        assert stats.per_ocall.get("bio_read", 0) > 0
+        assert stats.per_ocall.get("bio_write", 0) > 0
+
+    def test_api_calls_are_ecalls(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        stats = runtime.enclave.interface.stats
+        client, server = connect_native_client(runtime, ctx, ca)
+        before = stats.ecalls
+        native_api.SSL_write(client, b"ping")
+        runtime.api.SSL_read(server)
+        assert stats.per_ecall.get("ssl_read", 0) >= 1
+        assert stats.ecalls > before
+
+    def test_info_callback_fires_through_trampoline_ocall(self, ca, identity):
+        runtime = EnclaveTlsRuntime()
+        key, cert = identity
+        ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+        runtime.api.SSL_CTX_use_certificate(ctx, cert)
+        runtime.api.SSL_CTX_use_PrivateKey(ctx, key)
+        events = []
+        runtime.api.SSL_CTX_set_info_callback(
+            ctx, lambda handle, event, value: events.append((handle, event))
+        )
+        connect_native_client(runtime, ctx, ca)
+        assert events, "info callback never fired"
+        assert runtime.enclave.interface.stats.per_ocall.get("invoke_callback", 0) > 0
+        assert runtime.callbacks.invocations == len(events)
+
+    def test_ex_data_outside_needs_no_ecall(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        _, server = connect_native_client(runtime, ctx, ca)
+        before = runtime.enclave.interface.stats.ecalls
+        runtime.api.SSL_set_ex_data(server, 0, {"req": 1})
+        assert runtime.api.SSL_get_ex_data(server, 0) == {"req": 1}
+        assert runtime.enclave.interface.stats.ecalls == before
+
+    def test_peer_certificate_via_ecall(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        client, server = connect_native_client(runtime, ctx, ca)
+        assert runtime.api.SSL_get_peer_certificate(server) is None
+        cert = native_api.SSL_get_peer_certificate(client)
+        assert cert is not None and cert.subject == "enclave.example"
+
+
+class TestOptimisationToggles:
+    def opt_counts(self, ca, identity, options):
+        runtime = EnclaveTlsRuntime(options=options)
+        key, cert = identity
+        ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+        runtime.api.SSL_CTX_use_certificate(ctx, cert)
+        runtime.api.SSL_CTX_use_PrivateKey(ctx, key)
+        client, server = connect_native_client(runtime, ctx, ca)
+        native_api.SSL_write(client, b"request")
+        runtime.api.SSL_read(server)
+        runtime.api.SSL_set_ex_data(server, 0, "ctx")
+        runtime.api.SSL_get_ex_data(server, 0)
+        runtime.api.SSL_free(server)
+        stats = runtime.enclave.interface.stats
+        return stats.ecalls, stats.ocalls
+
+    def test_all_optimisations_reduce_transitions(self, ca, identity):
+        optimised = self.opt_counts(ca, identity, LibSealTlsOptions())
+        unoptimised = self.opt_counts(
+            ca,
+            identity,
+            LibSealTlsOptions(
+                use_mempool=False, use_sdk_locks_rand=False, ex_data_outside=False
+            ),
+        )
+        assert optimised[0] < unoptimised[0]  # fewer ecalls
+        assert optimised[1] < unoptimised[1]  # fewer ocalls
+
+    def test_mempool_removes_malloc_free_ocalls(self, ca, identity):
+        runtime = EnclaveTlsRuntime(options=LibSealTlsOptions(use_mempool=False))
+        key, cert = identity
+        ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+        runtime.api.SSL_CTX_use_certificate(ctx, cert)
+        runtime.api.SSL_CTX_use_PrivateKey(ctx, key)
+        _, server = connect_native_client(runtime, ctx, ca)
+        runtime.api.SSL_free(server)
+        stats = runtime.enclave.interface.stats
+        assert stats.per_ocall.get("malloc", 0) > 0
+        assert stats.per_ocall.get("free", 0) > 0
+
+    def test_sdk_rand_avoids_random_ocalls(self, ca, identity):
+        runtime, ctx = make_runtime(identity)  # defaults: SDK rand on
+        connect_native_client(runtime, ctx, ca)
+        assert runtime.enclave.interface.stats.per_ocall.get("sys_random", 0) == 0
+
+    def test_disabled_sdk_rand_uses_random_ocalls(self, ca, identity):
+        runtime = EnclaveTlsRuntime(
+            options=LibSealTlsOptions(use_sdk_locks_rand=False)
+        )
+        key, cert = identity
+        ctx = runtime.api.SSL_CTX_new(runtime.api.TLS_server_method())
+        runtime.api.SSL_CTX_use_certificate(ctx, cert)
+        runtime.api.SSL_CTX_use_PrivateKey(ctx, key)
+        connect_native_client(runtime, ctx, ca)
+        stats = runtime.enclave.interface.stats
+        assert stats.per_ocall.get("sys_random", 0) > 0
+        assert stats.per_ocall.get("pthread_lock", 0) > 0
+
+
+class TestAuditHooks:
+    def test_hooks_see_plaintext_inside_enclave(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        seen = {"read": [], "write": []}
+        runtime.set_audit_hooks(
+            on_read=lambda handle, data: seen["read"].append(data),
+            on_write=lambda handle, data: seen["write"].append(data),
+        )
+        client, server = connect_native_client(runtime, ctx, ca)
+        native_api.SSL_write(client, b"PUT /doc HTTP/1.1\r\n\r\nbody")
+        runtime.api.SSL_read(server)
+        runtime.api.SSL_write(server, b"HTTP/1.1 204 No Content\r\n\r\n")
+        assert seen["read"] == [b"PUT /doc HTTP/1.1\r\n\r\nbody"]
+        assert seen["write"] == [b"HTTP/1.1 204 No Content\r\n\r\n"]
+
+    def test_hooks_run_inside_the_enclave(self, ca, identity):
+        runtime, ctx = make_runtime(identity)
+        inside_flags = []
+        runtime.set_audit_hooks(
+            on_read=lambda handle, data: inside_flags.append(
+                runtime.enclave.interface.inside_enclave
+            ),
+            on_write=None,
+        )
+        client, server = connect_native_client(runtime, ctx, ca)
+        native_api.SSL_write(client, b"x")
+        runtime.api.SSL_read(server)
+        assert inside_flags == [True]

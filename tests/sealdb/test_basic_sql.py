@@ -1,0 +1,267 @@
+"""End-to-end behaviour of SealDB DDL, DML and simple SELECTs."""
+
+import pytest
+
+from repro.sealdb import Database, SQLExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t(a INTEGER, b TEXT, c REAL)")
+    database.execute("INSERT INTO t VALUES (1, 'one', 1.5)")
+    database.execute("INSERT INTO t VALUES (2, 'two', 2.5)")
+    database.execute("INSERT INTO t VALUES (3, 'three', 3.5)")
+    return database
+
+
+class TestDDL:
+    def test_create_and_list_tables(self):
+        db = Database()
+        db.execute("CREATE TABLE x(a INTEGER)")
+        assert db.table_names() == ["x"]
+
+    def test_create_duplicate_raises(self):
+        db = Database()
+        db.execute("CREATE TABLE x(a INTEGER)")
+        with pytest.raises(SQLExecutionError):
+            db.execute("CREATE TABLE x(a INTEGER)")
+
+    def test_if_not_exists_is_silent(self):
+        db = Database()
+        db.execute("CREATE TABLE x(a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS x(a INTEGER)")
+
+    def test_drop_table(self):
+        db = Database()
+        db.execute("CREATE TABLE x(a INTEGER)")
+        db.execute("DROP TABLE x")
+        assert db.table_names() == []
+
+    def test_drop_missing_raises_unless_if_exists(self):
+        db = Database()
+        with pytest.raises(SQLExecutionError):
+            db.execute("DROP TABLE nope")
+        db.execute("DROP TABLE IF EXISTS nope")
+
+    def test_duplicate_column_rejected(self):
+        db = Database()
+        with pytest.raises(SQLExecutionError):
+            db.execute("CREATE TABLE x(a INTEGER, A TEXT)")
+
+    def test_primary_key_enforced(self):
+        db = Database()
+        db.execute("CREATE TABLE x(a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO x VALUES (1)")
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO x VALUES (1)")
+
+
+class TestInsert:
+    def test_insert_with_column_list(self, db):
+        db.execute("INSERT INTO t (b, a) VALUES ('four', 4)")
+        result = db.execute("SELECT a, b, c FROM t WHERE a = 4")
+        assert result.rows == [(4, "four", None)]
+
+    def test_insert_multi_row(self, db):
+        count = db.execute("INSERT INTO t VALUES (4, 'x', 0.0), (5, 'y', 0.0)").rowcount
+        assert count == 2
+        assert db.row_count("t") == 5
+
+    def test_insert_from_select(self, db):
+        db.execute("CREATE TABLE copy(a INTEGER, b TEXT, c REAL)")
+        db.execute("INSERT INTO copy SELECT * FROM t WHERE a >= 2")
+        assert db.row_count("copy") == 2
+
+    def test_insert_with_parameters(self, db):
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", (9, "nine", 9.5))
+        assert db.execute("SELECT b FROM t WHERE a = 9").scalar() == "nine"
+
+    def test_affinity_coercion(self):
+        db = Database()
+        db.execute("CREATE TABLE x(a INTEGER, b TEXT)")
+        db.execute("INSERT INTO x VALUES ('12', 34)")
+        row = db.execute("SELECT a, b FROM x").rows[0]
+        assert row == (12, "34")
+
+    def test_wrong_arity_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t VALUES (1, 'x')")
+
+    def test_missing_parameters_raise(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (1,))
+
+
+class TestSelect:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM t ORDER BY a")
+        assert result.columns == ["a", "b", "c"]
+        assert len(result.rows) == 3
+
+    def test_where_filters(self, db):
+        assert db.execute("SELECT a FROM t WHERE a > 1 ORDER BY a").rows == [(2,), (3,)]
+
+    def test_expressions_in_select(self, db):
+        assert db.execute("SELECT a * 10 + 1 FROM t WHERE a = 2").scalar() == 21
+
+    def test_string_concat(self, db):
+        assert db.execute("SELECT b || '!' FROM t WHERE a = 1").scalar() == "one!"
+
+    def test_order_by_desc(self, db):
+        assert db.execute("SELECT a FROM t ORDER BY a DESC").rows == [(3,), (2,), (1,)]
+
+    def test_order_by_position(self, db):
+        assert db.execute("SELECT a FROM t ORDER BY 1 DESC").rows == [(3,), (2,), (1,)]
+
+    def test_order_by_alias(self, db):
+        rows = db.execute("SELECT a * -1 AS neg FROM t ORDER BY neg").rows
+        assert rows == [(-3,), (-2,), (-1,)]
+
+    def test_limit_offset(self, db):
+        assert db.execute("SELECT a FROM t ORDER BY a LIMIT 1 OFFSET 1").rows == [(2,)]
+
+    def test_distinct(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'one', 1.5)")
+        assert len(db.execute("SELECT DISTINCT b FROM t").rows) == 3
+
+    def test_select_without_from(self):
+        db = Database()
+        assert db.execute("SELECT 1 + 2").scalar() == 3
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT nothere FROM t")
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT * FROM missing")
+
+    def test_case_expression(self, db):
+        rows = db.execute(
+            "SELECT CASE WHEN a >= 2 THEN 'big' ELSE 'small' END FROM t ORDER BY a"
+        ).rows
+        assert rows == [("small",), ("big",), ("big",)]
+
+    def test_like(self, db):
+        assert db.execute("SELECT b FROM t WHERE b LIKE 't%'").rows == [
+            ("two",),
+            ("three",),
+        ]
+
+    def test_between(self, db):
+        assert db.execute("SELECT a FROM t WHERE a BETWEEN 2 AND 3 ORDER BY a").rows == [
+            (2,),
+            (3,),
+        ]
+
+    def test_in_list(self, db):
+        assert db.execute("SELECT a FROM t WHERE a IN (1, 3) ORDER BY a").rows == [
+            (1,),
+            (3,),
+        ]
+
+    def test_union(self, db):
+        rows = db.execute(
+            "SELECT a FROM t WHERE a = 1 UNION SELECT a FROM t WHERE a <= 2 ORDER BY 1"
+        ).rows
+        assert rows == [(1,), (2,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.execute(
+            "SELECT a FROM t WHERE a = 1 UNION ALL SELECT a FROM t WHERE a = 1"
+        ).rows
+        assert rows == [(1,), (1,)]
+
+    def test_except_and_intersect(self, db):
+        assert db.execute(
+            "SELECT a FROM t EXCEPT SELECT a FROM t WHERE a = 2 ORDER BY 1"
+        ).rows == [(1,), (3,)]
+        assert db.execute(
+            "SELECT a FROM t INTERSECT SELECT a FROM t WHERE a >= 2 ORDER BY 1"
+        ).rows == [(2,), (3,)]
+
+
+class TestDeleteUpdate:
+    def test_delete_with_where(self, db):
+        assert db.execute("DELETE FROM t WHERE a < 3").rowcount == 2
+        assert db.row_count("t") == 1
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM t").rowcount == 3
+        assert db.row_count("t") == 0
+
+    def test_delete_with_self_subquery(self, db):
+        # Trimming-style delete: keep only the max.
+        db.execute("DELETE FROM t WHERE a NOT IN (SELECT MAX(a) FROM t)")
+        assert db.execute("SELECT a FROM t").rows == [(3,)]
+
+    def test_update(self, db):
+        assert db.execute("UPDATE t SET b = 'changed' WHERE a >= 2").rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM t WHERE b = 'changed'").scalar() == 2
+
+    def test_update_with_expression(self, db):
+        db.execute("UPDATE t SET a = a + 10")
+        assert db.execute("SELECT MIN(a) FROM t").scalar() == 11
+
+
+class TestViews:
+    def test_view_queries_underlying_table(self, db):
+        db.execute("CREATE VIEW big AS SELECT a, b FROM t WHERE a >= 2")
+        assert db.execute("SELECT COUNT(*) FROM big").scalar() == 2
+        db.execute("INSERT INTO t VALUES (5, 'five', 5.0)")
+        assert db.execute("SELECT COUNT(*) FROM big").scalar() == 3
+
+    def test_view_with_alias(self, db):
+        db.execute("CREATE VIEW v AS SELECT a AS x FROM t")
+        assert db.execute("SELECT v.x FROM v WHERE v.x = 2").rows == [(2,)]
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW v AS SELECT a FROM t")
+        db.execute("DROP VIEW v")
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT * FROM v")
+
+
+class TestScalarFunctions:
+    def test_abs_length_round(self, db):
+        assert db.execute("SELECT ABS(-5)").scalar() == 5
+        assert db.execute("SELECT LENGTH('hello')").scalar() == 5
+        assert db.execute("SELECT ROUND(2.567, 1)").scalar() == 2.6
+
+    def test_coalesce_ifnull(self, db):
+        assert db.execute("SELECT COALESCE(NULL, NULL, 7)").scalar() == 7
+        assert db.execute("SELECT IFNULL(NULL, 'x')").scalar() == "x"
+
+    def test_substr_upper_lower(self, db):
+        assert db.execute("SELECT SUBSTR('hello', 2, 3)").scalar() == "ell"
+        assert db.execute("SELECT UPPER('abc') || LOWER('DEF')").scalar() == "ABCdef"
+
+    def test_scalar_min_max(self, db):
+        assert db.execute("SELECT MIN(3, 1, 2)").scalar() == 1
+        assert db.execute("SELECT MAX(3, 1, 2)").scalar() == 3
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT NOSUCHFN(1)")
+
+
+def test_executescript():
+    db = Database()
+    db.executescript(
+        """
+        CREATE TABLE a(x INTEGER);
+        INSERT INTO a VALUES (1);
+        INSERT INTO a VALUES (2);
+        """
+    )
+    assert db.execute("SELECT SUM(x) FROM a").scalar() == 3
+
+
+def test_snapshot_and_clone_schema(db):
+    snapshot = db.snapshot()
+    assert set(snapshot) == {"t"}
+    assert len(snapshot["t"]) == 3
+    clone = db.clone_schema()
+    assert clone.table_names() == ["t"]
+    assert clone.row_count("t") == 0

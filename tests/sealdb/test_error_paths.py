@@ -1,0 +1,175 @@
+"""SealDB error-path and edge-case coverage."""
+
+import pytest
+
+from repro.sealdb import Database, SQLExecutionError, SQLParseError
+from repro.sealdb.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        "CREATE TABLE t(a INTEGER, b TEXT); INSERT INTO t VALUES (1, 'x');"
+    )
+    return database
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",  # no statement at all
+            "SELEC * FROM t",  # typo'd keyword becomes identifier
+            "SELECT * FROM",  # missing table
+            "SELECT * FROM t WHERE",  # missing predicate
+            "INSERT INTO t",  # missing VALUES/SELECT
+            "INSERT INTO t VALUES (1,)",  # trailing comma
+            "UPDATE t SET",  # missing assignment
+            "UPDATE t SET a 1",  # missing '='
+            "CREATE TABLE x",  # missing column list
+            "CREATE VIEW v SELECT 1",  # missing AS
+            "DELETE t",  # missing FROM
+            "SELECT a FROM t GROUP a",  # missing BY
+            "SELECT a FROM t ORDER a",  # missing BY
+            "SELECT CASE END",  # CASE without WHEN
+            "SELECT (1 + 2",  # unbalanced paren
+            "SELECT * FROM t JOIN",  # dangling join
+            "DROP DATABASE x",  # unsupported object kind
+        ],
+    )
+    def test_malformed_statements_raise_parse_errors(self, sql):
+        with pytest.raises(SQLParseError):
+            parse_statement(sql)
+
+    def test_error_message_contains_context(self):
+        with pytest.raises(SQLParseError) as excinfo:
+            parse_statement("SELECT a FROM t WHERE ORDER")
+        assert "near" in str(excinfo.value)
+
+    def test_illegal_character_reported_with_position(self):
+        with pytest.raises(SQLParseError, match="illegal character"):
+            parse_statement("SELECT @a FROM t")
+
+
+class TestExecutionErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(SQLExecutionError, match="no such table"):
+            db.execute("SELECT * FROM missing")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SQLExecutionError, match="no such column"):
+            db.execute("SELECT zap FROM t")
+
+    def test_unknown_column_in_where(self, db):
+        with pytest.raises(SQLExecutionError, match="no such column"):
+            db.execute("SELECT a FROM t WHERE ghost = 1")
+
+    def test_unknown_qualified_table(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT nope.a FROM t")
+
+    def test_star_with_unknown_table(self, db):
+        with pytest.raises(SQLExecutionError, match="no such table"):
+            db.execute("SELECT nope.* FROM t")
+
+    def test_scalar_subquery_multiple_columns(self, db):
+        with pytest.raises(SQLExecutionError, match="one column"):
+            db.execute("SELECT (SELECT a, b FROM t)")
+
+    def test_in_subquery_multiple_columns(self, db):
+        with pytest.raises(SQLExecutionError, match="one column"):
+            db.execute("SELECT a FROM t WHERE a IN (SELECT a, b FROM t)")
+
+    def test_compound_arity_mismatch(self, db):
+        with pytest.raises(SQLExecutionError, match="arity"):
+            db.execute("SELECT a FROM t UNION SELECT a, b FROM t")
+
+    def test_order_by_position_out_of_range(self, db):
+        with pytest.raises(SQLExecutionError, match="out of range"):
+            db.execute("SELECT a FROM t ORDER BY 5")
+
+    def test_aggregate_arity(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT SUM(a, b) FROM t")
+
+    def test_scalar_function_arity(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT ABS(1, 2)")
+
+    def test_insert_too_many_values(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t (a) VALUES (1, 2)")
+
+    def test_update_unknown_column(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("UPDATE t SET ghost = 1")
+
+    def test_view_cannot_be_dropped_as_table(self, db):
+        db.execute("CREATE VIEW v AS SELECT a FROM t")
+        with pytest.raises(SQLExecutionError):
+            db.execute("DROP TABLE v")
+
+    def test_create_table_colliding_with_view(self, db):
+        db.execute("CREATE VIEW v AS SELECT a FROM t")
+        with pytest.raises(SQLExecutionError):
+            db.execute("CREATE TABLE v(x INTEGER)")
+
+    def test_insert_into_view_rejected(self, db):
+        db.execute("CREATE VIEW v AS SELECT a FROM t")
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO v VALUES (1)")
+
+
+class TestEdgeSemantics:
+    def test_division_by_zero_is_null(self, db):
+        assert db.execute("SELECT 1 / 0").scalar() is None
+        assert db.execute("SELECT 1 % 0").scalar() is None
+
+    def test_integer_division_truncates_toward_zero(self, db):
+        assert db.execute("SELECT 7 / 2").scalar() == 3
+        assert db.execute("SELECT -7 / 2").scalar() == -3
+
+    def test_string_arithmetic_coerces(self, db):
+        assert db.execute("SELECT '3' + 4").scalar() == 7
+        assert db.execute("SELECT 'abc' + 1").scalar() == 1
+
+    def test_unary_minus(self, db):
+        assert db.execute("SELECT -a FROM t").scalar() == -1
+        # Note: "--" starts a SQL comment (as in SQLite), so double
+        # negation needs parentheses.
+        assert db.execute("SELECT -(-a) FROM t").scalar() == 1
+
+    def test_empty_in_list(self, db):
+        assert db.execute("SELECT a FROM t WHERE a IN ()").rows == []
+
+    def test_limit_zero(self, db):
+        assert db.execute("SELECT a FROM t LIMIT 0").rows == []
+
+    def test_limit_with_parameter(self, db):
+        db.execute("INSERT INTO t VALUES (2, 'y')")
+        assert len(db.execute("SELECT a FROM t LIMIT ?", (1,)).rows) == 1
+
+    def test_offset_beyond_end(self, db):
+        assert db.execute("SELECT a FROM t LIMIT 10 OFFSET 100").rows == []
+
+    def test_quoted_identifier_roundtrip(self):
+        db = Database()
+        db.execute('CREATE TABLE "weird name"(a INTEGER)')
+        db.execute('INSERT INTO "weird name" VALUES (1)')
+        assert db.execute('SELECT a FROM "weird name"').scalar() == 1
+
+    def test_case_insensitive_table_and_column(self, db):
+        assert db.execute("SELECT A FROM T WHERE B = 'x'").scalar() == 1
+
+    def test_text_as_column_name(self):
+        db = Database()
+        db.execute("CREATE TABLE m(text TEXT, integer INTEGER)")
+        db.execute("INSERT INTO m VALUES ('hello', 5)")
+        assert db.execute("SELECT text, integer FROM m").rows == [("hello", 5)]
+
+    def test_statement_cache_reuse(self, db):
+        sql = "SELECT a FROM t WHERE a = ?"
+        assert db.execute(sql, (1,)).scalar() == 1
+        db.execute("INSERT INTO t VALUES (2, 'y')")
+        assert db.execute(sql, (2,)).scalar() == 2

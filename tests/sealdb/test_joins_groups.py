@@ -1,0 +1,203 @@
+"""Joins, grouping, aggregates, NULL semantics."""
+
+import pytest
+
+from repro.sealdb import Database, SQLExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE orders(id INTEGER, customer TEXT, amount INTEGER);
+        CREATE TABLE customers(customer TEXT, city TEXT);
+        INSERT INTO orders VALUES (1, 'ann', 10), (2, 'bob', 20),
+                                  (3, 'ann', 30), (4, 'eve', 5);
+        INSERT INTO customers VALUES ('ann', 'rome'), ('bob', 'pisa');
+        """
+    )
+    return database
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = db.execute(
+            "SELECT o.id, c.city FROM orders o JOIN customers c "
+            "ON o.customer = c.customer ORDER BY o.id"
+        ).rows
+        assert rows == [(1, "rome"), (2, "pisa"), (3, "rome")]
+
+    def test_left_join_keeps_unmatched(self, db):
+        rows = db.execute(
+            "SELECT o.id, c.city FROM orders o LEFT JOIN customers c "
+            "ON o.customer = c.customer ORDER BY o.id"
+        ).rows
+        assert rows == [(1, "rome"), (2, "pisa"), (3, "rome"), (4, None)]
+
+    def test_cross_join_cardinality(self, db):
+        rows = db.execute("SELECT * FROM orders, customers").rows
+        assert len(rows) == 8
+
+    def test_natural_join(self, db):
+        rows = db.execute(
+            "SELECT id, customer, city FROM orders NATURAL JOIN customers ORDER BY id"
+        ).rows
+        assert rows == [(1, "ann", "rome"), (2, "bob", "pisa"), (3, "ann", "rome")]
+
+    def test_natural_join_star_merges_common_columns(self, db):
+        result = db.execute("SELECT * FROM orders NATURAL JOIN customers")
+        assert result.columns == ["id", "customer", "amount", "city"]
+
+    def test_join_using(self, db):
+        rows = db.execute(
+            "SELECT id, city FROM orders JOIN customers USING (customer) ORDER BY id"
+        ).rows
+        assert rows == [(1, "rome"), (2, "pisa"), (3, "rome")]
+
+    def test_three_way_join(self, db):
+        db.executescript(
+            """
+            CREATE TABLE cities(city TEXT, country TEXT);
+            INSERT INTO cities VALUES ('rome', 'it'), ('pisa', 'it');
+            """
+        )
+        rows = db.execute(
+            "SELECT o.id, ci.country FROM orders o "
+            "JOIN customers c ON o.customer = c.customer "
+            "JOIN cities ci ON c.city = ci.city ORDER BY o.id"
+        ).rows
+        assert rows == [(1, "it"), (2, "it"), (3, "it")]
+
+    def test_self_join_with_aliases(self, db):
+        rows = db.execute(
+            "SELECT a.id, b.id FROM orders a JOIN orders b "
+            "ON a.customer = b.customer AND a.id < b.id"
+        ).rows
+        assert rows == [(1, 3)]
+
+    def test_subquery_in_from(self, db):
+        rows = db.execute(
+            "SELECT big.customer FROM (SELECT customer, amount FROM orders "
+            "WHERE amount > 15) AS big ORDER BY big.customer"
+        ).rows
+        assert rows == [("ann",), ("bob",)]
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT customer FROM orders JOIN customers ON 1 = 1")
+
+
+class TestAggregates:
+    def test_count_star_and_column(self, db):
+        db.execute("INSERT INTO orders VALUES (5, NULL, 7)")
+        assert db.execute("SELECT COUNT(*) FROM orders").scalar() == 5
+        assert db.execute("SELECT COUNT(customer) FROM orders").scalar() == 4
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT COUNT(DISTINCT customer) FROM orders").scalar() == 3
+
+    def test_sum_avg_min_max(self, db):
+        assert db.execute("SELECT SUM(amount) FROM orders").scalar() == 65
+        assert db.execute("SELECT AVG(amount) FROM orders").scalar() == 16.25
+        assert db.execute("SELECT MIN(amount), MAX(amount) FROM orders").rows == [(5, 30)]
+
+    def test_aggregate_over_empty_table(self):
+        db = Database()
+        db.execute("CREATE TABLE e(x INTEGER)")
+        assert db.execute("SELECT COUNT(*) FROM e").scalar() == 0
+        assert db.execute("SELECT SUM(x) FROM e").scalar() is None
+        assert db.execute("SELECT MAX(x) FROM e").scalar() is None
+
+    def test_group_by(self, db):
+        rows = db.execute(
+            "SELECT customer, SUM(amount) FROM orders GROUP BY customer ORDER BY customer"
+        ).rows
+        assert rows == [("ann", 40), ("bob", 20), ("eve", 5)]
+
+    def test_group_by_multiple_keys(self, db):
+        db.execute("INSERT INTO orders VALUES (6, 'ann', 10)")
+        rows = db.execute(
+            "SELECT customer, amount, COUNT(*) FROM orders "
+            "GROUP BY customer, amount ORDER BY customer, amount"
+        ).rows
+        assert rows[0] == ("ann", 10, 2)
+
+    def test_having(self, db):
+        rows = db.execute(
+            "SELECT customer FROM orders GROUP BY customer "
+            "HAVING SUM(amount) > 15 ORDER BY customer"
+        ).rows
+        assert rows == [("ann",), ("bob",)]
+
+    def test_having_without_group_by(self, db):
+        assert db.execute("SELECT COUNT(*) FROM orders HAVING COUNT(*) > 10").rows == []
+
+    def test_order_by_aggregate(self, db):
+        rows = db.execute(
+            "SELECT customer FROM orders GROUP BY customer ORDER BY SUM(amount) DESC"
+        ).rows
+        assert rows == [("ann",), ("bob",), ("eve",)]
+
+    def test_aggregate_in_expression(self, db):
+        assert db.execute("SELECT MAX(amount) - MIN(amount) FROM orders").scalar() == 25
+
+    def test_aggregate_outside_context_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT * FROM orders WHERE SUM(amount) > 5")
+
+    def test_group_concat(self, db):
+        value = db.execute(
+            "SELECT GROUP_CONCAT(customer) FROM orders WHERE customer = 'ann'"
+        ).scalar()
+        assert value == "ann,ann"
+
+
+class TestNullSemantics:
+    @pytest.fixture
+    def nulls(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE n(x INTEGER);
+            INSERT INTO n VALUES (1), (NULL), (3);
+            """
+        )
+        return db
+
+    def test_comparison_with_null_filters_row(self, nulls):
+        assert nulls.execute("SELECT x FROM n WHERE x > 0 ORDER BY x").rows == [(1,), (3,)]
+
+    def test_is_null(self, nulls):
+        assert len(nulls.execute("SELECT x FROM n WHERE x IS NULL").rows) == 1
+        assert len(nulls.execute("SELECT x FROM n WHERE x IS NOT NULL").rows) == 2
+
+    def test_null_equality_never_matches(self, nulls):
+        assert nulls.execute("SELECT x FROM n WHERE x = NULL").rows == []
+        assert nulls.execute("SELECT x FROM n WHERE NULL = NULL").rows == []
+
+    def test_not_in_with_null_in_set_is_empty(self, nulls):
+        # Classic SQL trap: NOT IN against a set containing NULL selects nothing.
+        assert nulls.execute("SELECT x FROM n WHERE x NOT IN (SELECT x FROM n)").rows == []
+
+    def test_in_with_null_operand_is_unknown(self, nulls):
+        rows = nulls.execute("SELECT x FROM n WHERE x IN (1, 2, 3)").rows
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_arithmetic_with_null_propagates(self, nulls):
+        rows = nulls.execute("SELECT x + 1 FROM n ORDER BY x").rows
+        assert rows == [(None,), (2,), (4,)]
+
+    def test_nulls_sort_first_ascending(self, nulls):
+        rows = nulls.execute("SELECT x FROM n ORDER BY x").rows
+        assert rows == [(None,), (1,), (3,)]
+
+    def test_aggregates_ignore_nulls(self, nulls):
+        assert nulls.execute("SELECT SUM(x) FROM n").scalar() == 4
+        assert nulls.execute("SELECT COUNT(x) FROM n").scalar() == 2
+        assert nulls.execute("SELECT AVG(x) FROM n").scalar() == 2.0
+
+    def test_and_or_three_valued(self, nulls):
+        # NULL OR TRUE = TRUE; NULL AND TRUE = NULL (row filtered).
+        assert len(nulls.execute("SELECT x FROM n WHERE x IS NULL OR 1 = 1").rows) == 3
+        assert nulls.execute("SELECT x FROM n WHERE x > 0 AND NULL").rows == []

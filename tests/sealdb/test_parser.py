@@ -1,0 +1,225 @@
+"""Parser structural tests."""
+
+import pytest
+
+from repro.sealdb import ast
+from repro.sealdb.errors import SQLParseError
+from repro.sealdb.parser import parse_script, parse_statement
+
+
+def test_simple_select_structure():
+    stmt = parse_statement("SELECT a, b AS bee FROM t WHERE a > 1")
+    assert isinstance(stmt, ast.Select)
+    assert len(stmt.items) == 2
+    assert stmt.items[1].alias == "bee"
+    assert isinstance(stmt.source, ast.NamedTable)
+    assert isinstance(stmt.where, ast.Binary)
+
+
+def test_select_star_and_table_star():
+    stmt = parse_statement("SELECT *, t.* FROM t")
+    assert isinstance(stmt.items[0].expr, ast.Star)
+    assert stmt.items[1].expr == ast.Star(table="t")
+
+
+def test_join_parsing():
+    stmt = parse_statement(
+        "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+    )
+    outer = stmt.source
+    assert isinstance(outer, ast.Join)
+    assert outer.kind == "LEFT"
+    inner = outer.left
+    assert isinstance(inner, ast.Join)
+    assert inner.kind == "INNER"
+
+
+def test_natural_join():
+    stmt = parse_statement("SELECT * FROM a NATURAL JOIN b")
+    assert isinstance(stmt.source, ast.Join)
+    assert stmt.source.natural
+
+
+def test_comma_join_is_cross():
+    stmt = parse_statement("SELECT * FROM a, b")
+    assert isinstance(stmt.source, ast.Join)
+    assert stmt.source.kind == "CROSS"
+
+
+def test_group_by_having_order_limit():
+    stmt = parse_statement(
+        "SELECT repo, COUNT(*) FROM updates GROUP BY repo "
+        "HAVING COUNT(*) > 2 ORDER BY repo DESC LIMIT 10 OFFSET 5"
+    )
+    assert len(stmt.group_by) == 1
+    assert stmt.having is not None
+    assert stmt.order_by[0].descending
+    assert isinstance(stmt.limit, ast.Literal)
+    assert isinstance(stmt.offset, ast.Literal)
+
+
+def test_scalar_subquery_in_where():
+    stmt = parse_statement(
+        "SELECT * FROM a WHERE cid != (SELECT cid FROM u ORDER BY time DESC LIMIT 1)"
+    )
+    comparison = stmt.where
+    assert isinstance(comparison, ast.Binary)
+    assert isinstance(comparison.right, ast.ScalarSelect)
+
+
+def test_in_subquery_and_in_list():
+    stmt = parse_statement("SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT b FROM s)")
+    conjunction = stmt.where
+    assert isinstance(conjunction.left, ast.InList)
+    assert isinstance(conjunction.right, ast.InSelect)
+    assert conjunction.right.negated
+
+
+def test_exists():
+    stmt = parse_statement("SELECT 1 WHERE EXISTS (SELECT 1) AND NOT EXISTS (SELECT 2)")
+    assert isinstance(stmt.where.left, ast.ExistsSelect)
+    assert stmt.where.right.negated
+
+
+def test_operator_precedence():
+    stmt = parse_statement("SELECT 1 + 2 * 3")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_between_and_like():
+    stmt = parse_statement("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND name LIKE 'x%'")
+    assert isinstance(stmt.where.left, ast.Between)
+    assert isinstance(stmt.where.right, ast.Like)
+
+
+def test_case_expression():
+    stmt = parse_statement("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+    case = stmt.items[0].expr
+    assert isinstance(case, ast.Case)
+    assert case.operand is None
+    assert case.default is not None
+
+
+def test_insert_values_multi_row():
+    stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, ast.Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 2
+
+
+def test_insert_from_select():
+    stmt = parse_statement("INSERT INTO t SELECT * FROM s")
+    assert stmt.select is not None
+
+
+def test_delete_with_subquery():
+    stmt = parse_statement(
+        "DELETE FROM updates WHERE time NOT IN "
+        "(SELECT MAX(time) FROM updates GROUP BY repo, branch)"
+    )
+    assert isinstance(stmt, ast.Delete)
+    assert isinstance(stmt.where, ast.InSelect)
+
+
+def test_update():
+    stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+    assert isinstance(stmt, ast.Update)
+    assert len(stmt.assignments) == 2
+
+
+def test_create_table_with_types_and_pk():
+    stmt = parse_statement(
+        "CREATE TABLE IF NOT EXISTS log(time INTEGER PRIMARY KEY, repo TEXT, sz REAL)"
+    )
+    assert isinstance(stmt, ast.CreateTable)
+    assert stmt.if_not_exists
+    assert stmt.columns[0].primary_key
+    assert stmt.columns[0].type_name == "INTEGER"
+    assert stmt.columns[2].type_name == "REAL"
+
+
+def test_create_view():
+    stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+    assert isinstance(stmt, ast.CreateView)
+
+
+def test_drop():
+    stmt = parse_statement("DROP TABLE IF EXISTS t")
+    assert isinstance(stmt, ast.DropObject)
+    assert stmt.if_exists
+
+
+def test_union():
+    stmt = parse_statement("SELECT a FROM t UNION SELECT a FROM s ORDER BY 1")
+    assert stmt.compound[0][0] == "UNION"
+
+
+def test_union_all():
+    stmt = parse_statement("SELECT a FROM t UNION ALL SELECT a FROM s")
+    assert stmt.compound[0][0] == "UNION ALL"
+
+
+def test_script_parsing():
+    statements = parse_script("SELECT 1; SELECT 2; DELETE FROM t;")
+    assert len(statements) == 3
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(SQLParseError):
+        parse_statement("SELECT 1 FROM t garbage extra tokens")
+
+
+def test_missing_expression_raises():
+    with pytest.raises(SQLParseError):
+        parse_statement("SELECT FROM t")
+
+
+def test_paper_git_soundness_query_parses():
+    # Verbatim from §6.2 of the paper.
+    parse_statement(
+        """
+        SELECT * FROM advertisements a WHERE cid != (
+          SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+            u.branch = a.branch AND u.time < a.time ORDER BY
+            u.time DESC LIMIT 1)
+        """
+    )
+
+
+def test_paper_git_completeness_view_parses():
+    # Verbatim from §6.2 of the paper.
+    parse_statement(
+        """
+        CREATE VIEW branchcnt AS
+        SELECT DISTINCT a.time,a.repo,COUNT(u.branch) AS cnt
+        FROM advertisements a
+        JOIN updates u ON u.time < a.time AND u.repo = a.repo
+        WHERE u.type != 'delete' AND u.time = (SELECT MAX(time)
+          FROM updates WHERE branch = u.branch
+          AND repo = u.repo AND time < a.time) GROUP BY
+          a.time,a.repo,a.branch
+        """
+    )
+
+
+def test_paper_git_completeness_invariant_parses():
+    # Verbatim from §1 of the paper.
+    parse_statement(
+        """
+        SELECT time, repo FROM advertisements
+        NATURAL JOIN branchcnt
+        GROUP BY time, repo, cnt HAVING COUNT(branch) != cnt
+        """
+    )
+
+
+def test_paper_git_trimming_queries_parse():
+    parse_script(
+        """
+        DELETE FROM advertisements;
+        DELETE FROM updates WHERE time NOT IN
+          (SELECT MAX(time) FROM updates GROUP BY repo, branch);
+        """
+    )

@@ -1,0 +1,270 @@
+"""Differential testing: SealDB vs the stdlib ``sqlite3`` engine.
+
+Hypothesis generates random tables and queries from the SQL subset both
+engines support; results must match as multisets (and exactly when ordered).
+This is the strongest evidence that the paper's SQL invariants behave on
+SealDB exactly as they would on the SQLite instance the real LibSEAL embeds.
+"""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sealdb import Database
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def fresh_engines(schema: str, rows: list[tuple]) -> tuple[Database, sqlite3.Connection]:
+    seal = Database()
+    seal.execute(schema)
+    lite = sqlite3.connect(":memory:")
+    lite.execute(schema)
+    for row in rows:
+        placeholders = ", ".join("?" * len(row))
+        seal.execute(f"INSERT INTO t VALUES ({placeholders})", row)
+        lite.execute(f"INSERT INTO t VALUES ({placeholders})", row)
+    return seal, lite
+
+
+def run_both(seal: Database, lite: sqlite3.Connection, sql: str, params=()):
+    seal_rows = [tuple(r) for r in seal.execute(sql, params).rows]
+    lite_rows = [tuple(r) for r in lite.execute(sql, params).fetchall()]
+    return seal_rows, lite_rows
+
+
+def assert_same_multiset(seal_rows, lite_rows):
+    assert sorted(map(repr, seal_rows)) == sorted(map(repr, lite_rows))
+
+
+SCHEMA = "CREATE TABLE t(a INTEGER, b INTEGER, s TEXT)"
+
+row_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+    st.one_of(st.none(), st.integers(min_value=-5, max_value=5)),
+    st.one_of(st.none(), st.sampled_from(["x", "y", "z", "", "abc"])),
+)
+
+rows_strategy = st.lists(row_strategy, min_size=0, max_size=25)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, threshold=st.integers(min_value=-50, max_value=50))
+def test_where_filter_parity(rows, threshold):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT a, b, s FROM t WHERE a > ? ORDER BY a, b, s"
+    assert run_both(seal, lite, sql, (threshold,))[0] == run_both(
+        seal, lite, sql, (threshold,)
+    )[1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_group_by_aggregates_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = (
+        "SELECT b, COUNT(*), COUNT(a), SUM(a), MIN(a), MAX(a) "
+        "FROM t GROUP BY b ORDER BY b"
+    )
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_having_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT b, COUNT(*) FROM t GROUP BY b HAVING COUNT(*) > 1 ORDER BY b"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_distinct_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT DISTINCT b, s FROM t ORDER BY b, s"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_self_join_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = (
+        "SELECT x.a, y.a FROM t x JOIN t y ON x.b = y.b AND x.a < y.a "
+        "ORDER BY x.a, y.a"
+    )
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_correlated_subquery_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = (
+        "SELECT a, b FROM t outerq WHERE a = "
+        "(SELECT MAX(a) FROM t WHERE b = outerq.b) ORDER BY a, b"
+    )
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_in_subquery_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT a FROM t WHERE b IN (SELECT b FROM t WHERE a > 0) ORDER BY a"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_not_in_subquery_parity(rows):
+    # NOT IN with NULLs is the classic differential trap.
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT a FROM t WHERE a NOT IN (SELECT b FROM t) ORDER BY a"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_arithmetic_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT a + b, a - b, a * b, a % 7 FROM t ORDER BY a, b, s"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_union_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT a FROM t WHERE a > 0 UNION SELECT b FROM t ORDER BY 1"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_except_intersect_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    for op in ("EXCEPT", "INTERSECT"):
+        sql = f"SELECT a FROM t {op} SELECT b FROM t ORDER BY 1"
+        seal_rows, lite_rows = run_both(seal, lite, sql)
+        assert seal_rows == lite_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, limit=st.integers(min_value=0, max_value=10))
+def test_order_limit_offset_parity(rows, limit):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = f"SELECT a, b, s FROM t ORDER BY a DESC, b, s LIMIT {limit} OFFSET 2"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_case_and_like_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = (
+        "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END, "
+        "s LIKE 'a%' FROM t ORDER BY a, b, s"
+    )
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_delete_trimming_parity(rows):
+    """The paper's trimming-query pattern must delete identical row sets."""
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "DELETE FROM t WHERE a NOT IN (SELECT MAX(a) FROM t GROUP BY b)"
+    seal.execute(sql)
+    lite.execute(sql)
+    seal_rows, lite_rows = run_both(seal, lite, "SELECT a, b, s FROM t ORDER BY a, b, s")
+    assert seal_rows == lite_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_scalar_subquery_select_parity(rows):
+    seal, lite = fresh_engines(SCHEMA, rows)
+    sql = "SELECT (SELECT COUNT(*) FROM t), (SELECT MAX(a) FROM t WHERE b = 1)"
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert seal_rows == lite_rows
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT COUNT(*) FROM t",
+        "SELECT COALESCE(MAX(a), -999) FROM t",
+        "SELECT b, GROUP_CONCAT(s) FROM t GROUP BY b ORDER BY b",
+        "SELECT ABS(a), LENGTH(s) FROM t ORDER BY a, b, s",
+        "SELECT a FROM t WHERE a BETWEEN -5 AND 5 ORDER BY a",
+        "SELECT a FROM t WHERE s IS NOT NULL AND a IS NULL",
+        "SELECT SUM(a + b) FROM t WHERE s != ''",
+    ],
+)
+def test_fixed_queries_parity(sql):
+    rows = [
+        (1, 2, "x"), (None, 2, "y"), (3, None, None), (-4, 1, ""),
+        (5, 1, "abc"), (5, 2, "x"), (0, 0, "z"),
+    ]
+    seal, lite = fresh_engines(SCHEMA, rows)
+    seal_rows, lite_rows = run_both(seal, lite, sql)
+    assert_same_multiset(seal_rows, lite_rows)
+
+
+def test_paper_git_invariants_parity():
+    """Run the paper's Git invariants on both engines over the same log."""
+    schema_updates = "CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT)"
+    schema_ads = "CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT)"
+    seal = Database()
+    lite = sqlite3.connect(":memory:")
+    for ddl in (schema_updates, schema_ads):
+        seal.execute(ddl)
+        lite.execute(ddl)
+    updates = [
+        (1, "r", "master", "c1", "update"),
+        (2, "r", "master", "c2", "update"),
+        (3, "r", "dev", "d1", "update"),
+        (5, "r", "dev", "d1", "delete"),
+        (6, "r2", "master", "e1", "update"),
+    ]
+    ads = [
+        (4, "r", "master", "c1"),   # rollback: c2 was latest
+        (4, "r", "dev", "d1"),
+        (7, "r", "master", "c2"),
+        (8, "r2", "master", "e1"),
+    ]
+    for row in updates:
+        seal.execute("INSERT INTO updates VALUES (?,?,?,?,?)", row)
+        lite.execute("INSERT INTO updates VALUES (?,?,?,?,?)", row)
+    for row in ads:
+        seal.execute("INSERT INTO advertisements VALUES (?,?,?,?)", row)
+        lite.execute("INSERT INTO advertisements VALUES (?,?,?,?)", row)
+    soundness = (
+        "SELECT * FROM advertisements a WHERE cid != ("
+        "SELECT u.cid FROM updates u WHERE u.repo = a.repo AND "
+        "u.branch = a.branch AND u.time < a.time ORDER BY u.time DESC LIMIT 1)"
+    )
+    seal_rows = [tuple(r) for r in seal.execute(soundness).rows]
+    lite_rows = lite.execute(soundness).fetchall()
+    assert_same_multiset(seal_rows, lite_rows)
+    assert (4, "r", "master", "c1") in seal_rows

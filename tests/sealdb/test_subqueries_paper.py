@@ -1,0 +1,189 @@
+"""Subquery behaviour, including the paper's Git invariant queries end-to-end.
+
+These tests build the Git audit schema from §3.1/§5.1 of the paper, populate
+it, and run the *verbatim* soundness/completeness invariants and trimming
+queries from the paper against SealDB.
+"""
+
+import pytest
+
+from repro.sealdb import Database
+
+GIT_SCHEMA = """
+CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT, type TEXT);
+CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+"""
+
+SOUNDNESS_QUERY = """
+SELECT * FROM advertisements a WHERE cid != (
+  SELECT u.cid FROM updates u WHERE u.repo = a.repo AND
+    u.branch = a.branch AND u.time < a.time ORDER BY
+    u.time DESC LIMIT 1)
+"""
+
+BRANCHCNT_VIEW = """
+CREATE VIEW branchcnt AS
+SELECT DISTINCT a.time,a.repo,COUNT(u.branch) AS cnt
+FROM advertisements a
+JOIN updates u ON u.time < a.time AND u.repo = a.repo
+WHERE u.type != 'delete' AND u.time = (SELECT MAX(time)
+  FROM updates WHERE branch = u.branch
+  AND repo = u.repo AND time < a.time) GROUP BY
+  a.time,a.repo,a.branch
+"""
+
+COMPLETENESS_QUERY = """
+SELECT time, repo FROM advertisements
+NATURAL JOIN branchcnt
+GROUP BY time, repo, cnt HAVING COUNT(branch) != cnt
+"""
+
+TRIM_ADS = "DELETE FROM advertisements"
+TRIM_UPDATES = """
+DELETE FROM updates WHERE time NOT IN
+  (SELECT MAX(time) FROM updates GROUP BY repo, branch)
+"""
+
+
+@pytest.fixture
+def git_db():
+    db = Database()
+    db.executescript(GIT_SCHEMA)
+    db.execute("CREATE VIEW branchcnt AS " + BRANCHCNT_VIEW.split("AS", 1)[1])
+    return db
+
+
+def push(db, time, repo, branch, cid, kind="update"):
+    db.execute("INSERT INTO updates VALUES (?, ?, ?, ?, ?)", (time, repo, branch, cid, kind))
+
+
+def advertise(db, time, repo, branch, cid):
+    db.execute("INSERT INTO advertisements VALUES (?, ?, ?, ?)", (time, repo, branch, cid))
+
+
+class TestCorrelatedSubqueries:
+    def test_scalar_subquery_returns_null_on_empty(self):
+        db = Database()
+        db.execute("CREATE TABLE t(a INTEGER)")
+        assert db.execute("SELECT (SELECT a FROM t)").scalar() is None
+
+    def test_scalar_subquery_takes_first_row(self):
+        db = Database()
+        db.executescript("CREATE TABLE t(a INTEGER); INSERT INTO t VALUES (5), (9);")
+        assert db.execute("SELECT (SELECT a FROM t ORDER BY a DESC LIMIT 1)").scalar() == 9
+
+    def test_correlated_scalar_subquery(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE emp(name TEXT, dept TEXT, salary INTEGER);
+            INSERT INTO emp VALUES ('a', 'x', 10), ('b', 'x', 20), ('c', 'y', 30);
+            """
+        )
+        rows = db.execute(
+            "SELECT name FROM emp e WHERE salary = "
+            "(SELECT MAX(salary) FROM emp WHERE dept = e.dept) ORDER BY name"
+        ).rows
+        assert rows == [("b",), ("c",)]
+
+    def test_exists_correlated(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE a(x INTEGER); CREATE TABLE b(x INTEGER);
+            INSERT INTO a VALUES (1), (2), (3);
+            INSERT INTO b VALUES (2);
+            """
+        )
+        rows = db.execute(
+            "SELECT x FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.x = a.x)"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_nested_subquery_two_levels(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE t(g TEXT, v INTEGER);
+            INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5);
+            """
+        )
+        # For each row: is v the global max of the per-group maxima?
+        rows = db.execute(
+            "SELECT g FROM t WHERE v = (SELECT MAX(m) FROM "
+            "(SELECT MAX(v) AS m FROM t GROUP BY g) AS peaks)"
+        ).rows
+        assert rows == [("b",)]
+
+
+class TestPaperGitInvariants:
+    def test_clean_history_has_no_violations(self, git_db):
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "master", "c2")
+        advertise(git_db, 3, "repo", "master", "c2")
+        assert git_db.execute(SOUNDNESS_QUERY).rows == []
+        assert git_db.execute(COMPLETENESS_QUERY).rows == []
+
+    def test_rollback_attack_detected_by_soundness(self, git_db):
+        # Provider advertises an *old* commit for master.
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "master", "c2")
+        advertise(git_db, 3, "repo", "master", "c1")  # rollback!
+        violations = git_db.execute(SOUNDNESS_QUERY).rows
+        assert len(violations) == 1
+        assert violations[0][:3] == (3, "repo", "master")
+
+    def test_teleport_attack_detected_by_soundness(self, git_db):
+        # master is advertised pointing at a commit from another branch.
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "feature", "c9")
+        advertise(git_db, 3, "repo", "master", "c9")  # teleport!
+        advertise(git_db, 3, "repo", "feature", "c9")
+        assert len(git_db.execute(SOUNDNESS_QUERY).rows) == 1
+
+    def test_reference_deletion_detected_by_completeness(self, git_db):
+        # Two live branches, but only one is advertised.
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "feature", "c2")
+        advertise(git_db, 3, "repo", "master", "c1")  # feature missing!
+        violations = git_db.execute(COMPLETENESS_QUERY).rows
+        assert (3, "repo") in violations
+
+    def test_deleted_branch_need_not_be_advertised(self, git_db):
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "feature", "c2")
+        push(git_db, 3, "repo", "feature", "c2", kind="delete")
+        advertise(git_db, 4, "repo", "master", "c1")
+        assert git_db.execute(COMPLETENESS_QUERY).rows == []
+
+    def test_multiple_repos_are_independent(self, git_db):
+        push(git_db, 1, "r1", "master", "a1")
+        push(git_db, 2, "r2", "master", "b1")
+        advertise(git_db, 3, "r1", "master", "a1")
+        advertise(git_db, 4, "r2", "master", "b1")
+        assert git_db.execute(SOUNDNESS_QUERY).rows == []
+        assert git_db.execute(COMPLETENESS_QUERY).rows == []
+
+    def test_trimming_preserves_latest_update_per_branch(self, git_db):
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "master", "c2")
+        push(git_db, 3, "repo", "feature", "f1")
+        advertise(git_db, 4, "repo", "master", "c2")
+        advertise(git_db, 4, "repo", "feature", "f1")
+        git_db.execute(TRIM_ADS)
+        git_db.execute(TRIM_UPDATES)
+        assert git_db.row_count("advertisements") == 0
+        remaining = git_db.execute(
+            "SELECT branch, cid FROM updates ORDER BY branch"
+        ).rows
+        assert remaining == [("feature", "f1"), ("master", "c2")]
+
+    def test_invariants_still_work_after_trimming(self, git_db):
+        push(git_db, 1, "repo", "master", "c1")
+        push(git_db, 2, "repo", "master", "c2")
+        advertise(git_db, 3, "repo", "master", "c2")
+        git_db.execute(TRIM_ADS)
+        git_db.execute(TRIM_UPDATES)
+        # New traffic after the trim: a rollback should still be caught.
+        advertise(git_db, 5, "repo", "master", "c1")
+        assert len(git_db.execute(SOUNDNESS_QUERY).rows) == 1

@@ -1,0 +1,75 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sealdb.errors import SQLParseError
+from repro.sealdb.tokens import TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_are_case_insensitive():
+    assert values("select Select SELECT") == ["SELECT"] * 3
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("SELECT Branch FROM Updates")
+    assert tokens[1].value == "Branch"
+    assert tokens[3].value == "Updates"
+
+
+def test_numbers():
+    tokens = tokenize("1 42 3.14 .5 1e3 2.5E-2")
+    assert [t.type for t in tokens[:-1]] == [
+        TokenType.INTEGER,
+        TokenType.INTEGER,
+        TokenType.FLOAT,
+        TokenType.FLOAT,
+        TokenType.FLOAT,
+        TokenType.FLOAT,
+    ]
+
+
+def test_string_literal_with_escape():
+    tokens = tokenize("'it''s a test'")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "it's a test"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SQLParseError):
+        tokenize("'oops")
+
+
+def test_operators_longest_match():
+    assert values("a <= b <> c != d || e") == ["a", "<=", "b", "<>", "c", "!=", "d", "||", "e"]
+
+
+def test_line_comments_are_skipped():
+    assert values("SELECT 1 -- comment\n + 2") == ["SELECT", "1", "+", "2"]
+
+
+def test_parameters():
+    tokens = tokenize("WHERE x = ?")
+    assert tokens[-2].type is TokenType.PARAMETER
+
+
+def test_quoted_identifier():
+    tokens = tokenize('"weird name"')
+    assert tokens[0].type is TokenType.IDENTIFIER
+    assert tokens[0].value == "weird name"
+
+
+def test_illegal_character_raises():
+    with pytest.raises(SQLParseError):
+        tokenize("SELECT @foo")
+
+
+def test_punctuation():
+    assert values("(a, b.c);") == ["(", "a", ",", "b", ".", "c", ")", ";"]

@@ -1,0 +1,169 @@
+"""Tests for the simulated server machine and the cost-model profiles."""
+
+import pytest
+
+from repro.servers import MachineConfig, ServerMachine
+from repro.sim.costs import (
+    Mode,
+    RequestProfile,
+    profile_apache_static,
+    profile_dropbox,
+    profile_git,
+    profile_owncloud,
+    profile_squid,
+    transition_count,
+)
+
+
+def simple_profile(**overrides) -> RequestProfile:
+    base = dict(
+        name="test", request_bytes=100, response_bytes=100,
+        outside_cycles=3.7e6,  # 1 ms on one core
+    )
+    base.update(overrides)
+    return RequestProfile(**base)
+
+
+class TestClosedLoopBasics:
+    def test_single_client_throughput_matches_service_time(self):
+        machine = ServerMachine(MachineConfig(worker_threads=4))
+        result = machine.run(simple_profile(), clients=1, duration_s=2.0)
+        # ~1 ms CPU + small network: ~900+ req/s for one client.
+        assert 700 < result.throughput_rps < 1050
+        assert result.mean_latency_s < 0.002
+
+    def test_throughput_scales_with_clients_until_cpu_saturates(self):
+        machine = ServerMachine()
+        small = machine.run(simple_profile(), clients=1, duration_s=1.0)
+        large = machine.run(simple_profile(), clients=16, duration_s=1.0)
+        assert large.throughput_rps > 3 * small.throughput_rps
+        saturated = machine.run(simple_profile(), clients=64, duration_s=1.0)
+        # 4 cores / 1 ms => ~4000 req/s ceiling.
+        assert saturated.throughput_rps < 4300
+        assert saturated.cpu_utilisation > 3.5
+
+    def test_worker_threads_bound_concurrency(self):
+        profile = simple_profile(outside_cycles=0, backend_service_s=0.01,
+                                 backend_workers=1000)
+        machine = ServerMachine(MachineConfig(worker_threads=4))
+        result = machine.run(profile, clients=64, duration_s=1.0)
+        # 4 workers x 10 ms blocking => <=400 req/s.
+        assert result.throughput_rps <= 440
+
+    def test_backend_workers_bound_throughput(self):
+        profile = simple_profile(outside_cycles=0, backend_service_s=0.02,
+                                 backend_workers=4)
+        result = ServerMachine().run(profile, clients=64, duration_s=1.0)
+        # 4 backend workers x 20 ms => <=200 req/s.
+        assert result.throughput_rps <= 220
+
+    def test_network_bounds_large_transfers(self):
+        profile = simple_profile(outside_cycles=1000,
+                                 response_bytes=10 * 1024 * 1024)
+        result = ServerMachine().run(profile, clients=48, duration_s=5.0)
+        # 8.8 Gbps effective / 80 Mbit => ~110 req/s.
+        assert 80 < result.throughput_rps < 120
+
+    def test_latency_grows_with_queueing(self):
+        machine = ServerMachine()
+        light = machine.run(simple_profile(), clients=2, duration_s=1.0)
+        heavy = machine.run(simple_profile(), clients=64, duration_s=1.0)
+        assert heavy.mean_latency_s > 4 * light.mean_latency_s
+
+    def test_disk_flush_adds_latency_not_throughput_loss_when_parallel(self):
+        base = simple_profile()
+        flushing = simple_profile(disk_flush_s=0.005)
+        machine = ServerMachine(MachineConfig(worker_threads=48))
+        a = machine.run(base, clients=8, duration_s=1.0)
+        b = machine.run(flushing, clients=8, duration_s=1.0)
+        assert b.mean_latency_s > a.mean_latency_s + 0.004
+
+    def test_wan_rtt_dominates_latency(self):
+        profile = simple_profile(wan_rtt_s=0.076)
+        result = ServerMachine().run(profile, clients=4, duration_s=2.0)
+        assert result.median_latency_s > 0.076
+
+
+class TestEnclaveExecutionModel:
+    def test_sgx_threads_cap_enclave_throughput(self):
+        profile = simple_profile(outside_cycles=1000, enclave_cycles=3.7e6)
+        capped = ServerMachine(MachineConfig(sgx_threads=1)).run(
+            profile, clients=64, duration_s=1.0
+        )
+        # One SGX thread, 1 ms enclave work => <= ~1000 req/s.
+        assert capped.throughput_rps < 1100
+        uncapped = ServerMachine(MachineConfig(sgx_threads=3)).run(
+            profile, clients=64, duration_s=1.0
+        )
+        assert uncapped.throughput_rps > 1.8 * capped.throughput_rps
+
+    def test_sync_mode_charges_transition_cycles(self):
+        sync_cfg = MachineConfig(use_async_calls=False)
+        profile = simple_profile(
+            outside_cycles=1000, enclave_cycles=1e6, transition_cycles=5e6
+        )
+        result = ServerMachine(sync_cfg).run(profile, clients=64, duration_s=1.0)
+        # ~6 M cycles/request on 4 cores => <= ~2500 req/s.
+        assert result.throughput_rps < 2700
+
+    def test_task_waits_recorded_when_pool_small(self):
+        cfg = MachineConfig(sgx_threads=1, lthread_tasks_per_thread=1)
+        profile = simple_profile(outside_cycles=1000, enclave_cycles=1.0e6)
+        result = ServerMachine(cfg).run(profile, clients=32, duration_s=0.5)
+        assert result.task_wait_events > 0
+
+
+class TestProfiles:
+    def test_transition_count_grows_with_content(self):
+        assert transition_count(0) == 30
+        assert transition_count(64 * 1024) > transition_count(1024)
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_apache_profile_fields(self, mode):
+        profile = profile_apache_static(1024, mode)
+        if mode is Mode.NATIVE:
+            assert profile.enclave_cycles == 0
+            assert profile.outside_cycles > 6e6  # includes the handshake
+        else:
+            assert profile.enclave_cycles > 6e6
+        if mode.persists:
+            assert profile.disk_flush_s > 0
+            assert profile.rote_s > 0
+        else:
+            assert profile.disk_flush_s == 0
+
+    def test_git_profile_has_backend(self):
+        profile = profile_git(Mode.NATIVE)
+        assert profile.backend_service_s > 0.05
+        assert profile.backend_workers > 1
+
+    def test_owncloud_profile_is_php_dominated(self):
+        profile = profile_owncloud(Mode.NATIVE)
+        assert profile.outside_cycles > 100e6
+
+    def test_dropbox_profile_has_wan(self):
+        profile = profile_dropbox("commit_batch", Mode.NATIVE)
+        assert profile.wan_rtt_s == pytest.approx(0.076)
+        assert profile.backend_service_s > 0.2
+
+    def test_proxy_profiles_double_the_enclave_work(self):
+        apache = profile_apache_static(1024, Mode.LIBSEAL_PROCESS)
+        squid = profile_squid(1024, Mode.LIBSEAL_PROCESS)
+        assert squid.enclave_cycles > 1.8 * apache.enclave_cycles
+
+    def test_mode_predicates(self):
+        assert not Mode.NATIVE.uses_enclave
+        assert Mode.LIBSEAL_PROCESS.uses_enclave
+        assert not Mode.LIBSEAL_PROCESS.logs
+        assert Mode.LIBSEAL_MEM.logs and not Mode.LIBSEAL_MEM.persists
+        assert Mode.LIBSEAL_DISK.persists
+
+
+class TestDeterminism:
+    def test_same_run_is_reproducible(self):
+        machine = ServerMachine()
+        profile = profile_apache_static(1024, Mode.LIBSEAL_PROCESS)
+        a = machine.run(profile, clients=32, duration_s=0.5)
+        b = machine.run(profile, clients=32, duration_s=0.5)
+        assert a.throughput_rps == b.throughput_rps
+        assert a.mean_latency_s == b.mean_latency_s

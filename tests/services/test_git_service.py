@@ -1,0 +1,182 @@
+"""Tests for the Git hosting service and its attack injectors."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.http import HttpRequest
+from repro.http.parser import parse_response
+from repro.services.git import GitHttpService, GitServer
+from repro.services.git.repo import RefUpdate
+from repro.services.git.smart_http import (
+    decode_push,
+    decode_ref_advertisement,
+    encode_push,
+    encode_ref_advertisement,
+)
+
+
+@pytest.fixture
+def server():
+    server = GitServer()
+    repo = server.create_repository("proj.git")
+    repo.commit("master", "init", "ann", {"README": b"hello"})
+    return server
+
+
+class TestObjectModel:
+    def test_commit_ids_chain(self, server):
+        repo = server.repository("proj.git")
+        first = repo.refs["master"]
+        second = repo.commit("master", "more", "ann", {"README": b"hello2"})
+        assert second.parent_id == first
+        assert server.repository("proj.git").objects.verify_chain(second.commit_id)
+
+    def test_commit_id_depends_on_content(self, server):
+        repo = server.repository("proj.git")
+        a = repo.objects.create_commit(None, "m", "a", {"f": b"1"})
+        b = repo.objects.create_commit(None, "m", "a", {"f": b"2"})
+        assert a.commit_id != b.commit_id
+
+    def test_ancestry(self, server):
+        repo = server.repository("proj.git")
+        repo.commit("master", "2", "ann", {})
+        repo.commit("master", "3", "ann", {})
+        chain = repo.objects.ancestry(repo.refs["master"])
+        assert len(chain) == 3
+
+    def test_unknown_parent_rejected(self, server):
+        repo = server.repository("proj.git")
+        with pytest.raises(ServiceError):
+            repo.objects.create_commit("deadbeef" * 5, "m", "a", {})
+
+
+class TestPushSemantics:
+    def test_fast_forward_push(self, server):
+        repo = server.repository("proj.git")
+        old = repo.refs["master"]
+        new_commit = repo.objects.create_commit(old, "next", "bob", {"f": b"x"})
+        repo.apply_push(RefUpdate("master", old, new_commit.commit_id))
+        assert repo.refs["master"] == new_commit.commit_id
+
+    def test_non_fast_forward_rejected(self, server):
+        repo = server.repository("proj.git")
+        foreign = repo.objects.create_commit(None, "other", "bob", {})
+        with pytest.raises(ServiceError):
+            repo.apply_push(RefUpdate("master", "wrong-old-cid", foreign.commit_id))
+
+    def test_create_and_delete_branch(self, server):
+        repo = server.repository("proj.git")
+        commit = repo.objects.create_commit(None, "feature", "bob", {})
+        repo.apply_push(RefUpdate("feature", None, commit.commit_id))
+        assert "feature" in repo.refs
+        repo.apply_push(RefUpdate("feature", commit.commit_id, None))
+        assert "feature" not in repo.refs
+
+    def test_create_existing_rejected(self, server):
+        repo = server.repository("proj.git")
+        commit = repo.objects.create_commit(None, "x", "b", {})
+        with pytest.raises(ServiceError):
+            repo.apply_push(RefUpdate("master", None, commit.commit_id))
+
+    def test_push_unknown_commit_rejected(self, server):
+        repo = server.repository("proj.git")
+        with pytest.raises(ServiceError):
+            repo.apply_push(RefUpdate("master", repo.refs["master"], "ff" * 20))
+
+
+class TestAttacks:
+    def test_rollback_moves_ref_back(self, server):
+        repo = server.repository("proj.git")
+        first = repo.refs["master"]
+        repo.commit("master", "2", "ann", {})
+        repo.attack_rollback("master", steps=1)
+        assert repo.refs["master"] == first
+        # Git's own chain verification still passes: the attack is invisible.
+        assert repo.objects.verify_chain(repo.refs["master"])
+
+    def test_teleport_points_at_foreign_history(self, server):
+        repo = server.repository("proj.git")
+        foreign = repo.objects.create_commit(None, "evil", "eve", {"f": b"evil"})
+        repo.attack_teleport("master", foreign.commit_id)
+        assert repo.refs["master"] == foreign.commit_id
+        assert repo.objects.verify_chain(repo.refs["master"])
+
+    def test_reference_deletion(self, server):
+        repo = server.repository("proj.git")
+        repo.commit("feature", "f", "ann", {})
+        repo.attack_delete_reference("feature")
+        assert "feature" not in dict(repo.advertise_refs())
+
+    def test_rollback_past_root_rejected(self, server):
+        repo = server.repository("proj.git")
+        with pytest.raises(ServiceError):
+            repo.attack_rollback("master", steps=5)
+
+
+class TestWireFormat:
+    def test_advertisement_roundtrip(self):
+        refs = [("feature", "a" * 40), ("master", "b" * 40)]
+        assert decode_ref_advertisement(encode_ref_advertisement(refs)) == refs
+
+    def test_push_roundtrip(self):
+        updates = [
+            RefUpdate("master", "a" * 40, "b" * 40),
+            RefUpdate("new", None, "c" * 40),
+            RefUpdate("dead", "d" * 40, None),
+        ]
+        decoded = decode_push(encode_push(updates))
+        assert decoded == updates
+        assert [u.kind for u in decoded] == ["update", "create", "delete"]
+
+    def test_malformed_push_rejected(self):
+        with pytest.raises(ServiceError):
+            decode_push(b"only-one-field\n")
+
+
+class TestHttpEndpoints:
+    def test_ref_advertisement_endpoint(self, server):
+        service = GitHttpService(server)
+        request = HttpRequest("GET", "/proj.git/info/refs?service=git-upload-pack")
+        response = service.handle(request)
+        assert response.status == 200
+        refs = decode_ref_advertisement(response.body)
+        assert dict(refs)["master"] == server.repository("proj.git").refs["master"]
+
+    def test_receive_pack_endpoint(self, server):
+        repo = server.repository("proj.git")
+        old = repo.refs["master"]
+        commit = repo.objects.create_commit(old, "via http", "bob", {})
+        service = GitHttpService(server)
+        request = HttpRequest(
+            "POST",
+            "/proj.git/git-receive-pack",
+            body=encode_push([RefUpdate("master", old, commit.commit_id)]),
+        )
+        response = service.handle(request)
+        assert response.status == 200
+        assert repo.refs["master"] == commit.commit_id
+
+    def test_bad_push_returns_400(self, server):
+        service = GitHttpService(server)
+        request = HttpRequest(
+            "POST",
+            "/proj.git/git-receive-pack",
+            body=encode_push([RefUpdate("master", "0" * 39 + "1", "2" * 40)]),
+        )
+        assert service.handle(request).status == 400
+
+    def test_unknown_repo_400(self, server):
+        service = GitHttpService(server)
+        request = HttpRequest("GET", "/nope.git/info/refs?service=git-upload-pack")
+        assert service.handle(request).status == 400
+
+    def test_unknown_endpoint_404(self, server):
+        service = GitHttpService(server)
+        assert service.handle(HttpRequest("GET", "/what/ever")).status == 404
+
+    def test_response_is_parseable_http(self, server):
+        service = GitHttpService(server)
+        request = HttpRequest("GET", "/proj.git/info/refs?service=git-upload-pack")
+        encoded = service.handle(request).encode()
+        parsed = parse_response(encoded)
+        assert parsed.status == 200

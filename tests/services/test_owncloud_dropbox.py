@@ -1,0 +1,245 @@
+"""Tests for the ownCloud and Dropbox service models and their attacks."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.http import HttpRequest
+from repro.services.dropbox import DropboxHttpService, DropboxServer, FileEntry
+from repro.services.dropbox.server import block_hash, split_into_blocks
+from repro.services.owncloud import EditOp, OwnCloudHttpService, OwnCloudServer
+
+
+class TestEditOps:
+    def test_insert(self):
+        assert EditOp("insert", 5, text=" big").apply("hello world") == "hello big world"
+
+    def test_delete(self):
+        assert EditOp("delete", 5, length=6).apply("hello world") == "hello"
+
+    def test_insert_at_bounds(self):
+        assert EditOp("insert", 0, text="x").apply("ab") == "xab"
+        assert EditOp("insert", 2, text="x").apply("ab") == "abx"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ServiceError):
+            EditOp("insert", 9, text="x").apply("ab")
+        with pytest.raises(ServiceError):
+            EditOp("delete", 1, length=5).apply("ab")
+
+    def test_json_roundtrip(self):
+        op = EditOp("insert", 3, text="abc")
+        assert EditOp.from_json(op.to_json()) == op
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServiceError):
+            EditOp.from_json("{broken")
+
+
+class TestOwnCloudServer:
+    def test_collaborative_editing_converges(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="hello")])
+        server.sync("doc", "bob", 0, [EditOp("insert", 5, text=" world")])
+        assert server.document("doc").current_text() == "hello world"
+
+    def test_sync_delivers_others_ops_only(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="a")])
+        _, deliver, head = server.sync("doc", "bob", 0, [EditOp("insert", 1, text="b")])
+        assert [s.member for s in deliver] == ["ann"]
+        assert head == 2
+
+    def test_join_after_edits_gets_snapshot_plus_ops(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="v1")])
+        server.leave("doc", "ann", "v1", 1)
+        server.sync("doc", "bob", 1, [EditOp("insert", 2, text="+2")])
+        joined = server.join("doc", "carol")
+        assert joined["snapshot"] == "v1"
+        assert joined["snapshot_seq"] == 1
+        assert len(joined["ops"]) == 1
+
+    def test_leave_installs_snapshot_and_keeps_ops_for_laggards(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="abc")])
+        server.leave("doc", "ann", "abc", 1)
+        doc = server.document("doc")
+        assert doc.snapshot_text == "abc"
+        # Ops are retained: a member who has not yet seen seq 1 can still
+        # receive it (dropping it would be a lost edit).
+        assert [s.seq for s in doc.ops_after(0)] == [1]
+        # But materialisation does not double-apply covered ops.
+        assert doc.current_text() == "abc"
+
+    def test_stale_snapshot_rejected(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="abc")])
+        server.leave("doc", "ann", "abc", 1)
+        with pytest.raises(ServiceError):
+            server.leave("doc", "bob", "old", 0)
+
+    def test_attack_drop_update(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="keep")])
+        server.sync("doc", "ann", 1, [EditOp("insert", 4, text="LOST")])
+        server.attack_drop_update("doc", 2)
+        _, deliver, _ = server.sync("doc", "bob", 0, [])
+        assert [s.seq for s in deliver] == [1]
+
+    def test_attack_stale_snapshot(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="v1")])
+        server.attack_stale_snapshot("doc")
+        server.leave("doc", "ann", "v1", 1)
+        joined = server.join("doc", "bob")
+        assert joined["snapshot"] == ""  # pre-attack snapshot
+        assert joined["snapshot_seq"] == 0
+
+    def test_attack_corrupt_update(self):
+        server = OwnCloudServer()
+        server.sync("doc", "ann", 0, [EditOp("insert", 0, text="secret")])
+        server.attack_corrupt_update("doc", 1)
+        _, deliver, _ = server.sync("doc", "bob", 0, [])
+        assert deliver[0].op.text == "~CORRUPTED~"
+
+
+class TestOwnCloudHttp:
+    def test_sync_over_http(self):
+        service = OwnCloudHttpService()
+        body = json.dumps(
+            {"member": "ann", "seq": 0,
+             "ops": [{"op": "insert", "pos": 0, "text": "hi", "len": 0}]}
+        ).encode()
+        response = service.handle(HttpRequest("POST", "/documents/d1/sync", body=body))
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["accepted"] == [1]
+        assert payload["head_seq"] == 1
+
+    def test_join_over_http(self):
+        service = OwnCloudHttpService()
+        response = service.handle(
+            HttpRequest("POST", "/documents/d1/join",
+                        body=json.dumps({"member": "ann"}).encode())
+        )
+        assert json.loads(response.body)["snapshot"] == ""
+
+    def test_unknown_action_404(self):
+        service = OwnCloudHttpService()
+        assert service.handle(HttpRequest("POST", "/documents/d1/zap")).status == 404
+
+    def test_bad_body_400(self):
+        service = OwnCloudHttpService()
+        response = service.handle(
+            HttpRequest("POST", "/documents/d1/sync", body=b"{not json")
+        )
+        assert response.status == 400
+
+
+class TestDropboxServer:
+    def test_blocks_split_and_hash(self):
+        content = b"x" * (4 * 1024 * 1024 + 10)
+        blocks = split_into_blocks(content)
+        assert len(blocks) == 2
+        assert len(blocks[0]) == 4 * 1024 * 1024
+        assert block_hash(blocks[0]) != block_hash(blocks[1])
+
+    def test_empty_file_has_one_block(self):
+        assert len(split_into_blocks(b"")) == 1
+
+    def test_commit_then_list(self):
+        server = DropboxServer()
+        entry, blocks = DropboxServer.make_entry("a.txt", b"hello")
+        missing = server.commit_batch("acct", [entry])
+        assert missing == list(entry.blocklist)
+        for block in blocks:
+            server.store_block(block_hash(block), block)
+        assert server.commit_batch("acct", [entry]) == []
+        assert server.list_files("acct") == [entry]
+
+    def test_wrong_block_hash_rejected(self):
+        server = DropboxServer()
+        with pytest.raises(ServiceError):
+            server.store_block("bogus-hash", b"data")
+
+    def test_delete_removes_from_list(self):
+        server = DropboxServer()
+        entry, _ = DropboxServer.make_entry("a.txt", b"hello")
+        server.commit_batch("acct", [entry])
+        server.commit_batch("acct", [FileEntry("a.txt", (), -1)])
+        assert server.list_files("acct") == []
+
+    def test_accounts_are_isolated(self):
+        server = DropboxServer()
+        entry, _ = DropboxServer.make_entry("a.txt", b"hello")
+        server.commit_batch("acct-1", [entry])
+        assert server.list_files("acct-2") == []
+
+    def test_attack_corrupt_blocklist(self):
+        server = DropboxServer()
+        entry, _ = DropboxServer.make_entry("a.txt", b"hello")
+        server.commit_batch("acct", [entry])
+        server.attack_corrupt_blocklist("acct", "a.txt")
+        listed = server.list_files("acct")[0]
+        assert listed.blocklist != entry.blocklist
+
+    def test_attack_omit_file(self):
+        server = DropboxServer()
+        entry, _ = DropboxServer.make_entry("a.txt", b"hello")
+        server.commit_batch("acct", [entry])
+        server.attack_omit_file("acct", "a.txt")
+        assert server.list_files("acct") == []
+
+    def test_attack_resurrect_file(self):
+        server = DropboxServer()
+        entry, _ = DropboxServer.make_entry("a.txt", b"hello")
+        server.commit_batch("acct", [entry])
+        server.commit_batch("acct", [FileEntry("a.txt", (), -1)])
+        server.attack_resurrect_file("acct", "a.txt")
+        assert [e.path for e in server.list_files("acct")] == ["a.txt"]
+
+    def test_resurrect_requires_prior_delete(self):
+        server = DropboxServer()
+        with pytest.raises(ServiceError):
+            server.attack_resurrect_file("acct", "never.txt")
+
+
+class TestDropboxHttp:
+    def test_commit_batch_endpoint(self):
+        service = DropboxHttpService()
+        entry, _ = DropboxServer.make_entry("f.bin", b"content")
+        body = json.dumps(
+            {"account": "acct", "host": "laptop",
+             "commits": [{"file": entry.path,
+                          "blocklist": list(entry.blocklist),
+                          "size": entry.size}]}
+        ).encode()
+        response = service.handle(HttpRequest("POST", "/commit_batch", body=body))
+        assert response.status == 200
+        assert json.loads(response.body)["need_blocks"] == list(entry.blocklist)
+
+    def test_list_endpoint(self):
+        service = DropboxHttpService()
+        entry, _ = DropboxServer.make_entry("f.bin", b"content")
+        service.server.commit_batch("acct", [entry])
+        request = HttpRequest("GET", "/list")
+        request.headers.set("X-Account", "acct")
+        response = service.handle(request)
+        files = json.loads(response.body)["files"]
+        assert files[0]["file"] == "f.bin"
+
+    def test_list_without_account_400(self):
+        service = DropboxHttpService()
+        assert service.handle(HttpRequest("GET", "/list")).status == 400
+
+    def test_store_block_endpoint(self):
+        service = DropboxHttpService()
+        data = b"block-bytes"
+        body = json.dumps({"hash": block_hash(data), "data_hex": data.hex()}).encode()
+        assert service.handle(HttpRequest("POST", "/store_block", body=body)).status == 200
+
+    def test_unknown_endpoint_404(self):
+        service = DropboxHttpService()
+        assert service.handle(HttpRequest("GET", "/nope")).status == 404

@@ -1,0 +1,175 @@
+"""Property-based tests for the service models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServiceError
+from repro.services.dropbox import DropboxServer, FileEntry
+from repro.services.dropbox.server import block_hash, split_into_blocks
+from repro.services.git import GitServer
+from repro.services.owncloud.document import Document, EditOp
+
+
+# ---------------------------------------------------------------------------
+# ownCloud documents
+# ---------------------------------------------------------------------------
+
+def apply_all(ops, text=""):
+    for op in ops:
+        text = op.apply(text)
+    return text
+
+
+@st.composite
+def op_sequence(draw):
+    """A sequence of ops that is valid when applied in order."""
+    ops = []
+    length = 0
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        if length > 0 and draw(st.booleans()):
+            position = draw(st.integers(min_value=0, max_value=length - 1))
+            amount = draw(st.integers(min_value=1, max_value=length - position))
+            ops.append(EditOp("delete", position, length=amount))
+            length -= amount
+        else:
+            position = draw(st.integers(min_value=0, max_value=length))
+            text = draw(st.text(alphabet="abcxyz ", min_size=1, max_size=6))
+            ops.append(EditOp("insert", position, text=text))
+            length += len(text)
+    return ops
+
+
+class TestDocumentProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequence())
+    def test_materialisation_equals_direct_application(self, ops):
+        doc = Document("d")
+        for op in ops:
+            doc.append_op("m", op)
+        assert doc.current_text() == apply_all(ops)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequence(), cut=st.integers(min_value=0, max_value=12))
+    def test_snapshot_plus_tail_equals_full_history(self, ops, cut):
+        cut = min(cut, len(ops))
+        doc = Document("d")
+        sequenced = [doc.append_op("m", op) for op in ops]
+        snapshot_text = apply_all(ops[:cut])
+        snapshot_seq = sequenced[cut - 1].seq if cut > 0 else 0
+        doc.install_snapshot(snapshot_text, snapshot_seq)
+        assert doc.current_text() == apply_all(ops)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequence())
+    def test_sequence_numbers_are_dense_and_increasing(self, ops):
+        doc = Document("d")
+        sequenced = [doc.append_op("m", op) for op in ops]
+        assert [s.seq for s in sequenced] == list(range(1, len(ops) + 1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequence())
+    def test_json_roundtrip_preserves_ops(self, ops):
+        for op in ops:
+            assert EditOp.from_json(op.to_json()) == op
+
+
+# ---------------------------------------------------------------------------
+# Dropbox blocks
+# ---------------------------------------------------------------------------
+
+
+class TestDropboxProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(content=st.binary(max_size=3 * 4 * 1024 * 1024 // 2))
+    def test_blocks_reassemble_to_content(self, content):
+        blocks = split_into_blocks(content)
+        assert b"".join(blocks) == (content or b"")
+        assert all(len(b) <= 4 * 1024 * 1024 for b in blocks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(content=st.binary(min_size=1, max_size=1000))
+    def test_block_hash_is_content_addressed(self, content):
+        entry, blocks = DropboxServer.make_entry("f", content)
+        server = DropboxServer()
+        for block in blocks:
+            server.store_block(block_hash(block), block)
+        assert all(h in server.blocks for h in entry.blocklist)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        files=st.dictionaries(
+            st.text(alphabet="abc", min_size=1, max_size=5),
+            st.binary(min_size=0, max_size=100),
+            max_size=8,
+        )
+    )
+    def test_list_reflects_commits_exactly(self, files):
+        server = DropboxServer()
+        for path, content in files.items():
+            entry, _ = DropboxServer.make_entry(path, content)
+            server.commit_batch("acct", [entry])
+        listed = {e.path for e in server.list_files("acct")}
+        assert listed == set(files)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        paths=st.lists(st.text(alphabet="ab", min_size=1, max_size=4),
+                       min_size=1, max_size=6, unique=True),
+        delete_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_delete_then_list_never_resurrects(self, paths, delete_index):
+        server = DropboxServer()
+        for path in paths:
+            entry, _ = DropboxServer.make_entry(path, b"x")
+            server.commit_batch("acct", [entry])
+        victim = paths[delete_index % len(paths)]
+        server.commit_batch("acct", [FileEntry(victim, (), -1)])
+        assert victim not in {e.path for e in server.list_files("acct")}
+
+
+# ---------------------------------------------------------------------------
+# Git object model
+# ---------------------------------------------------------------------------
+
+
+class TestGitProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        history=st.lists(
+            st.dictionaries(
+                st.text(alphabet="fg", min_size=1, max_size=3),
+                st.binary(min_size=0, max_size=20),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_commit_chain_always_verifies(self, history):
+        server = GitServer()
+        repo = server.create_repository("p.git")
+        for i, files in enumerate(history):
+            repo.commit("master", f"c{i}", "prop", files)
+        assert repo.objects.verify_chain(repo.refs["master"])
+        assert len(repo.objects.ancestry(repo.refs["master"])) == len(history)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        steps=st.integers(min_value=1, max_value=5),
+        depth=st.integers(min_value=2, max_value=8),
+    )
+    def test_rollback_lands_on_an_ancestor(self, steps, depth):
+        server = GitServer()
+        repo = server.create_repository("p.git")
+        for i in range(depth):
+            repo.commit("master", f"c{i}", "prop", {"f": bytes([i])})
+        tip = repo.refs["master"]
+        ancestry = repo.objects.ancestry(tip)
+        if steps >= depth:
+            with pytest.raises(ServiceError):
+                repo.attack_rollback("master", steps=steps)
+        else:
+            repo.attack_rollback("master", steps=steps)
+            assert repo.refs["master"] == ancestry[steps]
+            # The attack is invisible to Git's own verification.
+            assert repo.objects.verify_chain(repo.refs["master"])

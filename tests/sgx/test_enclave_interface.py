@@ -1,0 +1,177 @@
+"""Tests for the simulated SGX enclave and its ecall/ocall boundary."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.sgx import Enclave, EnclaveConfig, EnclaveInterface, transition_cost_cycles
+from repro.sgx.interface import TRANSITION_BASE_CYCLES, TRANSITION_CYCLES_AT_48_THREADS
+
+
+@pytest.fixture
+def enclave():
+    config = EnclaveConfig(code_identity="libseal-test")
+    enclave = Enclave(config)
+    return enclave
+
+
+def register_passthrough(enclave):
+    enclave.interface.register_ecall("echo", lambda value: value)
+    return enclave
+
+
+class TestInterface:
+    def test_ecall_dispatch(self, enclave):
+        register_passthrough(enclave)
+        assert enclave.interface.ecall("echo", 42) == 42
+
+    def test_unknown_ecall_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.interface.ecall("nope")
+
+    def test_ocall_from_outside_rejected(self, enclave):
+        enclave.interface.register_ocall("out", lambda: None)
+        with pytest.raises(EnclaveError):
+            enclave.interface.ocall("out")
+
+    def test_ocall_from_inside_works(self, enclave):
+        calls = []
+        enclave.interface.register_ocall("out", lambda x: calls.append(x))
+        enclave.interface.register_ecall(
+            "work", lambda: enclave.interface.ocall("out", "hello")
+        )
+        enclave.interface.ecall("work")
+        assert calls == ["hello"]
+
+    def test_nested_ecall_rejected(self, enclave):
+        enclave.interface.register_ecall("outer", lambda: enclave.interface.ecall("outer"))
+        with pytest.raises(EnclaveError):
+            enclave.interface.ecall("outer")
+
+    def test_transition_stats_counted(self, enclave):
+        enclave.interface.register_ocall("out", lambda: None)
+        enclave.interface.register_ecall("work", lambda: enclave.interface.ocall("out"))
+        enclave.interface.ecall("work")
+        enclave.interface.ecall("work")
+        stats = enclave.interface.stats
+        assert stats.ecalls == 2
+        assert stats.ocalls == 2
+        assert stats.per_ecall["work"] == 2
+        assert stats.total_cycles > 0
+
+    def test_duplicate_registration_rejected(self, enclave):
+        enclave.interface.register_ecall("x", lambda: 1)
+        with pytest.raises(EnclaveError):
+            enclave.interface.register_ecall("x", lambda: 2)
+
+    def test_sealed_interface_rejects_registration(self, enclave):
+        enclave.interface.seal_interface()
+        with pytest.raises(EnclaveError):
+            enclave.interface.register_ecall("late", lambda: 0)
+
+    def test_inside_flag_restored_after_exception(self, enclave):
+        def boom():
+            raise RuntimeError("inside failure")
+
+        enclave.interface.register_ecall("boom", boom)
+        with pytest.raises(RuntimeError):
+            enclave.interface.ecall("boom")
+        assert not enclave.interface.inside_enclave
+
+
+class TestTransitionCost:
+    def test_single_thread_cost_matches_paper(self):
+        assert transition_cost_cycles(1) == TRANSITION_BASE_CYCLES
+
+    def test_48_thread_cost_matches_paper(self):
+        assert transition_cost_cycles(48) == TRANSITION_CYCLES_AT_48_THREADS
+
+    def test_cost_is_monotonic(self):
+        costs = [transition_cost_cycles(t) for t in range(1, 49)]
+        assert costs == sorted(costs)
+
+    def test_paper_20x_claim(self):
+        # §6.8: "170,000 cycles with 48 threads — a 20x increase".
+        ratio = transition_cost_cycles(48) / transition_cost_cycles(1)
+        assert 19 < ratio < 21
+
+    def test_zero_threads_clamped(self):
+        assert transition_cost_cycles(0) == TRANSITION_BASE_CYCLES
+
+
+class TestProtectedMemory:
+    def test_outside_access_rejected(self, enclave):
+        holder = {}
+        enclave.interface.register_ecall(
+            "init", lambda: holder.setdefault("obj", enclave.protect({"k": "v"}, 64))
+        )
+        enclave.interface.ecall("init")
+        with pytest.raises(EnclaveError):
+            holder["obj"].get()
+
+    def test_inside_access_allowed(self, enclave):
+        holder = {}
+        enclave.interface.register_ecall(
+            "init", lambda: holder.setdefault("obj", enclave.protect({"k": "v"}, 64))
+        )
+        enclave.interface.register_ecall("read", lambda: holder["obj"].get()["k"])
+        enclave.interface.ecall("init")
+        assert enclave.interface.ecall("read") == "v"
+
+    def test_allocation_outside_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.protect(b"data", 4)
+
+    def test_epc_accounting_and_paging(self):
+        config = EnclaveConfig(code_identity="small-epc", epc_limit_bytes=8192)
+        enclave = Enclave(config)
+        enclave.interface.register_ecall(
+            "alloc", lambda n: enclave.protect(bytearray(n), n)
+        )
+        enclave.interface.ecall("alloc", 4096)
+        assert enclave.epc.paging_events == 0
+        enclave.interface.ecall("alloc", 8192)  # exceeds the 8 KiB EPC
+        assert enclave.epc.paging_events > 0
+        assert enclave.epc.paging_cycles > 0
+        assert enclave.epc.peak_bytes == 12288
+
+    def test_release_returns_memory(self, enclave):
+        holder = {}
+        enclave.interface.register_ecall(
+            "alloc", lambda: holder.setdefault("obj", enclave.protect(b"x", 100))
+        )
+        enclave.interface.register_ecall("free", lambda: enclave.release(holder["obj"]))
+        enclave.interface.ecall("alloc")
+        assert enclave.epc.allocated_bytes == 100
+        enclave.interface.ecall("free")
+        assert enclave.epc.allocated_bytes == 0
+
+    def test_destroyed_enclave_rejects_everything(self, enclave):
+        register_passthrough(enclave)
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.require_inside("do anything")
+
+
+class TestMeasurement:
+    def test_measurement_depends_on_code_identity(self):
+        a = Enclave(EnclaveConfig(code_identity="build-a"))
+        b = Enclave(EnclaveConfig(code_identity="build-b"))
+        assert a.measurement() != b.measurement()
+
+    def test_measurement_depends_on_interface(self):
+        a = Enclave(EnclaveConfig(code_identity="same"))
+        b = Enclave(EnclaveConfig(code_identity="same"))
+        b.interface.register_ecall("extra", lambda: None)
+        assert a.measurement() != b.measurement()
+
+    def test_signer_measurement_shared_by_authority(self):
+        a = Enclave(EnclaveConfig(code_identity="v1", signer_name="acme"))
+        b = Enclave(EnclaveConfig(code_identity="v2", signer_name="acme"))
+        assert a.signer_measurement() == b.signer_measurement()
+
+    def test_read_rand_inside_only(self, enclave):
+        enclave.interface.register_ecall("rand", lambda: enclave.read_rand(16))
+        value = enclave.interface.ecall("rand")
+        assert len(value) == 16
+        with pytest.raises(EnclaveError):
+            enclave.read_rand(16)

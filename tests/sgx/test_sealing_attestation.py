@@ -1,0 +1,192 @@
+"""Tests for sealing, monotonic counters and attestation."""
+
+import pytest
+
+from repro.errors import AttestationError, EnclaveError, SealingError
+from repro.sgx import (
+    AttestationService,
+    Enclave,
+    EnclaveConfig,
+    KeyPolicy,
+    QuotingEnclave,
+    SealedBlob,
+    SgxMonotonicCounter,
+    SigningAuthority,
+)
+
+
+def make_enclave(identity="libseal", signer="acme"):
+    enclave = Enclave(EnclaveConfig(code_identity=identity, signer_name=signer))
+    enclave.interface.register_ecall("run", lambda fn: fn())
+    return enclave
+
+
+def inside(enclave, fn):
+    """Run ``fn`` while executing inside ``enclave``."""
+    return enclave.interface.ecall("run", fn)
+
+
+class TestSealing:
+    @pytest.fixture
+    def authority(self):
+        return SigningAuthority("acme", seed=b"authority-seed")
+
+    def test_seal_unseal_roundtrip(self, authority):
+        enclave = make_enclave()
+        blob = inside(enclave, lambda: authority.seal(enclave, b"secret log"))
+        plain = inside(enclave, lambda: authority.unseal(enclave, blob))
+        assert plain == b"secret log"
+
+    def test_seal_requires_inside(self, authority):
+        enclave = make_enclave()
+        with pytest.raises(EnclaveError):
+            authority.seal(enclave, b"x")
+
+    def test_mrsigner_policy_allows_other_enclave_same_signer(self, authority):
+        producer = make_enclave(identity="v1")
+        consumer = make_enclave(identity="v2")
+        blob = inside(
+            producer,
+            lambda: authority.seal(producer, b"log", policy=KeyPolicy.MRSIGNER),
+        )
+        plain = inside(consumer, lambda: authority.unseal(consumer, blob))
+        assert plain == b"log"
+
+    def test_mrenclave_policy_rejects_other_enclave(self, authority):
+        producer = make_enclave(identity="v1")
+        consumer = make_enclave(identity="v2")
+        blob = inside(
+            producer,
+            lambda: authority.seal(producer, b"log", policy=KeyPolicy.MRENCLAVE),
+        )
+        with pytest.raises(SealingError):
+            inside(consumer, lambda: authority.unseal(consumer, blob))
+
+    def test_foreign_signer_rejected(self, authority):
+        foreign = make_enclave(signer="other-corp")
+        with pytest.raises(SealingError):
+            inside(foreign, lambda: authority.seal(foreign, b"x"))
+
+    def test_tampered_blob_rejected(self, authority):
+        enclave = make_enclave()
+        blob = inside(enclave, lambda: authority.seal(enclave, b"secret"))
+        tampered = SealedBlob(
+            blob.policy,
+            blob.key_id,
+            blob.nonce,
+            bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:],
+        )
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, tampered))
+
+    def test_blob_encoding_roundtrip(self, authority):
+        enclave = make_enclave()
+        blob = inside(enclave, lambda: authority.seal(enclave, b"payload"))
+        decoded = SealedBlob.decode(blob.encode())
+        plain = inside(enclave, lambda: authority.unseal(enclave, decoded))
+        assert plain == b"payload"
+
+    def test_decode_rejects_short_blob(self):
+        with pytest.raises(SealingError):
+            SealedBlob.decode(b"tiny")
+
+    def test_associated_data_binds(self, authority):
+        enclave = make_enclave()
+        blob = inside(
+            enclave, lambda: authority.seal(enclave, b"x", associated_data=b"epoch-1")
+        )
+        with pytest.raises(SealingError):
+            inside(
+                enclave,
+                lambda: authority.unseal(enclave, blob, associated_data=b"epoch-2"),
+            )
+
+
+class TestMonotonicCounter:
+    def test_increments_are_monotonic(self):
+        counter = SgxMonotonicCounter()
+        values = [counter.increment() for _ in range(5)]
+        assert values == [1, 2, 3, 4, 5]
+        assert counter.read() == 5
+
+    def test_latency_is_charged(self):
+        counter = SgxMonotonicCounter()
+        counter.increment()
+        counter.read()
+        assert counter.total_latency_ms >= 100.0
+
+    def test_wear_out(self):
+        counter = SgxMonotonicCounter(wear_limit=3)
+        for _ in range(3):
+            counter.increment()
+        assert counter.worn_out
+        with pytest.raises(EnclaveError):
+            counter.increment()
+
+
+class TestAttestation:
+    @pytest.fixture
+    def platform(self):
+        qe = QuotingEnclave(platform_seed=b"test-platform")
+        service = AttestationService()
+        service.register_platform(qe)
+        return qe, service
+
+    def test_valid_quote_verifies(self, platform):
+        qe, service = platform
+        enclave = make_enclave()
+        quote = qe.quote(enclave, report_data=b"tls-key-hash")
+        service.verify(quote)
+        service.verify(quote, expected_measurement=enclave.measurement())
+
+    def test_wrong_measurement_rejected(self, platform):
+        qe, service = platform
+        enclave = make_enclave()
+        other = make_enclave(identity="evil-build")
+        quote = qe.quote(other)
+        with pytest.raises(AttestationError):
+            service.verify(quote, expected_measurement=enclave.measurement())
+
+    def test_unknown_platform_rejected(self, platform):
+        _, service = platform
+        rogue_qe = QuotingEnclave(platform_seed=b"rogue")
+        enclave = make_enclave()
+        with pytest.raises(AttestationError):
+            service.verify(rogue_qe.quote(enclave))
+
+    def test_forged_signature_rejected(self, platform):
+        qe, service = platform
+        enclave = make_enclave()
+        quote = qe.quote(enclave)
+        forged = type(quote)(
+            measurement=quote.measurement,
+            signer_measurement=quote.signer_measurement,
+            report_data=b"\x00" * 64,  # altered after signing
+            platform_id=quote.platform_id,
+            signature=quote.signature,
+        )
+        # report_data was zeroed only if it differed; force a difference:
+        if forged.report_data == quote.report_data:
+            forged = type(quote)(
+                measurement=quote.measurement,
+                signer_measurement=quote.signer_measurement,
+                report_data=b"\xff" * 64,
+                platform_id=quote.platform_id,
+                signature=quote.signature,
+            )
+        with pytest.raises(AttestationError):
+            service.verify(forged)
+
+    def test_destroyed_enclave_cannot_be_quoted(self, platform):
+        qe, _ = platform
+        enclave = make_enclave()
+        enclave.destroy()
+        with pytest.raises(AttestationError):
+            qe.quote(enclave)
+
+    def test_report_data_is_bound(self, platform):
+        qe, service = platform
+        enclave = make_enclave()
+        quote = qe.quote(enclave, report_data=b"bind-me")
+        assert quote.report_data.startswith(b"bind-me")
+        service.verify(quote)

@@ -1,0 +1,226 @@
+"""Tests for the discrete-event engine and resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CorePool, FifoDevice, Semaphore, Simulator
+from repro.sim.resources import Link
+
+
+class TestEngine:
+    def test_delay_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def process():
+            yield 1.5
+            log.append(sim.now)
+
+        sim.spawn(process())
+        sim.run_until_idle()
+        assert log == [1.5]
+
+    def test_processes_interleave_by_time(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield delay
+            order.append(name)
+
+        sim.spawn(proc("b", 2.0))
+        sim.spawn(proc("a", 1.0))
+        sim.run_until_idle()
+        assert order == ["a", "b"]
+
+    def test_waiter_parks_until_woken(self):
+        sim = Simulator()
+        log = []
+        waiter_box = {}
+
+        def sleeper():
+            waiter_box["w"] = sim.waiter()
+            value = yield waiter_box["w"]
+            log.append((sim.now, value))
+
+        def waker():
+            yield 3.0
+            waiter_box["w"].wake("hello")
+
+        sim.spawn(sleeper())
+        sim.spawn(waker())
+        sim.run_until_idle()
+        assert log == [(3.0, "hello")]
+
+    def test_subprocess_via_yield_generator(self):
+        sim = Simulator()
+        log = []
+
+        def inner():
+            yield 1.0
+            return 42
+
+        def outer():
+            result = yield inner()
+            log.append(result)
+
+        sim.spawn(outer())
+        sim.run_until_idle()
+        assert log == [42]
+
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        log = []
+
+        def ticker():
+            while True:
+                yield 1.0
+                log.append(sim.now)
+
+        sim.spawn(ticker())
+        sim.run_until(3.5)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield -1.0
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run_until_idle()
+
+    def test_pre_woken_waiter_continues_immediately(self):
+        sim = Simulator()
+        log = []
+
+        def process():
+            waiter = sim.waiter()
+            waiter.wake("early")
+            value = yield waiter
+            log.append(value)
+
+        sim.spawn(process())
+        sim.run_until_idle()
+        assert log == ["early"]
+
+
+class TestCorePool:
+    def test_single_job_takes_cycles_over_freq(self):
+        sim = Simulator()
+        cores = CorePool(sim, num_cores=1, freq_hz=1e9, switch_penalty_cycles=0)
+        done = []
+
+        def job():
+            yield from cores.execute(2e9)
+            done.append(sim.now)
+
+        sim.spawn(job())
+        sim.run_until_idle()
+        assert done[0] == pytest.approx(2.0)
+
+    def test_parallel_jobs_use_parallel_cores(self):
+        sim = Simulator()
+        cores = CorePool(sim, num_cores=2, freq_hz=1e9, switch_penalty_cycles=0)
+        done = []
+
+        def job(i):
+            yield from cores.execute(1e9)
+            done.append(sim.now)
+
+        sim.spawn(job(0))
+        sim.spawn(job(1))
+        sim.run_until_idle()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_oversubscribed_jobs_share(self):
+        sim = Simulator()
+        cores = CorePool(sim, num_cores=1, freq_hz=1e9, switch_penalty_cycles=0,
+                         quantum_cycles=int(1e8))
+        done = {}
+
+        def job(i):
+            yield from cores.execute(1e9)
+            done[i] = sim.now
+
+        sim.spawn(job(0))
+        sim.spawn(job(1))
+        sim.run_until_idle()
+        # Total work 2e9 cycles on one 1 GHz core => both finish around 2s.
+        assert max(done.values()) == pytest.approx(2.0)
+
+    def test_utilisation_accounting(self):
+        sim = Simulator()
+        cores = CorePool(sim, num_cores=4, freq_hz=1e9, switch_penalty_cycles=0)
+
+        def job():
+            yield from cores.execute(1e9)
+
+        sim.spawn(job())
+        sim.run_until_idle()
+        assert cores.utilisation(1.0) == pytest.approx(1.0)
+
+    def test_contention_penalty_charged(self):
+        sim = Simulator()
+        cores = CorePool(sim, num_cores=1, freq_hz=1e9,
+                         switch_penalty_cycles=int(1e8), quantum_cycles=int(1e9))
+        done = {}
+
+        def job(i):
+            yield from cores.execute(1e9)
+            done[i] = sim.now
+
+        sim.spawn(job(0))
+        sim.spawn(job(1))
+        sim.spawn(job(2))
+        sim.run_until_idle()
+        # Job 1 runs while job 2 waits => its quantum pays the penalty;
+        # jobs 0 (started before others queued) and 2 (queue empty) don't.
+        assert max(done.values()) == pytest.approx(3.1)
+
+
+class TestDevicesAndSemaphores:
+    def test_fifo_device_serialises(self):
+        sim = Simulator()
+        device = FifoDevice(sim)
+        done = []
+
+        def job(i):
+            yield from device.use(1.0)
+            done.append((i, sim.now))
+
+        sim.spawn(job(0))
+        sim.spawn(job(1))
+        sim.run_until_idle()
+        assert done == [(0, 1.0), (1, 2.0)]
+
+    def test_semaphore_limits_concurrency(self):
+        sim = Simulator()
+        sem = Semaphore(sim, capacity=2)
+        done = []
+
+        def job(i):
+            yield from sem.acquire()
+            yield 1.0
+            sem.release()
+            done.append(sim.now)
+
+        for i in range(4):
+            sim.spawn(job(i))
+        sim.run_until_idle()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+        assert sem.wait_events == 2
+
+    def test_link_transfer_time(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8e9, latency_s=0.001)
+        done = []
+
+        def job():
+            yield from link.transfer(1_000_000)  # 1 MB over 8 Gbps = 1 ms
+            done.append(sim.now)
+
+        sim.spawn(job())
+        sim.run_until_idle()
+        assert done[0] == pytest.approx(0.002)

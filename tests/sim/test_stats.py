@@ -1,0 +1,49 @@
+"""Tests for the measurement collectors."""
+
+import pytest
+
+from repro.sim.stats import LatencyStats, ThroughputMeter
+
+
+class TestLatencyStats:
+    def test_mean_and_median(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.record(value)
+        assert stats.mean() == pytest.approx(2.5)
+        assert stats.median() in (2.0, 3.0)
+        assert stats.count == 4
+
+    def test_warmup_discards_initial_samples(self):
+        stats = LatencyStats(warmup=2)
+        for value in (100.0, 100.0, 1.0, 2.0):
+            stats.record(value)
+        assert stats.count == 2
+        assert stats.mean() == pytest.approx(1.5)
+
+    def test_percentiles(self):
+        stats = LatencyStats()
+        for value in range(1, 101):
+            stats.record(float(value))
+        assert stats.percentile(50) == pytest.approx(50.0)
+        assert stats.percentile(99) == pytest.approx(99.0)
+        assert stats.percentile(100) == pytest.approx(100.0)
+
+    def test_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.mean() == 0.0
+        assert stats.percentile(50) == 0.0
+
+
+class TestThroughputMeter:
+    def test_counts_inside_window(self):
+        meter = ThroughputMeter(window_start=1.0, window_end=3.0)
+        for now in (0.5, 1.5, 2.0, 2.9, 3.5):
+            meter.record(now)
+        assert meter.completed == 3
+        assert meter.throughput() == pytest.approx(1.5)
+
+    def test_zero_window(self):
+        meter = ThroughputMeter()
+        meter.record(1.0)
+        assert meter.throughput() == 0.0

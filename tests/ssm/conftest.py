@@ -1,0 +1,20 @@
+"""Shared helpers: drive a service handler through a LibSeal instance."""
+
+import pytest
+
+from repro.core import LibSeal, LibSealConfig
+
+
+def drive(service, libseal, request):
+    """Process ``request`` through the service, then audit the pair."""
+    response = service.handle(request)
+    libseal.log_pair(request, response)
+    return response
+
+
+@pytest.fixture
+def make_libseal():
+    def _make(ssm, **config_kwargs):
+        return LibSeal(ssm, config=LibSealConfig(**config_kwargs))
+
+    return _make

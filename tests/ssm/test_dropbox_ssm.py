@@ -1,0 +1,173 @@
+"""Dropbox SSM: logging and metadata-violation detection (§6.1/§6.2)."""
+
+import json
+
+import pytest
+
+from repro.http import HttpRequest
+from repro.services.dropbox import DropboxHttpService, DropboxServer
+from repro.ssm import DropboxSSM
+
+from tests.ssm.conftest import drive
+
+
+@pytest.fixture
+def stack(make_libseal):
+    server = DropboxServer()
+    service = DropboxHttpService(server)
+    libseal = make_libseal(DropboxSSM())
+    return server, service, libseal
+
+
+def commit_file(service, libseal, path, content, account="acct", size=None):
+    entry, _ = DropboxServer.make_entry(path, content)
+    actual_size = entry.size if size is None else size
+    body = json.dumps(
+        {"account": account, "host": "laptop",
+         "commits": [{"file": path, "blocklist": list(entry.blocklist),
+                      "size": actual_size}]}
+    ).encode()
+    response = drive(service, libseal, HttpRequest("POST", "/commit_batch", body=body))
+    assert response.status == 200
+    return entry
+
+
+def delete_file(service, libseal, path, account="acct"):
+    body = json.dumps(
+        {"account": account, "host": "laptop",
+         "commits": [{"file": path, "blocklist": [], "size": -1}]}
+    ).encode()
+    assert drive(service, libseal, HttpRequest("POST", "/commit_batch", body=body)).status == 200
+
+
+def list_files(service, libseal, account="acct"):
+    request = HttpRequest("GET", "/list")
+    request.headers.set("X-Account", account)
+    request.headers.set("X-Host", "laptop")
+    response = drive(service, libseal, request)
+    assert response.status == 200
+    return json.loads(response.body)["files"]
+
+
+class TestLogging:
+    def test_commit_batch_logged(self, stack):
+        _, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        rows = libseal.audit_log.query(
+            "SELECT file, account, size FROM commit_batch"
+        ).rows
+        assert rows == [("a.txt", "acct", 5)]
+
+    def test_list_logged_with_request_marker(self, stack):
+        _, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        list_files(service, libseal)
+        assert libseal.audit_log.row_count("list_requests") == 1
+        assert libseal.audit_log.row_count("list") == 1
+
+    def test_deletion_logged_with_negative_size(self, stack):
+        _, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        delete_file(service, libseal, "a.txt")
+        sizes = [r[0] for r in libseal.audit_log.query(
+            "SELECT size FROM commit_batch ORDER BY time").rows]
+        assert sizes == [5, -1]
+
+    def test_blocks_column_is_64_char_digest(self, stack):
+        _, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        digest = libseal.audit_log.query("SELECT blocks FROM commit_batch").scalar()
+        assert len(digest) == 64
+
+
+class TestDetection:
+    def test_honest_service_passes(self, stack):
+        _, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        commit_file(service, libseal, "b.txt", b"world")
+        delete_file(service, libseal, "b.txt")
+        list_files(service, libseal)
+        outcome = libseal.check_invariants()
+        assert outcome.ok, outcome.violations
+
+    def test_corrupted_blocklist_detected(self, stack):
+        server, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        server.attack_corrupt_blocklist("acct", "a.txt")
+        list_files(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["blocklist_soundness"]
+
+    def test_omitted_file_detected(self, stack):
+        server, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        commit_file(service, libseal, "b.txt", b"world")
+        server.attack_omit_file("acct", "a.txt")
+        list_files(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert ("a.txt" in str(outcome.violations["list_completeness"]))
+
+    def test_fully_truncated_listing_detected(self, stack):
+        server, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        server.attack_omit_file("acct", "a.txt")
+        files = list_files(service, libseal)
+        assert files == []  # server claims no files at all
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["list_completeness"]
+
+    def test_resurrected_file_detected(self, stack):
+        server, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello")
+        delete_file(service, libseal, "a.txt")
+        server.attack_resurrect_file("acct", "a.txt")
+        list_files(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["deletion_soundness"]
+
+    def test_accounts_independent(self, stack):
+        server, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"hello", account="alice")
+        commit_file(service, libseal, "b.txt", b"world", account="bob")
+        list_files(service, libseal, account="alice")
+        list_files(service, libseal, account="bob")
+        outcome = libseal.check_invariants()
+        assert outcome.ok, outcome.violations
+
+    def test_trimming_keeps_latest_commit_per_file(self, stack):
+        _, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"v1")
+        commit_file(service, libseal, "a.txt", b"v2")
+        list_files(service, libseal)
+        removed = libseal.trim()
+        assert removed > 0
+        assert libseal.audit_log.row_count("commit_batch") == 1
+        assert libseal.audit_log.row_count("list") == 0
+
+    def test_detection_after_trimming(self, stack):
+        server, service, libseal = stack
+        commit_file(service, libseal, "a.txt", b"v1")
+        list_files(service, libseal)
+        libseal.trim()
+        server.attack_corrupt_blocklist("acct", "a.txt")
+        list_files(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["blocklist_soundness"]
+
+    def test_log_size_proportional_to_files(self, stack):
+        # §6.5: after trimming, log size ≈ #files × ~constant.
+        _, service, libseal = stack
+        for i in range(10):
+            commit_file(service, libseal, f"f{i}.txt", b"x" * 10)
+        libseal.trim()
+        per_file = libseal.audit_log.size_bytes() / 10
+        for i in range(10, 30):
+            commit_file(service, libseal, f"f{i}.txt", b"x" * 10)
+        libseal.trim()
+        per_file_30 = libseal.audit_log.size_bytes() / 30
+        assert abs(per_file - per_file_30) / per_file < 0.1

@@ -1,0 +1,170 @@
+"""Git SSM: log extraction and attack detection via the paper's SQL."""
+
+import pytest
+
+from repro.http import HttpRequest
+from repro.services.git import GitHttpService, GitServer
+from repro.services.git.repo import RefUpdate
+from repro.services.git.smart_http import encode_push
+from repro.ssm import GitSSM
+
+from tests.ssm.conftest import drive
+
+
+@pytest.fixture
+def stack(make_libseal):
+    server = GitServer()
+    repo = server.create_repository("proj.git")
+    service = GitHttpService(server)
+    libseal = make_libseal(GitSSM())
+    return repo, service, libseal
+
+
+def push_commit(repo, service, libseal, branch, message="m", files=None):
+    old = repo.refs.get(branch)
+    commit = repo.objects.create_commit(old, message, "ann", files or {})
+    request = HttpRequest(
+        "POST",
+        "/proj.git/git-receive-pack",
+        body=encode_push([RefUpdate(branch, old, commit.commit_id)]),
+    )
+    response = drive(service, libseal, request)
+    assert response.status == 200
+    return commit
+
+
+def fetch(service, libseal):
+    request = HttpRequest("GET", "/proj.git/info/refs?service=git-upload-pack")
+    response = drive(service, libseal, request)
+    assert response.status == 200
+    return response
+
+
+class TestLogging:
+    def test_push_logged_as_update(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        rows = libseal.audit_log.query("SELECT * FROM updates").rows
+        assert len(rows) == 1
+        assert rows[0][1:] == ("proj.git", "master", repo.refs["master"], "create")
+
+    def test_fetch_logged_as_advertisement(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        fetch(service, libseal)
+        rows = libseal.audit_log.query("SELECT repo, branch FROM advertisements").rows
+        assert rows == [("proj.git", "master")]
+
+    def test_failed_push_not_logged(self, stack):
+        repo, service, libseal = stack
+        request = HttpRequest(
+            "POST",
+            "/proj.git/git-receive-pack",
+            body=encode_push([RefUpdate("master", "1" * 40, "2" * 40)]),
+        )
+        response = drive(service, libseal, request)
+        assert response.status == 400
+        assert libseal.audit_log.row_count("updates") == 0
+
+    def test_deletion_logged_with_type(self, stack):
+        repo, service, libseal = stack
+        commit = push_commit(repo, service, libseal, "feature")
+        request = HttpRequest(
+            "POST",
+            "/proj.git/git-receive-pack",
+            body=encode_push([RefUpdate("feature", commit.commit_id, None)]),
+        )
+        drive(service, libseal, request)
+        rows = libseal.audit_log.query(
+            "SELECT type FROM updates WHERE branch = 'feature' ORDER BY time"
+        ).rows
+        assert rows == [("create",), ("delete",)]
+
+    def test_log_is_sealed_and_verifiable(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        fetch(service, libseal)
+        libseal.verify_log()
+
+
+class TestAttackDetection:
+    def test_honest_service_passes_all_invariants(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        push_commit(repo, service, libseal, "master")
+        push_commit(repo, service, libseal, "feature")
+        fetch(service, libseal)
+        outcome = libseal.check_invariants()
+        assert outcome.ok, outcome.violations
+
+    def test_rollback_attack_detected(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        push_commit(repo, service, libseal, "master")
+        repo.attack_rollback("master", steps=1)
+        fetch(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["soundness"]
+
+    def test_teleport_attack_detected(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master", files={"a": b"1"})
+        push_commit(repo, service, libseal, "evil-branch", files={"b": b"2"})
+        repo.attack_teleport("master", repo.refs["evil-branch"])
+        fetch(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["soundness"]
+
+    def test_reference_deletion_detected(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        push_commit(repo, service, libseal, "feature")
+        repo.attack_delete_reference("feature")
+        fetch(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+        assert outcome.violations["completeness"]
+
+    def test_legitimate_deletion_not_flagged(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        commit = push_commit(repo, service, libseal, "feature")
+        request = HttpRequest(
+            "POST",
+            "/proj.git/git-receive-pack",
+            body=encode_push([RefUpdate("feature", commit.commit_id, None)]),
+        )
+        drive(service, libseal, request)
+        fetch(service, libseal)
+        outcome = libseal.check_invariants()
+        assert outcome.ok, outcome.violations
+
+    def test_detection_survives_trimming(self, stack):
+        repo, service, libseal = stack
+        push_commit(repo, service, libseal, "master")
+        push_commit(repo, service, libseal, "master")
+        fetch(service, libseal)
+        assert libseal.check_invariants().ok
+        libseal.trim()
+        repo.attack_rollback("master", steps=1)
+        fetch(service, libseal)
+        outcome = libseal.check_invariants()
+        assert not outcome.ok
+
+    def test_trim_shrinks_log(self, stack):
+        repo, service, libseal = stack
+        for _ in range(5):
+            push_commit(repo, service, libseal, "master")
+            fetch(service, libseal)
+        before = libseal.audit_log.row_count("updates") + libseal.audit_log.row_count(
+            "advertisements"
+        )
+        removed = libseal.trim()
+        assert removed > 0
+        after = libseal.audit_log.row_count("updates") + libseal.audit_log.row_count(
+            "advertisements"
+        )
+        assert after < before
+        assert libseal.audit_log.row_count("updates") == 1  # latest per branch

@@ -1,0 +1,38 @@
+"""Every example script must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "collaborative_documents.py",
+    "dropbox_file_audit.py",
+    "messaging_audit.py",
+    "tls_enclave_deployment.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "VIOLATIONS" in out or "PROOF" in out or "verified" in out
+
+
+def test_performance_study_runs(capsys):
+    # The heaviest example: keep it last and check its summary tables.
+    runpy.run_path(str(EXAMPLES_DIR / "performance_study.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Git service peak throughput" in out
+    assert "SGX thread scaling" in out
+
+
+def test_examples_directory_is_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(EXAMPLES) | {"performance_study.py"} == scripts

@@ -1,0 +1,58 @@
+"""Shared TLS test fixtures."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.tls.cert import CertificateAuthority, make_server_identity
+from repro.tls.connection import TLSConfig, TLSConnection, pump_handshake
+from repro.tls.bio import bio_pair
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("test-root", seed=b"ca-seed")
+
+
+@pytest.fixture
+def server_identity(ca):
+    return make_server_identity(ca, "service.example", seed=b"server-id")
+
+
+@pytest.fixture
+def client_identity(ca):
+    return make_server_identity(ca, "client-0", seed=b"client-id")
+
+
+_PAIR_COUNTER = [0]
+
+
+def connect_pair(ca, server_identity, *, client_identity=None, require_client_cert=False):
+    """Build a connected (client, server) TLS pair over BIO pairs."""
+    _PAIR_COUNTER[0] += 1
+    run_id = _PAIR_COUNTER[0].to_bytes(4, "big")
+    server_key, server_cert = server_identity
+    client_to_server, server_from_client = bio_pair("c2s")
+    server_to_client, client_from_server = bio_pair("s2c")
+    server = TLSConnection(
+        TLSConfig(
+            certificate=server_cert,
+            private_key=server_key,
+            ca=ca,
+            require_client_cert=require_client_cert,
+            drbg=HmacDrbg(seed=b"server-hs" + run_id),
+        ),
+        is_server=True,
+        rbio=server_from_client,
+        wbio=server_to_client,
+    )
+    client_config = TLSConfig(ca=ca, drbg=HmacDrbg(seed=b"client-hs" + run_id))
+    if client_identity is not None:
+        client_config.private_key, client_config.certificate = client_identity
+    client = TLSConnection(
+        client_config,
+        is_server=False,
+        rbio=client_from_server,
+        wbio=client_to_server,
+    )
+    pump_handshake(client, server)
+    return client, server

@@ -1,0 +1,158 @@
+"""Tests for the OpenSSL-style function API."""
+
+import pytest
+
+from repro.errors import TLSError
+from repro.tls import api
+from repro.tls.bio import bio_pair
+from repro.tls.cert import CertificateAuthority, make_server_identity
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("api-root", seed=b"api-ca")
+
+
+@pytest.fixture
+def contexts(ca):
+    key, cert = make_server_identity(ca, "api.example", seed=b"api-server")
+    server_ctx = api.SSL_CTX_new(api.TLS_server_method())
+    api.SSL_CTX_use_certificate(server_ctx, cert)
+    api.SSL_CTX_use_PrivateKey(server_ctx, key)
+    client_ctx = api.SSL_CTX_new(api.TLS_client_method())
+    api.SSL_CTX_load_verify_locations(client_ctx, ca)
+    return client_ctx, server_ctx
+
+
+def make_connected_pair(client_ctx, server_ctx):
+    c2s, s_from_c = bio_pair()
+    s2c, c_from_s = bio_pair()
+    server = api.SSL_new(server_ctx)
+    api.SSL_set_bio(server, s_from_c, s2c)
+    client = api.SSL_new(client_ctx)
+    api.SSL_set_bio(client, c_from_s, c2s)
+    for _ in range(10):
+        done_c = api.SSL_connect(client)
+        done_s = api.SSL_accept(server)
+        if done_c and done_s:
+            return client, server
+    raise AssertionError("handshake did not converge")
+
+
+def test_connect_accept_roundtrip(contexts):
+    client, server = make_connected_pair(*contexts)
+    api.SSL_write(client, b"hello api")
+    assert api.SSL_read(server) == b"hello api"
+    api.SSL_write(server, b"reply")
+    assert api.SSL_read(client) == b"reply"
+
+
+def test_accept_returns_zero_before_client_hello(contexts):
+    _, server_ctx = contexts
+    a, b = bio_pair()
+    server = api.SSL_new(server_ctx)
+    api.SSL_set_bio(server, a, b)
+    assert api.SSL_accept(server) == 0
+
+
+def test_is_init_finished(contexts):
+    client, server = make_connected_pair(*contexts)
+    assert api.SSL_is_init_finished(client)
+    assert api.SSL_is_init_finished(server)
+
+
+def test_pending(contexts):
+    client, server = make_connected_pair(*contexts)
+    api.SSL_write(client, b"abcdef")
+    server.conn._pump_incoming()
+    assert api.SSL_pending(server) == 6
+    assert api.SSL_read(server, 2) == b"ab"
+    assert api.SSL_pending(server) == 4
+
+
+def test_peer_certificate(contexts):
+    client, server = make_connected_pair(*contexts)
+    cert = api.SSL_get_peer_certificate(client)
+    assert cert is not None
+    assert cert.subject == "api.example"
+    assert api.SSL_get_peer_certificate(server) is None
+
+
+def test_ex_data(contexts):
+    client, _ = make_connected_pair(*contexts)
+    api.SSL_set_ex_data(client, 0, {"request": "GET /"})
+    assert api.SSL_get_ex_data(client, 0) == {"request": "GET /"}
+    assert api.SSL_get_ex_data(client, 1) is None
+
+
+def test_bio_accessors(contexts):
+    client_ctx, _ = contexts
+    ssl = api.SSL_new(client_ctx)
+    a, b = bio_pair()
+    api.SSL_set_bio(ssl, a, b)
+    assert api.SSL_get_rbio(ssl) is a
+    assert api.SSL_get_wbio(ssl) is b
+
+
+def test_info_callback(contexts):
+    client_ctx, server_ctx = contexts
+    events = []
+    api.SSL_CTX_set_info_callback(server_ctx, lambda ssl, ev, val: events.append(ev))
+    make_connected_pair(client_ctx, server_ctx)
+    assert events  # handshake start/done fired
+
+
+def test_role_flip_rejected(contexts):
+    from repro.tls.bio import BIO
+
+    client_ctx, _ = contexts
+    ssl = api.SSL_new(client_ctx)
+    # Two standalone BIOs: output is not looped back to the input.
+    api.SSL_set_bio(ssl, BIO(), BIO())
+    api.SSL_connect(ssl)
+    with pytest.raises(TLSError):
+        api.SSL_accept(ssl)
+
+
+def test_read_before_handshake_rejected(contexts):
+    client_ctx, _ = contexts
+    ssl = api.SSL_new(client_ctx)
+    with pytest.raises(TLSError):
+        api.SSL_read(ssl)
+
+
+def test_missing_bios_rejected(contexts):
+    client_ctx, _ = contexts
+    ssl = api.SSL_new(client_ctx)
+    with pytest.raises(TLSError):
+        api.SSL_connect(ssl)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(TLSError):
+        api.SSL_CTX_new("TLSv9_method")
+
+
+def test_free_clears_state(contexts):
+    client, _ = make_connected_pair(*contexts)
+    api.SSL_set_ex_data(client, 0, "x")
+    api.SSL_free(client)
+    assert client.conn is None
+    assert client.ex_data == {}
+
+
+def test_mutual_tls_via_api(ca):
+    server_key, server_cert = make_server_identity(ca, "mtls.example", seed=b"mtls-s")
+    client_key, client_cert = make_server_identity(ca, "mtls-client", seed=b"mtls-c")
+    server_ctx = api.SSL_CTX_new(api.TLS_server_method())
+    api.SSL_CTX_use_certificate(server_ctx, server_cert)
+    api.SSL_CTX_use_PrivateKey(server_ctx, server_key)
+    api.SSL_CTX_load_verify_locations(server_ctx, ca)
+    api.SSL_CTX_set_verify(server_ctx, api.SSL_VERIFY_PEER)
+    client_ctx = api.SSL_CTX_new(api.TLS_client_method())
+    api.SSL_CTX_load_verify_locations(client_ctx, ca)
+    api.SSL_CTX_use_certificate(client_ctx, client_cert)
+    api.SSL_CTX_use_PrivateKey(client_ctx, client_key)
+    client, server = make_connected_pair(client_ctx, server_ctx)
+    peer = api.SSL_get_peer_certificate(server)
+    assert peer is not None and peer.subject == "mtls-client"

@@ -1,0 +1,201 @@
+"""TLS handshake, record protection and failure modes."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import TLSError
+from repro.tls.bio import BIO, bio_pair
+from repro.tls.cert import CertificateAuthority, make_server_identity
+from repro.tls.connection import (
+    SSL_CB_HANDSHAKE_DONE,
+    SSL_CB_HANDSHAKE_START,
+    TLSConfig,
+    TLSConnection,
+    pump_handshake,
+)
+from repro.tls.record import RECORD_APPDATA, RecordLayer, frame, parse_records
+
+from tests.tls.conftest import connect_pair
+
+
+class TestBio:
+    def test_fifo_semantics(self):
+        bio = BIO()
+        bio.write(b"hello ")
+        bio.write(b"world")
+        assert bio.read(5) == b"hello"
+        assert bio.read() == b" world"
+        assert bio.read() == b""
+
+    def test_pair_crosses_data(self):
+        a, b = bio_pair()
+        a.write(b"ping")
+        assert b.read() == b"ping"
+        b.write(b"pong")
+        assert a.read() == b"pong"
+
+    def test_counters(self):
+        a, b = bio_pair()
+        a.write(b"12345")
+        b.read()
+        assert a.bytes_written == 5
+        assert b.bytes_read == 5
+
+
+class TestRecordLayer:
+    def test_plaintext_roundtrip(self):
+        buffer = bytearray(frame(RECORD_APPDATA, b"clear"))
+        records = parse_records(buffer)
+        assert len(records) == 1
+        assert records[0].body == b"clear"
+
+    def test_partial_record_buffered(self):
+        data = frame(RECORD_APPDATA, b"payload")
+        buffer = bytearray(data[:4])
+        assert parse_records(buffer) == []
+        buffer.extend(data[4:])
+        assert parse_records(buffer)[0].body == b"payload"
+
+    def test_encrypted_roundtrip(self):
+        sender, receiver = RecordLayer(), RecordLayer()
+        sender.enable_send(b"key")
+        receiver.enable_recv(b"key")
+        buffer = bytearray(sender.seal(RECORD_APPDATA, b"secret"))
+        record = parse_records(buffer)[0]
+        assert record.body != b"secret"
+        assert receiver.open(record) == b"secret"
+
+    def test_replay_detected(self):
+        sender, receiver = RecordLayer(), RecordLayer()
+        sender.enable_send(b"key")
+        receiver.enable_recv(b"key")
+        wire = sender.seal(RECORD_APPDATA, b"msg")
+        record = parse_records(bytearray(wire))[0]
+        assert receiver.open(record) == b"msg"
+        # Replaying the same record fails: the nonce has moved on.
+        replay = parse_records(bytearray(wire))[0]
+        with pytest.raises(TLSError):
+            receiver.open(replay)
+
+    def test_tampering_detected(self):
+        sender, receiver = RecordLayer(), RecordLayer()
+        sender.enable_send(b"key")
+        receiver.enable_recv(b"key")
+        wire = bytearray(sender.seal(RECORD_APPDATA, b"msg"))
+        wire[-1] ^= 0x01
+        record = parse_records(wire)[0]
+        with pytest.raises(TLSError):
+            receiver.open(record)
+
+    def test_wrong_key_detected(self):
+        sender, receiver = RecordLayer(), RecordLayer()
+        sender.enable_send(b"key-a")
+        receiver.enable_recv(b"key-b")
+        record = parse_records(bytearray(sender.seal(RECORD_APPDATA, b"m")))[0]
+        with pytest.raises(TLSError):
+            receiver.open(record)
+
+
+class TestHandshake:
+    def test_handshake_establishes_both_sides(self, ca, server_identity):
+        client, server = connect_pair(ca, server_identity)
+        assert client.established
+        assert server.established
+
+    def test_application_data_roundtrip(self, ca, server_identity):
+        client, server = connect_pair(ca, server_identity)
+        client.write(b"GET / HTTP/1.1\r\n\r\n")
+        assert server.read() == b"GET / HTTP/1.1\r\n\r\n"
+        server.write(b"HTTP/1.1 200 OK\r\n\r\n")
+        assert client.read() == b"HTTP/1.1 200 OK\r\n\r\n"
+
+    def test_large_transfer(self, ca, server_identity):
+        client, server = connect_pair(ca, server_identity)
+        payload = bytes(range(256)) * 2048  # 512 KiB
+        client.write(payload)
+        assert server.read() == payload
+
+    def test_data_is_encrypted_on_the_wire(self, ca, server_identity):
+        server_key, server_cert = server_identity
+        c2s, s_from_c = bio_pair()
+        s2c, c_from_s = bio_pair()
+        server = TLSConnection(
+            TLSConfig(certificate=server_cert, private_key=server_key,
+                      drbg=HmacDrbg(seed=b"s")),
+            True, s_from_c, s2c,
+        )
+        client = TLSConnection(
+            TLSConfig(ca=ca, drbg=HmacDrbg(seed=b"c")), False, c_from_s, c2s
+        )
+        pump_handshake(client, server)
+        client.write(b"SUPER-SECRET-PAYLOAD")
+        wire = s_from_c.peek()
+        assert b"SUPER-SECRET-PAYLOAD" not in wire
+        assert server.read() == b"SUPER-SECRET-PAYLOAD"
+
+    def test_client_rejects_cert_from_unknown_ca(self, server_identity):
+        rogue_ca = CertificateAuthority("rogue", seed=b"rogue")
+        with pytest.raises(TLSError):
+            connect_pair(rogue_ca, server_identity)
+
+    def test_client_rejects_tampered_key_exchange(self, ca, server_identity):
+        # A MITM that substitutes the ephemeral key cannot forge the
+        # signature, so the client must abort.
+        other_key, other_cert = make_server_identity(ca, "service.example", seed=b"mitm")
+        mixed_identity = (other_key, server_identity[1])  # wrong key for cert
+        with pytest.raises(TLSError):
+            connect_pair(ca, mixed_identity)
+
+    def test_server_requires_certificate(self):
+        with pytest.raises(TLSError):
+            TLSConnection(TLSConfig(), is_server=True, rbio=BIO(), wbio=BIO())
+
+    def test_info_callback_events(self, ca, server_identity):
+        server_key, server_cert = server_identity
+        c2s, s_from_c = bio_pair()
+        s2c, c_from_s = bio_pair()
+        events = []
+        server = TLSConnection(
+            TLSConfig(certificate=server_cert, private_key=server_key,
+                      drbg=HmacDrbg(seed=b"s")),
+            True, s_from_c, s2c,
+        )
+        server.info_callback = lambda conn, ev, val: events.append(ev)
+        client = TLSConnection(
+            TLSConfig(ca=ca, drbg=HmacDrbg(seed=b"c")), False, c_from_s, c2s
+        )
+        pump_handshake(client, server)
+        assert SSL_CB_HANDSHAKE_START in events
+        assert SSL_CB_HANDSHAKE_DONE in events
+
+    def test_sessions_have_distinct_keys(self, ca, server_identity):
+        client_a, server_a = connect_pair(ca, server_identity)
+        client_b, server_b = connect_pair(ca, server_identity)
+        assert client_a._keys.master_secret != client_b._keys.master_secret
+
+
+class TestClientAuthentication:
+    def test_mutual_tls(self, ca, server_identity, client_identity):
+        client, server = connect_pair(
+            ca, server_identity,
+            client_identity=client_identity,
+            require_client_cert=True,
+        )
+        assert server.peer_certificate is not None
+        assert server.peer_certificate.subject == "client-0"
+
+    def test_client_without_cert_fails(self, ca, server_identity):
+        with pytest.raises(TLSError):
+            connect_pair(ca, server_identity, require_client_cert=True)
+
+    def test_forged_client_cert_fails(self, ca, server_identity, client_identity):
+        # A client presenting someone else's certificate cannot produce
+        # a valid CertificateVerify.
+        wrong_key, _ = make_server_identity(ca, "impostor", seed=b"impostor")
+        _, stolen_cert = client_identity
+        with pytest.raises(TLSError):
+            connect_pair(
+                ca, server_identity,
+                client_identity=(wrong_key, stolen_cert),
+                require_client_cert=True,
+            )

@@ -1,0 +1,154 @@
+"""Property-based tests: TLS record framing, fragmentation, crypto layers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aead import AEAD, AEADKey, NONCE_LEN
+from repro.errors import IntegrityError, TLSError
+from repro.http import parse_request
+from repro.http.parser import extract_message
+from repro.sealdb.tokens import tokenize
+from repro.tls.record import RECORD_APPDATA, RecordLayer, frame, parse_records
+
+from tests.tls.conftest import connect_pair
+
+
+class TestRecordFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(bodies=st.lists(st.binary(max_size=200), min_size=0, max_size=8))
+    def test_concatenated_records_parse_back(self, bodies):
+        wire = bytearray(b"".join(frame(RECORD_APPDATA, b) for b in bodies))
+        records = parse_records(wire)
+        assert [r.body for r in records] == bodies
+        assert not wire  # fully consumed
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bodies=st.lists(st.binary(max_size=100), min_size=1, max_size=5),
+        chops=st.lists(st.integers(min_value=1, max_value=50), max_size=20),
+    )
+    def test_arbitrary_fragmentation_reassembles(self, bodies, chops):
+        wire = b"".join(frame(RECORD_APPDATA, b) for b in bodies)
+        buffer = bytearray()
+        collected = []
+        position = 0
+        chop_iter = iter(chops)
+        while position < len(wire):
+            step = next(chop_iter, len(wire))
+            buffer.extend(wire[position : position + step])
+            position += step
+            collected.extend(r.body for r in parse_records(buffer))
+        assert collected == bodies
+
+    @settings(max_examples=60, deadline=None)
+    @given(plaintexts=st.lists(st.binary(max_size=300), min_size=1, max_size=6))
+    def test_encrypted_stream_roundtrip_in_order(self, plaintexts):
+        sender, receiver = RecordLayer(), RecordLayer()
+        sender.enable_send(b"shared")
+        receiver.enable_recv(b"shared")
+        wire = bytearray()
+        for p in plaintexts:
+            wire.extend(sender.seal(RECORD_APPDATA, p))
+        records = parse_records(wire)
+        assert [receiver.open(r) for r in records] == plaintexts
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        plaintexts=st.lists(st.binary(min_size=1, max_size=50), min_size=2,
+                            max_size=5),
+        drop=st.integers(min_value=0, max_value=3),
+    )
+    def test_dropped_record_breaks_the_stream(self, plaintexts, drop):
+        """Deleting any record desynchronises the sequence numbers —
+        an attacker cannot silently remove messages."""
+        drop %= len(plaintexts) - 1  # never drop the final record only
+        sender, receiver = RecordLayer(), RecordLayer()
+        sender.enable_send(b"shared")
+        receiver.enable_recv(b"shared")
+        frames = [sender.seal(RECORD_APPDATA, p) for p in plaintexts]
+        del frames[drop]
+        records = parse_records(bytearray(b"".join(frames)))
+        with pytest.raises(TLSError):
+            for record in records:
+                receiver.open(record)
+
+
+class TestAeadProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(plaintext=st.binary(max_size=500), ad=st.binary(max_size=50),
+           nonce_int=st.integers(min_value=0, max_value=2**64 - 1))
+    def test_seal_open_roundtrip(self, plaintext, ad, nonce_int):
+        aead = AEAD(AEADKey.derive(b"prop-master"))
+        nonce = nonce_int.to_bytes(NONCE_LEN, "big")
+        assert aead.open(nonce, aead.seal(nonce, plaintext, ad), ad) == plaintext
+
+    @settings(max_examples=60, deadline=None)
+    @given(plaintext=st.binary(min_size=1, max_size=200),
+           flip=st.integers(min_value=0, max_value=10_000))
+    def test_any_bit_flip_is_detected(self, plaintext, flip):
+        aead = AEAD(AEADKey.derive(b"prop-master"))
+        nonce = bytes(NONCE_LEN)
+        sealed = bytearray(aead.seal(nonce, plaintext))
+        index = flip % len(sealed)
+        bit = 1 << (flip % 8)
+        sealed[index] ^= bit
+        with pytest.raises(IntegrityError):
+            aead.open(nonce, bytes(sealed))
+
+
+class TestApplicationDataFragmentation:
+    @settings(max_examples=10, deadline=None)
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                           max_size=6))
+    def test_chunked_writes_arrive_in_order(self, chunks):
+        from repro.tls.cert import CertificateAuthority, make_server_identity
+
+        ca = CertificateAuthority("frag-root", seed=b"frag-ca")
+        identity = make_server_identity(ca, "frag.example", seed=b"frag-id")
+        client, server = connect_pair(ca, identity)
+        for chunk in chunks:
+            client.write(chunk)
+        assert server.read() == b"".join(chunks)
+
+
+class TestHttpFragmentationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        paths=st.lists(st.text(alphabet="abc/", min_size=1, max_size=8),
+                       min_size=1, max_size=4),
+        bodies=st.lists(st.binary(max_size=40), min_size=1, max_size=4),
+        chop=st.integers(min_value=1, max_value=33),
+    )
+    def test_pipelined_requests_extract_in_order(self, paths, bodies, chop):
+        from repro.http import HttpRequest
+
+        requests = []
+        for i, path in enumerate(paths):
+            body = bodies[i % len(bodies)]
+            requests.append(HttpRequest("POST", "/" + path, body=body))
+        wire = b"".join(r.encode() for r in requests)
+        buffer = bytearray()
+        extracted = []
+        for start in range(0, len(wire), chop):
+            buffer.extend(wire[start : start + chop])
+            while (message := extract_message(buffer)) is not None:
+                extracted.append(parse_request(message))
+        assert [r.path for r in extracted] == ["/" + p for p in paths]
+        assert [r.body for r in extracted] == [
+            bodies[i % len(bodies)] for i in range(len(paths))
+        ]
+
+
+class TestTokenizerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(text=st.text(max_size=30))
+    def test_string_literals_roundtrip(self, text):
+        escaped = text.replace("'", "''")
+        tokens = tokenize(f"'{escaped}'")
+        assert tokens[0].value == text
+
+    @settings(max_examples=80, deadline=None)
+    @given(number=st.integers(min_value=0, max_value=10**12))
+    def test_integer_literals_roundtrip(self, number):
+        tokens = tokenize(str(number))
+        assert int(tokens[0].value) == number
