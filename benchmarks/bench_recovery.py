@@ -1,0 +1,84 @@
+"""Crash recovery: restart latency vs log size, and ROTE availability.
+
+Not a paper figure — the paper's evaluation assumes a live enclave — but
+the deployment story (§2.5, §5.1) depends on restarts re-verifying the
+whole chain and on the counter quorum tolerating f faulty nodes. This
+benchmark pins both down: recovery cost is linear in log entries, and
+increments keep succeeding (with bounded retry/backoff) under f crashed
+nodes while f+1 fails over into the degraded path.
+"""
+
+from repro.bench.recovery import (
+    availability_under_crashes,
+    recovery_time_vs_log_size,
+)
+
+
+def test_recovery_time_vs_log_size(benchmark, emit):
+    rows = benchmark.pedantic(
+        recovery_time_vs_log_size, rounds=1, iterations=1
+    )
+    emit(
+        "recovery_time",
+        "Crash recovery - restart latency vs log size",
+        ["entries", "outcome", "recovered", "recovery ms", "us/entry"],
+        [
+            [
+                r["entries"],
+                r["outcome"],
+                r["recovered_entries"],
+                round(r["recovery_ms"], 1),
+                round(r["us_per_entry"], 1),
+            ]
+            for r in rows
+        ],
+    )
+    # Every restart recovers cleanly with the full log.
+    assert all(r["outcome"] == "clean-resume" for r in rows)
+    assert all(r["recovered_entries"] == r["entries"] for r in rows)
+    # Linear re-verification: per-entry cost must not blow up with size
+    # (allow generous headroom for interpreter noise).
+    per_entry = [r["us_per_entry"] for r in rows]
+    assert max(per_entry) < 20 * min(per_entry), per_entry
+
+
+def test_rote_availability_under_crashes(benchmark, emit):
+    rows = benchmark.pedantic(
+        availability_under_crashes, rounds=1, iterations=1
+    )
+    emit(
+        "recovery_availability",
+        "ROTE availability - increments under crashed counter nodes (f=1)",
+        [
+            "regime",
+            "attempts",
+            "ok",
+            "failed",
+            "retry rounds",
+            "backoff ms",
+            "metered ms",
+        ],
+        [
+            [
+                r["regime"],
+                r["attempts"],
+                r["succeeded"],
+                r["failed"],
+                r["retry_rounds"],
+                r["backoff_ms"],
+                r["metered_ms"],
+            ]
+            for r in rows
+        ],
+    )
+    by_regime = {r["regime"]: r for r in rows}
+    # Up to f faults: full availability (retries allowed, failures not).
+    assert by_regime["healthy"]["failed"] == 0
+    assert by_regime["1 crashed"]["failed"] == 0
+    slow = by_regime["1 crashed + slow node"]
+    assert slow["failed"] == 0
+    assert slow["retry_rounds"] > 0  # the slow node forced real retries
+    assert slow["backoff_ms"] > 0
+    # Beyond f: every attempt fails over (bounded, never hangs).
+    assert by_regime["2 crashed"]["succeeded"] == 0
+    assert by_regime["2 crashed"]["failed"] == slow["attempts"]

@@ -16,22 +16,35 @@ forge, modify, delete or *roll back* log state. Defences, as in the paper:
   trimming that recomputes the chain over surviving entries.
 """
 
-from repro.audit.hashchain import ChainEntry, HashChain, SignedHead
+from repro.audit.hashchain import ChainEntry, HashChain, SealIntent, SignedHead
 from repro.audit.log import AuditLog
 from repro.audit.merge import MergedLog, check_merged_invariants, merge_logs
 from repro.audit.persistence import LogStorage
+from repro.audit.recovery import (
+    DETECTED_OUTCOMES,
+    RECOVERED_OUTCOMES,
+    RecoveryOutcome,
+    RecoveryReport,
+    recover_log,
+)
 from repro.audit.rote import RoteCluster, RoteNode
 from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
 
 __all__ = [
     "ChainEntry",
     "HashChain",
+    "SealIntent",
     "SignedHead",
     "AuditLog",
     "MergedLog",
     "check_merged_invariants",
     "merge_logs",
     "LogStorage",
+    "DETECTED_OUTCOMES",
+    "RECOVERED_OUTCOMES",
+    "RecoveryOutcome",
+    "RecoveryReport",
+    "recover_log",
     "RoteCluster",
     "RoteNode",
     "SealedLogStorage",

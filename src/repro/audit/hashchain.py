@@ -85,6 +85,71 @@ class SignedHead:
             raise IntegrityError("audit log head signature invalid")
 
 
+@dataclass(frozen=True)
+class SealIntent:
+    """A signed write-ahead marker: "a seal of this chain state is in flight".
+
+    Written to storage *before* the ROTE increment of each epoch seal.
+    After a crash between the increment and the snapshot write, the stored
+    log's counter is one behind the quorum — byte-identical to a one-epoch
+    rollback. A valid intent whose chain extends the stored snapshot
+    proves the gap came from the enclave's own in-flight seal, letting
+    recovery discard the unacknowledged pair instead of (wrongly) flagging
+    a rollback. Without it, any counter gap is treated as an attack.
+    """
+
+    log_id: str
+    head_hash: bytes
+    entry_count: int
+    signature: EcdsaSignature
+
+    def payload(self) -> bytes:
+        return (
+            b"SEAL-INTENT\x00"
+            + self.log_id.encode()
+            + b"\x00"
+            + self.head_hash
+            + self.entry_count.to_bytes(8, "big")
+        )
+
+    @staticmethod
+    def sign(
+        key: EcdsaPrivateKey, log_id: str, head_hash: bytes, entry_count: int
+    ) -> "SealIntent":
+        unsigned = SealIntent(log_id, head_hash, entry_count, EcdsaSignature(0, 0))
+        return SealIntent(log_id, head_hash, entry_count, key.sign(unsigned.payload()))
+
+    def verify(self, public_key: EcdsaPublicKey) -> None:
+        if not public_key.verify(self.payload(), self.signature):
+            raise IntegrityError("seal intent signature invalid")
+
+    def encode(self) -> bytes:
+        return b"\x00".join(
+            [
+                b"INTENT1",
+                self.log_id.encode(),
+                self.head_hash.hex().encode(),
+                str(self.entry_count).encode(),
+                self.signature.encode().hex().encode(),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "SealIntent":
+        try:
+            magic, log_id, head_hex, count, sig_hex = blob.split(b"\x00")
+            if magic != b"INTENT1":
+                raise ValueError("bad magic")
+            return cls(
+                log_id.decode(),
+                bytes.fromhex(head_hex.decode()),
+                int(count),
+                EcdsaSignature.decode(bytes.fromhex(sig_hex.decode())),
+            )
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise IntegrityError(f"seal intent unparsable: {exc}") from exc
+
+
 class HashChain:
     """An append-only hash chain with rebuild support for trimming."""
 

@@ -20,11 +20,12 @@ from __future__ import annotations
 import json
 from typing import Sequence
 
-from repro.audit.hashchain import HashChain, SignedHead
+from repro.audit.hashchain import HashChain, SealIntent, SignedHead
 from repro.audit.persistence import LogStorage
 from repro.audit.rote import RoteCluster
 from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
 from repro.errors import IntegrityError, RollbackError
+from repro.faults import hooks as _faults
 from repro.sealdb import Database
 from repro.sealdb.executor import Result
 from repro.sealdb.table import SqlValue
@@ -86,14 +87,46 @@ class AuditLog:
 
         Called after each request/response pair in the paper's synchronous
         configuration (LibSEAL-disk), or at coarser intervals.
+
+        Crash-tolerant protocol order:
+
+        1. durably write a signed :class:`SealIntent` for the new chain
+           state (write-ahead, so a crash after step 2 is distinguishable
+           from a rollback at recovery);
+        2. increment the ROTE counter (retries/backoff inside);
+        3. sign the head against the fresh counter value;
+        4. atomically replace the snapshot on storage;
+        5. clear the intent.
+
+        A failure in step 2 (``QuorumUnavailableError``) or 4
+        (``StorageError``) leaves the in-memory log intact; the caller may
+        retry the seal later — the next successful seal covers every
+        appended tuple.
         """
+        events = _faults.check("audit.seal")
+
+        def crash_at(kind: str) -> None:
+            for event in events:
+                if event.kind == kind:
+                    raise _faults.active().crash(event)
+
+        crash_at("crash_before_intent")
+        if self.storage is not None:
+            intent = SealIntent.sign(
+                self._signing_key, self.log_id, self.chain.head, len(self.chain)
+            )
+            self.storage.save_intent(intent.encode())
+        crash_at("crash_after_intent")
         counter_value = self.rote.increment(self.log_id)
+        crash_at("crash_after_increment")
         self.signed_head = SignedHead.sign(
             self._signing_key, self.chain.head, counter_value, len(self.chain)
         )
         self.epochs_sealed += 1
         if self.storage is not None:
             self.storage.save(self.serialize())
+            crash_at("crash_after_save")
+            self.storage.clear_intent()
         return self.signed_head
 
     # ------------------------------------------------------------------
@@ -180,40 +213,51 @@ class AuditLog:
         public_key: EcdsaPublicKey,
         rote: RoteCluster,
         storage: LogStorage | None = None,
+        check_freshness: bool = True,
     ) -> "AuditLog":
         """Load and fully verify a serialized log from untrusted storage.
 
         Raises :class:`IntegrityError` on tampering and
         :class:`RollbackError` if the log is stale w.r.t. the ROTE quorum.
+        ``check_freshness=False`` skips the quorum cross-check (structure
+        and signature are still verified); the crash-recovery protocol
+        uses this to run its own gap-tolerant freshness classification.
         """
         try:
             doc = json.loads(blob.decode())
         except (ValueError, UnicodeDecodeError) as exc:
             raise IntegrityError(f"audit log snapshot unparsable: {exc}") from exc
-        log = cls(
-            schema_sql=doc.get("schema", ""),
-            signing_key=signing_key,
-            rote=rote,
-            log_id=doc["log_id"],
-            storage=storage,
-        )
-        for table, values in doc["payloads"]:
-            log.append(table, [_decode_value(v) for v in values])
-        log.appends = 0  # loading is not appending
-        head_doc = doc.get("head")
-        if head_doc is None:
-            raise IntegrityError("audit log snapshot lacks a signed head")
-        log.signed_head = SignedHead(
-            head_hash=bytes.fromhex(head_doc["head_hash"]),
-            counter_value=head_doc["counter"],
-            entry_count=head_doc["count"],
-            signature=EcdsaSignature.decode(bytes.fromhex(head_doc["signature"])),
-        )
-        log.verify(public_key)
+        try:
+            log = cls(
+                schema_sql=doc.get("schema", ""),
+                signing_key=signing_key,
+                rote=rote,
+                log_id=doc["log_id"],
+                storage=storage,
+            )
+            for table, values in doc["payloads"]:
+                log.append(table, [_decode_value(v) for v in values])
+            log.appends = 0  # loading is not appending
+            head_doc = doc.get("head")
+            if head_doc is None:
+                raise IntegrityError("audit log snapshot lacks a signed head")
+            log.signed_head = SignedHead(
+                head_hash=bytes.fromhex(head_doc["head_hash"]),
+                counter_value=head_doc["counter"],
+                entry_count=head_doc["count"],
+                signature=EcdsaSignature.decode(bytes.fromhex(head_doc["signature"])),
+            )
+        except IntegrityError:
+            raise
+        except Exception as exc:  # malformed fields, bad SQL, wrong shapes
+            raise IntegrityError(f"audit log snapshot malformed: {exc}") from exc
+        log.verify_structure(public_key)
+        if check_freshness:
+            log.verify_freshness()
         return log
 
-    def verify(self, public_key: EcdsaPublicKey) -> None:
-        """Full verification: chain, signature, freshness (§5.1)."""
+    def verify_structure(self, public_key: EcdsaPublicKey) -> None:
+        """Verify chain and head signature (no quorum interaction)."""
         self.chain.verify_payloads((t, list(v)) for t, v in self._payloads)
         head = self.signed_head
         if head is None:
@@ -223,9 +267,27 @@ class AuditLog:
             raise IntegrityError("signed head does not match the hash chain")
         if head.entry_count != len(self.chain):
             raise IntegrityError("signed entry count does not match the log")
+
+    def verify_freshness(self) -> int:
+        """Cross-check the signed counter against the live ROTE quorum.
+
+        Returns the live quorum counter value. Raises
+        :class:`RollbackError` when the signed head is provably behind it,
+        :class:`~repro.errors.QuorumUnavailableError` when no quorum
+        answers (an availability fault, not evidence of rollback).
+        """
+        head = self.signed_head
+        if head is None:
+            raise IntegrityError("audit log has no signed head")
         live_counter = self.rote.retrieve(self.log_id)
         if head.counter_value < live_counter:
             raise RollbackError(
                 f"stale audit log: counter {head.counter_value} < quorum "
                 f"value {live_counter}"
             )
+        return live_counter
+
+    def verify(self, public_key: EcdsaPublicKey) -> None:
+        """Full verification: chain, signature, freshness (§5.1)."""
+        self.verify_structure(public_key)
+        self.verify_freshness()

@@ -5,8 +5,24 @@ replace — because in the threat model it is *adversarial*: the provider can
 rewrite it at will. All integrity and freshness guarantees come from the
 hash chain, the head signature and the ROTE counter, never from storage.
 
+Durability is nevertheless engineered carefully, because the crash-recovery
+protocol (:mod:`repro.audit.recovery`) leans on the **atomic-replace
+invariant**: after any crash, the main file holds exactly one previously
+sealed snapshot — never a torn mixture. That requires fsyncing the tmp
+file *and* the parent directory (a rename is not durable until the
+directory entry is), and cleaning up orphaned ``.tmp`` files left by
+crashes mid-write.
+
+Alongside the snapshot, storage keeps a small *seal-intent* sidecar file
+written ahead of each ROTE increment (see ``AuditLog.seal_epoch``); the
+recovery protocol uses it to distinguish a benign crash mid-seal from a
+rollback attack.
+
 Disk latency is metered (synchronous flush per request/response pair is
-the LibSEAL-disk configuration of Fig. 5).
+the LibSEAL-disk configuration of Fig. 5). All failures surface as typed
+:class:`~repro.errors.StorageError`\\ s; fault injection hooks
+(``storage.save`` / ``storage.load``) let the chaos suite inject torn
+writes, stale reads and corruption deterministically.
 """
 
 from __future__ import annotations
@@ -14,7 +30,22 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.errors import StorageError
+from repro.faults import hooks as _faults
+
 DISK_FLUSH_LATENCY_MS = 0.25  # fsync on a datacenter SSD
+
+
+def _fsync_directory(path: Path) -> None:
+    """Flush a directory entry so a completed rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds; nothing more we can do
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class LogStorage:
@@ -25,28 +56,153 @@ class LogStorage:
         self.flush_count = 0
         self.bytes_written = 0
         self.total_latency_ms = 0.0
+        #: Orphaned ``.tmp`` files removed at start-up: evidence of a
+        #: crash mid-write, consumed by the recovery protocol.
+        self.orphans_cleaned: list[Path] = self._cleanup_orphans()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def _tmp_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".tmp")
+
+    @property
+    def _intent_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".intent")
+
+    def _cleanup_orphans(self) -> list[Path]:
+        """Remove ``.tmp`` leftovers from crashed writes (torn tails)."""
+        orphans: list[Path] = []
+        tmp = self._tmp_path
+        if tmp.exists():
+            orphans.append(tmp)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return orphans
+
+    # ------------------------------------------------------------------
+    # Snapshot blob
+    # ------------------------------------------------------------------
 
     def save(self, blob: bytes) -> None:
-        """Atomically replace the stored blob (write + rename + fsync)."""
-        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp_path, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
+        """Atomically replace the stored blob (write + fsync + rename + fsync)."""
+        events = _faults.check("storage.save")
+        injector = _faults.active()
+        crash = None
+        for event in events:
+            if event.kind == "corrupt_then_crash":
+                blob = injector.corrupt(blob)
+                crash = event
+            elif event.kind == "torn_write":
+                torn = injector.truncate(blob)
+                try:
+                    self._tmp_path.write_bytes(torn)
+                except OSError:
+                    pass
+                raise injector.crash(event)
+            elif event.kind == "io_error":
+                injector.note_effect(event, "io_error")
+                raise StorageError(f"injected I/O error writing {self.path}")
+
+        tmp_path = self._tmp_path
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            for event in events:
+                if event.kind == "crash_before_replace":
+                    raise injector.crash(event)
+            os.replace(tmp_path, self.path)
+            # The rename itself is not durable until the directory entry
+            # is flushed; without this a crash can resurrect the old file.
+            _fsync_directory(self.path.parent)
+        except OSError as exc:
+            try:
+                tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise StorageError(f"cannot write {self.path}: {exc}") from exc
         self.flush_count += 1
         self.bytes_written += len(blob)
         self.total_latency_ms += DISK_FLUSH_LATENCY_MS
+        _faults.record_save(str(self.path), blob)
+        for event in events:
+            if event.kind == "crash_after_replace":
+                raise injector.crash(event)
+        if crash is not None:
+            raise injector.crash(crash)
 
     def load(self) -> bytes:
-        with open(self.path, "rb") as handle:
-            return handle.read()
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError as exc:
+            raise StorageError(f"no snapshot at {self.path}") from exc
+        except OSError as exc:
+            raise StorageError(f"cannot read {self.path}: {exc}") from exc
+        return self._apply_load_faults(blob)
+
+    def _apply_load_faults(self, blob: bytes) -> bytes:
+        for event in _faults.check("storage.load"):
+            injector = _faults.active()
+            if event.kind == "stale_read":
+                stale = injector.stale_blob(
+                    str(self.path), int(event.params.get("back", 1))
+                )
+                if stale is None:
+                    injector.note_effect(event, "noop")
+                else:
+                    injector.note_effect(event, "stale")
+                    blob = stale
+            elif event.kind == "corrupt_read":
+                injector.note_effect(event, "corrupted")
+                blob = injector.corrupt(blob)
+            elif event.kind == "io_error":
+                injector.note_effect(event, "io_error")
+                raise StorageError(f"injected I/O error reading {self.path}")
+        return blob
 
     def exists(self) -> bool:
         return self.path.exists()
 
     def size_bytes(self) -> int:
         return self.path.stat().st_size if self.exists() else 0
+
+    # ------------------------------------------------------------------
+    # Seal-intent sidecar (write-ahead marker for the seal protocol)
+    # ------------------------------------------------------------------
+
+    def save_intent(self, blob: bytes) -> None:
+        """Durably record a seal intent (small, overwritten in place)."""
+        try:
+            with open(self._intent_path, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StorageError(
+                f"cannot write intent {self._intent_path}: {exc}"
+            ) from exc
+
+    def load_intent(self) -> bytes | None:
+        try:
+            return self._intent_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read intent {self._intent_path}: {exc}"
+            ) from exc
+
+    def clear_intent(self) -> None:
+        try:
+            self._intent_path.unlink(missing_ok=True)
+        except OSError:
+            pass
 
 
 class InMemoryStorage(LogStorage):
@@ -57,20 +213,32 @@ class InMemoryStorage(LogStorage):
         self.flush_count = 0
         self.bytes_written = 0
         self.total_latency_ms = 0.0
+        self.orphans_cleaned: list[Path] = []
         self._blob: bytes | None = None
+        self._intent: bytes | None = None
 
     def save(self, blob: bytes) -> None:
         self._blob = blob
         self.flush_count += 1
         self.bytes_written += len(blob)
+        _faults.record_save(str(self.path), blob)
 
     def load(self) -> bytes:
         if self._blob is None:
-            raise FileNotFoundError("no in-memory snapshot saved")
-        return self._blob
+            raise StorageError("no in-memory snapshot saved")
+        return self._apply_load_faults(self._blob)
 
     def exists(self) -> bool:
         return self._blob is not None
 
     def size_bytes(self) -> int:
         return len(self._blob) if self._blob is not None else 0
+
+    def save_intent(self, blob: bytes) -> None:
+        self._intent = blob
+
+    def load_intent(self) -> bytes | None:
+        return self._intent
+
+    def clear_intent(self) -> None:
+        self._intent = None

@@ -16,15 +16,33 @@ Protocol as implemented here:
   under-reports after acknowledging an increment, so a stale/rolled-back
   log claiming an older value is detected).
 
-Fault injection (crash, equivocation) is built in so the tolerance bound
-is testable: ``f`` faults are survived, ``f + 1`` are not.
+**Availability vs. integrity.** A round that falls short of the quorum is
+retried with bounded exponential backoff (constants from
+:mod:`repro.sim.costs`, metered into ``total_latency_ms``): crashed or
+partitioned nodes are an *availability* fault and eventually surface as a
+retryable :class:`~repro.errors.QuorumUnavailableError`.
+:class:`~repro.errors.RollbackError` is reserved for genuine integrity
+evidence — a signed log head provably behind the quorum counter (raised by
+``AuditLog.verify``, never here).
+
+Fault injection (crash, equivocation, per-node RPC timeouts, partitions,
+delays) is built in — statically via :meth:`RoteCluster.crash` and
+friends, and dynamically through the ``rote.op`` fault-plan hook — so the
+tolerance bound is testable: ``f`` faults are survived (via retries where
+needed), ``f + 1`` are not.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import RollbackError, SimulationError
+from repro.errors import QuorumUnavailableError, SimulationError
+from repro.faults import hooks as _faults
+from repro.sim.costs import (
+    ROTE_BACKOFF_BASE_S,
+    ROTE_BACKOFF_MAX_S,
+    ROTE_MAX_RETRIES,
+)
 
 ROTE_ROUNDTRIP_MS = 0.18  # intra-cluster RPC round trip (10 Gbps LAN)
 
@@ -36,6 +54,9 @@ class RoteNode:
     node_id: int
     crashed: bool = False
     equivocating: bool = False
+    #: Transient unreachability (injected timeout/partition): the node is
+    #: up but misses this many quorum rounds before answering again.
+    unreachable_rounds: int = 0
     counters: dict[str, int] = field(default_factory=dict)
 
     def handle_increment(self, log_id: str, proposed: int) -> int | None:
@@ -59,15 +80,19 @@ class RoteNode:
 class RoteCluster:
     """A quorum of counter nodes plus the client-side protocol logic."""
 
-    def __init__(self, f: int = 1):
+    def __init__(self, f: int = 1, max_retries: int = ROTE_MAX_RETRIES):
         if f < 0:
             raise SimulationError("f must be non-negative")
         self.f = f
         self.n = 3 * f + 1
         self.quorum = 2 * f + 1
+        self.max_retries = max_retries
         self.nodes = [RoteNode(node_id=i) for i in range(self.n)]
         self.increments = 0
         self.retrieves = 0
+        self.retry_rounds = 0
+        self.rpc_timeouts = 0
+        self.backoff_ms_total = 0.0
         self.total_latency_ms = 0.0
 
     # ------------------------------------------------------------------
@@ -83,45 +108,98 @@ class RoteCluster:
     def equivocate(self, node_id: int) -> None:
         self.nodes[node_id].equivocating = True
 
+    def delay(self, node_id: int, rounds: int = 1) -> None:
+        """Make a node miss the next ``rounds`` quorum rounds (RPC timeout)."""
+        self.nodes[node_id].unreachable_rounds += rounds
+
+    def _apply_plan_faults(self) -> None:
+        """Apply any fault-plan events due at this operation."""
+        for event in _faults.check("rote.op"):
+            kind, params = event.kind, event.params
+            if kind == "node_crash":
+                self.crash(params["node"])
+            elif kind == "node_recover":
+                self.recover(params["node"])
+            elif kind == "equivocate":
+                self.equivocate(params["node"])
+            elif kind == "timeout":
+                self.delay(params["node"], int(params.get("rounds", 1)))
+            elif kind == "partition":
+                for node_id in params.get("nodes", ()):
+                    self.delay(node_id, int(params.get("rounds", 1)))
+            elif kind == "delay":
+                self.total_latency_ms += float(params.get("ms", 1.0))
+
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
 
+    def _rpc(self, node: RoteNode, handler, *args) -> int | None:
+        """One node RPC; consumes one unreachable round if the node is slow."""
+        if node.unreachable_rounds > 0:
+            node.unreachable_rounds -= 1
+            self.rpc_timeouts += 1
+            return None
+        return handler(*args)
+
+    def _backoff(self, attempt: int) -> None:
+        """Meter one bounded-exponential backoff sleep before a retry."""
+        backoff_s = min(ROTE_BACKOFF_BASE_S * (2 ** attempt), ROTE_BACKOFF_MAX_S)
+        self.backoff_ms_total += backoff_s * 1000.0
+        self.total_latency_ms += backoff_s * 1000.0
+        self.retry_rounds += 1
+
     def increment(self, log_id: str) -> int:
         """Advance the counter for ``log_id``; returns the new value.
 
-        Raises :class:`RollbackError` if no quorum acknowledges (the
-        enclave must refuse to proceed — freshness can't be guaranteed).
+        Lossy rounds are retried with backoff over the surviving nodes.
+        Raises :class:`QuorumUnavailableError` once retries are exhausted
+        — the enclave must then refuse new pairs or degrade explicitly,
+        because freshness can no longer be certified.
         """
         self.increments += 1
-        self.total_latency_ms += ROTE_ROUNDTRIP_MS
+        self._apply_plan_faults()
         proposed = self._current_maximum(log_id) + 1
         acks = 0
-        for node in self.nodes:
-            reply = node.handle_increment(log_id, proposed)
-            if reply is not None and reply >= proposed:
-                acks += 1
-        if acks < self.quorum:
-            raise RollbackError(
-                f"ROTE increment failed: {acks}/{self.n} acks, quorum {self.quorum}"
-            )
-        return proposed
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._backoff(attempt - 1)
+            _faults.check("rote.round")
+            self.total_latency_ms += ROTE_ROUNDTRIP_MS
+            acks = 0
+            for node in self.nodes:
+                reply = self._rpc(node, node.handle_increment, log_id, proposed)
+                if reply is not None and reply >= proposed:
+                    acks += 1
+            if acks >= self.quorum:
+                return proposed
+        raise QuorumUnavailableError(
+            f"ROTE increment failed after {self.max_retries} retries: "
+            f"{acks}/{self.n} acks, quorum {self.quorum}"
+        )
 
     def retrieve(self, log_id: str) -> int:
         """Read the freshest counter value with quorum certainty."""
         self.retrieves += 1
-        self.total_latency_ms += ROTE_ROUNDTRIP_MS
-        replies = [
-            value
-            for node in self.nodes
-            if (value := node.handle_retrieve(log_id)) is not None
-        ]
-        if len(replies) < self.quorum:
-            raise RollbackError(
-                f"ROTE retrieve failed: {len(replies)}/{self.n} replies, "
-                f"quorum {self.quorum}"
-            )
-        return max(replies)
+        self._apply_plan_faults()
+        replies: list[int] = []
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._backoff(attempt - 1)
+            _faults.check("rote.round")
+            self.total_latency_ms += ROTE_ROUNDTRIP_MS
+            replies = [
+                value
+                for node in self.nodes
+                if (value := self._rpc(node, node.handle_retrieve, log_id))
+                is not None
+            ]
+            if len(replies) >= self.quorum:
+                return max(replies)
+        raise QuorumUnavailableError(
+            f"ROTE retrieve failed after {self.max_retries} retries: "
+            f"{len(replies)}/{self.n} replies, quorum {self.quorum}"
+        )
 
     def _current_maximum(self, log_id: str) -> int:
         values = [

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.audit.persistence import LogStorage
 from repro.errors import SealingError
+from repro.faults import hooks as _faults
 from repro.sgx.enclave import Enclave, EnclaveConfig
 from repro.sgx.sealing import KeyPolicy, SealedBlob, SigningAuthority
 
@@ -65,6 +66,11 @@ class SealedLogStorage(LogStorage):
 
     def load(self) -> bytes:
         sealed = self.inner.load()
+        for event in _faults.check("sealed.load"):
+            if event.kind == "seal_corrupt":
+                injector = _faults.active()
+                injector.note_effect(event, "corrupted")
+                sealed = injector.corrupt(sealed)
         try:
             return self.enclave.interface.ecall("unseal_log", sealed)
         except SealingError:
@@ -77,6 +83,21 @@ class SealedLogStorage(LogStorage):
 
     def size_bytes(self) -> int:
         return self.inner.size_bytes()
+
+    # Seal-intent sidecar: passes through unencrypted — the intent is a
+    # signed public artifact (chain head + count), nothing confidential.
+    def save_intent(self, blob: bytes) -> None:
+        self.inner.save_intent(blob)
+
+    def load_intent(self) -> bytes | None:
+        return self.inner.load_intent()
+
+    def clear_intent(self) -> None:
+        self.inner.clear_intent()
+
+    @property
+    def orphans_cleaned(self) -> list:
+        return self.inner.orphans_cleaned
 
     # Accounting passthroughs.
     @property

@@ -19,7 +19,7 @@ substrates:
 
 from repro.core.checker import CheckOutcome, InvariantChecker, RateLimiter
 from repro.core.client import CheckVerdict, IntegrityViolationReported, LibSealClient
-from repro.core.libseal import LibSeal, LibSealConfig
+from repro.core.libseal import DegradedState, LibSeal, LibSealConfig
 from repro.core.logger import AuditLogger
 from repro.core.provisioning import provision_tls_identity
 
@@ -30,6 +30,7 @@ __all__ = [
     "CheckVerdict",
     "IntegrityViolationReported",
     "LibSealClient",
+    "DegradedState",
     "LibSeal",
     "LibSealConfig",
     "AuditLogger",

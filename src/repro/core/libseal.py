@@ -12,16 +12,24 @@ TLS taps are wired differently (e.g. the performance simulator).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.audit.log import AuditLog
 from repro.audit.persistence import InMemoryStorage, LogStorage
+from repro.audit.recovery import RecoveryOutcome, RecoveryReport, recover_log
 from repro.audit.rote import RoteCluster
 from repro.core.checker import CheckOutcome, InvariantChecker, RateLimiter
 from repro.core.logger import AuditLogger
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
 from repro.enclave_tls.runtime import EnclaveTlsRuntime
+from repro.errors import (
+    AuditBufferFullError,
+    AvailabilityError,
+    QuorumUnavailableError,
+    StorageError,
+)
+from repro.faults import hooks as _faults
 from repro.http import HttpRequest, HttpResponse
 from repro.ssm.base import ServiceSpecificModule
 
@@ -43,6 +51,32 @@ class LibSealConfig:
     #: ROTE fault tolerance (n = 3f + 1 nodes).
     rote_f: int = 1
     log_id: str = "libseal-log"
+    #: Degraded-mode bound: pairs logged-but-unsealed while storage or the
+    #: ROTE quorum is down. Beyond it, new pairs are *blocked* (an
+    #: explicit :class:`~repro.errors.AuditBufferFullError`) rather than
+    #: audit records being silently dropped.
+    max_unsealed_pairs: int = 64
+
+
+@dataclass
+class DegradedState:
+    """Explicit audit-degradation marker (never silent).
+
+    Active while sealing cannot complete: pairs keep flowing into the
+    in-enclave log (the next successful seal covers them all, since the
+    signed head anchors the whole chain), but freshness/durability of the
+    tail cannot be certified until the dependency heals.
+    """
+
+    active: bool = False
+    #: "freshness-unverifiable" (ROTE quorum down) or
+    #: "storage-unavailable" (snapshot writes failing).
+    reason: str | None = None
+    #: ``pairs_logged`` value when degradation began.
+    since_pair: int | None = None
+    #: Pairs appended since the last successful seal.
+    unsealed_pairs: int = 0
+    last_error: Exception | None = field(default=None, repr=False)
 
 
 class LibSeal:
@@ -79,6 +113,8 @@ class LibSeal:
         self.logger = AuditLogger(self._handle_pair)
         self.logical_time = 0
         self.pairs_logged = 0
+        self.degraded = DegradedState()
+        self.recovery_report: RecoveryReport | None = None
         self.last_outcome: CheckOutcome | None = None
         self._attached_runtime: EnclaveTlsRuntime | None = None
         # Maps a connection handle to the rate-limiting key. By default
@@ -117,6 +153,22 @@ class LibSeal:
     def _handle_pair(
         self, request: HttpRequest, response: HttpResponse, handle: int
     ) -> str | None:
+        events = _faults.check("libseal.pair")
+        for event in events:
+            if event.kind == "crash_before_log":
+                raise _faults.active().crash(event)
+        if (
+            self.degraded.active
+            and self.degraded.unsealed_pairs >= self.config.max_unsealed_pairs
+        ):
+            # Buffer bound reached: one more seal attempt, then block the
+            # pair explicitly — never drop audit records on the floor.
+            if not self._try_seal():
+                raise AuditBufferFullError(
+                    f"{self.degraded.unsealed_pairs} unsealed pairs "
+                    f"(bound {self.config.max_unsealed_pairs}) while audit "
+                    f"is degraded: {self.degraded.reason}"
+                ) from self.degraded.last_error
         self.logical_time += 1
         self.pairs_logged += 1
         emitted = 0
@@ -127,8 +179,12 @@ class LibSeal:
             emitted += 1
 
         self.ssm.log(request, response, emit, self.logical_time)
+        for event in events:
+            if event.kind == "crash_after_log":
+                raise _faults.active().crash(event)
         if emitted and self.config.flush_each_pair:
-            self.audit_log.seal_epoch()
+            if not self._try_seal():
+                self.degraded.unsealed_pairs += 1
 
         self.rate_limiter.on_request()
         header_value: str | None = None
@@ -147,6 +203,103 @@ class LibSeal:
         if trim_interval is not None and self.pairs_logged % trim_interval == 0:
             self.trim()
         return header_value
+
+    # ------------------------------------------------------------------
+    # Sealing with graceful degradation
+    # ------------------------------------------------------------------
+
+    def _try_seal(self) -> bool:
+        """Seal now; on availability faults enter/extend degraded mode.
+
+        Returns True when the epoch sealed (covering every appended tuple,
+        including any previously buffered ones) and False when the audit
+        path is degraded. Never raises for availability faults; integrity
+        errors still propagate.
+        """
+        try:
+            self.audit_log.seal_epoch()
+        except QuorumUnavailableError as exc:
+            self._enter_degraded("freshness-unverifiable", exc)
+            return False
+        except StorageError as exc:
+            self._enter_degraded("storage-unavailable", exc)
+            return False
+        if self.degraded.active:
+            self.degraded = DegradedState()  # healed: the seal covered all
+        return True
+
+    def _enter_degraded(self, reason: str, error: Exception) -> None:
+        if not self.degraded.active:
+            self.degraded.active = True
+            self.degraded.since_pair = self.pairs_logged
+        self.degraded.reason = reason
+        self.degraded.last_error = error
+
+    def try_reseal(self) -> bool:
+        """Retry a deferred seal (e.g. after the ROTE quorum healed).
+
+        Returns True when the log is fully sealed and degraded mode (if
+        any) has been left.
+        """
+        if not self.degraded.active:
+            return True
+        return self._try_seal()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (start-up path)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        ssm: ServiceSpecificModule,
+        storage: LogStorage,
+        config: LibSealConfig | None = None,
+        signing_key: EcdsaPrivateKey | None = None,
+        rote: RoteCluster | None = None,
+    ) -> tuple["LibSeal | None", RecoveryReport]:
+        """Restart after a crash: verify, classify and adopt the snapshot.
+
+        Runs the :mod:`repro.audit.recovery` protocol against ``storage``.
+        Returns ``(libseal, report)``:
+
+        - on a recovered outcome (clean resume, torn tail, in-flight
+          discard, no snapshot) ``libseal`` is ready to serve;
+        - on ``FRESHNESS_UNVERIFIABLE`` it serves in explicit degraded
+          mode (buffering up to ``config.max_unsealed_pairs``);
+        - on a *detection* (tampering, rollback) or unavailable storage,
+          ``libseal`` is None — resuming would launder the violation.
+        """
+        instance = cls(ssm, config=config, signing_key=signing_key,
+                       rote=rote, storage=storage)
+        report = recover_log(
+            storage,
+            instance.signing_key,
+            instance.signing_key.public_key(),
+            instance.rote,
+            log_id=instance.config.log_id,
+        )
+        instance.recovery_report = report
+        if report.detected or report.outcome is RecoveryOutcome.STORAGE_UNAVAILABLE:
+            return None, report
+        if report.log is not None:
+            instance.audit_log = report.log
+            instance.checker = InvariantChecker(ssm, report.log)
+            # Logical time must move strictly forward past every recovered
+            # tuple; the entry count is a safe upper bound on pair count.
+            instance.logical_time = report.entries
+            instance.pairs_logged = report.entries
+        if report.outcome is RecoveryOutcome.FRESHNESS_UNVERIFIABLE or (
+            report.error is not None
+            and isinstance(report.error, AvailabilityError)
+        ):
+            reason = (
+                "freshness-unverifiable"
+                if isinstance(report.error, QuorumUnavailableError)
+                else "storage-unavailable"
+            )
+            instance._enter_degraded(reason, report.error)
+        return instance, report
 
     # ------------------------------------------------------------------
     # Direct-drive API (bypasses the TLS taps)

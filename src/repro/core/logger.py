@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import HTTPError
+from repro.faults import hooks as _faults
 from repro.http import (
     LIBSEAL_RESULT_HEADER,
     HttpRequest,
@@ -109,8 +110,17 @@ class AuditLogger:
             self.unparsable_messages += 1
             return None
         request = state.pending_requests.popleft()
+        # Crash points: the enclave dying around pair dispatch must lose
+        # at most the one in-flight, unacknowledged pair.
+        events = _faults.check("logger.pair")
+        for event in events:
+            if event.kind == "crash_before_pair":
+                raise _faults.active().crash(event)
         self.pairs_logged += 1
         header_value = self._on_pair(request, response, handle)
+        for event in events:
+            if event.kind == "crash_after_pair":
+                raise _faults.active().crash(event)
         if header_value is None:
             return None
         response.headers.set(LIBSEAL_RESULT_HEADER, header_value)

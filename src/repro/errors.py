@@ -30,7 +30,41 @@ class SealingError(SecurityError):
 
 
 class RollbackError(SecurityError):
-    """A stale state was presented where freshness is required."""
+    """A stale state was presented where freshness is required.
+
+    Reserved for *evidence of an integrity violation* (a signed head whose
+    counter is provably behind the ROTE quorum). Mere loss of quorum is an
+    availability fault and raises :class:`QuorumUnavailableError` instead.
+    """
+
+
+class AvailabilityError(ReproError):
+    """A dependency is (possibly transiently) unreachable.
+
+    Unlike :class:`SecurityError`, these are retryable: nothing has been
+    proven about integrity, the operation just could not complete now.
+    """
+
+
+class QuorumUnavailableError(AvailabilityError):
+    """Fewer than ``2f + 1`` ROTE nodes answered after bounded retries.
+
+    Crashes and timeouts of counter nodes are not evidence of rollback;
+    the caller may retry, degrade to freshness-unverifiable operation, or
+    block — but must not report an integrity violation.
+    """
+
+
+class AuditBufferFullError(AvailabilityError):
+    """The unsealed-pair buffer is full while the audit path is degraded.
+
+    Raised instead of silently dropping audit records: the service loop
+    must stop accepting new pairs until sealing succeeds again.
+    """
+
+
+class StorageError(AvailabilityError):
+    """Untrusted log storage failed (missing file, I/O error, torn write)."""
 
 
 class EnclaveError(ReproError):

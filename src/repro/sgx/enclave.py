@@ -117,6 +117,16 @@ class Enclave:
             obj._value = None
         self._objects.clear()
 
+    def abort(self) -> None:
+        """Simulate an asynchronous enclave loss (power event, EPC purge).
+
+        Identical to :meth:`destroy` from the outside — every protected
+        object is gone and all further entries fail — but named separately
+        so crash-recovery tests document that the enclave did *not* exit
+        cleanly: any state not already sealed to storage is lost.
+        """
+        self.destroy()
+
     @property
     def destroyed(self) -> bool:
         return self._destroyed

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import EnclaveError
+from repro.faults import hooks as _faults
 
 TRANSITION_BASE_CYCLES = 8_400
 TRANSITION_CYCLES_AT_48_THREADS = 170_000
@@ -156,6 +157,11 @@ class EnclaveInterface:
         self.stats.per_ecall[name] = self.stats.per_ecall.get(name, 0) + 1
         self._context.inside = True
         try:
+            # Fault hook: an enclave abort (AEX with lost EPC, e.g. power
+            # event) kills the call after entry — state inside is gone.
+            for event in _faults.check("enclave.ecall"):
+                if event.kind == "abort":
+                    raise _faults.active().crash(event)
             return func(*args, **kwargs)
         finally:
             self._context.inside = False

@@ -66,6 +66,15 @@ DISK_FSYNC_S = 0.0055  # synchronous fsync with barriers
 ROTE_RTT_S = 0.0002  # quorum round trip inside the cluster
 DROPBOX_DISK_FSYNC_S = 0.0065
 
+# --- class 3b: ROTE retry/backoff (availability under node faults) ----------
+# A lossy quorum round (crashed/partitioned/slow nodes) is retried with
+# bounded exponential backoff; the cost model meters every retry round and
+# every backoff sleep so degraded-mode latency is an emergent quantity.
+ROTE_RPC_TIMEOUT_S = 0.002  # per-round loss declaration on the 10 Gbps LAN
+ROTE_BACKOFF_BASE_S = 0.001  # first retry backoff
+ROTE_BACKOFF_MAX_S = 0.032  # exponential backoff cap
+ROTE_MAX_RETRIES = 4  # bounded: then QuorumUnavailableError surfaces
+
 # Boundary-crossing shape: a request makes ~30 calls for connection setup
 # plus data-path calls that grow with content (one read/write + BIO pair
 # per 4 KiB chunk).

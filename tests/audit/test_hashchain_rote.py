@@ -6,7 +6,7 @@ from repro.audit.hashchain import GENESIS, HashChain, SignedHead, encode_tuple
 from repro.audit.rote import RoteCluster
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecdsa import EcdsaPrivateKey
-from repro.errors import IntegrityError, RollbackError
+from repro.errors import IntegrityError, QuorumUnavailableError
 
 
 @pytest.fixture
@@ -123,12 +123,14 @@ class TestRote:
         assert cluster.retrieve("log") == 2
 
     def test_fails_beyond_f_crashes(self):
+        # Quorum loss from crashes is an *availability* fault, not
+        # evidence of rollback: the retryable error class surfaces.
         cluster = RoteCluster(f=1)
         cluster.crash(0)
         cluster.crash(1)
-        with pytest.raises(RollbackError):
+        with pytest.raises(QuorumUnavailableError):
             cluster.increment("log")
-        with pytest.raises(RollbackError):
+        with pytest.raises(QuorumUnavailableError):
             cluster.retrieve("log")
 
     def test_tolerates_f_equivocating_nodes(self):

@@ -9,7 +9,7 @@ from repro.audit import AuditLog, HashChain, RoteCluster
 from repro.audit.persistence import InMemoryStorage
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecdsa import EcdsaPrivateKey
-from repro.errors import IntegrityError, RollbackError
+from repro.errors import IntegrityError, QuorumUnavailableError, RollbackError
 
 sql_value = st.one_of(
     st.none(),
@@ -171,5 +171,5 @@ class TestRoteProperties:
         cluster = RoteCluster(f=f)
         for node_id in range(f + 1):
             cluster.crash(node_id)
-        with pytest.raises(RollbackError):
+        with pytest.raises(QuorumUnavailableError):
             cluster.increment("log")

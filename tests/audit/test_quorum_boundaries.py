@@ -1,0 +1,129 @@
+"""ROTE quorum tolerance boundaries: exactly f, exactly f+1, and healing.
+
+The cluster has n = 3f + 1 nodes and needs a quorum of 2f + 1; it must
+survive *any* f faulty nodes (crashed, equivocating, or slow — via the
+bounded retry/backoff loop) and must degrade into a retryable
+``QuorumUnavailableError`` (never a false ``RollbackError``) at f + 1.
+"""
+
+import itertools
+
+import pytest
+
+from repro.audit.rote import RoteCluster
+from repro.errors import QuorumUnavailableError
+from repro.sim.costs import ROTE_BACKOFF_BASE_S
+
+
+class TestExactlyFFaulty:
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_any_f_crashed_subset_succeeds(self, f):
+        for crashed in itertools.combinations(range(3 * f + 1), f):
+            cluster = RoteCluster(f=f)
+            for node_id in crashed:
+                cluster.crash(node_id)
+            assert cluster.increment("log") == 1
+            assert cluster.increment("log") == 2
+            assert cluster.retrieve("log") == 2
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_any_f_equivocating_subset_succeeds(self, f):
+        for lying in itertools.combinations(range(3 * f + 1), f):
+            cluster = RoteCluster(f=f)
+            for node_id in lying:
+                cluster.equivocate(node_id)
+            assert cluster.increment("log") == 1
+            assert cluster.retrieve("log") == 1
+
+    def test_mixed_crash_and_equivocation_up_to_f(self):
+        cluster = RoteCluster(f=2)  # n=7, quorum=5
+        cluster.crash(0)
+        cluster.equivocate(1)
+        assert cluster.increment("log") == 1
+        assert cluster.retrieve("log") == 1
+
+    def test_slow_nodes_succeed_via_retry_and_backoff(self):
+        cluster = RoteCluster(f=1)
+        # Two slow nodes leave only 2 < quorum responders for one round;
+        # the retry loop must ride it out, metering backoff latency.
+        cluster.delay(0, rounds=1)
+        cluster.delay(1, rounds=1)
+        before = cluster.total_latency_ms
+        assert cluster.increment("log") == 1
+        assert cluster.retry_rounds >= 1
+        assert cluster.rpc_timeouts >= 2
+        assert cluster.backoff_ms_total >= ROTE_BACKOFF_BASE_S * 1000.0
+        assert cluster.total_latency_ms > before
+
+    def test_f_crashed_plus_transient_delays_still_succeed(self):
+        # The ISSUE acceptance case: f crashed nodes *and* injected RPC
+        # delays on survivors — increments go through on retries.
+        cluster = RoteCluster(f=1)
+        cluster.crash(0)
+        cluster.delay(1, rounds=2)
+        assert cluster.increment("log") == 1
+        cluster.delay(2, rounds=1)
+        assert cluster.increment("log") == 2
+        assert cluster.retrieve("log") == 2
+        assert cluster.retry_rounds >= 1
+
+
+class TestBeyondF:
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_f_plus_one_crashes_exhaust_retries(self, f):
+        cluster = RoteCluster(f=f)
+        for node_id in range(f + 1):
+            cluster.crash(node_id)
+        with pytest.raises(QuorumUnavailableError):
+            cluster.increment("log")
+        # Every attempt (initial + retries) was made before giving up.
+        assert cluster.retry_rounds == cluster.max_retries
+
+    def test_quorum_loss_is_availability_not_rollback(self):
+        from repro.errors import AvailabilityError, RollbackError
+
+        cluster = RoteCluster(f=1)
+        cluster.crash(0)
+        cluster.crash(1)
+        with pytest.raises(QuorumUnavailableError) as excinfo:
+            cluster.retrieve("log")
+        assert isinstance(excinfo.value, AvailabilityError)
+        assert not isinstance(excinfo.value, RollbackError)
+
+    def test_permanent_unavailability_is_bounded_by_retries(self):
+        cluster = RoteCluster(f=1, max_retries=2)
+        cluster.crash(0)
+        cluster.crash(1)
+        with pytest.raises(QuorumUnavailableError):
+            cluster.increment("log")
+        assert cluster.retry_rounds == 2
+
+
+class TestHealing:
+    def test_recovered_node_rejoins_and_quorum_resumes(self):
+        cluster = RoteCluster(f=1)
+        assert cluster.increment("log") == 1
+        cluster.crash(0)
+        cluster.crash(1)
+        with pytest.raises(QuorumUnavailableError):
+            cluster.increment("log")
+        cluster.recover(1)
+        # Back to exactly f faulty: progress resumes. The failed attempt
+        # may have burned a counter value on surviving nodes (they stored
+        # the proposal even though no quorum formed) — that is harmless:
+        # freshness only needs monotonicity, not density.
+        resumed = cluster.increment("log")
+        assert resumed > 1
+        assert cluster.retrieve("log") == resumed
+        cluster.recover(0)
+        assert cluster.increment("log") == resumed + 1
+
+    def test_rejoined_node_catches_up_through_increments(self):
+        cluster = RoteCluster(f=1)
+        cluster.crash(3)
+        for _ in range(4):
+            cluster.increment("log")
+        cluster.recover(3)
+        assert cluster.increment("log") == 5
+        # The rejoined node acknowledged the new value.
+        assert cluster.nodes[3].counters["log"] == 5

@@ -1,0 +1,279 @@
+"""Seeded chaos suite: randomised fault plans against real service stacks.
+
+Each run drives one service workload through a LibSeal instance with a
+deterministic random :class:`FaultPlan` active, then simulates a process
+restart and runs the recovery protocol *under the same plan* (so
+adversarial reads scheduled for recovery time fire there). The
+**detect-or-recover invariant** is asserted on every run:
+
+- adversarial storage effects (stale or corrupted snapshots, tampered
+  sealed blobs) must be *detected* — never silently resumed;
+- benign faults (crashes, timeouts, partitions, quorum loss) must never
+  be misclassified as attacks;
+- on every recovered outcome, no *acknowledged* log entry may be lost
+  (the recovered log covers at least the last successful seal);
+- everything is byte-for-byte reproducible from the seed.
+
+The suite covers 250 seeded plans (`-m faults` selects it; CI runs a
+seeded smoke subset).
+"""
+
+import pytest
+
+from repro import faults
+from repro.audit.persistence import LogStorage
+from repro.audit.recovery import RecoveryOutcome
+from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
+from repro.core import LibSeal
+from repro.errors import AuditBufferFullError
+from repro.faults import FaultPlan, InjectedCrash
+from repro.http import HttpRequest, HttpResponse
+from repro.sgx.sealing import SigningAuthority
+from repro.ssm import DropboxSSM, GitSSM, MessagingSSM, OwnCloudSSM
+from repro.ssm.base import ServiceSpecificModule
+from repro.workloads import (
+    DropboxOpsWorkload,
+    GitReplayWorkload,
+    MessagingWorkload,
+    OwnCloudEditWorkload,
+)
+
+pytestmark = pytest.mark.faults
+
+PAIRS = 10  # injected pairs per run (plans are generated for this horizon)
+SEEDS_PER_SERVICE = 55
+SEALED_SEEDS = 30
+
+SERVICES = {
+    "git": (
+        GitSSM,
+        lambda ls, seed: GitReplayWorkload(
+            ls, repos=1, branches_per_repo=2, seed=seed
+        ),
+    ),
+    "owncloud": (
+        OwnCloudSSM,
+        lambda ls, seed: OwnCloudEditWorkload(
+            ls, documents=1, members=2, seed=seed
+        ),
+    ),
+    "dropbox": (
+        DropboxSSM,
+        lambda ls, seed: DropboxOpsWorkload(ls, accounts=1, seed=seed),
+    ),
+    "messaging": (
+        MessagingSSM,
+        lambda ls, seed: MessagingWorkload(ls, channels=1, members=2, seed=seed),
+    ),
+}
+
+
+class ChaosResult:
+    def __init__(self, plan, injector, crash, sealed_entries, libseal, report):
+        self.plan = plan
+        self.injector = injector
+        self.crash = crash
+        self.sealed_entries = sealed_entries
+        self.libseal = libseal  # the recovered instance (or None)
+        self.report = report
+
+
+def run_chaos(make_libseal, drive_one, plan, path):
+    """One chaos run: workload under faults, then restart + recovery."""
+    libseal, restart = make_libseal()
+    sealed_entries = len(libseal.audit_log.chain)
+    crash = None
+    with faults.inject(plan) as injector:
+        try:
+            for _ in range(PAIRS):
+                drive_one()
+                if not libseal.degraded.active:
+                    sealed_entries = len(libseal.audit_log.chain)
+        except InjectedCrash as exc:
+            crash = exc
+        except AuditBufferFullError:
+            pass
+        # ---- simulated restart, still under the same plan: adversarial
+        # reads scheduled for "recovery time" fire here. A crash *during*
+        # recovery is just another restart.
+        recovered = report = None
+        for _ in range(3):
+            try:
+                recovered, report = restart()
+                break
+            except InjectedCrash:
+                continue
+        assert report is not None, f"recovery never completed: {plan!r}"
+    return ChaosResult(plan, injector, crash, sealed_entries, recovered, report)
+
+
+def assert_detect_or_recover(result):
+    """The chaos invariant, conditioned on what actually fired."""
+    report = result.report
+    kinds = result.injector.fired_kinds()
+    effects = {f.effect for f in result.injector.fired}
+    context = (
+        f"{result.injector.describe()}\n  -> {report.describe()}"
+        f" sealed_entries={result.sealed_entries}"
+    )
+
+    if kinds & {"corrupt_then_crash", "corrupt_read", "seal_corrupt"}:
+        # Storage served tampered bytes: must be detected, never resumed.
+        assert report.outcome is RecoveryOutcome.TAMPER_DETECTED, context
+        assert result.libseal is None, context
+    elif "stale" in effects:
+        # Storage served an earlier (valid!) snapshot: rollback detection.
+        assert report.outcome is RecoveryOutcome.ROLLBACK_DETECTED, context
+        assert result.libseal is None, context
+    elif result.plan.scenario == "quorum-down" and "node_crash" in kinds:
+        # f+1 counter nodes down: explicit degraded resume, not a crash
+        # and *not* a rollback claim.
+        assert report.outcome is RecoveryOutcome.FRESHNESS_UNVERIFIABLE, context
+        assert result.libseal is not None, context
+        assert result.libseal.degraded.active, context
+        assert report.entries >= result.sealed_entries, context
+    else:
+        # Benign faults only (crashes, transient unavailability): recovery
+        # must succeed, and no acknowledged entry may be missing.
+        assert report.recovered, context
+        assert result.libseal is not None, context
+        assert report.entries >= result.sealed_entries, context
+        result.libseal.audit_log.verify_structure(
+            result.libseal.signing_key.public_key()
+        )
+
+
+def run_service_chaos(service, seed, tmp_path):
+    make_ssm, make_workload = SERVICES[service]
+    path = tmp_path / "log.bin"
+    plan = FaultPlan.random(seed, max_pairs=PAIRS)
+
+    state = {}
+
+    def make_libseal():
+        libseal = LibSeal(make_ssm(), storage=LogStorage(path))
+        # Workload construction drives setup traffic *outside* injection.
+        state["workload"] = make_workload(libseal, 1000 + seed)
+        state["libseal"] = libseal
+
+        def restart():
+            return LibSeal.recover(
+                make_ssm(),
+                LogStorage(path),
+                signing_key=libseal.signing_key,
+                rote=libseal.rote,
+            )
+
+        return libseal, restart
+
+    def drive_one():
+        state["workload"].run(1)
+
+    return run_chaos(make_libseal, drive_one, plan, path)
+
+
+@pytest.mark.parametrize("service", sorted(SERVICES))
+@pytest.mark.parametrize("seed", range(SEEDS_PER_SERVICE))
+def test_chaos_service_workloads(service, seed, tmp_path):
+    assert_detect_or_recover(run_service_chaos(service, seed, tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Sealed-at-rest chaos: routes snapshots through the sealing enclave, so
+# the seal-corrupt and mid-ecall-abort fault classes become reachable.
+# ---------------------------------------------------------------------------
+
+
+class TickSSM(ServiceSpecificModule):
+    name = "tick"
+    schema_sql = "CREATE TABLE ticks(time INTEGER, path TEXT)"
+    invariants = {}
+    trimming_queries = []
+
+    def log(self, request, response, emit, time):
+        emit("ticks", (time, request.path))
+
+
+def run_sealed_chaos(seed, tmp_path):
+    path = tmp_path / "log.bin"
+    plan = FaultPlan.random(seed, max_pairs=PAIRS, sealed=True)
+    authority = SigningAuthority("libseal-chaos")
+
+    def make_storage():
+        return SealedLogStorage(LogStorage(path), make_log_enclave(authority))
+
+    state = {"next": 0}
+
+    def make_libseal():
+        libseal = LibSeal(TickSSM(), storage=make_storage())
+        # One sealed epoch outside injection so recovery-time reads have
+        # a real snapshot to tamper with.
+        libseal.log_pair(HttpRequest("GET", "/setup"), HttpResponse(200))
+        state["libseal"] = libseal
+
+        def restart():
+            return LibSeal.recover(
+                TickSSM(),
+                make_storage(),
+                signing_key=libseal.signing_key,
+                rote=libseal.rote,
+            )
+
+        return libseal, restart
+
+    def drive_one():
+        index = state["next"]
+        state["next"] = index + 1
+        state["libseal"].log_pair(
+            HttpRequest("GET", f"/tick/{index}"), HttpResponse(200)
+        )
+
+    return run_chaos(make_libseal, drive_one, plan, path)
+
+
+@pytest.mark.parametrize("seed", range(100, 100 + SEALED_SEEDS))
+def test_chaos_sealed_storage(seed, tmp_path):
+    assert_detect_or_recover(run_sealed_chaos(seed, tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Reproducibility: a chaos run is a pure function of its seed.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23, 31, 48])
+def test_chaos_runs_are_byte_for_byte_reproducible(seed, tmp_path):
+    def fingerprint(run_dir):
+        result = run_service_chaos("git", seed, run_dir)
+        path = run_dir / "log.bin"
+        return (
+            [f.describe() for f in result.injector.fired],
+            [e.describe() for e in result.injector.unfired],
+            result.report.outcome,
+            result.report.entries,
+            path.read_bytes() if path.exists() else None,
+        )
+
+    first = fingerprint(tmp_path / "a")
+    second = fingerprint(tmp_path / "b")
+    assert first == second
+
+
+def test_chaos_covers_every_scenario_class():
+    """The seed ranges above genuinely exercise every scenario weight."""
+    scenarios = {
+        FaultPlan.random(seed, max_pairs=PAIRS).scenario
+        for seed in range(SEEDS_PER_SERVICE)
+    }
+    scenarios |= {
+        FaultPlan.random(seed, max_pairs=PAIRS, sealed=True).scenario
+        for seed in range(100, 100 + SEALED_SEEDS)
+    }
+    assert scenarios >= {
+        "availability",
+        "crash",
+        "integrity-stale",
+        "integrity-corrupt",
+        "seal-corrupt",
+        "quorum-down",
+    }

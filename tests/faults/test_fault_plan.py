@@ -1,0 +1,162 @@
+"""The fault-injection plane itself: plans, firing, determinism, overhead."""
+
+import pytest
+
+from repro import faults
+from repro.audit.persistence import InMemoryStorage, LogStorage
+from repro.errors import SimulationError, StorageError
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+)
+
+
+class TestPlanGeneration:
+    def test_random_plans_are_deterministic(self):
+        for seed in range(20):
+            first = FaultPlan.random(seed, max_pairs=10)
+            second = FaultPlan.random(seed, max_pairs=10)
+            assert first.events == second.events
+            assert first.scenario == second.scenario
+
+    def test_seeds_cover_every_scenario(self):
+        scenarios = {
+            FaultPlan.random(seed, max_pairs=10, sealed=True).scenario
+            for seed in range(200)
+        }
+        assert scenarios == {name for name, _ in FaultPlan.SCENARIOS}
+
+    def test_unsealed_plans_never_target_seal_sites(self):
+        for seed in range(100):
+            plan = FaultPlan.random(seed, max_pairs=10, sealed=False)
+            for event in plan.events:
+                assert event.site not in ("sealed.load", "enclave.ecall")
+
+
+class TestInjector:
+    def test_event_fires_on_the_scheduled_visit_only(self):
+        plan = FaultPlan([FaultEvent("site.x", "timeout", at=3)])
+        injector = FaultInjector(plan)
+        assert injector.fire("site.x") == ()
+        assert injector.fire("site.x") == ()
+        (event,) = injector.fire("site.x")
+        assert event.kind == "timeout"
+        assert injector.fire("site.x") == ()
+        assert injector.fired[0].event is event
+
+    def test_unreached_events_are_reported_unfired(self):
+        plan = FaultPlan([FaultEvent("site.x", "timeout", at=99)])
+        injector = FaultInjector(plan)
+        injector.fire("site.x")
+        assert injector.unfired == plan.events
+
+    def test_corruption_is_deterministic_per_seed(self):
+        blob = b"x" * 64
+        one = FaultInjector(FaultPlan([], seed=5)).corrupt(blob)
+        two = FaultInjector(FaultPlan([], seed=5)).corrupt(blob)
+        other = FaultInjector(FaultPlan([], seed=6)).corrupt(blob)
+        assert one == two
+        assert one != blob
+        assert other != blob
+
+    def test_stale_history_is_recorded_and_served(self):
+        injector = FaultInjector(FaultPlan([], seed=1))
+        injector.record_save("k", b"v1")
+        injector.record_save("k", b"v2")
+        injector.record_save("k", b"v3")
+        assert injector.stale_blob("k", back=1) == b"v2"
+        assert injector.stale_blob("k", back=2) == b"v1"
+        assert injector.stale_blob("k", back=3) is None
+
+
+class TestHooks:
+    def test_inactive_by_default(self):
+        assert faults.active() is None
+        assert faults.check("storage.save") == ()
+
+    def test_inactive_check_has_no_state(self):
+        # Zero overhead when disabled: no counters, no history, nothing.
+        faults.check("storage.save")
+        faults.record_save("k", b"blob")
+        with faults.inject(FaultPlan([])) as injector:
+            assert injector.visits == {}
+            assert injector.stale_blob("k") is None
+
+    def test_inject_activates_and_deactivates(self):
+        plan = FaultPlan([FaultEvent("s", "timeout", at=1)])
+        with faults.inject(plan) as injector:
+            assert faults.active() is injector
+            assert len(faults.check("s")) == 1
+        assert faults.active() is None
+
+    def test_nested_injection_rejected(self):
+        with faults.inject(FaultPlan([])):
+            with pytest.raises(SimulationError):
+                with faults.inject(FaultPlan([])):
+                    pass
+
+    def test_deactivates_on_crash_escape(self):
+        plan = FaultPlan([FaultEvent("storage.save", "torn_write", at=1)])
+        storage = None
+        with pytest.raises(InjectedCrash):
+            with faults.inject(plan):
+                raise InjectedCrash("storage.save", "torn_write")
+        assert faults.active() is None
+
+
+class TestStorageFaults:
+    def test_torn_write_leaves_orphan_tmp_and_old_snapshot(self, tmp_path):
+        storage = LogStorage(tmp_path / "log.bin")
+        storage.save(b"epoch-1" * 10)
+        plan = FaultPlan([FaultEvent("storage.save", "torn_write", at=1)])
+        with pytest.raises(InjectedCrash):
+            with faults.inject(plan):
+                storage.save(b"epoch-2" * 10)
+        # Atomic-replace invariant: main file still holds epoch 1 intact.
+        assert storage.path.read_bytes() == b"epoch-1" * 10
+        tmp = storage.path.with_suffix(storage.path.suffix + ".tmp")
+        assert tmp.exists()
+        # A restart's storage cleans up and records the evidence.
+        restarted = LogStorage(tmp_path / "log.bin")
+        assert restarted.orphans_cleaned == [tmp]
+        assert not tmp.exists()
+
+    def test_stale_read_serves_an_earlier_snapshot(self, tmp_path):
+        storage = LogStorage(tmp_path / "log.bin")
+        plan = FaultPlan([FaultEvent("storage.load", "stale_read", at=1)])
+        with faults.inject(plan) as injector:
+            storage.save(b"v1")
+            storage.save(b"v2")
+            assert storage.load() == b"v1"
+            assert injector.fired[0].effect == "stale"
+
+    def test_stale_read_with_no_history_is_noop(self, tmp_path):
+        storage = LogStorage(tmp_path / "log.bin")
+        plan = FaultPlan([FaultEvent("storage.load", "stale_read", at=1)])
+        with faults.inject(plan) as injector:
+            storage.save(b"only")
+            assert storage.load() == b"only"
+            assert injector.fired[0].effect == "noop"
+
+    def test_corrupt_read(self, tmp_path):
+        storage = LogStorage(tmp_path / "log.bin")
+        storage.save(b"payload" * 8)
+        plan = FaultPlan([FaultEvent("storage.load", "corrupt_read", at=1)])
+        with faults.inject(plan):
+            assert storage.load() != b"payload" * 8
+
+    def test_io_error_is_typed(self, tmp_path):
+        storage = LogStorage(tmp_path / "log.bin")
+        plan = FaultPlan([FaultEvent("storage.save", "io_error", at=1)])
+        with faults.inject(plan):
+            with pytest.raises(StorageError):
+                storage.save(b"blob")
+
+    def test_in_memory_storage_supports_load_faults(self):
+        storage = InMemoryStorage()
+        plan = FaultPlan([FaultEvent("storage.load", "corrupt_read", at=1)])
+        with faults.inject(plan):
+            storage.save(b"payload" * 8)
+            assert storage.load() != b"payload" * 8

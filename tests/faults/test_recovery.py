@@ -1,0 +1,375 @@
+"""The crash-recovery protocol: every outcome class, plus LibSeal.recover."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.audit import AuditLog, RoteCluster
+from repro.audit.persistence import LogStorage
+from repro.audit.recovery import RecoveryOutcome, recover_log
+from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
+from repro.core import LibSeal, LibSealConfig
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.errors import (
+    AuditBufferFullError,
+    QuorumUnavailableError,
+    RollbackError,
+    StorageError,
+)
+from repro.faults import FaultEvent, FaultPlan, InjectedCrash
+from repro.http import HttpRequest, HttpResponse
+from repro.sgx.sealing import SigningAuthority
+from repro.ssm.base import ServiceSpecificModule
+
+SCHEMA = "CREATE TABLE updates(time INTEGER, note TEXT)"
+
+
+@pytest.fixture
+def key():
+    return EcdsaPrivateKey.generate(HmacDrbg(seed=b"recovery-key"))
+
+
+def make_log(storage, key, rote):
+    return AuditLog(SCHEMA, key, rote, storage=storage)
+
+
+def seal_epochs(log, count, start=0):
+    for epoch in range(start, start + count):
+        log.append("updates", (epoch, f"epoch-{epoch}"))
+        log.seal_epoch()
+
+
+class TestRecoveryOutcomes:
+    def test_no_snapshot(self, tmp_path, key):
+        storage = LogStorage(tmp_path / "log.bin")
+        report = recover_log(storage, key, key.public_key(), RoteCluster(f=1))
+        assert report.outcome is RecoveryOutcome.NO_SNAPSHOT
+        assert report.recovered and not report.detected
+        assert report.log is None
+
+    def test_clean_resume(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        seal_epochs(make_log(LogStorage(tmp_path / "log.bin"), key, rote), 3)
+        storage = LogStorage(tmp_path / "log.bin")
+        report = recover_log(storage, key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.CLEAN_RESUME
+        assert report.entries == 3
+        assert report.counter == report.live_counter == 3
+        # The recovered log keeps serving.
+        report.log.append("updates", (99, "after"))
+        report.log.seal_epoch()
+        report.log.verify(key.public_key())
+
+    def test_torn_tail_truncated(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        seal_epochs(make_log(LogStorage(path), key, rote), 2)
+        # A crash mid-write left a partial tmp behind the good snapshot.
+        path.with_suffix(".bin.tmp").write_bytes(b"torn tail bytes")
+        storage = LogStorage(path)
+        report = recover_log(storage, key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.TORN_TAIL_TRUNCATED
+        assert report.torn_tmp_found
+        assert report.recovered
+        assert report.entries == 2
+
+    def test_in_flight_discarded_and_resealed(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        log = make_log(LogStorage(path), key, rote)
+        seal_epochs(log, 2)
+        plan = FaultPlan(
+            [FaultEvent("audit.seal", "crash_after_increment", at=1)]
+        )
+        with pytest.raises(InjectedCrash):
+            with faults.inject(plan):
+                seal_epochs(log, 1, start=2)
+        # Counter advanced to 3, snapshot still holds epoch 2, intent durable.
+        storage = LogStorage(path)
+        assert storage.load_intent() is not None
+        report = recover_log(storage, key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.IN_FLIGHT_DISCARDED
+        assert report.intent_found
+        assert report.resealed
+        # The closing re-seal caught the counter up and cleared the intent.
+        assert report.counter == rote.retrieve("libseal-log")
+        assert storage.load_intent() is None
+        assert report.entries == 2  # the unacknowledged pair is discarded
+        report.log.verify(key.public_key())
+
+    def test_in_flight_reseal_deferred_when_storage_down(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        log = make_log(LogStorage(path), key, rote)
+        seal_epochs(log, 1)
+        with pytest.raises(InjectedCrash):
+            with faults.inject(
+                FaultPlan([FaultEvent("audit.seal", "crash_after_increment")])
+            ):
+                seal_epochs(log, 1, start=1)
+        # At restart the gap is explained, but the closing re-seal hits a
+        # storage fault: classification stands, re-seal is deferred.
+        storage = LogStorage(path)
+        with faults.inject(
+            FaultPlan([FaultEvent("storage.save", "io_error", at=1)])
+        ):
+            report = recover_log(storage, key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.IN_FLIGHT_DISCARDED
+        assert not report.resealed
+        assert isinstance(report.error, StorageError)
+        assert "re-seal deferred" in report.detail
+
+    def test_rollback_detected_on_stale_snapshot(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        log = make_log(LogStorage(path), key, rote)
+        plan = FaultPlan(
+            [FaultEvent("storage.load", "stale_read", at=1, params={"back": 1})]
+        )
+        with faults.inject(plan):
+            seal_epochs(log, 3)
+            storage = LogStorage(path)  # restart; provider serves epoch 2
+            report = recover_log(storage, key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.ROLLBACK_DETECTED
+        assert report.detected
+        assert report.log is None
+        assert isinstance(report.error, RollbackError)
+
+    def test_counter_gap_without_intent_is_rollback(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        log = make_log(LogStorage(path), key, rote)
+        seal_epochs(log, 1)
+        with pytest.raises(InjectedCrash):
+            with faults.inject(
+                FaultPlan([FaultEvent("audit.seal", "crash_after_increment")])
+            ):
+                seal_epochs(log, 1, start=1)
+        # An adversary suppressing the intent file cannot turn the gap
+        # into a silent resume: without the exculpatory evidence the
+        # conservative classification is rollback.
+        path.with_suffix(".bin.intent").unlink()
+        report = recover_log(LogStorage(path), key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.ROLLBACK_DETECTED
+
+    def test_forged_intent_buys_the_adversary_nothing(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        log = make_log(LogStorage(path), key, rote)
+        seal_epochs(log, 1)
+        with pytest.raises(InjectedCrash):
+            with faults.inject(
+                FaultPlan([FaultEvent("audit.seal", "crash_after_increment")])
+            ):
+                seal_epochs(log, 1, start=1)
+        path.with_suffix(".bin.intent").write_bytes(b"INTENT1\x00forged")
+        report = recover_log(LogStorage(path), key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.ROLLBACK_DETECTED
+
+    def test_tamper_detected_on_corrupt_read(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        seal_epochs(make_log(LogStorage(path), key, rote), 2)
+        with faults.inject(
+            FaultPlan([FaultEvent("storage.load", "corrupt_read", at=1)])
+        ):
+            report = recover_log(LogStorage(path), key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.TAMPER_DETECTED
+        assert report.detected
+        assert report.log is None
+
+    def test_tamper_detected_on_sealed_blob_corruption(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        authority = SigningAuthority("libseal-tests")
+        path = tmp_path / "log.bin"
+        storage = SealedLogStorage(
+            LogStorage(path), make_log_enclave(authority)
+        )
+        seal_epochs(make_log(storage, key, rote), 2)
+        restarted = SealedLogStorage(
+            LogStorage(path), make_log_enclave(authority)
+        )
+        with faults.inject(
+            FaultPlan([FaultEvent("sealed.load", "seal_corrupt", at=1)])
+        ):
+            report = recover_log(restarted, key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.TAMPER_DETECTED
+
+    def test_freshness_unverifiable_then_heal(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        seal_epochs(make_log(LogStorage(path), key, rote), 2)
+        for node_id in range(rote.f + 1):
+            rote.crash(node_id)
+        report = recover_log(LogStorage(path), key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.FRESHNESS_UNVERIFIABLE
+        assert not report.detected and not report.recovered
+        # Structure verified: the log is handed back for degraded serving.
+        assert report.log is not None
+        assert report.entries == 2
+        # Once the quorum heals, the same snapshot certifies clean.
+        for node_id in range(rote.f + 1):
+            rote.recover(node_id)
+        healed = recover_log(LogStorage(path), key, key.public_key(), rote)
+        assert healed.outcome is RecoveryOutcome.CLEAN_RESUME
+
+    def test_storage_unavailable(self, tmp_path, key):
+        rote = RoteCluster(f=1)
+        path = tmp_path / "log.bin"
+        seal_epochs(make_log(LogStorage(path), key, rote), 1)
+        with faults.inject(
+            FaultPlan([FaultEvent("storage.load", "io_error", at=1)])
+        ):
+            report = recover_log(LogStorage(path), key, key.public_key(), rote)
+        assert report.outcome is RecoveryOutcome.STORAGE_UNAVAILABLE
+        assert not report.detected and not report.recovered
+        assert isinstance(report.error, StorageError)
+
+
+class PairSSM(ServiceSpecificModule):
+    """Minimal SSM: one tuple per pair, no invariants."""
+
+    name = "pairs"
+    schema_sql = "CREATE TABLE pairs(time INTEGER, path TEXT)"
+    invariants = {}
+    trimming_queries = []
+
+    def log(self, request, response, emit, time):
+        emit("pairs", (time, request.path))
+
+
+def drive(libseal, count, start=0):
+    for index in range(start, start + count):
+        libseal.log_pair(HttpRequest("GET", f"/p/{index}"), HttpResponse(200))
+
+
+class TestLibSealRecover:
+    def test_crash_mid_run_resumes_with_zero_acknowledged_loss(self, tmp_path):
+        path = tmp_path / "log.bin"
+        libseal = LibSeal(PairSSM(), storage=LogStorage(path))
+        plan = FaultPlan([FaultEvent("libseal.pair", "crash_after_log", at=3)])
+        with pytest.raises(InjectedCrash):
+            with faults.inject(plan):
+                drive(libseal, 5)
+        # Pairs 1-2 were sealed and acknowledged; pair 3 crashed before its
+        # seal, so it was never acknowledged and is legitimately discarded.
+        recovered, report = LibSeal.recover(
+            PairSSM(),
+            LogStorage(path),
+            signing_key=libseal.signing_key,
+            rote=libseal.rote,
+        )
+        assert report.outcome is RecoveryOutcome.CLEAN_RESUME
+        assert recovered is not None
+        assert recovered.audit_log.row_count("pairs") == 2
+        drive(recovered, 3, start=10)
+        recovered.verify_log()
+        assert recovered.audit_log.row_count("pairs") == 5
+
+    def test_recover_refuses_to_resume_on_rollback(self, tmp_path):
+        path = tmp_path / "log.bin"
+        libseal = LibSeal(PairSSM(), storage=LogStorage(path))
+        plan = FaultPlan(
+            [FaultEvent("storage.load", "stale_read", at=1, params={"back": 2})]
+        )
+        with faults.inject(plan):
+            drive(libseal, 4)
+            recovered, report = LibSeal.recover(
+                PairSSM(),
+                LogStorage(path),
+                signing_key=libseal.signing_key,
+                rote=libseal.rote,
+            )
+        assert recovered is None
+        assert report.outcome is RecoveryOutcome.ROLLBACK_DETECTED
+
+    def test_recover_serves_degraded_when_quorum_is_down(self, tmp_path):
+        path = tmp_path / "log.bin"
+        libseal = LibSeal(PairSSM(), storage=LogStorage(path))
+        drive(libseal, 3)
+        rote = libseal.rote
+        for node_id in range(rote.f + 1):
+            rote.crash(node_id)
+        recovered, report = LibSeal.recover(
+            PairSSM(),
+            LogStorage(path),
+            signing_key=libseal.signing_key,
+            rote=rote,
+        )
+        assert report.outcome is RecoveryOutcome.FRESHNESS_UNVERIFIABLE
+        assert recovered is not None
+        assert recovered.degraded.active
+        assert recovered.degraded.reason == "freshness-unverifiable"
+        # Pairs keep flowing (buffered, never dropped) while degraded.
+        drive(recovered, 2, start=10)
+        assert recovered.degraded.unsealed_pairs == 2
+        # The quorum heals: one reseal covers the whole buffered tail.
+        for node_id in range(rote.f + 1):
+            rote.recover(node_id)
+        assert recovered.try_reseal()
+        assert not recovered.degraded.active
+        assert recovered.degraded.unsealed_pairs == 0
+        recovered.verify_log()
+
+    def test_buffer_bound_blocks_instead_of_dropping(self, tmp_path):
+        path = tmp_path / "log.bin"
+        config = LibSealConfig(max_unsealed_pairs=3)
+        libseal = LibSeal(PairSSM(), config=config, storage=LogStorage(path))
+        rote = libseal.rote
+        for node_id in range(rote.f + 1):
+            rote.crash(node_id)
+        drive(libseal, 3)
+        assert libseal.degraded.active
+        assert libseal.degraded.unsealed_pairs == 3
+        with pytest.raises(AuditBufferFullError):
+            drive(libseal, 1, start=3)
+        # No audit record was dropped: the blocked pair never entered.
+        assert libseal.audit_log.row_count("pairs") == 3
+        for node_id in range(rote.f + 1):
+            rote.recover(node_id)
+        drive(libseal, 1, start=4)
+        assert not libseal.degraded.active
+        assert libseal.audit_log.row_count("pairs") == 4
+        libseal.verify_log()
+
+
+class TestDurabilityRegression:
+    """Satellite: LogStorage.save atomicity/durability hardening."""
+
+    def test_failed_replace_is_typed_and_leaves_no_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        storage = LogStorage(tmp_path / "log.bin")
+        storage.save(b"good snapshot")
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(StorageError):
+            storage.save(b"next snapshot")
+        assert not storage._tmp_path.exists()
+        assert storage.path.read_bytes() == b"good snapshot"
+
+    def test_save_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):
+        import repro.audit.persistence as persistence
+
+        synced = []
+        monkeypatch.setattr(
+            persistence, "_fsync_directory", lambda p: synced.append(p)
+        )
+        storage = LogStorage(tmp_path / "log.bin")
+        storage.save(b"blob")
+        assert synced == [tmp_path]
+
+    def test_intent_sidecar_roundtrip(self, tmp_path):
+        storage = LogStorage(tmp_path / "log.bin")
+        assert storage.load_intent() is None
+        storage.save_intent(b"intent bytes")
+        assert storage.load_intent() == b"intent bytes"
+        # Survives a restart (it is a durable write-ahead marker) ...
+        assert LogStorage(tmp_path / "log.bin").load_intent() == b"intent bytes"
+        storage.clear_intent()
+        assert storage.load_intent() is None
