@@ -12,6 +12,11 @@ Commands
     Run one simulated performance experiment and print measured-vs-paper.
 ``inventory``
     Print the Table 1 code inventory for this reproduction.
+``fuzz``
+    Run the deterministic protocol-fuzzing harness against the TLS
+    termination path (``--layer tls|http|service``, ``--cases N``,
+    ``--seed S``). Exit status 1 if any mutation broke the typed-error
+    contract.
 """
 
 from __future__ import annotations
@@ -103,6 +108,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.faults.fuzz import run_fuzz
+
+    layers = args.layer or ["tls", "http", "service"]
+    reports = run_fuzz(
+        seed=args.seed, cases_per_layer=args.cases, layers=layers
+    )
+    for report in reports:
+        print(report.describe())
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def _cmd_inventory(_args: argparse.Namespace) -> int:
     from repro.bench.functional import table1_inventory
 
@@ -133,6 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     inventory = subparsers.add_parser("inventory", help="code inventory")
     inventory.set_defaults(func=_cmd_inventory)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="deterministic protocol fuzzing of the front end"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--cases", type=int, default=10000,
+                      help="mutation cases per layer (default 10000)")
+    fuzz.add_argument("--layer", action="append",
+                      choices=["tls", "http", "service"],
+                      help="repeatable; default: all three layers")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

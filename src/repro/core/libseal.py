@@ -171,14 +171,20 @@ class LibSeal:
                 ) from self.degraded.last_error
         self.logical_time += 1
         self.pairs_logged += 1
-        emitted = 0
+
+        # Stage tuples while the SSM runs and append only once it has
+        # returned: an SSM that raises mid-pair (hostile payload, parser
+        # bug) must leave the audit log without a half-logged pair —
+        # every log state is a consistent prefix of whole pairs.
+        staged: list[tuple[str, object]] = []
 
         def emit(table: str, values) -> None:
-            nonlocal emitted
-            self.audit_log.append(table, values)
-            emitted += 1
+            staged.append((table, values))
 
         self.ssm.log(request, response, emit, self.logical_time)
+        emitted = len(staged)
+        for table, values in staged:
+            self.audit_log.append(table, values)
         for event in events:
             if event.kind == "crash_after_log":
                 raise _faults.active().crash(event)

@@ -30,21 +30,53 @@ from repro.http.parser import extract_message
 PairCallback = Callable[[HttpRequest, "object", int], str | None]
 
 
+#: Requests a client may pipeline ahead of their responses before the
+#: logger stops buffering them (each entry is a parsed request held in
+#: enclave memory until the matching response appears).
+MAX_PIPELINED_REQUESTS = 64
+
+
 @dataclass
 class _ConnectionState:
     request_buffer: bytearray = field(default_factory=bytearray)
     response_buffer: bytearray = field(default_factory=bytearray)
     pending_requests: deque = field(default_factory=deque)
+    #: Once a connection's byte stream is unframeable (bad Content-Length,
+    #: over-bound buffering, pipeline abuse) its remaining traffic cannot
+    #: be paired reliably; the tap drops it so the audit log stays a
+    #: consistent prefix of fully-paired messages.
+    poisoned: bool = False
 
 
 class AuditLogger:
-    """Pairs request/response plaintext per connection and logs pairs."""
+    """Pairs request/response plaintext per connection and logs pairs.
 
-    def __init__(self, on_pair: PairCallback):
+    The tap is *total*: malformed plaintext never raises out of the
+    ``SSL_read``/``SSL_write`` hooks (that would turn an audit artefact
+    into a service fault). Instead the affected connection is poisoned
+    and counted; the front end makes its own — bounded — framing
+    decision on the same bytes and tears the connection down there.
+    """
+
+    def __init__(
+        self,
+        on_pair: PairCallback,
+        max_pipelined_requests: int = MAX_PIPELINED_REQUESTS,
+    ):
         self._on_pair = on_pair
+        self._max_pipelined = max_pipelined_requests
         self._connections: dict[int, _ConnectionState] = {}
         self.pairs_logged = 0
         self.unparsable_messages = 0
+        self.poisoned_connections = 0
+
+    def _poison(self, state: _ConnectionState) -> None:
+        if not state.poisoned:
+            state.poisoned = True
+            self.poisoned_connections += 1
+        state.request_buffer.clear()
+        state.response_buffer.clear()
+        state.pending_requests.clear()
 
     def _state(self, handle: int) -> _ConnectionState:
         return self._connections.setdefault(handle, _ConnectionState())
@@ -56,9 +88,16 @@ class AuditLogger:
     def on_read(self, handle: int, data: bytes) -> None:
         """Accumulate decrypted request bytes from ``SSL_read``."""
         state = self._state(handle)
+        if state.poisoned:
+            return
         state.request_buffer.extend(data)
         while True:
-            message = extract_message(state.request_buffer)
+            try:
+                message = extract_message(state.request_buffer)
+            except HTTPError:
+                self.unparsable_messages += 1
+                self._poison(state)
+                return
             if message is None:
                 return
             try:
@@ -66,6 +105,10 @@ class AuditLogger:
             except HTTPError:
                 self.unparsable_messages += 1
                 continue
+            if len(state.pending_requests) >= self._max_pipelined:
+                self.unparsable_messages += 1
+                self._poison(state)
+                return
             state.pending_requests.append(request)
 
     def on_write(self, handle: int, data: bytes) -> bytes | None:
@@ -75,13 +118,20 @@ class AuditLogger:
         injection); ``None`` leaves the data unchanged.
         """
         state = self._state(handle)
+        if state.poisoned:
+            return None
         state.response_buffer.extend(data)
         # Only chunks consisting entirely of complete responses can be
         # rewritten (bytes already returned cannot be recalled).
         rewritten: list[bytes] = []
         modified = False
         while True:
-            message = extract_message(state.response_buffer)
+            try:
+                message = extract_message(state.response_buffer)
+            except HTTPError:
+                self.unparsable_messages += 1
+                self._poison(state)
+                return None
             if message is None:
                 break
             replacement = self._handle_response(handle, state, message)

@@ -31,7 +31,12 @@ from repro.errors import TLSError
 from repro.sgx.enclave import Enclave, EnclaveConfig
 from repro.tls.bio import BIO
 from repro.tls.cert import Certificate, CertificateAuthority
-from repro.tls.connection import TLSConfig, TLSConnection
+from repro.tls.connection import (
+    ALERT_CLOSE_NOTIFY,
+    ALERT_INTERNAL_ERROR,
+    TLSConfig,
+    TLSConnection,
+)
 
 SSL_VERIFY_NONE = 0
 SSL_VERIFY_PEER = 1
@@ -356,6 +361,19 @@ class EnclaveTlsRuntime:
         def ecall_ssl_get_ex_data(handle: int, index: int) -> Any:
             return state["connections"][handle]["ex_data"].get(index)
 
+        def ecall_ssl_send_alert(handle: int, description: int) -> None:
+            entry = state["connections"].get(handle)
+            conn = entry["conn"] if entry is not None else None
+            if conn is not None:
+                conn.send_alert(description)
+
+        def ecall_ssl_shutdown(handle: int) -> int:
+            entry = state["connections"].get(handle)
+            conn = entry["conn"] if entry is not None else None
+            if conn is not None:
+                conn.send_alert(ALERT_CLOSE_NOTIFY, fatal=False)
+            return 1
+
         def ecall_ssl_free(handle: int) -> None:
             entry = state["connections"].pop(handle, None)
             if entry is None:
@@ -385,6 +403,8 @@ class EnclaveTlsRuntime:
         )
         interface.register_ecall("ssl_set_ex_data", ecall_ssl_set_ex_data)
         interface.register_ecall("ssl_get_ex_data", ecall_ssl_get_ex_data)
+        interface.register_ecall("ssl_send_alert", ecall_ssl_send_alert)
+        interface.register_ecall("ssl_shutdown", ecall_ssl_shutdown)
         interface.register_ecall("ssl_free", ecall_ssl_free)
 
     # ------------------------------------------------------------------
@@ -496,6 +516,17 @@ class EnclaveTlsRuntime:
                 return ssl.shadow.ex_data.get(index)
             return interface.ecall("ssl_get_ex_data", _checked_handle(ssl), index)
 
+        def SSL_send_alert(
+            ssl: LibSealSSL, description: int = ALERT_INTERNAL_ERROR
+        ) -> None:
+            if ssl.handle >= 0:
+                interface.ecall("ssl_send_alert", ssl.handle, description)
+
+        def SSL_shutdown(ssl: LibSealSSL) -> int:
+            if ssl.handle >= 0:
+                return interface.ecall("ssl_shutdown", ssl.handle)
+            return 1
+
         def SSL_free(ssl: LibSealSSL) -> None:
             if ssl.handle >= 0:
                 interface.ecall("ssl_free", ssl.handle)
@@ -533,5 +564,7 @@ class EnclaveTlsRuntime:
             SSL_get_wbio=SSL_get_wbio,
             SSL_set_ex_data=SSL_set_ex_data,
             SSL_get_ex_data=SSL_get_ex_data,
+            SSL_send_alert=SSL_send_alert,
+            SSL_shutdown=SSL_shutdown,
             SSL_free=SSL_free,
         )

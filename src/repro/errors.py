@@ -75,8 +75,29 @@ class TLSError(ReproError):
     """TLS protocol failure (handshake, record MAC, state machine)."""
 
 
+class TLSRecordError(TLSError):
+    """Malformed TLS record framing (unknown type, length lie, backlog).
+
+    Raised by the record layer *before* bytes reach the handshake state
+    machine, so a hostile byte stream can never drive the state machine
+    with records of an unknown type or force unbounded buffering.
+    """
+
+
 class HTTPError(ReproError):
     """Malformed HTTP message."""
+
+
+class ProtocolViolation(ReproError):
+    """Untrusted client input broke a front-end bound or protocol rule.
+
+    Base class for the connection-lifecycle violations raised by
+    :mod:`repro.servers.connection`: buffer bounds, deadlines, I/O on a
+    torn-down connection. Together with :class:`TLSError` and
+    :class:`HTTPError` these are the *only* exception families the
+    client-facing path may surface for malformed input — anything else
+    escaping the front end is a bug (the fuzz suite enforces this).
+    """
 
 
 class SQLError(ReproError):

@@ -27,6 +27,7 @@ from repro.faults.plan import (
     AVAILABILITY_KINDS,
     CRASH_KINDS,
     INTEGRITY_KINDS,
+    NETWORK_KINDS,
     FaultEvent,
     FaultInjector,
     FaultPlan,
@@ -38,6 +39,7 @@ __all__ = [
     "AVAILABILITY_KINDS",
     "CRASH_KINDS",
     "INTEGRITY_KINDS",
+    "NETWORK_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

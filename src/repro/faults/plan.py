@@ -17,6 +17,7 @@ site                      instrumented code
 ``logger.pair``           request/response pairing in ``AuditLogger``
 ``libseal.pair``          the per-pair pipeline in :class:`repro.core.LibSeal`
 ``audit.seal``            the seal-epoch protocol in ``AuditLog.seal_epoch``
+``conn.feed``             byte ingress in :class:`repro.servers.connection.ServerConnection`
 ========================  ====================================================
 
 Everything is deterministic: the same plan against the same workload
@@ -75,6 +76,13 @@ INTEGRITY_KINDS = frozenset({"stale_read", "corrupt_read", "seal_corrupt"})
 #: degrade explicitly — never be misreported as integrity violations.
 AVAILABILITY_KINDS = frozenset(
     {"timeout", "delay", "partition", "node_crash", "node_recover", "io_error"}
+)
+
+#: Hostile-network byte mangling at the front door (site ``conn.feed``):
+#: the connection supervisor must surface a typed error and tear down
+#: only the affected connection — never crash, hang, or taint the log.
+NETWORK_KINDS = frozenset(
+    {"mutate_bytes", "truncate_bytes", "drop_bytes", "replay_bytes"}
 )
 
 

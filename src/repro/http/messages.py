@@ -21,6 +21,10 @@ class Headers:
                 return value
         return default
 
+    def get_all(self, name: str) -> list[str]:
+        lowered = name.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
     def set(self, name: str, value: str) -> None:
         lowered = name.lower()
         self._items = [(k, v) for k, v in self._items if k.lower() != lowered]

@@ -1,11 +1,37 @@
-"""Server machine models and experiment drivers.
+"""Server machine models, experiment drivers and the front-end supervisor.
 
 :mod:`repro.servers.machine` executes :class:`~repro.sim.costs.RequestProfile`
 request streams on a simulated 4-core server with closed-loop clients;
 :mod:`repro.servers.experiments` wraps it into one driver function per
-figure/table of the paper's evaluation.
+figure/table of the paper's evaluation; :mod:`repro.servers.connection`
+supervises real client connections with bounded input paths and
+per-connection fault isolation.
 """
 
+from repro.servers.connection import (
+    BufferBoundViolation,
+    ConnectionAborted,
+    ConnectionLimits,
+    ConnectionSupervisor,
+    DeadlineViolation,
+    FeedResult,
+    ServerConnection,
+    SimClock,
+    SupervisorStats,
+)
 from repro.servers.machine import MachineConfig, RunResult, ServerMachine
 
-__all__ = ["MachineConfig", "RunResult", "ServerMachine"]
+__all__ = [
+    "BufferBoundViolation",
+    "ConnectionAborted",
+    "ConnectionLimits",
+    "ConnectionSupervisor",
+    "DeadlineViolation",
+    "FeedResult",
+    "MachineConfig",
+    "RunResult",
+    "ServerConnection",
+    "SimClock",
+    "SupervisorStats",
+    "ServerMachine",
+]

@@ -30,6 +30,11 @@ from repro.http import HttpRequest, HttpResponse
 
 BLOCK_SIZE = 4 * 1024 * 1024
 
+#: Commits one batch may carry / hashes one blocklist may name: bounds on
+#: what a single hostile request can make the metadata store materialise.
+MAX_COMMITS_PER_BATCH = 1000
+MAX_BLOCKLIST_HASHES = 4096
+
 
 def split_into_blocks(content: bytes) -> list[bytes]:
     """Split file content into 4 MB blocks (at least one, possibly empty)."""
@@ -148,21 +153,46 @@ class DropboxHttpService:
             return self._route(request)
         except ServiceError as exc:
             return HttpResponse(400, body=str(exc).encode())
-        except (ValueError, KeyError) as exc:
+        except (ValueError, KeyError, TypeError, RecursionError) as exc:
             return HttpResponse(400, body=f"bad request: {exc}".encode())
+
+    @staticmethod
+    def _decode_commit(raw: object) -> FileEntry:
+        if not isinstance(raw, dict):
+            raise ServiceError("each commit must be a JSON object")
+        blocklist = raw["blocklist"]
+        if not isinstance(blocklist, list):
+            raise ServiceError("blocklist must be a list of hashes")
+        if len(blocklist) > MAX_BLOCKLIST_HASHES:
+            raise ServiceError(
+                f"blocklist names more than {MAX_BLOCKLIST_HASHES} hashes"
+            )
+        if not all(isinstance(h, str) for h in blocklist):
+            raise ServiceError("blocklist hashes must be strings")
+        if not isinstance(raw["size"], int) or isinstance(raw["size"], bool):
+            raise ServiceError("commit size must be an integer")
+        return FileEntry(str(raw["file"]), tuple(blocklist), raw["size"])
 
     def _route(self, request: HttpRequest) -> HttpResponse:
         path = request.path.split("?")[0].strip("/")
         if request.method == "POST" and path == "commit_batch":
             body = json.loads(request.body.decode())
-            commits = [
-                FileEntry(c["file"], tuple(c["blocklist"]), c["size"])
-                for c in body["commits"]
-            ]
+            if not isinstance(body, dict):
+                raise ServiceError("request body must be a JSON object")
+            raw_commits = body["commits"]
+            if not isinstance(raw_commits, list):
+                raise ServiceError("commits must be a list")
+            if len(raw_commits) > MAX_COMMITS_PER_BATCH:
+                raise ServiceError(
+                    f"batch carries more than {MAX_COMMITS_PER_BATCH} commits"
+                )
+            commits = [self._decode_commit(c) for c in raw_commits]
             missing = self.server.commit_batch(body["account"], commits)
             return self._json({"need_blocks": missing})
         if request.method == "POST" and path == "store_block":
             body = json.loads(request.body.decode())
+            if not isinstance(body, dict):
+                raise ServiceError("request body must be a JSON object")
             self.server.store_block(body["hash"], bytes.fromhex(body["data_hex"]))
             return self._json({"stored": True})
         if path == "list":

@@ -19,6 +19,18 @@ from repro.services.git.repo import GitServer, RefUpdate
 
 ZERO_ID = "0" * 40
 
+#: Ref updates one push may carry; a hostile client cannot make the
+#: server (or the audit log behind it) materialise an unbounded batch.
+MAX_PUSH_COMMANDS = 1000
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def _require_cid(value: str) -> str:
+    if len(value) != 40 or not set(value) <= _HEX_DIGITS:
+        raise ServiceError(f"malformed commit id {value!r}")
+    return value
+
 
 def encode_ref_advertisement(refs: list[tuple[str, str]]) -> bytes:
     return "".join(f"{cid} {branch}\n" for branch, cid in refs).encode()
@@ -44,19 +56,29 @@ def encode_push(updates: list[RefUpdate]) -> bytes:
 
 
 def decode_push(body: bytes) -> list[RefUpdate]:
+    try:
+        text = body.decode()
+    except UnicodeDecodeError as exc:
+        raise ServiceError("push body is not valid UTF-8") from exc
     updates = []
-    for line in body.decode().splitlines():
+    for line in text.splitlines():
         parts = line.split(" ", 2)
         if len(parts) != 3:
             raise ServiceError(f"malformed push command {line!r}")
         old, new, branch = parts
+        if not branch:
+            raise ServiceError("push command names an empty branch")
         updates.append(
             RefUpdate(
                 branch=branch,
-                old_cid=None if old == ZERO_ID else old,
-                new_cid=None if new == ZERO_ID else new,
+                old_cid=None if old == ZERO_ID else _require_cid(old),
+                new_cid=None if new == ZERO_ID else _require_cid(new),
             )
         )
+        if len(updates) > MAX_PUSH_COMMANDS:
+            raise ServiceError(
+                f"push carries more than {MAX_PUSH_COMMANDS} commands"
+            )
     return updates
 
 
@@ -73,6 +95,8 @@ class GitHttpService:
             return self._route(request)
         except ServiceError as exc:
             return HttpResponse(400, body=str(exc).encode())
+        except (ValueError, KeyError, TypeError, RecursionError) as exc:
+            return HttpResponse(400, body=f"bad request: {exc}".encode())
 
     def _route(self, request: HttpRequest) -> HttpResponse:
         path, _, query = request.path.partition("?")

@@ -28,6 +28,9 @@ from dataclasses import dataclass, field
 from repro.errors import ServiceError
 from repro.http import HttpRequest, HttpResponse
 
+#: Longest message text one post may carry (bytes of UTF-8).
+MAX_TEXT_BYTES = 64 * 1024
+
 
 @dataclass(frozen=True)
 class Message:
@@ -133,8 +136,15 @@ class MessagingHttpService:
             return self._route(request)
         except ServiceError as exc:
             return HttpResponse(403, body=str(exc).encode())
-        except (ValueError, KeyError) as exc:
+        except (ValueError, KeyError, TypeError, RecursionError) as exc:
             return HttpResponse(400, body=f"bad request: {exc}".encode())
+
+    @staticmethod
+    def _json_body(request: HttpRequest) -> dict:
+        body = json.loads(request.body.decode())
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
 
     def _route(self, request: HttpRequest) -> HttpResponse:
         path, _, query = request.path.partition("?")
@@ -143,12 +153,19 @@ class MessagingHttpService:
             return HttpResponse(404, body=b"unknown messaging endpoint")
         channel, action = segments[1], segments[2]
         if request.method == "POST" and action == "join":
-            body = json.loads(request.body.decode())
+            body = self._json_body(request)
             head = self.server.join(channel, body["member"])
             return self._json({"head_seq": head})
         if request.method == "POST" and action == "post":
-            body = json.loads(request.body.decode())
-            message = self.server.post(channel, body["sender"], body["text"])
+            body = self._json_body(request)
+            text = body["text"]
+            if not isinstance(text, str):
+                raise ServiceError("message text must be a string")
+            if len(text.encode()) > MAX_TEXT_BYTES:
+                raise ServiceError(
+                    f"message text exceeds {MAX_TEXT_BYTES} bytes"
+                )
+            message = self.server.post(channel, body["sender"], text)
             return self._json({"seq": message.seq})
         if request.method == "GET" and action == "fetch":
             params = dict(

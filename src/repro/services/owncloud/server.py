@@ -23,6 +23,15 @@ from repro.errors import ServiceError
 from repro.http import HttpRequest, HttpResponse
 from repro.services.owncloud.document import Document, EditOp, SequencedOp
 
+#: Edit operations one sync request may carry.
+MAX_SYNC_OPS = 1000
+
+
+def _require_dict(body: object) -> dict:
+    if not isinstance(body, dict):
+        raise ServiceError(f"request body must be a JSON object, got {type(body).__name__}")
+    return body
+
 
 class OwnCloudServer:
     """State: documents plus attack switches."""
@@ -130,7 +139,7 @@ class OwnCloudHttpService:
             return self._route(request)
         except ServiceError as exc:
             return HttpResponse(400, body=str(exc).encode())
-        except (ValueError, KeyError) as exc:
+        except (ValueError, KeyError, TypeError, RecursionError) as exc:
             return HttpResponse(400, body=f"bad request: {exc}".encode())
 
     def _route(self, request: HttpRequest) -> HttpResponse:
@@ -138,12 +147,21 @@ class OwnCloudHttpService:
         if len(segments) != 3 or segments[0] != "documents":
             return HttpResponse(404, body=b"unknown owncloud endpoint")
         doc_id, action = segments[1], segments[2]
-        body = json.loads(request.body.decode()) if request.body else {}
+        body = _require_dict(
+            json.loads(request.body.decode()) if request.body else {}
+        )
         if action == "join":
             reply = self.server.join(doc_id, body["member"])
             return self._json(reply)
         if action == "sync":
-            ops = [EditOp.from_json(json.dumps(o)) for o in body.get("ops", [])]
+            raw_ops = body.get("ops", [])
+            if not isinstance(raw_ops, list):
+                raise ServiceError("ops must be a list")
+            if len(raw_ops) > MAX_SYNC_OPS:
+                raise ServiceError(
+                    f"sync carries more than {MAX_SYNC_OPS} operations"
+                )
+            ops = [EditOp.from_json(json.dumps(o)) for o in raw_ops]
             accepted, deliver, head_seq = self.server.sync(
                 doc_id, body["member"], body.get("seq", 0), ops
             )

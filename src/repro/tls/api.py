@@ -25,7 +25,12 @@ from repro.crypto.ecdsa import EcdsaPrivateKey
 from repro.errors import TLSError
 from repro.tls.bio import BIO
 from repro.tls.cert import Certificate, CertificateAuthority
-from repro.tls.connection import TLSConfig, TLSConnection
+from repro.tls.connection import (
+    ALERT_CLOSE_NOTIFY,
+    ALERT_INTERNAL_ERROR,
+    TLSConfig,
+    TLSConnection,
+)
 
 SSL_VERIFY_NONE = 0
 SSL_VERIFY_PEER = 1
@@ -203,6 +208,19 @@ def SSL_set_ex_data(ssl: SSL, index: int, value: Any) -> None:
 
 def SSL_get_ex_data(ssl: SSL, index: int) -> Any:
     return ssl.ex_data.get(index)
+
+
+def SSL_send_alert(ssl: SSL, description: int = ALERT_INTERNAL_ERROR) -> None:
+    """Emit a fatal TLS alert (front-end teardown on malformed input)."""
+    if ssl.conn is not None:
+        ssl.conn.send_alert(description)
+
+
+def SSL_shutdown(ssl: SSL) -> int:
+    """Send close_notify (graceful close); returns 1 like OpenSSL."""
+    if ssl.conn is not None:
+        ssl.conn.send_alert(ALERT_CLOSE_NOTIFY, fatal=False)
+    return 1
 
 
 def SSL_free(ssl: SSL) -> None:

@@ -33,6 +33,7 @@ from repro.tls import handshake as hs
 from repro.tls.bio import BIO
 from repro.tls.cert import Certificate, CertificateAuthority
 from repro.tls.record import (
+    RECORD_ALERT,
     RECORD_APPDATA,
     RECORD_CCS,
     RECORD_HANDSHAKE,
@@ -46,6 +47,18 @@ SSL_CB_HANDSHAKE_DONE = 0x20
 SSL_CB_READ = 0x04
 SSL_CB_WRITE = 0x08
 
+# Alert descriptions (TLS 1.2 numbering; the subset we emit).
+ALERT_CLOSE_NOTIFY = 0
+ALERT_UNEXPECTED_MESSAGE = 10
+ALERT_RECORD_OVERFLOW = 22
+ALERT_HANDSHAKE_FAILURE = 40
+ALERT_BAD_RECORD_MAC = 20
+ALERT_PROTOCOL_VERSION = 70
+ALERT_INTERNAL_ERROR = 80
+
+_ALERT_LEVEL_FATAL = 2
+_ALERT_LEVEL_WARNING = 1
+
 
 @dataclass
 class TLSConfig:
@@ -56,6 +69,9 @@ class TLSConfig:
     ca: CertificateAuthority | None = None  # trust anchor for peer certs
     require_client_cert: bool = False
     drbg: HmacDrbg = field(default_factory=lambda: HmacDrbg(seed=b"tls-default"))
+    #: Bytes a peer may send before the handshake completes. Bounds the
+    #: reassembly buffer and the transcript against pre-auth flooding.
+    max_pre_handshake_bytes: int = 256 * 1024
 
 
 class TLSConnection:
@@ -74,7 +90,11 @@ class TLSConnection:
         self.info_callback: Callable[["TLSConnection", int, int], None] | None = None
         self.handshake_messages_seen = 0
 
+        self.peer_closed = False  # peer sent close_notify
+        self.alert_sent: int | None = None
+
         self._in_buffer = bytearray()
+        self._pre_handshake_bytes = 0
         self._app_data = bytearray()
         self._transcript = bytearray()
         self._client_random = b""
@@ -132,25 +152,63 @@ class TLSConnection:
     def pending(self) -> int:
         return len(self._app_data)
 
+    def send_alert(self, description: int, fatal: bool = True) -> None:
+        """Emit a TLS alert record (best effort; sealed once keys are on)."""
+        level = _ALERT_LEVEL_FATAL if fatal else _ALERT_LEVEL_WARNING
+        self.wbio.write(
+            self.records.seal(RECORD_ALERT, bytes([level, description]))
+        )
+        self.alert_sent = description
+
     # ------------------------------------------------------------------
     # Record pump
     # ------------------------------------------------------------------
 
     def _pump_incoming(self) -> None:
-        self._in_buffer.extend(self.rbio.read())
+        incoming = self.rbio.read()
+        if not self.established and incoming:
+            self._pre_handshake_bytes += len(incoming)
+            if self._pre_handshake_bytes > self.config.max_pre_handshake_bytes:
+                raise TLSError(
+                    f"pre-handshake byte bound exceeded "
+                    f"({self._pre_handshake_bytes} > "
+                    f"{self.config.max_pre_handshake_bytes})"
+                )
+        self._in_buffer.extend(incoming)
         for record in parse_records(self._in_buffer):
-            if record.type == RECORD_CCS:
-                self._handle_ccs()
-                continue
-            plaintext = self.records.open(record)
-            if record.type == RECORD_HANDSHAKE:
-                self._handle_handshake(hs.HandshakeMessage.decode(plaintext))
-            elif record.type == RECORD_APPDATA:
-                if not self.established:
-                    raise TLSError("application data before handshake completion")
-                self._app_data.extend(plaintext)
-            else:
-                raise TLSError(f"unexpected record type {record.type}")
+            # Everything in a record body is peer-controlled. The decode
+            # layers below (handshake messages, EC points, signatures,
+            # certificates) raise ValueError/KeyError/IndexError on
+            # malformed material; a hostile byte stream must surface as
+            # a typed TLS failure, never as a bare parsing exception.
+            try:
+                if record.type == RECORD_CCS:
+                    self._handle_ccs()
+                    continue
+                plaintext = self.records.open(record)
+                if record.type == RECORD_HANDSHAKE:
+                    self._handle_handshake(hs.HandshakeMessage.decode(plaintext))
+                elif record.type == RECORD_APPDATA:
+                    if not self.established:
+                        raise TLSError(
+                            "application data before handshake completion"
+                        )
+                    self._app_data.extend(plaintext)
+                elif record.type == RECORD_ALERT:
+                    self._handle_alert(plaintext)
+                else:  # pragma: no cover - parse_records rejects unknowns
+                    raise TLSError(f"unexpected record type {record.type}")
+            except (ValueError, KeyError, IndexError, OverflowError) as exc:
+                raise TLSError(f"malformed peer message: {exc}") from exc
+
+    def _handle_alert(self, body: bytes) -> None:
+        if len(body) != 2:
+            raise TLSError("malformed alert record")
+        level, description = body[0], body[1]
+        if description == ALERT_CLOSE_NOTIFY and level != _ALERT_LEVEL_FATAL:
+            self.peer_closed = True
+            return
+        raise TLSError(f"peer sent fatal alert {description}")
 
     def _send_handshake(self, message: hs.HandshakeMessage) -> None:
         encoded = message.encode()
@@ -163,6 +221,11 @@ class TLSConnection:
     def _handle_ccs(self) -> None:
         if self._keys is None:
             raise TLSError("ChangeCipherSpec before key material exists")
+        if self._peer_ccs_seen:
+            # A second CCS would re-key the receive direction and reset
+            # the nonce sequence, letting captured records replay — the
+            # classic CCS-reinjection attack. Reject it outright.
+            raise TLSError("duplicate ChangeCipherSpec")
         self._peer_ccs_seen = True
         peer_key = (
             self._keys.client_write if self.is_server else self._keys.server_write

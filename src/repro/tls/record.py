@@ -11,15 +11,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.aead import AEAD, AEADKey, NONCE_LEN
-from repro.errors import TLSError
+from repro.errors import TLSError, TLSRecordError
 
 RECORD_HANDSHAKE = 22
 RECORD_CCS = 20
 RECORD_ALERT = 21
 RECORD_APPDATA = 23
 
+#: The only record types the state machine accepts; anything else on the
+#: wire is rejected in the framing layer (never passed upward).
+VALID_RECORD_TYPES = frozenset(
+    {RECORD_CCS, RECORD_ALERT, RECORD_HANDSHAKE, RECORD_APPDATA}
+)
+
 _HEADER_LEN = 5
 MAX_RECORD_BODY = 64 * 1024 * 1024  # generous; we are not wire-compatible
+
+#: Cap on buffered-but-incomplete bytes a peer can park in the reassembly
+#: buffer by declaring a large record and trickling its body. Honest
+#: senders write whole frames, so a partial record larger than this is
+#: adversarial (or a length-field lie) and is rejected, not buffered.
+MAX_INCOMPLETE_BACKLOG = 1 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -34,17 +46,31 @@ def frame(record_type: int, body: bytes) -> bytes:
     return bytes([record_type]) + len(body).to_bytes(4, "big") + body
 
 
-def parse_records(buffer: bytearray) -> list[Record]:
-    """Consume complete records from ``buffer`` (partial tail is kept)."""
+def parse_records(
+    buffer: bytearray, max_incomplete: int = MAX_INCOMPLETE_BACKLOG
+) -> list[Record]:
+    """Consume complete records from ``buffer`` (partial tail is kept).
+
+    Raises :class:`~repro.errors.TLSRecordError` on unknown record types,
+    length fields beyond :data:`MAX_RECORD_BODY`, or an incomplete tail
+    exceeding ``max_incomplete`` bytes.
+    """
     records: list[Record] = []
     while True:
         if len(buffer) < _HEADER_LEN:
             return records
         record_type = buffer[0]
+        if record_type not in VALID_RECORD_TYPES:
+            raise TLSRecordError(f"unknown record type {record_type}")
         length = int.from_bytes(buffer[1:5], "big")
         if length > MAX_RECORD_BODY:
-            raise TLSError("record length field exceeds maximum")
+            raise TLSRecordError("record length field exceeds maximum")
         if len(buffer) < _HEADER_LEN + length:
+            if len(buffer) > max_incomplete:
+                raise TLSRecordError(
+                    f"incomplete record backlog {len(buffer)} exceeds "
+                    f"bound {max_incomplete}"
+                )
             return records
         body = bytes(buffer[_HEADER_LEN : _HEADER_LEN + length])
         del buffer[: _HEADER_LEN + length]

@@ -1,0 +1,237 @@
+"""Adversarial record streams against the TLS state machine.
+
+These tests replay, reorder and corrupt captured handshake flights —
+the attacks the §4.1 enclave-terminated TLS front end must shrug off
+with a *typed* failure, never a silent state reset or a bare parsing
+exception escaping the enclave boundary.
+"""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import TLSError, TLSRecordError
+from repro.tls.bio import BIO
+from repro.tls.connection import (
+    ALERT_CLOSE_NOTIFY,
+    ALERT_INTERNAL_ERROR,
+    TLSConfig,
+    TLSConnection,
+)
+from repro.tls.record import (
+    MAX_INCOMPLETE_BACKLOG,
+    MAX_RECORD_BODY,
+    RECORD_CCS,
+    RECORD_HANDSHAKE,
+    frame,
+    parse_records,
+)
+
+
+def _capture_handshake(ca, server_identity, tag=b""):
+    """Run a full handshake over loose BIOs, capturing client flights."""
+    server_key, server_cert = server_identity
+    s_in, s_out = BIO("adv-s-in"), BIO("adv-s-out")
+    c_in, c_out = BIO("adv-c-in"), BIO("adv-c-out")
+    server = TLSConnection(
+        TLSConfig(
+            certificate=server_cert,
+            private_key=server_key,
+            ca=ca,
+            drbg=HmacDrbg(seed=b"adv-server" + tag),
+        ),
+        is_server=True,
+        rbio=s_in,
+        wbio=s_out,
+    )
+    client = TLSConnection(
+        TLSConfig(ca=ca, drbg=HmacDrbg(seed=b"adv-client" + tag)),
+        is_server=False,
+        rbio=c_in,
+        wbio=c_out,
+    )
+    flights = []
+    for _ in range(10):
+        client.do_handshake()
+        out = c_out.read()
+        if out:
+            flights.append(out)
+            s_in.write(out)
+            server.do_handshake()
+            c_in.write(s_out.read())
+        if client.established and server.established:
+            break
+    assert client.established and server.established
+    return client, server, s_in, c_in, c_out, flights
+
+
+class TestHandshakeReplay:
+    def test_replayed_client_hello_fails_auth_not_state_reset(
+        self, ca, server_identity
+    ):
+        """Replaying the recorded ClientHello flight after keys are on
+        must fail record authentication — the server must NOT restart
+        the handshake for the attacker."""
+        client, server, s_in, _, _, flights = _capture_handshake(
+            ca, server_identity, b"-replay-ch"
+        )
+        s_in.write(flights[0])
+        with pytest.raises(TLSError):
+            server.read()
+        # The session was not reset: existing keys still authenticate,
+        # the server did not fall back to expecting a fresh hello.
+        assert server.established
+
+    def test_replayed_sealed_record_fails_auth(self, ca, server_identity):
+        client, server, s_in, _, c_out, _ = _capture_handshake(
+            ca, server_identity, b"-replay-app"
+        )
+        client.write(b"once only")
+        sealed = c_out.read()
+        s_in.write(sealed)
+        assert server.read() == b"once only"
+        # Same bytes again: the nonce sequence has moved on, so the
+        # replay fails AEAD authentication rather than delivering twice.
+        s_in.write(sealed)
+        with pytest.raises(TLSError):
+            server.read()
+
+    def test_replayed_full_flight_capture_is_deterministic(
+        self, ca, server_identity
+    ):
+        """Same DRBG seeds, same flights — the property the fuzzing
+        harness's byte-reproducibility rests on."""
+        *_, flights_a = _capture_handshake(ca, server_identity, b"-det")
+        *_, flights_b = _capture_handshake(ca, server_identity, b"-det")
+        assert flights_a == flights_b
+
+
+class TestChangeCipherSpec:
+    def test_ccs_before_key_material_rejected(self, ca, server_identity):
+        server_key, server_cert = server_identity
+        s_in = BIO("ccs-early-in")
+        server = TLSConnection(
+            TLSConfig(
+                certificate=server_cert,
+                private_key=server_key,
+                ca=ca,
+                drbg=HmacDrbg(seed=b"ccs-early"),
+            ),
+            is_server=True,
+            rbio=s_in,
+            wbio=BIO("ccs-early-out"),
+        )
+        s_in.write(frame(RECORD_CCS, b"\x01"))
+        with pytest.raises(TLSError, match="key material"):
+            server.do_handshake()
+
+    def test_duplicate_ccs_rejected(self, ca, server_identity):
+        """A second CCS would reset the receive nonce sequence and open
+        the door to record replay (CCS reinjection). It must be fatal."""
+        _, server, s_in, _, _, _ = _capture_handshake(
+            ca, server_identity, b"-dup-ccs"
+        )
+        s_in.write(frame(RECORD_CCS, b"\x01"))
+        with pytest.raises(TLSError, match="duplicate ChangeCipherSpec"):
+            server.read()
+        assert server.established
+
+
+class TestMalformedStreams:
+    def test_garbage_handshake_body_raises_typed_error(
+        self, ca, server_identity
+    ):
+        """Hostile handshake bytes must surface as TLSError, never as a
+        bare ValueError/KeyError from the decode layers."""
+        server_key, server_cert = server_identity
+        s_in = BIO("garbage-in")
+        server = TLSConnection(
+            TLSConfig(
+                certificate=server_cert,
+                private_key=server_key,
+                ca=ca,
+                drbg=HmacDrbg(seed=b"garbage"),
+            ),
+            is_server=True,
+            rbio=s_in,
+            wbio=BIO("garbage-out"),
+        )
+        s_in.write(frame(RECORD_HANDSHAKE, b"\x01\x00\x00\x02\xff\xff"))
+        with pytest.raises(TLSError):
+            server.do_handshake()
+
+    def test_pre_handshake_byte_cap(self, ca, server_identity):
+        server_key, server_cert = server_identity
+        s_in = BIO("cap-in")
+        server = TLSConnection(
+            TLSConfig(
+                certificate=server_cert,
+                private_key=server_key,
+                ca=ca,
+                drbg=HmacDrbg(seed=b"cap"),
+                max_pre_handshake_bytes=1024,
+            ),
+            is_server=True,
+            rbio=s_in,
+            wbio=BIO("cap-out"),
+        )
+        # An incomplete record that trickles in forever: the byte cap
+        # must cut it off long before the backlog bound would.
+        s_in.write(
+            bytes([RECORD_HANDSHAKE]) + (500_000).to_bytes(4, "big") + b"x" * 2000
+        )
+        with pytest.raises(TLSError, match="pre-handshake byte bound"):
+            server.do_handshake()
+
+
+class TestAlerts:
+    def test_warning_close_notify_sets_peer_closed(self, ca, server_identity):
+        client, server, s_in, _, c_out, _ = _capture_handshake(
+            ca, server_identity, b"-close"
+        )
+        client.send_alert(ALERT_CLOSE_NOTIFY, fatal=False)
+        s_in.write(c_out.read())
+        assert server.read() == b""
+        assert server.peer_closed
+
+    def test_fatal_alert_raises(self, ca, server_identity):
+        client, server, s_in, _, c_out, _ = _capture_handshake(
+            ca, server_identity, b"-fatal"
+        )
+        client.send_alert(ALERT_INTERNAL_ERROR)
+        s_in.write(c_out.read())
+        with pytest.raises(TLSError, match="fatal alert"):
+            server.read()
+
+
+class TestRecordFraming:
+    def test_unknown_record_type_is_typed_error(self):
+        buffer = bytearray(b"\x99" + (3).to_bytes(4, "big") + b"abc")
+        with pytest.raises(TLSRecordError, match="record type"):
+            parse_records(buffer)
+
+    def test_length_lie_beyond_max_body_rejected(self):
+        buffer = bytearray(
+            bytes([RECORD_HANDSHAKE])
+            + (MAX_RECORD_BODY + 1).to_bytes(4, "big")
+        )
+        with pytest.raises(TLSRecordError):
+            parse_records(buffer)
+
+    def test_incomplete_backlog_capped(self):
+        # Declare a large-but-legal record, deliver only part of it:
+        # the parser must refuse to buffer past the backlog bound.
+        declared = MAX_INCOMPLETE_BACKLOG + 4096
+        buffer = bytearray(
+            bytes([RECORD_HANDSHAKE])
+            + declared.to_bytes(4, "big")
+            + b"y" * (MAX_INCOMPLETE_BACKLOG + 100)
+        )
+        with pytest.raises(TLSRecordError):
+            parse_records(buffer)
+
+    def test_partial_record_within_bounds_is_kept(self):
+        buffer = bytearray(
+            bytes([RECORD_HANDSHAKE]) + (100).to_bytes(4, "big") + b"z" * 10
+        )
+        assert parse_records(buffer) == []
+        assert len(buffer) == 15
