@@ -99,6 +99,11 @@ def _parse_headers(lines: list[str], limits: HttpLimits = DEFAULT_LIMITS) -> Hea
                 f"more than {limits.max_header_count} header lines"
             )
         name, _, value = line.partition(":")
+        if name != name.rstrip():
+            # RFC 7230 §3.2.4: whitespace between field-name and colon must
+            # be rejected — honoring it while framing code skipped the line
+            # is exactly the framing/body-length split smuggling exploits.
+            raise HTTPError(f"whitespace before colon in header: {line!r}")
         headers.add(name.strip(), value.strip())
     return headers
 
@@ -146,11 +151,20 @@ def _limit_body(
 
 
 def _head_content_length(head: str, limits: HttpLimits) -> int:
-    """Declared body length from raw head text (0 when undeclared)."""
+    """Declared body length from raw head text (0 when undeclared).
+
+    Header names are extracted exactly as :func:`_parse_headers` extracts
+    them (partition on the first colon, strip the name) so no spelling of
+    ``Content-Length`` — e.g. with whitespace before the colon — can be
+    honored by the body-length decision while being invisible to framing.
+    """
     values = []
     for line in head.split("\r\n")[1:]:
-        if line.lower().startswith("content-length:"):
-            values.append(line.split(":", 1)[1].strip())
+        if ":" not in line:
+            continue
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            values.append(value.strip())
     return _declared_length(values, limits) or 0
 
 

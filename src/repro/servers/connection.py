@@ -324,6 +324,10 @@ class ServerConnection:
             return
         self.aborted = True
         self.violation = exc
+        # The audit logger keys pairing state by the SSL handle; capture it
+        # before SSL_free tears the handle away, or we would release the
+        # wrong connection's state (handles and conn ids overlap).
+        handle = self.audit_handle
         if self.api is not None and self.ssl is not None:
             try:
                 self.api.SSL_send_alert(
@@ -337,7 +341,7 @@ class ServerConnection:
                 pass
             self.ssl = None
         if self.on_close is not None:
-            self.on_close(self.audit_handle)
+            self.on_close(handle)
         self.http_buffer.clear()
         self._plain_output.clear()
 
@@ -346,6 +350,7 @@ class ServerConnection:
         if self.aborted or self.closed:
             return
         self.closed = True
+        handle = self.audit_handle
         if self.api is not None and self.ssl is not None:
             try:
                 self.api.SSL_shutdown(self.ssl)
@@ -357,7 +362,7 @@ class ServerConnection:
                 pass
             self.ssl = None
         if self.on_close is not None:
-            self.on_close(self.audit_handle)
+            self.on_close(handle)
 
 
 # ---------------------------------------------------------------------------

@@ -92,6 +92,7 @@ class TLSConnection:
 
         self.peer_closed = False  # peer sent close_notify
         self.alert_sent: int | None = None
+        self.warning_alerts_received = 0
 
         self._in_buffer = bytearray()
         self._pre_handshake_bytes = 0
@@ -205,9 +206,16 @@ class TLSConnection:
         if len(body) != 2:
             raise TLSError("malformed alert record")
         level, description = body[0], body[1]
-        if description == ALERT_CLOSE_NOTIFY and level != _ALERT_LEVEL_FATAL:
+        if description == ALERT_CLOSE_NOTIFY:
+            # Orderly shutdown whatever level the peer stamped on it.
             self.peer_closed = True
             return
+        if level == _ALERT_LEVEL_WARNING:
+            # Non-fatal advisories don't tear the session down; count them
+            # so a chatty peer is still observable.
+            self.warning_alerts_received += 1
+            return
+        # Fatal level — and any level we don't recognise is treated as such.
         raise TLSError(f"peer sent fatal alert {description}")
 
     def _send_handshake(self, message: hs.HandshakeMessage) -> None:

@@ -80,6 +80,21 @@ class TestContentLength:
         assert parse_request(message).body == b"abc"
         assert bytes(buffer) == b"EXTRA"
 
+    def test_whitespace_before_colon_cannot_split_framing_from_body(self):
+        """``Content-Length : N`` must be seen identically by framing and
+        parsing — a spelling honored by one but invisible to the other
+        re-frames the declared body as a smuggled follow-up request."""
+        data = _req("Content-Length : 5", b"helloGET /smug HTTP/1.1\r\n\r\n")
+        buffer = bytearray(data)
+        message = extract_message(buffer)
+        # Framing honors the declaration: the body travels with its head.
+        assert message == _req("Content-Length : 5", b"hello")
+        assert bytes(buffer) == b"GET /smug HTTP/1.1\r\n\r\n"
+        # Parsing then rejects the illegal field-name (RFC 7230 §3.2.4),
+        # consuming the whole framed message — nothing is re-interpreted.
+        with pytest.raises(HTTPError, match="whitespace before colon"):
+            parse_request(message)
+
 
 class TestHeaderBounds:
     def test_header_count_bound(self):

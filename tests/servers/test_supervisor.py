@@ -187,6 +187,55 @@ class TestTlsSupervisor:
         assert result.served == 1 and not result.aborted
 
 
+class TestAuditHandleRelease:
+    def test_teardown_releases_state_by_ssl_handle(self):
+        """``on_close`` must receive the SSL handle — the key the audit
+        logger files pairing state under — captured *before* ``SSL_free``
+        tears the handle away. The regression this guards fell back to the
+        overlapping conn_id, leaking the aborted connection's state and
+        silently dropping a different live connection's."""
+        from repro.enclave_tls import EnclaveTlsRuntime
+
+        runtime = EnclaveTlsRuntime()
+        api = runtime.api
+        ca = CertificateAuthority("sup-h-root", seed=b"sup-h-ca")
+        key, cert = make_server_identity(ca, "h.example", seed=b"sup-h-id")
+        ctx = api.SSL_CTX_new(api.TLS_server_method())
+        api.SSL_CTX_use_certificate(ctx, cert)
+        api.SSL_CTX_use_PrivateKey(ctx, key)
+        closed: list[int] = []
+        sup = ConnectionSupervisor(
+            _echo_handler, api=api, ssl_ctx=ctx, on_close=closed.append
+        )
+
+        def connect():
+            cid = sup.open()
+            cctx = native_api.SSL_CTX_new(native_api.TLS_client_method())
+            native_api.SSL_CTX_load_verify_locations(cctx, ca)
+            cssl = native_api.SSL_new(cctx)
+            rb, wb = BIO("sup-h-rb"), BIO("sup-h-wb")
+            native_api.SSL_set_bio(cssl, rb, wb)
+            for _ in range(10):
+                native_api.SSL_connect(cssl)
+                out = wb.read()
+                if out:
+                    rb.write(sup.feed(cid, out).output)
+                if native_api.SSL_is_init_finished(cssl):
+                    break
+            assert sup.connection(cid).established
+            return cid
+
+        abort_cid, close_cid = connect(), connect()
+        abort_handle = sup.connection(abort_cid).audit_handle
+        close_handle = sup.connection(close_cid).audit_handle
+        # Enclave SSL handles come from their own counter, so they overlap
+        # conn ids without equalling them — the bug's dangerous regime.
+        assert {abort_handle, close_handle} != {abort_cid, close_cid}
+        assert sup.feed(abort_cid, b"\x00" * 64).aborted
+        sup.close(close_cid)
+        assert closed == [abort_handle, close_handle]
+
+
 class TestSimClock:
     def test_rejects_negative_advance(self):
         clock = SimClock()

@@ -202,6 +202,33 @@ class TestAlerts:
         with pytest.raises(TLSError, match="fatal alert"):
             server.read()
 
+    def test_warning_alert_does_not_tear_down_session(self, ca, server_identity):
+        """A warning-level alert other than close_notify is advisory:
+        counted, not escalated into a connection teardown."""
+        client, server, s_in, _, c_out, _ = _capture_handshake(
+            ca, server_identity, b"-warn"
+        )
+        client.send_alert(ALERT_INTERNAL_ERROR, fatal=False)
+        s_in.write(c_out.read())
+        assert server.read() == b""
+        assert server.warning_alerts_received == 1
+        assert not server.peer_closed
+        # The session survives: application data still flows.
+        client.write(b"after-warning")
+        s_in.write(c_out.read())
+        assert server.read() == b"after-warning"
+
+    def test_fatal_close_notify_still_means_peer_closed(self, ca, server_identity):
+        """close_notify is an orderly shutdown whatever level the peer
+        stamped on it — never reported as 'fatal alert 0'."""
+        client, server, s_in, _, c_out, _ = _capture_handshake(
+            ca, server_identity, b"-fatal-cn"
+        )
+        client.send_alert(ALERT_CLOSE_NOTIFY, fatal=True)
+        s_in.write(c_out.read())
+        assert server.read() == b""
+        assert server.peer_closed
+
 
 class TestRecordFraming:
     def test_unknown_record_type_is_typed_error(self):
