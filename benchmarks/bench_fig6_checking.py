@@ -15,10 +15,18 @@ import pytest
 from repro.bench.functional import (
     FIG6_PAPER_OPTIMUM,
     fig6_checking_trimming,
+    fig6_incremental_curves,
     fig6_optimum,
 )
 
 INTERVALS = (5, 10, 25, 50, 75, 100, 150)
+
+# Incremental-vs-full curve shape (checkpoints in logged pairs).
+CURVE_CHECKPOINTS = (250, 500, 1000, 2000, 3000)
+CURVE_INTERVAL = 25
+#: Required rows-scanned (and cycles) advantage for delta-decomposable
+#: invariants at the largest log size.
+MIN_SPEEDUP = 10.0
 
 
 @pytest.mark.parametrize("service", ["git", "owncloud", "dropbox"])
@@ -49,3 +57,104 @@ def test_fig6_checking_trimming(service, benchmark, emit):
     assert normalised[-1] > min(normalised) * 1.5
     # The optimum is finite and small -- checking cannot be deferred forever.
     assert optimum <= 100
+
+
+def _emit_curves(emit, name, title, rows, params):
+    last = rows[-1]
+    table = [
+        [
+            r["pairs"],
+            r["log_rows"],
+            round(r["incremental_ms"], 1),
+            round(r["full_ms"], 1),
+            r["incremental_rows_scanned"],
+            r["full_rows_scanned"],
+            round(r["full_rows_scanned"] / max(1, r["incremental_rows_scanned"]), 1),
+        ]
+        for r in rows
+    ]
+    emit(
+        name,
+        title,
+        [
+            "pairs",
+            "log rows",
+            "incremental ms",
+            "full ms",
+            "incremental rows scanned",
+            "full rows scanned",
+            "rows speedup",
+        ],
+        table,
+        params=params,
+        metrics={
+            "log_rows": last["log_rows"],
+            "rows_speedup": last["full_rows_scanned"]
+            / max(1, last["incremental_rows_scanned"]),
+            "cycles_speedup": last["full_cycles"] / max(1.0, last["incremental_cycles"]),
+            "per_invariant": last["per_invariant"],
+            "curves": rows,
+        },
+    )
+
+
+def test_fig6_incremental_vs_full(emit):
+    """Incremental (watermark + delta) vs full re-scan checking on a
+    continuously growing Git log; both checkers see the same log and must
+    report identical violations (asserted inside the experiment)."""
+    params = {
+        "service": "git",
+        "checkpoints": list(CURVE_CHECKPOINTS),
+        "interval": CURVE_INTERVAL,
+    }
+    rows = fig6_incremental_curves(
+        "git", checkpoints=CURVE_CHECKPOINTS, interval=CURVE_INTERVAL
+    )
+    _emit_curves(
+        emit,
+        "fig6_incremental_vs_full",
+        "Fig 6 companion: incremental vs full invariant checking (git)",
+        rows,
+        params,
+    )
+    last = rows[-1]
+    assert last["log_rows"] >= 10_000
+    for name, per in last["per_invariant"].items():
+        assert per["decomposable"], name
+        assert per["mode"] == "delta", name
+        assert per["full_rows"] >= MIN_SPEEDUP * max(1, per["incremental_rows"]), name
+    assert last["full_cycles"] >= MIN_SPEEDUP * last["incremental_cycles"]
+
+
+def test_checking_smoke_incremental_beats_full(emit):
+    """CI smoke (~30 s): one dense-advertisement Git run to a >10k-row
+    log; incremental checking must beat the full re-scan by >= 10x in
+    rows scanned and modelled cycles."""
+    from repro.workloads import GitReplayWorkload
+
+    params = {
+        "service": "git",
+        "checkpoints": [2400],
+        "interval": 80,
+        "workload": "git dense adverts (1 repo, 10 branches, fetch_ratio 0.9)",
+    }
+    rows = fig6_incremental_curves(
+        "git",
+        checkpoints=(2400,),
+        interval=80,
+        workload_factory=lambda ls: GitReplayWorkload(
+            ls, repos=1, branches_per_repo=10, fetch_ratio=0.9
+        ),
+    )
+    _emit_curves(
+        emit,
+        "checking_smoke",
+        "Checking smoke: incremental vs full on a 10k-row git log",
+        rows,
+        params,
+    )
+    last = rows[-1]
+    assert last["log_rows"] >= 10_000
+    assert last["full_rows_scanned"] >= MIN_SPEEDUP * last["incremental_rows_scanned"]
+    assert last["full_cycles"] >= MIN_SPEEDUP * last["incremental_cycles"]
+    assert last["full_ms"] >= last["incremental_ms"]

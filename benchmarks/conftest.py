@@ -1,10 +1,13 @@
 """Shared benchmark plumbing.
 
 Every benchmark prints its paper-vs-measured table through ``emit`` (so it
-is visible even without ``-s``) and appends it to
-``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+is visible even without ``-s``) and persists two artefacts under
+``benchmarks/results/``: the human-readable ``<name>.txt`` table for
+EXPERIMENTS.md, and a machine-readable ``<name>.json`` summary (name,
+params, metrics) for downstream tooling and curve plotting.
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -14,11 +17,23 @@ from repro.bench.report import format_table
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _jsonable(value):
+    """Best-effort conversion of result cells to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
 @pytest.fixture
 def emit(capsys):
-    """Print a results table to the real terminal and persist it."""
+    """Print a results table to the real terminal and persist it (as both
+    a text table and a JSON summary)."""
 
-    def _emit(name: str, title: str, headers, rows) -> None:
+    def _emit(name: str, title: str, headers, rows, params=None, metrics=None) -> None:
         table = format_table(headers, rows)
         banner = "=" * len(title)
         text = f"\n{title}\n{banner}\n{table}\n"
@@ -26,5 +41,16 @@ def emit(capsys):
             print(text)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text)
+        summary = {
+            "name": name,
+            "title": title,
+            "params": _jsonable(params or {}),
+            "metrics": _jsonable(metrics or {}),
+            "headers": list(headers),
+            "rows": _jsonable([list(r) for r in rows]),
+        }
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
 
     return _emit

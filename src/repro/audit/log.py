@@ -13,11 +13,23 @@ Composition (§5.1):
 Trimming runs the service's trimming queries, then rebuilds the chain over
 the surviving tuples and seals a fresh epoch (the paper stores hashes
 separately so precisely this recomputation is cheap).
+
+Appends also feed the *watermark* machinery used by incremental invariant
+checking: every tuple gets a monotonically increasing row id, each table's
+``time`` column is tracked for append-sortedness (and hinted to SealDB's
+planner), and :meth:`AuditLog.watermark` captures "everything up to here
+has been checked". :meth:`AuditLog.rows_since` replays the appends past a
+watermark; a trim bumps ``trim_generation``, which invalidates every
+outstanding watermark so the checker conservatively re-scans once.
+Watermark bookkeeping survives ``serialize``/``load`` (and therefore
+sealing epochs and crash recovery).
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.audit.hashchain import HashChain, SealIntent, SignedHead
@@ -41,6 +53,24 @@ def _decode_value(value: object) -> SqlValue:
     if isinstance(value, dict) and "__bytes__" in value:
         return bytes.fromhex(value["__bytes__"])
     return value  # type: ignore[return-value]
+
+
+TIME_COLUMN = "time"
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """A point in the append stream up to which checking has run.
+
+    ``row_id`` is the id of the last covered append, ``time`` the highest
+    logical time seen by then, and ``generation`` the trim generation the
+    watermark was taken in — a later trim invalidates it, forcing the
+    holder back through the conservative full-scan path.
+    """
+
+    row_id: int
+    time: int
+    generation: int
 
 
 class AuditLog:
@@ -67,6 +97,30 @@ class AuditLog:
         self.signed_head: SignedHead | None = None
         self.appends = 0
         self.epochs_sealed = 0
+        # Watermark bookkeeping (incremental checking):
+        self.next_row_id = 0
+        self._payload_ids: list[int] = []
+        self.trim_generation = 0
+        self.latest_time = 0
+        #: False once any append's logical time went backwards; delta
+        #: checking then permanently falls back to full re-scans.
+        self.time_monotone = True
+        self._time_columns: dict[str, int | None] = {}
+        self._install_time_hints()
+
+    def _install_time_hints(self) -> None:
+        """Locate each table's ``time`` column and hint it append-sorted
+        to the SealDB planner (the audit log only appends in time order)."""
+        for name in self.db.table_names():
+            table = self.db.lookup_table(name)
+            index: int | None = None
+            for i, column in enumerate(table.columns):
+                if column.name.lower() == TIME_COLUMN:
+                    index = i
+                    break
+            self._time_columns[name.lower()] = index
+            if index is not None:
+                table.mark_sorted(index)
 
     # ------------------------------------------------------------------
     # Writing
@@ -80,7 +134,70 @@ class AuditLog:
         )
         self.chain.append(table, list(values))
         self._payloads.append((table, tuple(values)))
+        self._payload_ids.append(self.next_row_id)
+        self.next_row_id += 1
         self.appends += 1
+        time_col = self._time_columns.get(table.lower())
+        if time_col is not None:
+            # Read the affinity-coerced value back from the table so the
+            # watermark compares the same representation queries see.
+            stored = self.db.lookup_table(table).rows[-1][time_col]
+            if isinstance(stored, int) and not isinstance(stored, bool):
+                if stored < self.latest_time:
+                    self.time_monotone = False
+                else:
+                    self.latest_time = stored
+            else:
+                self.time_monotone = False
+
+    # ------------------------------------------------------------------
+    # Watermarks (incremental checking)
+    # ------------------------------------------------------------------
+
+    def watermark(self) -> Watermark:
+        """Capture the current append-stream position."""
+        return Watermark(self.next_row_id - 1, self.latest_time, self.trim_generation)
+
+    def rows_since(
+        self, table: str, watermark: Watermark
+    ) -> list[tuple[int, tuple[SqlValue, ...]]] | None:
+        """``(row_id, values)`` appended to ``table`` after ``watermark``.
+
+        Returns None when the watermark is from an older trim generation
+        (the appends it refers to may no longer exist): the caller must
+        fall back to a full scan and take a fresh watermark.
+        """
+        if watermark.generation != self.trim_generation:
+            return None
+        start = bisect_right(self._payload_ids, watermark.row_id)
+        lowered = table.lower()
+        return [
+            (row_id, values)
+            for row_id, (name, values) in zip(
+                self._payload_ids[start:], self._payloads[start:]
+            )
+            if name.lower() == lowered
+        ]
+
+    def min_time_since(self, watermark: Watermark) -> int | None:
+        """Smallest logical time among appends after ``watermark`` (any
+        table), or None when nothing was appended / times are unusable.
+        Lets the checker verify no late tuple slid at-or-under its
+        watermark time before trusting a delta evaluation."""
+        if watermark.generation != self.trim_generation:
+            return None
+        start = bisect_right(self._payload_ids, watermark.row_id)
+        minimum: int | None = None
+        for name, values in self._payloads[start:]:
+            time_col = self._time_columns.get(name.lower())
+            if time_col is None or time_col >= len(values):
+                continue
+            value = values[time_col]
+            if not isinstance(value, int) or isinstance(value, bool):
+                return None
+            if minimum is None or value < minimum:
+                minimum = value
+        return minimum
 
     def seal_epoch(self) -> SignedHead:
         """Sign the chain head against a fresh counter; flush if configured.
@@ -155,15 +272,19 @@ class AuditLog:
         """
         for sql in trimming_queries:
             self.db.execute(sql)
-        survivors = self._surviving_payloads()
-        removed = len(self._payloads) - len(survivors)
-        self._payloads = survivors
-        self.chain.rebuild((t, list(v)) for t, v in survivors)
+        surviving = self._surviving_indices()
+        removed = len(self._payloads) - len(surviving)
+        self._payloads = [self._payloads[i] for i in surviving]
+        self._payload_ids = [self._payload_ids[i] for i in surviving]
+        self.chain.rebuild((t, list(v)) for t, v in self._payloads)
+        # Outstanding watermarks may point into the removed region;
+        # bumping the generation forces their holders to full-scan once.
+        self.trim_generation += 1
         self.seal_epoch()
         return removed
 
-    def _surviving_payloads(self) -> list[tuple[str, tuple[SqlValue, ...]]]:
-        """Match the DB contents after DELETEs back to the ordered payloads."""
+    def _surviving_indices(self) -> list[int]:
+        """Match the DB contents after DELETEs back to payload positions."""
         remaining: dict[str, dict[tuple, int]] = {}
         for table_name in self.db.table_names():
             counts: dict[tuple, int] = {}
@@ -172,12 +293,12 @@ class AuditLog:
                 counts[key] = counts.get(key, 0) + 1
             remaining[table_name.lower()] = counts
         survivors = []
-        for table, values in self._payloads:
+        for position, (table, values) in enumerate(self._payloads):
             counts = remaining.get(table.lower(), {})
             count = counts.get(values, 0)
             if count > 0:
                 counts[values] = count - 1
-                survivors.append((table, values))
+                survivors.append(position)
         return survivors
 
     # ------------------------------------------------------------------
@@ -194,6 +315,13 @@ class AuditLog:
                 [table, [_encode_value(v) for v in values]]
                 for table, values in self._payloads
             ],
+            "watermark_state": {
+                "next_row_id": self.next_row_id,
+                "payload_ids": list(self._payload_ids),
+                "trim_generation": self.trim_generation,
+                "latest_time": self.latest_time,
+                "time_monotone": self.time_monotone,
+            },
             "head": None
             if head is None
             else {
@@ -238,6 +366,7 @@ class AuditLog:
             for table, values in doc["payloads"]:
                 log.append(table, [_decode_value(v) for v in values])
             log.appends = 0  # loading is not appending
+            log._restore_watermark_state(doc.get("watermark_state"))
             head_doc = doc.get("head")
             if head_doc is None:
                 raise IntegrityError("audit log snapshot lacks a signed head")
@@ -255,6 +384,40 @@ class AuditLog:
         if check_freshness:
             log.verify_freshness()
         return log
+
+    def _restore_watermark_state(self, state: object) -> None:
+        """Adopt serialized watermark bookkeeping (replacing the fresh
+        ids assigned while replaying appends), after sanity-checking it.
+
+        The snapshot lives on *untrusted* storage, so the ids are only
+        trusted as far as they cannot skip checking: they must be
+        strictly increasing and below ``next_row_id``. (A tampered id
+        stream cannot launder an unchecked tuple anyway — checker state
+        is enclave-internal, so a restarted checker always begins with a
+        full scan — but validating here keeps the invariant simple.)
+        """
+        if state is None:
+            # Pre-watermark snapshot: the replayed appends already
+            # assigned ids 0..n-1 in generation 0; recompute time state.
+            return
+        if not isinstance(state, dict):
+            raise IntegrityError("watermark state malformed")
+        ids = state["payload_ids"]
+        next_row_id = state["next_row_id"]
+        if len(ids) != len(self._payloads):
+            raise IntegrityError("watermark ids do not match payloads")
+        previous = -1
+        for row_id in ids:
+            if not isinstance(row_id, int) or row_id <= previous:
+                raise IntegrityError("watermark ids not strictly increasing")
+            previous = row_id
+        if not isinstance(next_row_id, int) or next_row_id <= previous:
+            raise IntegrityError("watermark next_row_id behind payload ids")
+        self._payload_ids = list(ids)
+        self.next_row_id = next_row_id
+        self.trim_generation = int(state["trim_generation"])
+        self.latest_time = int(state["latest_time"])
+        self.time_monotone = bool(state["time_monotone"]) and self.time_monotone
 
     def verify_structure(self, public_key: EcdsaPublicKey) -> None:
         """Verify chain and head signature (no quorum interaction)."""

@@ -97,6 +97,81 @@ def fig6_optimum(rows: list[dict]) -> int:
     return min(rows, key=lambda r: r["normalised_us_per_request"])["interval"]
 
 
+def fig6_incremental_curves(
+    service: str = "git",
+    checkpoints=(250, 500, 1000, 2000, 3000),
+    interval: int = 25,
+    workload_factory=None,
+) -> list[dict]:
+    """Incremental vs full invariant checking as the log grows.
+
+    One LibSeal instance (incremental checker, delta evaluation warm via
+    a check every ``interval`` pairs) and one reference full-scan checker
+    share the same audit log. At each checkpoint both run on the
+    identical log; the curves report per-pass wall time, rows scanned
+    (total and per invariant) and the §6.8 modelled cycle cost. The two
+    checkers must agree exactly — any divergence is a bug, so this
+    doubles as an equivalence check under real service traffic.
+    """
+    from repro.core.checker import InvariantChecker
+    from repro.sim.costs import checking_cycles
+
+    libseal = LibSeal(
+        SSM_FACTORIES[service](), config=LibSealConfig(flush_each_pair=False)
+    )
+    factory = workload_factory or FIG6_WORKLOADS[service]
+    workload = factory(libseal)
+    full_checker = InvariantChecker(
+        SSM_FACTORIES[service](), libseal.audit_log, incremental=False
+    )
+    invariants = len(SSM_FACTORIES[service]().invariants)
+    rows: list[dict] = []
+    pairs = 0
+    for target in checkpoints:
+        while pairs < target:
+            workload.run(interval)
+            pairs += interval
+            outcome = libseal.check_invariants()
+        reference = full_checker.run_checks()
+        if outcome.violations != reference.violations:
+            raise AssertionError(
+                f"incremental/full divergence at {pairs} pairs: "
+                f"{outcome.violations} != {reference.violations}"
+            )
+        log_rows = sum(
+            libseal.audit_log.row_count(t)
+            for t in libseal.audit_log.db.table_names()
+        )
+        rows.append(
+            {
+                "pairs": pairs,
+                "log_rows": log_rows,
+                "incremental_ms": outcome.elapsed_seconds * 1e3,
+                "full_ms": reference.elapsed_seconds * 1e3,
+                "incremental_rows_scanned": outcome.rows_scanned,
+                "full_rows_scanned": reference.rows_scanned,
+                "incremental_cycles": checking_cycles(
+                    outcome.rows_scanned, invariants
+                ),
+                "full_cycles": checking_cycles(reference.rows_scanned, invariants),
+                "per_invariant": {
+                    s.name: {
+                        "mode": s.mode,
+                        "decomposable": s.decomposable,
+                        "incremental_rows": s.rows_scanned,
+                        "full_rows": next(
+                            f.rows_scanned
+                            for f in reference.invariant_stats
+                            if f.name == s.name
+                        ),
+                    }
+                    for s in outcome.invariant_stats
+                },
+            }
+        )
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # §6.5: log size proportionality
 # ---------------------------------------------------------------------------

@@ -1,17 +1,59 @@
-"""Invariant checking (§5.2) and check-rate limiting (§6.3).
+"""Invariant checking (§5.2), incremental evaluation, and rate limiting (§6.3).
 
 Invariants are the SSM's SQL queries, each phrased as the *negation* of
 the property: a non-empty result set is a violation. Checks run inside
 the enclave against the audit log; results return to clients in-band.
+
+Checking cost is the dominant runtime overhead in the paper (Figure 6:
+full invariant evaluation grows with the whole log). The checker
+therefore classifies every invariant once, at construction, with
+:func:`repro.core.decompose.classify_invariant`:
+
+- **delta-decomposable** invariants keep, per invariant, the watermark
+  of the last evaluation plus the violations accumulated so far, and on
+  the next check evaluate only driver rows past the watermark (a
+  rewritten AST with ``driver.time > ?``), appending new violations to
+  the accumulated set;
+- everything else — and every invariant whenever the delta preconditions
+  fail — re-scans the full log exactly as before.
+
+Delta evaluation preconditions (all enforced per check, per invariant):
+the log's ``time`` stream is still monotone, no trim has run since the
+watermark (trims bump a generation counter), the earliest time appended
+since the watermark is strictly greater than the watermark time (no late
+tuple slid under the boundary), and the invariant has a prior full or
+delta evaluation to extend. A fresh checker — including one built by
+:meth:`repro.core.libseal.LibSeal.recover` — always starts with a full
+scan, so untrusted persisted state can never pre-seed checker results.
 """
 
 from __future__ import annotations
 
 import time as _time
+from collections import deque
 from dataclasses import dataclass, field
 
-from repro.audit.log import AuditLog
+from repro.audit.log import AuditLog, Watermark
+from repro.core.decompose import Decomposition, classify_invariant
+from repro.sealdb import ast
+from repro.sealdb.parser import parse_statement
 from repro.ssm.base import ServiceSpecificModule
+
+#: Bound on the remembered violation names; older entries are dropped
+#: (and counted) rather than growing without bound on a noisy service.
+VIOLATION_HISTORY_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class InvariantRunStats:
+    """Per-invariant accounting for one checking pass."""
+
+    name: str
+    mode: str  #: ``"full"`` | ``"delta"`` | ``"skip"``
+    rows_scanned: int
+    violations: int
+    decomposable: bool
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -20,6 +62,7 @@ class CheckOutcome:
 
     violations: dict[str, list[tuple]]
     elapsed_seconds: float
+    invariant_stats: tuple[InvariantRunStats, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -28,6 +71,10 @@ class CheckOutcome:
     @property
     def total_violations(self) -> int:
         return sum(len(rows) for rows in self.violations.values())
+
+    @property
+    def rows_scanned(self) -> int:
+        return sum(s.rows_scanned for s in self.invariant_stats)
 
     def header_value(self) -> str:
         """The ``Libseal-Check-Result`` header payload (§5.2)."""
@@ -72,30 +119,146 @@ class CheckerStats:
     total_check_seconds: float = 0.0
     total_trim_seconds: float = 0.0
     rate_limited: int = 0
-    violation_history: list[str] = field(default_factory=list)
+    full_evaluations: int = 0
+    delta_evaluations: int = 0
+    skipped_evaluations: int = 0
+    rows_scanned: int = 0
+    violation_history: deque = field(
+        default_factory=lambda: deque(maxlen=VIOLATION_HISTORY_LIMIT)
+    )
+    violation_history_dropped: int = 0
+
+    def record_violation(self, name: str) -> None:
+        if (
+            self.violation_history.maxlen is not None
+            and len(self.violation_history) == self.violation_history.maxlen
+        ):
+            self.violation_history_dropped += 1
+        self.violation_history.append(name)
+
+
+class _InvariantState:
+    """Per-invariant incremental-evaluation state."""
+
+    __slots__ = ("name", "sql", "statement", "plan", "watermark", "accumulated")
+
+    def __init__(self, name: str, sql: str, statement: ast.Statement, plan: Decomposition):
+        self.name = name
+        self.sql = sql
+        self.statement = statement
+        self.plan = plan
+        self.watermark: Watermark | None = None
+        self.accumulated: list[tuple] | None = None
 
 
 class InvariantChecker:
-    """Runs the SSM's invariants and trimming queries over an audit log."""
+    """Runs the SSM's invariants and trimming queries over an audit log.
 
-    def __init__(self, ssm: ServiceSpecificModule, audit_log: AuditLog):
+    ``incremental=False`` pins every invariant to the full re-scan path —
+    the reference behaviour the parity tests and Figure 6 baselines
+    compare against.
+    """
+
+    def __init__(
+        self,
+        ssm: ServiceSpecificModule,
+        audit_log: AuditLog,
+        incremental: bool = True,
+    ):
         self.ssm = ssm
         self.audit_log = audit_log
+        self.incremental = incremental
         self.stats = CheckerStats()
+        self._states: list[_InvariantState] = []
+        for name, sql in ssm.invariants.items():
+            statement = parse_statement(sql)
+            plan = classify_invariant(sql, audit_log.db)
+            self._states.append(_InvariantState(name, sql, statement, plan))
 
-    def run_checks(self) -> CheckOutcome:
-        """Execute every invariant; returns all violating rows."""
+    @property
+    def decompositions(self) -> dict[str, Decomposition]:
+        """Classification verdict per invariant name."""
+        return {state.name: state.plan for state in self._states}
+
+    def run_checks(self, force_full: bool = False) -> CheckOutcome:
+        """Execute every invariant; returns all violating rows.
+
+        ``force_full=True`` bypasses delta evaluation for this pass only
+        (accumulated state is refreshed from the full scan, so subsequent
+        passes may go back to deltas).
+        """
         started = _time.perf_counter()
         violations: dict[str, list[tuple]] = {}
-        for name, sql in self.ssm.invariants.items():
-            rows = self.audit_log.query(sql).rows
-            violations[name] = rows
+        per_invariant: list[InvariantRunStats] = []
+        for state in self._states:
+            rows, mode, scanned = self._run_one(state, force_full)
+            violations[state.name] = rows
             if rows:
-                self.stats.violation_history.append(name)
+                self.stats.record_violation(state.name)
+            per_invariant.append(
+                InvariantRunStats(
+                    name=state.name,
+                    mode=mode,
+                    rows_scanned=scanned,
+                    violations=len(rows),
+                    decomposable=state.plan.decomposable,
+                    reason=state.plan.reason,
+                )
+            )
+            if mode == "full":
+                self.stats.full_evaluations += 1
+            elif mode == "delta":
+                self.stats.delta_evaluations += 1
+            else:
+                self.stats.skipped_evaluations += 1
+            self.stats.rows_scanned += scanned
         elapsed = _time.perf_counter() - started
         self.stats.checks_run += 1
         self.stats.total_check_seconds += elapsed
-        return CheckOutcome(violations, elapsed)
+        return CheckOutcome(violations, elapsed, tuple(per_invariant))
+
+    def _run_one(
+        self, state: _InvariantState, force_full: bool
+    ) -> tuple[list[tuple], str, int]:
+        log = self.audit_log
+        watermark = state.watermark
+        can_delta = (
+            self.incremental
+            and not force_full
+            and state.plan.decomposable
+            and state.plan.delta_select is not None
+            and state.accumulated is not None
+            and watermark is not None
+            and watermark.generation == log.trim_generation
+            and log.time_monotone
+        )
+        if can_delta:
+            if log.next_row_id - 1 == watermark.row_id:
+                # Nothing appended anywhere since the last evaluation.
+                return list(state.accumulated), "skip", 0
+            boundary = log.min_time_since(watermark)
+            if boundary is None or boundary <= watermark.time:
+                # A tuple with unknown or at-or-under-watermark time was
+                # appended: the past-guard argument no longer holds.
+                can_delta = False
+            else:
+                new_rows = log.rows_since(state.plan.driver_table, watermark)
+                if new_rows is None:
+                    can_delta = False
+                elif not new_rows:
+                    # Appends happened, but none to this invariant's
+                    # driver table: no new result rows are possible.
+                    state.watermark = log.watermark()
+                    return list(state.accumulated), "skip", 0
+        if not can_delta:
+            result = log.db.execute_ast(state.statement)
+            state.accumulated = list(result.rows)
+            state.watermark = log.watermark()
+            return list(result.rows), "full", result.rows_scanned
+        result = log.db.execute_ast(state.plan.delta_select, (watermark.time,))
+        state.accumulated = state.accumulated + list(result.rows)
+        state.watermark = log.watermark()
+        return list(state.accumulated), "delta", result.rows_scanned
 
     def run_trimming(self) -> int:
         """Execute the SSM's trimming queries; returns tuples removed."""

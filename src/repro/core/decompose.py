@@ -1,0 +1,693 @@
+"""Static delta-decomposability analysis for invariant queries.
+
+An invariant is the *negation* of a property: each result row is a
+violation. Call an invariant **delta-decomposable** when, given that the
+audit log only ever appends tuples with non-decreasing logical ``time``,
+the violations contributed by rows at or below a time ``T`` can never
+change once every tuple with time ≤ T has been appended. Then a checker
+that already evaluated the invariant up to watermark time ``T`` only has
+to evaluate it over driver rows with ``time > T`` and append the results
+to what it already reported — a *delta evaluation*.
+
+The classifier proves this with a conservative, purely syntactic
+argument over the parsed AST:
+
+- the query is a single non-compound SELECT whose FROM items are plain
+  tables/views inner-joined (no derived sources, no outer joins), with
+  no LIMIT/OFFSET and no outer ORDER BY;
+- one base table with a ``time`` column acts as the **driver**: every
+  result row is attributable to exactly one driver row (or, when
+  grouped, one group of driver rows sharing a time);
+- every other FROM item is **past-guarded**: reachable through a chain
+  of conjuncts ``x.time OP y.time`` with ``OP ∈ {<, <=, =}`` back to the
+  driver, so for a fixed old driver row it only ever reads tuples that
+  had already been appended when that row was checked (``=`` is safe
+  because LibSEAL appends a request/response pair atomically before any
+  check runs, and the runtime watermark additionally verifies that no
+  late tuple slid at-or-under the watermark time);
+- every subquery's FROM items are past-guarded the same way, against
+  either their own select's anchored aliases or any enclosing anchored
+  alias (correlation);
+- views must themselves classify as decomposable and expose their
+  internal driver's time as an output column named ``time``;
+- if the outer select aggregates, its GROUP BY must include the driver
+  time (groups then never span the watermark); if it is DISTINCT, the
+  driver time must be among the outputs (output rows never collapse
+  across the watermark).
+
+Everything else — derived FROM sources, missing guards, global
+aggregates, compound selects — is rejected, and the checker falls back
+to the full re-scan (owncloud's ``update_completeness``, whose FROM is a
+MAX-aggregate derived table, legitimately exercises that path).
+
+For a decomposable invariant the classifier also *builds* the delta
+AST: the original select with ``driver.time > ?`` conjoined to its WHERE
+(parameter 0 is the watermark time), and every ``=``-anchored view
+replaced by an inline subquery carrying the same guard on the view's
+internal driver — so the view, too, is only evaluated over the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sealdb import ast
+from repro.sealdb.engine import Database
+from repro.sealdb.parser import parse_statement
+from repro.sealdb.planner import split_conjuncts
+
+TIME_COLUMN = "time"
+PAST_GUARD_OPS = {"<", "<=", "=", "=="}
+EQUAL_OPS = {"=", "=="}
+_GUARD_OPS = {"<", "<=", "=", "==", ">", ">="}
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "=="}
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Classification verdict for one invariant query."""
+
+    decomposable: bool
+    reason: str
+    driver_table: str | None = None
+    driver_alias: str | None = None
+    #: Lower-cased base-table names the query reads (views expanded).
+    referenced_tables: frozenset[str] = frozenset()
+    #: The rewritten SELECT evaluating only driver rows past parameter 0.
+    delta_select: ast.Select | None = None
+
+
+class _Reject(Exception):
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class _Ref:
+    """One FROM item of a select under analysis."""
+
+    node: ast.NamedTable
+    alias: str  # as written (for AST construction)
+    columns: set[str]  # lower-cased output column names
+    is_base: bool
+    is_view: bool
+    view_select: ast.Select | None = None
+    view_driver_alias: str | None = None  # set when the view classifies
+
+    @property
+    def key(self) -> str:
+        return self.alias.lower()
+
+    @property
+    def has_time(self) -> bool:
+        return TIME_COLUMN in self.columns
+
+
+# A guard fact: (level, alias, column) OP (level, alias, column), where
+# level indexes the scope stack (0 = the select being analysed).
+_Site = tuple[int, str, str]
+
+
+def classify_invariant(sql: str, db: Database) -> Decomposition:
+    """Classify one invariant SQL string against ``db``'s catalog."""
+    try:
+        statement = parse_statement(sql)
+    except Exception as exc:  # unparsable SQL would fail at check time too
+        return Decomposition(False, f"unparsable: {exc}")
+    if not isinstance(statement, ast.Select):
+        return Decomposition(False, "not a SELECT")
+    if _contains_parameter(statement):
+        return Decomposition(False, "query already parameterised")
+    try:
+        analysis = _analyze_select(statement, db, outer=[], visiting=frozenset())
+    except _Reject as reject:
+        return Decomposition(False, reject.reason)
+    delta = _build_delta(statement, analysis)
+    return Decomposition(
+        True,
+        "delta-decomposable",
+        driver_table=analysis.driver.node.name.lower(),
+        driver_alias=analysis.driver.alias,
+        referenced_tables=frozenset(analysis.tables),
+        delta_select=delta,
+    )
+
+
+# --------------------------------------------------------------------------
+# Select analysis
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Analysis:
+    refs: list[_Ref]
+    driver: _Ref
+    anchored: set[str]  # aliases (lower) proven time ≤ driver time
+    time_equal: set[str]  # aliases (lower) proven time = driver time
+    tables: set[str]  # base tables read, recursively
+
+
+def _analyze_select(
+    select: ast.Select,
+    db: Database,
+    outer: list[tuple[list[_Ref], set[str]]],
+    visiting: frozenset[str],
+) -> _Analysis:
+    """Analyse one (outer or view) select; raises :class:`_Reject`."""
+    if select.compound:
+        raise _Reject("compound SELECT")
+    if select.limit is not None or select.offset is not None:
+        raise _Reject("LIMIT/OFFSET")
+    if select.order_by:
+        raise _Reject("ORDER BY at the result level")
+    if select.source is None:
+        raise _Reject("no FROM clause")
+
+    refs, join_conjuncts = _flatten_source(select.source, db)
+    conjuncts = join_conjuncts + split_conjuncts(select.where)
+    stack = [(refs, set())] + outer
+    guards = _extract_guards(conjuncts, stack)
+
+    tables: set[str] = {r.node.name.lower() for r in refs if r.is_base}
+
+    analysis = _anchor(refs, guards)
+    analysis.tables = tables
+    stack[0] = (refs, analysis.anchored)
+
+    # Views must be recursively decomposable and expose driver time.
+    for ref in refs:
+        if not ref.is_view:
+            continue
+        lowered = ref.node.name.lower()
+        if lowered in visiting:
+            raise _Reject(f"view cycle through {ref.node.name}")
+        sub = _analyze_select(
+            ref.view_select, db, outer=[], visiting=visiting | {lowered}
+        )
+        if not _view_exposes_driver_time(ref.view_select, sub):
+            raise _Reject(f"view {ref.node.name} does not expose its driver time")
+        ref.view_driver_alias = sub.driver.alias
+        analysis.tables |= sub.tables
+
+    # Aggregation / DISTINCT shape rules: result rows must partition by
+    # driver time so old output rows cannot change when new rows append.
+    aggregated = (
+        bool(select.group_by)
+        or select.having is not None
+        or any(_contains_aggregate_like(item.expr) for item in select.items)
+    )
+    if aggregated:
+        if not select.group_by:
+            raise _Reject("aggregate without GROUP BY")
+        if not any(
+            _is_driver_time_ref(expr, stack, analysis.time_equal)
+            for expr in select.group_by
+        ):
+            raise _Reject("GROUP BY does not include the driver time")
+    if select.distinct and not any(
+        _is_driver_time_ref(item.expr, stack, analysis.time_equal)
+        for item in select.items
+    ):
+        raise _Reject("DISTINCT without the driver time in the outputs")
+
+    # Every subquery anywhere in this select must be past-guarded too.
+    for expr in _all_expressions(select, conjuncts):
+        for sub in _subselects(expr):
+            _check_subquery(sub, db, stack, analysis.tables, visiting)
+
+    return analysis
+
+
+def _flatten_source(
+    source: ast.TableRef, db: Database
+) -> tuple[list[_Ref], list[ast.Expr]]:
+    """Collect FROM items and join conjuncts (ON + NATURAL/USING
+    equalities, normalised to plain column-equality expressions)."""
+    refs: list[_Ref] = []
+    conjuncts: list[ast.Expr] = []
+
+    def walk(node: ast.TableRef) -> list[_Ref]:
+        if isinstance(node, ast.NamedTable):
+            ref = _make_ref(node, db)
+            refs.append(ref)
+            return [ref]
+        if isinstance(node, ast.SubquerySource):
+            raise _Reject("derived FROM source")
+        if isinstance(node, ast.Join):
+            if node.kind == "LEFT":
+                raise _Reject("outer join")
+            left = walk(node.left)
+            right = walk(node.right)
+            shared: list[str] = []
+            if node.natural:
+                left_cols = set().union(*(r.columns for r in left))
+                shared = sorted(
+                    {c for r in right for c in r.columns if c in left_cols}
+                )
+            elif node.using:
+                shared = [c.lower() for c in node.using]
+            for name in shared:
+                for l_ref in left:
+                    for r_ref in right:
+                        if name in l_ref.columns and name in r_ref.columns:
+                            conjuncts.append(
+                                ast.Binary(
+                                    "=",
+                                    ast.ColumnRef(l_ref.alias, name),
+                                    ast.ColumnRef(r_ref.alias, name),
+                                )
+                            )
+            if node.condition is not None:
+                conjuncts.extend(split_conjuncts(node.condition))
+            return left + right
+        raise _Reject(f"unsupported FROM item {type(node).__name__}")
+
+    walk(source)
+    if not refs:
+        raise _Reject("empty FROM clause")
+    return refs, conjuncts
+
+
+def _make_ref(node: ast.NamedTable, db: Database) -> _Ref:
+    alias = node.alias or node.name
+    view = db.lookup_view(node.name)
+    if view is not None:
+        columns = _view_output_columns(view)
+        return _Ref(node, alias, columns, is_base=False, is_view=True, view_select=view)
+    try:
+        table = db.lookup_table(node.name)
+    except Exception as exc:
+        raise _Reject(f"unknown table {node.name}: {exc}") from exc
+    columns = {c.name.lower() for c in table.columns}
+    return _Ref(node, alias, columns, is_base=True, is_view=False)
+
+
+def _view_output_columns(view: ast.Select) -> set[str]:
+    columns: set[str] = set()
+    for item in view.items:
+        if isinstance(item.expr, ast.Star):
+            raise _Reject("view output uses *")
+        if item.alias is not None:
+            columns.add(item.alias.lower())
+        elif isinstance(item.expr, ast.ColumnRef):
+            columns.add(item.expr.column.lower())
+    return columns
+
+
+def _view_exposes_driver_time(view: ast.Select, sub: _Analysis) -> bool:
+    """The view must output a column named ``time`` that is a plain
+    reference to its internal driver's time column."""
+    for item in view.items:
+        name = (
+            item.alias
+            if item.alias is not None
+            else item.expr.column if isinstance(item.expr, ast.ColumnRef) else None
+        )
+        if name is None or name.lower() != TIME_COLUMN:
+            continue
+        expr = item.expr
+        if (
+            isinstance(expr, ast.ColumnRef)
+            and expr.column.lower() == TIME_COLUMN
+            and (
+                expr.table is None
+                or expr.table.lower() in sub.time_equal
+            )
+        ):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Guards and anchoring
+# --------------------------------------------------------------------------
+
+
+def _extract_guards(
+    conjuncts: list[ast.Expr],
+    stack: list[tuple[list[_Ref], set[str]]],
+) -> list[tuple[_Site, str, _Site]]:
+    guards: list[tuple[_Site, str, _Site]] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.Binary) or conjunct.op not in _GUARD_OPS:
+            continue
+        if not isinstance(conjunct.left, ast.ColumnRef) or not isinstance(
+            conjunct.right, ast.ColumnRef
+        ):
+            continue
+        left = _resolve_site(conjunct.left, stack)
+        right = _resolve_site(conjunct.right, stack)
+        if left is None or right is None:
+            continue
+        guards.append((left, conjunct.op, right))
+        guards.append((right, _FLIP[conjunct.op], left))
+    return guards
+
+
+def _resolve_site(
+    ref: ast.ColumnRef, stack: list[tuple[list[_Ref], set[str]]]
+) -> _Site | None:
+    """Resolve a column reference to (scope level, alias, column),
+    mirroring the executor's innermost-out resolution. Ambiguous bare
+    names resolve only when every candidate alias is interchangeable for
+    anchoring purposes — which we cannot know here — so they are skipped
+    (conservative: a skipped guard can only under-anchor)."""
+    column = ref.column.lower()
+    for level, (refs, _anchored) in enumerate(stack):
+        if ref.table is not None:
+            wanted = ref.table.lower()
+            for item in refs:
+                if item.key == wanted and column in item.columns:
+                    return (level, item.key, column)
+            continue
+        candidates = [item for item in refs if column in item.columns]
+        if len(candidates) == 1:
+            return (level, candidates[0].key, column)
+        if len(candidates) > 1:
+            return None
+    return None
+
+
+def _anchor(refs: list[_Ref], guards: list[tuple[_Site, str, _Site]]) -> _Analysis:
+    """Run the anchoring fixpoint with the *first* FROM item as driver.
+
+    Only the leftmost table may drive: the executor iterates it
+    outermost, so driver rows appended after the watermark contribute
+    result rows strictly after every previously-reported row — which is
+    what lets the checker merge ``accumulated + delta`` and match the
+    full re-scan's output order exactly. A later FROM item can satisfy
+    the stability argument (rows are the same *multiset*) but would
+    interleave, so it is conservatively rejected."""
+    failures: list[str] = []
+    for candidate in refs[:1]:
+        if not candidate.is_base or not candidate.has_time:
+            failures.append(
+                f"first FROM item {candidate.node.name} is not a base table "
+                "with a time column"
+            )
+            continue
+        anchored = {candidate.key}
+        time_equal = {candidate.key}
+        changed = True
+        while changed:
+            changed = False
+            for ref in refs:
+                if ref.key in anchored or not ref.has_time:
+                    continue
+                for (l_level, l_alias, l_col), op, (r_level, r_alias, r_col) in guards:
+                    if (
+                        l_level == 0
+                        and l_alias == ref.key
+                        and l_col == TIME_COLUMN
+                        and op in PAST_GUARD_OPS
+                        and r_level == 0
+                        and r_col == TIME_COLUMN
+                        and r_alias in anchored
+                    ):
+                        anchored.add(ref.key)
+                        if op in EQUAL_OPS and r_alias in time_equal:
+                            time_equal.add(ref.key)
+                        changed = True
+                        break
+        unanchored = [r.node.name for r in refs if r.key not in anchored]
+        if not unanchored:
+            return _Analysis(refs, candidate, anchored, time_equal, set())
+        failures.append(
+            f"driver {candidate.node.name}: {', '.join(unanchored)} not past-guarded"
+        )
+    raise _Reject("; ".join(failures) if failures else "no base table with a time column")
+
+
+def _check_subquery(
+    select: ast.Select,
+    db: Database,
+    outer_stack: list[tuple[list[_Ref], set[str]]],
+    tables: set[str],
+    visiting: frozenset[str],
+) -> None:
+    """A subquery is safe when every FROM item is past-guarded against
+    an anchored alias (its own, or any enclosing select's). Aggregates,
+    DISTINCT, ORDER BY and LIMIT are all fine here: the subquery's value
+    for a fixed old outer row depends only on its (stable) input rows."""
+    if select.compound:
+        raise _Reject("compound subquery")
+    if select.source is None:
+        return  # e.g. SELECT 1 — reads nothing
+    refs, join_conjuncts = _flatten_source(select.source, db)
+    for ref in refs:
+        if ref.is_view:
+            raise _Reject(f"view {ref.node.name} inside a subquery")
+        tables.add(ref.node.name.lower())
+    conjuncts = join_conjuncts + split_conjuncts(select.where)
+    stack = [(refs, set())] + outer_stack
+    guards = _extract_guards(conjuncts, stack)
+
+    anchored: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for ref in refs:
+            if ref.key in anchored or not ref.has_time:
+                continue
+            for (l_level, l_alias, l_col), op, (r_level, r_alias, r_col) in guards:
+                if (
+                    l_level == 0
+                    and l_alias == ref.key
+                    and l_col == TIME_COLUMN
+                    and op in PAST_GUARD_OPS
+                    and r_col == TIME_COLUMN
+                    and (
+                        (r_level == 0 and r_alias in anchored)
+                        or (
+                            r_level > 0
+                            and r_alias in stack[r_level][1]
+                        )
+                    )
+                ):
+                    anchored.add(ref.key)
+                    changed = True
+                    break
+    unanchored = [r.node.name for r in refs if r.key not in anchored]
+    if unanchored:
+        raise _Reject(
+            f"subquery reads {', '.join(unanchored)} without a past guard"
+        )
+    stack[0] = (refs, anchored)
+    for expr in _all_expressions(select, conjuncts):
+        for sub in _subselects(expr):
+            _check_subquery(sub, db, stack, tables, visiting)
+
+
+# --------------------------------------------------------------------------
+# Shape rules and AST walking helpers
+# --------------------------------------------------------------------------
+
+
+def _is_driver_time_ref(
+    expr: ast.Expr,
+    stack: list[tuple[list[_Ref], set[str]]],
+    time_equal: set[str],
+) -> bool:
+    """Is ``expr`` a plain reference to the driver's time (directly or
+    through an alias proven time-equal)? For a bare ``time`` that several
+    FROM items expose, require *all* of them to be time-equal — then the
+    reference denotes the driver time no matter how it resolves."""
+    if not isinstance(expr, ast.ColumnRef) or expr.column.lower() != TIME_COLUMN:
+        return False
+    refs = stack[0][0]
+    if expr.table is not None:
+        wanted = expr.table.lower()
+        return any(
+            r.key == wanted and TIME_COLUMN in r.columns and r.key in time_equal
+            for r in refs
+        )
+    candidates = [r for r in refs if TIME_COLUMN in r.columns]
+    return bool(candidates) and all(r.key in time_equal for r in candidates)
+
+
+def _all_expressions(
+    select: ast.Select, conjuncts: list[ast.Expr]
+) -> list[ast.Expr]:
+    exprs: list[ast.Expr] = list(conjuncts)
+    exprs.extend(item.expr for item in select.items)
+    if select.having is not None:
+        exprs.append(select.having)
+    exprs.extend(select.group_by)
+    exprs.extend(order.expr for order in select.order_by)
+    return exprs
+
+
+def _subselects(expr: ast.Expr) -> list[ast.Select]:
+    found: list[ast.Select] = []
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.InSelect):
+            walk(node.operand)
+            found.append(node.select)
+        elif isinstance(node, ast.ScalarSelect):
+            found.append(node.select)
+        elif isinstance(node, ast.ExistsSelect):
+            found.append(node.select)
+        elif isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+        elif isinstance(node, ast.Between):
+            for part in (node.operand, node.low, node.high):
+                walk(part)
+        elif isinstance(node, ast.Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.Case):
+            parts: list[ast.Expr] = [e for pair in node.branches for e in pair]
+            if node.operand is not None:
+                parts.append(node.operand)
+            if node.default is not None:
+                parts.append(node.default)
+            for part in parts:
+                walk(part)
+
+    walk(expr)
+    return found
+
+
+def _contains_aggregate_like(expr: ast.Expr) -> bool:
+    """Syntactic aggregate detection (COUNT/SUM/AVG/MIN/MAX or ``f(*)``)
+    without importing the executor's function table."""
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star or expr.name.upper() in ("COUNT", "SUM", "AVG", "MIN", "MAX", "TOTAL", "GROUP_CONCAT"):
+            return True
+        return any(_contains_aggregate_like(a) for a in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _contains_aggregate_like(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _contains_aggregate_like(expr.left) or _contains_aggregate_like(expr.right)
+    if isinstance(expr, ast.IsNull):
+        return _contains_aggregate_like(expr.operand)
+    if isinstance(expr, ast.Between):
+        return any(
+            _contains_aggregate_like(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.Case):
+        parts: list[ast.Expr] = [e for pair in expr.branches for e in pair]
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate_like(p) for p in parts)
+    return False
+
+
+def _contains_parameter(select: ast.Select) -> bool:
+    def expr_has(expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Parameter):
+            return True
+        if isinstance(expr, ast.Unary):
+            return expr_has(expr.operand)
+        if isinstance(expr, ast.Binary):
+            return expr_has(expr.left) or expr_has(expr.right)
+        if isinstance(expr, ast.IsNull):
+            return expr_has(expr.operand)
+        if isinstance(expr, ast.Between):
+            return any(expr_has(e) for e in (expr.operand, expr.low, expr.high))
+        if isinstance(expr, ast.Like):
+            return expr_has(expr.operand) or expr_has(expr.pattern)
+        if isinstance(expr, ast.InList):
+            return expr_has(expr.operand) or any(expr_has(i) for i in expr.items)
+        if isinstance(expr, ast.InSelect):
+            return expr_has(expr.operand) or _contains_parameter(expr.select)
+        if isinstance(expr, ast.ScalarSelect):
+            return _contains_parameter(expr.select)
+        if isinstance(expr, ast.ExistsSelect):
+            return _contains_parameter(expr.select)
+        if isinstance(expr, ast.FunctionCall):
+            return any(expr_has(a) for a in expr.args)
+        if isinstance(expr, ast.Case):
+            parts: list[ast.Expr] = [e for pair in expr.branches for e in pair]
+            if expr.operand is not None:
+                parts.append(expr.operand)
+            if expr.default is not None:
+                parts.append(expr.default)
+            return any(expr_has(p) for p in parts)
+        return False
+
+    for item in select.items:
+        if expr_has(item.expr):
+            return True
+    for expr in (select.where, select.having, select.limit, select.offset):
+        if expr is not None and expr_has(expr):
+            return True
+    for expr in select.group_by:
+        if expr_has(expr):
+            return True
+    for order in select.order_by:
+        if expr_has(order.expr):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Delta AST construction
+# --------------------------------------------------------------------------
+
+
+def _build_delta(select: ast.Select, analysis: _Analysis) -> ast.Select:
+    guard = ast.Binary(
+        ">",
+        ast.ColumnRef(analysis.driver.alias, TIME_COLUMN),
+        ast.Parameter(0),
+    )
+    where = guard if select.where is None else ast.Binary("AND", select.where, guard)
+    source = _rewrite_views(select.source, analysis)
+    return replace(select, source=source, where=where)
+
+
+def _rewrite_views(
+    source: ast.TableRef, analysis: _Analysis
+) -> ast.TableRef:
+    """Replace every time-equal view reference with an inline subquery of
+    the view body carrying the same ``time > ?`` guard on the view's
+    internal driver. Sound because the outer query only consumes view
+    rows whose time equals the (guarded) driver time; it also keeps the
+    delta evaluation from recomputing the view over all history."""
+    if isinstance(source, ast.NamedTable):
+        for ref in analysis.refs:
+            if (
+                ref.node is source
+                and ref.is_view
+                and ref.key in analysis.time_equal
+                and ref.view_driver_alias is not None
+            ):
+                view = ref.view_select
+                view_guard = ast.Binary(
+                    ">",
+                    ast.ColumnRef(ref.view_driver_alias, TIME_COLUMN),
+                    ast.Parameter(0),
+                )
+                view_where = (
+                    view_guard
+                    if view.where is None
+                    else ast.Binary("AND", view.where, view_guard)
+                )
+                return ast.SubquerySource(
+                    select=replace(view, where=view_where), alias=ref.alias
+                )
+        return source
+    if isinstance(source, ast.Join):
+        return replace(
+            source,
+            left=_rewrite_views(source.left, analysis),
+            right=_rewrite_views(source.right, analysis),
+        )
+    return source

@@ -56,6 +56,10 @@ class LibSealConfig:
     #: explicit :class:`~repro.errors.AuditBufferFullError`) rather than
     #: audit records being silently dropped.
     max_unsealed_pairs: int = 64
+    #: Evaluate delta-decomposable invariants incrementally past the last
+    #: check's watermark (False = always full re-scan, the paper's
+    #: baseline behaviour).
+    incremental_checks: bool = True
 
 
 @dataclass
@@ -106,7 +110,9 @@ class LibSeal:
             log_id=self.config.log_id,
             storage=self.storage,
         )
-        self.checker = InvariantChecker(ssm, self.audit_log)
+        self.checker = InvariantChecker(
+            ssm, self.audit_log, incremental=self.config.incremental_checks
+        )
         self.rate_limiter = RateLimiter(
             self.config.check_rate_capacity, self.config.check_rate_refill
         )
@@ -290,7 +296,9 @@ class LibSeal:
             return None, report
         if report.log is not None:
             instance.audit_log = report.log
-            instance.checker = InvariantChecker(ssm, report.log)
+            instance.checker = InvariantChecker(
+                ssm, report.log, incremental=instance.config.incremental_checks
+            )
             # Logical time must move strictly forward past every recovered
             # tuple; the entry count is a safe upper bound on pair count.
             instance.logical_time = report.entries
@@ -322,9 +330,14 @@ class LibSeal:
     # Checking / trimming / verification
     # ------------------------------------------------------------------
 
-    def check_invariants(self) -> CheckOutcome:
-        """Run all invariants now (enclave-internal, §5.2)."""
-        self.last_outcome = self.checker.run_checks()
+    def check_invariants(self, force_full: bool = False) -> CheckOutcome:
+        """Run all invariants now (enclave-internal, §5.2).
+
+        Decomposable invariants evaluate only rows past the previous
+        check's watermark unless ``force_full`` (or the config's
+        ``incremental_checks=False``) demands a full re-scan.
+        """
+        self.last_outcome = self.checker.run_checks(force_full=force_full)
         return self.last_outcome
 
     def trim(self) -> int:

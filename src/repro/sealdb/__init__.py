@@ -24,5 +24,6 @@ result sets).
 
 from repro.sealdb.engine import Database
 from repro.sealdb.errors import SQLExecutionError, SQLParseError
+from repro.sealdb.executor import ScanStats
 
-__all__ = ["Database", "SQLParseError", "SQLExecutionError"]
+__all__ = ["Database", "SQLParseError", "SQLExecutionError", "ScanStats"]

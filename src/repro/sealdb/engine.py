@@ -23,12 +23,18 @@ class Database:
 
     Thread-unsafe by design: LibSEAL serialises log access inside the
     enclave, and the simulation layer does the same.
+
+    ``use_planner=False`` disables every planner access path (index
+    probes, sorted-range pruning, hash joins, predicate pushdown) and
+    runs the original scan-everything executor — the reference behaviour
+    the parity tests compare against.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_planner: bool = True) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ast.Select] = {}
         self._view_names: dict[str, str] = {}
+        self.use_planner = use_planner
         self._executor = Executor(self)
         self._statement_cache: dict[str, ast.Statement] = {}
 
@@ -45,6 +51,18 @@ class Database:
                 self._statement_cache.clear()
             self._statement_cache[sql] = statement
         return self._executor.execute(statement, tuple(params))
+
+    def execute_ast(
+        self, statement: ast.Statement, params: tuple[SqlValue, ...] | list[SqlValue] = ()
+    ) -> Result:
+        """Execute an already-parsed statement (the incremental checker
+        holds rewritten invariant ASTs that never existed as SQL text)."""
+        return self._executor.execute(statement, tuple(params))
+
+    @property
+    def scan_stats(self):
+        """Cumulative :class:`~repro.sealdb.executor.ScanStats`."""
+        return self._executor.stats
 
     def executescript(self, sql: str) -> None:
         """Execute a ``;``-separated sequence of statements."""
@@ -73,7 +91,7 @@ class Database:
 
     def clone_schema(self) -> "Database":
         """A new empty database with the same tables and views."""
-        other = Database()
+        other = Database(use_planner=self.use_planner)
         for table in self._tables.values():
             other._tables[table.name.lower()] = Table(
                 table.name, list(table.columns)

@@ -19,6 +19,7 @@ from repro.sim.costs import (
     NET_BANDWIDTH_BPS,
     NET_EFFICIENCY,
     POLLING_THREAD_BURN,
+    CheckingWorkload,
     RequestProfile,
 )
 from repro.sim.engine import Simulator
@@ -54,6 +55,9 @@ class RunResult:
     cpu_utilisation: float  # in cores (4.0 == fully busy 4-core box)
     completed: int
     task_wait_events: int = 0
+    checks_run: int = 0
+    check_rows_scanned: float = 0.0
+    check_cycles: float = 0.0
 
     @property
     def cpu_percent(self) -> float:
@@ -72,6 +76,7 @@ class ServerMachine:
         clients: int,
         duration_s: float = 3.0,
         warmup_s: float = 0.75,
+        checking: CheckingWorkload | None = None,
     ) -> RunResult:
         """Simulate ``clients`` closed-loop clients for ``duration_s``."""
         cfg = self.config
@@ -93,6 +98,16 @@ class ServerMachine:
         latencies: list[float] = []
         completions = [0]
         measuring = [False]
+        # Checking state: pairs logged, whole-log rows, rows since the
+        # last check (the delta a watermark checker would scan).
+        check_state = {
+            "pairs": 0,
+            "log_rows": 0.0,
+            "delta_rows": 0.0,
+            "checks": 0,
+            "rows_scanned": 0.0,
+            "cycles": 0.0,
+        }
 
         enclave_used = profile.enclave_cycles > 0
         # When the SGX threads plus the dedicated poller oversubscribe the
@@ -142,6 +157,31 @@ class ServerMachine:
                         yield from cores.execute(
                             profile.enclave_cycles + profile.transition_cycles
                         )
+                if checking is not None:
+                    check_state["pairs"] += 1
+                    check_state["log_rows"] += checking.tuples_per_request
+                    check_state["delta_rows"] += checking.tuples_per_request
+                    if check_state["pairs"] % checking.check_interval == 0:
+                        rows = checking.rows_scanned(
+                            check_state["log_rows"], check_state["delta_rows"]
+                        )
+                        cycles = checking.cycles(
+                            check_state["log_rows"], check_state["delta_rows"]
+                        )
+                        check_state["delta_rows"] = 0.0
+                        if measuring[0]:
+                            check_state["checks"] += 1
+                            check_state["rows_scanned"] += rows
+                            check_state["cycles"] += cycles
+                        # The checking pass runs inside the enclave; the
+                        # triggering request blocks on it (§5.2 in-band
+                        # result delivery).
+                        if enclave_used and cfg.use_async_calls:
+                            done = sim.waiter()
+                            enclave_queue.append((cycles, done))
+                            yield done
+                        else:
+                            yield from cores.execute(cycles)
                 if profile.wan_rtt_s:
                     yield profile.wan_rtt_s
                 if profile.backend_service_s:
@@ -199,6 +239,9 @@ class ServerMachine:
             cpu_utilisation=cores.utilisation(duration_s),
             completed=count,
             task_wait_events=lthread_tasks.wait_events,
+            checks_run=check_state["checks"],
+            check_rows_scanned=check_state["rows_scanned"],
+            check_cycles=check_state["cycles"],
         )
 
     def _sgx_thread(self, sim, cores: CorePool, cfg: MachineConfig, queue):

@@ -1,0 +1,208 @@
+"""Static decomposability classification of every shipped SSM invariant.
+
+The expected split is part of the design: 10 of the 11 invariants are
+delta-decomposable (their guards are all past-looking time comparisons),
+while ownCloud's ``update_completeness`` reads a MAX-aggregate derived
+table in FROM — its old verdicts can flip when a newer sequence number
+arrives, so it must stay on the full re-scan path.
+"""
+
+import pytest
+
+from repro.audit import AuditLog, RoteCluster
+from repro.core.decompose import classify_invariant
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.sealdb import Database, ast
+from repro.ssm import DropboxSSM, GitSSM, MessagingSSM, OwnCloudSSM
+
+EXPECTED = {
+    ("git", "soundness"): True,
+    ("git", "completeness"): True,
+    ("owncloud", "snapshot_soundness"): True,
+    ("owncloud", "update_soundness"): True,
+    ("owncloud", "update_completeness"): False,
+    ("dropbox", "list_completeness"): True,
+    ("dropbox", "blocklist_soundness"): True,
+    ("dropbox", "deletion_soundness"): True,
+    ("messaging", "message_soundness"): True,
+    ("messaging", "delivery_completeness"): True,
+    ("messaging", "recipient_correctness"): True,
+}
+
+
+def ssm_db(ssm):
+    key = EcdsaPrivateKey.generate(HmacDrbg(seed=b"cls"))
+    return AuditLog(ssm.schema_sql, key, RoteCluster(f=1)).db
+
+
+@pytest.mark.parametrize("ssm_cls", [GitSSM, OwnCloudSSM, DropboxSSM, MessagingSSM])
+def test_ssm_invariant_classification(ssm_cls):
+    ssm = ssm_cls()
+    db = ssm_db(ssm)
+    for name, sql in ssm.invariants.items():
+        verdict = classify_invariant(sql, db)
+        assert verdict.decomposable == EXPECTED[(ssm.name, name)], (
+            ssm.name,
+            name,
+            verdict.reason,
+        )
+        if verdict.decomposable:
+            assert verdict.driver_table is not None
+            assert verdict.delta_select is not None
+            # The delta carries exactly one parameter: the watermark time.
+            assert isinstance(verdict.delta_select.where, ast.Binary)
+
+
+def test_decomposable_count_is_ten_of_eleven():
+    total = decomposable = 0
+    for ssm_cls in (GitSSM, OwnCloudSSM, DropboxSSM, MessagingSSM):
+        ssm = ssm_cls()
+        db = ssm_db(ssm)
+        for sql in ssm.invariants.values():
+            total += 1
+            decomposable += classify_invariant(sql, db).decomposable
+    assert total == 11
+    assert decomposable == 10
+
+
+def plain_db():
+    db = Database()
+    db.executescript(
+        """
+        CREATE TABLE events(time INTEGER, kind TEXT, val INTEGER);
+        CREATE TABLE marks(time INTEGER, kind TEXT);
+        """
+    )
+    return db
+
+
+class TestClassifierRules:
+    def reject(self, sql, fragment):
+        verdict = classify_invariant(sql, plain_db())
+        assert not verdict.decomposable
+        assert fragment in verdict.reason, verdict.reason
+
+    def test_accepts_simple_past_guard(self):
+        verdict = classify_invariant(
+            "SELECT e.time FROM events e, marks m "
+            "WHERE m.time <= e.time AND e.kind != m.kind",
+            plain_db(),
+        )
+        assert verdict.decomposable
+        assert verdict.driver_table == "events"
+
+    def test_accepts_guard_through_equality_chain(self):
+        verdict = classify_invariant(
+            "SELECT e.time FROM events e, marks m, marks n "
+            "WHERE m.time = e.time AND n.time < m.time",
+            plain_db(),
+        )
+        assert verdict.decomposable
+
+    def test_rejects_future_guard(self):
+        self.reject(
+            "SELECT e.time FROM events e, marks m WHERE m.time > e.time",
+            "not past-guarded",
+        )
+
+    def test_rejects_unguarded_table(self):
+        self.reject(
+            "SELECT e.time FROM events e, marks m WHERE e.kind = m.kind",
+            "not past-guarded",
+        )
+
+    def test_rejects_unguarded_subquery(self):
+        self.reject(
+            "SELECT e.time FROM events e WHERE e.val != "
+            "(SELECT MAX(val) FROM marks)",
+            "without a past guard",
+        )
+
+    def test_accepts_correlated_past_subquery(self):
+        verdict = classify_invariant(
+            "SELECT e.time FROM events e WHERE e.val != "
+            "(SELECT COUNT(*) FROM marks m WHERE m.time < e.time)",
+            plain_db(),
+        )
+        assert verdict.decomposable
+
+    def test_rejects_derived_from_source(self):
+        self.reject(
+            "SELECT d.time FROM (SELECT time FROM events) d",
+            "derived FROM source",
+        )
+
+    def test_rejects_global_aggregate(self):
+        self.reject("SELECT COUNT(*) FROM events", "aggregate without GROUP BY")
+
+    def test_rejects_group_by_without_time(self):
+        self.reject(
+            "SELECT kind, COUNT(*) FROM events GROUP BY kind",
+            "GROUP BY does not include the driver time",
+        )
+
+    def test_accepts_group_by_with_time(self):
+        verdict = classify_invariant(
+            "SELECT time, COUNT(*) FROM events GROUP BY time, kind HAVING COUNT(*) > 1",
+            plain_db(),
+        )
+        assert verdict.decomposable
+
+    def test_rejects_distinct_without_time(self):
+        self.reject(
+            "SELECT DISTINCT kind FROM events",
+            "DISTINCT without the driver time",
+        )
+
+    def test_rejects_order_by(self):
+        self.reject(
+            "SELECT time FROM events ORDER BY time", "ORDER BY"
+        )
+
+    def test_rejects_limit(self):
+        self.reject("SELECT time FROM events LIMIT 5", "LIMIT")
+
+    def test_rejects_left_join(self):
+        self.reject(
+            "SELECT e.time FROM events e LEFT JOIN marks m ON m.time < e.time",
+            "outer join",
+        )
+
+    def test_rejects_compound(self):
+        self.reject(
+            "SELECT time FROM events UNION SELECT time FROM marks",
+            "compound",
+        )
+
+    def test_delta_guard_shape(self):
+        verdict = classify_invariant(
+            "SELECT e.time FROM events e WHERE e.kind = 'x'", plain_db()
+        )
+        assert verdict.decomposable
+        where = verdict.delta_select.where
+        assert isinstance(where, ast.Binary) and where.op == "AND"
+        guard = where.right
+        assert guard.op == ">"
+        assert isinstance(guard.left, ast.ColumnRef)
+        assert guard.left.column == "time"
+        assert isinstance(guard.right, ast.Parameter)
+
+    def test_git_completeness_delta_inlines_the_view(self):
+        ssm = GitSSM()
+        db = ssm_db(ssm)
+        verdict = classify_invariant(ssm.invariants["completeness"], db)
+        assert verdict.decomposable
+
+        def subquery_sources(node):
+            if isinstance(node, ast.SubquerySource):
+                yield node
+            elif isinstance(node, ast.Join):
+                yield from subquery_sources(node.left)
+                yield from subquery_sources(node.right)
+
+        inlined = list(subquery_sources(verdict.delta_select.source))
+        assert [s.alias.lower() for s in inlined] == ["branchcnt"]
+        # The inlined view body carries its own watermark guard.
+        view_where = inlined[0].select.where
+        assert isinstance(view_where, ast.Binary) and view_where.op == "AND"

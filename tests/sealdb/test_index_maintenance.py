@@ -1,0 +1,128 @@
+"""Property-style parity: planned vs scan execution under random DML.
+
+Two databases receive the *identical* randomized INSERT/UPDATE/DELETE
+(and audit-style trim) sequence; one runs with the planner (hash
+indexes, sorted-range pruning, hash joins), the other with the original
+scan-everything executor. After every mutation batch a bank of probe
+queries — equality predicates, equi-joins, NULL keys, correlated
+subqueries — must return identical rows in identical order.
+"""
+
+import random
+
+import pytest
+
+from repro.sealdb import Database
+
+SCHEMA = """
+CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+"""
+
+PROBES = [
+    ("SELECT * FROM updates WHERE repo = ?", ("repo-1",)),
+    ("SELECT cid FROM updates WHERE repo = ? AND branch = ?", ("repo-0", "b2")),
+    ("SELECT * FROM updates WHERE repo = ? AND time > ?", ("repo-2", 10)),
+    ("SELECT cid FROM updates WHERE time > ?", (15,)),
+    ("SELECT * FROM updates WHERE repo IS NULL", ()),
+    ("SELECT * FROM updates WHERE repo = ? ORDER BY time DESC", ("repo-1",)),
+    (
+        "SELECT u.cid, a.cid FROM updates u JOIN advertisements a "
+        "ON u.repo = a.repo AND u.branch = a.branch",
+        (),
+    ),
+    ("SELECT * FROM updates NATURAL JOIN advertisements", ()),
+    (
+        "SELECT u.cid FROM updates u LEFT JOIN advertisements a "
+        "ON u.repo = a.repo AND u.time = a.time WHERE a.cid IS NULL",
+        (),
+    ),
+    (
+        "SELECT a.time, a.repo, a.branch FROM advertisements a WHERE a.cid != ("
+        "  SELECT u.cid FROM updates u"
+        "  WHERE u.repo = a.repo AND u.branch = a.branch AND u.time < a.time"
+        "  ORDER BY u.time DESC LIMIT 1)",
+        (),
+    ),
+    (
+        "SELECT repo, COUNT(*) FROM updates WHERE branch = ? GROUP BY repo",
+        ("b1",),
+    ),
+]
+
+TRIM = (
+    "DELETE FROM updates WHERE time NOT IN "
+    "(SELECT MAX(time) FROM updates GROUP BY repo, branch)"
+)
+
+
+def _random_row(rng, clock):
+    repo = rng.choice(["repo-0", "repo-1", "repo-2", None])
+    branch = rng.choice(["b0", "b1", "b2", "b3"])
+    return (clock, repo, branch, f"c{clock}")
+
+
+def _mutate(rng, dbs, clock):
+    """Apply one random mutation to both databases; returns the clock."""
+    op = rng.random()
+    if op < 0.6:  # append-heavy, like an audit log
+        table = rng.choice(["updates", "advertisements"])
+        row = _random_row(rng, clock)
+        for db in dbs:
+            db.execute(f"INSERT INTO {table} VALUES (?, ?, ?, ?)", row)
+        return clock + 1
+    if op < 0.75:
+        repo = rng.choice(["repo-0", "repo-1", "repo-2"])
+        branch = rng.choice(["b0", "b1"])
+        for db in dbs:
+            db.execute(
+                "UPDATE updates SET branch = ? WHERE repo = ?", (branch, repo)
+            )
+        return clock
+    if op < 0.9:
+        bound = rng.randrange(max(1, clock))
+        for db in dbs:
+            db.execute("DELETE FROM advertisements WHERE time < ?", (bound,))
+        return clock
+    for db in dbs:
+        db.execute(TRIM)
+    return clock
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1337])
+def test_randomized_dml_parity(seed):
+    rng = random.Random(seed)
+    planned = Database(use_planner=True)
+    reference = Database(use_planner=False)
+    for db in (planned, reference):
+        db.executescript(SCHEMA)
+    clock = 0
+    for step in range(120):
+        clock = _mutate(rng, (planned, reference), clock)
+        if step % 10 == 9:
+            for sql, params in PROBES:
+                a = planned.execute(sql, params)
+                b = reference.execute(sql, params)
+                assert a.rows == b.rows, f"seed={seed} step={step}: {sql}"
+    # The planner must actually have engaged: planned execution touched
+    # fewer rows than the reference over the whole run.
+    assert planned.scan_stats.rows_scanned < reference.scan_stats.rows_scanned
+    assert planned.scan_stats.index_probes > 0
+
+
+def test_null_keys_excluded_from_indexes():
+    planned = Database(use_planner=True)
+    reference = Database(use_planner=False)
+    for db in (planned, reference):
+        db.executescript(SCHEMA)
+        for i in range(10):
+            db.execute(
+                "INSERT INTO updates VALUES (?, ?, 'b', ?)",
+                (i, None if i % 2 else "repo-0", f"c{i}"),
+            )
+    for sql in (
+        "SELECT cid FROM updates WHERE repo = 'repo-0'",
+        "SELECT cid FROM updates WHERE repo IS NULL",
+        "SELECT u.cid, v.cid FROM updates u JOIN updates v ON u.repo = v.repo",
+    ):
+        assert planned.execute(sql).rows == reference.execute(sql).rows

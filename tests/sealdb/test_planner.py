@@ -1,0 +1,222 @@
+"""Unit tests for the SealDB query planner and its executor access paths.
+
+Each test states the *observable* contract: planned execution must return
+exactly the rows (and row order) the scan-everything executor returns,
+while touching fewer rows (``ScanStats``/``Result.rows_scanned``).
+"""
+
+import pytest
+
+from repro.sealdb import Database
+from repro.sealdb.errors import SQLExecutionError
+from repro.sealdb.parser import parse_statement
+from repro.sealdb.planner import (
+    attribute_to_leg,
+    collect_aliases,
+    plan_scan,
+    split_conjuncts,
+)
+
+
+def make_db(use_planner=True):
+    db = Database(use_planner=use_planner)
+    db.executescript(
+        """
+        CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+        CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+        """
+    )
+    for i in range(40):
+        db.execute(
+            "INSERT INTO updates VALUES (?, ?, ?, ?)",
+            (i, f"repo-{i % 4}", f"b{i % 5}", f"c{i}"),
+        )
+        db.execute(
+            "INSERT INTO advertisements VALUES (?, ?, ?, ?)",
+            (i, f"repo-{i % 4}", f"b{i % 5}", f"c{max(0, i - 4)}"),
+        )
+    return db
+
+
+def both(sql, params=()):
+    """Execute on planned and unplanned engines; assert identical rows."""
+    planned = make_db(True)
+    reference = make_db(False)
+    a = planned.execute(sql, params)
+    b = reference.execute(sql, params)
+    assert a.rows == b.rows, sql
+    assert a.columns == b.columns
+    return a, b
+
+
+class TestPlanStructures:
+    def test_split_conjuncts_flattens_nested_and(self):
+        stmt = parse_statement(
+            "SELECT * FROM updates WHERE time > 1 AND repo = 'r' AND branch = 'b'"
+        )
+        assert len(split_conjuncts(stmt.where)) == 3
+
+    def test_plan_scan_picks_equality_and_range(self):
+        db = make_db()
+        table = db.lookup_table("updates")
+        table.mark_sorted(0)
+        stmt = parse_statement(
+            "SELECT * FROM updates u WHERE u.repo = 'repo-1' AND u.time > 5"
+        )
+        plan = plan_scan(table, "u", split_conjuncts(stmt.where))
+        assert [lookup.column_index for lookup in plan.lookups] == [1]
+        assert plan.range_start is not None
+        assert plan.range_start.column_index == 0
+        assert not plan.residual
+        assert not plan.is_full_scan
+
+    def test_plan_scan_without_sorted_hint_keeps_range_residual(self):
+        db = make_db()
+        table = db.lookup_table("updates")  # no mark_sorted
+        stmt = parse_statement("SELECT * FROM updates u WHERE u.time > 5")
+        plan = plan_scan(table, "u", split_conjuncts(stmt.where))
+        assert plan.range_start is None
+        assert plan.residual is not None
+        assert plan.is_full_scan
+
+    def test_attribute_to_leg(self):
+        stmt = parse_statement(
+            "SELECT * FROM updates u JOIN advertisements a ON u.repo = a.repo "
+            "WHERE u.time > 1 AND a.time > 2 AND u.time < a.time"
+        )
+        left = collect_aliases(stmt.source.left)
+        right = collect_aliases(stmt.source.right)
+        conjuncts = split_conjuncts(stmt.where)
+        assert attribute_to_leg(conjuncts[0], left, right) == "left"
+        assert attribute_to_leg(conjuncts[1], left, right) == "right"
+        assert attribute_to_leg(conjuncts[2], left, right) is None
+
+
+class TestPlannedExecutionParity:
+    def test_equality_lookup(self):
+        planned, reference = both("SELECT * FROM updates WHERE repo = 'repo-2'")
+        assert planned.rows_scanned < reference.rows_scanned
+
+    def test_composite_equality_lookup(self):
+        both("SELECT cid FROM updates WHERE repo = 'repo-1' AND branch = 'b1'")
+
+    def test_equality_with_residual(self):
+        both("SELECT * FROM updates WHERE repo = 'repo-3' AND time > 20")
+
+    def test_range_scan_on_sorted_time(self):
+        planned = make_db(True)
+        reference = make_db(False)
+        # The audit layer marks time sorted; emulate it here.
+        planned.lookup_table("updates").mark_sorted(0)
+        sql = "SELECT cid FROM updates WHERE time > 30"
+        a, b = planned.execute(sql), reference.execute(sql)
+        assert a.rows == b.rows
+        assert a.rows_scanned < b.rows_scanned
+
+    def test_equality_never_matches_null(self):
+        planned = make_db(True)
+        reference = make_db(False)
+        for db in (planned, reference):
+            db.execute("INSERT INTO updates VALUES (NULL, NULL, 'b0', 'x')")
+        sql = "SELECT cid FROM updates WHERE repo = 'repo-0'"
+        assert planned.execute(sql).rows == reference.execute(sql).rows
+
+    def test_hash_equi_join_matches_nested_loop(self):
+        planned, reference = both(
+            "SELECT u.cid, a.cid FROM updates u JOIN advertisements a "
+            "ON u.repo = a.repo AND u.branch = a.branch WHERE u.time < 10"
+        )
+        assert planned.rows_scanned < reference.rows_scanned
+
+    def test_natural_join_parity(self):
+        both("SELECT * FROM updates NATURAL JOIN advertisements")
+
+    def test_left_join_parity(self):
+        both(
+            "SELECT u.cid, a.cid FROM updates u LEFT JOIN advertisements a "
+            "ON u.repo = a.repo AND a.time > 35"
+        )
+
+    def test_left_join_where_on_right_leg_applies_after_padding(self):
+        # A right-leg WHERE predicate must filter padded NULL rows out,
+        # exactly like the unplanned executor does.
+        both(
+            "SELECT u.cid FROM updates u LEFT JOIN advertisements a "
+            "ON u.repo = a.repo AND u.time = a.time WHERE a.cid = 'c1'"
+        )
+
+    def test_correlated_subquery_uses_index(self):
+        planned, reference = both(
+            "SELECT a.time, a.repo FROM advertisements a WHERE a.cid != ("
+            "  SELECT u.cid FROM updates u"
+            "  WHERE u.repo = a.repo AND u.branch = a.branch AND u.time < a.time"
+            "  ORDER BY u.time DESC LIMIT 1)"
+        )
+        assert planned.rows_scanned < reference.rows_scanned
+
+    def test_group_by_over_planned_scan(self):
+        both(
+            "SELECT repo, COUNT(*) FROM updates WHERE branch = 'b2' GROUP BY repo"
+        )
+
+    def test_ambiguous_column_still_errors(self):
+        planned = make_db(True)
+        with pytest.raises(SQLExecutionError):
+            planned.execute(
+                "SELECT cid FROM updates u JOIN advertisements a ON u.repo = a.repo"
+            )
+
+    def test_unknown_column_still_errors(self):
+        planned = make_db(True)
+        with pytest.raises(SQLExecutionError):
+            planned.execute("SELECT * FROM updates WHERE nope = 1")
+
+    def test_parameterised_lookup_key(self):
+        both("SELECT cid FROM updates WHERE repo = ?", ("repo-1",))
+
+
+class TestIndexLifecycle:
+    def test_update_invalidates_index(self):
+        db = make_db(True)
+        sql = "SELECT cid FROM updates WHERE repo = 'repo-0'"
+        before = db.execute(sql).rows
+        db.execute("UPDATE updates SET repo = 'repo-0' WHERE repo = 'repo-3'")
+        after = db.execute(sql).rows
+        reference = make_db(False)
+        reference.execute("UPDATE updates SET repo = 'repo-0' WHERE repo = 'repo-3'")
+        assert after == reference.execute(sql).rows
+        assert len(after) > len(before)
+
+    def test_delete_invalidates_index(self):
+        db = make_db(True)
+        sql = "SELECT cid FROM updates WHERE branch = 'b1'"
+        db.execute(sql)  # build the index
+        db.execute("DELETE FROM updates WHERE time < 20")
+        reference = make_db(False)
+        reference.execute("DELETE FROM updates WHERE time < 20")
+        assert db.execute(sql).rows == reference.execute(sql).rows
+
+    def test_insert_maintains_index(self):
+        db = make_db(True)
+        sql = "SELECT cid FROM updates WHERE repo = 'fresh'"
+        assert db.execute(sql).rows == []
+        db.execute("INSERT INTO updates VALUES (99, 'fresh', 'b', 'c99')")
+        assert db.execute(sql).rows == [("c99",)]
+
+    def test_out_of_order_insert_drops_sorted_hint(self):
+        db = make_db(True)
+        table = db.lookup_table("updates")
+        assert table.mark_sorted(0)
+        db.execute("INSERT INTO updates VALUES (0, 'late', 'b', 'c')")
+        assert not table.is_sorted(0)
+        reference = make_db(False)
+        reference.execute("INSERT INTO updates VALUES (0, 'late', 'b', 'c')")
+        sql = "SELECT cid FROM updates WHERE time > 35"
+        assert db.execute(sql).rows == reference.execute(sql).rows
+
+    def test_scan_stats_accumulate(self):
+        db = make_db(True)
+        start = db.scan_stats.rows_scanned
+        result = db.execute("SELECT * FROM updates")
+        assert result.rows_scanned == 40
+        assert db.scan_stats.rows_scanned == start + 40

@@ -1,0 +1,77 @@
+"""The simulated checking cost model and its server-machine integration."""
+
+from repro.servers.machine import MachineConfig, ServerMachine
+from repro.sim.costs import (
+    CHECK_FIXED_CYCLES,
+    CHECK_PER_ROW_CYCLES,
+    CheckingWorkload,
+    Mode,
+    checking_cycles,
+    profile_apache_static,
+)
+
+
+class TestCheckingCycles:
+    def test_fixed_plus_per_row(self):
+        assert checking_cycles(0, 2) == 2 * CHECK_FIXED_CYCLES
+        assert checking_cycles(1000, 2) == (
+            2 * CHECK_FIXED_CYCLES + 1000 * CHECK_PER_ROW_CYCLES
+        )
+
+    def test_full_mode_scans_whole_log(self):
+        workload = CheckingWorkload(invariants=3, incremental=False)
+        assert workload.rows_scanned(log_rows=5000, delta_rows=100) == 15000
+
+    def test_incremental_scans_delta_only(self):
+        workload = CheckingWorkload(
+            invariants=3, incremental=True, decomposable_fraction=1.0
+        )
+        assert workload.rows_scanned(log_rows=5000, delta_rows=100) == 300
+
+    def test_partial_decomposability_mixes(self):
+        workload = CheckingWorkload(
+            invariants=3, incremental=True, decomposable_fraction=2 / 3
+        )
+        # Two invariants scan the delta, one re-scans the log.
+        assert workload.rows_scanned(log_rows=5000, delta_rows=100) == 5200
+
+
+class TestMachineIntegration:
+    def run(self, incremental, interval=50):
+        machine = ServerMachine(MachineConfig())
+        profile = profile_apache_static(1024, Mode.LIBSEAL_MEM)
+        workload = CheckingWorkload(
+            invariants=2, check_interval=interval, incremental=incremental
+        )
+        return machine.run(
+            profile, clients=32, duration_s=1.0, warmup_s=0.25, checking=workload
+        )
+
+    def test_checks_run_and_are_metered(self):
+        result = self.run(incremental=True)
+        assert result.checks_run > 0
+        assert result.check_rows_scanned > 0
+        assert result.check_cycles > 0
+
+    def test_incremental_scans_fewer_rows_for_same_load(self):
+        full = self.run(incremental=False)
+        incremental = self.run(incremental=True)
+        assert incremental.checks_run > 0 and full.checks_run > 0
+        rows_per_check_full = full.check_rows_scanned / full.checks_run
+        rows_per_check_inc = incremental.check_rows_scanned / incremental.checks_run
+        assert rows_per_check_inc * 5 < rows_per_check_full
+
+    def test_full_checking_costs_throughput(self):
+        # On a growing log, full re-scans burn strictly more enclave
+        # cycles; the closed-loop machine must show it.
+        full = self.run(incremental=False)
+        incremental = self.run(incremental=True)
+        assert full.check_cycles > incremental.check_cycles
+        assert incremental.throughput_rps >= full.throughput_rps
+
+    def test_no_checking_workload_means_no_checks(self):
+        machine = ServerMachine(MachineConfig())
+        profile = profile_apache_static(1024, Mode.LIBSEAL_MEM)
+        result = machine.run(profile, clients=8, duration_s=0.5, warmup_s=0.1)
+        assert result.checks_run == 0
+        assert result.check_cycles == 0
