@@ -32,6 +32,14 @@ def test_recovery_time_vs_log_size(benchmark, emit):
             ]
             for r in rows
         ],
+        metrics={
+            "log_sizes": len(rows),
+            "outcomes": {
+                outcome: sum(1 for r in rows if r["outcome"] == outcome)
+                for outcome in sorted({r["outcome"] for r in rows})
+            },
+            "entries_recovered": sum(r["recovered_entries"] for r in rows),
+        },
     )
     # Every restart recovers cleanly with the full log.
     assert all(r["outcome"] == "clean-resume" for r in rows)
@@ -70,6 +78,17 @@ def test_rote_availability_under_crashes(benchmark, emit):
             ]
             for r in rows
         ],
+        metrics={
+            "per_regime": {
+                r["regime"]: {
+                    "attempts": r["attempts"],
+                    "succeeded": r["succeeded"],
+                    "failed": r["failed"],
+                    "retry_rounds": r["retry_rounds"],
+                }
+                for r in rows
+            },
+        },
     )
     by_regime = {r["regime"]: r for r in rows}
     # Up to f faults: full availability (retries allowed, failures not).

@@ -4,15 +4,26 @@ Every benchmark prints its paper-vs-measured table through ``emit`` (so it
 is visible even without ``-s``) and persists two artefacts under
 ``benchmarks/results/``: the human-readable ``<name>.txt`` table for
 EXPERIMENTS.md, and a machine-readable ``<name>.json`` summary (name,
-params, metrics) for downstream tooling and curve plotting.
+params, metrics) for downstream tooling, curve plotting and the CI
+bench-regression gate (``python -m repro bench-compare``).
+
+Writes are atomic (tmp file + rename) so a benchmark interrupted
+mid-write — or two workers racing on the same results directory — never
+leaves a truncated JSON for the regression gate to choke on.
+
+An observability plane (:mod:`repro.obs`) is installed around every
+benchmark test; whatever pipeline metrics the workload touched are
+embedded in the JSON summary under ``"obs"``.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.bench.report import format_table
+from repro.obs import ObsConfig, ObsPlane, hooks as _obs_hooks
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,8 +39,33 @@ def _jsonable(value):
     return str(value)
 
 
+def _write_atomic(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+@pytest.fixture(autouse=True)
+def obs_plane():
+    """A metrics/tracing plane active for the duration of each benchmark.
+
+    Spans are disabled (pure metrics): benchmarks measure wall time, and
+    span bookkeeping on hot paths would perturb what they measure.
+    """
+    if _obs_hooks.active() is not None:  # a test installed its own plane
+        yield _obs_hooks.active()
+        return
+    plane = _obs_hooks.install(
+        ObsPlane(ObsConfig(enabled=True, trace_spans=False))
+    )
+    try:
+        yield plane
+    finally:
+        _obs_hooks.uninstall()
+
+
 @pytest.fixture
-def emit(capsys):
+def emit(capsys, obs_plane):
     """Print a results table to the real terminal and persist it (as both
     a text table and a JSON summary)."""
 
@@ -39,8 +75,8 @@ def emit(capsys):
         text = f"\n{title}\n{banner}\n{table}\n"
         with capsys.disabled():
             print(text)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        _write_atomic(RESULTS_DIR / f"{name}.txt", text)
         summary = {
             "name": name,
             "title": title,
@@ -48,9 +84,11 @@ def emit(capsys):
             "metrics": _jsonable(metrics or {}),
             "headers": list(headers),
             "rows": _jsonable([list(r) for r in rows]),
+            "obs": obs_plane.metrics.snapshot(),
         }
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        _write_atomic(
+            RESULTS_DIR / f"{name}.json",
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
         )
 
     return _emit

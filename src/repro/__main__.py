@@ -17,6 +17,15 @@ Commands
     termination path (``--layer tls|http|service``, ``--cases N``,
     ``--seed S``). Exit status 1 if any mutation broke the typed-error
     contract.
+``obs``
+    Run a workload through the full TLS + audit pipeline with the
+    observability plane installed and print the aggregated span tree and
+    metrics table (``--workload``, ``--requests``, ``--check-interval``,
+    ``--json``/``--prom`` for machine-readable output).
+``bench-compare``
+    Compare benchmark result summaries against the committed CI baseline
+    (``benchmarks/baselines/ci_baseline.json``) and write ``BENCH_ci.json``.
+    Exit status 1 on any regression or missing metric.
 """
 
 from __future__ import annotations
@@ -120,6 +129,65 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import ObsConfig, observe
+    from repro.obs.render import render_metrics_table, render_span_tree
+    from repro.obs.workload import run_workload
+
+    config = ObsConfig(ring_capacity=args.ring_capacity)
+    with observe(config) as plane:
+        report = run_workload(
+            args.workload,
+            requests=args.requests,
+            check_interval=args.check_interval,
+            reconnect_every=args.reconnect_every,
+            seed=args.seed,
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {"report": report.__dict__, "metrics": plane.metrics.snapshot()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if args.prom:
+        print(plane.metrics.render_prometheus(), end="")
+        return 0
+    print(
+        f"workload={report.workload} requests={report.requests} "
+        f"pairs={report.pairs_logged} handshakes={report.handshakes} "
+        f"checks={report.checks_run} seals={report.epochs_sealed} "
+        f"audit_rows={report.audit_rows}"
+    )
+    print()
+    print("span tree (aggregated by path)")
+    print("------------------------------")
+    print(render_span_tree(plane.tracer))
+    print()
+    print("metrics")
+    print("-------")
+    print(render_metrics_table(plane.metrics))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.regression import compare, render_verdicts
+
+    verdicts, ok = compare(
+        Path(args.results), Path(args.baseline), Path(args.output)
+    )
+    print(render_verdicts(verdicts))
+    print()
+    print(f"wrote {args.output}: {'OK' if ok else 'REGRESSIONS DETECTED'}")
+    return 0 if ok else 1
+
+
 def _cmd_inventory(_args: argparse.Namespace) -> int:
     from repro.bench.functional import table1_inventory
 
@@ -161,6 +229,34 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["tls", "http", "service"],
                       help="repeatable; default: all three layers")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    obs = subparsers.add_parser(
+        "obs", help="trace a workload through the instrumented pipeline"
+    )
+    obs.add_argument("--workload", default="git",
+                     choices=["git", "owncloud", "dropbox", "messaging"])
+    obs.add_argument("--requests", type=int, default=200)
+    obs.add_argument("--check-interval", type=int, default=50,
+                     help="run invariant checks every N pairs (default 50)")
+    obs.add_argument("--reconnect-every", type=int, default=20,
+                     help="fresh TLS connection every N pairs (default 20)")
+    obs.add_argument("--ring-capacity", type=int, default=65536,
+                     help="span ring buffer capacity (default 65536)")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--json", action="store_true",
+                     help="emit the metrics snapshot as JSON")
+    obs.add_argument("--prom", action="store_true",
+                     help="emit Prometheus text format")
+    obs.set_defaults(func=_cmd_obs)
+
+    compare = subparsers.add_parser(
+        "bench-compare", help="bench summaries vs the committed CI baseline"
+    )
+    compare.add_argument("--results", default="benchmarks/results")
+    compare.add_argument("--baseline",
+                         default="benchmarks/baselines/ci_baseline.json")
+    compare.add_argument("--output", default="BENCH_ci.json")
+    compare.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

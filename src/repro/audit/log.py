@@ -38,6 +38,8 @@ from repro.audit.rote import RoteCluster
 from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
 from repro.errors import IntegrityError, RollbackError
 from repro.faults import hooks as _faults
+from repro.obs import hooks as _obs
+from repro.sim.costs import LOGGING_SEALDB_INSERT_CYCLES, SEAL_EPOCH_CYCLES
 from repro.sealdb import Database
 from repro.sealdb.executor import Result
 from repro.sealdb.table import SqlValue
@@ -137,6 +139,13 @@ class AuditLog:
         self._payload_ids.append(self.next_row_id)
         self.next_row_id += 1
         self.appends += 1
+        if _obs.ON:
+            _obs.active().metrics.counter(
+                "audit_appends_total",
+                "Tuples appended to the audit log",
+                table=table.lower(),
+            ).inc()
+            _obs.add_cycles(LOGGING_SEALDB_INSERT_CYCLES)
         time_col = self._time_columns.get(table.lower())
         if time_col is not None:
             # Read the affinity-coerced value back from the table so the
@@ -227,24 +236,29 @@ class AuditLog:
                 if event.kind == kind:
                     raise _faults.active().crash(event)
 
-        crash_at("crash_before_intent")
-        if self.storage is not None:
-            intent = SealIntent.sign(
-                self._signing_key, self.log_id, self.chain.head, len(self.chain)
+        with _obs.span("audit.seal", cycles=SEAL_EPOCH_CYCLES):
+            crash_at("crash_before_intent")
+            if self.storage is not None:
+                intent = SealIntent.sign(
+                    self._signing_key, self.log_id, self.chain.head, len(self.chain)
+                )
+                self.storage.save_intent(intent.encode())
+            crash_at("crash_after_intent")
+            counter_value = self.rote.increment(self.log_id)
+            crash_at("crash_after_increment")
+            self.signed_head = SignedHead.sign(
+                self._signing_key, self.chain.head, counter_value, len(self.chain)
             )
-            self.storage.save_intent(intent.encode())
-        crash_at("crash_after_intent")
-        counter_value = self.rote.increment(self.log_id)
-        crash_at("crash_after_increment")
-        self.signed_head = SignedHead.sign(
-            self._signing_key, self.chain.head, counter_value, len(self.chain)
-        )
-        self.epochs_sealed += 1
-        if self.storage is not None:
-            self.storage.save(self.serialize())
-            crash_at("crash_after_save")
-            self.storage.clear_intent()
-        return self.signed_head
+            self.epochs_sealed += 1
+            if self.storage is not None:
+                self.storage.save(self.serialize())
+                crash_at("crash_after_save")
+                self.storage.clear_intent()
+            if _obs.ON:
+                _obs.active().metrics.counter(
+                    "audit_seals_total", "Epoch seals completed"
+                ).inc()
+            return self.signed_head
 
     # ------------------------------------------------------------------
     # Reading / checking
@@ -281,6 +295,12 @@ class AuditLog:
         # bumping the generation forces their holders to full-scan once.
         self.trim_generation += 1
         self.seal_epoch()
+        if _obs.ON:
+            metrics = _obs.active().metrics
+            metrics.counter("audit_trims_total", "Trim passes completed").inc()
+            metrics.counter(
+                "audit_trimmed_rows_total", "Tuples removed by trimming"
+            ).inc(removed)
         return removed
 
     def _surviving_indices(self) -> list[int]:

@@ -62,6 +62,7 @@ from repro.errors import (
     SealingError,
     StorageError,
 )
+from repro.obs import hooks as _obs
 
 
 class RecoveryOutcome(Enum):
@@ -158,6 +159,27 @@ def recover_log(
     :class:`RecoveryReport` so the startup code can decide policy
     (resume, degrade, refuse) without exception archaeology.
     """
+    with _obs.span("audit.recovery") as obs_span:
+        report = _recover_log(storage, signing_key, public_key, rote, log_id)
+        if _obs.ON:
+            _obs.active().metrics.counter(
+                "audit_recovery_total",
+                "Crash-recovery classifications by outcome",
+                outcome=report.outcome.value,
+            ).inc()
+            if obs_span is not None:
+                obs_span.set_attr("outcome", report.outcome.value)
+                obs_span.set_attr("entries", report.entries)
+        return report
+
+
+def _recover_log(
+    storage: LogStorage,
+    signing_key: EcdsaPrivateKey,
+    public_key: EcdsaPublicKey,
+    rote: RoteCluster,
+    log_id: str,
+) -> RecoveryReport:
     torn = bool(getattr(storage, "orphans_cleaned", []))
     intent = _load_intent(storage, public_key, log_id)
 

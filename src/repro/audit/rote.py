@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import QuorumUnavailableError, SimulationError
 from repro.faults import hooks as _faults
+from repro.obs import hooks as _obs
 from repro.sim.costs import (
     ROTE_BACKOFF_BASE_S,
     ROTE_BACKOFF_MAX_S,
@@ -149,6 +150,33 @@ class RoteCluster:
         self.total_latency_ms += backoff_s * 1000.0
         self.retry_rounds += 1
 
+    def _obs_record(self, op: str, outcome: str, before, obs_span) -> None:
+        """Emit per-operation deltas of the metered protocol counters."""
+        if not _obs.ON:
+            return
+        latency = self.total_latency_ms - before[0]
+        retries = self.retry_rounds - before[1]
+        timeouts = self.rpc_timeouts - before[2]
+        metrics = _obs.active().metrics
+        metrics.counter(
+            "rote_ops_total", "ROTE quorum operations", op=op, outcome=outcome
+        ).inc()
+        if retries:
+            metrics.counter(
+                "rote_retry_rounds_total", "Quorum rounds retried with backoff"
+            ).inc(retries)
+        if timeouts:
+            metrics.counter(
+                "rote_rpc_timeouts_total", "Node RPCs lost to unreachability"
+            ).inc(timeouts)
+        metrics.histogram(
+            "rote_op_latency_ms", "Modelled latency of one quorum operation (ms)"
+        ).observe(latency)
+        if obs_span is not None:
+            obs_span.set_attr("latency_ms", round(latency, 3))
+            if retries:
+                obs_span.set_attr("retries", retries)
+
     def increment(self, log_id: str) -> int:
         """Advance the counter for ``log_id``; returns the new value.
 
@@ -158,48 +186,56 @@ class RoteCluster:
         because freshness can no longer be certified.
         """
         self.increments += 1
-        self._apply_plan_faults()
-        proposed = self._current_maximum(log_id) + 1
-        acks = 0
-        for attempt in range(self.max_retries + 1):
-            if attempt:
-                self._backoff(attempt - 1)
-            _faults.check("rote.round")
-            self.total_latency_ms += ROTE_ROUNDTRIP_MS
+        before = (self.total_latency_ms, self.retry_rounds, self.rpc_timeouts)
+        with _obs.span("rote.increment") as obs_span:
+            self._apply_plan_faults()
+            proposed = self._current_maximum(log_id) + 1
             acks = 0
-            for node in self.nodes:
-                reply = self._rpc(node, node.handle_increment, log_id, proposed)
-                if reply is not None and reply >= proposed:
-                    acks += 1
-            if acks >= self.quorum:
-                return proposed
-        raise QuorumUnavailableError(
-            f"ROTE increment failed after {self.max_retries} retries: "
-            f"{acks}/{self.n} acks, quorum {self.quorum}"
-        )
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self._backoff(attempt - 1)
+                _faults.check("rote.round")
+                self.total_latency_ms += ROTE_ROUNDTRIP_MS
+                acks = 0
+                for node in self.nodes:
+                    reply = self._rpc(node, node.handle_increment, log_id, proposed)
+                    if reply is not None and reply >= proposed:
+                        acks += 1
+                if acks >= self.quorum:
+                    self._obs_record("increment", "ok", before, obs_span)
+                    return proposed
+            self._obs_record("increment", "unavailable", before, obs_span)
+            raise QuorumUnavailableError(
+                f"ROTE increment failed after {self.max_retries} retries: "
+                f"{acks}/{self.n} acks, quorum {self.quorum}"
+            )
 
     def retrieve(self, log_id: str) -> int:
         """Read the freshest counter value with quorum certainty."""
         self.retrieves += 1
-        self._apply_plan_faults()
-        replies: list[int] = []
-        for attempt in range(self.max_retries + 1):
-            if attempt:
-                self._backoff(attempt - 1)
-            _faults.check("rote.round")
-            self.total_latency_ms += ROTE_ROUNDTRIP_MS
-            replies = [
-                value
-                for node in self.nodes
-                if (value := self._rpc(node, node.handle_retrieve, log_id))
-                is not None
-            ]
-            if len(replies) >= self.quorum:
-                return max(replies)
-        raise QuorumUnavailableError(
-            f"ROTE retrieve failed after {self.max_retries} retries: "
-            f"{len(replies)}/{self.n} replies, quorum {self.quorum}"
-        )
+        before = (self.total_latency_ms, self.retry_rounds, self.rpc_timeouts)
+        with _obs.span("rote.retrieve") as obs_span:
+            self._apply_plan_faults()
+            replies: list[int] = []
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self._backoff(attempt - 1)
+                _faults.check("rote.round")
+                self.total_latency_ms += ROTE_ROUNDTRIP_MS
+                replies = [
+                    value
+                    for node in self.nodes
+                    if (value := self._rpc(node, node.handle_retrieve, log_id))
+                    is not None
+                ]
+                if len(replies) >= self.quorum:
+                    self._obs_record("retrieve", "ok", before, obs_span)
+                    return max(replies)
+            self._obs_record("retrieve", "unavailable", before, obs_span)
+            raise QuorumUnavailableError(
+                f"ROTE retrieve failed after {self.max_retries} retries: "
+                f"{len(replies)}/{self.n} replies, quorum {self.quorum}"
+            )
 
     def _current_maximum(self, log_id: str) -> int:
         values = [

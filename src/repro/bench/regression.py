@@ -1,0 +1,164 @@
+"""The CI bench-regression gate.
+
+Benchmarks persist machine-readable summaries under
+``benchmarks/results/<name>.json`` (see ``benchmarks/conftest.py``). This
+module compares the *deterministic* metrics in those summaries — modelled
+cycles, rows-scanned ratios, outcome counts; never wall-clock — against a
+committed baseline, so CI fails when a change quietly regresses the
+pipeline's modelled performance (e.g. incremental checking losing its
+Fig. 6 speedup) while the functional tests still pass.
+
+Baseline format (``benchmarks/baselines/ci_baseline.json``)::
+
+    {
+      "tolerance": 0.2,
+      "metrics": {
+        "checking_smoke.rows_speedup": {"value": 29.8, "mode": "min"},
+        "recovery_outcomes.torn_tail":  {"value": 2,   "mode": "exact"}
+      }
+    }
+
+The key before the first dot names the summary file; the rest is a dotted
+path into its ``metrics`` object. Modes:
+
+- ``min``   — measured must be at least ``value * (1 - tolerance)``
+- ``max``   — measured must be at most  ``value * (1 + tolerance)``
+- ``range`` — measured must be within ``value * (1 ± tolerance)``
+- ``exact`` — measured must equal ``value`` (counts, outcome tallies)
+
+``compare`` writes the full verdict table to ``BENCH_ci.json`` so the CI
+artifact shows every measured value next to its baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.2
+
+
+@dataclass
+class MetricVerdict:
+    """One baseline metric compared against the measured value."""
+
+    metric: str
+    mode: str
+    baseline: float
+    measured: float | None
+    tolerance: float
+    status: str  # "ok" | "regression" | "missing"
+    detail: str = ""
+
+
+def _lookup(summary: dict, path: list[str]) -> float | None:
+    node = summary.get("metrics", {})
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def _judge(mode: str, baseline: float, measured: float, tol: float) -> tuple[bool, str]:
+    if mode == "exact":
+        return measured == baseline, f"expected exactly {baseline}"
+    low = baseline * (1.0 - tol)
+    high = baseline * (1.0 + tol)
+    if baseline < 0:
+        low, high = high, low
+    if mode == "min":
+        return measured >= low, f"must be >= {low:.6g}"
+    if mode == "max":
+        return measured <= high, f"must be <= {high:.6g}"
+    if mode == "range":
+        return low <= measured <= high, f"must be within [{low:.6g}, {high:.6g}]"
+    raise ValueError(f"unknown comparison mode {mode!r}")
+
+
+def compare(
+    results_dir: Path,
+    baseline_path: Path,
+    output_path: Path | None = None,
+) -> tuple[list[MetricVerdict], bool]:
+    """Compare every baseline metric; returns (verdicts, all_ok).
+
+    A missing summary file or metric path is a failure: a benchmark that
+    silently stopped emitting its gate metric must not pass the gate.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    default_tol = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    summaries: dict[str, dict] = {}
+    verdicts: list[MetricVerdict] = []
+    for metric, spec in sorted(baseline.get("metrics", {}).items()):
+        name, _, rest = metric.partition(".")
+        mode = spec.get("mode", "range")
+        value = float(spec["value"])
+        tol = float(spec.get("tolerance", default_tol))
+        if name not in summaries:
+            path = results_dir / f"{name}.json"
+            summaries[name] = (
+                json.loads(path.read_text()) if path.exists() else {}
+            )
+        measured = _lookup(summaries[name], rest.split(".") if rest else [])
+        if measured is None:
+            verdicts.append(
+                MetricVerdict(
+                    metric=metric,
+                    mode=mode,
+                    baseline=value,
+                    measured=None,
+                    tolerance=tol,
+                    status="missing",
+                    detail=f"no metric {rest!r} in {name}.json",
+                )
+            )
+            continue
+        ok, detail = _judge(mode, value, measured, tol)
+        verdicts.append(
+            MetricVerdict(
+                metric=metric,
+                mode=mode,
+                baseline=value,
+                measured=measured,
+                tolerance=tol,
+                status="ok" if ok else "regression",
+                detail="" if ok else detail,
+            )
+        )
+    all_ok = all(v.status == "ok" for v in verdicts)
+    if output_path is not None:
+        report = {
+            "baseline": str(baseline_path),
+            "results_dir": str(results_dir),
+            "ok": all_ok,
+            "verdicts": [asdict(v) for v in verdicts],
+        }
+        tmp = output_path.with_suffix(output_path.suffix + ".tmp")
+        tmp.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        tmp.replace(output_path)
+    return verdicts, all_ok
+
+
+def render_verdicts(verdicts: list[MetricVerdict]) -> str:
+    """Aligned text table of the comparison, worst rows last."""
+    order = {"ok": 0, "regression": 1, "missing": 2}
+    rows = sorted(verdicts, key=lambda v: (order[v.status], v.metric))
+    width = max((len(v.metric) for v in rows), default=10)
+    lines = []
+    for v in rows:
+        measured = "-" if v.measured is None else f"{v.measured:.6g}"
+        line = (
+            f"{v.metric:<{width}}  {v.status.upper():<10}"
+            f"  baseline={v.baseline:.6g} ({v.mode}, ±{v.tolerance:.0%})"
+            f"  measured={measured}"
+        )
+        if v.detail:
+            line += f"  [{v.detail}]"
+        lines.append(line)
+    if not lines:
+        lines.append("(baseline contains no metrics)")
+    return "\n".join(lines)

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 
 from repro.audit.log import AuditLog, Watermark
 from repro.core.decompose import Decomposition, classify_invariant
+from repro.obs import hooks as _obs
+from repro.sim.costs import CHECK_FIXED_CYCLES, CHECK_PER_ROW_CYCLES
 from repro.sealdb import ast
 from repro.sealdb.parser import parse_statement
 from repro.ssm.base import ServiceSpecificModule
@@ -190,31 +192,61 @@ class InvariantChecker:
         started = _time.perf_counter()
         violations: dict[str, list[tuple]] = {}
         per_invariant: list[InvariantRunStats] = []
-        for state in self._states:
-            rows, mode, scanned = self._run_one(state, force_full)
-            violations[state.name] = rows
-            if rows:
-                self.stats.record_violation(state.name)
-            per_invariant.append(
-                InvariantRunStats(
-                    name=state.name,
-                    mode=mode,
-                    rows_scanned=scanned,
-                    violations=len(rows),
-                    decomposable=state.plan.decomposable,
-                    reason=state.plan.reason,
+        with _obs.span("check.pass"):
+            for state in self._states:
+                inv_span = None
+                if _obs.ON and _obs.active().config.trace_spans:
+                    inv_span = _obs.active().tracer.begin(
+                        "check.invariant", invariant=state.name
+                    )
+                try:
+                    rows, mode, scanned = self._run_one(state, force_full)
+                finally:
+                    if inv_span is not None:
+                        _obs.active().tracer.end(inv_span)
+                if _obs.ON:
+                    cycles = CHECK_FIXED_CYCLES + scanned * CHECK_PER_ROW_CYCLES
+                    if inv_span is not None:
+                        inv_span.set_attr("mode", mode)
+                        inv_span.set_attr("rows_scanned", scanned)
+                        inv_span.add_cycles(cycles)
+                    metrics = _obs.active().metrics
+                    metrics.counter(
+                        "check_invariant_evaluations_total",
+                        "Invariant evaluations by mode",
+                        mode=mode,
+                    ).inc()
+                    metrics.counter(
+                        "check_rows_scanned_total",
+                        "Rows scanned by invariant evaluation",
+                    ).inc(scanned)
+                violations[state.name] = rows
+                if rows:
+                    self.stats.record_violation(state.name)
+                per_invariant.append(
+                    InvariantRunStats(
+                        name=state.name,
+                        mode=mode,
+                        rows_scanned=scanned,
+                        violations=len(rows),
+                        decomposable=state.plan.decomposable,
+                        reason=state.plan.reason,
+                    )
                 )
-            )
-            if mode == "full":
-                self.stats.full_evaluations += 1
-            elif mode == "delta":
-                self.stats.delta_evaluations += 1
-            else:
-                self.stats.skipped_evaluations += 1
-            self.stats.rows_scanned += scanned
-        elapsed = _time.perf_counter() - started
-        self.stats.checks_run += 1
-        self.stats.total_check_seconds += elapsed
+                if mode == "full":
+                    self.stats.full_evaluations += 1
+                elif mode == "delta":
+                    self.stats.delta_evaluations += 1
+                else:
+                    self.stats.skipped_evaluations += 1
+                self.stats.rows_scanned += scanned
+            elapsed = _time.perf_counter() - started
+            self.stats.checks_run += 1
+            self.stats.total_check_seconds += elapsed
+            if _obs.ON:
+                _obs.active().metrics.histogram(
+                    "check_pass_seconds", "Wall time of one checking pass"
+                ).observe(elapsed)
         return CheckOutcome(violations, elapsed, tuple(per_invariant))
 
     def _run_one(

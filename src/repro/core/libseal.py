@@ -31,6 +31,8 @@ from repro.errors import (
 )
 from repro.faults import hooks as _faults
 from repro.http import HttpRequest, HttpResponse
+from repro.obs import hooks as _obs
+from repro.sim.costs import LOGGING_BASE_CYCLES
 from repro.ssm.base import ServiceSpecificModule
 
 
@@ -159,6 +161,19 @@ class LibSeal:
     def _handle_pair(
         self, request: HttpRequest, response: HttpResponse, handle: int
     ) -> str | None:
+        with _obs.span("audit.pair", cycles=LOGGING_BASE_CYCLES) as obs_span:
+            header = self._handle_pair_inner(request, response, handle)
+            if _obs.ON:
+                _obs.active().metrics.counter(
+                    "libseal_pairs_total", "Request/response pairs audited"
+                ).inc()
+                if obs_span is not None and header is not None:
+                    obs_span.set_attr("check_header", header)
+            return header
+
+    def _handle_pair_inner(
+        self, request: HttpRequest, response: HttpResponse, handle: int
+    ) -> str | None:
         events = _faults.check("libseal.pair")
         for event in events:
             if event.kind == "crash_before_log":
@@ -244,6 +259,12 @@ class LibSeal:
         if not self.degraded.active:
             self.degraded.active = True
             self.degraded.since_pair = self.pairs_logged
+            if _obs.ON:
+                _obs.active().metrics.counter(
+                    "libseal_degraded_transitions_total",
+                    "Entries into degraded audit mode",
+                    reason=reason,
+                ).inc()
         self.degraded.reason = reason
         self.degraded.last_error = error
 

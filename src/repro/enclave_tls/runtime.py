@@ -28,7 +28,13 @@ from repro.enclave_tls.callbacks import CallbackRegistry, TrampolineTable
 from repro.enclave_tls.mempool import MemoryPool
 from repro.enclave_tls.shadow import ShadowSSL, sanitised_view
 from repro.errors import TLSError
+from repro.obs import hooks as _obs
 from repro.sgx.enclave import Enclave, EnclaveConfig
+from repro.sim.costs import (
+    ENCLAVE_HANDSHAKE_FACTOR,
+    TLS_HANDSHAKE_CYCLES,
+    TLS_PER_BYTE_CYCLES,
+)
 from repro.tls.bio import BIO
 from repro.tls.cert import Certificate, CertificateAuthority
 from repro.tls.connection import (
@@ -316,8 +322,18 @@ class EnclaveTlsRuntime:
 
         def ecall_ssl_accept(handle: int):
             lock_unlock()
-            conn = materialise(handle, is_server=True)
-            done = conn.do_handshake()
+            with _obs.span("tls.handshake", role="server") as obs_span:
+                conn = materialise(handle, is_server=True)
+                already = conn.established
+                done = conn.do_handshake()
+                if done and not already and _obs.ON:
+                    cost = TLS_HANDSHAKE_CYCLES * ENCLAVE_HANDSHAKE_FACTOR
+                    if obs_span is not None:
+                        obs_span.add_cycles(cost)
+                    _obs.active().metrics.counter(
+                        "tls_handshakes_total",
+                        "Completed in-enclave TLS handshakes",
+                    ).inc()
             return (1 if done else 0), sanitised_view(conn)
 
         def ecall_ssl_connect(handle: int):
@@ -329,23 +345,43 @@ class EnclaveTlsRuntime:
         def ecall_ssl_read(handle: int, max_bytes: int | None):
             lock_unlock()
             conn = connection_of(handle)
-            data = conn.read(max_bytes)
-            hook = state["audit_on_read"]
-            if hook is not None and data:
-                hook(handle, data)
+            with _obs.span("tls.record.read") as obs_span:
+                data = conn.read(max_bytes)
+                if data and _obs.ON:
+                    if obs_span is not None:
+                        obs_span.add_cycles(len(data) * TLS_PER_BYTE_CYCLES)
+                        obs_span.set_attr("bytes", len(data))
+                    _obs.active().metrics.counter(
+                        "tls_record_bytes_total",
+                        "Plaintext bytes through the enclave record layer",
+                        dir="read",
+                    ).inc(len(data))
+                hook = state["audit_on_read"]
+                if hook is not None and data:
+                    hook(handle, data)
             return data, sanitised_view(conn)
 
         def ecall_ssl_write(handle: int, data: bytes):
             lock_unlock()
             conn = connection_of(handle)
-            hook = state["audit_on_write"]
-            if hook is not None and data:
-                # The logger may rewrite the response in-enclave, e.g. to
-                # inject the Libseal-Check-Result header (§5.2).
-                replacement = hook(handle, data)
-                if replacement is not None:
-                    data = replacement
-            written = conn.write(data)
+            with _obs.span("tls.record.write") as obs_span:
+                hook = state["audit_on_write"]
+                if hook is not None and data:
+                    # The logger may rewrite the response in-enclave, e.g. to
+                    # inject the Libseal-Check-Result header (§5.2).
+                    replacement = hook(handle, data)
+                    if replacement is not None:
+                        data = replacement
+                written = conn.write(data)
+                if data and _obs.ON:
+                    if obs_span is not None:
+                        obs_span.add_cycles(len(data) * TLS_PER_BYTE_CYCLES)
+                        obs_span.set_attr("bytes", len(data))
+                    _obs.active().metrics.counter(
+                        "tls_record_bytes_total",
+                        "Plaintext bytes through the enclave record layer",
+                        dir="write",
+                    ).inc(len(data))
             return written, sanitised_view(conn)
 
         def ecall_ssl_pending(handle: int) -> int:

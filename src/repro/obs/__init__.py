@@ -1,0 +1,47 @@
+"""The observability plane: structured tracing + a metrics registry.
+
+LibSEAL's evaluation attributes cost to specific pipeline stages —
+enclave transitions, TLS record processing, audit append/seal, ROTE
+counter rounds, invariant checking (Figs. 5-7, Tables 1-4). The
+:mod:`repro.obs` package makes that attribution an always-available,
+machine-readable property of every run instead of something each bench
+script re-derives by hand:
+
+- :class:`~repro.obs.tracer.Tracer` records nestable spans (name,
+  parent, wall-clock start/duration, modelled sim cycles, attributes)
+  into a bounded ring buffer;
+- :class:`~repro.obs.metrics.MetricsRegistry` holds counters, gauges and
+  fixed-bucket histograms, rendered as a Prometheus-style text page or a
+  JSON snapshot;
+- :mod:`repro.obs.hooks` is the process-wide switch the instrumented
+  sites consult: with no plane installed (the default) every site is a
+  single module-flag test, so fuzz/chaos/bench throughput is unaffected.
+
+``python -m repro obs`` drives a real TLS workload under an enabled
+plane and prints the aggregated span tree plus the metrics table.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.hooks import ObsPlane, active, install, observe, uninstall
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "ObsConfig",
+    "ObsPlane",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "active",
+    "install",
+    "observe",
+    "uninstall",
+]

@@ -1,0 +1,22 @@
+"""Observability-plane configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Knobs for one :class:`~repro.obs.hooks.ObsPlane`.
+
+    ``enabled=False`` installs a dead plane: the process-wide ``ON`` flag
+    stays down and every instrumented site keeps its single-flag-test
+    fast path — the parity tests pin this to be behaviour-identical to
+    not installing a plane at all.
+    """
+
+    enabled: bool = True
+    #: Finished spans retained; older spans are evicted (and counted).
+    ring_capacity: int = 4096
+    #: Record spans at all (metrics keep flowing when False).
+    trace_spans: bool = True

@@ -1,0 +1,91 @@
+"""The process-wide observability switch.
+
+Mirrors :mod:`repro.faults.hooks`: instrumented sites guard every record
+with ``if _obs.ON`` — a single module-flag test when no plane is
+installed (the default, and the only state production fuzz/chaos/bench
+loops ever see), so observability adds no overhead until a harness
+explicitly installs an enabled plane via :func:`observe` or
+:func:`install`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class ObsPlane:
+    """One tracer + one metrics registry under one config."""
+
+    def __init__(self, config: ObsConfig | None = None):
+        self.config = config if config is not None else ObsConfig()
+        self.tracer = Tracer(capacity=self.config.ring_capacity)
+        self.metrics = MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+
+_ACTIVE: ObsPlane | None = None
+
+#: The fast-path flag every instrumented site tests first. True only
+#: while an *enabled* plane is installed.
+ON = False
+
+_NULL_SPAN = nullcontext(None)
+
+
+def active() -> ObsPlane | None:
+    """The installed plane, or None."""
+    return _ACTIVE
+
+
+def install(plane: ObsPlane) -> ObsPlane:
+    """Install ``plane`` process-wide (one at a time, like fault plans)."""
+    global _ACTIVE, ON
+    if _ACTIVE is not None:
+        raise SimulationError("an observability plane is already installed")
+    _ACTIVE = plane
+    ON = plane.enabled
+    return plane
+
+
+def uninstall() -> None:
+    global _ACTIVE, ON
+    _ACTIVE = None
+    ON = False
+
+
+@contextmanager
+def observe(config: ObsConfig | None = None) -> Iterator[ObsPlane]:
+    """Install a fresh plane for the duration of the ``with`` block."""
+    plane = install(ObsPlane(config))
+    try:
+        yield plane
+    finally:
+        uninstall()
+
+
+def span(name: str, cycles: float = 0.0, **attrs):
+    """A tracer span when tracing is on, else a shared null context.
+
+    For hot paths, prefer ``if hooks.ON:`` around explicit tracer use;
+    this helper is for seams where one extra call per operation is noise.
+    """
+    plane = _ACTIVE
+    if plane is None or not ON or not plane.config.trace_spans:
+        return _NULL_SPAN
+    return plane.tracer.span(name, cycles=cycles, **attrs)
+
+
+def add_cycles(cycles: float) -> None:
+    """Attribute modelled cycles to the innermost open span, if tracing."""
+    plane = _ACTIVE
+    if plane is not None and ON:
+        plane.tracer.add_cycles(cycles)

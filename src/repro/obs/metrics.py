@@ -1,0 +1,275 @@
+"""Counters, gauges and fixed-bucket histograms with two exporters.
+
+The registry is deliberately small and dependency-free:
+
+- metric families are identified by name; series within a family by
+  their sorted label set (Prometheus's data model);
+- histograms use fixed upper bounds chosen at creation, with p50/p95/p99
+  summaries estimated by linear interpolation inside the landing bucket
+  (exact when observations hit bucket bounds, conservative otherwise);
+- :meth:`MetricsRegistry.render_prometheus` emits a stable, sorted
+  text-format page; :meth:`MetricsRegistry.snapshot` the JSON-safe dict
+  every bench summary embeds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+#: Default histogram bounds: spans microseconds-to-seconds of wall time
+#: and 1e3..1e9 of modelled cycles with ~log-uniform resolution.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+    1.0, 10.0, 100.0,
+    1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(items: LabelItems, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(items) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing series."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: LabelItems):
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A series that can move both ways."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: LabelItems):
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries."""
+
+    __slots__ = ("labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, labels: LabelItems, bounds: tuple[float, ...]):
+        self.labels = labels
+        self.bounds = bounds
+        # One count per finite bound plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Linear interpolation between the landing bucket's bounds; the
+        overflow bucket reports its lower bound (the largest finite one).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index >= len(self.bounds):
+                    return self.bounds[-1] if self.bounds else 0.0
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1] if self.bounds else 0.0  # pragma: no cover
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _Family:
+    """All series of one metric name (one kind, one help string)."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "series")
+
+    def __init__(self, name: str, kind: str, help_text: str, bounds=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self.series: dict[LabelItems, Any] = {}
+
+
+class MetricsRegistry:
+    """The process-local registry instrumented sites write into."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (create-on-first-use)
+    # ------------------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str, bounds=None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, bounds)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Counter(key)
+        return series
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Gauge(key)
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        family = self._family(name, "histogram", help, bounds)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Histogram(key, family.bounds)
+        return series
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    def value(self, name: str, **labels: Any) -> float | None:
+        """Convenience reader (tests, CLI): a series' current value."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        series = family.series.get(_label_key(labels))
+        if series is None:
+            return None
+        if isinstance(series, Histogram):
+            return series.count
+        return series.value
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format, stably sorted."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.series):
+                series = family.series[key]
+                if isinstance(series, Histogram):
+                    cumulative = 0
+                    for bound, bucket_count in zip(
+                        series.bounds, series.bucket_counts
+                    ):
+                        cumulative += bucket_count
+                        label_text = _render_labels(key, (("le", repr(bound)),))
+                        lines.append(f"{name}_bucket{label_text} {cumulative}")
+                    label_text = _render_labels(key, (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{label_text} {series.count}")
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_format_value(series.sum)}"
+                    )
+                    lines.append(f"{name}_count{_render_labels(key)} {series.count}")
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(key)} {_format_value(series.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of every series (embedded in bench summaries)."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series_list = []
+            for key in sorted(family.series):
+                series = family.series[key]
+                entry: dict[str, Any] = {"labels": dict(key)}
+                if isinstance(series, Histogram):
+                    entry.update(series.summary())
+                    entry["buckets"] = {
+                        repr(bound): count
+                        for bound, count in zip(series.bounds, series.bucket_counts)
+                    }
+                    entry["buckets"]["+Inf"] = series.bucket_counts[-1]
+                else:
+                    entry["value"] = series.value
+                series_list.append(entry)
+            out[name] = {"type": family.kind, "series": series_list}
+        return out

@@ -1,0 +1,147 @@
+"""Text rendering: the aggregated span tree and the metrics table.
+
+Traces from a workload run contain thousands of structurally identical
+spans (one per request). The CLI therefore aggregates by *path* — the
+chain of span names from the root — and prints one line per path with
+call count, total wall time and total attributed model cycles, which is
+the Fig. 5-7 style cost breakdown the paper derives by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+
+@dataclass
+class SpanTreeNode:
+    """Aggregated statistics for one span path."""
+
+    name: str
+    count: int = 0
+    wall_seconds: float = 0.0
+    cycles: float = 0.0
+    children: dict[str, "SpanTreeNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "SpanTreeNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanTreeNode(name)
+        return node
+
+
+def aggregate_spans(spans: list[Span]) -> SpanTreeNode:
+    """Fold finished spans into a path-keyed tree.
+
+    Spans whose parent was evicted from the ring are attached at the
+    root — the window is truncated, not wrong.
+    """
+    root = SpanTreeNode("<root>")
+    by_id = {span.span_id: span for span in spans}
+    nodes: dict[int, SpanTreeNode] = {}
+
+    def node_for(span: Span) -> SpanTreeNode:
+        node = nodes.get(span.span_id)
+        if node is not None:
+            return node
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        parent_node = node_for(parent) if parent is not None else root
+        node = parent_node.child(span.name)
+        nodes[span.span_id] = node
+        return node
+
+    for span in spans:
+        node = node_for(span)
+        node.count += 1
+        node.wall_seconds += span.duration_wall
+        node.cycles += span.cycles
+    return root
+
+
+def _format_cycles(cycles: float) -> str:
+    if cycles >= 1e9:
+        return f"{cycles / 1e9:.2f}Gcyc"
+    if cycles >= 1e6:
+        return f"{cycles / 1e6:.2f}Mcyc"
+    if cycles >= 1e3:
+        return f"{cycles / 1e3:.1f}kcyc"
+    if cycles > 0:
+        return f"{cycles:.0f}cyc"
+    return "-"
+
+
+def render_span_tree(tracer: Tracer, indent: str = "  ") -> str:
+    """The aggregated span tree as indented text."""
+    root = aggregate_spans(tracer.spans())
+    lines: list[str] = []
+
+    def name_width(node: SpanTreeNode, depth: int) -> int:
+        width = len(indent) * depth + len(node.name)
+        for sub in node.children.values():
+            width = max(width, name_width(sub, depth + 1))
+        return width
+
+    width = max((name_width(c, 0) for c in root.children.values()), default=20)
+
+    def walk(node: SpanTreeNode, depth: int) -> None:
+        label = indent * depth + node.name
+        lines.append(
+            f"{label:<{width}}  n={node.count:<6}"
+            f"  wall={node.wall_seconds * 1e3:9.2f}ms"
+            f"  cycles={_format_cycles(node.cycles):>10}"
+        )
+        for name in sorted(node.children):
+            walk(node.children[name], depth + 1)
+
+    for name in sorted(root.children):
+        walk(root.children[name], 0)
+    if tracer.evicted:
+        lines.append(
+            f"(ring truncated: {tracer.evicted} older spans evicted, "
+            f"capacity {tracer.capacity})"
+        )
+    if not lines:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def render_metrics_table(metrics: MetricsRegistry) -> str:
+    """All series as aligned ``name{labels} value`` rows; histograms show
+    count/sum and the p50/p95/p99 summary."""
+    rows: list[tuple[str, str]] = []
+    snapshot = metrics.snapshot()
+    for name, family in snapshot.items():
+        for series in family["series"]:
+            labels = series["labels"]
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if family["type"] == "histogram":
+                value_text = (
+                    f"count={series['count']} sum={series['sum']:.6g} "
+                    f"p50={series['p50']:.3g} p95={series['p95']:.3g} "
+                    f"p99={series['p99']:.3g}"
+                )
+            else:
+                value = series["value"]
+                value_text = (
+                    str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+                )
+            rows.append((f"{name}{label_text}", value_text))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+__all__ = [
+    "SpanTreeNode",
+    "aggregate_spans",
+    "render_span_tree",
+    "render_metrics_table",
+    "Histogram",
+]

@@ -1,0 +1,165 @@
+"""Nestable spans recorded into a bounded ring buffer.
+
+A span is one timed region of the pipeline: name, parent, wall-clock
+start/duration, the *modelled* cycle cost attributed to it (so traces
+line up with the :mod:`repro.sim.costs` cost model), and free-form
+attributes. Spans nest per-tracer via an explicit stack — the
+reproduction serialises pipeline work, so one stack is enough.
+
+Finished spans land in a ring buffer of fixed capacity: a long run keeps
+the most recent window instead of growing without bound, and the tracer
+counts what it evicted so aggregation tools can say "window truncated"
+instead of silently under-reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One finished-or-open region of the pipeline."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "depth",
+        "start_wall",
+        "end_wall",
+        "cycles",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        depth: int,
+        start_wall: float,
+        cycles: float = 0.0,
+        attrs: dict[str, Any] | None = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.start_wall = start_wall
+        self.end_wall: float | None = None
+        self.cycles = cycles
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end_wall is not None
+
+    @property
+    def duration_wall(self) -> float:
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add_cycles(self, cycles: float) -> None:
+        self.cycles += cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration_wall * 1e6:.0f}us" if self.finished else "open"
+        return f"<Span {self.name} {state} cycles={self.cycles:.0f}>"
+
+
+class Tracer:
+    """Records nestable spans into a bounded ring buffer."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.started = 0
+        self.finished = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def begin(self, name: str, cycles: float = 0.0, **attrs: Any) -> Span:
+        """Open a span as a child of the current innermost span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            depth=len(self._stack),
+            start_wall=self._clock(),
+            cycles=cycles,
+            attrs=dict(attrs) if attrs else None,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        self.started += 1
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close ``span`` (and any unclosed children, conservatively)."""
+        span.end_wall = self._clock()
+        # Pop back to (and including) the span. Unbalanced exits only
+        # happen when instrumented code raised past a child span; close
+        # the orphans too so the stack never wedges.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end_wall is None:
+                top.end_wall = span.end_wall
+            self._record(top)
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(span)
+        self.finished += 1
+
+    @contextmanager
+    def span(self, name: str, cycles: float = 0.0, **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("audit.seal"):`` — begin/end bracket."""
+        span = self.begin(name, cycles=cycles, **attrs)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def add_cycles(self, cycles: float) -> None:
+        """Attribute modelled cycles to the innermost open span (if any)."""
+        if self._stack:
+            self._stack[-1].cycles += cycles
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Snapshot of retained finished spans, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._stack.clear()

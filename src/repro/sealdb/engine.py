@@ -11,6 +11,7 @@ Usage mirrors an embedded database driver::
 
 from __future__ import annotations
 
+from repro.obs import hooks as _obs
 from repro.sealdb import ast
 from repro.sealdb.errors import SQLExecutionError
 from repro.sealdb.executor import Executor, Result
@@ -50,14 +51,31 @@ class Database:
             if len(self._statement_cache) > 512:
                 self._statement_cache.clear()
             self._statement_cache[sql] = statement
-        return self._executor.execute(statement, tuple(params))
+        result = self._executor.execute(statement, tuple(params))
+        if _obs.ON:
+            self._obs_record(statement, result)
+        return result
 
     def execute_ast(
         self, statement: ast.Statement, params: tuple[SqlValue, ...] | list[SqlValue] = ()
     ) -> Result:
         """Execute an already-parsed statement (the incremental checker
         holds rewritten invariant ASTs that never existed as SQL text)."""
-        return self._executor.execute(statement, tuple(params))
+        result = self._executor.execute(statement, tuple(params))
+        if _obs.ON:
+            self._obs_record(statement, result)
+        return result
+
+    def _obs_record(self, statement: ast.Statement, result: Result) -> None:
+        metrics = _obs.active().metrics
+        metrics.counter(
+            "sealdb_statements_total",
+            "SealDB statements executed",
+            kind=type(statement).__name__.lower(),
+        ).inc()
+        metrics.counter(
+            "sealdb_rows_scanned_total", "Rows touched by the SealDB executor"
+        ).inc(result.rows_scanned)
 
     @property
     def scan_stats(self):

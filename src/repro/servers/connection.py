@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.faults import hooks as _faults
 from repro.http import HttpRequest, HttpResponse, parse_request
+from repro.obs import hooks as _obs
 from repro.http.parser import DEFAULT_LIMITS, HttpLimits, extract_message
 from repro.tls.bio import bio_pair
 from repro.tls.connection import (
@@ -430,6 +431,10 @@ class ConnectionSupervisor:
             on_close=self.on_close,
         )
         self.stats.opened += 1
+        if _obs.ON:
+            _obs.active().metrics.counter(
+                "frontend_connections_total", "Connections accepted"
+            ).inc()
         return conn_id
 
     def connection(self, conn_id: int) -> ServerConnection:
@@ -444,6 +449,16 @@ class ConnectionSupervisor:
         result = conn.feed(data)
         self.stats.requests_served += result.served
         self.stats.bad_requests += result.bad_requests
+        if _obs.ON:
+            metrics = _obs.active().metrics
+            if result.served:
+                metrics.counter(
+                    "frontend_requests_served_total", "Requests served"
+                ).inc(result.served)
+            if result.bad_requests:
+                metrics.counter(
+                    "frontend_bad_requests_total", "Malformed requests rejected"
+                ).inc(result.bad_requests)
         if result.aborted and conn.violation is result.violation:
             self._note_abort(conn)
         return result
@@ -454,6 +469,12 @@ class ConnectionSupervisor:
             self.stats.aborted += 1
             self.stats.violations.append(record)
             self.connections.pop(conn.conn_id, None)
+            if _obs.ON:
+                _obs.active().metrics.counter(
+                    "frontend_connections_aborted_total",
+                    "Connections torn down for protocol violations",
+                    reason=type(conn.violation).__name__,
+                ).inc()
 
     def tick(self) -> list[int]:
         """Enforce deadlines now; returns the ids of aborted connections."""

@@ -22,6 +22,7 @@ from repro.sim.costs import (
     CheckingWorkload,
     RequestProfile,
 )
+from repro.obs import hooks as _obs
 from repro.sim.engine import Simulator
 from repro.sim.resources import CorePool, FifoDevice, Link, Semaphore
 
@@ -229,7 +230,7 @@ class ServerMachine:
             index = min(len(ordered) - 1, int(p / 100 * len(ordered)))
             return ordered[index]
 
-        return RunResult(
+        result = RunResult(
             clients=clients,
             throughput_rps=count / duration_s,
             mean_latency_s=sum(ordered) / count if count else 0.0,
@@ -243,6 +244,41 @@ class ServerMachine:
             check_rows_scanned=check_state["rows_scanned"],
             check_cycles=check_state["cycles"],
         )
+        if _obs.ON:
+            # Metrics are recorded after the simulation finished: the
+            # sim's discrete-event outcome is bit-identical with the
+            # plane enabled, disabled or absent (asserted by the parity
+            # test in tests/obs/).
+            self._obs_record(result, duration_s)
+        return result
+
+    def _obs_record(self, result: RunResult, duration_s: float) -> None:
+        cfg = self.config
+        metrics = _obs.active().metrics
+        labels = {"clients": result.clients}
+        metrics.gauge(
+            "sim_throughput_rps", "Simulated requests per second", **labels
+        ).set(result.throughput_rps)
+        metrics.gauge(
+            "sim_cpu_utilisation_cores", "Busy cores over the measured window",
+            **labels,
+        ).set(result.cpu_utilisation)
+        metrics.counter(
+            "sim_requests_completed_total", "Requests completed while measuring"
+        ).inc(result.completed)
+        metrics.counter(
+            "sim_check_cycles_total", "Modelled cycles spent checking in-run"
+        ).inc(result.check_cycles)
+        metrics.counter(
+            "sim_check_rows_scanned_total", "Rows scanned by in-run checking"
+        ).inc(result.check_rows_scanned)
+        metrics.counter(
+            "sim_busy_cycles_total", "Modelled busy cycles over the window"
+        ).inc(result.cpu_utilisation * duration_s * cfg.freq_hz)
+        metrics.histogram(
+            "sim_request_latency_s", "Simulated request latency (seconds)",
+            **labels,
+        ).observe(result.mean_latency_s)
 
     def _sgx_thread(self, sim, cores: CorePool, cfg: MachineConfig, queue):
         """One resident enclave thread: serve jobs, spin-wait while idle.

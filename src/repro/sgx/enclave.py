@@ -23,6 +23,7 @@ from typing import Any
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashing import sha256
 from repro.errors import EnclaveError
+from repro.obs import hooks as _obs
 from repro.sgx.interface import EnclaveInterface
 
 EPC_USABLE_BYTES_DEFAULT = 93 * 1024 * 1024
@@ -155,6 +156,21 @@ class Enclave:
             pages = min(size_bytes, overflow + EPC_PAGE_BYTES - 1) // EPC_PAGE_BYTES + 1
             self.epc.paging_events += pages
             self.epc.paging_cycles += pages * EPC_PAGING_CYCLES_PER_PAGE
+            if _obs.ON:
+                metrics = _obs.active().metrics
+                metrics.counter(
+                    "sgx_epc_paging_events_total",
+                    "EPC pages swapped past the usable limit",
+                ).inc(pages)
+                metrics.counter(
+                    "sgx_epc_paging_cycles_total",
+                    "Modelled cycles spent on EPC paging",
+                ).inc(pages * EPC_PAGING_CYCLES_PER_PAGE)
+                _obs.add_cycles(pages * EPC_PAGING_CYCLES_PER_PAGE)
+        if _obs.ON:
+            _obs.active().metrics.gauge(
+                "sgx_epc_allocated_bytes", "Bytes currently allocated in the EPC"
+            ).set(self.epc.allocated_bytes)
         obj = EnclaveObject(self, value, size_bytes)
         self._objects.append(obj)
         return obj

@@ -23,6 +23,7 @@ from typing import Any, Callable
 
 from repro.errors import EnclaveError
 from repro.faults import hooks as _faults
+from repro.obs import hooks as _obs
 
 TRANSITION_BASE_CYCLES = 8_400
 TRANSITION_CYCLES_AT_48_THREADS = 170_000
@@ -155,6 +156,21 @@ class EnclaveInterface:
         self.stats.ecalls += 1
         self.stats.ecall_cycles += cost
         self.stats.per_ecall[name] = self.stats.per_ecall.get(name, 0) + 1
+        tracer_span = None
+        if _obs.ON:
+            plane = _obs.active()
+            plane.metrics.counter(
+                "sgx_ecalls_total", "Enclave entries by ecall name", call=name
+            ).inc()
+            plane.metrics.counter(
+                "sgx_transition_cycles_total",
+                "Modelled cycles spent crossing the enclave boundary",
+                direction="ecall",
+            ).inc(cost)
+            if plane.config.trace_spans:
+                tracer_span = plane.tracer.begin(
+                    f"sgx.ecall.{name}", cycles=float(cost), threads=active
+                )
         self._context.inside = True
         try:
             # Fault hook: an enclave abort (AEX with lost EPC, e.g. power
@@ -164,6 +180,8 @@ class EnclaveInterface:
                     raise _faults.active().crash(event)
             return func(*args, **kwargs)
         finally:
+            if tracer_span is not None:
+                _obs.active().tracer.end(tracer_span)
             self._context.inside = False
             with self._active_lock:
                 self._active_inside -= 1
@@ -181,8 +199,25 @@ class EnclaveInterface:
         self.stats.ocalls += 1
         self.stats.ocall_cycles += cost
         self.stats.per_ocall[name] = self.stats.per_ocall.get(name, 0) + 1
+        tracer_span = None
+        if _obs.ON:
+            plane = _obs.active()
+            plane.metrics.counter(
+                "sgx_ocalls_total", "Enclave exits by ocall name", call=name
+            ).inc()
+            plane.metrics.counter(
+                "sgx_transition_cycles_total",
+                "Modelled cycles spent crossing the enclave boundary",
+                direction="ocall",
+            ).inc(cost)
+            if plane.config.trace_spans:
+                tracer_span = plane.tracer.begin(
+                    f"sgx.ocall.{name}", cycles=float(cost), threads=active
+                )
         self._context.inside = False
         try:
             return func(*args, **kwargs)
         finally:
+            if tracer_span is not None:
+                _obs.active().tracer.end(tracer_span)
             self._context.inside = True

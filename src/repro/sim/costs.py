@@ -50,6 +50,7 @@ ENCLAVE_MISC_CYCLES = 0.15e6  # shadow sync, secure callbacks, mempool
 ASYNC_CALL_CYCLES = 1_800  # one async ecall or ocall, both sides
 LOGGING_BASE_CYCLES = 0.7e6  # HTTP parse + SSM + hash chain
 LOGGING_SEALDB_INSERT_CYCLES = 0.35e6  # per tuple insert + signature share
+SEAL_EPOCH_CYCLES = 0.5e6  # sign chain head + bind counter + write intent
 OWNCLOUD_LOGGING_CYCLES = 13.0e6  # JSON-heavy document update logging
 GIT_LOGGING_CYCLES = 12.0e6  # parse pack commands + ref tuples + sign
 DROPBOX_LOGGING_CYCLES = 12.0e6  # JSON commit/list parsing + tuples

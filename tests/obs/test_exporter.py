@@ -1,0 +1,76 @@
+"""Exporters: Prometheus text stability and JSON snapshot shape."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+def populate(reg: MetricsRegistry, order: str) -> None:
+    """The same series written in two different creation orders."""
+    writes = {
+        "a": lambda: reg.counter("pairs_total", "pairs", table="updates").inc(3),
+        "b": lambda: reg.counter("pairs_total", "pairs", table="refs").inc(1),
+        "c": lambda: reg.gauge("depth", "queue depth").set(2),
+        "d": lambda: reg.histogram("lat_s", "latency", buckets=(0.1, 1.0)).observe(0.05),
+    }
+    for key in order:
+        writes[key]()
+
+
+def test_prometheus_text_is_creation_order_independent():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    populate(first, "abcd")
+    populate(second, "dcba")
+    assert first.render_prometheus() == second.render_prometheus()
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    populate(reg, "abcd")
+    text = reg.render_prometheus()
+    lines = text.splitlines()
+    assert "# HELP pairs_total pairs" in lines
+    assert "# TYPE pairs_total counter" in lines
+    assert 'pairs_total{table="refs"} 1' in lines
+    assert 'pairs_total{table="updates"} 3' in lines
+    assert "# TYPE lat_s histogram" in lines
+    # Cumulative buckets plus +Inf, _sum and _count.
+    assert 'lat_s_bucket{le="0.1"} 1' in lines
+    assert 'lat_s_bucket{le="1.0"} 1' in lines
+    assert 'lat_s_bucket{le="+Inf"} 1' in lines
+    assert "lat_s_sum 0.05" in lines
+    assert "lat_s_count 1" in lines
+    assert text.endswith("\n")
+
+
+def test_empty_registry_renders_empty_page():
+    assert MetricsRegistry().render_prometheus() == ""
+
+
+def test_snapshot_shape_and_json_safety():
+    reg = MetricsRegistry()
+    populate(reg, "abcd")
+    snap = reg.snapshot()
+    assert set(snap) == {"pairs_total", "depth", "lat_s"}
+    assert snap["pairs_total"]["type"] == "counter"
+    series = snap["pairs_total"]["series"]
+    assert [s["labels"] for s in series] == [
+        {"table": "refs"},
+        {"table": "updates"},
+    ]
+    hist = snap["lat_s"]["series"][0]
+    assert {"count", "sum", "p50", "p95", "p99", "buckets"} <= set(hist)
+    assert hist["buckets"]["+Inf"] == 0
+    # The snapshot is embedded verbatim in bench summary JSON files.
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_snapshot_is_stable_across_creation_order():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    populate(first, "abcd")
+    populate(second, "dcba")
+    assert first.snapshot() == second.snapshot()

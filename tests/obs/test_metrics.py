@@ -1,0 +1,97 @@
+"""Metrics registry: counters, gauges, histogram bucket math."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("ops_total", "ops")
+    c.inc()
+    c.inc(2.5)
+    assert reg.value("ops_total") == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = MetricsRegistry().gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13.0
+
+
+def test_labelled_series_are_distinct_and_order_insensitive():
+    reg = MetricsRegistry()
+    reg.counter("calls_total", call="read", direction="in").inc()
+    reg.counter("calls_total", direction="in", call="read").inc()
+    reg.counter("calls_total", call="write", direction="in").inc(5)
+    assert reg.value("calls_total", call="read", direction="in") == 2.0
+    assert reg.value("calls_total", call="write", direction="in") == 5.0
+    assert reg.value("calls_total", call="absent", direction="in") is None
+
+
+def test_same_name_different_kind_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ValueError):
+        reg.gauge("x_total")
+
+
+def test_histogram_bucket_assignment():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+        h.observe(value)
+    # bisect_left: a value equal to a bound lands in that bound's bucket.
+    assert h.bucket_counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.0)
+
+
+def test_quantiles_interpolate_within_landing_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(10.0, 20.0))
+    for _ in range(10):
+        h.observe(5.0)  # all in the first bucket [0, 10]
+    # target q*count sits fraction-deep inside [0, 10].
+    assert h.quantile(0.5) == pytest.approx(5.0)
+    assert h.quantile(1.0) == pytest.approx(10.0)
+    summary = h.summary()
+    assert summary["count"] == 10
+    assert summary["sum"] == pytest.approx(50.0)
+    assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+
+def test_quantile_overflow_bucket_reports_largest_bound():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0,))
+    h.observe(50.0)
+    assert h.quantile(0.99) == 1.0  # conservative: the last finite bound
+
+
+def test_quantile_domain_and_empty():
+    h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+    assert h.quantile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(0.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_needs_buckets():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("lat", buckets=())
+
+
+def test_value_reader_for_histogram_is_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0,))
+    h.observe(0.5)
+    h.observe(0.5)
+    assert reg.value("lat") == 2
+    assert reg.value("missing") is None

@@ -1,0 +1,85 @@
+"""The zero-cost guarantee: observability must never change results.
+
+The simulation is deterministic, so the strongest possible statement is
+bit-identical equality: ``ServerMachine.run`` must return the same
+``RunResult`` with no plane, with a disabled plane and with a fully
+enabled plane installed.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import ObsConfig, ObsPlane, hooks
+from repro.servers.machine import MachineConfig, ServerMachine
+from repro.sim.costs import CheckingWorkload, Mode, profile_apache_static
+
+pytestmark = pytest.mark.obs
+
+
+def run_once():
+    machine = ServerMachine(MachineConfig(worker_threads=8))
+    profile = profile_apache_static(1024, Mode.LIBSEAL_MEM)
+    checking = CheckingWorkload(check_interval=25)
+    return machine.run(
+        profile, clients=6, duration_s=0.4, warmup_s=0.1, checking=checking
+    )
+
+
+def test_run_result_identical_without_with_disabled_and_with_enabled_plane():
+    baseline = run_once()
+
+    hooks.install(ObsPlane(ObsConfig(enabled=False)))
+    try:
+        assert hooks.ON is False
+        disabled = run_once()
+    finally:
+        hooks.uninstall()
+
+    hooks.install(ObsPlane(ObsConfig(enabled=True)))
+    try:
+        assert hooks.ON is True
+        enabled = run_once()
+        # The enabled plane observed the run...
+        plane = hooks.active()
+        assert plane.metrics.value(
+            "sim_requests_completed_total"
+        ) == float(enabled.completed)
+    finally:
+        hooks.uninstall()
+
+    # ...but never changed it (RunResult is a dataclass: field equality).
+    assert baseline == disabled == enabled
+
+
+def test_disabled_plane_records_nothing():
+    with hooks.observe(ObsConfig(enabled=False)) as plane:
+        run_once()
+        assert plane.metrics.families() == []
+        assert plane.tracer.spans() == []
+
+
+def test_only_one_plane_at_a_time():
+    with hooks.observe():
+        with pytest.raises(SimulationError):
+            hooks.install(ObsPlane())
+    assert hooks.active() is None and hooks.ON is False
+
+
+def test_span_helper_is_null_context_when_off():
+    assert hooks.active() is None
+    with hooks.span("anything") as span:
+        assert span is None
+    hooks.add_cycles(1e6)  # must be a no-op, not an error
+    with hooks.observe() as plane:
+        with hooks.span("real", cycles=5.0) as span:
+            assert span is not None and span.name == "real"
+        assert [s.name for s in plane.tracer.spans()] == ["real"]
+
+
+def test_trace_spans_false_keeps_metrics_but_not_spans():
+    with hooks.observe(ObsConfig(trace_spans=False)) as plane:
+        with hooks.span("skipped") as span:
+            assert span is None
+        plane.metrics.counter("still_counts_total").inc()
+        assert plane.tracer.spans() == []
+        assert plane.metrics.value("still_counts_total") == 1.0

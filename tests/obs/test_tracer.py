@@ -1,0 +1,87 @@
+"""Tracer: span nesting, cycle attribution, ring-buffer eviction."""
+
+import pytest
+
+from repro.obs.tracer import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def make_tracer(capacity=16):
+    # A manual clock makes wall-time assertions exact.
+    ticks = {"now": 0.0}
+
+    def clock():
+        ticks["now"] += 1.0
+        return ticks["now"]
+
+    return Tracer(capacity=capacity, clock=clock)
+
+
+def test_spans_nest_with_parent_ids_and_depth():
+    tracer = make_tracer()
+    outer = tracer.begin("outer")
+    inner = tracer.begin("inner")
+    assert inner.parent_id == outer.span_id
+    assert (outer.depth, inner.depth) == (0, 1)
+    tracer.end(inner)
+    tracer.end(outer)
+    spans = tracer.spans()
+    # Children finish (and are recorded) before their parents.
+    assert [s.name for s in spans] == ["inner", "outer"]
+    assert all(s.finished for s in spans)
+    assert outer.duration_wall > inner.duration_wall > 0
+
+
+def test_context_manager_closes_on_exception():
+    tracer = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans()
+    assert span.name == "doomed" and span.finished
+    assert tracer.current() is None
+
+
+def test_add_cycles_goes_to_innermost_open_span():
+    tracer = make_tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            tracer.add_cycles(100.0)
+        tracer.add_cycles(7.0)
+    assert inner.cycles == 100.0
+    assert outer.cycles == 7.0  # no parent roll-up: each span owns its cost
+
+
+def test_ending_parent_closes_orphaned_children():
+    tracer = make_tracer()
+    outer = tracer.begin("outer")
+    inner = tracer.begin("inner")
+    tracer.end(outer)  # instrumented code raised past inner's end
+    assert inner.finished and inner.end_wall == outer.end_wall
+    assert tracer.current() is None
+    assert {s.name for s in tracer.spans()} == {"outer", "inner"}
+
+
+def test_ring_keeps_most_recent_and_counts_evictions():
+    tracer = make_tracer(capacity=4)
+    for i in range(7):
+        with tracer.span(f"s{i}"):
+            pass
+    assert tracer.evicted == 3
+    assert tracer.started == tracer.finished == 7
+    assert [s.name for s in tracer.spans()] == ["s3", "s4", "s5", "s6"]
+
+
+def test_attrs_and_initial_cycles():
+    tracer = make_tracer()
+    with tracer.span("op", cycles=50.0, table="updates") as span:
+        span.set_attr("rows", 3)
+        span.add_cycles(25.0)
+    assert span.cycles == 75.0
+    assert span.attrs == {"table": "updates", "rows": 3}
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
