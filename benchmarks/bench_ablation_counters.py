@@ -24,9 +24,14 @@ def run_ablation() -> dict:
     sgx_ms = sgx.total_latency_ms / 100
 
     rote = RoteCluster(f=1)
+    # First increment pays a one-off cold-start quorum read (the client
+    # derives its proposal from replica state, not local memory); the
+    # steady-state cost per seal is what bounds throughput.
+    rote.increment("log")
+    warm_start_ms = rote.total_latency_ms
     for _ in range(100):
         rote.increment("log")
-    rote_ms = rote.total_latency_ms / 100
+    rote_ms = (rote.total_latency_ms - warm_start_ms) / 100
 
     return {
         "sgx_ms": sgx_ms,

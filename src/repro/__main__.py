@@ -26,6 +26,13 @@ Commands
     Compare benchmark result summaries against the committed CI baseline
     (``benchmarks/baselines/ci_baseline.json``) and write ``BENCH_ci.json``.
     Exit status 1 on any regression or missing metric.
+``chaos``
+    Run the seeded chaos-soak scenario suite against the distributed
+    ROTE audit path (``--family``, ``--seeds``, ``--seed-base``,
+    ``--json FILE`` for the per-scenario verdicts,
+    ``--check-determinism`` to re-run and compare event-trace digests).
+    Exit status 1 on any safety/liveness-oracle violation or digest
+    mismatch.
 """
 
 from __future__ import annotations
@@ -188,6 +195,79 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults.chaos import FAMILIES, run_soak
+
+    families = tuple(args.family) if args.family else FAMILIES
+    verdicts = run_soak(
+        families=families,
+        seeds_per_family=args.seeds,
+        seed_base=args.seed_base,
+        f=args.f,
+    )
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_soak(
+            families=families,
+            seeds_per_family=args.seeds,
+            seed_base=args.seed_base,
+            f=args.f,
+        )
+        mismatched = [
+            f"{a.family}/seed-{a.seed}"
+            for a, b in zip(verdicts, rerun)
+            if a.trace_digest != b.trace_digest
+        ]
+        determinism_ok = not mismatched
+
+    failing = [v for v in verdicts if not v.ok]
+    print_experiment(
+        "Chaos soak - distributed ROTE audit path",
+        ["scenario", "verdict", "pairs", "blocked", "probes", "recovered in"],
+        [
+            [
+                f"{v.family}/seed-{v.seed}",
+                "OK" if v.ok else "VIOLATION",
+                v.pairs_ok,
+                v.pairs_blocked,
+                v.stale_probes,
+                v.recovered_in if v.recovered_in is not None else "-",
+            ]
+            for v in verdicts
+        ],
+    )
+    for verdict in failing:
+        for violation in verdict.violations:
+            print(f"  {verdict.family}/seed-{verdict.seed}: {violation}")
+    print(
+        f"{len(verdicts)} scenarios, {len(failing)} with violations"
+        + (
+            ", determinism "
+            + ("OK" if determinism_ok else "BROKEN: " + ", ".join(mismatched))
+            if args.check_determinism
+            else ""
+        )
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "ok": not failing and determinism_ok,
+                    "determinism_checked": bool(args.check_determinism),
+                    "determinism_ok": determinism_ok,
+                    "scenarios": [v.as_dict() for v in verdicts],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"wrote {args.json}")
+    return 0 if not failing and determinism_ok else 1
+
+
 def _cmd_inventory(_args: argparse.Namespace) -> int:
     from repro.bench.functional import table1_inventory
 
@@ -257,6 +337,22 @@ def build_parser() -> argparse.ArgumentParser:
                          default="benchmarks/baselines/ci_baseline.json")
     compare.add_argument("--output", default="BENCH_ci.json")
     compare.set_defaults(func=_cmd_bench_compare)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="chaos-soak the distributed ROTE audit path"
+    )
+    chaos.add_argument("--family", action="append",
+                       help="repeatable; default: all scenario families")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="seeds per family (default 5)")
+    chaos.add_argument("--seed-base", type=int, default=0)
+    chaos.add_argument("--f", type=int, default=1,
+                       help="ROTE fault tolerance (n = 3f + 1 replicas)")
+    chaos.add_argument("--json", metavar="FILE",
+                       help="write per-scenario verdicts as JSON")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="run twice and compare event-trace digests")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -28,6 +28,12 @@ from repro.audit.recovery import (
     recover_log,
 )
 from repro.audit.rote import RoteCluster, RoteNode
+from repro.audit.rote_replica import (
+    CounterAttestation,
+    LieModel,
+    RoteReplica,
+    make_counter_enclave,
+)
 from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
 
 __all__ = [
@@ -47,6 +53,10 @@ __all__ = [
     "recover_log",
     "RoteCluster",
     "RoteNode",
+    "RoteReplica",
+    "CounterAttestation",
+    "LieModel",
+    "make_counter_enclave",
     "SealedLogStorage",
     "make_log_enclave",
 ]

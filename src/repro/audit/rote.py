@@ -2,93 +2,128 @@
 
 SGX's hardware counters are too slow and wear out, so LibSEAL adopts
 ROTE's scheme: for each log update, the enclave contacts ``n = 3f + 1``
-counter nodes (other LibSEAL instances, including itself) to increment and
-retrieve a monotonic counter, tolerating ``f`` malicious/crashed nodes.
+counter nodes to increment and retrieve a monotonic counter, tolerating
+``f`` malicious/crashed nodes. The nodes are
+:class:`~repro.audit.rote_replica.RoteReplica` state machines reached
+only through a :class:`~repro.sim.network.SimNetwork` — messages can be
+delayed, lost, duplicated, reordered or partitioned away, replicas
+crash (losing memory, keeping their sealed state) and restart, and this
+client never touches replica memory.
 
 Protocol as implemented here:
 
-- **increment**: propose ``current + 1`` to every node; a correct node
-  advances its stored value to ``max(stored, proposed)`` and echoes it.
-  The operation succeeds when a quorum of ``2f + 1`` nodes acknowledge the
-  proposed value.
-- **retrieve**: query all nodes; with a quorum of responses, the counter
-  value is the maximum reported by the quorum (a correct node never
-  under-reports after acknowledging an increment, so a stale/rolled-back
-  log claiming an older value is detected).
+- **increment**: the client proposes ``committed + 1`` where
+  ``committed`` is its cached last-committed value for the log — or,
+  on a cold start, the maximum MAC-valid value of a quorum *read*
+  (never a peek into replica state). The proposal is signed under the
+  replica-group key and broadcast; a correct node advances its stored
+  attestation to the maximum and echoes it. The operation succeeds when
+  ``2f + 1`` distinct replicas reply at all: with at most ``f`` liars,
+  that still leaves ``f + 1`` honest nodes holding the value, enough
+  for every future read quorum to intersect one.
+- **retrieve**: query all nodes; with ``2f + 1`` replies, the counter
+  is the maximum over MAC-*valid* attestations (plus the client's own
+  cache). Liars can replay stale values but cannot forge higher ones,
+  so the maximum is exact — a stale/rolled-back log claiming an older
+  value is detected, and no lie can fabricate rollback evidence.
 
-**Availability vs. integrity.** A round that falls short of the quorum is
-retried with bounded exponential backoff (constants from
+**Availability vs. integrity.** A round that falls short of the quorum
+is retried with bounded exponential backoff (constants from
 :mod:`repro.sim.costs`, metered into ``total_latency_ms``): crashed or
-partitioned nodes are an *availability* fault and eventually surface as a
-retryable :class:`~repro.errors.QuorumUnavailableError`.
+partitioned nodes are an *availability* fault and eventually surface as
+a retryable :class:`~repro.errors.QuorumUnavailableError`.
 :class:`~repro.errors.RollbackError` is reserved for genuine integrity
-evidence — a signed log head provably behind the quorum counter (raised by
-``AuditLog.verify``, never here).
+evidence — a signed log head provably behind the quorum counter (raised
+by ``AuditLog.verify``, never here).
 
-Fault injection (crash, equivocation, per-node RPC timeouts, partitions,
-delays) is built in — statically via :meth:`RoteCluster.crash` and
-friends, and dynamically through the ``rote.op`` fault-plan hook — so the
-tolerance bound is testable: ``f`` faults are survived (via retries where
-needed), ``f + 1`` are not.
+Fault injection (crash, lies, per-node RPC timeouts, partitions, delays)
+is built in — statically via :meth:`RoteCluster.crash` and friends, and
+dynamically through the ``rote.op`` fault-plan hook — so the tolerance
+bound is testable: ``f`` faults are survived (via retries where needed),
+``f + 1`` are not.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.audit.rote_replica import (
+    CounterAttestation,
+    CounterReply,
+    IncrementRequest,
+    LieModel,
+    RetrieveRequest,
+    RoteReplica,
+)
 from repro.errors import QuorumUnavailableError, SimulationError
 from repro.faults import hooks as _faults
 from repro.obs import hooks as _obs
+from repro.sgx.sealing import SigningAuthority
 from repro.sim.costs import (
     ROTE_BACKOFF_BASE_S,
     ROTE_BACKOFF_MAX_S,
     ROTE_MAX_RETRIES,
 )
+from repro.sim.network import SimNetwork
 
 ROTE_ROUNDTRIP_MS = 0.18  # intra-cluster RPC round trip (10 Gbps LAN)
 
-
-@dataclass
-class RoteNode:
-    """One counter node: stores per-log counter values."""
-
-    node_id: int
-    crashed: bool = False
-    equivocating: bool = False
-    #: Transient unreachability (injected timeout/partition): the node is
-    #: up but misses this many quorum rounds before answering again.
-    unreachable_rounds: int = 0
-    counters: dict[str, int] = field(default_factory=dict)
-
-    def handle_increment(self, log_id: str, proposed: int) -> int | None:
-        """Advance the stored counter; returns the ack value (None if down)."""
-        if self.crashed:
-            return None
-        if self.equivocating:
-            return max(0, proposed - 2)  # under-acknowledge
-        current = self.counters.get(log_id, 0)
-        self.counters[log_id] = max(current, proposed)
-        return self.counters[log_id]
-
-    def handle_retrieve(self, log_id: str) -> int | None:
-        if self.crashed:
-            return None
-        if self.equivocating:
-            return 0  # claim the log was never written
-        return self.counters.get(log_id, 0)
+#: Old name re-exported for compatibility: counter nodes are replicas now.
+RoteNode = RoteReplica
 
 
 class RoteCluster:
-    """A quorum of counter nodes plus the client-side protocol logic."""
+    """The client side of the replica group plus its membership handle.
 
-    def __init__(self, f: int = 1, max_retries: int = ROTE_MAX_RETRIES):
+    Owns the ``n = 3f + 1`` replicas (constructing them on ``network``),
+    but talks to them exclusively by message passing. ``nodes`` remains
+    the membership list under its historical name.
+    """
+
+    def __init__(
+        self,
+        f: int = 1,
+        max_retries: int = ROTE_MAX_RETRIES,
+        network: SimNetwork | None = None,
+        authority: SigningAuthority | None = None,
+        cluster_id: str = "rote",
+        seed: int = 0,
+    ):
         if f < 0:
             raise SimulationError("f must be non-negative")
         self.f = f
         self.n = 3 * f + 1
         self.quorum = 2 * f + 1
         self.max_retries = max_retries
-        self.nodes = [RoteNode(node_id=i) for i in range(self.n)]
+        self.network = network if network is not None else SimNetwork(seed=seed)
+        self.authority = (
+            authority
+            if authority is not None
+            else SigningAuthority(f"rote-authority-{cluster_id}")
+        )
+        self.cluster_id = cluster_id
+        self.client_address = f"{cluster_id}/client"
+        self.group_key = self.authority.derive_group_key(cluster_id.encode())
+        self.nodes = [
+            RoteReplica(
+                node_id=i,
+                network=self.network,
+                authority=self.authority,
+                cluster_id=cluster_id,
+            )
+            for i in range(self.n)
+        ]
+        for replica in self.nodes:
+            replica.peers = tuple(
+                peer.address for peer in self.nodes if peer is not replica
+            )
+        self.network.register(self.client_address, self._on_message)
+        self._op_seq = 0
+        self._inbox: dict[int, dict[int, CounterReply]] = {}
+        #: Last value this client committed per log — the increment
+        #: proposal base in the common case (a cold client derives it
+        #: from a quorum read instead).
+        self._committed: dict[str, int] = {}
         self.increments = 0
         self.retrieves = 0
         self.retry_rounds = 0
@@ -96,18 +131,35 @@ class RoteCluster:
         self.backoff_ms_total = 0.0
         self.total_latency_ms = 0.0
 
+    @property
+    def replicas(self) -> list[RoteReplica]:
+        return self.nodes
+
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
 
     def crash(self, node_id: int) -> None:
-        self.nodes[node_id].crashed = True
+        self.nodes[node_id].crash()
 
     def recover(self, node_id: int) -> None:
-        self.nodes[node_id].crashed = False
+        """Restart a crashed replica: unseal, rejoin, catch up.
 
-    def equivocate(self, node_id: int) -> None:
-        self.nodes[node_id].equivocating = True
+        The catch-up exchange is allowed to land before the next quorum
+        operation by draining the network.
+        """
+        self.nodes[node_id].restart()
+        self.network.settle()
+
+    def equivocate(self, node_id: int, shape: str = "stale_echo", seed: int | None = None) -> None:
+        """Turn a replica Byzantine with a seeded lie model."""
+        self.set_lie(
+            node_id,
+            LieModel(shape, seed=seed if seed is not None else node_id),
+        )
+
+    def set_lie(self, node_id: int, lie: LieModel | None) -> None:
+        self.nodes[node_id].lie = lie
 
     def delay(self, node_id: int, rounds: int = 1) -> None:
         """Make a node miss the next ``rounds`` quorum rounds (RPC timeout)."""
@@ -116,32 +168,76 @@ class RoteCluster:
     def _apply_plan_faults(self) -> None:
         """Apply any fault-plan events due at this operation."""
         for event in _faults.check("rote.op"):
-            kind, params = event.kind, event.params
-            if kind == "node_crash":
-                self.crash(params["node"])
-            elif kind == "node_recover":
-                self.recover(params["node"])
-            elif kind == "equivocate":
-                self.equivocate(params["node"])
-            elif kind == "timeout":
-                self.delay(params["node"], int(params.get("rounds", 1)))
-            elif kind == "partition":
-                for node_id in params.get("nodes", ()):
-                    self.delay(node_id, int(params.get("rounds", 1)))
-            elif kind == "delay":
-                self.total_latency_ms += float(params.get("ms", 1.0))
+            self._apply_event(event)
+
+    def _apply_event(self, event) -> None:
+        kind, params = event.kind, event.params
+        if kind == "node_crash":
+            self.crash(params["node"])
+        elif kind == "node_recover":
+            self.recover(params["node"])
+        elif kind == "equivocate":
+            self.equivocate(
+                params["node"],
+                shape=params.get("shape", "stale_echo"),
+                seed=params.get("seed"),
+            )
+        elif kind == "timeout":
+            self.delay(params["node"], int(params.get("rounds", 1)))
+        elif kind == "partition":
+            for node_id in params.get("nodes", ()):
+                self.delay(node_id, int(params.get("rounds", 1)))
+        elif kind == "delay":
+            self.total_latency_ms += float(params.get("ms", 1.0))
 
     # ------------------------------------------------------------------
-    # Protocol
+    # Messaging
     # ------------------------------------------------------------------
 
-    def _rpc(self, node: RoteNode, handler, *args) -> int | None:
-        """One node RPC; consumes one unreachable round if the node is slow."""
-        if node.unreachable_rounds > 0:
-            node.unreachable_rounds -= 1
-            self.rpc_timeouts += 1
-            return None
-        return handler(*args)
+    def _on_message(self, message, src: str) -> None:
+        if not isinstance(message, CounterReply):
+            return
+        pending = self._inbox.get(message.op_id)
+        if pending is None:
+            return  # a late reply for a round that already timed out
+        pending.setdefault(message.node_id, message)  # duplicates ignored
+
+    def _round(self, build: Callable[[int], object]) -> dict[int, CounterReply]:
+        """One broadcast round: send to all replicas, collect replies.
+
+        Steps the network up to its worst-case round-trip deadline;
+        replicas that have not answered by then are timeouts for this
+        round (their late replies, if any, are discarded by ``op_id``).
+
+        Fault-plan events scheduled at ``rote.round`` fire *between*
+        rounds of one operation — a ``node_crash`` here is a replica
+        dying mid-increment, after earlier rounds already reached it.
+        """
+        for event in _faults.check("rote.round"):
+            self._apply_event(event)
+        self.total_latency_ms += ROTE_ROUNDTRIP_MS
+        self._op_seq += 1
+        op_id = self._op_seq
+        self._inbox[op_id] = {}
+        message = build(op_id)
+        for replica in self.nodes:
+            self.network.send(self.client_address, replica.address, message)
+        for _ in range(self.network.round_trip_steps()):
+            self.network.step()
+            if len(self._inbox[op_id]) >= self.n:
+                break
+        replies = self._inbox.pop(op_id)
+        self.rpc_timeouts += self.n - len(replies)
+        return replies
+
+    def _max_valid(self, replies: dict[int, CounterReply]) -> int:
+        """Maximum counter value across MAC-valid attestations."""
+        best = 0
+        for reply in replies.values():
+            att = reply.attestation
+            if att is not None and att.verify(self.group_key) and att.value > best:
+                best = att.value
+        return best
 
     def _backoff(self, attempt: int) -> None:
         """Meter one bounded-exponential backoff sleep before a retry."""
@@ -177,6 +273,10 @@ class RoteCluster:
             if retries:
                 obs_span.set_attr("retries", retries)
 
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
     def increment(self, log_id: str) -> int:
         """Advance the counter for ``log_id``; returns the new value.
 
@@ -189,25 +289,43 @@ class RoteCluster:
         before = (self.total_latency_ms, self.retry_rounds, self.rpc_timeouts)
         with _obs.span("rote.increment") as obs_span:
             self._apply_plan_faults()
-            proposed = self._current_maximum(log_id) + 1
-            acks = 0
+            committed = self._committed.get(log_id)
+            proposed = committed + 1 if committed is not None else None
+            replied = 0
             for attempt in range(self.max_retries + 1):
                 if attempt:
                     self._backoff(attempt - 1)
-                _faults.check("rote.round")
-                self.total_latency_ms += ROTE_ROUNDTRIP_MS
-                acks = 0
-                for node in self.nodes:
-                    reply = self._rpc(node, node.handle_increment, log_id, proposed)
-                    if reply is not None and reply >= proposed:
-                        acks += 1
-                if acks >= self.quorum:
+                if proposed is None:
+                    # Cold start: derive the proposal from a quorum read.
+                    replies = self._round(lambda op: RetrieveRequest(op, log_id))
+                    replied = len(replies)
+                    if replied < self.quorum:
+                        continue
+                    proposed = max(
+                        self._max_valid(replies), self._committed.get(log_id, 0)
+                    ) + 1
+                attestation = CounterAttestation.sign(self.group_key, log_id, proposed)
+                replies = self._round(
+                    lambda op: IncrementRequest(op, log_id, attestation)
+                )
+                replied = len(replies)
+                higher = self._max_valid(replies)
+                if higher > proposed:
+                    # Someone holds a value we never committed (e.g. a
+                    # catch-up from a burned proposal): adopt and re-derive.
+                    self._committed[log_id] = higher
+                    proposed = None
+                    continue
+                if replied >= self.quorum:
+                    # 2f+1 repliers minus at most f liars leaves f+1
+                    # honest storers — every future read quorum meets one.
+                    self._committed[log_id] = proposed
                     self._obs_record("increment", "ok", before, obs_span)
                     return proposed
             self._obs_record("increment", "unavailable", before, obs_span)
             raise QuorumUnavailableError(
                 f"ROTE increment failed after {self.max_retries} retries: "
-                f"{acks}/{self.n} acks, quorum {self.quorum}"
+                f"{replied}/{self.n} replies, quorum {self.quorum}"
             )
 
     def retrieve(self, log_id: str) -> int:
@@ -216,29 +334,21 @@ class RoteCluster:
         before = (self.total_latency_ms, self.retry_rounds, self.rpc_timeouts)
         with _obs.span("rote.retrieve") as obs_span:
             self._apply_plan_faults()
-            replies: list[int] = []
+            replied = 0
             for attempt in range(self.max_retries + 1):
                 if attempt:
                     self._backoff(attempt - 1)
-                _faults.check("rote.round")
-                self.total_latency_ms += ROTE_ROUNDTRIP_MS
-                replies = [
-                    value
-                    for node in self.nodes
-                    if (value := self._rpc(node, node.handle_retrieve, log_id))
-                    is not None
-                ]
-                if len(replies) >= self.quorum:
+                replies = self._round(lambda op: RetrieveRequest(op, log_id))
+                replied = len(replies)
+                if replied >= self.quorum:
+                    value = max(
+                        self._max_valid(replies), self._committed.get(log_id, 0)
+                    )
+                    self._committed[log_id] = value
                     self._obs_record("retrieve", "ok", before, obs_span)
-                    return max(replies)
+                    return value
             self._obs_record("retrieve", "unavailable", before, obs_span)
             raise QuorumUnavailableError(
                 f"ROTE retrieve failed after {self.max_retries} retries: "
-                f"{len(replies)}/{self.n} replies, quorum {self.quorum}"
+                f"{replied}/{self.n} replies, quorum {self.quorum}"
             )
-
-    def _current_maximum(self, log_id: str) -> int:
-        values = [
-            node.counters.get(log_id, 0) for node in self.nodes if not node.crashed
-        ]
-        return max(values, default=0)

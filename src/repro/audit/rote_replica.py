@@ -1,0 +1,391 @@
+"""ROTE counter replicas: sealed state machines on the simulated network.
+
+Each :class:`RoteReplica` is one counter node of the §5.1 group, modelled
+the way ReplicaTEE says cloud SGX replication actually behaves: the node
+is an enclave that keeps its per-log counters in memory, seals them to
+untrusted disk on every accepted update (MRSIGNER policy, so a restarted
+enclave of the same authority can unseal them), and on restart rejoins by
+unsealing + broadcasting a catch-up read to its peers. A crash wipes the
+in-memory state and kills the enclave; only the sealed blob survives.
+
+Counter values travel as :class:`CounterAttestation`\\ s — the value plus
+an HMAC under the replica group's shared key (provisioned via the signing
+authority, standing in for the attestation-established group secret of
+ROTE). The client signs each proposal; replicas verify before storing and
+echo the stored attestation back. A Byzantine replica can therefore
+*replay* any attestation it has ever seen (under-report, stale echo,
+split-brain) but cannot *forge* a higher value — which is why a lying
+minority can never manufacture rollback evidence.
+
+Byzantine behaviour is pluggable through :class:`LieModel`: seeded,
+deterministic lie shapes replacing the single hardcoded equivocation of
+the old in-process ``RoteNode``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.hashing import constant_time_equal, hmac_sha256, sha256
+from repro.errors import SimulationError
+from repro.obs import hooks as _obs
+from repro.sgx.enclave import Enclave, EnclaveConfig
+from repro.sgx.sealing import KeyPolicy, SealedBlob, SigningAuthority
+
+if TYPE_CHECKING:
+    from repro.sim.network import SimNetwork
+
+#: Attestations kept per log for lie models to replay (first + recent).
+HISTORY_LIMIT = 8
+
+COUNTER_STATE_AD = b"rote-counter-state"
+
+
+# ----------------------------------------------------------------------
+# Attested counter values
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CounterAttestation:
+    """A counter value bound to its log under the replica-group key."""
+
+    log_id: str
+    value: int
+    mac: bytes
+
+    @staticmethod
+    def _payload(log_id: str, value: int) -> bytes:
+        return b"rote-counter\x00" + log_id.encode() + b"\x00" + value.to_bytes(8, "big")
+
+    @classmethod
+    def sign(cls, group_key: bytes, log_id: str, value: int) -> "CounterAttestation":
+        return cls(log_id, value, hmac_sha256(group_key, cls._payload(log_id, value)))
+
+    def verify(self, group_key: bytes) -> bool:
+        if self.value < 0 or self.value >= 1 << 63:
+            return False
+        expected = hmac_sha256(group_key, self._payload(self.log_id, self.value))
+        return constant_time_equal(self.mac, expected)
+
+    # JSON shape used inside sealed replica state.
+    def to_json(self) -> dict:
+        return {"log_id": self.log_id, "value": self.value, "mac": self.mac.hex()}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CounterAttestation":
+        return cls(str(obj["log_id"]), int(obj["value"]), bytes.fromhex(obj["mac"]))
+
+
+# ----------------------------------------------------------------------
+# Wire messages
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IncrementRequest:
+    op_id: int
+    log_id: str
+    attestation: CounterAttestation
+
+
+@dataclass(frozen=True)
+class RetrieveRequest:
+    op_id: int
+    log_id: str
+
+
+@dataclass(frozen=True)
+class CounterReply:
+    op_id: int
+    node_id: int
+    log_id: str
+    value: int
+    attestation: CounterAttestation | None
+    op: str  # "increment" | "retrieve"
+
+
+@dataclass(frozen=True)
+class CatchupRequest:
+    op_id: int
+
+
+@dataclass(frozen=True)
+class CatchupReply:
+    op_id: int
+    node_id: int
+    attestations: tuple[CounterAttestation, ...]
+
+
+# ----------------------------------------------------------------------
+# Byzantine lie models
+# ----------------------------------------------------------------------
+
+LIE_SHAPES = ("under_report", "stale_echo", "split_brain", "forge")
+
+
+class LieModel:
+    """Seeded, deterministic Byzantine reply shaping.
+
+    Shapes:
+
+    - ``under_report``: replay a random *older* attestation for the log
+      (MAC-valid but stale) — the classic rollback-assist lie;
+    - ``stale_echo``: always echo the first attestation ever seen (or
+      claim the log was never written);
+    - ``split_brain``: answer honestly to one set of requesters and
+      stale to the rest, keyed deterministically per requester;
+    - ``forge``: fabricate a higher value with a garbage MAC — exercises
+      the client's verification path (a forged value must never count).
+
+    ``drop_writes`` additionally makes the node discard increments
+    instead of storing them, so it contributes nothing to durability.
+    """
+
+    def __init__(self, shape: str, seed: int = 0, drop_writes: bool = True):
+        if shape not in LIE_SHAPES:
+            raise SimulationError(f"unknown lie shape {shape!r}; one of {LIE_SHAPES}")
+        self.shape = shape
+        self.seed = seed
+        self.drop_writes = drop_writes
+        self._rng = random.Random(f"rote-lie-{shape}-{seed}")
+
+    def __repr__(self) -> str:  # stable for event traces
+        return f"LieModel({self.shape}, seed={self.seed}, drop_writes={self.drop_writes})"
+
+    def shape_reply(
+        self,
+        log_id: str,
+        current: CounterAttestation | None,
+        history: list[CounterAttestation],
+        requester: str,
+    ) -> CounterAttestation | None:
+        """Return the (possibly dishonest) attestation to echo."""
+        if self.shape == "under_report":
+            stale = history[:-1]
+            return self._rng.choice(stale) if stale else None
+        if self.shape == "stale_echo":
+            return history[0] if history else None
+        if self.shape == "split_brain":
+            persona = sha256(f"{self.seed}|{requester}".encode())[0] & 1
+            if persona == 0:
+                return current
+            return history[0] if history else None
+        # forge: a higher value under an invalid MAC.
+        value = (current.value if current else 0) + self._rng.randint(1, 5)
+        return CounterAttestation(log_id, value, self._rng.randbytes(32))
+
+
+# ----------------------------------------------------------------------
+# The replica
+# ----------------------------------------------------------------------
+
+
+def make_counter_enclave(
+    authority: SigningAuthority, code_version: str = "rote-counter-1.0"
+) -> Enclave:
+    """Build the small enclave sealing/unsealing replica counter state."""
+    enclave = Enclave(
+        EnclaveConfig(code_identity=code_version, signer_name=authority.name)
+    )
+
+    def ecall_seal_counters(plaintext: bytes) -> bytes:
+        blob = authority.seal(
+            enclave, plaintext, policy=KeyPolicy.MRSIGNER,
+            associated_data=COUNTER_STATE_AD,
+        )
+        return blob.encode()
+
+    def ecall_unseal_counters(encoded: bytes) -> bytes:
+        blob = SealedBlob.decode(encoded)
+        return authority.unseal(enclave, blob, associated_data=COUNTER_STATE_AD)
+
+    enclave.interface.register_ecall("seal_counters", ecall_seal_counters)
+    enclave.interface.register_ecall("unseal_counters", ecall_unseal_counters)
+    enclave.interface.seal_interface()
+    return enclave
+
+
+class RoteReplica:
+    """One counter node: enclave + sealed per-log counters + lifecycle.
+
+    The replica is purely message-driven: it reacts to
+    :class:`IncrementRequest` / :class:`RetrieveRequest` /
+    :class:`CatchupRequest` deliveries from the network and never shares
+    memory with the client. ``counters`` / ``equivocating`` exist for
+    backward compatibility with the old in-process ``RoteNode`` surface.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        network: "SimNetwork",
+        authority: SigningAuthority,
+        cluster_id: str = "rote",
+        code_version: str = "rote-counter-1.0",
+    ):
+        self.node_id = node_id
+        self.network = network
+        self.authority = authority
+        self.cluster_id = cluster_id
+        self.code_version = code_version
+        self.address = f"{cluster_id}/replica-{node_id}"
+        self.peers: tuple[str, ...] = ()
+        self.group_key = authority.derive_group_key(cluster_id.encode())
+        self.enclave = make_counter_enclave(authority, code_version)
+        self.crashed = False
+        self.lie: LieModel | None = None
+        #: Transient unreachability: the node drops this many further
+        #: request messages before answering again (injected timeouts).
+        self.unreachable_rounds = 0
+        self._state: dict[str, CounterAttestation] = {}
+        self._history: dict[str, list[CounterAttestation]] = {}
+        #: Sealed counter state as it sits on untrusted disk; survives
+        #: crashes, unlike everything above.
+        self.sealed_state: bytes | None = None
+        self.restarts = 0
+        self.writes_accepted = 0
+        self.catchups_served = 0
+        self.catchup_merges = 0
+        network.register(self.address, self._on_message)
+
+    # -- compatibility surface ------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Per-log counter values as plain ints (old ``RoteNode`` shape)."""
+        return {log_id: att.value for log_id, att in self._state.items()}
+
+    @property
+    def equivocating(self) -> bool:
+        return self.lie is not None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: memory and enclave gone, sealed blob stays."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._state = {}
+        self._history = {}
+        self.enclave.destroy()
+        self._note("rote_replica_crashes_total")
+
+    def restart(self) -> None:
+        """Rebuild the enclave, unseal state, rejoin with a catch-up read."""
+        if not self.crashed:
+            return
+        self.enclave = make_counter_enclave(self.authority, self.code_version)
+        self.crashed = False
+        self.restarts += 1
+        if self.sealed_state is not None:
+            raw = self.enclave.interface.ecall("unseal_counters", self.sealed_state)
+            for obj in json.loads(raw.decode()):
+                att = CounterAttestation.from_json(obj)
+                if att.verify(self.group_key):
+                    self._accept(att, persist=False)
+        for peer in self.peers:
+            self.network.send(self.address, peer, CatchupRequest(op_id=self.restarts))
+        self._note("rote_replica_restarts_total")
+
+    # -- message handling ------------------------------------------------
+
+    def _on_message(self, message, src: str) -> None:
+        if self.crashed:
+            return
+        if isinstance(message, (IncrementRequest, RetrieveRequest)):
+            if self.unreachable_rounds > 0:
+                self.unreachable_rounds -= 1
+                return
+        if isinstance(message, IncrementRequest):
+            self._handle_increment(message, src)
+        elif isinstance(message, RetrieveRequest):
+            self._handle_retrieve(message, src)
+        elif isinstance(message, CatchupRequest):
+            self._handle_catchup(message, src)
+        elif isinstance(message, CatchupReply):
+            self._merge_catchup(message)
+
+    def _handle_increment(self, message: IncrementRequest, src: str) -> None:
+        att = message.attestation
+        if att.verify(self.group_key) and not (self.lie and self.lie.drop_writes):
+            current = self._state.get(att.log_id)
+            if current is None or att.value > current.value:
+                self._accept(att)
+        self._reply(message.op_id, att.log_id, src, op="increment")
+
+    def _handle_retrieve(self, message: RetrieveRequest, src: str) -> None:
+        self._reply(message.op_id, message.log_id, src, op="retrieve")
+
+    def _handle_catchup(self, message: CatchupRequest, src: str) -> None:
+        if self.lie is not None:
+            return  # a Byzantine node does not help rejoiners
+        self.catchups_served += 1
+        self.network.send(
+            self.address,
+            src,
+            CatchupReply(
+                op_id=message.op_id,
+                node_id=self.node_id,
+                attestations=tuple(
+                    self._state[log_id] for log_id in sorted(self._state)
+                ),
+            ),
+        )
+
+    def _merge_catchup(self, message: CatchupReply) -> None:
+        for att in message.attestations:
+            if not att.verify(self.group_key):
+                continue
+            current = self._state.get(att.log_id)
+            if current is None or att.value > current.value:
+                self._accept(att)
+                self.catchup_merges += 1
+
+    def _reply(self, op_id: int, log_id: str, dst: str, op: str) -> None:
+        att = self._state.get(log_id)
+        if self.lie is not None:
+            att = self.lie.shape_reply(
+                log_id, att, self._history.get(log_id, []), requester=dst
+            )
+        self.network.send(
+            self.address,
+            dst,
+            CounterReply(
+                op_id=op_id,
+                node_id=self.node_id,
+                log_id=log_id,
+                value=att.value if att else 0,
+                attestation=att,
+                op=op,
+            ),
+        )
+
+    # -- state -----------------------------------------------------------
+
+    def _accept(self, att: CounterAttestation, persist: bool = True) -> None:
+        self._state[att.log_id] = att
+        history = self._history.setdefault(att.log_id, [])
+        history.append(att)
+        if len(history) > HISTORY_LIMIT:
+            # Keep the oldest (stale-echo fodder) plus the recent tail.
+            del history[1 : len(history) - (HISTORY_LIMIT - 1)]
+        self.writes_accepted += 1
+        if persist:
+            self._persist()
+
+    def _persist(self) -> None:
+        payload = json.dumps(
+            [self._state[log_id].to_json() for log_id in sorted(self._state)]
+        ).encode()
+        self.sealed_state = self.enclave.interface.ecall("seal_counters", payload)
+
+    def _note(self, name: str) -> None:
+        if _obs.ON:
+            _obs.active().metrics.counter(
+                name, "ROTE replica lifecycle events", node=str(self.node_id)
+            ).inc()

@@ -253,6 +253,10 @@ class LibSeal:
             return False
         if self.degraded.active:
             self.degraded = DegradedState()  # healed: the seal covered all
+            if _obs.ON:
+                _obs.active().metrics.gauge(
+                    "libseal_degraded", "1 while audit sealing is degraded"
+                ).set(0)
         return True
 
     def _enter_degraded(self, reason: str, error: Exception) -> None:
@@ -265,6 +269,9 @@ class LibSeal:
                     "Entries into degraded audit mode",
                     reason=reason,
                 ).inc()
+                _obs.active().metrics.gauge(
+                    "libseal_degraded", "1 while audit sealing is degraded"
+                ).set(1)
         self.degraded.reason = reason
         self.degraded.last_error = error
 
@@ -369,6 +376,26 @@ class LibSeal:
         """Full log verification (chain, signature, freshness)."""
         key = public_key if public_key is not None else self.signing_key.public_key()
         self.audit_log.verify(key)
+
+    def audit_status(self) -> dict:
+        """Operator-facing audit-health snapshot.
+
+        The degraded-mode handoff in one structure: whether sealing is
+        degraded (and why), how much audit state is exposed (unsealed
+        pairs vs the block bound), and where the certified log head
+        stands. The chaos oracle asserts its invariants against exactly
+        this view, so what operators see is what the checker checks.
+        """
+        head = self.audit_log.signed_head
+        return {
+            "degraded": self.degraded.active,
+            "reason": self.degraded.reason,
+            "unsealed_pairs": self.degraded.unsealed_pairs,
+            "max_unsealed_pairs": self.config.max_unsealed_pairs,
+            "pairs_logged": self.pairs_logged,
+            "entries": len(self.audit_log.chain),
+            "head_counter": head.counter_value if head is not None else None,
+        }
 
     @property
     def log_size_bytes(self) -> int:

@@ -1,0 +1,636 @@
+"""Chaos soak for the distributed ROTE audit path (`python -m repro chaos`).
+
+Seeded scenario scripts drive a real :class:`~repro.core.LibSeal` (with
+its :class:`~repro.audit.log.AuditLog` and a message-passing
+:class:`~repro.audit.rote.RoteCluster` on a
+:class:`~repro.sim.network.SimNetwork`) through the failure modes a
+production deployment faces — majority/minority partitions, replica
+crashes and restarts (including mid-increment, via the fault plane),
+Byzantine repliers with configurable lie shapes, and message storms —
+while a safety/liveness oracle checks after every step that:
+
+- **counter monotonicity**: the signed log head's counter value never
+  moves backwards;
+- **no stale head accepted**: a retained earlier log snapshot, replayed
+  through ``AuditLog.load``, is rejected with ``RollbackError`` whenever
+  the quorum is reachable;
+- **error discipline**: ``RollbackError``/``IntegrityError`` appear only
+  on genuine integrity evidence (never injected here, so never expected);
+  availability faults surface as ``QuorumUnavailableError`` degradation
+  or an explicit ``AuditBufferFullError`` block — and only while the
+  quorum is actually unreachable (or a storm is raging);
+- **bounded liveness**: after the last disruption heals, sealing
+  recovers within :data:`LIVENESS_BOUND` reseal attempts and the final
+  full verification passes with the live counter equal to the head.
+
+Everything is deterministic: the scenario script, the network, the lie
+models and the workload all derive from the scenario seed, and each run
+emits an event trace whose SHA-256 digest must be identical across runs
+of the same seed — the acceptance gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.audit.log import AuditLog
+from repro.audit.persistence import InMemoryStorage
+from repro.audit.rote import RoteCluster
+from repro.audit.rote_replica import LIE_SHAPES, LieModel
+from repro.core.libseal import LibSeal, LibSealConfig
+from repro.crypto.hashing import sha256_hex
+from repro.errors import (
+    AuditBufferFullError,
+    IntegrityError,
+    QuorumUnavailableError,
+    RollbackError,
+    SimulationError,
+)
+from repro.faults import hooks as _faults
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim.network import SimNetwork
+from repro.ssm.messaging import MessagingSSM
+from repro.workloads.messaging_traffic import MessagingWorkload
+
+FAMILIES = (
+    "partition-minority",
+    "partition-majority",
+    "restart-storm",
+    "restart-mid-increment",
+    "byzantine",
+    "message-storm",
+    "kitchen-sink",
+)
+
+#: Reseal attempts allowed after every fault healed before the oracle
+#: calls the run a liveness violation.
+LIVENESS_BOUND = 4
+
+#: Degraded-buffer bound used by chaos runs: small, so partition-majority
+#: scenarios actually reach the explicit pair-blocking regime.
+CHAOS_MAX_UNSEALED = 8
+
+#: Snapshots retained per run as stale-head probe material.
+SNAPSHOT_LIMIT = 4
+
+
+@dataclass
+class ChaosScenario:
+    """One seeded scenario: a family, its script, and its knobs."""
+
+    family: str
+    seed: int
+    f: int = 1
+    actions: tuple = ()
+    plan: FaultPlan | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}/seed-{self.seed}"
+
+
+@dataclass
+class ScenarioVerdict:
+    """The oracle's judgement of one scenario run."""
+
+    family: str
+    seed: int
+    ok: bool
+    violations: list[str]
+    pairs_ok: int
+    pairs_blocked: int
+    stale_probes: int
+    recovered_in: int | None
+    head_counter: int
+    trace_digest: str
+    network: dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": f"{self.family}/seed-{self.seed}",
+            "family": self.family,
+            "seed": self.seed,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "pairs_ok": self.pairs_ok,
+            "pairs_blocked": self.pairs_blocked,
+            "stale_probes": self.stale_probes,
+            "recovered_in": self.recovered_in,
+            "head_counter": self.head_counter,
+            "trace_digest": self.trace_digest,
+            "network": dict(self.network),
+        }
+
+
+# ----------------------------------------------------------------------
+# Scenario scripts
+# ----------------------------------------------------------------------
+#
+# Actions are plain tuples interpreted by the harness:
+#   ("pairs", k)                      drive k request/response pairs
+#   ("partition", nodes)              cut `nodes` away from client+rest
+#   ("heal",)                         heal the partition
+#   ("crash", i) / ("restart", i)     replica lifecycle
+#   ("lie", i, shape) / ("honest", i) Byzantine toggling
+#   ("storm_on", loss, dup, reorder) / ("storm_off",)
+#   ("reseal",)                       drain + retry sealing (bounded)
+#   ("probe_stale",)                  replay an old snapshot, expect reject
+#   ("verify",)                       full log verification (healthy only)
+
+
+def _rng(family: str, seed: int) -> random.Random:
+    return random.Random(f"chaos-{family}-{seed}")
+
+
+def _closing(rng: random.Random) -> list:
+    """Common tail: recover, prove liveness and freshness."""
+    return [
+        ("reseal",),
+        ("pairs", rng.randint(2, 4)),
+        ("probe_stale",),
+        ("verify",),
+    ]
+
+
+def _script_partition_minority(rng: random.Random, f: int, n: int) -> list:
+    cut = tuple(sorted(rng.sample(range(n), k=f)))
+    return [
+        ("pairs", rng.randint(3, 5)),
+        ("partition", cut),
+        ("pairs", rng.randint(4, 6)),
+        ("probe_stale",),
+        ("heal",),
+        *_closing(rng),
+    ]
+
+
+def _script_partition_majority(rng: random.Random, f: int, n: int) -> list:
+    keep = rng.sample(range(n), k=f)
+    cut = tuple(sorted(set(range(n)) - set(keep)))
+    return [
+        ("pairs", rng.randint(3, 5)),
+        ("partition", cut),
+        # Enough pairs to exhaust the degraded buffer and hit the
+        # explicit AuditBufferFullError blocking regime.
+        ("pairs", CHAOS_MAX_UNSEALED + rng.randint(3, 5)),
+        ("probe_stale",),
+        ("heal",),
+        *_closing(rng),
+    ]
+
+
+def _script_restart_storm(rng: random.Random, f: int, n: int) -> list:
+    actions: list = [("pairs", rng.randint(2, 4))]
+    for victim in rng.sample(range(n), k=min(3, n)):
+        actions += [
+            ("crash", victim),
+            ("pairs", rng.randint(2, 4)),
+            ("restart", victim),
+            ("pairs", rng.randint(1, 3)),
+        ]
+    actions += [("probe_stale",), *_closing(rng)]
+    return actions
+
+
+def _script_restart_mid_increment(rng: random.Random, f: int, n: int) -> list:
+    # The crash/recover pair is scheduled on the rote.round fault site
+    # (see _build_plan), firing between quorum rounds of one operation.
+    return [
+        ("pairs", rng.randint(6, 9)),
+        ("probe_stale",),
+        ("pairs", rng.randint(3, 5)),
+        *_closing(rng),
+    ]
+
+
+def _script_byzantine(rng: random.Random, f: int, n: int) -> list:
+    liars = rng.sample(range(n), k=f)
+    shapes = [rng.choice(LIE_SHAPES) for _ in liars]
+    actions: list = [("pairs", rng.randint(2, 4))]
+    actions += [("lie", liar, shape) for liar, shape in zip(liars, shapes)]
+    actions += [
+        ("pairs", rng.randint(4, 6)),
+        ("probe_stale",),
+        # Change the lie mid-run: a different adversary, same replicas.
+        *[("lie", liar, rng.choice(LIE_SHAPES)) for liar in liars],
+        ("pairs", rng.randint(3, 5)),
+        *[("honest", liar) for liar in liars],
+        *_closing(rng),
+    ]
+    return actions
+
+
+def _script_message_storm(rng: random.Random, f: int, n: int) -> list:
+    return [
+        ("pairs", rng.randint(2, 4)),
+        ("storm_on", round(rng.uniform(0.15, 0.3), 2),
+         round(rng.uniform(0.1, 0.25), 2), round(rng.uniform(0.2, 0.35), 2)),
+        ("pairs", rng.randint(5, 8)),
+        ("storm_off",),
+        ("probe_stale",),
+        *_closing(rng),
+    ]
+
+
+def _script_kitchen_sink(rng: random.Random, f: int, n: int) -> list:
+    liar = rng.randrange(n)
+    victim = rng.choice([i for i in range(n) if i != liar])
+    cut = (rng.choice([i for i in range(n) if i not in (liar, victim)]),)
+    return [
+        ("pairs", rng.randint(2, 3)),
+        ("lie", liar, rng.choice(LIE_SHAPES)),
+        ("pairs", rng.randint(2, 3)),
+        ("crash", victim),
+        ("pairs", rng.randint(1, 2)),
+        ("restart", victim),
+        ("partition", cut),
+        ("pairs", rng.randint(2, 4)),
+        ("heal",),
+        ("storm_on", 0.2, 0.15, 0.25),
+        ("pairs", rng.randint(2, 4)),
+        ("storm_off",),
+        ("probe_stale",),
+        ("honest", liar),
+        *_closing(rng),
+    ]
+
+
+_BUILDERS = {
+    "partition-minority": _script_partition_minority,
+    "partition-majority": _script_partition_majority,
+    "restart-storm": _script_restart_storm,
+    "restart-mid-increment": _script_restart_mid_increment,
+    "byzantine": _script_byzantine,
+    "message-storm": _script_message_storm,
+    "kitchen-sink": _script_kitchen_sink,
+}
+
+
+def _build_plan(family: str, rng: random.Random, f: int, n: int) -> FaultPlan | None:
+    if family != "restart-mid-increment":
+        return None
+    victim = rng.randrange(n)
+    # Visits are counted per quorum round, so both events land inside
+    # the first batch of pairs: the crash fires between rounds of a
+    # live operation, the restart a couple of rounds later.
+    at = rng.randint(2, 5)
+    return FaultPlan(
+        [
+            FaultEvent("rote.round", "node_crash", at=at,
+                       params={"node": victim}),
+            FaultEvent("rote.round", "node_recover",
+                       at=at + rng.randint(1, 2), params={"node": victim}),
+        ],
+        seed=rng.randint(0, 2**31),
+        scenario=family,
+    )
+
+
+def build_scenario(family: str, seed: int, f: int = 1) -> ChaosScenario:
+    if family not in _BUILDERS:
+        raise SimulationError(f"unknown chaos family {family!r}; one of {FAMILIES}")
+    rng = _rng(family, seed)
+    n = 3 * f + 1
+    actions = tuple(_BUILDERS[family](rng, f, n))
+    plan = _build_plan(family, rng, f, n)
+    return ChaosScenario(family=family, seed=seed, f=f, actions=actions, plan=plan)
+
+
+# ----------------------------------------------------------------------
+# The harness + oracle
+# ----------------------------------------------------------------------
+
+
+class ChaosHarness:
+    """Runs one scenario and judges it after every step."""
+
+    PARTITION_NAME = "wan-split"
+
+    def __init__(self, scenario: ChaosScenario):
+        self.scenario = scenario
+        self.network = SimNetwork(
+            seed=scenario.seed, latency_steps=1, jitter_steps=1
+        )
+        self.cluster = RoteCluster(
+            f=scenario.f,
+            network=self.network,
+            cluster_id="chaos",
+            seed=scenario.seed,
+        )
+        self.config = LibSealConfig(
+            flush_each_pair=True,
+            rote_f=scenario.f,
+            log_id=f"chaos-{scenario.family}-{scenario.seed}",
+            max_unsealed_pairs=CHAOS_MAX_UNSEALED,
+        )
+        self.libseal = LibSeal(
+            MessagingSSM(),
+            config=self.config,
+            rote=self.cluster,
+            storage=InMemoryStorage(),
+        )
+        # Posts only (fetch_ratio=0): a pair blocked by the audit buffer
+        # still went through the service, and fetch-driven invariants
+        # would then flag that divergence as a service violation — real,
+        # but not the failure class this soak injects.
+        self.workload = MessagingWorkload(
+            self.libseal, channels=1, members=2, fetch_ratio=0.0,
+            seed=scenario.seed,
+        )
+        self.trace: list = []
+        self.violations: list[str] = []
+        self.crashed: set[int] = set()
+        self.partitioned: set[int] = set()
+        self.storm = False
+        self.pairs_ok = 0
+        self.pairs_blocked = 0
+        self.stale_probes = 0
+        self.recovered_in: int | None = None
+        self._head_max = 0
+        self._snapshots: list[tuple[int, bytes]] = []
+
+    # -- oracle helpers --------------------------------------------------
+
+    def _note(self, *event) -> None:
+        self.trace.append(tuple(event))
+
+    def _violate(self, message: str) -> None:
+        self.violations.append(message)
+        self._note("VIOLATION", message)
+
+    def _availability_expected(self) -> bool:
+        """Can the client currently be denied a quorum legitimately?"""
+        reachable_live = sum(
+            1
+            for i in range(self.cluster.n)
+            if i not in self.crashed and i not in self.partitioned
+        )
+        return reachable_live < self.cluster.quorum or self.storm
+
+    def _head_counter(self) -> int:
+        head = self.libseal.audit_log.signed_head
+        return head.counter_value if head is not None else 0
+
+    def _check_monotonic(self, where: str) -> None:
+        counter = self._head_counter()
+        if counter < self._head_max:
+            self._violate(
+                f"head counter went backwards at {where}: "
+                f"{counter} < {self._head_max}"
+            )
+        self._head_max = max(self._head_max, counter)
+
+    def _record_snapshot(self) -> None:
+        counter = self._head_counter()
+        if counter and (
+            not self._snapshots or self._snapshots[-1][0] != counter
+        ):
+            self._snapshots.append((counter, self.libseal.audit_log.serialize()))
+            if len(self._snapshots) > SNAPSHOT_LIMIT:
+                # Keep the oldest (most stale = strongest probe) + tail.
+                del self._snapshots[1:2]
+
+    # -- actions ---------------------------------------------------------
+
+    def _pair(self) -> None:
+        try:
+            self.workload.post_once()
+        except AuditBufferFullError:
+            self.pairs_blocked += 1
+            self._note("pair", "blocked", self._head_counter())
+            if not self._availability_expected():
+                self._violate("pair blocked while quorum was reachable")
+            return
+        except (RollbackError, IntegrityError) as exc:
+            self._violate(
+                f"integrity error without tampering: {type(exc).__name__}"
+            )
+            return
+        self.pairs_ok += 1
+        self._note(
+            "pair",
+            "degraded" if self.libseal.degraded.active else "ok",
+            self._head_counter(),
+        )
+        if not self.libseal.degraded.active:
+            self._record_snapshot()
+        elif not self._availability_expected():
+            # Sealing may only fail while faults can actually deny the
+            # quorum; degradation in a healthy network is an audit bug.
+            self._violate("entered degraded mode while quorum was reachable")
+
+    def _partition(self, cut: tuple[int, ...]) -> None:
+        addresses = [self.cluster.nodes[i].address for i in cut]
+        rest = [
+            a
+            for a in (
+                self.cluster.client_address,
+                *(r.address for r in self.cluster.nodes),
+            )
+            if a not in addresses
+        ]
+        self.network.partition(self.PARTITION_NAME, [addresses, rest])
+        self.partitioned = set(cut)
+        self._note("partition", tuple(cut))
+
+    def _heal(self) -> None:
+        self.network.heal(self.PARTITION_NAME)
+        self.partitioned = set()
+        self.network.settle()
+        self._note("heal")
+
+    def _reseal(self) -> None:
+        """Bounded-liveness recovery: the oracle's liveness clock."""
+        if not self.libseal.degraded.active:
+            self.recovered_in = 0
+            self._note("reseal", "not-degraded")
+            return
+        for attempt in range(1, LIVENESS_BOUND + 1):
+            self.network.settle()
+            if self.libseal.try_reseal():
+                self.recovered_in = attempt
+                self._note("reseal", "recovered", attempt)
+                return
+        if self._availability_expected():
+            self._note("reseal", "still-faulted")
+            return
+        self._violate(
+            f"liveness: still degraded {LIVENESS_BOUND} reseal attempts "
+            "after all faults healed"
+        )
+
+    def _probe_stale(self) -> None:
+        """Replay an earlier snapshot: AuditLog must refuse the old head."""
+        stale = next(
+            (
+                (counter, blob)
+                for counter, blob in self._snapshots
+                if counter < self._head_max
+            ),
+            None,
+        )
+        if stale is None:
+            self._note("probe_stale", "no-material")
+            return
+        counter, blob = stale
+        self.stale_probes += 1
+        try:
+            AuditLog.load(
+                blob,
+                self.libseal.signing_key,
+                self.libseal.signing_key.public_key(),
+                self.cluster,
+            )
+        except RollbackError:
+            self._note("probe_stale", "rejected", counter)
+            return
+        except QuorumUnavailableError:
+            if self._availability_expected():
+                self._note("probe_stale", "inconclusive", counter)
+                return
+            self._violate("stale probe hit QuorumUnavailableError while healthy")
+            return
+        self._violate(
+            f"stale log head (counter {counter}, live {self._head_max}) "
+            "was accepted by AuditLog verification"
+        )
+
+    def _verify(self) -> None:
+        if self._availability_expected() or self.libseal.degraded.active:
+            self._note("verify", "skipped")
+            return
+        try:
+            self.libseal.verify_log()
+        except RollbackError:
+            self._violate("verify raised RollbackError without tampering")
+            return
+        except QuorumUnavailableError:
+            self._violate("verify found no quorum while network was healthy")
+            return
+        live = self.cluster.retrieve(self.config.log_id)
+        head = self._head_counter()
+        if live != head:
+            self._violate(
+                f"live quorum counter {live} != signed head counter {head} "
+                "after full recovery"
+            )
+            return
+        self._note("verify", "ok", head)
+
+    # -- the run ---------------------------------------------------------
+
+    def _apply(self, action: tuple) -> None:
+        kind = action[0]
+        if kind == "pairs":
+            for _ in range(action[1]):
+                self._pair()
+        elif kind == "partition":
+            self._partition(action[1])
+        elif kind == "heal":
+            self._heal()
+        elif kind == "crash":
+            self.cluster.crash(action[1])
+            self.crashed.add(action[1])
+            self._note("crash", action[1])
+        elif kind == "restart":
+            self.cluster.recover(action[1])
+            self.crashed.discard(action[1])
+            self._note("restart", action[1])
+        elif kind == "lie":
+            self.cluster.equivocate(
+                action[1], shape=action[2], seed=self.scenario.seed
+            )
+            self._note("lie", action[1], action[2])
+        elif kind == "honest":
+            self.cluster.set_lie(action[1], None)
+            self._note("honest", action[1])
+        elif kind == "storm_on":
+            self.network.loss = action[1]
+            self.network.duplication = action[2]
+            self.network.reorder = action[3]
+            self.storm = True
+            self._note("storm_on", action[1], action[2], action[3])
+        elif kind == "storm_off":
+            self.network.loss = 0.0
+            self.network.duplication = 0.0
+            self.network.reorder = 0.0
+            self.storm = False
+            self.network.settle()
+            self._note("storm_off")
+        elif kind == "reseal":
+            self._reseal()
+        elif kind == "probe_stale":
+            self._probe_stale()
+        elif kind == "verify":
+            self._verify()
+        else:
+            raise SimulationError(f"unknown chaos action {kind!r}")
+        self._check_monotonic(kind)
+
+    def run(self) -> ScenarioVerdict:
+        actions = self.scenario.actions
+        if self.scenario.plan is not None:
+            with _faults.inject(self.scenario.plan) as injector:
+                for action in actions:
+                    self._apply(action)
+                # Replicas crashed by the plan but never recovered by it
+                # would leak into the closing liveness checks.
+                for fired in injector.fired:
+                    self._note("plan_fired", fired.event.describe())
+        else:
+            for action in actions:
+                self._apply(action)
+        self._final_check()
+        return self._verdict()
+
+    def _final_check(self) -> None:
+        if self._availability_expected():
+            self._violate("scenario script ended with active faults")
+        if self.libseal.degraded.active:
+            self._violate("scenario ended degraded: liveness not restored")
+        if self.pairs_ok == 0:
+            self._violate("scenario completed no successful pairs")
+
+    def _verdict(self) -> ScenarioVerdict:
+        digest = sha256_hex(
+            json.dumps(self.trace, sort_keys=True, default=str).encode()
+        )
+        return ScenarioVerdict(
+            family=self.scenario.family,
+            seed=self.scenario.seed,
+            ok=not self.violations,
+            violations=list(self.violations),
+            pairs_ok=self.pairs_ok,
+            pairs_blocked=self.pairs_blocked,
+            stale_probes=self.stale_probes,
+            recovered_in=self.recovered_in,
+            head_counter=self._head_counter(),
+            trace_digest=digest,
+            network=self.network.stats.as_dict(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Soak entry points
+# ----------------------------------------------------------------------
+
+
+def run_scenario(family: str, seed: int, f: int = 1) -> ScenarioVerdict:
+    """Build and run one seeded scenario."""
+    return ChaosHarness(build_scenario(family, seed, f=f)).run()
+
+
+def run_soak(
+    families: tuple[str, ...] = FAMILIES,
+    seeds_per_family: int = 5,
+    seed_base: int = 0,
+    f: int = 1,
+) -> list[ScenarioVerdict]:
+    """The full soak: every family × ``seeds_per_family`` seeds."""
+    verdicts = []
+    for family in families:
+        for offset in range(seeds_per_family):
+            verdicts.append(run_scenario(family, seed_base + offset, f=f))
+    return verdicts

@@ -78,6 +78,17 @@ class SigningAuthority:
         self._nonce_counter += 1
         return self._nonce_counter.to_bytes(NONCE_LEN, "big")
 
+    def derive_group_key(self, label: bytes) -> bytes:
+        """Symmetric key shared by every enclave this authority signed.
+
+        Stands in for the group key ROTE replicas provision through
+        remote attestation: any enclave in the attested group can derive
+        it, no one outside can, so an HMAC under it proves a counter
+        value originated inside *some* group member. Distinct labels
+        give independent keys.
+        """
+        return hkdf(self._root_secret, info=b"sgx-group-key" + label, length=32)
+
     # ------------------------------------------------------------------
     # Seal / unseal (must run inside the enclave)
     # ------------------------------------------------------------------

@@ -9,6 +9,9 @@ testbed as a discrete-event simulation:
   penalties), FIFO devices (links, disks), counting semaphores (SGX
   threads, lthread task pools);
 - :mod:`repro.sim.stats` — latency/throughput/utilisation collectors;
+- :mod:`repro.sim.network` — a deterministic message-passing network
+  (seeded per-link latency, loss, duplication, reordering, named
+  partitions) used by the distributed ROTE counter group;
 - :mod:`repro.sim.costs` — the calibrated cycle cost model. Constants
   that come straight from the paper (8,400-cycle transitions, 76 ms
   Dropbox WAN RTT, 4×3.7 GHz cores, 10 Gbps) are used as-is; the
@@ -18,12 +21,15 @@ testbed as a discrete-event simulation:
 """
 
 from repro.sim.engine import Process, Simulator
+from repro.sim.network import NetworkStats, SimNetwork
 from repro.sim.resources import CorePool, FifoDevice, Semaphore
 from repro.sim.stats import LatencyStats, ThroughputMeter
 
 __all__ = [
     "Process",
     "Simulator",
+    "SimNetwork",
+    "NetworkStats",
     "CorePool",
     "FifoDevice",
     "Semaphore",

@@ -1,0 +1,275 @@
+"""A deterministic simulated message-passing network.
+
+The ROTE replica group (§5.1) is a distributed system: counter nodes
+exchange messages over links that delay, drop, duplicate and reorder
+traffic, and operators partition and heal whole racks. This module gives
+the reproduction a network with exactly those behaviours while staying
+fully deterministic: every roll comes from one seeded RNG, message
+delivery is totally ordered by ``(due_step, sequence)``, and the same
+seed against the same call sequence replays the same run byte for byte
+(the chaos suite's event-trace digests depend on this).
+
+Time is a bare step counter. :meth:`SimNetwork.send` schedules a
+delivery ``latency`` steps ahead (plus deterministic per-link spread and
+optional reorder extra); :meth:`SimNetwork.step` advances one step and
+invokes the registered handler of every endpoint whose messages came
+due. Handlers may send further messages — those land on later steps, so
+delivery never recurses.
+
+Named partitions (:meth:`partition` / :meth:`heal`) model WAN splits: a
+message is delivered only if, for every active partition that names both
+endpoints, the two sit in the same group. Partitions are checked at
+*delivery* time, so a split also cuts traffic already in flight — the
+behaviour a real mid-flight partition has.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import SimulationError
+from repro.obs import hooks as _obs
+
+Handler = Callable[[Any, str], None]
+
+#: Upper bound on the extra steps a reordered message may be held back.
+REORDER_EXTRA_STEPS = 3
+
+
+@dataclass
+class NetworkStats:
+    """Counters over everything the network did (deterministic)."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    dropped_partition: int = 0
+    dropped_unroutable: int = 0
+    partitions_formed: int = 0
+    partitions_healed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass(frozen=True)
+class _Flight:
+    """One scheduled delivery."""
+
+    src: str
+    dst: str
+    message: Any
+    duplicate: bool = False
+
+
+class SimNetwork:
+    """Seeded, step-driven message network with named partitions.
+
+    Parameters
+    ----------
+    seed:
+        Drives every probabilistic decision (loss, duplication, reorder,
+        per-link latency spread). Same seed, same call sequence → same
+        deliveries in the same order.
+    latency_steps:
+        Base one-way delivery latency (min 1 so handlers never recurse).
+    jitter_steps:
+        Deterministic per-*link* extra latency in ``[0, jitter_steps]``
+        (a property of the link, not rolled per message).
+    loss / duplication / reorder:
+        Per-message probabilities, mutable at runtime — the chaos
+        harness raises them for message-storm windows and restores them
+        after; the RNG stream continues deterministically across the
+        change.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency_steps: int = 1,
+        jitter_steps: int = 0,
+        loss: float = 0.0,
+        duplication: float = 0.0,
+        reorder: float = 0.0,
+    ):
+        if latency_steps < 1:
+            raise SimulationError("latency_steps must be >= 1")
+        self.seed = seed
+        self.latency_steps = latency_steps
+        self.jitter_steps = jitter_steps
+        self.loss = loss
+        self.duplication = duplication
+        self.reorder = reorder
+        self.now = 0
+        self.stats = NetworkStats()
+        self._rng = random.Random(f"simnet-{seed}")
+        self._seq = 0
+        self._queue: list[tuple[int, int, _Flight]] = []
+        self._handlers: dict[str, Handler] = {}
+        self._partitions: dict[str, tuple[frozenset[str], ...]] = {}
+        self._link_extra: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach ``handler(message, src)`` to ``address``."""
+        if address in self._handlers:
+            raise SimulationError(f"address {address!r} already registered")
+        self._handlers[address] = handler
+
+    def deregister(self, address: str) -> None:
+        self._handlers.pop(address, None)
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        return tuple(sorted(self._handlers))
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def partition(self, name: str, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network: addresses in different groups cannot talk.
+
+        Addresses not named in any group are unaffected by this
+        partition. Re-declaring an active name replaces its groups.
+        """
+        frozen = tuple(frozenset(group) for group in groups)
+        if len(frozen) < 2:
+            raise SimulationError("a partition needs at least two groups")
+        if name not in self._partitions:
+            self.stats.partitions_formed += 1
+        self._partitions[name] = frozen
+
+    def heal(self, name: str | None = None) -> None:
+        """Remove one named partition (or all of them)."""
+        if name is None:
+            self.stats.partitions_healed += len(self._partitions)
+            self._partitions.clear()
+            return
+        if self._partitions.pop(name, None) is not None:
+            self.stats.partitions_healed += 1
+
+    @property
+    def active_partitions(self) -> tuple[str, ...]:
+        return tuple(sorted(self._partitions))
+
+    def reachable(self, a: str, b: str) -> bool:
+        """True when no active partition separates ``a`` from ``b``."""
+        for groups in self._partitions.values():
+            group_a = next((g for g in groups if a in g), None)
+            group_b = next((g for g in groups if b in g), None)
+            if group_a is None or group_b is None:
+                continue  # an endpoint this partition does not name
+            if group_a is not group_b:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Sending and stepping
+    # ------------------------------------------------------------------
+
+    def _link_latency(self, src: str, dst: str) -> int:
+        """Deterministic per-link latency (base + seeded spread)."""
+        if self.jitter_steps <= 0:
+            return self.latency_steps
+        key = (src, dst)
+        extra = self._link_extra.get(key)
+        if extra is None:
+            link_rng = random.Random(f"simnet-{self.seed}-link-{src}->{dst}")
+            extra = link_rng.randint(0, self.jitter_steps)
+            self._link_extra[key] = extra
+        return self.latency_steps + extra
+
+    def round_trip_steps(self) -> int:
+        """Worst-case request→reply step count over any healthy link.
+
+        Clients use this as the per-round delivery deadline: past it, a
+        missing reply is a timeout, not a message still in flight.
+        """
+        one_way = self.latency_steps + self.jitter_steps
+        if self.reorder > 0.0:
+            one_way += REORDER_EXTRA_STEPS
+        return 2 * one_way + 2
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Schedule ``message`` for delivery; applies loss/dup/reorder."""
+        self.stats.sent += 1
+        if self.loss > 0.0 and self._rng.random() < self.loss:
+            self.stats.lost += 1
+            self._note("lost")
+            return
+        latency = self._link_latency(src, dst)
+        if self.reorder > 0.0 and self._rng.random() < self.reorder:
+            latency += self._rng.randint(1, REORDER_EXTRA_STEPS)
+            self.stats.reordered += 1
+        self._push(self.now + latency, _Flight(src, dst, message))
+        if self.duplication > 0.0 and self._rng.random() < self.duplication:
+            self.stats.duplicated += 1
+            self._push(
+                self.now + latency + self._rng.randint(1, 2),
+                _Flight(src, dst, message, duplicate=True),
+            )
+
+    def _push(self, due: int, flight: _Flight) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (due, self._seq, flight))
+
+    def step(self, steps: int = 1) -> int:
+        """Advance ``steps`` steps, delivering everything that comes due.
+
+        Returns the number of messages delivered to handlers.
+        """
+        delivered = 0
+        for _ in range(steps):
+            self.now += 1
+            while self._queue and self._queue[0][0] <= self.now:
+                _, _, flight = heapq.heappop(self._queue)
+                delivered += self._deliver(flight)
+        return delivered
+
+    def _deliver(self, flight: _Flight) -> int:
+        if not self.reachable(flight.src, flight.dst):
+            self.stats.dropped_partition += 1
+            self._note("partitioned")
+            return 0
+        handler = self._handlers.get(flight.dst)
+        if handler is None:
+            self.stats.dropped_unroutable += 1
+            self._note("unroutable")
+            return 0
+        self.stats.delivered += 1
+        handler(flight.message, flight.src)
+        return 1
+
+    def settle(self, max_steps: int = 64) -> int:
+        """Step until the in-flight queue drains (or ``max_steps``).
+
+        Used after heals/restarts to let catch-up traffic land before
+        the next synchronous quorum operation.
+        """
+        delivered = 0
+        for _ in range(max_steps):
+            if not self._queue:
+                break
+            delivered += self.step()
+        return delivered
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+    def _note(self, outcome: str) -> None:
+        if _obs.ON:
+            _obs.active().metrics.counter(
+                "simnet_messages_dropped_total",
+                "Messages the simulated network failed to deliver",
+                outcome=outcome,
+            ).inc()

@@ -10,9 +10,15 @@ import itertools
 
 import pytest
 
+from repro.audit.persistence import LogStorage
+from repro.audit.recovery import RecoveryOutcome
 from repro.audit.rote import RoteCluster
-from repro.errors import QuorumUnavailableError
+from repro.audit.rote_replica import LIE_SHAPES
+from repro.core import LibSeal
+from repro.errors import QuorumUnavailableError, RollbackError
+from repro.http import HttpRequest, HttpResponse
 from repro.sim.costs import ROTE_BACKOFF_BASE_S
+from repro.ssm.base import ServiceSpecificModule
 
 
 class TestExactlyFFaulty:
@@ -127,3 +133,102 @@ class TestHealing:
         assert cluster.increment("log") == 5
         # The rejoined node acknowledged the new value.
         assert cluster.nodes[3].counters["log"] == 5
+
+
+class BoundarySSM(ServiceSpecificModule):
+    """Minimal SSM: one tuple per pair, no invariants."""
+
+    name = "pairs"
+    schema_sql = "CREATE TABLE pairs(time INTEGER, path TEXT)"
+    invariants = {}
+    trimming_queries = []
+
+    def log(self, request, response, emit, time):
+        emit("pairs", (time, request.path))
+
+
+class TestMixedFaultBoundaries:
+    """Exactly f Byzantine *and* f crashed at n = 3f + 1, end to end.
+
+    That combination leaves 2f + 1 live repliers of which f lie. A write
+    quorum counts distinct replies, so it still completes — and contains
+    at least f + 1 honest storers, so every later read quorum of 2f + 1
+    intersects one of them and freshness stays certifiable. One *more*
+    crash drops the live count below quorum: that must surface as an
+    availability fault, never as rollback evidence.
+    """
+
+    @pytest.mark.parametrize("shape", LIE_SHAPES)
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_f_byzantine_plus_f_crashed_still_certify(self, f, shape):
+        cluster = RoteCluster(f=f)
+        for node_id in range(f):
+            cluster.equivocate(node_id, shape=shape)
+        for node_id in range(f, 2 * f):
+            cluster.crash(node_id)
+        assert cluster.increment("log") == 1
+        assert cluster.increment("log") == 2
+        assert cluster.retrieve("log") == 2
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_one_more_crash_is_availability_not_rollback(self, f):
+        cluster = RoteCluster(f=f, max_retries=2)
+        for node_id in range(f):
+            cluster.equivocate(node_id, shape="under_report")
+        for node_id in range(f, 2 * f + 1):
+            cluster.crash(node_id)
+        with pytest.raises(QuorumUnavailableError) as excinfo:
+            cluster.increment("log")
+        assert not isinstance(excinfo.value, RollbackError)
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_recover_certifies_freshness_under_mixed_f_faults(self, f, tmp_path):
+        path = tmp_path / "log.bin"
+        libseal = LibSeal(
+            BoundarySSM(), storage=LogStorage(path), rote=RoteCluster(f=f)
+        )
+        for index in range(3):
+            libseal.log_pair(HttpRequest("GET", f"/p/{index}"), HttpResponse(200))
+        rote = libseal.rote
+        for node_id in range(f):
+            rote.equivocate(node_id, shape="stale_echo")
+        for node_id in range(f, 2 * f):
+            rote.crash(node_id)
+        recovered, report = LibSeal.recover(
+            BoundarySSM(),
+            LogStorage(path),
+            signing_key=libseal.signing_key,
+            rote=rote,
+        )
+        assert report.outcome is RecoveryOutcome.CLEAN_RESUME
+        assert recovered is not None
+        assert not recovered.degraded.active
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_recover_degrades_beyond_f_and_never_cries_rollback(self, f, tmp_path):
+        path = tmp_path / "log.bin"
+        libseal = LibSeal(
+            BoundarySSM(), storage=LogStorage(path), rote=RoteCluster(f=f)
+        )
+        for index in range(3):
+            libseal.log_pair(HttpRequest("GET", f"/p/{index}"), HttpResponse(200))
+        rote = libseal.rote
+        for node_id in range(f):
+            rote.equivocate(node_id, shape="stale_echo")
+        for node_id in range(f, 2 * f + 1):
+            rote.crash(node_id)
+        recovered, report = LibSeal.recover(
+            BoundarySSM(),
+            LogStorage(path),
+            signing_key=libseal.signing_key,
+            rote=rote,
+        )
+        assert report.outcome is RecoveryOutcome.FRESHNESS_UNVERIFIABLE
+        assert report.outcome is not RecoveryOutcome.ROLLBACK_DETECTED
+        assert recovered is not None
+        assert recovered.degraded.active
+        assert recovered.degraded.reason == "freshness-unverifiable"
+        # Heal back to exactly f faulty: the buffered tail reseals.
+        rote.recover(f)
+        assert recovered.try_reseal()
+        assert not recovered.degraded.active

@@ -1,0 +1,162 @@
+"""ROTE replica state machines: attestations, lifecycle, lie models."""
+
+import pytest
+
+from repro.audit.rote import RoteCluster
+from repro.audit.rote_replica import (
+    LIE_SHAPES,
+    CounterAttestation,
+    LieModel,
+    RoteReplica,
+)
+from repro.errors import SimulationError
+from repro.sgx.sealing import SigningAuthority
+from repro.sim.network import SimNetwork
+
+
+@pytest.fixture
+def authority():
+    return SigningAuthority("rote-test-authority")
+
+
+@pytest.fixture
+def group_key(authority):
+    return authority.derive_group_key(b"rote")
+
+
+class TestCounterAttestation:
+    def test_sign_verify_round_trip(self, group_key):
+        att = CounterAttestation.sign(group_key, "log", 7)
+        assert att.verify(group_key)
+
+    def test_tampered_value_rejected(self, group_key):
+        att = CounterAttestation.sign(group_key, "log", 7)
+        forged = CounterAttestation("log", 8, att.mac)
+        assert not forged.verify(group_key)
+
+    def test_wrong_log_rejected(self, group_key):
+        att = CounterAttestation.sign(group_key, "log", 7)
+        moved = CounterAttestation("other", 7, att.mac)
+        assert not moved.verify(group_key)
+
+    def test_wrong_key_rejected(self, authority, group_key):
+        att = CounterAttestation.sign(group_key, "log", 7)
+        other = authority.derive_group_key(b"different-cluster")
+        assert not att.verify(other)
+
+    def test_out_of_range_values_rejected(self, group_key):
+        assert not CounterAttestation("log", -1, b"\x00" * 32).verify(group_key)
+        assert not CounterAttestation.sign(group_key, "log", 1 << 63).verify(group_key)
+
+    def test_json_round_trip(self, group_key):
+        att = CounterAttestation.sign(group_key, "log", 42)
+        assert CounterAttestation.from_json(att.to_json()) == att
+
+
+class TestReplicaLifecycle:
+    def make_replica(self, authority):
+        net = SimNetwork(seed=1)
+        replica = RoteReplica(0, net, authority)
+        att = CounterAttestation.sign(replica.group_key, "log", 5)
+        replica._accept(att)
+        return net, replica
+
+    def test_crash_wipes_memory_but_keeps_sealed_state(self, authority):
+        _, replica = self.make_replica(authority)
+        assert replica.counters == {"log": 5}
+        sealed = replica.sealed_state
+        assert sealed is not None
+        replica.crash()
+        assert replica.crashed
+        assert replica.counters == {}
+        assert replica.sealed_state == sealed
+
+    def test_restart_unseals_counters(self, authority):
+        _, replica = self.make_replica(authority)
+        replica.crash()
+        replica.restart()
+        assert not replica.crashed
+        assert replica.restarts == 1
+        assert replica.counters == {"log": 5}
+
+    def test_crashed_replica_ignores_messages(self, authority):
+        net, replica = self.make_replica(authority)
+        received = []
+        net.register("probe", lambda msg, src: received.append(msg))
+        replica.crash()
+        from repro.audit.rote_replica import RetrieveRequest
+
+        net.send("probe", replica.address, RetrieveRequest(op_id=1, log_id="log"))
+        net.settle()
+        assert received == []
+
+    def test_restart_catches_up_from_peers(self, authority):
+        """A rejoiner with a stale sealed blob learns newer values."""
+        cluster = RoteCluster(f=1, authority=authority, seed=11)
+        cluster.increment("log")
+        cluster.crash(0)
+        cluster.increment("log")
+        cluster.increment("log")
+        cluster.recover(0)  # restart + catch-up broadcast + settle
+        assert cluster.nodes[0].counters["log"] == 3
+        assert cluster.nodes[0].catchup_merges >= 1
+
+    def test_lying_peers_do_not_serve_catchup(self, authority):
+        cluster = RoteCluster(f=1, authority=authority, seed=12)
+        cluster.increment("log")
+        for i in (1, 2, 3):
+            cluster.equivocate(i, shape="stale_echo")
+        cluster.crash(0)
+        cluster.recover(0)
+        assert all(cluster.nodes[i].catchups_served == 0 for i in (1, 2, 3))
+
+
+class TestLieModels:
+    def history(self, group_key, values):
+        return [CounterAttestation.sign(group_key, "log", v) for v in values]
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(SimulationError):
+            LieModel("gaslight")
+
+    def test_under_report_replays_an_older_attestation(self, group_key):
+        history = self.history(group_key, [1, 2, 3, 4])
+        lie = LieModel("under_report", seed=0)
+        reply = lie.shape_reply("log", history[-1], history, requester="c")
+        assert reply in history[:-1]
+        assert reply.verify(group_key)  # stale but MAC-valid
+
+    def test_stale_echo_pins_the_first_value(self, group_key):
+        history = self.history(group_key, [1, 2, 3])
+        lie = LieModel("stale_echo")
+        for _ in range(3):
+            assert lie.shape_reply("log", history[-1], history, "c") == history[0]
+
+    def test_split_brain_differs_per_requester(self, group_key):
+        history = self.history(group_key, [1, 2, 3])
+        lie = LieModel("split_brain", seed=0)
+        replies = {
+            requester: lie.shape_reply("log", history[-1], history, requester)
+            for requester in (f"client-{i}" for i in range(16))
+        }
+        assert set(replies.values()) == {history[0], history[-1]}
+        # Personas are stable: the same requester always sees the same face.
+        for requester, reply in replies.items():
+            assert lie.shape_reply("log", history[-1], history, requester) == reply
+
+    def test_forge_produces_higher_but_invalid_attestation(self, group_key):
+        history = self.history(group_key, [1, 2, 3])
+        lie = LieModel("forge", seed=0)
+        reply = lie.shape_reply("log", history[-1], history, "c")
+        assert reply.value > history[-1].value
+        assert not reply.verify(group_key)
+
+    def test_shapes_are_seed_deterministic(self, group_key):
+        history = self.history(group_key, list(range(1, 8)))
+        for shape in LIE_SHAPES:
+            a = LieModel(shape, seed=3)
+            b = LieModel(shape, seed=3)
+            for _ in range(5):
+                assert a.shape_reply("log", history[-1], history, "c") == (
+                    b.shape_reply("log", history[-1], history, "c")
+                )

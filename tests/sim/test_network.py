@@ -1,0 +1,184 @@
+"""The deterministic simulated network under the ROTE replica group."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import REORDER_EXTRA_STEPS, SimNetwork
+
+
+def collector(network, address):
+    """Register ``address`` and return the list its deliveries land in."""
+    received = []
+    network.register(address, lambda msg, src: received.append((msg, src)))
+    return received
+
+
+class TestDelivery:
+    def test_message_arrives_after_base_latency(self):
+        net = SimNetwork(seed=1, latency_steps=2)
+        received = collector(net, "b")
+        net.send("a", "b", "hello")
+        assert net.step() == 0
+        assert net.step() == 1
+        assert received == [("hello", "a")]
+
+    def test_delivery_is_fifo_per_step(self):
+        net = SimNetwork(seed=1)
+        received = collector(net, "b")
+        for i in range(5):
+            net.send("a", "b", i)
+        net.step()
+        assert [msg for msg, _ in received] == [0, 1, 2, 3, 4]
+
+    def test_handlers_never_recurse(self):
+        net = SimNetwork(seed=1)
+        depth = {"now": 0, "max": 0}
+
+        def ping(msg, src):
+            depth["now"] += 1
+            depth["max"] = max(depth["max"], depth["now"])
+            if msg < 3:
+                net.send("b", "b", msg + 1)
+            depth["now"] -= 1
+
+        net.register("b", ping)
+        net.send("a", "b", 0)
+        net.settle()
+        assert depth["max"] == 1  # replies land on later steps
+
+    def test_unroutable_messages_are_counted_not_raised(self):
+        net = SimNetwork(seed=1)
+        net.send("a", "nowhere", "x")
+        net.step()
+        assert net.stats.dropped_unroutable == 1
+        assert net.stats.delivered == 0
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            SimNetwork(seed=1, latency_steps=0)
+
+    def test_duplicate_address_rejected(self):
+        net = SimNetwork(seed=1)
+        collector(net, "b")
+        with pytest.raises(SimulationError):
+            net.register("b", lambda msg, src: None)
+
+
+class TestSeededFaults:
+    def test_loss_is_deterministic_for_a_seed(self):
+        def run(seed):
+            net = SimNetwork(seed=seed, loss=0.3)
+            received = collector(net, "b")
+            for i in range(50):
+                net.send("a", "b", i)
+            net.settle()
+            return [msg for msg, _ in received], net.stats.lost
+
+        first, lost_first = run(7)
+        again, lost_again = run(7)
+        other, _ = run(8)
+        assert first == again and lost_first == lost_again
+        assert 0 < lost_first < 50
+        assert other != first
+
+    def test_duplication_delivers_twice(self):
+        net = SimNetwork(seed=3, duplication=1.0)
+        received = collector(net, "b")
+        net.send("a", "b", "x")
+        net.settle()
+        assert [msg for msg, _ in received] == ["x", "x"]
+        assert net.stats.duplicated == 1
+
+    def test_reorder_holds_messages_back(self):
+        net = SimNetwork(seed=5, reorder=0.5)
+        received = collector(net, "b")
+        for i in range(30):
+            net.send("a", "b", i)
+        net.settle()
+        assert net.stats.reordered > 0
+        order = [msg for msg, _ in received]
+        assert sorted(order) == list(range(30))
+        assert order != list(range(30))
+
+    def test_round_trip_bound_covers_jitter_and_reorder(self):
+        plain = SimNetwork(seed=1, latency_steps=2, jitter_steps=3)
+        assert plain.round_trip_steps() == 2 * 5 + 2
+        messy = SimNetwork(seed=1, latency_steps=2, jitter_steps=3, reorder=0.1)
+        assert messy.round_trip_steps() == 2 * (5 + REORDER_EXTRA_STEPS) + 2
+
+    def test_link_jitter_is_per_link_and_stable(self):
+        net = SimNetwork(seed=9, jitter_steps=4)
+        assert net._link_latency("a", "b") == net._link_latency("a", "b")
+        spreads = {
+            net._link_latency(f"n{i}", f"n{j}")
+            for i in range(4)
+            for j in range(4)
+            if i != j
+        }
+        assert len(spreads) > 1  # links differ, not one global roll
+
+
+class TestPartitions:
+    def test_partition_blocks_cross_group_traffic(self):
+        net = SimNetwork(seed=1)
+        received = collector(net, "b")
+        net.partition("split", [["a"], ["b"]])
+        assert not net.reachable("a", "b")
+        net.send("a", "b", "x")
+        net.settle()
+        assert received == []
+        assert net.stats.dropped_partition == 1
+
+    def test_partition_cuts_traffic_already_in_flight(self):
+        net = SimNetwork(seed=1, latency_steps=3)
+        received = collector(net, "b")
+        net.send("a", "b", "x")  # in flight...
+        net.partition("split", [["a"], ["b"]])  # ...then the cable goes
+        net.settle()
+        assert received == []
+
+    def test_unnamed_addresses_are_unaffected(self):
+        net = SimNetwork(seed=1)
+        received = collector(net, "c")
+        net.partition("split", [["a"], ["b"]])
+        assert net.reachable("a", "c")
+        net.send("a", "c", "x")
+        net.settle()
+        assert received == [("x", "a")]
+
+    def test_heal_restores_reachability(self):
+        net = SimNetwork(seed=1)
+        received = collector(net, "b")
+        net.partition("split", [["a"], ["b"]])
+        net.heal("split")
+        assert net.active_partitions == ()
+        net.send("a", "b", "x")
+        net.settle()
+        assert received == [("x", "a")]
+        assert net.stats.partitions_formed == 1
+        assert net.stats.partitions_healed == 1
+
+    def test_heal_all(self):
+        net = SimNetwork(seed=1)
+        net.partition("p1", [["a"], ["b"]])
+        net.partition("p2", [["a"], ["c"]])
+        net.heal()
+        assert net.active_partitions == ()
+        assert net.stats.partitions_healed == 2
+
+    def test_partition_needs_two_groups(self):
+        net = SimNetwork(seed=1)
+        with pytest.raises(SimulationError):
+            net.partition("solo", [["a", "b"]])
+
+
+class TestStats:
+    def test_as_dict_round_trip(self):
+        net = SimNetwork(seed=1)
+        collector(net, "b")
+        net.send("a", "b", "x")
+        net.settle()
+        stats = net.stats.as_dict()
+        assert stats["sent"] == 1
+        assert stats["delivered"] == 1
+        assert set(stats) >= {"lost", "duplicated", "reordered"}
