@@ -16,7 +16,13 @@ forge, modify, delete or *roll back* log state. Defences, as in the paper:
   trimming that recomputes the chain over surviving entries.
 """
 
-from repro.audit.hashchain import ChainEntry, HashChain, SealIntent, SignedHead
+from repro.audit.hashchain import (
+    ChainEntry,
+    HashChain,
+    RotationIntent,
+    SealIntent,
+    SignedHead,
+)
 from repro.audit.log import AuditLog
 from repro.audit.merge import MergedLog, check_merged_invariants, merge_logs
 from repro.audit.persistence import LogStorage
@@ -27,9 +33,11 @@ from repro.audit.recovery import (
     RecoveryReport,
     recover_log,
 )
+from repro.audit.rotation import KeyRotationCoordinator, RotationReport
 from repro.audit.rote import RoteCluster, RoteNode
 from repro.audit.rote_replica import (
     CounterAttestation,
+    EpochNotice,
     LieModel,
     RoteReplica,
     make_counter_enclave,
@@ -39,8 +47,12 @@ from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
 __all__ = [
     "ChainEntry",
     "HashChain",
+    "RotationIntent",
     "SealIntent",
     "SignedHead",
+    "KeyRotationCoordinator",
+    "RotationReport",
+    "EpochNotice",
     "AuditLog",
     "MergedLog",
     "check_merged_invariants",

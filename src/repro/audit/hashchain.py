@@ -150,6 +150,78 @@ class SealIntent:
             raise IntegrityError(f"seal intent unparsable: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class RotationIntent:
+    """A signed write-ahead marker: "a key rotation to ``to_epoch`` is in flight".
+
+    Written to storage *before* the authority rotates, so a crash at any
+    step of the rotation (rotate keys → audited log record → re-seal →
+    replica announcement → retire) can be replayed to completion instead
+    of leaving the deployment split across two epochs. Each step of the
+    replay is idempotent; the sidecar is cleared only once the rotation
+    has fully converged.
+    """
+
+    log_id: str
+    from_epoch: int
+    to_epoch: int
+    reason: str
+    signature: EcdsaSignature
+
+    def payload(self) -> bytes:
+        return (
+            b"ROTATE-INTENT\x00"
+            + self.log_id.encode()
+            + b"\x00"
+            + self.from_epoch.to_bytes(4, "big")
+            + self.to_epoch.to_bytes(4, "big")
+            + self.reason.encode()
+        )
+
+    @staticmethod
+    def sign(
+        key: EcdsaPrivateKey, log_id: str, from_epoch: int, to_epoch: int, reason: str
+    ) -> "RotationIntent":
+        unsigned = RotationIntent(
+            log_id, from_epoch, to_epoch, reason, EcdsaSignature(0, 0)
+        )
+        return RotationIntent(
+            log_id, from_epoch, to_epoch, reason, key.sign(unsigned.payload())
+        )
+
+    def verify(self, public_key: EcdsaPublicKey) -> None:
+        if not public_key.verify(self.payload(), self.signature):
+            raise IntegrityError("rotation intent signature invalid")
+
+    def encode(self) -> bytes:
+        return b"\x00".join(
+            [
+                b"ROTATE1",
+                self.log_id.encode(),
+                str(self.from_epoch).encode(),
+                str(self.to_epoch).encode(),
+                self.reason.encode().hex().encode(),
+                self.signature.encode().hex().encode(),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "RotationIntent":
+        try:
+            magic, log_id, from_e, to_e, reason_hex, sig_hex = blob.split(b"\x00")
+            if magic != b"ROTATE1":
+                raise ValueError("bad magic")
+            return cls(
+                log_id.decode(),
+                int(from_e),
+                int(to_e),
+                bytes.fromhex(reason_hex.decode()).decode(),
+                EcdsaSignature.decode(bytes.fromhex(sig_hex.decode())),
+            )
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise IntegrityError(f"rotation intent unparsable: {exc}") from exc
+
+
 class HashChain:
     """An append-only hash chain with rebuild support for trimming."""
 

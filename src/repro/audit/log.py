@@ -59,6 +59,13 @@ def _decode_value(value: object) -> SqlValue:
 
 TIME_COLUMN = "time"
 
+#: Log-internal audit table: lifecycle events (key rotations, enclave
+#: upgrades) recorded *in the log itself*, so they ride the same hash
+#: chain, counter and signatures as service tuples — an auditor replaying
+#: the log sees exactly when keys changed hands and code was upgraded.
+EVENTS_TABLE = "libseal_events"
+EVENTS_SCHEMA = f"CREATE TABLE {EVENTS_TABLE} (time INTEGER, kind TEXT, detail TEXT)"
+
 
 @dataclass(frozen=True)
 class Watermark:
@@ -90,6 +97,8 @@ class AuditLog:
         self.schema_sql = schema_sql
         if schema_sql.strip():
             self.db.executescript(schema_sql)
+        if EVENTS_TABLE not in {name.lower() for name in self.db.table_names()}:
+            self.db.executescript(EVENTS_SCHEMA)
         self._signing_key = signing_key
         self.rote = rote
         self.log_id = log_id
@@ -158,6 +167,31 @@ class AuditLog:
                     self.latest_time = stored
             else:
                 self.time_monotone = False
+
+    def append_event(self, kind: str, detail: str, time: int | None = None) -> None:
+        """Append an audited lifecycle event (rotation, upgrade) to the log.
+
+        The event is an ordinary chained tuple: tampering with it breaks
+        the hash chain, and the next epoch seal anchors it under the
+        quorum counter like any service pair.
+        """
+        if time is None:
+            time = self.latest_time
+        self.append(EVENTS_TABLE, (time, kind, detail))
+
+    def has_event(self, kind: str, detail: str) -> bool:
+        """Whether an identical lifecycle event was already recorded.
+
+        Used by the rotation coordinator's WAL replay to keep the
+        audited-record step idempotent across crash/resume cycles.
+        """
+        return any(
+            table.lower() == EVENTS_TABLE
+            and len(values) == 3
+            and values[1] == kind
+            and values[2] == detail
+            for table, values in self._payloads
+        )
 
     # ------------------------------------------------------------------
     # Watermarks (incremental checking)

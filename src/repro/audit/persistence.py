@@ -72,6 +72,10 @@ class LogStorage:
     def _intent_path(self) -> Path:
         return self.path.with_suffix(self.path.suffix + ".intent")
 
+    @property
+    def _rotation_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".rotation")
+
     def _cleanup_orphans(self) -> list[Path]:
         """Remove ``.tmp`` leftovers from crashed writes (torn tails)."""
         orphans: list[Path] = []
@@ -204,6 +208,38 @@ class LogStorage:
         except OSError:
             pass
 
+    # ------------------------------------------------------------------
+    # Rotation-intent sidecar (write-ahead marker for key rotation)
+    # ------------------------------------------------------------------
+
+    def save_rotation(self, blob: bytes) -> None:
+        """Durably record a rotation intent (small, overwritten in place)."""
+        try:
+            with open(self._rotation_path, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StorageError(
+                f"cannot write rotation intent {self._rotation_path}: {exc}"
+            ) from exc
+
+    def load_rotation(self) -> bytes | None:
+        try:
+            return self._rotation_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read rotation intent {self._rotation_path}: {exc}"
+            ) from exc
+
+    def clear_rotation(self) -> None:
+        try:
+            self._rotation_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
 
 class InMemoryStorage(LogStorage):
     """The LibSEAL-mem configuration: no disk, but same interface."""
@@ -216,6 +252,7 @@ class InMemoryStorage(LogStorage):
         self.orphans_cleaned: list[Path] = []
         self._blob: bytes | None = None
         self._intent: bytes | None = None
+        self._rotation: bytes | None = None
 
     def save(self, blob: bytes) -> None:
         self._blob = blob
@@ -242,3 +279,12 @@ class InMemoryStorage(LogStorage):
 
     def clear_intent(self) -> None:
         self._intent = None
+
+    def save_rotation(self, blob: bytes) -> None:
+        self._rotation = blob
+
+    def load_rotation(self) -> bytes | None:
+        return self._rotation
+
+    def clear_rotation(self) -> None:
+        self._rotation = None

@@ -29,6 +29,9 @@ outcome                     meaning
 ``FRESHNESS_UNVERIFIABLE``  structure verified, but no ROTE quorum answered
                             after retries; resume only in degraded mode
 ``STORAGE_UNAVAILABLE``     storage I/O failed; retryable, nothing proven
+``RETIRED_EPOCH``           the snapshot is sealed under a key epoch that a
+                            later rotation retired; fail closed — resume on
+                            the re-sealed snapshot, never this one
 ==========================  ==================================================
 
 The in-flight pair is always *discarded*, never replayed: in the
@@ -58,6 +61,7 @@ from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
 from repro.errors import (
     IntegrityError,
     QuorumUnavailableError,
+    RetiredEpochError,
     RollbackError,
     SealingError,
     StorageError,
@@ -74,6 +78,7 @@ class RecoveryOutcome(Enum):
     ROLLBACK_DETECTED = "rollback-detected"
     FRESHNESS_UNVERIFIABLE = "freshness-unverifiable"
     STORAGE_UNAVAILABLE = "storage-unavailable"
+    RETIRED_EPOCH = "retired-epoch"
 
 
 #: Outcomes where an integrity/freshness violation was *detected*: the
@@ -199,6 +204,19 @@ def _recover_log(
     except StorageError as exc:
         return RecoveryReport(
             outcome=RecoveryOutcome.STORAGE_UNAVAILABLE,
+            torn_tmp_found=torn,
+            intent_found=intent is not None,
+            error=exc,
+            detail=str(exc),
+        )
+    except RetiredEpochError as exc:
+        # The snapshot is sealed under a key epoch that has since been
+        # retired. Not *proven* tampered — but the rotation deliberately
+        # invalidated that lineage, so the enclave refuses to resume on
+        # it (fail closed). Distinct from TAMPER_DETECTED: the operator
+        # remedy is restoring the re-sealed snapshot, not forensics.
+        return RecoveryReport(
+            outcome=RecoveryOutcome.RETIRED_EPOCH,
             torn_tmp_found=torn,
             intent_found=intent is not None,
             error=exc,

@@ -50,12 +50,14 @@ from typing import Callable
 from repro.audit.rote_replica import (
     CounterAttestation,
     CounterReply,
+    EpochNotice,
     IncrementRequest,
     LieModel,
     RetrieveRequest,
     RoteReplica,
 )
 from repro.errors import QuorumUnavailableError, SimulationError
+from repro.sgx.sealing import EpochState
 from repro.faults import hooks as _faults
 from repro.obs import hooks as _obs
 from repro.sgx.sealing import SigningAuthority
@@ -103,7 +105,6 @@ class RoteCluster:
         )
         self.cluster_id = cluster_id
         self.client_address = f"{cluster_id}/client"
-        self.group_key = self.authority.derive_group_key(cluster_id.encode())
         self.nodes = [
             RoteReplica(
                 node_id=i,
@@ -130,10 +131,30 @@ class RoteCluster:
         self.rpc_timeouts = 0
         self.backoff_ms_total = 0.0
         self.total_latency_ms = 0.0
+        #: Attestations discarded because their key epoch was retired —
+        #: each one is a pre-rotation replay the quorum logic refused.
+        self.retired_rejections = 0
 
     @property
     def replicas(self) -> list[RoteReplica]:
         return self.nodes
+
+    @property
+    def epoch(self) -> int:
+        """The client's key epoch (always the authority's current one)."""
+        return self.authority.current_epoch
+
+    @property
+    def group_key(self) -> bytes:
+        """Group key for the current epoch (historical attribute name)."""
+        return self.authority.derive_group_key(self.cluster_id.encode(), self.epoch)
+
+    def _keyring(self, epoch: int) -> bytes | None:
+        """Verifier keyring: keys for usable epochs, None once retired."""
+        state = self.authority.epoch_state(epoch)
+        if state is None or state is EpochState.RETIRED:
+            return None
+        return self.authority.derive_group_key(self.cluster_id.encode(), epoch)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -231,11 +252,29 @@ class RoteCluster:
         return replies
 
     def _max_valid(self, replies: dict[int, CounterReply]) -> int:
-        """Maximum counter value across MAC-valid attestations."""
+        """Maximum counter value across MAC-valid attestations.
+
+        Validity is epoch-aware: an attestation under a retired group
+        key contributes nothing (a Byzantine node replaying pre-rotation
+        material is refused here), while grace-window epochs still
+        verify. Reply *counting* for quorum purposes is unaffected — a
+        rejected attestation is an integrity non-event, not silence.
+        """
         best = 0
         for reply in replies.values():
             att = reply.attestation
-            if att is not None and att.verify(self.group_key) and att.value > best:
+            if att is None:
+                continue
+            if self._keyring(att.epoch) is None:
+                self.retired_rejections += 1
+                if _obs.ON:
+                    _obs.active().metrics.counter(
+                        "retired_epoch_rejections_total",
+                        "Material rejected for carrying a retired/unknown epoch",
+                        where="rote-client",
+                    ).inc()
+                continue
+            if att.verify(self._keyring) and att.value > best:
                 best = att.value
         return best
 
@@ -297,14 +336,18 @@ class RoteCluster:
                     self._backoff(attempt - 1)
                 if proposed is None:
                     # Cold start: derive the proposal from a quorum read.
-                    replies = self._round(lambda op: RetrieveRequest(op, log_id))
+                    replies = self._round(
+                        lambda op: RetrieveRequest(op, log_id, self.epoch)
+                    )
                     replied = len(replies)
                     if replied < self.quorum:
                         continue
                     proposed = max(
                         self._max_valid(replies), self._committed.get(log_id, 0)
                     ) + 1
-                attestation = CounterAttestation.sign(self.group_key, log_id, proposed)
+                attestation = CounterAttestation.sign(
+                    self.group_key, log_id, proposed, epoch=self.epoch
+                )
                 replies = self._round(
                     lambda op: IncrementRequest(op, log_id, attestation)
                 )
@@ -338,7 +381,9 @@ class RoteCluster:
             for attempt in range(self.max_retries + 1):
                 if attempt:
                     self._backoff(attempt - 1)
-                replies = self._round(lambda op: RetrieveRequest(op, log_id))
+                replies = self._round(
+                    lambda op: RetrieveRequest(op, log_id, self.epoch)
+                )
                 replied = len(replies)
                 if replied >= self.quorum:
                     value = max(
@@ -352,3 +397,17 @@ class RoteCluster:
                 f"ROTE retrieve failed after {self.max_retries} retries: "
                 f"{replied}/{self.n} replies, quorum {self.quorum}"
             )
+
+    def announce_epoch(self) -> dict[int, int]:
+        """Broadcast the current epoch; map each replier to its epoch.
+
+        Part of the rotation protocol: replicas that can derive the new
+        epoch adopt it (re-MACing their live state) and ack with the
+        epoch they now sit on, so the rotation coordinator can decide
+        whether the old epoch is safe to retire. Crashed or partitioned
+        replicas simply do not appear in the result — the coordinator
+        keeps the old epoch in its grace window for them.
+        """
+        self._apply_plan_faults()
+        replies = self._round(lambda op: EpochNotice(op, self.epoch))
+        return {node_id: reply.value for node_id, reply in replies.items()}

@@ -27,13 +27,13 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.crypto.hashing import constant_time_equal, hmac_sha256, sha256
-from repro.errors import SimulationError
+from repro.errors import RetiredEpochError, SealingError, SimulationError
 from repro.obs import hooks as _obs
 from repro.sgx.enclave import Enclave, EnclaveConfig
-from repro.sgx.sealing import KeyPolicy, SealedBlob, SigningAuthority
+from repro.sgx.sealing import EpochState, KeyPolicy, SealedBlob, SigningAuthority
 
 if TYPE_CHECKING:
     from repro.sim.network import SimNetwork
@@ -51,33 +51,73 @@ COUNTER_STATE_AD = b"rote-counter-state"
 
 @dataclass(frozen=True)
 class CounterAttestation:
-    """A counter value bound to its log under the replica-group key."""
+    """A counter value bound to its log under the replica-group key.
+
+    The MAC covers the key *epoch* the attestation was issued under, and
+    the epoch travels in clear next to it so a verifier can select the
+    matching group key — or reject fail-closed once that epoch retires.
+    """
 
     log_id: str
     value: int
     mac: bytes
+    epoch: int = 1
 
     @staticmethod
-    def _payload(log_id: str, value: int) -> bytes:
-        return b"rote-counter\x00" + log_id.encode() + b"\x00" + value.to_bytes(8, "big")
+    def _payload(log_id: str, value: int, epoch: int) -> bytes:
+        return (
+            b"rote-counter\x00"
+            + log_id.encode()
+            + b"\x00"
+            + value.to_bytes(8, "big")
+            + epoch.to_bytes(4, "big")
+        )
 
     @classmethod
-    def sign(cls, group_key: bytes, log_id: str, value: int) -> "CounterAttestation":
-        return cls(log_id, value, hmac_sha256(group_key, cls._payload(log_id, value)))
+    def sign(
+        cls, group_key: bytes, log_id: str, value: int, epoch: int = 1
+    ) -> "CounterAttestation":
+        return cls(
+            log_id,
+            value,
+            hmac_sha256(group_key, cls._payload(log_id, value, epoch)),
+            epoch,
+        )
 
-    def verify(self, group_key: bytes) -> bool:
+    def verify(
+        self, group_key: bytes | Callable[[int], bytes | None]
+    ) -> bool:
+        """MAC check under a raw key, or a keyring ``epoch -> key | None``.
+
+        With a keyring, an epoch the ring refuses to resolve (retired or
+        unknown) fails verification outright — the fail-closed path every
+        quorum participant shares.
+        """
         if self.value < 0 or self.value >= 1 << 63:
             return False
-        expected = hmac_sha256(group_key, self._payload(self.log_id, self.value))
+        key = group_key(self.epoch) if callable(group_key) else group_key
+        if key is None:
+            return False
+        expected = hmac_sha256(key, self._payload(self.log_id, self.value, self.epoch))
         return constant_time_equal(self.mac, expected)
 
     # JSON shape used inside sealed replica state.
     def to_json(self) -> dict:
-        return {"log_id": self.log_id, "value": self.value, "mac": self.mac.hex()}
+        return {
+            "log_id": self.log_id,
+            "value": self.value,
+            "mac": self.mac.hex(),
+            "epoch": self.epoch,
+        }
 
     @classmethod
     def from_json(cls, obj: dict) -> "CounterAttestation":
-        return cls(str(obj["log_id"]), int(obj["value"]), bytes.fromhex(obj["mac"]))
+        return cls(
+            str(obj["log_id"]),
+            int(obj["value"]),
+            bytes.fromhex(obj["mac"]),
+            int(obj.get("epoch", 1)),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -96,6 +136,10 @@ class IncrementRequest:
 class RetrieveRequest:
     op_id: int
     log_id: str
+    #: The requester's current key epoch: a replica that cannot derive
+    #: keys for it stays silent rather than answering with material the
+    #: requester would have to reject anyway.
+    epoch: int = 1
 
 
 @dataclass(frozen=True)
@@ -106,6 +150,14 @@ class CounterReply:
     value: int
     attestation: CounterAttestation | None
     op: str  # "increment" | "retrieve"
+
+
+@dataclass(frozen=True)
+class EpochNotice:
+    """Rotation announcement: adopt ``epoch`` and ack with your own."""
+
+    op_id: int
+    epoch: int
 
 
 @dataclass(frozen=True)
@@ -176,7 +228,10 @@ class LieModel:
             return history[0] if history else None
         # forge: a higher value under an invalid MAC.
         value = (current.value if current else 0) + self._rng.randint(1, 5)
-        return CounterAttestation(log_id, value, self._rng.randbytes(32))
+        return CounterAttestation(
+            log_id, value, self._rng.randbytes(32),
+            current.epoch if current else 1,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -192,10 +247,10 @@ def make_counter_enclave(
         EnclaveConfig(code_identity=code_version, signer_name=authority.name)
     )
 
-    def ecall_seal_counters(plaintext: bytes) -> bytes:
+    def ecall_seal_counters(plaintext: bytes, epoch: int | None = None) -> bytes:
         blob = authority.seal(
             enclave, plaintext, policy=KeyPolicy.MRSIGNER,
-            associated_data=COUNTER_STATE_AD,
+            associated_data=COUNTER_STATE_AD, epoch=epoch,
         )
         return blob.encode()
 
@@ -234,10 +289,16 @@ class RoteReplica:
         self.code_version = code_version
         self.address = f"{cluster_id}/replica-{node_id}"
         self.peers: tuple[str, ...] = ()
-        self.group_key = authority.derive_group_key(cluster_id.encode())
         self.enclave = make_counter_enclave(authority, code_version)
         self.crashed = False
         self.lie: LieModel | None = None
+        #: The key epoch this replica currently operates in.
+        self.epoch = authority.current_epoch
+        #: When set, the highest epoch this replica's (old) enclave binary
+        #: can derive keys for — the model of a node still running a
+        #: pre-rotation build. It refuses newer epochs until upgraded.
+        self.pinned: int | None = None
+        self.epoch_migrations = 0
         #: Transient unreachability: the node drops this many further
         #: request messages before answering again (injected timeouts).
         self.unreachable_rounds = 0
@@ -263,6 +324,74 @@ class RoteReplica:
     def equivocating(self) -> bool:
         return self.lie is not None
 
+    @property
+    def group_key(self) -> bytes:
+        """The group key for this replica's current epoch."""
+        return self.authority.derive_group_key(self.cluster_id.encode(), self.epoch)
+
+    # -- epoch lifecycle -------------------------------------------------
+
+    def _key_for(self, epoch: int) -> bytes | None:
+        """Group key for ``epoch`` if this replica may use it, else None.
+
+        A pinned (un-upgraded) replica cannot derive keys past its pin;
+        retired/unknown epochs yield nothing for anyone. This is the
+        replica-side fail-closed gate.
+        """
+        if self.pinned is not None and epoch > self.pinned:
+            return None
+        state = self.authority.epoch_state(epoch)
+        if state not in (EpochState.ACTIVE, EpochState.GRACE):
+            return None
+        return self.authority.derive_group_key(self.cluster_id.encode(), epoch)
+
+    def maybe_adopt(self, epoch: int) -> bool:
+        """Adopt a newer ACTIVE epoch: re-MAC state, re-seal the blob.
+
+        Old attestations stay in ``_history`` untouched — exactly the
+        pre-rotation material a Byzantine replica would later replay.
+        Returns True when the replica now operates in ``epoch``.
+        """
+        if epoch <= self.epoch:
+            return epoch == self.epoch
+        if self.pinned is not None and epoch > self.pinned:
+            return False
+        if self.authority.epoch_state(epoch) is not EpochState.ACTIVE:
+            return False
+        key = self.authority.derive_group_key(self.cluster_id.encode(), epoch)
+        self.epoch = epoch
+        for log_id, att in list(self._state.items()):
+            self._state[log_id] = CounterAttestation.sign(
+                key, log_id, att.value, epoch
+            )
+        self.epoch_migrations += 1
+        if self._state or self.sealed_state is not None:
+            self._persist()  # migrate the sealed blob to the new epoch
+        self._note("rote_replica_epoch_migrations_total")
+        return True
+
+    def pin(self) -> None:
+        """Freeze this replica on its current enclave build: it keeps
+        serving its epoch but cannot follow any future rotation."""
+        self.pinned = self.epoch
+
+    def upgrade(self, code_version: str) -> None:
+        """Install a new enclave build (same signer): unpin and rejoin.
+
+        The MRSIGNER-sealed counter blob survives the measurement change;
+        in-memory state is carried over (an upgrade is not a crash) and
+        re-sealed under the current epoch.
+        """
+        self.code_version = code_version
+        self.enclave.destroy()
+        self.enclave = make_counter_enclave(self.authority, code_version)
+        self.pinned = None
+        if not self.maybe_adopt(self.authority.current_epoch) and (
+            self._state or self.sealed_state is not None
+        ):
+            self._persist()
+        self._note("rote_replica_upgrades_total")
+
     # -- lifecycle -------------------------------------------------------
 
     def crash(self) -> None:
@@ -276,18 +405,39 @@ class RoteReplica:
         self._note("rote_replica_crashes_total")
 
     def restart(self) -> None:
-        """Rebuild the enclave, unseal state, rejoin with a catch-up read."""
+        """Rebuild the enclave, unseal state, rejoin with a catch-up read.
+
+        A sealed blob from an epoch that retired while the replica was
+        down no longer unseals (fail closed) — the replica then rejoins
+        empty and relies on the peer catch-up, exactly like a node whose
+        disk was lost. A blob still inside the grace window unseals, and
+        its attestations are re-MACed into the current epoch on accept.
+        """
         if not self.crashed:
             return
         self.enclave = make_counter_enclave(self.authority, self.code_version)
         self.crashed = False
         self.restarts += 1
+        self.epoch = min(
+            self.authority.current_epoch,
+            self.pinned if self.pinned is not None else self.authority.current_epoch,
+        )
         if self.sealed_state is not None:
-            raw = self.enclave.interface.ecall("unseal_counters", self.sealed_state)
-            for obj in json.loads(raw.decode()):
-                att = CounterAttestation.from_json(obj)
-                if att.verify(self.group_key):
-                    self._accept(att, persist=False)
+            try:
+                raw = self.enclave.interface.ecall(
+                    "unseal_counters", self.sealed_state
+                )
+            except RetiredEpochError:
+                self.sealed_state = None
+                self._note("rote_replica_retired_blobs_total")
+            except SealingError:
+                # Tampered at rest: never adopt, rejoin via peers only.
+                self.sealed_state = None
+            else:
+                for obj in json.loads(raw.decode()):
+                    att = CounterAttestation.from_json(obj)
+                    if att.verify(self._key_for):
+                        self._accept(att, persist=False)
         for peer in self.peers:
             self.network.send(self.address, peer, CatchupRequest(op_id=self.restarts))
         self._note("rote_replica_restarts_total")
@@ -305,21 +455,68 @@ class RoteReplica:
             self._handle_increment(message, src)
         elif isinstance(message, RetrieveRequest):
             self._handle_retrieve(message, src)
+        elif isinstance(message, EpochNotice):
+            self._handle_epoch_notice(message, src)
         elif isinstance(message, CatchupRequest):
             self._handle_catchup(message, src)
         elif isinstance(message, CatchupReply):
             self._merge_catchup(message)
 
+    def _epoch_gate(self, epoch: int) -> bool:
+        """Adopt a newer epoch if possible; True when this replica can
+        serve requests scoped to ``epoch``.
+
+        An honest replica that *cannot* derive the request's epoch keys
+        (pinned on a retired build, or the epoch is gone) must stay
+        silent: answering would either leak retired-epoch material or
+        acknowledge a value it cannot authenticate. Silence turns the
+        stuck replica into an availability fault — the quorum degrades
+        to FRESHNESS_UNVERIFIABLE instead of accepting anything stale.
+        A Byzantine node ignores the gate entirely.
+        """
+        if self.lie is not None:
+            return True
+        self.maybe_adopt(epoch)
+        return self._key_for(epoch) is not None
+
     def _handle_increment(self, message: IncrementRequest, src: str) -> None:
         att = message.attestation
-        if att.verify(self.group_key) and not (self.lie and self.lie.drop_writes):
+        if not self._epoch_gate(att.epoch):
+            self._note("rote_replica_epoch_silences_total")
+            return
+        if att.verify(self._key_for) and not (self.lie and self.lie.drop_writes):
             current = self._state.get(att.log_id)
             if current is None or att.value > current.value:
                 self._accept(att)
         self._reply(message.op_id, att.log_id, src, op="increment")
 
     def _handle_retrieve(self, message: RetrieveRequest, src: str) -> None:
+        if not self._epoch_gate(message.epoch):
+            self._note("rote_replica_epoch_silences_total")
+            return
         self._reply(message.op_id, message.log_id, src, op="retrieve")
+
+    def _handle_epoch_notice(self, message: EpochNotice, src: str) -> None:
+        """Adopt if possible, then ack with the epoch actually served.
+
+        Unlike the data path this always answers (when live): the ack
+        carries no counter material, and the rotation coordinator needs
+        to see exactly which replicas are stranded to bound the grace
+        window.
+        """
+        self.maybe_adopt(message.epoch)
+        self.network.send(
+            self.address,
+            src,
+            CounterReply(
+                op_id=message.op_id,
+                node_id=self.node_id,
+                log_id="",
+                value=self.epoch,
+                attestation=None,
+                op="epoch",
+            ),
+        )
 
     def _handle_catchup(self, message: CatchupRequest, src: str) -> None:
         if self.lie is not None:
@@ -339,7 +536,7 @@ class RoteReplica:
 
     def _merge_catchup(self, message: CatchupReply) -> None:
         for att in message.attestations:
-            if not att.verify(self.group_key):
+            if not att.verify(self._key_for):
                 continue
             current = self._state.get(att.log_id)
             if current is None or att.value > current.value:
@@ -368,6 +565,14 @@ class RoteReplica:
     # -- state -----------------------------------------------------------
 
     def _accept(self, att: CounterAttestation, persist: bool = True) -> None:
+        if att.epoch != self.epoch:
+            # Grace-window material (e.g. unsealed after a restart or a
+            # peer catch-up): store it re-MACed into this replica's own
+            # epoch so the stored state survives the old epoch's
+            # retirement. The original stays in history.
+            key = self._key_for(self.epoch)
+            if key is not None:
+                att = CounterAttestation.sign(key, att.log_id, att.value, self.epoch)
         self._state[att.log_id] = att
         history = self._history.setdefault(att.log_id, [])
         history.append(att)
@@ -382,7 +587,14 @@ class RoteReplica:
         payload = json.dumps(
             [self._state[log_id].to_json() for log_id in sorted(self._state)]
         ).encode()
-        self.sealed_state = self.enclave.interface.ecall("seal_counters", payload)
+        try:
+            self.sealed_state = self.enclave.interface.ecall(
+                "seal_counters", payload, self.epoch
+            )
+        except RetiredEpochError:
+            # A stranded build whose epoch retired mid-flight: keep the
+            # last good blob rather than sealing under dead keys.
+            self._note("rote_replica_persist_refused_total")
 
     def _note(self, name: str) -> None:
         if _obs.ON:

@@ -95,6 +95,16 @@ class SealedLogStorage(LogStorage):
     def clear_intent(self) -> None:
         self.inner.clear_intent()
 
+    # Rotation-intent sidecar: same reasoning — a signed public artifact.
+    def save_rotation(self, blob: bytes) -> None:
+        self.inner.save_rotation(blob)
+
+    def load_rotation(self) -> bytes | None:
+        return self.inner.load_rotation()
+
+    def clear_rotation(self) -> None:
+        self.inner.clear_rotation()
+
     @property
     def orphans_cleaned(self) -> list:
         return self.inner.orphans_cleaned

@@ -320,7 +320,12 @@ class LibSeal:
             log_id=instance.config.log_id,
         )
         instance.recovery_report = report
-        if report.detected or report.outcome is RecoveryOutcome.STORAGE_UNAVAILABLE:
+        if report.detected or report.outcome in (
+            RecoveryOutcome.STORAGE_UNAVAILABLE,
+            # Fail closed on a retired key lineage: resuming fresh here
+            # would silently abandon the sealed history.
+            RecoveryOutcome.RETIRED_EPOCH,
+        ):
             return None, report
         if report.log is not None:
             instance.audit_log = report.log
@@ -395,6 +400,8 @@ class LibSeal:
             "pairs_logged": self.pairs_logged,
             "entries": len(self.audit_log.chain),
             "head_counter": head.counter_value if head is not None else None,
+            "key_epoch": self.rote.authority.current_epoch,
+            "key_rotations": self.rote.authority.rotations,
         }
 
     @property

@@ -29,6 +29,17 @@ class SealingError(SecurityError):
     """Sealed data could not be unsealed (wrong authority or corrupt)."""
 
 
+class RetiredEpochError(SealingError):
+    """Sealed material references a retired (or unknown) key epoch.
+
+    Raised fail-closed wherever a sealed blob or attestation carries an
+    epoch whose keys have been rotated out: the material is not *proven*
+    tampered, but accepting it would resurrect key material the rotation
+    deliberately invalidated. Distinct from plain :class:`SealingError`
+    so recovery can classify "stale key lineage" separately from
+    ciphertext corruption."""
+
+
 class RollbackError(SecurityError):
     """A stale state was presented where freshness is required.
 

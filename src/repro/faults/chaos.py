@@ -37,8 +37,11 @@ from dataclasses import dataclass, field
 
 from repro.audit.log import AuditLog
 from repro.audit.persistence import InMemoryStorage
+from repro.audit.recovery import DETECTED_OUTCOMES, recover_log
+from repro.audit.rotation import KeyRotationCoordinator
 from repro.audit.rote import RoteCluster
 from repro.audit.rote_replica import LIE_SHAPES, LieModel
+from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
 from repro.core.libseal import LibSeal, LibSealConfig
 from repro.crypto.hashing import sha256_hex
 from repro.errors import (
@@ -49,7 +52,8 @@ from repro.errors import (
     SimulationError,
 )
 from repro.faults import hooks as _faults
-from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.plan import FaultEvent, FaultPlan, InjectedCrash
+from repro.sgx.sealing import EpochState, SealedBlob
 from repro.sim.network import SimNetwork
 from repro.ssm.messaging import MessagingSSM
 from repro.workloads.messaging_traffic import MessagingWorkload
@@ -62,7 +66,14 @@ FAMILIES = (
     "byzantine",
     "message-storm",
     "kitchen-sink",
+    "rotation-crash",
+    "rotation-stale-replica",
+    "rotation-byzantine-replay",
 )
+
+#: Checkpoints the rotation coordinator visits per ``rotate()`` call —
+#: the crash family picks one of them uniformly.
+ROTATION_CHECKPOINTS = 6
 
 #: Reseal attempts allowed after every fault healed before the oracle
 #: calls the run a liveness violation.
@@ -138,6 +149,14 @@ class ScenarioVerdict:
 #   ("reseal",)                       drain + retry sealing (bounded)
 #   ("probe_stale",)                  replay an old snapshot, expect reject
 #   ("verify",)                       full log verification (healthy only)
+#   ("rotate", reason)                run the key-rotation coordinator
+#   ("rotation_resume",)              replay a crashed rotation's WAL
+#   ("force_retire",)                 operator override: retire grace epochs
+#   ("pin", i) / ("upgrade", i)       stranded-build lifecycle of replica i
+#   ("probe_recover", outcome)        crash-recover a snapshot copy, expect
+#                                     the named fail-closed outcome
+#   ("check_epoch",)                  rotation convergence oracle
+#   ("check_replay",)                 retired-epoch rejections happened
 
 
 def _rng(family: str, seed: int) -> random.Random:
@@ -257,6 +276,64 @@ def _script_kitchen_sink(rng: random.Random, f: int, n: int) -> list:
     ]
 
 
+def _script_rotation_crash(rng: random.Random, f: int, n: int) -> list:
+    # The crash is scheduled on the rotation.step fault site (see
+    # _build_plan): it fires between two steps of the coordinator's WAL
+    # sequence, and the resume must replay to exactly one active epoch.
+    return [
+        ("pairs", rng.randint(3, 5)),
+        ("rotate", "scheduled"),
+        ("rotation_resume",),
+        ("pairs", rng.randint(2, 4)),
+        ("probe_stale",),
+        ("check_epoch",),
+        *_closing(rng),
+    ]
+
+
+def _script_rotation_stale_replica(rng: random.Random, f: int, n: int) -> list:
+    # f+1 replicas stay on a pre-rotation enclave build: the quorum is
+    # unreachable for the new epoch, so the client must degrade to
+    # freshness-unverifiable — never rollback-detected, never silent
+    # acceptance of old-epoch material. Upgrading the stragglers and
+    # replaying the rotation WAL then converges the group.
+    stuck = tuple(sorted(rng.sample(range(n), k=f + 1)))
+    return [
+        ("pairs", rng.randint(3, 5)),
+        *[("pin", i) for i in stuck],
+        ("rotate", "scheduled"),
+        ("pairs", rng.randint(2, 3)),
+        ("probe_recover", "freshness-unverifiable"),
+        ("force_retire",),
+        ("probe_recover", "retired-epoch"),
+        *[("upgrade", i) for i in stuck],
+        ("rotation_resume",),
+        ("check_epoch",),
+        *_closing(rng),
+    ]
+
+
+def _script_rotation_byzantine_replay(rng: random.Random, f: int, n: int) -> list:
+    # Liars whose reply material is frozen pre-rotation (drop_writes
+    # keeps their history on the old epoch) replay pre-rotation
+    # attestations after the old group key retires: every such HMAC must
+    # be rejected by the quorum logic (counted, never trusted).
+    liars = rng.sample(range(n), k=f)
+    shapes = [rng.choice(("stale_echo", "under_report")) for _ in liars]
+    return [
+        ("pairs", rng.randint(4, 6)),
+        *[("lie", liar, shape) for liar, shape in zip(liars, shapes)],
+        ("pairs", rng.randint(2, 3)),
+        ("rotate", "suspected-compromise"),
+        ("force_retire",),
+        ("pairs", rng.randint(3, 5)),
+        ("check_replay",),
+        ("probe_stale",),
+        *[("honest", liar) for liar in liars],
+        *_closing(rng),
+    ]
+
+
 _BUILDERS = {
     "partition-minority": _script_partition_minority,
     "partition-majority": _script_partition_majority,
@@ -265,27 +342,41 @@ _BUILDERS = {
     "byzantine": _script_byzantine,
     "message-storm": _script_message_storm,
     "kitchen-sink": _script_kitchen_sink,
+    "rotation-crash": _script_rotation_crash,
+    "rotation-stale-replica": _script_rotation_stale_replica,
+    "rotation-byzantine-replay": _script_rotation_byzantine_replay,
 }
 
 
 def _build_plan(family: str, rng: random.Random, f: int, n: int) -> FaultPlan | None:
-    if family != "restart-mid-increment":
-        return None
-    victim = rng.randrange(n)
-    # Visits are counted per quorum round, so both events land inside
-    # the first batch of pairs: the crash fires between rounds of a
-    # live operation, the restart a couple of rounds later.
-    at = rng.randint(2, 5)
-    return FaultPlan(
-        [
-            FaultEvent("rote.round", "node_crash", at=at,
-                       params={"node": victim}),
-            FaultEvent("rote.round", "node_recover",
-                       at=at + rng.randint(1, 2), params={"node": victim}),
-        ],
-        seed=rng.randint(0, 2**31),
-        scenario=family,
-    )
+    if family == "restart-mid-increment":
+        victim = rng.randrange(n)
+        # Visits are counted per quorum round, so both events land inside
+        # the first batch of pairs: the crash fires between rounds of a
+        # live operation, the restart a couple of rounds later.
+        at = rng.randint(2, 5)
+        return FaultPlan(
+            [
+                FaultEvent("rote.round", "node_crash", at=at,
+                           params={"node": victim}),
+                FaultEvent("rote.round", "node_recover",
+                           at=at + rng.randint(1, 2), params={"node": victim}),
+            ],
+            seed=rng.randint(0, 2**31),
+            scenario=family,
+        )
+    if family == "rotation-crash":
+        return FaultPlan(
+            [
+                FaultEvent(
+                    "rotation.step", "crash",
+                    at=rng.randint(1, ROTATION_CHECKPOINTS),
+                ),
+            ],
+            seed=rng.randint(0, 2**31),
+            scenario=family,
+        )
+    return None
 
 
 def build_scenario(family: str, seed: int, f: int = 1) -> ChaosScenario:
@@ -325,12 +416,25 @@ class ChaosHarness:
             log_id=f"chaos-{scenario.family}-{scenario.seed}",
             max_unsealed_pairs=CHAOS_MAX_UNSEALED,
         )
+        # Rotation families exercise the sealed-at-rest log path (the
+        # re-seal pass must migrate the encrypted snapshot, and a
+        # retired-epoch blob must fail closed at recovery); the other
+        # families keep the plain in-memory snapshot they always had.
+        self.epoch_aware = scenario.family.startswith("rotation-")
+        self.storage_inner = InMemoryStorage()
+        if self.epoch_aware:
+            self.log_enclave = make_log_enclave(self.cluster.authority)
+            storage = SealedLogStorage(self.storage_inner, self.log_enclave)
+        else:
+            self.log_enclave = None
+            storage = self.storage_inner
         self.libseal = LibSeal(
             MessagingSSM(),
             config=self.config,
             rote=self.cluster,
-            storage=InMemoryStorage(),
+            storage=storage,
         )
+        self.coordinator = KeyRotationCoordinator(self.libseal)
         # Posts only (fetch_ratio=0): a pair blocked by the audit buffer
         # still went through the service, and fetch-driven invariants
         # would then flag that divergence as a service violation — real,
@@ -360,12 +464,23 @@ class ChaosHarness:
         self.violations.append(message)
         self._note("VIOLATION", message)
 
+    def _epoch_stranded(self, i: int) -> bool:
+        """A replica pinned on a pre-rotation build is silent for every
+        current-epoch request — an availability fault, by design."""
+        replica = self.cluster.nodes[i]
+        return (
+            replica.pinned is not None
+            and replica.pinned < self.cluster.authority.current_epoch
+        )
+
     def _availability_expected(self) -> bool:
         """Can the client currently be denied a quorum legitimately?"""
         reachable_live = sum(
             1
             for i in range(self.cluster.n)
-            if i not in self.crashed and i not in self.partitioned
+            if i not in self.crashed
+            and i not in self.partitioned
+            and not self._epoch_stranded(i)
         )
         return reachable_live < self.cluster.quorum or self.storm
 
@@ -497,6 +612,123 @@ class ChaosHarness:
             "was accepted by AuditLog verification"
         )
 
+    # -- rotation actions + oracle probes --------------------------------
+
+    def _rotate(self, reason: str) -> None:
+        """Run the coordinator; an injected crash leaves the WAL behind."""
+        try:
+            report = self.coordinator.rotate(reason)
+        except InjectedCrash:
+            self._note(
+                "rotate", "crashed", self.cluster.authority.current_epoch
+            )
+            return
+        self._note(
+            "rotate", "done", report.to_epoch,
+            len(report.acks), tuple(report.retired),
+        )
+
+    def _rotation_resume(self) -> None:
+        """Replay a crashed rotation from its WAL entry (idempotent)."""
+        report = self.coordinator.resume()
+        if report is None:
+            self._note("rotation_resume", "no-wal")
+            return
+        self._note(
+            "rotation_resume", "replayed", report.to_epoch,
+            len(report.acks), tuple(report.retired),
+        )
+
+    def _upgrade(self, i: int) -> None:
+        """Upgrade a stranded replica's enclave build; audit the event."""
+        replica = self.cluster.nodes[i]
+        replica.upgrade("rote-counter-2.0")
+        self.libseal.audit_log.append_event(
+            "enclave_upgrade", f"replica {i} -> {replica.code_version}"
+        )
+        self._note("upgrade", i, replica.epoch)
+
+    def _probe_recover(self, expected: str) -> None:
+        """Run crash recovery against a copy of the stored snapshot.
+
+        While the quorum is stuck on a retired-epoch fault the outcome
+        must be a fail-closed degradation (``expected``), never a
+        rollback/tamper detection — rotation is not an attack.
+        """
+        clone = InMemoryStorage()
+        clone._blob = self.storage_inner._blob
+        clone._intent = self.storage_inner._intent
+        clone._rotation = self.storage_inner._rotation
+        storage = (
+            SealedLogStorage(clone, self.log_enclave)
+            if self.epoch_aware
+            else clone
+        )
+        report = recover_log(
+            storage,
+            self.libseal.signing_key,
+            self.libseal.signing_key.public_key(),
+            self.cluster,
+            log_id=self.config.log_id,
+        )
+        self._note("probe_recover", report.outcome.value)
+        if report.outcome in DETECTED_OUTCOMES:
+            self._violate(
+                f"recovery misclassified an epoch fault as "
+                f"{report.outcome.value} (expected {expected})"
+            )
+        elif report.outcome.value != expected:
+            self._violate(
+                f"recovery outcome {report.outcome.value}, expected {expected}"
+            )
+
+    def _check_epoch(self) -> None:
+        """Convergence oracle: one active epoch, no WAL, no stranded blobs."""
+        authority = self.cluster.authority
+        active = [
+            epoch
+            for epoch, entry in sorted(authority.epochs.items())
+            if entry.state is EpochState.ACTIVE
+        ]
+        if active != [authority.current_epoch]:
+            self._violate(
+                f"epoch registry not converged: active={active}, "
+                f"current={authority.current_epoch}"
+            )
+        if self.libseal.storage.load_rotation() is not None:
+            self._violate("rotation WAL entry outstanding after convergence")
+        stranded = []
+        for replica in self.cluster.nodes:
+            if replica.sealed_state is None:
+                continue
+            blob = SealedBlob.decode(replica.sealed_state)
+            if authority.epoch_state(blob.epoch) not in (
+                EpochState.ACTIVE,
+                EpochState.GRACE,
+            ):
+                stranded.append((replica.node_id, blob.epoch))
+        if stranded:
+            self._violate(f"unsealable replica blobs after rotation: {stranded}")
+        if self.epoch_aware and self.storage_inner._blob is not None:
+            blob = SealedBlob.decode(self.storage_inner._blob)
+            if authority.epoch_state(blob.epoch) not in (
+                EpochState.ACTIVE,
+                EpochState.GRACE,
+            ):
+                self._violate(
+                    f"sealed log snapshot stranded on epoch {blob.epoch}"
+                )
+        self._note("check_epoch", authority.current_epoch, len(authority.epochs))
+
+    def _check_replay(self) -> None:
+        """Non-vacuousness: pre-rotation replays were actually refused."""
+        if self.cluster.retired_rejections == 0:
+            self._violate(
+                "no retired-epoch attestation was rejected: the replay "
+                "family exercised nothing"
+            )
+        self._note("check_replay", self.cluster.retired_rejections)
+
     def _verify(self) -> None:
         if self._availability_expected() or self.libseal.degraded.active:
             self._note("verify", "skipped")
@@ -565,6 +797,24 @@ class ChaosHarness:
             self._probe_stale()
         elif kind == "verify":
             self._verify()
+        elif kind == "rotate":
+            self._rotate(action[1])
+        elif kind == "rotation_resume":
+            self._rotation_resume()
+        elif kind == "force_retire":
+            retired = self.coordinator.finish(force=True)
+            self._note("force_retire", tuple(retired))
+        elif kind == "pin":
+            self.cluster.nodes[action[1]].pin()
+            self._note("pin", action[1], self.cluster.nodes[action[1]].epoch)
+        elif kind == "upgrade":
+            self._upgrade(action[1])
+        elif kind == "probe_recover":
+            self._probe_recover(action[1])
+        elif kind == "check_epoch":
+            self._check_epoch()
+        elif kind == "check_replay":
+            self._check_replay()
         else:
             raise SimulationError(f"unknown chaos action {kind!r}")
         self._check_monotonic(kind)

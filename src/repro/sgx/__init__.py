@@ -25,7 +25,13 @@ from repro.sgx.attestation import AttestationService, Quote, QuotingEnclave
 from repro.sgx.counters import SgxMonotonicCounter
 from repro.sgx.enclave import Enclave, EnclaveConfig, EnclaveObject
 from repro.sgx.interface import EnclaveInterface, TransitionStats, transition_cost_cycles
-from repro.sgx.sealing import KeyPolicy, SealedBlob, SigningAuthority
+from repro.sgx.sealing import (
+    EpochState,
+    KeyEpoch,
+    KeyPolicy,
+    SealedBlob,
+    SigningAuthority,
+)
 
 __all__ = [
     "AttestationService",
@@ -38,6 +44,8 @@ __all__ = [
     "EnclaveInterface",
     "TransitionStats",
     "transition_cost_cycles",
+    "EpochState",
+    "KeyEpoch",
     "KeyPolicy",
     "SealedBlob",
     "SigningAuthority",

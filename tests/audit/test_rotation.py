@@ -1,0 +1,400 @@
+"""Key-rotation coordinator: WAL crash-safety, grace windows, fail-closed.
+
+The acceptance bar for the epochal key lifecycle:
+
+- a crash injected between *any* two steps of the rotation WAL replays
+  to exactly one active epoch with zero unsealable blobs;
+- a replica stranded on a pre-rotation build degrades the quorum to an
+  availability fault (freshness-unverifiable), never a rollback claim;
+- attestations MACed under a retired group key are rejected by the
+  quorum logic, so a Byzantine node cannot launder pre-rotation replays;
+- the rotation itself (and enclave upgrades) are audited events inside
+  the hash-chained log;
+- the MRENCLAVE→MRSIGNER reseal path migrates policy during upgrade.
+"""
+
+import pytest
+
+from repro.audit.hashchain import RotationIntent
+from repro.audit.log import EVENTS_TABLE
+from repro.audit.persistence import InMemoryStorage
+from repro.audit.recovery import RecoveryOutcome, recover_log
+from repro.audit.rotation import KeyRotationCoordinator
+from repro.audit.rote import RoteCluster
+from repro.audit.rote_replica import CounterAttestation, CounterReply
+from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
+from repro.core.libseal import LibSeal, LibSealConfig
+from repro.crypto.ecdsa import EcdsaSignature
+from repro.errors import IntegrityError, RetiredEpochError, SealingError
+from repro.faults import hooks as _faults
+from repro.faults.plan import FaultEvent, FaultPlan, InjectedCrash
+from repro.sgx import Enclave, EnclaveConfig, EpochState, KeyPolicy, SealedBlob
+from repro.sgx.sealing import SigningAuthority
+from repro.sim.network import SimNetwork
+from repro.ssm.messaging import MessagingSSM
+
+#: Checkpoints one rotate() call visits (kept in sync with the
+#: coordinator's _checkpoint() call sites).
+ROTATION_CHECKPOINTS = 6
+
+
+class Stack:
+    """A LibSeal on sealed storage with a live replica group."""
+
+    def __init__(self, f: int = 1, seed: int = 7):
+        self.network = SimNetwork(seed=seed, latency_steps=1, jitter_steps=1)
+        self.cluster = RoteCluster(
+            f=f, network=self.network, cluster_id="rot", seed=seed
+        )
+        self.authority = self.cluster.authority
+        self.inner = InMemoryStorage()
+        self.log_enclave = make_log_enclave(self.authority)
+        self.storage = SealedLogStorage(self.inner, self.log_enclave)
+        self.config = LibSealConfig(rote_f=f, log_id="rotation-test")
+        self.libseal = LibSeal(
+            MessagingSSM(),
+            config=self.config,
+            rote=self.cluster,
+            storage=self.storage,
+        )
+        self.coordinator = KeyRotationCoordinator(self.libseal)
+
+    def seed_activity(self, seals: int = 2) -> None:
+        """Seal a few epochs so replicas hold sealed counter state."""
+        for i in range(seals):
+            self.libseal.audit_log.append_event("workload", f"pair-{i}")
+            self.libseal.audit_log.seal_epoch()
+
+    def rotation_events(self) -> list[str]:
+        return [
+            values[2]
+            for table, values in self.libseal.audit_log._payloads
+            if table.lower() == EVENTS_TABLE and values[1] == "key_rotation"
+        ]
+
+    def assert_converged(self, expected_epoch: int) -> None:
+        """The crash-safety oracle: one epoch, no WAL, no dead blobs."""
+        authority = self.authority
+        active = [
+            epoch
+            for epoch, entry in authority.epochs.items()
+            if entry.state is EpochState.ACTIVE
+        ]
+        assert active == [expected_epoch]
+        assert authority.current_epoch == expected_epoch
+        assert self.storage.load_rotation() is None
+        usable = (EpochState.ACTIVE, EpochState.GRACE)
+        for replica in self.cluster.nodes:
+            if replica.sealed_state is not None:
+                blob = SealedBlob.decode(replica.sealed_state)
+                assert authority.epoch_state(blob.epoch) in usable, (
+                    f"replica {replica.node_id} blob stranded on {blob.epoch}"
+                )
+        assert self.inner._blob is not None
+        log_blob = SealedBlob.decode(self.inner._blob)
+        assert authority.epoch_state(log_blob.epoch) in usable
+
+
+@pytest.fixture
+def stack():
+    s = Stack()
+    s.seed_activity()
+    return s
+
+
+class TestHappyPath:
+    def test_rotate_end_to_end(self, stack):
+        report = stack.coordinator.rotate("scheduled hygiene")
+        assert report.to_epoch == 2
+        assert report.log_resealed
+        assert len(report.acks) == stack.cluster.n
+        assert report.converged
+        # Every replica adopted, so the old epoch retired immediately.
+        assert report.retired == [1]
+        stack.assert_converged(2)
+
+    def test_rotation_is_audited_in_the_log(self, stack):
+        stack.coordinator.rotate("compliance")
+        events = stack.rotation_events()
+        assert events == ["epoch 1->2: compliance"]
+        # The event rides the hash chain like any service tuple.
+        stack.libseal.verify_log()
+
+    def test_audit_status_reports_epoch(self, stack):
+        status = stack.libseal.audit_status()
+        assert status["key_epoch"] == 1
+        stack.coordinator.rotate("scheduled")
+        assert stack.libseal.audit_status()["key_epoch"] == 2
+        assert stack.libseal.audit_status()["key_rotations"] == 1
+
+    def test_replica_blobs_migrate_to_new_epoch(self, stack):
+        stack.coordinator.rotate("scheduled")
+        for replica in stack.cluster.nodes:
+            assert replica.epoch == 2
+            assert SealedBlob.decode(replica.sealed_state).epoch == 2
+            assert replica.epoch_migrations == 1
+
+    def test_sequential_rotations_bound_the_registry(self, stack):
+        for _ in range(3):
+            stack.coordinator.rotate("again")
+        assert stack.authority.current_epoch == 4
+        states = {
+            epoch: entry.state for epoch, entry in stack.authority.epochs.items()
+        }
+        assert states[4] is EpochState.ACTIVE
+        # grace_window=1 retires everything older than current-1; the
+        # coordinator retired even epoch 3 because the group converged.
+        assert states[1] is EpochState.RETIRED
+        assert states[2] is EpochState.RETIRED
+        assert states[3] is EpochState.RETIRED
+
+
+class TestCrashAtEveryStep:
+    @pytest.mark.parametrize("step", range(1, ROTATION_CHECKPOINTS + 1))
+    def test_crash_then_resume_converges(self, step):
+        stack = Stack()
+        stack.seed_activity()
+        plan = FaultPlan(
+            [FaultEvent("rotation.step", "crash", at=step)],
+            scenario="rotation-crash-test",
+        )
+        with _faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                stack.coordinator.rotate("scheduled")
+        # The WAL survived the crash; replay must converge.
+        report = stack.coordinator.resume()
+        assert report is not None
+        assert report.resumed
+        assert report.to_epoch == 2
+        stack.assert_converged(2)
+        # Idempotence: the registry rotated exactly once and the audited
+        # record was appended exactly once, no matter where the crash hit.
+        assert stack.authority.rotations == 1
+        assert stack.rotation_events() == ["epoch 1->2: scheduled"]
+
+    def test_resume_without_wal_is_noop(self, stack):
+        assert stack.coordinator.resume() is None
+
+    def test_double_resume_is_idempotent(self):
+        stack = Stack()
+        stack.seed_activity()
+        plan = FaultPlan(
+            [FaultEvent("rotation.step", "crash", at=3)],
+            scenario="rotation-crash-test",
+        )
+        with _faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                stack.coordinator.rotate("scheduled")
+        assert stack.coordinator.resume() is not None
+        assert stack.coordinator.resume() is None  # WAL cleared
+        stack.assert_converged(2)
+
+    def test_forged_wal_entry_is_discarded(self, stack):
+        intent = RotationIntent(
+            "rotation-test", 1, 2, "forged", EcdsaSignature(1, 1)
+        )
+        stack.storage.save_rotation(intent.encode())
+        assert stack.coordinator.resume() is None
+        assert stack.storage.load_rotation() is None
+        assert stack.authority.current_epoch == 1
+
+
+class TestStaleReplica:
+    def _strand(self, stack, count=2):
+        stuck = list(range(count))
+        for i in stuck:
+            stack.cluster.nodes[i].pin()
+        return stuck
+
+    def test_stranded_quorum_degrades_not_rollback(self, stack):
+        stuck = self._strand(stack)
+        report = stack.coordinator.rotate("scheduled")
+        # The re-seal could not reach a quorum: rotation stays pending.
+        assert not report.log_resealed
+        assert stack.libseal.degraded.active
+        assert stack.libseal.degraded.reason == "freshness-unverifiable"
+        assert stack.storage.load_rotation() is not None
+        # Stragglers acked their old epoch, so nothing was retired.
+        assert {report.acks[i] for i in stuck} == {1}
+        assert report.retired == []
+        assert stack.authority.epoch_state(1) is EpochState.GRACE
+
+    def test_recovery_classifies_stranded_quorum_as_unverifiable(self, stack):
+        self._strand(stack)
+        stack.coordinator.rotate("scheduled")
+        clone = InMemoryStorage()
+        clone._blob = stack.inner._blob
+        clone._intent = stack.inner._intent
+        report = recover_log(
+            SealedLogStorage(clone, stack.log_enclave),
+            stack.libseal.signing_key,
+            stack.libseal.signing_key.public_key(),
+            stack.cluster,
+            log_id=stack.config.log_id,
+        )
+        assert report.outcome is RecoveryOutcome.FRESHNESS_UNVERIFIABLE
+        assert not report.detected
+
+    def test_recovery_fails_closed_on_retired_blob(self, stack):
+        self._strand(stack)
+        stack.coordinator.rotate("scheduled")
+        retired = stack.coordinator.finish(force=True)
+        assert retired == [1]
+        clone = InMemoryStorage()
+        clone._blob = stack.inner._blob  # still sealed under epoch 1
+        report = recover_log(
+            SealedLogStorage(clone, stack.log_enclave),
+            stack.libseal.signing_key,
+            stack.libseal.signing_key.public_key(),
+            stack.cluster,
+            log_id=stack.config.log_id,
+        )
+        assert report.outcome is RecoveryOutcome.RETIRED_EPOCH
+        assert not report.detected
+        # LibSeal.recover refuses to resume on it.
+        libseal, report2 = LibSeal.recover(
+            MessagingSSM(),
+            SealedLogStorage(clone, stack.log_enclave),
+            config=stack.config,
+            signing_key=stack.libseal.signing_key,
+            rote=stack.cluster,
+        )
+        assert libseal is None
+        assert report2.outcome is RecoveryOutcome.RETIRED_EPOCH
+
+    def test_upgrade_and_replay_converge(self, stack):
+        stuck = self._strand(stack)
+        stack.coordinator.rotate("scheduled")
+        for i in stuck:
+            stack.cluster.nodes[i].upgrade("rote-counter-2.0")
+        report = stack.coordinator.resume()
+        assert report is not None and report.log_resealed
+        assert not stack.libseal.degraded.active
+        stack.assert_converged(2)
+        for i in stuck:
+            assert stack.cluster.nodes[i].epoch == 2
+            assert stack.cluster.nodes[i].pinned is None
+
+    def test_finish_without_force_waits_for_stragglers(self, stack):
+        self._strand(stack)
+        stack.coordinator.rotate("scheduled")
+        assert stack.coordinator.finish() == []
+        assert stack.authority.epoch_state(1) is EpochState.GRACE
+        for replica in stack.cluster.nodes:
+            if replica.pinned is not None:
+                replica.upgrade("rote-counter-2.0")
+        assert stack.coordinator.finish() == [1]
+        assert stack.authority.epoch_state(1) is EpochState.RETIRED
+
+
+class TestRetiredEpochReplay:
+    def test_retired_group_key_mac_rejected_by_quorum_logic(self, stack):
+        old_key = stack.authority.derive_group_key(b"rot", 1)
+        replay = CounterAttestation.sign(old_key, "rotation-test", 5, epoch=1)
+        # Pin one replica so the coordinator defers retirement: epoch 1
+        # sits in its grace window after the rotate.
+        stack.cluster.nodes[3].pin()
+        stack.coordinator.rotate("suspected compromise")
+        assert stack.authority.epoch_state(1) is EpochState.GRACE
+        # Grace window: the old lineage still verifies...
+        assert replay.verify(stack.cluster._keyring)
+        stack.authority.retire(1)
+        # ...until retirement, after which it proves nothing.
+        assert not replay.verify(stack.cluster._keyring)
+        before = stack.cluster.retired_rejections
+        reply = CounterReply(
+            op_id=1, node_id=0, log_id="rotation-test",
+            value=5, attestation=replay, op="retrieve",
+        )
+        assert stack.cluster._max_valid({0: reply}) == 0
+        assert stack.cluster.retired_rejections == before + 1
+
+    def test_replica_restart_in_grace_window_migrates_blob(self, stack):
+        victim = stack.cluster.nodes[3]
+        victim.crash()
+        stack.coordinator.rotate("scheduled")
+        victim.restart()
+        assert victim.epoch == 2
+        # The grace-window blob unsealed fine; the next write re-seals
+        # the counters under the new epoch.
+        assert SealedBlob.decode(victim.sealed_state).epoch == 1
+        stack.seed_activity(1)
+        assert SealedBlob.decode(victim.sealed_state).epoch == 2
+
+    def test_replica_restart_after_retirement_rejoins_empty(self, stack):
+        victim = stack.cluster.nodes[3]
+        victim.crash()
+        stack.coordinator.rotate("one")
+        stack.coordinator.rotate("two")  # epoch 1 now past the grace window
+        assert stack.authority.epoch_state(1) is EpochState.RETIRED
+        victim.restart()
+        # The retired blob failed closed: no state adopted from disk.
+        assert victim.sealed_state is None or (
+            SealedBlob.decode(victim.sealed_state).epoch != 1
+        )
+        # Peer catch-up repopulates the counters once messages drain.
+        stack.network.settle()
+        assert victim.counters.get("rotation-test") == stack.cluster._committed[
+            "rotation-test"
+        ]
+
+
+class TestPolicyMigration:
+    def test_mrenclave_to_mrsigner_reseal(self):
+        authority = SigningAuthority("acme", seed=b"policy-migration")
+        v1 = Enclave(EnclaveConfig(code_identity="v1", signer_name="acme"))
+        v1.interface.register_ecall("run", lambda fn: fn())
+        v2 = Enclave(EnclaveConfig(code_identity="v2", signer_name="acme"))
+        v2.interface.register_ecall("run", lambda fn: fn())
+
+        blob = v1.interface.ecall(
+            "run",
+            lambda: authority.seal(v1, b"secret", policy=KeyPolicy.MRENCLAVE),
+        )
+        # v2 cannot unseal MRENCLAVE-bound data...
+        with pytest.raises(SealingError):
+            v2.interface.ecall("run", lambda: authority.unseal(v2, blob))
+        # ...so the upgrade path reseals to MRSIGNER under the new epoch.
+        authority.rotate("enclave upgrade")
+        migrated = v1.interface.ecall(
+            "run",
+            lambda: authority.reseal(v1, blob, policy=KeyPolicy.MRSIGNER),
+        )
+        assert migrated.policy is KeyPolicy.MRSIGNER
+        assert migrated.epoch == 2
+        plain = v2.interface.ecall(
+            "run", lambda: authority.unseal(v2, migrated)
+        )
+        assert plain == b"secret"
+
+    def test_reseal_refuses_retired_source(self):
+        authority = SigningAuthority("acme", seed=b"policy-migration-2")
+        v1 = Enclave(EnclaveConfig(code_identity="v1", signer_name="acme"))
+        v1.interface.register_ecall("run", lambda fn: fn())
+        blob = v1.interface.ecall("run", lambda: authority.seal(v1, b"x"))
+        authority.rotate("one")
+        authority.rotate("two")
+        with pytest.raises(RetiredEpochError):
+            v1.interface.ecall("run", lambda: authority.reseal(v1, blob))
+
+
+class TestRotationIntentWire:
+    def test_roundtrip(self, stack):
+        intent = RotationIntent.sign(
+            stack.libseal.signing_key, "log", 3, 4, "why not"
+        )
+        decoded = RotationIntent.decode(intent.encode())
+        assert decoded == intent
+        decoded.verify(stack.libseal.signing_key.public_key())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(IntegrityError):
+            RotationIntent.decode(b"NOPE1\x00log\x001\x002\x00aa\x00bb")
+
+    def test_tampered_epoch_fails_verification(self, stack):
+        intent = RotationIntent.sign(
+            stack.libseal.signing_key, "log", 1, 2, "scheduled"
+        )
+        forged = RotationIntent("log", 1, 7, "scheduled", intent.signature)
+        with pytest.raises(IntegrityError):
+            forged.verify(stack.libseal.signing_key.public_key())

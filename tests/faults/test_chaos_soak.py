@@ -12,6 +12,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.faults.chaos import (
     FAMILIES,
+    ChaosHarness,
     build_scenario,
     run_scenario,
     run_soak,
@@ -39,6 +40,54 @@ class TestSoak:
         )
         assert any(v.stale_probes > 0 for v in by_family["byzantine"])
         assert any(v.network["lost"] > 0 for v in by_family["message-storm"])
+
+
+class TestRotationFamilies:
+    """The three rotation families exercise what they claim to.
+
+    Each family's distinguishing event must appear in the harness trace
+    for *every* seed — a rotation soak whose crash never fires, whose
+    stranded replicas never strand, or whose replayed attestations are
+    never rejected would pass the oracle vacuously.
+    """
+
+    SEEDS = range(5)
+
+    def _run(self, family, seed):
+        harness = ChaosHarness(build_scenario(family, seed))
+        verdict = harness.run()
+        assert verdict.ok, verdict.violations
+        return harness
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rotation_crash_fires_and_replays(self, seed):
+        harness = self._run("rotation-crash", seed)
+        heads = {event[:2] for event in harness.trace}
+        # The injected crash interrupted the coordinator mid-WAL...
+        assert ("rotate", "crashed") in heads
+        # ...and the replay completed it exactly once.
+        assert ("rotation_resume", "replayed") in heads
+        assert harness.cluster.authority.rotations == 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_stale_replica_degrades_then_retires(self, seed):
+        harness = self._run("rotation-stale-replica", seed)
+        probes = [
+            event[1] for event in harness.trace if event[0] == "probe_recover"
+        ]
+        # While the quorum is stranded: an availability fault, never a
+        # rollback claim; after forced retirement: fail-closed refusal.
+        assert probes == ["freshness-unverifiable", "retired-epoch"]
+        assert all(
+            replica.epoch == harness.cluster.authority.current_epoch
+            for replica in harness.cluster.nodes
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_byzantine_replay_is_rejected(self, seed):
+        harness = self._run("rotation-byzantine-replay", seed)
+        assert harness.cluster.retired_rejections > 0
+        assert any(event[0] == "check_replay" for event in harness.trace)
 
 
 class TestDeterminism:

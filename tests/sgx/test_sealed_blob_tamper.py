@@ -1,0 +1,190 @@
+"""Sealed-blob tamper matrix: every malformed envelope fails closed.
+
+A sealed blob on untrusted storage is adversary-controlled bytes. This
+matrix drives :meth:`SealedBlob.decode` / :meth:`SigningAuthority.unseal`
+through the envelope corruptions a hostile provider can produce —
+truncation, padding, policy-byte flips, foreign key_ids, retired and
+unknown epochs, cross-epoch replays — and asserts each one surfaces as a
+typed :class:`SealingError` (or its :class:`RetiredEpochError` subclass),
+never as a successful unseal or an unrelated exception.
+"""
+
+import pytest
+
+from repro.crypto.aead import NONCE_LEN
+from repro.errors import RetiredEpochError, SealingError
+from repro.sgx import (
+    Enclave,
+    EnclaveConfig,
+    EpochState,
+    KeyPolicy,
+    SealedBlob,
+    SigningAuthority,
+)
+from repro.sgx.sealing import EPOCH_TAG_LEN
+
+
+def make_enclave(identity="libseal", signer="acme"):
+    enclave = Enclave(EnclaveConfig(code_identity=identity, signer_name=signer))
+    enclave.interface.register_ecall("run", lambda fn: fn())
+    return enclave
+
+
+def inside(enclave, fn):
+    return enclave.interface.ecall("run", fn)
+
+
+@pytest.fixture
+def authority():
+    return SigningAuthority("acme", seed=b"tamper-matrix-seed")
+
+
+@pytest.fixture
+def enclave():
+    return make_enclave()
+
+
+@pytest.fixture
+def blob(authority, enclave):
+    return inside(enclave, lambda: authority.seal(enclave, b"counter state"))
+
+
+HEADER_LEN = 1 + EPOCH_TAG_LEN + 32 + NONCE_LEN
+
+
+class TestEnvelopeShape:
+    def test_truncated_below_header_rejected(self, blob):
+        encoded = blob.encode()
+        for cut in (0, 1, HEADER_LEN - 1):
+            with pytest.raises(SealingError):
+                SealedBlob.decode(encoded[:cut])
+
+    def test_truncated_ciphertext_fails_authentication(
+        self, authority, enclave, blob
+    ):
+        truncated = SealedBlob.decode(blob.encode()[:-4])
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, truncated))
+
+    def test_oversized_blob_fails_authentication(self, authority, enclave, blob):
+        padded = SealedBlob.decode(blob.encode() + b"\x00" * 16)
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, padded))
+
+    def test_policy_byte_flip_changes_key_selection(
+        self, authority, enclave, blob
+    ):
+        # MRSIGNER (0x02) flipped to MRENCLAVE (0x01): decode succeeds
+        # (both are valid policies) but the key_id no longer matches the
+        # measurement the flipped policy implies.
+        encoded = bytearray(blob.encode())
+        assert encoded[0] == 2
+        encoded[0] = 1
+        flipped = SealedBlob.decode(bytes(encoded))
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, flipped))
+
+    @pytest.mark.parametrize("bad_byte", [0, 3, 7, 0x41, 0xFF])
+    def test_invalid_policy_byte_rejected_at_decode(self, blob, bad_byte):
+        encoded = bytearray(blob.encode())
+        encoded[0] = bad_byte
+        with pytest.raises(SealingError, match="policy byte"):
+            SealedBlob.decode(bytes(encoded))
+
+
+class TestKeyIdentity:
+    def test_foreign_key_id_rejected(self, authority, enclave, blob):
+        forged = SealedBlob(
+            blob.policy, b"\xab" * 32, blob.nonce, blob.ciphertext, blob.epoch
+        )
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, forged))
+
+    def test_key_id_bitflip_rejected(self, authority, enclave, blob):
+        encoded = bytearray(blob.encode())
+        encoded[1 + EPOCH_TAG_LEN] ^= 0x80
+        mutated = SealedBlob.decode(bytes(encoded))
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, mutated))
+
+
+class TestEpochTag:
+    def test_unknown_epoch_rejected(self, authority, enclave, blob):
+        future = SealedBlob(
+            blob.policy, blob.key_id, blob.nonce, blob.ciphertext, epoch=99
+        )
+        with pytest.raises(RetiredEpochError):
+            inside(enclave, lambda: authority.unseal(enclave, future))
+
+    def test_retired_epoch_key_id_rejected(self, authority, enclave, blob):
+        # Two rotations with grace_window=1 push epoch 1 into RETIRED.
+        authority.rotate("first")
+        authority.rotate("second")
+        assert authority.epoch_state(blob.epoch) is EpochState.RETIRED
+        with pytest.raises(RetiredEpochError):
+            inside(enclave, lambda: authority.unseal(enclave, blob))
+
+    def test_grace_epoch_still_unseals(self, authority, enclave, blob):
+        authority.rotate("single rotation leaves epoch 1 in grace")
+        assert authority.epoch_state(blob.epoch) is EpochState.GRACE
+        plain = inside(enclave, lambda: authority.unseal(enclave, blob))
+        assert plain == b"counter state"
+
+    def test_cross_epoch_ciphertext_replay_rejected(self, authority, enclave):
+        # Ciphertext sealed under epoch 1 relabelled as epoch 2: the
+        # epoch tag selects a different sealing key, so authentication
+        # must fail — an attacker cannot launder old ciphertext into a
+        # fresh lineage by editing the clear-text tag.
+        old = inside(enclave, lambda: authority.seal(enclave, b"old secret"))
+        authority.rotate("migrate")
+        relabelled = SealedBlob(
+            old.policy, old.key_id, old.nonce, old.ciphertext, epoch=2
+        )
+        with pytest.raises(SealingError):
+            inside(enclave, lambda: authority.unseal(enclave, relabelled))
+
+    def test_epoch_tag_survives_encode_roundtrip(self, authority, enclave):
+        authority.rotate("bump")
+        blob = inside(enclave, lambda: authority.seal(enclave, b"fresh"))
+        assert blob.epoch == 2
+        assert SealedBlob.decode(blob.encode()).epoch == 2
+
+    def test_seal_refuses_retired_epoch(self, authority, enclave):
+        authority.rotate("one")
+        authority.rotate("two")
+        with pytest.raises(RetiredEpochError):
+            inside(enclave, lambda: authority.seal(enclave, b"x", epoch=1))
+
+    def test_rejections_are_counted(self, authority, enclave, blob):
+        authority.rotate("one")
+        authority.rotate("two")
+        before = authority.retired_rejections
+        with pytest.raises(RetiredEpochError):
+            inside(enclave, lambda: authority.unseal(enclave, blob))
+        assert authority.retired_rejections == before + 1
+
+
+class TestNonceScoping:
+    def test_nonce_streams_differ_across_epochs(self, authority, enclave):
+        first = inside(enclave, lambda: authority.seal(enclave, b"a"))
+        authority.rotate("bump")
+        second = inside(enclave, lambda: authority.seal(enclave, b"a"))
+        assert first.nonce != second.nonce
+
+    def test_nonces_never_repeat_within_epoch(self, authority, enclave):
+        nonces = {
+            inside(enclave, lambda: authority.seal(enclave, b"x")).nonce
+            for _ in range(32)
+        }
+        assert len(nonces) == 32
+
+    def test_grace_epoch_stream_continues_after_rotation(
+        self, authority, enclave
+    ):
+        before = inside(enclave, lambda: authority.seal(enclave, b"x"))
+        authority.rotate("bump")
+        during_grace = inside(
+            enclave, lambda: authority.seal(enclave, b"x", epoch=1)
+        )
+        assert during_grace.epoch == 1
+        assert during_grace.nonce != before.nonce
