@@ -16,6 +16,7 @@ forge, modify, delete or *roll back* log state. Defences, as in the paper:
   trimming that recomputes the chain over surviving entries.
 """
 
+from repro.audit.admission import AdmissionController
 from repro.audit.hashchain import (
     ChainEntry,
     HashChain,
@@ -38,6 +39,8 @@ from repro.audit.rote import RoteCluster, RoteNode
 from repro.audit.rote_replica import (
     CounterAttestation,
     EpochNotice,
+    JoinReply,
+    JoinRequest,
     LieModel,
     RoteReplica,
     make_counter_enclave,
@@ -63,9 +66,12 @@ __all__ = [
     "RecoveryOutcome",
     "RecoveryReport",
     "recover_log",
+    "AdmissionController",
     "RoteCluster",
     "RoteNode",
     "RoteReplica",
+    "JoinRequest",
+    "JoinReply",
     "CounterAttestation",
     "LieModel",
     "make_counter_enclave",

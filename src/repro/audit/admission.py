@@ -1,0 +1,139 @@
+"""Fail-closed attested admission for the ROTE replica group.
+
+ROTE's security argument starts from an attestation-established group:
+every counter node proved, via remote attestation, that it runs the
+expected enclave before it received the group secret (§5.1; ROTE §IV).
+The seed modelled the *secret* (the signing authority's derived group
+key) but not the *admission* — any network address could request
+catch-up state or inject replies. This module closes that gap.
+
+An :class:`AdmissionController` sits next to each protocol participant
+(every replica, plus the client) and tracks which peer addresses have
+presented verifiable attestation evidence bound to that address
+(:data:`~repro.sgx.ratls.BINDING_ROTE_JOIN`). Admission is fail-closed
+on both error classes of the verification pipeline:
+
+- a *security* failure (:class:`~repro.errors.AttestationError`:
+  forged/relabeled quote, policy violation, stale evidence, revoked
+  TCB) counts under ``admission_rejections`` and the peer stays out;
+- an *availability* failure
+  (:class:`~repro.errors.AttestationUnavailableError`: the attestation
+  service is down and no fresh cached verdict exists) counts under
+  ``admission_unavailable`` and the peer stays out — degraded
+  availability, never degraded integrity.
+
+Admissions are not forever: :meth:`revalidate` notices the service's
+``revocation_generation`` moving (a TCB advisory landed) and re-verifies
+every admitted peer's stored evidence with a *live* appraisal
+(``force_fresh``), evicting any peer that no longer verifies. Eviction
+on unavailability during revalidation is deliberate: once a revocation
+event is known to exist, "could not re-check" must not keep a
+potentially revoked peer inside the group.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AttestationError, AttestationUnavailableError
+from repro.obs import hooks as _obs
+from repro.sgx.ratls import AttestationVerifier, VerifiedIdentity
+
+
+class AdmissionController:
+    """Which peer addresses currently hold a verified attested identity."""
+
+    def __init__(self, verifier: AttestationVerifier, name: str = "admission"):
+        self.verifier = verifier
+        self.name = name
+        self._admitted: dict[str, VerifiedIdentity] = {}
+        #: Evidence as presented at admission time, kept for revalidation.
+        self._evidence: dict[str, bytes] = {}
+        self._generation = verifier.service.revocation_generation
+        self.admissions = 0
+        #: Evidence rejected by the verification pipeline (security).
+        self.admission_rejections = 0
+        #: Admissions refused because verification was impossible
+        #: (attestation-service outage past the cache window).
+        self.admission_unavailable = 0
+        #: Peers evicted by a post-revocation revalidation sweep.
+        self.revocations = 0
+
+    def _count(self, metric: str, help_text: str) -> None:
+        if _obs.ON:
+            _obs.active().metrics.counter(metric, help_text, gate=self.name).inc()
+
+    # -- admission -------------------------------------------------------
+
+    def admit(self, address: str, evidence: bytes) -> VerifiedIdentity:
+        """Verify ``evidence`` bound to ``address`` and admit the peer.
+
+        The address is taken from the *network source* of the join
+        message, not from any claim inside it — evidence replayed from a
+        different address fails the report-data binding and is counted
+        as a rejection. Raises on any failure; the peer is only admitted
+        when this returns."""
+        try:
+            identity = self.verifier.verify_join_evidence(evidence, address)
+        except AttestationUnavailableError:
+            self.admission_unavailable += 1
+            self._count(
+                "admission_unavailable_total",
+                "Admissions refused because attestation was unverifiable",
+            )
+            raise
+        except AttestationError:
+            self.admission_rejections += 1
+            self._count(
+                "admission_rejections_total",
+                "Join evidence rejected by the verification pipeline",
+            )
+            raise
+        self._admitted[address] = identity
+        self._evidence[address] = bytes(evidence)
+        self.admissions += 1
+        return identity
+
+    def is_admitted(self, address: str) -> bool:
+        return address in self._admitted
+
+    def identity(self, address: str) -> VerifiedIdentity | None:
+        return self._admitted.get(address)
+
+    def admitted_addresses(self) -> tuple[str, ...]:
+        return tuple(sorted(self._admitted))
+
+    def evict(self, address: str) -> bool:
+        """Drop a peer's admission (e.g. it provably misbehaved)."""
+        self._evidence.pop(address, None)
+        return self._admitted.pop(address, None) is not None
+
+    # -- revocation ------------------------------------------------------
+
+    def revalidate(self) -> tuple[str, ...]:
+        """Re-verify every admitted peer after a TCB change; returns the
+        addresses evicted.
+
+        Cheap when nothing happened: a single generation comparison.
+        When the service's ``revocation_generation`` moved, each stored
+        evidence blob is re-appraised live (``force_fresh`` — cached and
+        degraded verdicts are not acceptable once a revocation event is
+        known), and peers failing for *any* reason are evicted."""
+        generation = self.verifier.service.revocation_generation
+        if generation == self._generation:
+            return ()
+        self._generation = generation
+        evicted = []
+        for address in sorted(self._admitted):
+            try:
+                self._admitted[address] = self.verifier.verify_join_evidence(
+                    self._evidence[address], address, force_fresh=True
+                )
+            except (AttestationError, AttestationUnavailableError):
+                del self._admitted[address]
+                del self._evidence[address]
+                evicted.append(address)
+                self.revocations += 1
+                self._count(
+                    "admission_revocations_total",
+                    "Admitted peers evicted by revalidation after a TCB change",
+                )
+        return tuple(evicted)

@@ -47,16 +47,25 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.audit.admission import AdmissionController
 from repro.audit.rote_replica import (
     CounterAttestation,
     CounterReply,
     EpochNotice,
     IncrementRequest,
+    JoinReply,
+    JoinRequest,
     LieModel,
     RetrieveRequest,
     RoteReplica,
 )
-from repro.errors import QuorumUnavailableError, SimulationError
+from repro.errors import (
+    AttestationError,
+    AttestationUnavailableError,
+    QuorumUnavailableError,
+    SimulationError,
+)
+from repro.sgx.ratls import BINDING_ROTE_JOIN, AttestationPlane, make_node_enclave
 from repro.sgx.sealing import EpochState
 from repro.faults import hooks as _faults
 from repro.obs import hooks as _obs
@@ -90,6 +99,7 @@ class RoteCluster:
         authority: SigningAuthority | None = None,
         cluster_id: str = "rote",
         seed: int = 0,
+        attestation: AttestationPlane | None = None,
     ):
         if f < 0:
             raise SimulationError("f must be non-negative")
@@ -105,12 +115,14 @@ class RoteCluster:
         )
         self.cluster_id = cluster_id
         self.client_address = f"{cluster_id}/client"
+        self.attestation = attestation
         self.nodes = [
             RoteReplica(
                 node_id=i,
                 network=self.network,
                 authority=self.authority,
                 cluster_id=cluster_id,
+                plane=attestation,
             )
             for i in range(self.n)
         ]
@@ -119,6 +131,14 @@ class RoteCluster:
                 peer.address for peer in self.nodes if peer is not replica
             )
         self.network.register(self.client_address, self._on_message)
+        #: Attested mode: the client is a group member too — it runs its
+        #: own enclave, presents join evidence to every replica, and
+        #: keeps its own fail-closed admission map of the replicas.
+        self.admission: AdmissionController | None = None
+        self.client_enclave = None
+        #: Quorum replies discarded because the replier was not (or no
+        #: longer) an admitted attested identity.
+        self.replies_unadmitted = 0
         self._op_seq = 0
         self._inbox: dict[int, dict[int, CounterReply]] = {}
         #: Last value this client committed per log — the increment
@@ -134,6 +154,16 @@ class RoteCluster:
         #: Attestations discarded because their key epoch was retired —
         #: each one is a pre-rotation replay the quorum logic refused.
         self.retired_rejections = 0
+        if attestation is not None:
+            self.client_enclave = make_node_enclave(
+                "rote-client-1.0", self.authority.name
+            )
+            self.admission = AdmissionController(
+                attestation.verifier(self.client_address), name=self.client_address
+            )
+            for replica in self.nodes:
+                replica.watchers = (self.client_address,)
+            self._join_group()
 
     @property
     def replicas(self) -> list[RoteReplica]:
@@ -155,6 +185,47 @@ class RoteCluster:
         if state is None or state is EpochState.RETIRED:
             return None
         return self.authority.derive_group_key(self.cluster_id.encode(), epoch)
+
+    # ------------------------------------------------------------------
+    # Attested admission (client side)
+    # ------------------------------------------------------------------
+
+    def _client_evidence(self) -> bytes:
+        """Evidence quoting the client enclave over the client address."""
+        return self.attestation.evidence_for(
+            self.client_address,
+            self.client_enclave,
+            BINDING_ROTE_JOIN,
+            self.client_address.encode(),
+        ).encode()
+
+    def _join_group(self) -> None:
+        """Initial admission round: everyone presents evidence to everyone.
+
+        The client broadcasts its :class:`JoinRequest`; each replica that
+        verifies it admits the client and answers with its own evidence,
+        which admits the replica here. Replicas join each other the same
+        way. One network settle later the group is mutually attested —
+        minus any member whose evidence failed verification, which stays
+        un-admitted and is counted by the relevant controller."""
+        self._op_seq += 1
+        evidence = self._client_evidence()
+        for replica in self.nodes:
+            self.network.send(
+                self.client_address,
+                replica.address,
+                JoinRequest(self._op_seq, self.client_address, evidence),
+            )
+        for replica in self.nodes:
+            replica.join()
+        self.network.settle()
+
+    def _admit_peer(self, src: str, evidence: bytes) -> bool:
+        try:
+            self.admission.admit(src, evidence)
+        except (AttestationError, AttestationUnavailableError):
+            return False  # fail closed; the controller counted the reason
+        return True
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -190,6 +261,11 @@ class RoteCluster:
         """Apply any fault-plan events due at this operation."""
         for event in _faults.check("rote.op"):
             self._apply_event(event)
+        if self.admission is not None:
+            # Revocation must bite mid-traffic: any TCB change since the
+            # last operation evicts the affected replicas before their
+            # replies can count toward this operation's quorum.
+            self.admission.revalidate()
 
     def _apply_event(self, event) -> None:
         kind, params = event.kind, event.params
@@ -210,13 +286,49 @@ class RoteCluster:
                 self.delay(node_id, int(params.get("rounds", 1)))
         elif kind == "delay":
             self.total_latency_ms += float(params.get("ms", 1.0))
+        elif kind == "attest_outage" and self.attestation is not None:
+            self.attestation.service.outage(params.get("rounds"))
+        elif kind == "attest_restore" and self.attestation is not None:
+            self.attestation.service.restore()
+        elif kind == "tcb_status" and self.attestation is not None:
+            label = self.nodes[params["node"]].address
+            self.attestation.service.set_tcb_status(
+                self.attestation.platform(label).platform_id,
+                params.get("status", "revoked"),
+            )
+        elif kind == "clock_advance" and self.attestation is not None:
+            self.attestation.clock.advance(float(params.get("s", 0.0)))
 
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------
 
     def _on_message(self, message, src: str) -> None:
+        if isinstance(message, JoinRequest):
+            # A replica (re)joining — typically after a restart — wants
+            # mutual admission back: verify it, then hand it our own
+            # evidence so it can re-admit this client and serve it again.
+            if self.admission is not None and self._admit_peer(src, message.evidence):
+                self.network.send(
+                    self.client_address,
+                    src,
+                    JoinReply(message.op_id, self.client_address, self._client_evidence()),
+                )
+            return
+        if isinstance(message, JoinReply):
+            if self.admission is not None:
+                self._admit_peer(src, message.evidence)
+            return
         if not isinstance(message, CounterReply):
+            return
+        if self.admission is not None and not self.admission.is_admitted(src):
+            # Quorum arithmetic only ever counts attested group members.
+            self.replies_unadmitted += 1
+            if _obs.ON:
+                _obs.active().metrics.counter(
+                    "rote_replies_unadmitted_total",
+                    "Quorum replies discarded from un-admitted senders",
+                ).inc()
             return
         pending = self._inbox.get(message.op_id)
         if pending is None:

@@ -20,6 +20,18 @@ minority can never manufacture rollback evidence.
 Byzantine behaviour is pluggable through :class:`LieModel`: seeded,
 deterministic lie shapes replacing the single hardcoded equivocation of
 the old in-process ``RoteNode``.
+
+When constructed with an :class:`~repro.sgx.ratls.AttestationPlane`, the
+replica additionally runs *attested admission* (ROTE §IV): it presents
+quote-backed evidence binding its network address on :meth:`join`,
+verifies its peers' evidence through a fail-closed
+:class:`~repro.audit.admission.AdmissionController`, and silently drops
+counter and catch-up traffic from any address that has not been
+admitted. A restart wipes the admission state with the rest of memory,
+so a rejoining replica must re-attest its peers before it will adopt
+their catch-up material — during an attestation-service outage that
+means degraded availability (it rejoins empty-handed), never adoption
+of unverified state.
 """
 
 from __future__ import annotations
@@ -29,13 +41,22 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.audit.admission import AdmissionController
 from repro.crypto.hashing import constant_time_equal, hmac_sha256, sha256
-from repro.errors import RetiredEpochError, SealingError, SimulationError
+from repro.errors import (
+    AttestationError,
+    AttestationUnavailableError,
+    RetiredEpochError,
+    SealingError,
+    SimulationError,
+)
 from repro.obs import hooks as _obs
 from repro.sgx.enclave import Enclave, EnclaveConfig
+from repro.sgx.ratls import BINDING_ROTE_JOIN
 from repro.sgx.sealing import EpochState, KeyPolicy, SealedBlob, SigningAuthority
 
 if TYPE_CHECKING:
+    from repro.sgx.ratls import AttestationPlane
     from repro.sim.network import SimNetwork
 
 #: Attestations kept per log for lie models to replay (first + recent).
@@ -172,6 +193,29 @@ class CatchupReply:
     attestations: tuple[CounterAttestation, ...]
 
 
+@dataclass(frozen=True)
+class JoinRequest:
+    """Attested admission: ``address`` presents quote-backed evidence.
+
+    The evidence's report data binds the sender's network address (via
+    :data:`~repro.sgx.ratls.BINDING_ROTE_JOIN`), so a request relayed or
+    replayed from any other address fails verification. Receivers always
+    verify against the *network source*, never the claimed field."""
+
+    op_id: int
+    address: str
+    evidence: bytes
+
+
+@dataclass(frozen=True)
+class JoinReply:
+    """The mutual half of admission: the receiver's own evidence back."""
+
+    op_id: int
+    address: str
+    evidence: bytes
+
+
 # ----------------------------------------------------------------------
 # Byzantine lie models
 # ----------------------------------------------------------------------
@@ -281,6 +325,7 @@ class RoteReplica:
         authority: SigningAuthority,
         cluster_id: str = "rote",
         code_version: str = "rote-counter-1.0",
+        plane: "AttestationPlane | None" = None,
     ):
         self.node_id = node_id
         self.network = network
@@ -289,6 +334,19 @@ class RoteReplica:
         self.code_version = code_version
         self.address = f"{cluster_id}/replica-{node_id}"
         self.peers: tuple[str, ...] = ()
+        #: Non-replica addresses (the cluster client) that should also
+        #: receive this replica's join announcements.
+        self.watchers: tuple[str, ...] = ()
+        #: Attestation plane for attested deployments; None preserves the
+        #: legacy un-attested behaviour exactly.
+        self.plane = plane
+        self.admission = self._make_admission()
+        self.joins_sent = 0
+        #: Messages silently dropped because the sender was not admitted.
+        self.unadmitted_drops = 0
+        #: Catch-up attestations refused for carrying a retired/unknown
+        #: key epoch (pre-rotation replays smuggled via catch-up).
+        self.retired_rejections = 0
         self.enclave = make_counter_enclave(authority, code_version)
         self.crashed = False
         self.lie: LieModel | None = None
@@ -328,6 +386,61 @@ class RoteReplica:
     def group_key(self) -> bytes:
         """The group key for this replica's current epoch."""
         return self.authority.derive_group_key(self.cluster_id.encode(), self.epoch)
+
+    # -- attested admission ----------------------------------------------
+
+    @property
+    def attested(self) -> bool:
+        return self.plane is not None
+
+    def _make_admission(self) -> AdmissionController | None:
+        if self.plane is None:
+            return None
+        return AdmissionController(
+            self.plane.verifier(self.address), name=self.address
+        )
+
+    def _join_evidence(self) -> bytes:
+        """Fresh evidence quoting this replica's enclave over its address."""
+        return self.plane.evidence_for(
+            self.address, self.enclave, BINDING_ROTE_JOIN, self.address.encode()
+        ).encode()
+
+    def join(self) -> None:
+        """Present attestation evidence to every peer and watcher.
+
+        Each receiver that verifies the evidence admits this replica and
+        answers with a :class:`JoinReply` carrying its own evidence, so
+        one join round establishes mutual admission."""
+        if self.plane is None:
+            return
+        self.joins_sent += 1
+        evidence = self._join_evidence()
+        for dst in self.peers + self.watchers:
+            self.network.send(
+                self.address, dst, JoinRequest(self.joins_sent, self.address, evidence)
+            )
+
+    def _handle_join(self, message: JoinRequest, src: str) -> None:
+        if self.admission is None:
+            return  # un-attested deployment: join traffic is meaningless
+        try:
+            self.admission.admit(src, message.evidence)
+        except (AttestationError, AttestationUnavailableError):
+            return  # never admitted; the controller counted the reason
+        self.network.send(
+            self.address,
+            src,
+            JoinReply(message.op_id, self.address, self._join_evidence()),
+        )
+
+    def _handle_join_reply(self, message: JoinReply, src: str) -> None:
+        if self.admission is None:
+            return
+        try:
+            self.admission.admit(src, message.evidence)
+        except (AttestationError, AttestationUnavailableError):
+            return
 
     # -- epoch lifecycle -------------------------------------------------
 
@@ -401,6 +514,9 @@ class RoteReplica:
         self.crashed = True
         self._state = {}
         self._history = {}
+        #: Admission and its verifier cache live in enclave memory: a
+        #: restarted replica must re-attest everyone from scratch.
+        self.admission = None
         self.enclave.destroy()
         self._note("rote_replica_crashes_total")
 
@@ -416,6 +532,7 @@ class RoteReplica:
         if not self.crashed:
             return
         self.enclave = make_counter_enclave(self.authority, self.code_version)
+        self.admission = self._make_admission()
         self.crashed = False
         self.restarts += 1
         self.epoch = min(
@@ -438,6 +555,14 @@ class RoteReplica:
                     att = CounterAttestation.from_json(obj)
                     if att.verify(self._key_for):
                         self._accept(att, persist=False)
+        # Re-attest before catching up: joins are sent first, so every
+        # peer processes (and answers) the JoinRequest before it sees the
+        # CatchupRequest, and the JoinReply lands here before the
+        # CatchupReply — mutual admission is re-established exactly in
+        # time for the catch-up merge to accept it. If attestation is
+        # unverifiable (service outage), the catch-up replies are dropped
+        # un-adopted and this replica rejoins degraded but honest.
+        self.join()
         for peer in self.peers:
             self.network.send(self.address, peer, CatchupRequest(op_id=self.restarts))
         self._note("rote_replica_restarts_total")
@@ -447,6 +572,27 @@ class RoteReplica:
     def _on_message(self, message, src: str) -> None:
         if self.crashed:
             return
+        if isinstance(message, JoinRequest):
+            self._handle_join(message, src)
+            return
+        if isinstance(message, JoinReply):
+            self._handle_join_reply(message, src)
+            return
+        if self.admission is not None:
+            # A TCB change since the last message evicts revoked peers
+            # before anything from them is processed (cheap when idle).
+            self.admission.revalidate()
+            if isinstance(
+                message,
+                (IncrementRequest, RetrieveRequest, CatchupRequest, CatchupReply),
+            ) and not self.admission.is_admitted(src):
+                # Counter and catch-up traffic only flows between
+                # attested group members. EpochNotice stays ungated: it
+                # carries no counter material and its adoption path
+                # re-checks the authority's epoch state anyway.
+                self.unadmitted_drops += 1
+                self._note("rote_replica_unadmitted_drops_total")
+                return
         if isinstance(message, (IncrementRequest, RetrieveRequest)):
             if self.unreachable_rounds > 0:
                 self.unreachable_rounds -= 1
@@ -536,6 +682,22 @@ class RoteReplica:
 
     def _merge_catchup(self, message: CatchupReply) -> None:
         for att in message.attestations:
+            if self.authority.epoch_state(att.epoch) not in (
+                EpochState.ACTIVE,
+                EpochState.GRACE,
+            ):
+                # A retired/unknown epoch in a catch-up reply is a
+                # pre-rotation replay, not merely unverifiable material:
+                # count it so the rotation metric covers the catch-up
+                # path, then refuse it (fail closed).
+                self.retired_rejections += 1
+                if _obs.ON:
+                    _obs.active().metrics.counter(
+                        "retired_epoch_rejections_total",
+                        "Material rejected for carrying a retired/unknown epoch",
+                        where="catchup",
+                    ).inc()
+                continue
             if not att.verify(self._key_for):
                 continue
             current = self._state.get(att.log_id)

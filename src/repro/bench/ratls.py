@@ -1,0 +1,169 @@
+"""Measurement functions for the RA-TLS handshake-overhead benchmark.
+
+The attested-channels work (PR 7) puts a quote verification on the TLS
+handshake critical path. Two questions this bench pins down:
+
+- what does attestation *add* to a handshake — certificate wire growth
+  from the embedded evidence, modelled verification cycles relative to a
+  plain ECDHE handshake, and how far the verifier's bounded cache
+  amortises the attestation-service round trip across repeat
+  connections (deterministic ECDSA quotes make repeat evidence
+  byte-identical, so only the first handshake should appraise);
+- does the fail-closed path stay fail-closed under repetition — a peer
+  presenting forged evidence (unregistered platform) must be rejected
+  on *every* attempt, with no rejection ever landing in the cache.
+
+All gateable metrics are deterministic counts (bytes, verifications,
+appraisals, cache hits) or modelled-cycle ratios; wall-clock columns
+are informational only.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import AttestationError
+from repro.sgx.ratls import (
+    AttestationPlane,
+    make_attested_identity,
+    make_node_enclave,
+)
+from repro.sgx.sealing import SigningAuthority
+from repro.sim.costs import (
+    RATLS_QUOTE_CYCLES,
+    RATLS_VERIFY_CYCLES,
+    TLS_HANDSHAKE_CYCLES,
+)
+from repro.tls.bio import bio_pair
+from repro.tls.cert import CertificateAuthority, make_server_identity
+from repro.tls.connection import TLSConfig, TLSConnection, pump_handshake
+
+SUBJECT = "bench.ratls.example"
+
+
+def _handshake(ca, identity, *, verifier=None, run_id: int = 0):
+    """One client/server handshake; returns (client, server)."""
+    key, cert = identity
+    tag = run_id.to_bytes(4, "big")
+    c2s, s_from_c = bio_pair("c2s")
+    s2c, c_from_s = bio_pair("s2c")
+    server = TLSConnection(
+        TLSConfig(
+            certificate=cert,
+            private_key=key,
+            ca=ca,
+            drbg=HmacDrbg(seed=b"bench-hs-server" + tag),
+        ),
+        is_server=True,
+        rbio=s_from_c,
+        wbio=s2c,
+    )
+    client = TLSConnection(
+        TLSConfig(
+            ca=ca,
+            drbg=HmacDrbg(seed=b"bench-hs-client" + tag),
+            attestation_verifier=verifier,
+        ),
+        is_server=False,
+        rbio=c_from_s,
+        wbio=c2s,
+    )
+    pump_handshake(client, server)
+    return client, server
+
+
+def ratls_handshake_overhead(handshakes: int = 16) -> dict:
+    """Plain vs RA-TLS vs forged-evidence handshakes, ``handshakes`` each."""
+    ca = CertificateAuthority("bench-ratls-root", seed=b"bench-ratls-ca")
+    authority = SigningAuthority("bench-ratls-authority")
+    plane = AttestationPlane(authority, cache_ttl=3600.0)
+    enclave = make_node_enclave("bench-frontend-1.0", authority.name)
+
+    plain_identity = make_server_identity(ca, SUBJECT, seed=b"bench-plain")
+    attested_identity = make_attested_identity(
+        ca, SUBJECT, enclave, plane.platform("server")
+    )
+    forged_identity = make_attested_identity(
+        ca, SUBJECT, enclave, plane.rogue_platform("server")
+    )
+
+    rows = []
+
+    started = time.perf_counter()
+    for index in range(handshakes):
+        client, _ = _handshake(ca, plain_identity, run_id=index)
+        assert client.peer_attested_identity is None
+    plain_ms = (time.perf_counter() - started) * 1000.0
+    rows.append(["plain", handshakes, 0, 0, 0, round(plain_ms, 2)])
+
+    verifier = plane.verifier("bench-client")
+    started = time.perf_counter()
+    for index in range(handshakes):
+        client, _ = _handshake(
+            ca, attested_identity, verifier=verifier, run_id=100 + index
+        )
+        assert client.peer_attested_identity is not None
+        assert client.peer_attested_identity.tcb == "up-to-date"
+    ratls_ms = (time.perf_counter() - started) * 1000.0
+    accept_appraisals = plane.service.appraisals
+    rows.append(
+        [
+            "ra-tls",
+            handshakes,
+            verifier.verifications,
+            accept_appraisals,
+            verifier.cache_hits,
+            round(ratls_ms, 2),
+        ]
+    )
+
+    reject_verifier = plane.verifier("bench-client-reject")
+    appraisals_before = plane.service.appraisals
+    rejected = 0
+    started = time.perf_counter()
+    for index in range(handshakes):
+        try:
+            _handshake(
+                ca, forged_identity, verifier=reject_verifier, run_id=200 + index
+            )
+        except AttestationError:
+            rejected += 1
+    forged_ms = (time.perf_counter() - started) * 1000.0
+    rows.append(
+        [
+            "forged",
+            handshakes,
+            reject_verifier.verifications,
+            plane.service.appraisals - appraisals_before,
+            reject_verifier.cache_hits,
+            round(forged_ms, 2),
+        ]
+    )
+
+    evidence_bytes = len(attested_identity[1].evidence)
+    cert_growth = len(attested_identity[1].encode()) - len(
+        plain_identity[1].encode()
+    )
+    return {
+        "rows": rows,
+        "handshakes": handshakes,
+        "evidence_bytes": evidence_bytes,
+        "cert_growth_bytes": cert_growth,
+        "verifications": verifier.verifications,
+        "appraisals": accept_appraisals,
+        "cache_hits": verifier.cache_hits,
+        "rejected": rejected,
+        "reject_appraisals": plane.service.appraisals - appraisals_before,
+        "reject_cache_hits": reject_verifier.cache_hits,
+        # Modelled cycles: what RA-TLS adds to one cold handshake, and the
+        # one-time quote issuance amortised over the certificate lifetime.
+        "verify_overhead_pct": round(
+            100.0 * RATLS_VERIFY_CYCLES / TLS_HANDSHAKE_CYCLES, 2
+        ),
+        "quote_issuance_pct": round(
+            100.0 * RATLS_QUOTE_CYCLES / TLS_HANDSHAKE_CYCLES, 2
+        ),
+        "plain_ms": plain_ms,
+        "ratls_ms": ratls_ms,
+    }

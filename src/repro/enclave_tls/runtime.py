@@ -32,6 +32,7 @@ from repro.obs import hooks as _obs
 from repro.sgx.enclave import Enclave, EnclaveConfig
 from repro.sim.costs import (
     ENCLAVE_HANDSHAKE_FACTOR,
+    RATLS_VERIFY_CYCLES,
     TLS_HANDSHAKE_CYCLES,
     TLS_PER_BYTE_CYCLES,
 )
@@ -245,6 +246,7 @@ class EnclaveTlsRuntime:
                 "private_key": None,
                 "ca": None,
                 "verify_mode": SSL_VERIFY_NONE,
+                "attestation_verifier": None,
             }
             return handle
 
@@ -268,6 +270,12 @@ class EnclaveTlsRuntime:
 
         def ecall_ctx_set_info_callback(handle: int, cb_id: int) -> None:
             state["trampolines"].install(handle, "info", cb_id)
+
+        def ecall_ctx_set_attestation(handle: int, verifier: Any | None) -> None:
+            # RA-TLS: the verifier runs inside the enclave during the
+            # handshake; its policy (expected measurements, freshness)
+            # is enclave state untrusted code cannot edit afterwards.
+            state["contexts"][handle]["attestation_verifier"] = verifier
 
         # ---- ecalls: connection lifecycle -------------------------------
         def ecall_ssl_new(ctx_handle: int, rbio_id: int, wbio_id: int) -> int:
@@ -302,6 +310,7 @@ class EnclaveTlsRuntime:
                 require_client_cert=bool(ctx["verify_mode"] & SSL_VERIFY_PEER)
                 and is_server,
                 drbg=make_drbg(),
+                attestation_verifier=ctx["attestation_verifier"],
             )
             conn = TLSConnection(
                 config,
@@ -328,6 +337,10 @@ class EnclaveTlsRuntime:
                 done = conn.do_handshake()
                 if done and not already and _obs.ON:
                     cost = TLS_HANDSHAKE_CYCLES * ENCLAVE_HANDSHAKE_FACTOR
+                    if conn.config.attestation_verifier is not None:
+                        # RA-TLS adds one in-handshake evidence
+                        # verification (quote signature + policy).
+                        cost += RATLS_VERIFY_CYCLES
                     if obs_span is not None:
                         obs_span.add_cycles(cost)
                     _obs.active().metrics.counter(
@@ -391,6 +404,9 @@ class EnclaveTlsRuntime:
             cert = connection_of(handle).peer_certificate
             return cert.encode() if cert is not None else None
 
+        def ecall_ssl_get_peer_attested_identity(handle: int):
+            return connection_of(handle).peer_attested_identity
+
         def ecall_ssl_set_ex_data(handle: int, index: int, value: Any) -> None:
             state["connections"][handle]["ex_data"][index] = value
 
@@ -428,6 +444,7 @@ class EnclaveTlsRuntime:
         interface.register_ecall("ctx_load_verify", ecall_ctx_load_verify)
         interface.register_ecall("ctx_set_verify", ecall_ctx_set_verify)
         interface.register_ecall("ctx_set_info_callback", ecall_ctx_set_info_callback)
+        interface.register_ecall("ctx_set_attestation", ecall_ctx_set_attestation)
         interface.register_ecall("ssl_new", ecall_ssl_new)
         interface.register_ecall("ssl_accept", ecall_ssl_accept)
         interface.register_ecall("ssl_connect", ecall_ssl_connect)
@@ -436,6 +453,9 @@ class EnclaveTlsRuntime:
         interface.register_ecall("ssl_pending", ecall_ssl_pending)
         interface.register_ecall(
             "ssl_get_peer_certificate", ecall_ssl_get_peer_certificate
+        )
+        interface.register_ecall(
+            "ssl_get_peer_attested_identity", ecall_ssl_get_peer_attested_identity
         )
         interface.register_ecall("ssl_set_ex_data", ecall_ssl_set_ex_data)
         interface.register_ecall("ssl_get_ex_data", ecall_ssl_get_ex_data)
@@ -483,6 +503,14 @@ class EnclaveTlsRuntime:
         def SSL_CTX_set_info_callback(ctx: LibSealSSLCtx, callback) -> None:
             cb_id = runtime.callbacks.register(callback)
             interface.ecall("ctx_set_info_callback", ctx.handle, cb_id)
+
+        def SSL_CTX_set_attestation_verifier(ctx: LibSealSSLCtx, verifier) -> None:
+            interface.ecall("ctx_set_attestation", ctx.handle, verifier)
+
+        def SSL_get_peer_attested_identity(ssl: LibSealSSL):
+            return interface.ecall(
+                "ssl_get_peer_attested_identity", _checked_handle(ssl)
+            )
 
         def SSL_new(ctx: LibSealSSLCtx) -> LibSealSSL:
             # BIOs are attached later; allocate the handle lazily at
@@ -586,6 +614,8 @@ class EnclaveTlsRuntime:
             SSL_CTX_load_verify_locations=SSL_CTX_load_verify_locations,
             SSL_CTX_set_verify=SSL_CTX_set_verify,
             SSL_CTX_set_info_callback=SSL_CTX_set_info_callback,
+            SSL_CTX_set_attestation_verifier=SSL_CTX_set_attestation_verifier,
+            SSL_get_peer_attested_identity=SSL_get_peer_attested_identity,
             SSL_new=SSL_new,
             SSL_set_bio=SSL_set_bio,
             SSL_accept=SSL_accept,

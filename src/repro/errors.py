@@ -25,6 +25,35 @@ class AttestationError(SecurityError):
     """An enclave quote or measurement could not be verified."""
 
 
+class QuoteInvalidError(AttestationError):
+    """The quote itself is bad: malformed wire bytes, unknown platform,
+    broken attestation-key signature, or a report-data binding that does
+    not match what the evidence claims to attest (certificate key, replica
+    address, epoch, issue time)."""
+
+
+class MeasurementPolicyError(AttestationError):
+    """The quote verified cryptographically but names an enclave identity
+    (MRENCLAVE / MRSIGNER / key epoch) the relying party's policy does not
+    accept."""
+
+
+class StaleEvidenceError(AttestationError):
+    """Attestation evidence is outside the verifier's freshness window.
+
+    Replayed old-but-genuine evidence lands here: the quote signature is
+    valid, the binding matches, but the issue timestamp is too old (or
+    claims to come from the future)."""
+
+
+class TcbRevokedError(AttestationError):
+    """The attesting platform's TCB level has been revoked.
+
+    Fail-closed by definition: a revoked platform may be running known
+    compromised microcode, so its quotes prove nothing. Distinct from
+    ``out-of-date`` TCB, which is accepted with a warning metric."""
+
+
 class SealingError(SecurityError):
     """Sealed data could not be unsealed (wrong authority or corrupt)."""
 
@@ -55,6 +84,15 @@ class AvailabilityError(ReproError):
     Unlike :class:`SecurityError`, these are retryable: nothing has been
     proven about integrity, the operation just could not complete now.
     """
+
+
+class AttestationUnavailableError(AvailabilityError):
+    """The attestation service could not be reached within bounded retries
+    and no fresh cached verdict exists.
+
+    Deliberately an :class:`AvailabilityError`, not a security failure:
+    nothing has been proven about the peer, so callers must decline to
+    admit it (degrading availability) rather than record a violation."""
 
 
 class QuorumUnavailableError(AvailabilityError):

@@ -40,7 +40,14 @@ from repro.audit.persistence import InMemoryStorage
 from repro.audit.recovery import DETECTED_OUTCOMES, recover_log
 from repro.audit.rotation import KeyRotationCoordinator
 from repro.audit.rote import RoteCluster
-from repro.audit.rote_replica import LIE_SHAPES, LieModel
+from repro.audit.rote_replica import (
+    LIE_SHAPES,
+    CatchupReply,
+    CatchupRequest,
+    CounterAttestation,
+    JoinRequest,
+    LieModel,
+)
 from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
 from repro.core.libseal import LibSeal, LibSealConfig
 from repro.crypto.hashing import sha256_hex
@@ -53,7 +60,15 @@ from repro.errors import (
 )
 from repro.faults import hooks as _faults
 from repro.faults.plan import FaultEvent, FaultPlan, InjectedCrash
-from repro.sgx.sealing import EpochState, SealedBlob
+from repro.sgx.ratls import (
+    BINDING_ROTE_JOIN,
+    AttestationEvidence,
+    AttestationPlane,
+    make_node_enclave,
+    report_binding,
+)
+from repro.sgx.attestation import Quote
+from repro.sgx.sealing import EpochState, SealedBlob, SigningAuthority
 from repro.sim.network import SimNetwork
 from repro.ssm.messaging import MessagingSSM
 from repro.workloads.messaging_traffic import MessagingWorkload
@@ -69,7 +84,24 @@ FAMILIES = (
     "rotation-crash",
     "rotation-stale-replica",
     "rotation-byzantine-replay",
+    "attest-forged-join",
+    "attest-outage-restart",
+    "attest-revoked-tcb",
 )
+
+#: Attestation-plane knobs for the ``attest-*`` families: evidence stays
+#: fresh for minutes (joins re-quote anyway), while cached verification
+#: verdicts expire quickly enough for one scripted clock advance to push
+#: an outage past the degraded-serving window.
+CHAOS_ATTEST_FRESHNESS = 600.0
+CHAOS_ATTEST_CACHE_TTL = 30.0
+
+#: Counter value the forged-join intruder tries to smuggle in: high
+#: enough that any adoption anywhere is unmistakable.
+INTRUDER_POISON = 1 << 40
+
+#: Evidence tampers the forged-join intruder cycles through.
+INTRUDER_KINDS = ("rogue", "relabel", "epoch_relabel", "replay")
 
 #: Checkpoints the rotation coordinator visits per ``rotate()`` call —
 #: the crash family picks one of them uniformly.
@@ -157,6 +189,14 @@ class ScenarioVerdict:
 #                                     the named fail-closed outcome
 #   ("check_epoch",)                  rotation convergence oracle
 #   ("check_replay",)                 retired-epoch rejections happened
+#   ("intrude", kind)                 un-attested intruder attempts a join
+#   ("intrude_catchup",)              intruder probes catch-up both ways
+#   ("attest_outage",) / ("attest_restore",)  attestation-service lifecycle
+#   ("clock_advance", s)              advance the attestation plane clock
+#   ("tcb_revoke", i)                 revoke replica i's platform TCB
+#   ("check_intruder",)               intruder never admitted, tries counted
+#   ("check_outage", i)               degraded rejoin was fail-closed
+#   ("check_revoked", i)              revocation evicted + discounted i
 
 
 def _rng(family: str, seed: int) -> random.Random:
@@ -334,6 +374,69 @@ def _script_rotation_byzantine_replay(rng: random.Random, f: int, n: int) -> lis
     ]
 
 
+def _script_attest_forged_join(rng: random.Random, f: int, n: int) -> list:
+    # An un-attested intruder (rogue platform, tampered quotes, replayed
+    # or relabeled evidence) hammers the group's join path, then probes
+    # catch-up directly — including a poisoned CatchupReply whose
+    # attestation is MAC-valid (modelling a leaked group key): admission,
+    # not the MAC, must be what keeps it out.
+    kinds = list(INTRUDER_KINDS)
+    rng.shuffle(kinds)
+    actions: list = [("pairs", rng.randint(2, 4))]
+    for kind in kinds[: rng.randint(2, len(kinds))]:
+        actions += [("intrude", kind), ("pairs", rng.randint(1, 3))]
+    actions += [
+        ("intrude_catchup",),
+        ("pairs", rng.randint(1, 2)),
+        ("check_intruder",),
+        ("probe_stale",),
+        *_closing(rng),
+    ]
+    return actions
+
+
+def _script_attest_outage_restart(rng: random.Random, f: int, n: int) -> list:
+    # The attestation service dies, then a replica crashes and restarts
+    # behind it, with the plane clock advanced past the verdict-cache
+    # window: the rejoiner cannot re-attest anyone, so it must drop every
+    # catch-up reply un-adopted (degraded availability, zero unverified
+    # admission) while the remaining quorum keeps the service alive.
+    # Once the service is restored, a second restart converges the group.
+    victim = rng.randrange(n)
+    return [
+        ("pairs", rng.randint(2, 4)),
+        ("attest_outage",),
+        ("crash", victim),
+        ("clock_advance", round(rng.uniform(40.0, 90.0), 1)),
+        ("restart", victim),
+        ("pairs", rng.randint(2, 4)),
+        ("check_outage", victim),
+        ("attest_restore",),
+        ("crash", victim),
+        ("restart", victim),
+        ("pairs", rng.randint(1, 3)),
+        ("probe_stale",),
+        *_closing(rng),
+    ]
+
+
+def _script_attest_revoked_tcb(rng: random.Random, f: int, n: int) -> list:
+    # A TCB advisory revokes one replica's platform mid-traffic. The next
+    # operation's revalidation sweep must evict it everywhere (client and
+    # peers), its still-arriving replies must be discounted rather than
+    # trusted, and the group must keep serving on the remaining quorum.
+    victim = rng.randrange(n)
+    return [
+        ("pairs", rng.randint(3, 5)),
+        ("tcb_revoke", victim),
+        ("pairs", rng.randint(3, 5)),
+        ("check_revoked", victim),
+        ("pairs", rng.randint(1, 3)),
+        ("probe_stale",),
+        *_closing(rng),
+    ]
+
+
 _BUILDERS = {
     "partition-minority": _script_partition_minority,
     "partition-majority": _script_partition_majority,
@@ -345,6 +448,9 @@ _BUILDERS = {
     "rotation-crash": _script_rotation_crash,
     "rotation-stale-replica": _script_rotation_stale_replica,
     "rotation-byzantine-replay": _script_rotation_byzantine_replay,
+    "attest-forged-join": _script_attest_forged_join,
+    "attest-outage-restart": _script_attest_outage_restart,
+    "attest-revoked-tcb": _script_attest_revoked_tcb,
 }
 
 
@@ -404,11 +510,27 @@ class ChaosHarness:
         self.network = SimNetwork(
             seed=scenario.seed, latency_steps=1, jitter_steps=1
         )
+        # Attestation families run the cluster in attested mode: every
+        # member is admitted by verified quote-backed evidence, through
+        # a plane whose service/clock the scenario script can break.
+        self.attested = scenario.family.startswith("attest-")
+        if self.attested:
+            authority = SigningAuthority("rote-authority-chaos")
+            self.plane = AttestationPlane(
+                authority,
+                freshness_window=CHAOS_ATTEST_FRESHNESS,
+                cache_ttl=CHAOS_ATTEST_CACHE_TTL,
+            )
+        else:
+            authority = None
+            self.plane = None
         self.cluster = RoteCluster(
             f=scenario.f,
             network=self.network,
+            authority=authority,
             cluster_id="chaos",
             seed=scenario.seed,
+            attestation=self.plane,
         )
         self.config = LibSealConfig(
             flush_each_pair=True,
@@ -448,6 +570,17 @@ class ChaosHarness:
         self.crashed: set[int] = set()
         self.partitioned: set[int] = set()
         self.storm = False
+        #: Attestation-service availability, as the script last set it.
+        self.attest_down = False
+        #: Replicas that restarted during an attestation outage: their
+        #: mutual admission with the client is broken until they rejoin
+        #: with the service back, so they cannot serve quorum traffic.
+        self.unattested: set[int] = set()
+        #: Replicas whose platform TCB the script revoked: evicted from
+        #: the group, so unavailable for quorum purposes.
+        self.revoked: set[int] = set()
+        self.intruder_address = "chaos/intruder"
+        self._intruder_registered = False
         self.pairs_ok = 0
         self.pairs_blocked = 0
         self.stale_probes = 0
@@ -480,6 +613,8 @@ class ChaosHarness:
             for i in range(self.cluster.n)
             if i not in self.crashed
             and i not in self.partitioned
+            and i not in self.unattested
+            and i not in self.revoked
             and not self._epoch_stranded(i)
         )
         return reachable_live < self.cluster.quorum or self.storm
@@ -729,6 +864,194 @@ class ChaosHarness:
             )
         self._note("check_replay", self.cluster.retired_rejections)
 
+    # -- attestation actions + oracle probes ------------------------------
+
+    def _intruder_sink(self, message, src: str) -> None:
+        self._note("intruder_received", type(message).__name__)
+
+    def _ensure_intruder(self) -> None:
+        if not self._intruder_registered:
+            self.network.register(self.intruder_address, self._intruder_sink)
+            self._intruder_registered = True
+
+    def _intruder_evidence(self, kind: str) -> bytes:
+        """Forged/relabeled join evidence of the given tamper kind.
+
+        Every kind except ``rogue`` starts from material that would pass
+        policy untampered (registered platform, authority-signed
+        enclave), so the tamper itself is provably what gets caught."""
+        plane = self.plane
+        epoch = self.cluster.authority.current_epoch
+        now = plane.clock.now()
+        if kind == "replay":
+            # A legitimate replica's evidence, byte-identical, replayed
+            # from the intruder's address: the address binding must kill it.
+            victim = self.cluster.nodes[0]
+            return plane.evidence_for(
+                victim.address,
+                victim.enclave,
+                BINDING_ROTE_JOIN,
+                victim.address.encode(),
+            ).encode()
+        enclave = make_node_enclave(
+            "rote-counter-1.0", self.cluster.authority.name
+        )
+        binding = report_binding(
+            BINDING_ROTE_JOIN, self.intruder_address.encode(), epoch, now
+        )
+        if kind == "rogue":
+            # A platform the attestation service never provisioned: the
+            # quote verifies locally but appraisal must reject it.
+            quote = plane.rogue_platform("chaos-intruder").quote(enclave, binding)
+            return AttestationEvidence(quote, epoch, now).encode()
+        quote = plane.platform(self.intruder_address).quote(enclave, binding)
+        if kind == "relabel":
+            # Flip one measurement byte after signing: the attestation
+            # key's signature no longer covers the quote body.
+            tampered = bytes([quote.measurement[0] ^ 0x01]) + quote.measurement[1:]
+            quote = Quote(
+                tampered,
+                quote.signer_measurement,
+                quote.report_data,
+                quote.platform_id,
+                quote.signature,
+            )
+            return AttestationEvidence(quote, epoch, now).encode()
+        if kind == "epoch_relabel":
+            # Honest quote, dishonest wrapper: claim a different key
+            # epoch than the one the report data binds.
+            return AttestationEvidence(quote, epoch + 1, now).encode()
+        raise SimulationError(f"unknown intruder kind {kind!r}")
+
+    def _intrude(self, kind: str) -> None:
+        """The intruder asks everyone (replicas + client) to admit it."""
+        self._ensure_intruder()
+        evidence = self._intruder_evidence(kind)
+        targets = [r.address for r in self.cluster.nodes]
+        targets.append(self.cluster.client_address)
+        for dst in targets:
+            self.network.send(
+                self.intruder_address, dst, JoinRequest(1, self.intruder_address, evidence)
+            )
+        self.network.settle()
+        self._note("intrude", kind)
+
+    def _intrude_catchup(self) -> None:
+        """The intruder probes catch-up both ways: asks replicas for
+        their state, and offers a poisoned reply whose attestation is
+        MAC-valid under the group key (a leaked-key scenario) — only the
+        admission gate stands between it and adoption."""
+        self._ensure_intruder()
+        poisoned = CounterAttestation.sign(
+            self.cluster.group_key,
+            self.config.log_id,
+            INTRUDER_POISON,
+            epoch=self.cluster.epoch,
+        )
+        for replica in self.cluster.nodes:
+            self.network.send(
+                self.intruder_address, replica.address, CatchupRequest(op_id=999)
+            )
+            self.network.send(
+                self.intruder_address,
+                replica.address,
+                CatchupReply(op_id=999, node_id=99, attestations=(poisoned,)),
+            )
+        self.network.settle()
+        self._note("intrude_catchup")
+
+    def _check_intruder(self) -> None:
+        """Non-vacuousness: every intrusion was counted, none landed."""
+        gates = [self.cluster.admission] + [
+            r.admission for r in self.cluster.nodes
+        ]
+        rejections = sum(g.admission_rejections for g in gates if g is not None)
+        if rejections == 0:
+            self._violate(
+                "no admission rejection was recorded: the intruder "
+                "exercised nothing"
+            )
+        admitted_anywhere = [
+            g.name
+            for g in gates
+            if g is not None and g.is_admitted(self.intruder_address)
+        ]
+        if admitted_anywhere:
+            self._violate(f"intruder admitted at {admitted_anywhere}")
+        drops = sum(r.unadmitted_drops for r in self.cluster.nodes)
+        if drops == 0:
+            self._violate("intruder catch-up probes were not dropped/counted")
+        poisoned = [
+            (r.node_id, value)
+            for r in self.cluster.nodes
+            for value in r.counters.values()
+            if value >= INTRUDER_POISON
+        ]
+        if poisoned:
+            self._violate(f"poisoned catch-up value adopted: {poisoned}")
+        served = sum(
+            1 for event in self.trace if event[0] == "intruder_received"
+        )
+        if served:
+            self._violate(
+                f"replicas answered the un-admitted intruder {served} times"
+            )
+        self._note("check_intruder", rejections, drops)
+
+    def _check_outage(self, i: int) -> None:
+        """Non-vacuousness: the rejoin under outage was fail-closed."""
+        replica = self.cluster.nodes[i]
+        if replica.admission is None:
+            self._violate("outage check on an un-attested replica")
+            return
+        if replica.admission.admitted_addresses():
+            self._violate(
+                "replica re-admitted peers during the attestation outage: "
+                f"{replica.admission.admitted_addresses()}"
+            )
+        if replica.unadmitted_drops == 0:
+            self._violate(
+                "replica adopted (or never received) catch-up replies it "
+                "could not attest — expected counted drops"
+            )
+        refused = self.cluster.admission.admission_unavailable + sum(
+            r.admission.admission_unavailable
+            for r in self.cluster.nodes
+            if r.admission is not None
+        )
+        if refused == 0:
+            self._violate(
+                "no admission was refused as unverifiable during the outage"
+            )
+        self._note(
+            "check_outage", i, replica.unadmitted_drops, refused
+        )
+
+    def _check_revoked(self, i: int) -> None:
+        """Non-vacuousness: revocation evicted and discounted replica i."""
+        address = self.cluster.nodes[i].address
+        if self.cluster.admission.is_admitted(address):
+            self._violate(f"revoked replica {i} still admitted at the client")
+        if self.cluster.admission.revocations == 0:
+            self._violate("client revalidation evicted nothing after the TCB change")
+        peer_evictions = sum(
+            r.admission.revocations
+            for r in self.cluster.nodes
+            if r.admission is not None
+        )
+        if peer_evictions == 0:
+            self._violate("no peer evicted the revoked replica")
+        if self.cluster.replies_unadmitted == 0:
+            self._violate(
+                "the revoked replica's replies were never discounted — "
+                "the family exercised nothing"
+            )
+        self._note(
+            "check_revoked", i,
+            self.cluster.admission.revocations,
+            self.cluster.replies_unadmitted,
+        )
+
     def _verify(self) -> None:
         if self._availability_expected() or self.libseal.degraded.active:
             self._note("verify", "skipped")
@@ -769,6 +1092,13 @@ class ChaosHarness:
         elif kind == "restart":
             self.cluster.recover(action[1])
             self.crashed.discard(action[1])
+            if self.attested:
+                # Rejoining behind a dead attestation service leaves the
+                # replica unable to re-attest anyone — degraded, by design.
+                if self.attest_down:
+                    self.unattested.add(action[1])
+                else:
+                    self.unattested.discard(action[1])
             self._note("restart", action[1])
         elif kind == "lie":
             self.cluster.equivocate(
@@ -815,6 +1145,34 @@ class ChaosHarness:
             self._check_epoch()
         elif kind == "check_replay":
             self._check_replay()
+        elif kind == "intrude":
+            self._intrude(action[1])
+        elif kind == "intrude_catchup":
+            self._intrude_catchup()
+        elif kind == "attest_outage":
+            self.plane.service.outage()
+            self.attest_down = True
+            self._note("attest_outage")
+        elif kind == "attest_restore":
+            self.plane.service.restore()
+            self.attest_down = False
+            self._note("attest_restore")
+        elif kind == "clock_advance":
+            self.plane.clock.advance(action[1])
+            self._note("clock_advance", action[1])
+        elif kind == "tcb_revoke":
+            address = self.cluster.nodes[action[1]].address
+            self.plane.service.set_tcb_status(
+                self.plane.platform(address).platform_id, "revoked"
+            )
+            self.revoked.add(action[1])
+            self._note("tcb_revoke", action[1])
+        elif kind == "check_intruder":
+            self._check_intruder()
+        elif kind == "check_outage":
+            self._check_outage(action[1])
+        elif kind == "check_revoked":
+            self._check_revoked(action[1])
         else:
             raise SimulationError(f"unknown chaos action {kind!r}")
         self._check_monotonic(kind)

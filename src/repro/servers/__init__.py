@@ -8,6 +8,7 @@ supervises real client connections with bounded input paths and
 per-connection fault isolation.
 """
 
+from repro.servers.attest import AttestMonitor
 from repro.servers.connection import (
     BufferBoundViolation,
     ConnectionAborted,
@@ -22,6 +23,7 @@ from repro.servers.connection import (
 from repro.servers.machine import MachineConfig, RunResult, ServerMachine
 
 __all__ = [
+    "AttestMonitor",
     "BufferBoundViolation",
     "ConnectionAborted",
     "ConnectionLimits",

@@ -1,0 +1,125 @@
+"""The ``GET /attest`` monitoring endpoint.
+
+Operators of an RA-TLS deployment need to see, without an SGX toolchain
+in hand, what the front end is currently *claiming*: which quote its
+certificate embeds, which policy its verifier enforces, and whether the
+evidence still verifies against the live attestation service. This
+module wraps any existing HTTP :data:`~repro.servers.connection.Handler`
+with an :class:`AttestMonitor` that answers ``GET /attest`` with exactly
+that, as JSON, and forwards every other request untouched — so the
+endpoint rides inside the normal supervised connection path and inherits
+all of its bounds (request budget, pipelining depth, deadlines).
+
+The verification status is computed by running the front end's own
+certificate through its own verifier, so the endpoint reports
+``verified`` / a typed failure class / ``unavailable`` exactly as a
+connecting peer would experience it — including cache-served verdicts
+during an outage (``from_cache``) and, because cached entries are keyed
+to the service's revocation generation, a live rejection the moment a
+TCB advisory lands.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import AttestationError, AttestationUnavailableError
+from repro.http import HttpRequest, HttpResponse
+from repro.servers.connection import Handler
+from repro.sgx.ratls import AttestationEvidence
+
+
+def _evidence_summary(evidence_bytes: bytes) -> dict:
+    evidence = AttestationEvidence.decode(evidence_bytes)
+    return {
+        "measurement": evidence.quote.measurement.hex(),
+        "signer_measurement": evidence.quote.signer_measurement.hex(),
+        "platform_id": evidence.quote.platform_id.hex(),
+        "key_epoch": evidence.key_epoch,
+        "issued_at": evidence.issued_at,
+    }
+
+
+class AttestMonitor:
+    """Wrap ``inner`` with the ``GET /attest`` monitoring endpoint.
+
+    ``certificate`` is the front end's own (evidence-bearing) certificate
+    and ``verifier`` its :class:`~repro.sgx.ratls.AttestationVerifier`;
+    either may be None for a deployment running without RA-TLS, which the
+    endpoint reports honestly as ``unattested``."""
+
+    PATH = "/attest"
+
+    def __init__(
+        self,
+        inner: Handler,
+        certificate=None,
+        verifier=None,
+    ):
+        self.inner = inner
+        self.certificate = certificate
+        self.verifier = verifier
+        self.requests = 0
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        if request.path.split("?", 1)[0] != self.PATH:
+            return self.inner(request)
+        if request.method != "GET":
+            response = HttpResponse(405, reason="Method Not Allowed")
+            response.headers.set("Allow", "GET")
+            return response
+        self.requests += 1
+        body = json.dumps(self.status(), sort_keys=True).encode()
+        response = HttpResponse(200, body=body)
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    # -- the report ------------------------------------------------------
+
+    def status(self) -> dict:
+        """The front end's attestation posture as a JSON-ready dict."""
+        report: dict = {
+            "attested": False,
+            "evidence": None,
+            "policy": None,
+            "verification": {"status": "unattested"},
+            "verifier": None,
+        }
+        evidence_bytes = getattr(self.certificate, "evidence", b"")
+        if evidence_bytes:
+            report["attested"] = True
+            report["evidence"] = _evidence_summary(evidence_bytes)
+        if self.verifier is None:
+            return report
+        report["policy"] = self.verifier.policy.describe()
+        report["verifier"] = {
+            "verifications": self.verifier.verifications,
+            "cache_hits": self.verifier.cache_hits,
+            "degraded_hits": self.verifier.degraded_hits,
+            "rejections": self.verifier.rejections,
+            "unavailable": self.verifier.unavailable,
+            "tcb_warnings": self.verifier.tcb_warnings,
+            "service_available": self.verifier.service.available,
+        }
+        report["verification"] = self._self_verify(evidence_bytes)
+        return report
+
+    def _self_verify(self, evidence_bytes: bytes) -> dict:
+        if not evidence_bytes:
+            return {"status": "unattested"}
+        try:
+            identity = self.verifier.verify_tls_certificate(self.certificate)
+        except AttestationUnavailableError as exc:
+            return {"status": "unavailable", "detail": str(exc)}
+        except AttestationError as exc:
+            return {
+                "status": "rejected",
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+        return {
+            "status": "verified",
+            "tcb": identity.tcb,
+            "key_epoch": identity.key_epoch,
+            "from_cache": identity.from_cache,
+        }

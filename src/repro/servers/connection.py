@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import (
+    AttestationError,
     HTTPError,
     ProtocolViolation,
     ServiceError,
@@ -43,6 +44,7 @@ from repro.obs import hooks as _obs
 from repro.http.parser import DEFAULT_LIMITS, HttpLimits, extract_message
 from repro.tls.bio import bio_pair
 from repro.tls.connection import (
+    ALERT_BAD_CERTIFICATE,
     ALERT_BAD_RECORD_MAC,
     ALERT_HANDSHAKE_FAILURE,
     ALERT_UNEXPECTED_MESSAGE,
@@ -120,6 +122,10 @@ class FeedResult:
 
 
 def _alert_for(exc: Exception, established: bool) -> int:
+    if isinstance(exc, AttestationError):
+        # RA-TLS: the peer's certificate chain verified but its
+        # attestation evidence did not — bad_certificate, fail closed.
+        return ALERT_BAD_CERTIFICATE
     if isinstance(exc, TLSRecordError):
         return ALERT_UNEXPECTED_MESSAGE
     if isinstance(exc, TLSError) and not established:
@@ -216,7 +222,11 @@ class ServerConnection:
                         self._on_plaintext(plaintext, result)
             else:
                 self._on_plaintext(data, result)
-        except (TLSError, HTTPError, ProtocolViolation) as exc:
+        except (TLSError, HTTPError, ProtocolViolation, AttestationError) as exc:
+            # AttestationError: an RA-TLS peer whose evidence failed the
+            # verification pipeline is torn down exactly like any other
+            # handshake violation — alert, abort, isolate — and can never
+            # reach the HTTP layer.
             self.abort(exc)
             result.aborted = True
             result.violation = exc

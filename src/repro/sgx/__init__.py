@@ -21,10 +21,27 @@ interface, isolation rules, failure modes and cost behaviour:
   "bypassing logging").
 """
 
-from repro.sgx.attestation import AttestationService, Quote, QuotingEnclave
+from repro.sgx.attestation import (
+    TCB_OUT_OF_DATE,
+    TCB_REVOKED,
+    TCB_UP_TO_DATE,
+    AttestationService,
+    Quote,
+    QuotingEnclave,
+)
 from repro.sgx.counters import SgxMonotonicCounter
 from repro.sgx.enclave import Enclave, EnclaveConfig, EnclaveObject
 from repro.sgx.interface import EnclaveInterface, TransitionStats, transition_cost_cycles
+from repro.sgx.ratls import (
+    AttestationEvidence,
+    AttestationPlane,
+    AttestationPolicy,
+    AttestationVerifier,
+    LogicalClock,
+    VerifiedIdentity,
+    make_attested_identity,
+    report_binding,
+)
 from repro.sgx.sealing import (
     EpochState,
     KeyEpoch,
@@ -37,6 +54,17 @@ __all__ = [
     "AttestationService",
     "Quote",
     "QuotingEnclave",
+    "TCB_UP_TO_DATE",
+    "TCB_OUT_OF_DATE",
+    "TCB_REVOKED",
+    "AttestationEvidence",
+    "AttestationPlane",
+    "AttestationPolicy",
+    "AttestationVerifier",
+    "LogicalClock",
+    "VerifiedIdentity",
+    "make_attested_identity",
+    "report_binding",
     "SgxMonotonicCounter",
     "Enclave",
     "EnclaveConfig",

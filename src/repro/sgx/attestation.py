@@ -14,8 +14,27 @@ from dataclasses import dataclass
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey, EcdsaSignature
 from repro.crypto.hashing import sha256
-from repro.errors import AttestationError
+from repro.errors import (
+    AttestationError,
+    AttestationUnavailableError,
+    MeasurementPolicyError,
+    QuoteInvalidError,
+    TcbRevokedError,
+    TLSError,
+)
+from repro.faults import hooks as _faults
 from repro.sgx.enclave import Enclave
+from repro.tls.codec import Reader, encode_parts
+
+# TCB (trusted computing base) levels the service reports per platform,
+# mirroring IAS/DCAP appraisal statuses. The relying-party policy ladder
+# is fixed: UP_TO_DATE → accept, OUT_OF_DATE → accept but count a
+# warning, REVOKED → fail closed.
+TCB_UP_TO_DATE = "up-to-date"
+TCB_OUT_OF_DATE = "out-of-date"
+TCB_REVOKED = "revoked"
+
+TCB_STATUSES = (TCB_UP_TO_DATE, TCB_OUT_OF_DATE, TCB_REVOKED)
 
 
 @dataclass(frozen=True)
@@ -36,6 +55,31 @@ class Quote:
             + self.report_data
             + self.platform_id
         )
+
+    def encode(self) -> bytes:
+        return encode_parts(
+            self.measurement,
+            self.signer_measurement,
+            self.report_data,
+            self.platform_id,
+            self.signature.encode(),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Quote":
+        try:
+            reader = Reader(data)
+            measurement = reader.read_bytes()
+            signer = reader.read_bytes()
+            report_data = reader.read_bytes()
+            platform_id = reader.read_bytes()
+            signature = EcdsaSignature.decode(reader.read_bytes())
+            reader.expect_end()
+        except (TLSError, ValueError) as exc:
+            raise QuoteInvalidError(f"malformed quote: {exc}") from exc
+        if len(report_data) != 64:
+            raise QuoteInvalidError("quote report_data is not 64 bytes")
+        return cls(measurement, signer, report_data, platform_id, signature)
 
 
 class QuotingEnclave:
@@ -73,28 +117,111 @@ class QuotingEnclave:
 
 
 class AttestationService:
-    """Verification service (the IAS role): validates quotes from known CPUs."""
+    """Verification service (the IAS role): validates quotes from known CPUs.
+
+    Beyond the original verify-or-raise API the service now reports a
+    per-platform TCB status (:data:`TCB_UP_TO_DATE` /
+    :data:`TCB_OUT_OF_DATE` / :data:`TCB_REVOKED`) and is
+    fault-injectable: an *outage* makes every appraisal raise
+    :class:`AttestationUnavailableError` until :meth:`restore` — the
+    verifier layer above decides whether a cached verdict may stand in.
+    ``revocation_generation`` increments on every TCB change so cached
+    verdicts can be invalidated without polling.
+    """
+
+    FAULT_SITE = "attest.verify"
 
     def __init__(self) -> None:
         self._known_platforms: dict[bytes, EcdsaPublicKey] = {}
+        self._tcb_status: dict[bytes, str] = {}
+        self.available = True
+        self._outage_rounds = 0
+        self.revocation_generation = 0
+        self.appraisals = 0
+        self.unavailable_calls = 0
 
-    def register_platform(self, quoting_enclave: QuotingEnclave) -> None:
+    def register_platform(
+        self, quoting_enclave: QuotingEnclave, tcb_status: str = TCB_UP_TO_DATE
+    ) -> None:
         """Enroll a platform's attestation key (Intel provisioning)."""
+        if tcb_status not in TCB_STATUSES:
+            raise ValueError(f"unknown TCB status {tcb_status!r}")
         self._known_platforms[quoting_enclave.platform_id] = (
             quoting_enclave.attestation_public_key
         )
+        self._tcb_status[quoting_enclave.platform_id] = tcb_status
 
-    def verify(self, quote: Quote, expected_measurement: bytes | None = None) -> None:
-        """Validate ``quote``; raises :class:`AttestationError` on failure."""
+    def set_tcb_status(self, platform_id: bytes, tcb_status: str) -> None:
+        """Change a platform's TCB level (e.g. a security advisory lands).
+
+        Bumps ``revocation_generation`` so relying parties re-appraise
+        cached identities instead of trusting stale verdicts."""
+        if tcb_status not in TCB_STATUSES:
+            raise ValueError(f"unknown TCB status {tcb_status!r}")
+        if platform_id not in self._known_platforms:
+            raise ValueError("cannot set TCB status for an unknown platform")
+        self._tcb_status[platform_id] = tcb_status
+        self.revocation_generation += 1
+
+    def outage(self, rounds: int | None = None) -> None:
+        """Take the service down: indefinitely, or for ``rounds`` calls."""
+        if rounds is None:
+            self.available = False
+        else:
+            self._outage_rounds = rounds
+
+    def restore(self) -> None:
+        self.available = True
+        self._outage_rounds = 0
+
+    def _check_available(self) -> None:
+        for event in _faults.check(self.FAULT_SITE):
+            if event.kind == "outage":
+                self._outage_rounds = max(
+                    self._outage_rounds, int(event.params.get("rounds", 1))
+                )
+            elif event.kind == "restore":
+                self.restore()
+        if self._outage_rounds > 0:
+            self._outage_rounds -= 1
+            self.unavailable_calls += 1
+            raise AttestationUnavailableError(
+                "attestation service unavailable (transient outage)"
+            )
+        if not self.available:
+            self.unavailable_calls += 1
+            raise AttestationUnavailableError("attestation service unavailable")
+
+    def appraise(self, quote: Quote) -> str:
+        """Validate ``quote`` and return the platform's TCB status.
+
+        Raises :class:`QuoteInvalidError` for unknown platforms or bad
+        attestation-key signatures, :class:`TcbRevokedError` for revoked
+        platforms, and :class:`AttestationUnavailableError` during an
+        outage (an availability condition, not a verdict)."""
+        self._check_available()
+        self.appraisals += 1
         public_key = self._known_platforms.get(quote.platform_id)
         if public_key is None:
-            raise AttestationError("quote from unknown platform")
+            raise QuoteInvalidError("quote from unknown platform")
         if not public_key.verify(quote.signed_payload(), quote.signature):
-            raise AttestationError("quote signature invalid")
+            raise QuoteInvalidError("quote signature invalid")
+        status = self._tcb_status.get(quote.platform_id, TCB_UP_TO_DATE)
+        if status == TCB_REVOKED:
+            raise TcbRevokedError("attesting platform TCB is revoked")
+        return status
+
+    def verify(self, quote: Quote, expected_measurement: bytes | None = None) -> None:
+        """Validate ``quote``; raises :class:`AttestationError` on failure.
+
+        The original strict API: appraisal plus an optional exact
+        MRENCLAVE match. Kept for callers that do not need the TCB
+        ladder."""
+        self.appraise(quote)
         if (
             expected_measurement is not None
             and quote.measurement != expected_measurement
         ):
-            raise AttestationError(
+            raise MeasurementPolicyError(
                 "enclave measurement does not match the expected LibSEAL build"
             )

@@ -60,6 +60,13 @@ ASYNC_HANDOFF_LATENCY_S = 15e-6  # slot write -> task pickup -> resume
 # the copy crosses the EPC twice and doubles the session-state sync.
 ENCLAVE_PROXY_RELAY_CYCLES = 3.2e6
 
+# --- class 2c: RA-TLS attestation deltas ------------------------------------
+# Verifying embedded evidence during the handshake: one ECDSA verify over
+# the quote, report-data binding recompute, and the policy walk. Generating
+# the evidence (quoting) happens once per certificate, not per handshake.
+RATLS_VERIFY_CYCLES = 1.3e6
+RATLS_QUOTE_CYCLES = 0.9e6  # EREPORT + QE signing, amortised at issuance
+
 # --- class 3: physical estimates --------------------------------------------
 LAN_LATENCY_S = 100e-6
 NET_EFFICIENCY = 0.88  # protocol framing overhead on the 10 Gbps link

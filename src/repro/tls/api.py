@@ -60,6 +60,9 @@ class SSL_CTX:
     info_callback: Callable[[Any, int, int], None] | None = None
     drbg_seed: bytes = b"ssl-ctx"
     sessions_created: int = 0
+    #: RA-TLS: duck-typed attestation verifier applied to peer
+    #: certificates during the handshake (see TLSConfig).
+    attestation_verifier: Any | None = None
 
 
 class SSL:
@@ -91,6 +94,7 @@ class SSL:
             drbg=HmacDrbg(
                 seed=self.ctx.drbg_seed + self.ctx.sessions_created.to_bytes(4, "big")
             ),
+            attestation_verifier=self.ctx.attestation_verifier,
         )
         self.conn = TLSConnection(config, is_server, self.rbio, self.wbio)
         self.conn.info_callback = self._relay_info
@@ -136,6 +140,20 @@ def SSL_CTX_set_info_callback(
     ctx: SSL_CTX, callback: Callable[[Any, int, int], None] | None
 ) -> None:
     ctx.info_callback = callback
+
+
+def SSL_CTX_set_attestation_verifier(ctx: SSL_CTX, verifier: Any | None) -> None:
+    """RA-TLS extension: require and verify peer attestation evidence.
+
+    With a verifier installed, every handshake through this context
+    verifies the peer certificate's embedded evidence inline; peers
+    without valid evidence never complete the handshake."""
+    ctx.attestation_verifier = verifier
+
+
+def SSL_get_peer_attested_identity(ssl: SSL) -> Any | None:
+    """The peer's verified attestation identity (RA-TLS), if any."""
+    return None if ssl.conn is None else ssl.conn.peer_attested_identity
 
 
 # ---------------------------------------------------------------------------

@@ -18,31 +18,47 @@ from repro.tls.codec import Reader, encode_parts
 
 @dataclass(frozen=True)
 class Certificate:
-    """A signed binding of ``subject`` to ``public_key``."""
+    """A signed binding of ``subject`` to ``public_key``.
+
+    ``evidence`` is the RA-TLS extension: an opaque attestation-evidence
+    blob (a quote whose report data binds this certificate's public key,
+    plus the issue time and key epoch). When present it is part of the
+    TBS bytes, so the CA signature covers it and evidence can be neither
+    stripped from nor grafted onto a certificate after issuance. Plain
+    certificates omit the field entirely and keep their pre-RA-TLS wire
+    encoding, so old certificates (and their signatures) stay valid.
+    """
 
     subject: str
     issuer: str
     public_key: EcdsaPublicKey
     serial: int
     signature: EcdsaSignature
+    evidence: bytes = b""
 
     def tbs_bytes(self) -> bytes:
         """The to-be-signed portion."""
-        return encode_parts(
+        parts = [
             self.subject.encode(),
             self.issuer.encode(),
             self.public_key.encode(),
             self.serial.to_bytes(8, "big"),
-        )
+        ]
+        if self.evidence:
+            parts.append(self.evidence)
+        return encode_parts(*parts)
 
     def encode(self) -> bytes:
-        return encode_parts(
+        parts = [
             self.subject.encode(),
             self.issuer.encode(),
             self.public_key.encode(),
             self.serial.to_bytes(8, "big"),
-            self.signature.encode(),
-        )
+        ]
+        if self.evidence:
+            parts.append(self.evidence)
+        parts.append(self.signature.encode())
+        return encode_parts(*parts)
 
     @classmethod
     def decode(cls, data: bytes) -> "Certificate":
@@ -51,9 +67,17 @@ class Certificate:
         issuer = reader.read_bytes().decode()
         public_key = EcdsaPublicKey.decode(reader.read_bytes())
         serial = int.from_bytes(reader.read_bytes(), "big")
-        signature = EcdsaSignature.decode(reader.read_bytes())
+        # Five parts is a plain certificate; six means the fifth part is
+        # the RA-TLS evidence blob and the signature follows it.
+        fifth = reader.read_bytes()
+        if reader.remaining():
+            evidence = fifth
+            signature = EcdsaSignature.decode(reader.read_bytes())
+        else:
+            evidence = b""
+            signature = EcdsaSignature.decode(fifth)
         reader.expect_end()
-        return cls(subject, issuer, public_key, serial, signature)
+        return cls(subject, issuer, public_key, serial, signature, evidence)
 
     def fingerprint(self) -> bytes:
         return sha256(self.encode())
@@ -72,8 +96,14 @@ class CertificateAuthority:
     def public_key(self) -> EcdsaPublicKey:
         return self._key.public_key()
 
-    def issue(self, subject: str, public_key: EcdsaPublicKey) -> Certificate:
-        """Issue a certificate for ``subject``."""
+    def issue(
+        self, subject: str, public_key: EcdsaPublicKey, evidence: bytes = b""
+    ) -> Certificate:
+        """Issue a certificate for ``subject``.
+
+        ``evidence`` embeds an RA-TLS attestation blob under the CA
+        signature; the CA does not interpret it (relying parties verify
+        it during the handshake)."""
         self._serial += 1
         unsigned = Certificate(
             subject=subject,
@@ -81,9 +111,12 @@ class CertificateAuthority:
             public_key=public_key,
             serial=self._serial,
             signature=EcdsaSignature(0, 0),
+            evidence=evidence,
         )
         signature = self._key.sign(unsigned.tbs_bytes())
-        return Certificate(subject, self.name, public_key, self._serial, signature)
+        return Certificate(
+            subject, self.name, public_key, self._serial, signature, evidence
+        )
 
     def verify(self, certificate: Certificate) -> None:
         """Check issuer and signature; raises :class:`TLSError` on failure."""

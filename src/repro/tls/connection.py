@@ -53,6 +53,7 @@ ALERT_UNEXPECTED_MESSAGE = 10
 ALERT_RECORD_OVERFLOW = 22
 ALERT_HANDSHAKE_FAILURE = 40
 ALERT_BAD_RECORD_MAC = 20
+ALERT_BAD_CERTIFICATE = 42
 ALERT_PROTOCOL_VERSION = 70
 ALERT_INTERNAL_ERROR = 80
 
@@ -72,6 +73,13 @@ class TLSConfig:
     #: Bytes a peer may send before the handshake completes. Bounds the
     #: reassembly buffer and the transcript against pre-auth flooding.
     max_pre_handshake_bytes: int = 256 * 1024
+    #: RA-TLS: when set, the peer certificate's embedded attestation
+    #: evidence is verified inline during the handshake (duck-typed
+    #: :class:`repro.sgx.ratls.AttestationVerifier`; the TLS layer only
+    #: calls ``verify_tls_certificate(cert)``). Verification failures
+    #: raise the typed AttestationError taxonomy, so a peer that cannot
+    #: prove it runs the expected enclave never completes the handshake.
+    attestation_verifier: object | None = None
 
 
 class TLSConnection:
@@ -93,6 +101,10 @@ class TLSConnection:
         self.peer_closed = False  # peer sent close_notify
         self.alert_sent: int | None = None
         self.warning_alerts_received = 0
+        #: RA-TLS: the peer's verified attestation identity, set iff the
+        #: config carries an attestation verifier and the peer's evidence
+        #: passed the pipeline.
+        self.peer_attested_identity = None
 
         self._in_buffer = bytearray()
         self._pre_handshake_bytes = 0
@@ -424,6 +436,15 @@ class TLSConnection:
         certificate = Certificate.decode(hs.read_single_field(message))
         if self.config.ca is not None:
             self.config.ca.verify(certificate)
+        verifier = self.config.attestation_verifier
+        if verifier is not None:
+            # RA-TLS: the evidence quote binds this certificate's public
+            # key, and that key signs the ECDHE exchange, so a verified
+            # quote authenticates the session keys. Raises fail-closed;
+            # the identity is recorded for callers (e.g. `/attest`).
+            self.peer_attested_identity = verifier.verify_tls_certificate(
+                certificate
+            )
         self.peer_certificate = certificate
 
     def _emit_event(self, event: int, value: int) -> None:

@@ -107,6 +107,18 @@ def signed_key_exchange_payload(
     return b"SKE\x00" + client_random + server_random + ephemeral_public
 
 
+def ratls_key_binding(certificate: Certificate) -> bytes:
+    """The payload an RA-TLS quote must bind: this certificate's key.
+
+    The chain that authenticates the ECDHE handshake key: the quote's
+    report data commits to the certificate public key (this payload),
+    and that key signs :func:`signed_key_exchange_payload` over both
+    randoms and the ephemeral share — so a verified quote transitively
+    attests the ephemeral key, with the randoms preventing replay of a
+    captured exchange."""
+    return certificate.public_key.encode()
+
+
 @dataclass(frozen=True)
 class SessionKeys:
     """The derived key material for one session."""

@@ -1,0 +1,279 @@
+"""Fail-closed attested admission for the ROTE replica group.
+
+Every replica (and the cluster client) runs an
+:class:`AdmissionController`: peers exchange attestation evidence in a
+Join round, evidence is verified against the *network source* address
+(so captured evidence cannot be replayed from elsewhere), and counter
+traffic from unadmitted sources is dropped, never adopted. Revocation
+revalidates every admitted identity with a forced-live appraisal and
+evicts on any failure — including the service being unreachable.
+"""
+
+import pytest
+
+from repro.audit.admission import AdmissionController
+from repro.audit.rote import RoteCluster
+from repro.audit.rote_replica import (
+    CatchupReply,
+    CatchupRequest,
+    CounterAttestation,
+    JoinRequest,
+)
+from repro.errors import AttestationUnavailableError, QuoteInvalidError
+from repro.sgx.ratls import (
+    BINDING_ROTE_JOIN,
+    AttestationPlane,
+    make_node_enclave,
+)
+from repro.sgx.sealing import SigningAuthority
+from repro.sim.network import SimNetwork
+
+
+@pytest.fixture
+def plane():
+    return AttestationPlane(
+        SigningAuthority("admission-authority"), cache_ttl=30.0
+    )
+
+
+@pytest.fixture
+def enclave(plane):
+    return make_node_enclave("rote-counter-1.0", plane.authority.name)
+
+
+def evidence_for(plane, enclave, address):
+    return plane.evidence_for(
+        address, enclave, BINDING_ROTE_JOIN, address.encode()
+    ).encode()
+
+
+class TestAdmissionController:
+    def test_admit_and_lookup(self, plane, enclave):
+        controller = AdmissionController(plane.verifier("gate"))
+        identity = controller.admit("peer-a", evidence_for(plane, enclave, "peer-a"))
+        assert identity.tcb == "up-to-date"
+        assert controller.is_admitted("peer-a")
+        assert controller.identity("peer-a") is not None
+        assert controller.admitted_addresses() == ("peer-a",)
+        assert controller.admissions == 1
+
+    def test_replayed_evidence_rejected_for_other_address(self, plane, enclave):
+        controller = AdmissionController(plane.verifier("gate"))
+        captured = evidence_for(plane, enclave, "peer-a")
+        with pytest.raises(QuoteInvalidError):
+            controller.admit("peer-b", captured)
+        assert not controller.is_admitted("peer-b")
+        assert controller.admission_rejections == 1
+
+    def test_failed_admit_never_evicts_existing_admission(self, plane, enclave):
+        # Anti-DoS: garbage joins spoofing an admitted address must not
+        # knock that address out of the group.
+        controller = AdmissionController(plane.verifier("gate"))
+        controller.admit("peer-a", evidence_for(plane, enclave, "peer-a"))
+        with pytest.raises(QuoteInvalidError):
+            controller.admit("peer-a", b"\x00garbage")
+        assert controller.is_admitted("peer-a")
+
+    def test_outage_blocks_new_admissions(self, plane, enclave):
+        controller = AdmissionController(plane.verifier("gate"))
+        plane.service.outage()
+        with pytest.raises(AttestationUnavailableError):
+            controller.admit("peer-a", evidence_for(plane, enclave, "peer-a"))
+        assert not controller.is_admitted("peer-a")
+        assert controller.admission_unavailable == 1
+        assert controller.admission_rejections == 0
+
+    def test_revalidate_noop_while_generation_unchanged(self, plane, enclave):
+        controller = AdmissionController(plane.verifier("gate"))
+        controller.admit("peer-a", evidence_for(plane, enclave, "peer-a"))
+        assert controller.revalidate() == ()
+        assert controller.is_admitted("peer-a")
+
+    def test_revalidate_evicts_revoked_platform(self, plane, enclave):
+        controller = AdmissionController(plane.verifier("gate"))
+        controller.admit("peer-a", evidence_for(plane, enclave, "peer-a"))
+        controller.admit("peer-b", evidence_for(plane, enclave, "peer-b"))
+        plane.service.set_tcb_status(
+            plane.platform("peer-a").platform_id, "revoked"
+        )
+        evicted = controller.revalidate()
+        assert evicted == ("peer-a",)
+        assert not controller.is_admitted("peer-a")
+        assert controller.is_admitted("peer-b")
+        assert controller.revocations == 1
+
+    def test_revalidate_during_outage_fails_closed(self, plane, enclave):
+        # A revocation generation bump demands live re-appraisal; if the
+        # service is down, the cached verdict may NOT stand in.
+        controller = AdmissionController(plane.verifier("gate"))
+        controller.admit("peer-a", evidence_for(plane, enclave, "peer-a"))
+        plane.service.set_tcb_status(
+            plane.platform("peer-b").platform_id, "out-of-date"
+        )  # bump generation without touching peer-a
+        plane.service.outage()
+        assert controller.revalidate() == ("peer-a",)
+        assert not controller.is_admitted("peer-a")
+
+
+def attested_cluster(seed=21, f=1):
+    authority = SigningAuthority("admission-cluster-authority")
+    plane = AttestationPlane(authority, cache_ttl=600.0)
+    network = SimNetwork(seed=seed, latency_steps=1, jitter_steps=1)
+    cluster = RoteCluster(
+        f=f,
+        network=network,
+        authority=authority,
+        cluster_id="adm",
+        seed=seed,
+        attestation=plane,
+    )
+    return cluster, plane
+
+
+class TestClusterAdmission:
+    def test_group_mutually_admitted_at_construction(self):
+        cluster, _ = attested_cluster()
+        peers = {r.address for r in cluster.nodes} | {cluster.client_address}
+        for replica in cluster.nodes:
+            admitted = set(replica.admission.admitted_addresses())
+            assert admitted == peers - {replica.address}
+        assert set(cluster.admission.admitted_addresses()) == {
+            r.address for r in cluster.nodes
+        }
+
+    def test_attested_cluster_serves_traffic(self):
+        cluster, _ = attested_cluster()
+        assert cluster.increment("log") == 1
+        assert cluster.retrieve("log") == 1
+        assert cluster.replies_unadmitted == 0
+
+    def test_catchup_not_served_to_unadmitted_sender(self):
+        # The original _handle_catchup answered any src; now every
+        # catch-up exchange is bound to an admitted attested identity.
+        cluster, _ = attested_cluster()
+        cluster.increment("log")
+        target = cluster.nodes[1]
+        served_before = target.catchups_served
+        cluster.network.register("adm/stranger", lambda msg, src: None)
+        cluster.network.send(
+            "adm/stranger", target.address, CatchupRequest(op_id=77)
+        )
+        cluster.network.settle()
+        assert target.catchups_served == served_before
+        assert target.unadmitted_drops >= 1
+
+    def test_unadmitted_catchup_reply_never_adopted(self):
+        cluster, _ = attested_cluster()
+        cluster.increment("log")
+        target = cluster.nodes[0]
+        # MAC-valid poison (leaked-group-key model): admission alone must
+        # stop it, because the MAC cannot.
+        poison = CounterAttestation.sign(
+            cluster.group_key, "log", 1 << 30, epoch=cluster.epoch
+        )
+        cluster.network.register("adm/stranger", lambda msg, src: None)
+        cluster.network.send(
+            "adm/stranger",
+            target.address,
+            CatchupReply(op_id=1, node_id=9, attestations=(poison,)),
+        )
+        cluster.network.settle()
+        assert target.counters.get("log", 0) < (1 << 30)
+        assert target.unadmitted_drops >= 1
+
+    def test_restart_rejoins_then_catches_up(self):
+        cluster, _ = attested_cluster()
+        cluster.increment("log")
+        cluster.crash(0)
+        cluster.increment("log")
+        cluster.recover(0)
+        rejoined = cluster.nodes[0]
+        # Join round completed before catch-up merged: mutual admission
+        # was re-established in time for the replies to be accepted.
+        assert rejoined.admission.admitted_addresses() != ()
+        assert rejoined.counters["log"] == 2
+        assert rejoined.unadmitted_drops == 0
+
+    def test_restart_during_outage_degrades_but_never_admits(self):
+        cluster, plane = attested_cluster()
+        cluster.increment("log")
+        cluster.crash(0)
+        cluster.increment("log")
+        plane.service.outage()
+        cluster.recover(0)
+        rejoined = cluster.nodes[0]
+        # The rejoiner's fresh verifier has an empty cache: it can admit
+        # no one, so it drops every catch-up reply (degraded, stale) —
+        # but it never adopts unverified state.
+        assert rejoined.admission.admitted_addresses() == ()
+        assert rejoined.counters.get("log", 0) < 2
+        assert rejoined.unadmitted_drops >= 1
+        # Service restoration heals the group on the next recover.
+        plane.service.restore()
+        cluster.crash(0)
+        cluster.recover(0)
+        assert cluster.nodes[0].counters["log"] == 2
+
+    def test_forged_join_rejected_and_counted(self):
+        cluster, plane = attested_cluster()
+        enclave = make_node_enclave(
+            "rote-counter-1.0", cluster.authority.name
+        )
+        rogue = plane.rogue_platform("stranger")
+        from repro.sgx.ratls import AttestationEvidence, report_binding
+
+        binding = report_binding(
+            BINDING_ROTE_JOIN, b"adm/stranger", 1, plane.clock.now()
+        )
+        forged = AttestationEvidence(
+            rogue.quote(enclave, binding), 1, plane.clock.now()
+        ).encode()
+        cluster.network.register("adm/stranger", lambda msg, src: None)
+        rejections_before = sum(
+            r.admission.admission_rejections for r in cluster.nodes
+        )
+        for replica in cluster.nodes:
+            cluster.network.send(
+                "adm/stranger",
+                replica.address,
+                JoinRequest(op_id=1, address="adm/stranger", evidence=forged),
+            )
+        cluster.network.settle()
+        assert (
+            sum(r.admission.admission_rejections for r in cluster.nodes)
+            == rejections_before + len(cluster.nodes)
+        )
+        assert all(
+            not r.admission.is_admitted("adm/stranger") for r in cluster.nodes
+        )
+
+    def test_retired_epoch_catchup_material_counted(self):
+        cluster, _ = attested_cluster()
+        cluster.increment("log")
+        target = cluster.nodes[0]
+        stale = CounterAttestation.sign(
+            cluster._keyring(1), "log", 5, epoch=1
+        )
+        cluster.authority.rotate("one")
+        cluster.authority.rotate("two")  # epoch 1 -> RETIRED
+        before = target.retired_rejections
+        # Delivered from an *admitted* peer, so admission passes and the
+        # epoch gate is what rejects the material.
+        reply = CatchupReply(
+            op_id=1, node_id=1, attestations=(stale,)
+        )
+        cluster.network.send(cluster.nodes[1].address, target.address, reply)
+        cluster.network.settle()
+        assert target.retired_rejections == before + 1
+        assert target.counters.get("log", 0) != 5
+
+    def test_revoked_replica_evicted_mid_traffic(self):
+        cluster, plane = attested_cluster()
+        cluster.increment("log")
+        victim = cluster.nodes[0]
+        plane.service.set_tcb_status(
+            plane.platform(victim.address).platform_id, "revoked"
+        )
+        cluster.increment("log")  # revalidation runs on fault application
+        assert not cluster.admission.is_admitted(victim.address)
+        assert cluster.admission.revocations >= 1

@@ -90,6 +90,74 @@ class TestRotationFamilies:
         assert any(event[0] == "check_replay" for event in harness.trace)
 
 
+class TestAttestationFamilies:
+    """The three attestation families exercise what they claim to.
+
+    Each family's distinguishing event must appear in the harness trace
+    for *every* seed: an intruder soak whose forged joins are never
+    rejected, an outage soak that never refuses an admission, or a
+    revocation soak that never evicts anyone would pass the oracle
+    vacuously.
+    """
+
+    SEEDS = range(5)
+
+    def _run(self, family, seed):
+        harness = ChaosHarness(build_scenario(family, seed))
+        verdict = harness.run()
+        assert verdict.ok, verdict.violations
+        return harness
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_forged_joins_rejected_at_every_gate(self, seed):
+        harness = self._run("attest-forged-join", seed)
+        heads = {event[0] for event in harness.trace}
+        assert "intrude" in heads and "intrude_catchup" in heads
+        assert "check_intruder" in heads
+        # Rejections were recorded at the admission gates, the intruder
+        # was admitted nowhere, and its catch-up probes were dropped.
+        gates = [harness.cluster.admission] + [
+            r.admission for r in harness.cluster.nodes
+        ]
+        assert sum(g.admission_rejections for g in gates) > 0
+        assert not any(
+            g.is_admitted(harness.intruder_address) for g in gates
+        )
+        assert sum(r.unadmitted_drops for r in harness.cluster.nodes) > 0
+        # Multiple tamper kinds ran (shuffled per seed, at least two).
+        kinds = {e[1] for e in harness.trace if e[0] == "intrude"}
+        assert len(kinds) >= 2
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_outage_rejoin_degrades_but_never_admits(self, seed):
+        harness = self._run("attest-outage-restart", seed)
+        heads = {event[0] for event in harness.trace}
+        assert "attest_outage" in heads and "attest_restore" in heads
+        assert "check_outage" in heads
+        # Some admission was refused as unverifiable during the outage...
+        refused = harness.cluster.admission.admission_unavailable + sum(
+            r.admission.admission_unavailable for r in harness.cluster.nodes
+        )
+        assert refused > 0
+        # ...and after restoration the group healed: the victim rejoined
+        # with full mutual admission and caught up.
+        outage_checks = [e for e in harness.trace if e[0] == "check_outage"]
+        victim = harness.cluster.nodes[outage_checks[0][1]]
+        assert victim.admission.admitted_addresses() != ()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_revoked_platform_evicted_mid_traffic(self, seed):
+        harness = self._run("attest-revoked-tcb", seed)
+        checks = [e for e in harness.trace if e[0] == "check_revoked"]
+        assert checks
+        victim = harness.cluster.nodes[checks[0][1]]
+        assert not harness.cluster.admission.is_admitted(victim.address)
+        assert harness.cluster.admission.revocations > 0
+        assert harness.cluster.replies_unadmitted > 0
+        # Traffic kept flowing on the surviving quorum.
+        assert harness.pairs_ok > 0
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("family", FAMILIES)
     def test_same_seed_same_trace_digest(self, family):

@@ -1,0 +1,238 @@
+"""Attestation-evidence tamper matrix: every forgery fails closed.
+
+Evidence arrives over the network (certificates, join messages), so it is
+adversary-controlled bytes. This matrix drives the verification pipeline
+through the wire-format corruptions and relabelings an attacker can
+produce — truncation, measurement flips, signature bit-flips, epoch and
+timestamp relabels, payload swaps — and asserts each one surfaces as a
+typed :class:`AttestationError` subclass, never as a verified identity
+or an unrelated exception. The structural cases mirror
+``test_sealed_blob_tamper.py`` for the sealing envelope.
+"""
+
+import pytest
+
+from repro.crypto.ecdsa import EcdsaSignature
+from repro.errors import (
+    MeasurementPolicyError,
+    QuoteInvalidError,
+    StaleEvidenceError,
+)
+from repro.sgx.attestation import Quote
+from repro.sgx.ratls import (
+    BINDING_ROTE_JOIN,
+    BINDING_TLS,
+    AttestationEvidence,
+    AttestationPlane,
+    make_node_enclave,
+    report_binding,
+)
+from repro.sgx.sealing import SigningAuthority
+
+ADDRESS = "rote/node-0"
+
+
+@pytest.fixture
+def plane():
+    authority = SigningAuthority("tamper-authority")
+    return AttestationPlane(authority, freshness_window=600.0)
+
+
+@pytest.fixture
+def enclave(plane):
+    return make_node_enclave("tamper-node-1.0", plane.authority.name)
+
+
+@pytest.fixture
+def evidence(plane, enclave):
+    return plane.evidence_for(ADDRESS, enclave, BINDING_ROTE_JOIN, ADDRESS.encode())
+
+
+@pytest.fixture
+def verifier(plane):
+    return plane.verifier("tamper-verifier")
+
+
+def rebuild_quote(quote, **overrides):
+    fields = {
+        "measurement": quote.measurement,
+        "signer_measurement": quote.signer_measurement,
+        "report_data": quote.report_data,
+        "platform_id": quote.platform_id,
+        "signature": quote.signature,
+    }
+    fields.update(overrides)
+    return Quote(**fields)
+
+
+class TestStructure:
+    def test_truncated_evidence_rejected(self, evidence, verifier):
+        encoded = evidence.encode()
+        for cut in (0, 1, 7, len(encoded) // 2, len(encoded) - 1):
+            with pytest.raises(QuoteInvalidError):
+                verifier.verify_join_evidence(encoded[:cut], ADDRESS)
+
+    def test_trailing_garbage_rejected(self, evidence, verifier):
+        with pytest.raises(QuoteInvalidError):
+            verifier.verify_join_evidence(evidence.encode() + b"\x00", ADDRESS)
+
+    def test_wrong_size_report_data_rejected(self, evidence):
+        short = rebuild_quote(evidence.quote, report_data=b"\xaa" * 63)
+        with pytest.raises(QuoteInvalidError):
+            Quote.decode(short.encode())
+
+    def test_rejections_are_counted(self, evidence, verifier):
+        assert verifier.rejections == 0
+        with pytest.raises(QuoteInvalidError):
+            verifier.verify_join_evidence(evidence.encode()[:-1], ADDRESS)
+        assert verifier.rejections == 1
+
+
+class TestQuoteIntegrity:
+    def test_flipped_measurement_byte_breaks_quote_signature(
+        self, evidence, verifier
+    ):
+        measurement = bytearray(evidence.quote.measurement)
+        measurement[0] ^= 0x01
+        tampered = AttestationEvidence(
+            rebuild_quote(evidence.quote, measurement=bytes(measurement)),
+            evidence.key_epoch,
+            evidence.issued_at,
+        )
+        with pytest.raises(QuoteInvalidError, match="signature"):
+            verifier.verify_join_evidence(tampered.encode(), ADDRESS)
+
+    def test_flipped_signer_measurement_rejected(self, evidence, verifier):
+        # The cheap MRSIGNER policy gate fires before the service would
+        # notice the broken quote signature; either way, fail closed.
+        signer = bytearray(evidence.quote.signer_measurement)
+        signer[-1] ^= 0x80
+        tampered = AttestationEvidence(
+            rebuild_quote(evidence.quote, signer_measurement=bytes(signer)),
+            evidence.key_epoch,
+            evidence.issued_at,
+        )
+        with pytest.raises(MeasurementPolicyError):
+            verifier.verify_join_evidence(tampered.encode(), ADDRESS)
+
+    @pytest.mark.parametrize("component", ["r", "s"])
+    def test_signature_bit_flip_rejected(self, evidence, verifier, component):
+        sig = evidence.quote.signature
+        flipped = EcdsaSignature(
+            sig.r ^ (1 if component == "r" else 0),
+            sig.s ^ (1 if component == "s" else 0),
+        )
+        tampered = AttestationEvidence(
+            rebuild_quote(evidence.quote, signature=flipped),
+            evidence.key_epoch,
+            evidence.issued_at,
+        )
+        with pytest.raises(QuoteInvalidError, match="signature"):
+            verifier.verify_join_evidence(tampered.encode(), ADDRESS)
+
+    def test_unregistered_platform_rejected(self, plane, enclave, verifier):
+        rogue = plane.rogue_platform("tamper-rogue")
+        binding = report_binding(BINDING_ROTE_JOIN, ADDRESS.encode(), 1, 0.0)
+        forged = AttestationEvidence(rogue.quote(enclave, binding), 1, 0.0)
+        with pytest.raises(QuoteInvalidError, match="unknown platform"):
+            verifier.verify_join_evidence(forged.encode(), ADDRESS)
+
+
+class TestBindingRelabels:
+    """The wrapper fields are unsigned; the report-data binding covers
+    them, so relabeling any field breaks the quote."""
+
+    def test_epoch_relabel_rejected(self, evidence, verifier):
+        relabeled = AttestationEvidence(
+            evidence.quote, evidence.key_epoch + 1, evidence.issued_at
+        )
+        with pytest.raises(QuoteInvalidError, match="binding"):
+            verifier.verify_join_evidence(relabeled.encode(), ADDRESS)
+
+    def test_timestamp_relabel_rejected(self, plane, evidence, verifier):
+        # Refreshing the claimed issue time cannot launder old evidence:
+        # the new timestamp is not the one the quote attests.
+        plane.clock.advance(1000.0)  # honest expiry...
+        relabeled = AttestationEvidence(
+            evidence.quote, evidence.key_epoch, plane.clock.now()
+        )
+        with pytest.raises(QuoteInvalidError, match="binding"):
+            verifier.verify_join_evidence(relabeled.encode(), ADDRESS)
+
+    def test_address_replay_rejected(self, evidence, verifier):
+        # Evidence captured from node-0 presented for another address.
+        with pytest.raises(QuoteInvalidError, match="binding"):
+            verifier.verify_join_evidence(evidence.encode(), "rote/intruder")
+
+    def test_cross_context_replay_rejected(self, evidence, verifier):
+        # Join evidence replayed on the TLS trust boundary.
+        with pytest.raises(QuoteInvalidError):
+            verifier.verify_evidence(
+                evidence.encode(), BINDING_TLS, ADDRESS.encode()
+            )
+
+
+class TestFreshness:
+    def test_stale_evidence_rejected_after_window(
+        self, plane, evidence, verifier
+    ):
+        # Well-formed, correctly bound — just old.
+        plane.clock.advance(600.1)
+        with pytest.raises(StaleEvidenceError):
+            verifier.verify_join_evidence(evidence.encode(), ADDRESS)
+
+    def test_evidence_at_window_edge_accepted(self, plane, evidence, verifier):
+        plane.clock.advance(600.0)
+        identity = verifier.verify_join_evidence(evidence.encode(), ADDRESS)
+        assert identity.tcb == "up-to-date"
+
+    def test_future_dated_evidence_rejected(self, plane, enclave, verifier):
+        # A correctly *bound* timestamp from the future is still a lie.
+        future = plane.clock.now() + 30.0
+        binding = report_binding(BINDING_ROTE_JOIN, ADDRESS.encode(), 1, future)
+        quote = plane.platform(ADDRESS).quote(enclave, binding)
+        forged = AttestationEvidence(quote, 1, future)
+        with pytest.raises(StaleEvidenceError, match="future"):
+            verifier.verify_join_evidence(forged.encode(), ADDRESS)
+
+
+class TestPolicyGates:
+    def test_foreign_signer_rejected(self, plane, verifier):
+        foreign = make_node_enclave("tamper-node-1.0", "someone-else")
+        evidence = plane.evidence_for(
+            ADDRESS, foreign, BINDING_ROTE_JOIN, ADDRESS.encode()
+        )
+        with pytest.raises(MeasurementPolicyError, match="signer"):
+            verifier.verify_join_evidence(evidence.encode(), ADDRESS)
+
+    def test_measurement_pinning_rejects_other_builds(self, plane, enclave):
+        other = make_node_enclave("tamper-node-2.0", plane.authority.name)
+        pinned = plane.verifier(
+            "pinned", allowed_measurements=(enclave.measurement(),)
+        )
+        good = plane.evidence_for(
+            ADDRESS, enclave, BINDING_ROTE_JOIN, ADDRESS.encode()
+        )
+        assert pinned.verify_join_evidence(good.encode(), ADDRESS)
+        bad = plane.evidence_for(
+            ADDRESS, other, BINDING_ROTE_JOIN, ADDRESS.encode()
+        )
+        with pytest.raises(MeasurementPolicyError, match="measurement"):
+            pinned.verify_join_evidence(bad.encode(), ADDRESS)
+
+    def test_retired_epoch_evidence_rejected(self, plane, enclave, verifier):
+        evidence = plane.evidence_for(
+            ADDRESS, enclave, BINDING_ROTE_JOIN, ADDRESS.encode(), key_epoch=1
+        )
+        plane.authority.rotate("one")
+        plane.authority.rotate("two")  # epoch 1 -> RETIRED
+        with pytest.raises(MeasurementPolicyError, match="retired"):
+            verifier.verify_join_evidence(evidence.encode(), ADDRESS)
+
+    def test_grace_epoch_evidence_accepted(self, plane, enclave, verifier):
+        evidence = plane.evidence_for(
+            ADDRESS, enclave, BINDING_ROTE_JOIN, ADDRESS.encode(), key_epoch=1
+        )
+        plane.authority.rotate("one")  # epoch 1 -> GRACE
+        identity = verifier.verify_join_evidence(evidence.encode(), ADDRESS)
+        assert identity.key_epoch == 1
