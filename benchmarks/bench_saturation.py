@@ -1,0 +1,125 @@
+"""Saturation knee: one event loop from 1k to 120k open-loop connections.
+
+One :class:`~repro.servers.ServerMachine` front end — a single lthreads
+scheduler multiplexing every connection as a parked task — is swept with
+open-loop diurnal traffic from a 2M-user Zipf population. Each level
+offers ``N`` connections inside a fixed admission window; once the
+offered rate exceeds the modelled capacity (cores × frequency over
+per-request cycles) the ready queue backs up, latency bends and live
+concurrency climbs past 100k: the saturation knee.
+
+Everything is seeded and simulated-time, so the gate metrics (knee
+position, completion counts, task-wait events) are bit-deterministic and
+pinned in ``benchmarks/baselines/ci_baseline.json`` — enforced in CI by
+``python -m repro bench-compare``. The full latency curve lands in
+``benchmarks/results/saturation_knee.json`` for plotting.
+"""
+
+from repro.servers import ServerMachine
+from repro.workloads.traffic import (
+    DiurnalOpenLoopTraffic,
+    DiurnalProfile,
+    ZipfPopulation,
+)
+
+#: Connection levels of the sweep (offered over WINDOW_S each).
+LEVELS = [1_000, 4_000, 16_000, 60_000, 120_000]
+WINDOW_S = 0.5
+POPULATION = 2_000_000
+#: Knee detector: the first level that cannot serve what is offered
+#: (served rate below this fraction of the offered rate).
+KNEE_SERVED_FRACTION = 0.9
+
+
+def _run_level(machine: ServerMachine, connections: int):
+    traffic = DiurnalOpenLoopTraffic(
+        ZipfPopulation(POPULATION, exponent=1.1, seed=7),
+        DiurnalProfile(base_rate_rps=connections / WINDOW_S, peak_factor=3.0),
+        seed=connections,  # independent arrival stream per level
+    )
+    return machine.run_frontend(
+        connections,
+        window_s=WINDOW_S,
+        arrivals=traffic.arrivals(limit=connections),
+    )
+
+
+def saturation_sweep():
+    machine = ServerMachine()
+    return [_run_level(machine, n) for n in LEVELS]
+
+
+def find_knee(results) -> int:
+    """First sweep level whose offered rate exceeds the served rate —
+    the point where the ready queue starts growing without bound."""
+    for r in results:
+        if r.throughput_rps < KNEE_SERVED_FRACTION * r.offered_rps:
+            return r.connections
+    return results[-1].connections
+
+
+def test_saturation_knee(benchmark, emit):
+    results = benchmark.pedantic(saturation_sweep, rounds=1, iterations=1)
+    knee = find_knee(results)
+    top = results[-1]
+    table = [
+        [
+            r.connections,
+            round(r.offered_rps),
+            round(r.throughput_rps),
+            round(r.p50_latency_s * 1e3, 2),
+            round(r.p95_latency_s * 1e3, 2),
+            r.peak_concurrent,
+            r.peak_ready_depth,
+            r.task_wait_events,
+        ]
+        for r in results
+    ]
+    emit(
+        "saturation_knee",
+        "Saturation sweep - one lthreads event loop, open-loop diurnal "
+        "Zipf traffic (2M users)",
+        ["conns", "offered/s", "served/s", "p50 ms", "p95 ms",
+         "peak live", "peak ready", "task waits"],
+        table,
+        params={
+            "levels": LEVELS,
+            "window_s": WINDOW_S,
+            "population": POPULATION,
+        },
+        metrics={
+            "knee_connections": knee,
+            "completed_connections": sum(r.completed for r in results),
+            "task_wait_events": sum(r.task_wait_events for r in results),
+            "audit_ocalls": sum(r.audit_ocalls for r in results),
+            "peak_concurrent": top.peak_concurrent,
+            "peak_ready_depth": top.peak_ready_depth,
+            "top_p95_latency_s": top.p95_latency_s,
+            "curve": [
+                {
+                    "connections": r.connections,
+                    "offered_rps": r.offered_rps,
+                    "throughput_rps": r.throughput_rps,
+                    "p50_latency_s": r.p50_latency_s,
+                    "p95_latency_s": r.p95_latency_s,
+                    "p99_latency_s": r.p99_latency_s,
+                    "peak_concurrent": r.peak_concurrent,
+                    "peak_ready_depth": r.peak_ready_depth,
+                    "task_wait_events": r.task_wait_events,
+                    "slices": r.slices,
+                    "makespan_s": r.makespan_s,
+                }
+                for r in results
+            ],
+        },
+    )
+    # The acceptance bar: one event-loop instance sustains >= 100k
+    # concurrent connections through the lthreads scheduler.
+    assert top.peak_concurrent >= 100_000
+    # Every offered connection completes (the knee is latency, not loss).
+    assert all(r.completed == r.connections for r in results)
+    # Light load is flat, the knee exists strictly inside the sweep.
+    assert LEVELS[0] < knee <= LEVELS[-1]
+    # Past the knee, queueing dominates: p95 at the top level must be at
+    # least an order of magnitude over the flat region.
+    assert top.p95_latency_s > 10 * results[0].p95_latency_s

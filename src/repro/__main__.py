@@ -15,12 +15,14 @@ Commands
 ``fuzz``
     Run the deterministic protocol-fuzzing harness against the TLS
     termination path (``--layer tls|http|service``, ``--cases N``,
-    ``--seed S``). Exit status 1 if any mutation broke the typed-error
-    contract.
+    ``--seed S``, ``--driver direct|eventloop`` to pump connections
+    through the async lthreads scheduler). Exit status 1 if any
+    mutation broke the typed-error contract.
 ``obs``
     Run a workload through the full TLS + audit pipeline with the
     observability plane installed and print the aggregated span tree and
     metrics table (``--workload``, ``--requests``, ``--check-interval``,
+    ``--frontend N`` for an event-loop scheduler sample,
     ``--json``/``--prom`` for machine-readable output).
 ``bench-compare``
     Compare benchmark result summaries against the committed CI baseline
@@ -129,9 +131,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     layers = args.layer or ["tls", "http", "service"]
     reports = run_fuzz(
-        seed=args.seed, cases_per_layer=args.cases, layers=layers
+        seed=args.seed,
+        cases_per_layer=args.cases,
+        layers=layers,
+        driver=args.driver,
     )
     for report in reports:
+        print(f"driver={args.driver}")
         print(report.describe())
     return 0 if all(r.ok for r in reports) else 1
 
@@ -144,6 +150,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.workload import run_workload
 
     config = ObsConfig(ring_capacity=args.ring_capacity)
+    frontend_result = None
     with observe(config) as plane:
         report = run_workload(
             args.workload,
@@ -152,6 +159,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             reconnect_every=args.reconnect_every,
             seed=args.seed,
         )
+        if args.frontend:
+            # A small open-loop event-loop run so the scheduler metrics
+            # (run-queue depth, worker occupancy, per-connection slice
+            # counts) show up alongside the pipeline metrics.
+            from repro.servers import ServerMachine
+
+            frontend_result = ServerMachine().run_frontend(
+                args.frontend, window_s=args.frontend / 10_000
+            )
     if args.json:
         print(
             json.dumps(
@@ -170,6 +186,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         f"checks={report.checks_run} seals={report.epochs_sealed} "
         f"audit_rows={report.audit_rows}"
     )
+    if frontend_result is not None:
+        print(
+            f"frontend connections={frontend_result.connections} "
+            f"completed={frontend_result.completed} "
+            f"slices={frontend_result.slices} "
+            f"peak_ready={frontend_result.peak_ready_depth} "
+            f"task_waits={frontend_result.task_wait_events} "
+            f"audit_ocalls={frontend_result.audit_ocalls}"
+        )
     print()
     print("span tree (aggregated by path)")
     print("------------------------------")
@@ -308,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--layer", action="append",
                       choices=["tls", "http", "service"],
                       help="repeatable; default: all three layers")
+    fuzz.add_argument("--driver", default="direct",
+                      choices=["direct", "eventloop"],
+                      help="pump style: externally-pumped supervisor or "
+                           "the lthreads event loop (default direct)")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     obs = subparsers.add_parser(
@@ -323,6 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--ring-capacity", type=int, default=65536,
                      help="span ring buffer capacity (default 65536)")
     obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--frontend", type=int, default=500, metavar="N",
+                     help="also run N open-loop connections through the "
+                          "lthreads event loop so scheduler metrics are "
+                          "sampled (0 disables; default 500)")
     obs.add_argument("--json", action="store_true",
                      help="emit the metrics snapshot as JSON")
     obs.add_argument("--prom", action="store_true",

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.errors import EnclaveError, SimulationError
 from repro.lthreads import LThreadScheduler, TaskState
+from repro.obs import hooks as _obs
 
 ASYNC_CALL_OVERHEAD_CYCLES = 600  # slot write + cacheline ping-pong
 POLL_SPIN_CYCLES = 120  # one polling-loop iteration
@@ -62,6 +63,13 @@ class AsyncStats:
     task_wait_events: int = 0  # app thread found no idle task
     per_ecall: dict[str, int] = field(default_factory=dict)
     per_ocall: dict[str, int] = field(default_factory=dict)
+    #: Per-lthread-task slot accounting: ecalls executed and ocalls
+    #: issued by each task id (which slots the scheduler actually
+    #: spreads work over — surfaced to the obs plane).
+    per_task_ecalls: dict[int, int] = field(default_factory=dict)
+    per_task_ocalls: dict[int, int] = field(default_factory=dict)
+    #: High-water mark of simultaneously busy ecall slots.
+    slot_busy_peak: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -91,6 +99,7 @@ class AsyncCallRuntime:
         self._ecalls: dict[str, Callable[..., Any]] = {}
         self._ocalls: dict[str, Callable[..., Any]] = {}
         self.stats = AsyncStats()
+        self._obs_wait_reported = 0  # task_wait_events already published
 
     # ------------------------------------------------------------------
     # Registration
@@ -138,6 +147,9 @@ class AsyncCallRuntime:
         self.stats.async_ecalls += 1
         self.stats.per_ecall[name] = self.stats.per_ecall.get(name, 0) + 1
         self.stats.slot_cycles += ASYNC_CALL_OVERHEAD_CYCLES
+        busy = self.slot_occupancy()
+        if busy > self.stats.slot_busy_peak:
+            self.stats.slot_busy_peak = busy
 
         # Steps 2-6: drive scheduler and ocall servicing until done.
         spin_guard = 0
@@ -171,6 +183,9 @@ class AsyncCallRuntime:
                 continue
             task.context["app_thread"] = thread_id
             slot.task_id = task.task_id
+            self.stats.per_task_ecalls[task.task_id] = (
+                self.stats.per_task_ecalls.get(task.task_id, 0) + 1
+            )
             progressed = True
         return progressed
 
@@ -197,19 +212,35 @@ class AsyncCallRuntime:
                 # §4.3 invariant: only the owning application thread may
                 # execute this task's ocalls.
                 continue
-            func = self._ocalls.get(request.name)
-            if func is None:
-                raise EnclaveError(f"no such async ocall: {request.name}")
-            self.stats.async_ocalls += 1
-            self.stats.per_ocall[request.name] = (
-                self.stats.per_ocall.get(request.name, 0) + 1
-            )
-            self.stats.slot_cycles += 2 * ASYNC_CALL_OVERHEAD_CYCLES
-            result = func(*request.args)
+            result = self.execute_ocall(task.task_id, request)
             task.pending_yield = None
             self.scheduler.resume(task, result)  # step 5: same task resumes
             progressed = True
         return progressed
+
+    def execute_ocall(self, task_id: int, request: OcallRequest) -> Any:
+        """Execute one async-ocall on behalf of lthread ``task_id``.
+
+        Runs the registered untrusted function and meters the slot
+        protocol (request write + result write) plus per-task slot
+        accounting. :meth:`_service_ocall` uses this internally; the
+        front-end event loop (:mod:`repro.servers.eventloop`) calls it
+        directly because it drives its *own* scheduler — ``task_id``
+        then names a task of that scheduler, which is exactly what the
+        per-task spread metrics should reflect.
+        """
+        func = self._ocalls.get(request.name)
+        if func is None:
+            raise EnclaveError(f"no such async ocall: {request.name}")
+        self.stats.async_ocalls += 1
+        self.stats.per_ocall[request.name] = (
+            self.stats.per_ocall.get(request.name, 0) + 1
+        )
+        self.stats.per_task_ocalls[task_id] = (
+            self.stats.per_task_ocalls.get(task_id, 0) + 1
+        )
+        self.stats.slot_cycles += 2 * ASYNC_CALL_OVERHEAD_CYCLES
+        return func(*request.args)
 
     def _collect_results(self) -> bool:
         """Move finished task results into their ecall slots (step 6)."""
@@ -226,3 +257,38 @@ class AsyncCallRuntime:
                 self.stats.slot_cycles += ASYNC_CALL_OVERHEAD_CYCLES
                 progressed = True
         return progressed
+
+    # ------------------------------------------------------------------
+    # Introspection / observability
+    # ------------------------------------------------------------------
+
+    def slot_occupancy(self) -> int:
+        """Ecall slots currently carrying an in-flight async call."""
+        return sum(1 for slot in self._ecall_slots if slot.busy)
+
+    def record_obs(self) -> None:
+        """Publish per-task slot accounting to the installed obs plane.
+
+        Cheap-by-default contract: callers guard with ``hooks.ON`` (the
+        event loop samples this at pump boundaries, never per slice).
+        """
+        if not _obs.ON:
+            return
+        metrics = _obs.active().metrics
+        metrics.gauge(
+            "asynccalls_slot_occupancy",
+            "Ecall slots with an in-flight async call",
+        ).set(self.slot_occupancy())
+        metrics.gauge(
+            "asynccalls_slot_busy_peak",
+            "High-water mark of busy ecall slots",
+        ).set(self.stats.slot_busy_peak)
+        metrics.gauge(
+            "asynccalls_tasks_used",
+            "Distinct lthread tasks that executed an async ecall",
+        ).set(len(self.stats.per_task_ecalls))
+        metrics.counter(
+            "asynccalls_task_wait_events_total",
+            "Dispatch attempts that found no idle lthread task",
+        ).inc(max(0, self.stats.task_wait_events - self._obs_wait_reported))
+        self._obs_wait_reported = self.stats.task_wait_events

@@ -49,6 +49,7 @@ from repro.servers.connection import (
     FeedResult,
     SimClock,
 )
+from repro.servers.eventloop import EventLoop
 from repro.tls import api as native_api
 from repro.tls.bio import BIO
 from repro.tls.cert import CertificateAuthority, make_server_identity
@@ -111,6 +112,22 @@ class FuzzReport:
 
 def _case_rng(layer: str, seed: int, case: int) -> random.Random:
     return random.Random(f"fuzz:{layer}:{seed}:{case}")
+
+
+#: Front-end pump styles the harness can drive. Both present the same
+#: facade (open/feed/close/tick/...); "eventloop" routes every byte
+#: through the lthreads scheduler so the async front-end core faces the
+#: same hostile input as the externally-pumped supervisor.
+FUZZ_DRIVERS = ("direct", "eventloop")
+
+
+def _frontend(driver: str, *args, **kwargs):
+    """Build the requested front end over identical supervisor facades."""
+    if driver == "direct":
+        return ConnectionSupervisor(*args, **kwargs)
+    if driver == "eventloop":
+        return EventLoop(*args, **kwargs)
+    raise ValueError(f"unknown fuzz driver {driver!r}")
 
 
 def _record_outcome(report: FuzzReport, case: int, op: str, result) -> None:
@@ -186,7 +203,8 @@ class _TlsScenario:
     verbatim — and any mutation of them perturbs a real handshake.
     """
 
-    def __init__(self, handler=None):
+    def __init__(self, handler=None, driver: str = "direct"):
+        self.driver = driver
         self.ca = CertificateAuthority("fuzz-root", seed=b"fuzz-ca")
         self.key, self.cert = make_server_identity(
             self.ca, "fuzz.example", seed=b"fuzz-id"
@@ -212,7 +230,8 @@ class _TlsScenario:
         return ctx
 
     def fresh_server(self, clock: SimClock | None = None):
-        sup = ConnectionSupervisor(
+        sup = _frontend(
+            self.driver,
             self.handler,
             api=native_api,
             ssl_ctx=self._server_ctx(),
@@ -221,7 +240,13 @@ class _TlsScenario:
         return sup, sup.open()
 
     def _establish(self) -> dict:
-        sup, cid = self.fresh_server()
+        # Always capture over the direct supervisor: the bundle must stay
+        # deepcopy-able (generators aren't), and the handshake bytes are
+        # identical under either pump style.
+        sup = ConnectionSupervisor(
+            self.handler, api=native_api, ssl_ctx=self._server_ctx()
+        )
+        cid = sup.open()
         cctx = native_api.SSL_CTX_new(native_api.TLS_client_method())
         native_api.SSL_CTX_load_verify_locations(cctx, self.ca)
         cctx.drbg_seed = b"fuzz-client"
@@ -248,10 +273,18 @@ class _TlsScenario:
         }
 
     def established_copy(self) -> dict:
-        """An independent established connection (≈0.6 ms, no handshake)."""
-        return copy.deepcopy(
+        """An independent established connection (≈0.6 ms, no handshake).
+
+        Under the eventloop driver the deepcopied supervisor is adopted
+        by a fresh :class:`EventLoop`, which re-spawns one driver task
+        per live connection (generators cannot be deepcopied).
+        """
+        bundle = copy.deepcopy(
             self._established_bundle, {id(native_api): native_api}
         )
+        if self.driver == "eventloop":
+            bundle["sup"] = EventLoop(supervisor=bundle["sup"])
+        return bundle
 
 
 def _mutate_flights(
@@ -312,10 +345,12 @@ def _mutate_flights(
     return [bytes(f) for f in mutated]
 
 
-def fuzz_tls_layer(seed: int = 0, cases: int = 200) -> FuzzReport:
+def fuzz_tls_layer(
+    seed: int = 0, cases: int = 200, driver: str = "direct"
+) -> FuzzReport:
     """Mutate raw TLS bytes against live handshakes and sealed sessions."""
     report = FuzzReport(layer="tls", seed=seed, cases=cases)
-    scenario = _TlsScenario()
+    scenario = _TlsScenario(driver=driver)
     post_share = max(1, cases // 3)
     for case in range(cases):
         rng = _case_rng("tls", seed, case)
@@ -611,12 +646,14 @@ def _http_case_bytes(op: str, rng: random.Random) -> list[bytes]:
     raise AssertionError(op)  # pragma: no cover - op table mismatch
 
 
-def fuzz_http_layer(seed: int = 0, cases: int = 2000) -> FuzzReport:
-    """Mutate post-decryption HTTP against a plain-mode supervisor."""
+def fuzz_http_layer(
+    seed: int = 0, cases: int = 2000, driver: str = "direct"
+) -> FuzzReport:
+    """Mutate post-decryption HTTP against a plain-mode front end."""
     report = FuzzReport(layer="http", seed=seed, cases=cases)
     limits = ConnectionLimits(http=_FUZZ_HTTP_LIMITS)
     handler = lambda request: HttpResponse(200, body=b"h-ok")  # noqa: E731
-    sup = ConnectionSupervisor(handler, limits=limits)
+    sup = _frontend(driver, handler, limits=limits)
     canary = sup.open()
     canary_request = HttpRequest("GET", "/canary").encode()
     for case in range(cases):
@@ -821,7 +858,10 @@ def _service_case_request(name: str, rng: random.Random) -> bytes:
 
 
 def fuzz_service_layer(
-    seed: int = 0, cases: int = 400, services: list[str] | None = None
+    seed: int = 0,
+    cases: int = 400,
+    services: list[str] | None = None,
+    driver: str = "direct",
 ) -> FuzzReport:
     """Hostile service payloads through the full LibSEAL deployment.
 
@@ -848,8 +888,8 @@ def fuzz_service_layer(
         api.SSL_CTX_use_PrivateKey(ctx, key)
         libseal = LibSeal(ssm, config=LibSealConfig(flush_each_pair=False))
         libseal.attach(runtime)
-        sup = ConnectionSupervisor(
-            handler, api=api, ssl_ctx=ctx,
+        sup = _frontend(
+            driver, handler, api=api, ssl_ctx=ctx,
             on_close=libseal.logger.close_connection,
         )
 
@@ -936,6 +976,7 @@ def run_fuzz(
     seed: int = 0,
     cases_per_layer: int = 300,
     layers: list[str] | None = None,
+    driver: str = "direct",
 ) -> list[FuzzReport]:
     """Run every requested layer; returns one report per layer."""
     runners = {
@@ -944,5 +985,5 @@ def run_fuzz(
         "service": fuzz_service_layer,
     }
     selected = layers or sorted(runners)
-    return [runners[name](seed=seed, cases=cases_per_layer)
+    return [runners[name](seed=seed, cases=cases_per_layer, driver=driver)
             for name in selected]

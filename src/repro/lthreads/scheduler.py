@@ -10,10 +10,27 @@ The scheduler models S enclave threads × T tasks per thread: only
 ``num_workers`` tasks can be in ``RUNNING`` state simultaneously (one per
 simulated enclave thread), which is what makes task-count effects (Table 4)
 and thread-count effects (Table 3) observable.
+
+Dispatch policy: READY tasks wait in a FIFO ready queue, so a task that
+became runnable earlier always executes its next slice no later than any
+task that became runnable after it (bounded wait — no READY task can be
+starved by its neighbours). The queue also makes :meth:`step` O(1), which
+is what lets one scheduler instance multiplex 100k+ front-end connection
+tasks (see :mod:`repro.servers.eventloop`).
+
+Lifecycle extensions for the front end:
+
+- ``allow_growth`` lets :meth:`spawn` mint new tasks past the initial
+  pool (one task per live client connection, bounded by ``max_tasks``);
+- :meth:`cancel` reaps a task in any non-RUNNING state — closing its
+  generator, clearing its context and returning its slot to the idle
+  pool — so aborting a connection whose task is parked on a read cannot
+  leak the task.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Any, Generator, Iterator
@@ -47,12 +64,59 @@ class LThreadTask:
 class LThreadScheduler:
     """Multiplexes tasks over a fixed number of worker slots."""
 
-    def __init__(self, num_tasks: int, num_workers: int):
+    def __init__(
+        self,
+        num_tasks: int,
+        num_workers: int,
+        allow_growth: bool = False,
+        max_tasks: int = 1_000_000,
+    ):
         if num_tasks < 1 or num_workers < 1:
             raise SimulationError("scheduler needs at least one task and worker")
         self.tasks = [LThreadTask(task_id=i) for i in range(num_tasks)]
         self.num_workers = num_workers
+        self.allow_growth = allow_growth
+        self.max_tasks = max_tasks
         self.total_dispatches = 0
+        self.cancellations = 0
+        #: Task that executed the most recent slice — the event loop
+        #: inspects this after :meth:`step` to service whatever the task
+        #: yielded without scanning the task table.
+        self.last_ran: LThreadTask | None = None
+        # FIFO queues of task ids. Entries may be stale (a queued task
+        # whose state changed since it was queued); consumers skip those,
+        # and the _counts dict stays exact at every transition.
+        self._ready: deque[int] = deque()
+        self._idle: deque[int] = deque(range(num_tasks))
+        self._counts: dict[TaskState, int] = {state: 0 for state in TaskState}
+        self._counts[TaskState.IDLE] = num_tasks
+
+    # ------------------------------------------------------------------
+    # State bookkeeping (all transitions funnel through here)
+    # ------------------------------------------------------------------
+
+    def _set_state(self, task: LThreadTask, state: TaskState) -> None:
+        self._counts[task.state] -= 1
+        self._counts[state] += 1
+        task.state = state
+        if state is TaskState.READY:
+            self._ready.append(task.task_id)
+        elif state is TaskState.IDLE:
+            self._idle.append(task.task_id)
+
+    def ready_depth(self) -> int:
+        """READY tasks queued for a worker slot (run-queue depth)."""
+        return self._counts[TaskState.READY]
+
+    def running_count(self) -> int:
+        return self._counts[TaskState.RUNNING]
+
+    def waiting_count(self) -> int:
+        return self._counts[TaskState.WAITING]
+
+    def worker_occupancy(self) -> float:
+        """Fraction of worker slots currently executing a slice."""
+        return self._counts[TaskState.RUNNING] / self.num_workers
 
     # ------------------------------------------------------------------
     # Assignment
@@ -60,9 +124,11 @@ class LThreadScheduler:
 
     def idle_task(self) -> LThreadTask | None:
         """First task with no work assigned (paper: 'first available')."""
-        for task in self.tasks:
+        while self._idle:
+            task = self.tasks[self._idle[0]]
             if task.state is TaskState.IDLE:
                 return task
+            self._idle.popleft()  # stale entry
         return None
 
     def assign(self, generator: Generator[Any, Any, Any]) -> LThreadTask | None:
@@ -70,28 +136,52 @@ class LThreadScheduler:
         task = self.idle_task()
         if task is None:
             return None
+        self._idle.popleft()
         task.generator = generator
-        task.state = TaskState.READY
         task.has_result = False
         task.result = None
         task.pending_yield = None
+        task.resume_value = None
+        self._set_state(task, TaskState.READY)
+        return task
+
+    def spawn(self, generator: Generator[Any, Any, Any]) -> LThreadTask:
+        """Assign to an idle task, growing the pool when allowed.
+
+        The front-end event loop runs one task per live connection; with
+        ``allow_growth`` the pool stretches to the connection count
+        instead of rejecting work (worker slots still bound concurrency).
+        """
+        task = self.assign(generator)
+        if task is not None:
+            return task
+        if not self.allow_growth:
+            raise SimulationError("task pool exhausted and growth disabled")
+        if len(self.tasks) >= self.max_tasks:
+            raise SimulationError(
+                f"task pool at max_tasks={self.max_tasks}; refusing to grow"
+            )
+        task = LThreadTask(task_id=len(self.tasks))
+        self.tasks.append(task)
+        self._counts[TaskState.IDLE] += 1
+        task.generator = generator
+        self._set_state(task, TaskState.READY)
         return task
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
-    def _running_count(self) -> int:
-        return sum(1 for t in self.tasks if t.state is TaskState.RUNNING)
-
     def step(self) -> bool:
-        """Run one READY task for one slice; returns whether anything ran."""
-        if self._running_count() >= self.num_workers:
+        """Run the longest-waiting READY task for one slice (FIFO)."""
+        if self._counts[TaskState.RUNNING] >= self.num_workers:
             return False
-        for task in self.tasks:
-            if task.state is TaskState.READY:
-                self._run_task(task)
-                return True
+        while self._ready:
+            task = self.tasks[self._ready.popleft()]
+            if task.state is not TaskState.READY:
+                continue  # stale entry (resumed elsewhere, cancelled, ...)
+            self._run_task(task)
+            return True
         return False
 
     def run_until_blocked(self) -> int:
@@ -106,14 +196,46 @@ class LThreadScheduler:
         if task.state is not TaskState.WAITING:
             raise SimulationError(f"task {task.task_id} is not waiting")
         task.resume_value = value
-        task.state = TaskState.READY
+        self._set_state(task, TaskState.READY)
+
+    def cancel(self, task: LThreadTask) -> bool:
+        """Reap a task: close its generator, free its slot.
+
+        Works on READY, WAITING and IDLE tasks (a parked task *must* be
+        collectable — aborting a connection whose task waits on bytes
+        that will never arrive cannot leak the slot). Returns whether
+        there was anything to cancel. Cancelling the RUNNING task is a
+        scheduler bug: slices are atomic, nothing can cancel mid-slice.
+        """
+        if task.state is TaskState.RUNNING:
+            raise SimulationError(
+                f"task {task.task_id} is mid-slice; cannot cancel RUNNING"
+            )
+        had_work = task.generator is not None
+        if task.generator is not None:
+            try:
+                task.generator.close()
+            except Exception:
+                pass  # a finally-block raising must not block the reap
+            task.generator = None
+        task.pending_yield = None
+        task.resume_value = None
+        task.has_result = False
+        task.result = None
+        task.context.clear()
+        if task.state is not TaskState.IDLE:
+            self._set_state(task, TaskState.IDLE)
+        if had_work:
+            self.cancellations += 1
+        return had_work
 
     def _run_task(self, task: LThreadTask) -> None:
         if task.generator is None:
             raise SimulationError(f"task {task.task_id} has no generator")
-        task.state = TaskState.RUNNING
+        self._set_state(task, TaskState.RUNNING)
         task.steps_executed += 1
         self.total_dispatches += 1
+        self.last_ran = task
         try:
             if task.resume_value is not None or task.pending_yield is not None:
                 value, task.resume_value = task.resume_value, None
@@ -125,14 +247,14 @@ class LThreadScheduler:
             task.has_result = True
             task.generator = None
             task.pending_yield = None
-            task.state = TaskState.IDLE
+            self._set_state(task, TaskState.IDLE)
             return
         if yielded is None:
             raise SimulationError(
                 f"task {task.task_id} yielded None; yields must carry a request"
             )
         task.pending_yield = yielded
-        task.state = TaskState.WAITING
+        self._set_state(task, TaskState.WAITING)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -142,4 +264,4 @@ class LThreadScheduler:
         return (t for t in self.tasks if t.state is TaskState.WAITING)
 
     def busy_count(self) -> int:
-        return sum(1 for t in self.tasks if t.state is not TaskState.IDLE)
+        return len(self.tasks) - self._counts[TaskState.IDLE]

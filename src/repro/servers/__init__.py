@@ -5,7 +5,9 @@ request streams on a simulated 4-core server with closed-loop clients;
 :mod:`repro.servers.experiments` wraps it into one driver function per
 figure/table of the paper's evaluation; :mod:`repro.servers.connection`
 supervises real client connections with bounded input paths and
-per-connection fault isolation.
+per-connection fault isolation; :mod:`repro.servers.eventloop` runs every
+supervised connection as a cooperative lthread task on one scheduler
+(the §4.3 async front-end core, 100k+ concurrent connections).
 """
 
 from repro.servers.attest import AttestMonitor
@@ -20,17 +22,37 @@ from repro.servers.connection import (
     SimClock,
     SupervisorStats,
 )
-from repro.servers.machine import MachineConfig, RunResult, ServerMachine
+from repro.servers.eventloop import (
+    AUDIT_FLUSH_OCALL,
+    EventLoop,
+    EventLoopStats,
+    ReadWait,
+    Reschedule,
+)
+from repro.servers.machine import (
+    FrontendConfig,
+    FrontendRunResult,
+    MachineConfig,
+    RunResult,
+    ServerMachine,
+)
 
 __all__ = [
+    "AUDIT_FLUSH_OCALL",
     "AttestMonitor",
     "BufferBoundViolation",
     "ConnectionAborted",
     "ConnectionLimits",
     "ConnectionSupervisor",
     "DeadlineViolation",
+    "EventLoop",
+    "EventLoopStats",
     "FeedResult",
+    "FrontendConfig",
+    "FrontendRunResult",
     "MachineConfig",
+    "ReadWait",
+    "Reschedule",
     "RunResult",
     "ServerConnection",
     "SimClock",

@@ -42,6 +42,7 @@ from repro.faults import hooks as _faults
 from repro.http import HttpRequest, HttpResponse, parse_request
 from repro.obs import hooks as _obs
 from repro.http.parser import DEFAULT_LIMITS, HttpLimits, extract_message
+from repro.sim.clock import SimClock
 from repro.tls.bio import bio_pair
 from repro.tls.connection import (
     ALERT_BAD_CERTIFICATE,
@@ -51,6 +52,26 @@ from repro.tls.connection import (
 )
 
 Handler = Callable[[HttpRequest], HttpResponse]
+
+#: The typed families whose members abort exactly one connection. Both
+#: pump styles — the externally-pumped :meth:`ServerConnection.feed` and
+#: the event-loop driver (:mod:`repro.servers.eventloop`) — catch this
+#: tuple and nothing else, so teardown semantics cannot diverge.
+VIOLATION_ERRORS = (TLSError, HTTPError, ProtocolViolation, AttestationError)
+
+__all__ = [
+    "BufferBoundViolation",
+    "ConnectionAborted",
+    "ConnectionLimits",
+    "ConnectionSupervisor",
+    "DeadlineViolation",
+    "FeedResult",
+    "Handler",
+    "ServerConnection",
+    "SimClock",
+    "SupervisorStats",
+    "VIOLATION_ERRORS",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -90,19 +111,11 @@ class ConnectionLimits:
     idle_timeout_s: float = 30.0
 
 
-class SimClock:
-    """Manual monotonic clock: deterministic deadlines for fuzzing/tests."""
-
-    def __init__(self) -> None:
-        self._now = 0.0
-
-    def now(self) -> float:
-        return self._now
-
-    def advance(self, dt: float) -> None:
-        if dt < 0:
-            raise ValueError("clock cannot go backwards")
-        self._now += dt
+# SimClock now lives in repro.sim.clock (imported above and re-exported
+# here for compatibility): the front end, the fuzzing harness and the
+# discrete-event simulator share one time source, so deadlines, fault
+# plans and scheduler steps agree on "now". SimulatorClock (same module)
+# backs this interface with a running Simulator.
 
 
 # ---------------------------------------------------------------------------
@@ -201,28 +214,22 @@ class ServerConnection:
     def feed(self, data: bytes) -> FeedResult:
         """Deliver one chunk of raw client bytes; never raises for
         malformed input — a violation aborts *this* connection and is
-        reported in the :class:`FeedResult`."""
+        reported in the :class:`FeedResult`.
+
+        This is the externally-pumped composition of the pure
+        state-machine steps (:meth:`ingress` → :meth:`decrypt` →
+        :meth:`dispatch`); the event loop drives the same steps as
+        separate scheduler slices with identical semantics.
+        """
         if self.aborted or self.closed:
-            return FeedResult(
-                aborted=True,
-                violation=self.violation
-                or ConnectionAborted(f"connection {self.conn_id} is closed"),
-            )
-        self.last_activity = self.clock.now()
-        data = self._apply_network_faults(data)
+            return self.closed_result()
+        data = self.ingress(data)
         result = FeedResult()
         try:
-            if self.api is not None:
-                self.to_server.write(data)
-                if not self.established:
-                    self.api.SSL_accept(self.ssl)
-                if self.established:
-                    plaintext = self.api.SSL_read(self.ssl)
-                    if plaintext:
-                        self._on_plaintext(plaintext, result)
-            else:
-                self._on_plaintext(data, result)
-        except (TLSError, HTTPError, ProtocolViolation, AttestationError) as exc:
+            plaintext = self.decrypt(data)
+            if plaintext or self.api is None:
+                self.dispatch(plaintext, result)
+        except VIOLATION_ERRORS as exc:
             # AttestationError: an RA-TLS peer whose evidence failed the
             # verification pipeline is torn down exactly like any other
             # handshake violation — alert, abort, isolate — and can never
@@ -232,6 +239,40 @@ class ServerConnection:
             result.violation = exc
         result.output += self.drain_output()
         return result
+
+    def closed_result(self) -> FeedResult:
+        """The result every feed on a dead connection reports."""
+        return FeedResult(
+            aborted=True,
+            violation=self.violation
+            or ConnectionAborted(f"connection {self.conn_id} is closed"),
+        )
+
+    def ingress(self, data: bytes) -> bytes:
+        """Byte-ingress bookkeeping: stamp activity, run the
+        ``conn.feed`` fault site. Shared by both pump styles so fault
+        plans hit the event-loop path exactly like the direct path."""
+        self.last_activity = self.clock.now()
+        return self._apply_network_faults(data)
+
+    def decrypt(self, data: bytes) -> bytes:
+        """Pure TLS step: ingest raw bytes, advance the handshake,
+        return decrypted plaintext (``b""`` while the handshake is
+        still in flight or nothing decrypted). Plain mode is the
+        identity. Raises typed errors only."""
+        if self.api is None:
+            return data
+        self.to_server.write(data)
+        if not self.established:
+            self.api.SSL_accept(self.ssl)
+        if self.established:
+            return self.api.SSL_read(self.ssl) or b""
+        return b""
+
+    def dispatch(self, plaintext: bytes, result: FeedResult) -> None:
+        """Pure HTTP step: reassemble, parse, dispatch the handler and
+        queue responses. Raises typed errors only."""
+        self._on_plaintext(plaintext, result)
 
     def _apply_network_faults(self, data: bytes) -> bytes:
         events = _faults.check("conn.feed")
@@ -457,6 +498,11 @@ class ConnectionSupervisor:
         """Deliver client bytes to one connection, isolated from the rest."""
         conn = self.connection(conn_id)
         result = conn.feed(data)
+        self.account(conn, result)
+        return result
+
+    def account(self, conn: ServerConnection, result: FeedResult) -> None:
+        """Record one feed's outcome (shared with the event-loop pump)."""
         self.stats.requests_served += result.served
         self.stats.bad_requests += result.bad_requests
         if _obs.ON:
@@ -471,7 +517,6 @@ class ConnectionSupervisor:
                 ).inc(result.bad_requests)
         if result.aborted and conn.violation is result.violation:
             self._note_abort(conn)
-        return result
 
     def _note_abort(self, conn: ServerConnection) -> None:
         record = (conn.conn_id, repr(conn.violation))

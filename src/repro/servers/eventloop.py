@@ -1,0 +1,471 @@
+"""The async front-end core: one scheduler, 100k+ supervised connections.
+
+LibSEAL's front end (§4.3) keeps user-level lthreads resident inside the
+enclave and multiplexes every client connection over them: a connection
+never owns an OS thread, it owns a *task* whose TLS handshake, HTTP parse,
+handler dispatch and audit append are cooperative scheduler slices. This
+module is that architecture over the supervised connection layer:
+
+- :class:`EventLoop` wraps (or adopts) a
+  :class:`~repro.servers.connection.ConnectionSupervisor` and runs one
+  generator-based :class:`~repro.lthreads.LThreadTask` per live
+  connection on a single :class:`~repro.lthreads.LThreadScheduler`
+  (``allow_growth`` lets the task pool stretch to the connection count;
+  worker slots still bound concurrency, which is what produces the
+  saturation knee in ``benchmarks/bench_saturation.py``);
+- a connection's driver yields :class:`ReadWait` to park until client
+  bytes arrive, :class:`Reschedule` to split TLS decryption and HTTP
+  dispatch into separate slices (FIFO fairness applies *between
+  phases*, so one connection's heavy dispatch cannot monopolise a
+  worker through its neighbour's handshake), and — when an
+  :class:`~repro.asynccalls.AsyncCallRuntime` is attached — an
+  :class:`~repro.asynccalls.OcallRequest` that models the audit-log
+  append leaving the enclave through the async slot protocol;
+- teardown semantics are *identical* to the externally-pumped
+  :meth:`~repro.servers.connection.ServerConnection.feed` path: the
+  driver catches exactly
+  :data:`~repro.servers.connection.VIOLATION_ERRORS`, aborts via the
+  same :meth:`~repro.servers.connection.ServerConnection.abort`, and
+  accounting flows through the same
+  :meth:`~repro.servers.connection.ConnectionSupervisor.account` —
+  a parity test class runs the supervisor test scenarios on both paths;
+- aborting or deadline-expiring a connection whose task is parked
+  *reaps the task* through :meth:`~repro.lthreads.LThreadScheduler.cancel`
+  (closing the generator, returning the slot), so 100k churned
+  connections cannot leak 100k parked tasks.
+
+Two pump styles coexist:
+
+- **closed-loop / supervisor-compatible**: :meth:`EventLoop.feed`
+  delivers one chunk, pumps the scheduler to quiescence and returns the
+  chunk's :class:`~repro.servers.connection.FeedResult` — a drop-in for
+  ``ConnectionSupervisor.feed`` (the fuzzing harness drives both paths
+  with the same plans);
+- **open-loop**: :meth:`deliver` only enqueues bytes and wakes the
+  parked task; the caller (``ServerMachine.run_frontend``) invokes
+  :meth:`step` slice by slice and converts executed slices into
+  modelled time, so queueing delay under overload is *emergent* from
+  genuine ready-queue backlog.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.asynccalls import AsyncCallRuntime, OcallRequest
+from repro.errors import SimulationError
+from repro.lthreads import LThreadScheduler, LThreadTask, TaskState
+from repro.obs import hooks as _obs
+from repro.servers.connection import (
+    VIOLATION_ERRORS,
+    ConnectionLimits,
+    ConnectionSupervisor,
+    FeedResult,
+    Handler,
+    ServerConnection,
+    SimClock,
+    SupervisorStats,
+)
+
+#: Name of the async-ocall the driver issues after serving requests: the
+#: audit-log append crossing the enclave boundary. Auto-registered on the
+#: attached runtime when absent.
+AUDIT_FLUSH_OCALL = "frontend.audit_flush"
+
+#: Buckets for the per-connection slice-count histogram (slices are small
+#: integers, not seconds — the default buckets would collapse them).
+_STEP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class ReadWait:
+    """Yielded by a connection driver to park until client bytes arrive."""
+
+    conn_id: int
+
+
+@dataclass(frozen=True)
+class Reschedule:
+    """Yielded to end the current slice and requeue at the FIFO tail.
+
+    This is the slice boundary between TLS decryption and HTTP dispatch:
+    the task goes back through the ready queue, so every other runnable
+    connection gets its turn in between.
+    """
+
+    conn_id: int
+
+
+@dataclass
+class EventLoopStats:
+    """Scheduler-level counters (supervisor stats live on the supervisor)."""
+
+    slices: int = 0  # scheduler slices executed
+    feeds: int = 0  # chunks fully processed by drivers
+    parked_waits: int = 0  # times a driver parked on an empty inbox
+    resumed_reads: int = 0  # parked reads resumed with bytes
+    audit_ocalls: int = 0  # audit appends issued through the slot runtime
+    reaped_tasks: int = 0  # parked/ready tasks cancelled at teardown
+    peak_ready_depth: int = 0  # run-queue high-water mark
+    peak_concurrent: int = 0  # live-connection high-water mark
+    per_conn_steps: dict[int, int] = field(default_factory=dict)
+
+
+class EventLoop:
+    """Runs every supervised connection as a cooperative lthread task."""
+
+    def __init__(
+        self,
+        handler: Handler | None = None,
+        api: Any = None,
+        ssl_ctx: Any = None,
+        limits: ConnectionLimits | None = None,
+        clock: SimClock | None = None,
+        on_close: Callable[[int], None] | None = None,
+        supervisor: ConnectionSupervisor | None = None,
+        num_workers: int = 3,
+        initial_tasks: int | None = None,
+        max_tasks: int = 2_000_000,
+        async_runtime: AsyncCallRuntime | None = None,
+        on_result: Callable[[int, FeedResult], None] | None = None,
+    ):
+        if supervisor is None:
+            if handler is None:
+                raise ValueError("EventLoop needs a handler or a supervisor")
+            supervisor = ConnectionSupervisor(
+                handler,
+                api=api,
+                ssl_ctx=ssl_ctx,
+                limits=limits,
+                clock=clock,
+                on_close=on_close,
+            )
+        self.supervisor = supervisor
+        self.scheduler = LThreadScheduler(
+            num_tasks=initial_tasks or num_workers * 48,
+            num_workers=num_workers,
+            allow_growth=True,
+            max_tasks=max_tasks,
+        )
+        self.async_runtime = async_runtime
+        if async_runtime is not None and (
+            AUDIT_FLUSH_OCALL not in async_runtime._ocalls
+        ):
+            async_runtime.register_ocall(
+                AUDIT_FLUSH_OCALL, lambda conn_id, served: served
+            )
+        self.on_result = on_result
+        self.loop_stats = EventLoopStats()
+        self._tasks: dict[int, LThreadTask] = {}
+        self._inboxes: dict[int, deque[bytes]] = {}
+        self._pending_results: dict[int, list[FeedResult]] = {}
+        self._collect: set[int] = set()
+        self._obs_slices_reported = 0
+        self._obs_cancels_reported = 0
+        # Adopt connections already live on a pre-existing supervisor
+        # (the fuzzing harness deepcopies an *established* supervisor —
+        # generators cannot be deepcopied, so drivers are re-spawned here).
+        for conn_id in list(self.supervisor.connections):
+            self._spawn_driver(conn_id)
+
+    # ------------------------------------------------------------------
+    # Supervisor-compatible facade
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> SupervisorStats:
+        return self.supervisor.stats
+
+    @property
+    def clock(self) -> SimClock:
+        return self.supervisor.clock
+
+    @property
+    def limits(self) -> ConnectionLimits:
+        return self.supervisor.limits
+
+    @property
+    def connections(self) -> dict[int, ServerConnection]:
+        return self.supervisor.connections
+
+    @property
+    def live_connections(self) -> list[int]:
+        return self.supervisor.live_connections
+
+    def connection(self, conn_id: int) -> ServerConnection:
+        return self.supervisor.connection(conn_id)
+
+    def open(self, ssl_ctx: Any = None) -> int:
+        """Accept a connection and spawn its driver task (READY, not yet
+        run — its first slice parks it on :class:`ReadWait`)."""
+        conn_id = self.supervisor.open(ssl_ctx)
+        self._spawn_driver(conn_id)
+        live = len(self.supervisor.connections)
+        if live > self.loop_stats.peak_concurrent:
+            self.loop_stats.peak_concurrent = live
+        return conn_id
+
+    def feed(self, conn_id: int, data: bytes) -> FeedResult:
+        """Deliver one chunk and pump until the connection's driver has
+        fully processed it; returns that chunk's result.
+
+        Drop-in for :meth:`ConnectionSupervisor.feed`: same typed
+        teardown, same accounting, same :class:`FeedResult` — the chunk
+        just travels through scheduler slices instead of a direct call.
+        """
+        conn = self.supervisor.connection(conn_id)
+        task = self._tasks.get(conn_id)
+        if task is None or task.generator is None:
+            # Driver already finished (shouldn't happen for a live
+            # connection) — fall back to the direct path for parity.
+            result = conn.feed(data)
+            self.supervisor.account(conn, result)
+            return result
+        self.deliver(conn_id, data)
+        self._collect.add(conn_id)
+        try:
+            self.pump()
+        finally:
+            self._collect.discard(conn_id)
+        outcomes = self._pending_results.pop(conn_id, [])
+        if not outcomes:
+            return conn.closed_result()
+        result = outcomes[0]
+        for extra in outcomes[1:]:  # pragma: no cover - one chunk, one result
+            result.output += extra.output
+            result.served += extra.served
+            result.bad_requests += extra.bad_requests
+            result.aborted = result.aborted or extra.aborted
+            result.violation = result.violation or extra.violation
+        return result
+
+    def close(self, conn_id: int) -> None:
+        """Graceful close; reaps the connection's parked task."""
+        self.supervisor.close(conn_id)
+        self._reap(conn_id)
+
+    def tick(self) -> list[int]:
+        """Enforce deadlines; every expired connection's task is reaped."""
+        expired = self.supervisor.tick()
+        for conn_id in expired:
+            self._reap(conn_id)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Open-loop interface (ServerMachine.run_frontend)
+    # ------------------------------------------------------------------
+
+    def deliver(self, conn_id: int, data: bytes) -> None:
+        """Enqueue client bytes and wake the parked driver — no pumping.
+
+        The caller decides when slices run (:meth:`step` / :meth:`pump`),
+        so arrival and service are decoupled: under overload the bytes
+        sit in the inbox and the task sits in the ready queue, which is
+        where saturation-knee queueing delay comes from.
+        """
+        self.supervisor.connection(conn_id)  # raises if torn down
+        task = self._tasks.get(conn_id)
+        if task is None:  # pragma: no cover - defensive
+            raise SimulationError(f"connection {conn_id} has no driver task")
+        self._inboxes[conn_id].append(data)
+        if task.state is TaskState.WAITING and isinstance(
+            task.pending_yield, ReadWait
+        ):
+            self._service(task)
+
+    def step(self) -> bool:
+        """Run one scheduler slice and service its yield; False if idle."""
+        if not self.scheduler.step():
+            return False
+        self._after_slice()
+        return True
+
+    def pump(self) -> int:
+        """Run slices until no task is runnable; returns slices executed.
+
+        Quiescence means every live driver is parked on a
+        :class:`ReadWait` with an empty inbox (":class:`Reschedule`" and
+        ocall yields are serviced immediately, so they cannot pin the
+        loop).
+        """
+        executed = 0
+        while self.scheduler.step():
+            self._after_slice()
+            executed += 1
+        self.sample_obs()
+        return executed
+
+    # ------------------------------------------------------------------
+    # Driver machinery
+    # ------------------------------------------------------------------
+
+    def _spawn_driver(self, conn_id: int) -> None:
+        conn = self.supervisor.connection(conn_id)
+        task = self.scheduler.spawn(self._driver(conn_id, conn))
+        task.context["conn_id"] = conn_id
+        task.context["steps_base"] = task.steps_executed
+        self._tasks[conn_id] = task
+        self._inboxes[conn_id] = deque()
+
+    def _driver(
+        self, conn_id: int, conn: ServerConnection
+    ) -> Generator[Any, Any, None]:
+        """One connection's lifetime as cooperative slices.
+
+        Slice 1: park for bytes; ingress + TLS step on wake.
+        Slice 2: HTTP parse + handler dispatch (only when plaintext
+        surfaced — handshake flights finish in one slice).
+        Slice 3 (enclave mode): audit append as an async-ocall.
+        Violations tear down exactly this connection, via the same abort
+        path and accounting the direct pump uses.
+        """
+        while not (conn.aborted or conn.closed):
+            chunk = yield ReadWait(conn_id)
+            data = conn.ingress(chunk)
+            result = FeedResult()
+            try:
+                plaintext = conn.decrypt(data)
+                if plaintext or conn.api is None:
+                    yield Reschedule(conn_id)  # dispatch runs on its own turn
+                    conn.dispatch(plaintext, result)
+            except VIOLATION_ERRORS as exc:
+                conn.abort(exc)
+                result.aborted = True
+                result.violation = exc
+            else:
+                if self.async_runtime is not None and (
+                    result.served or result.bad_requests
+                ):
+                    self.loop_stats.audit_ocalls += 1
+                    yield OcallRequest(
+                        AUDIT_FLUSH_OCALL, (conn_id, result.served)
+                    )
+            result.output += conn.drain_output()
+            self._finish_feed(conn_id, conn, result)
+            if result.aborted:
+                break
+        self._detach(conn_id)
+
+    def _service(self, task: LThreadTask) -> None:
+        """Handle what a parked task yielded (resume now or leave parked)."""
+        request = task.pending_yield
+        if isinstance(request, ReadWait):
+            inbox = self._inboxes.get(request.conn_id)
+            if inbox:
+                task.pending_yield = None
+                self.loop_stats.resumed_reads += 1
+                self.scheduler.resume(task, inbox.popleft())
+            else:
+                self.loop_stats.parked_waits += 1  # stays WAITING
+        elif isinstance(request, Reschedule):
+            task.pending_yield = None
+            self.scheduler.resume(task, True)
+        elif isinstance(request, OcallRequest):
+            if self.async_runtime is None:  # pragma: no cover - defensive
+                raise SimulationError(
+                    "driver issued an ocall with no async runtime attached"
+                )
+            reply = self.async_runtime.execute_ocall(task.task_id, request)
+            task.pending_yield = None
+            self.scheduler.resume(task, reply if reply is not None else True)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"connection driver yielded unexpected {request!r}"
+            )
+
+    def _after_slice(self) -> None:
+        self.loop_stats.slices += 1
+        depth = self.scheduler.ready_depth()
+        if depth > self.loop_stats.peak_ready_depth:
+            self.loop_stats.peak_ready_depth = depth
+        task = self.scheduler.last_ran
+        if task is not None and task.state is TaskState.WAITING:
+            self._service(task)
+
+    def _finish_feed(
+        self, conn_id: int, conn: ServerConnection, result: FeedResult
+    ) -> None:
+        self.loop_stats.feeds += 1
+        self.supervisor.account(conn, result)
+        if conn_id in self._collect:
+            self._pending_results.setdefault(conn_id, []).append(result)
+        if self.on_result is not None:
+            self.on_result(conn_id, result)
+
+    def _detach(self, conn_id: int) -> None:
+        """Driver ran to completion: drop loop-side state (the task slot
+        returns to the pool via the scheduler's normal StopIteration)."""
+        task = self._tasks.pop(conn_id, None)
+        self._inboxes.pop(conn_id, None)
+        if task is not None:
+            self._record_steps(conn_id, task)
+
+    def _reap(self, conn_id: int) -> None:
+        """Cancel the connection's task wherever it is parked."""
+        task = self._tasks.pop(conn_id, None)
+        self._inboxes.pop(conn_id, None)
+        self._pending_results.pop(conn_id, None)
+        self._collect.discard(conn_id)
+        if task is not None:
+            self._record_steps(conn_id, task)
+            if task.generator is not None:
+                self.scheduler.cancel(task)
+                self.loop_stats.reaped_tasks += 1
+
+    def _record_steps(self, conn_id: int, task: LThreadTask) -> None:
+        steps = task.steps_executed - task.context.get("steps_base", 0)
+        self.loop_stats.per_conn_steps[conn_id] = steps
+        if _obs.ON:
+            _obs.active().metrics.histogram(
+                "frontend_connection_steps",
+                "Scheduler slices one connection consumed over its lifetime",
+                buckets=_STEP_BUCKETS,
+            ).observe(steps)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def worker_occupancy(self) -> float:
+        """Demand over capacity: fraction of worker slots the current
+        runnable backlog would keep busy (1.0 == saturated)."""
+        demand = self.scheduler.ready_depth() + self.scheduler.running_count()
+        return min(1.0, demand / self.scheduler.num_workers)
+
+    def sample_obs(self) -> None:
+        """Publish scheduler gauges/counters (pump boundaries, never per
+        slice — the obs plane must stay cheap-by-default)."""
+        if not _obs.ON:
+            return
+        metrics = _obs.active().metrics
+        metrics.gauge(
+            "lthread_ready_queue_depth", "READY tasks queued for a worker slot"
+        ).set(self.scheduler.ready_depth())
+        metrics.gauge(
+            "lthread_ready_depth_peak", "Run-queue depth high-water mark"
+        ).set(self.loop_stats.peak_ready_depth)
+        metrics.gauge(
+            "lthread_worker_slots", "Simulated enclave worker slots"
+        ).set(self.scheduler.num_workers)
+        metrics.gauge(
+            "lthread_worker_occupancy",
+            "Runnable demand over worker capacity (1.0 == saturated)",
+        ).set(self.worker_occupancy())
+        metrics.gauge(
+            "frontend_parked_connections", "Driver tasks parked on reads"
+        ).set(self.scheduler.waiting_count())
+        metrics.gauge(
+            "frontend_live_connections", "Connections currently supervised"
+        ).set(len(self.supervisor.connections))
+        metrics.counter(
+            "lthread_slices_total", "Scheduler slices executed"
+        ).inc(self.loop_stats.slices - self._obs_slices_reported)
+        self._obs_slices_reported = self.loop_stats.slices
+        metrics.counter(
+            "lthread_cancellations_total", "Tasks reaped by cancellation"
+        ).inc(self.scheduler.cancellations - self._obs_cancels_reported)
+        self._obs_cancels_reported = self.scheduler.cancellations
+        if self.async_runtime is not None:
+            self.async_runtime.record_obs()

@@ -11,11 +11,18 @@ dedicated polling thread burns CPU (§4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.asynccalls import AsyncCallRuntime
+from repro.http import HttpRequest, HttpResponse
+from repro.sim.clock import SimClock
 from repro.sim.costs import (
+    APACHE_REQUEST_CYCLES,
+    ASYNC_CALL_CYCLES,
     CORES,
     FREQ_HZ,
     LAN_LATENCY_S,
+    LOGGING_BASE_CYCLES,
     NET_BANDWIDTH_BPS,
     NET_EFFICIENCY,
     POLLING_THREAD_BURN,
@@ -23,8 +30,11 @@ from repro.sim.costs import (
     RequestProfile,
 )
 from repro.obs import hooks as _obs
+from repro.servers.connection import ConnectionLimits
+from repro.servers.eventloop import EventLoop
 from repro.sim.engine import Simulator
 from repro.sim.resources import CorePool, FifoDevice, Link, Semaphore
+from repro.workloads.traffic import Arrival, default_request
 
 
 @dataclass
@@ -63,6 +73,63 @@ class RunResult:
     @property
     def cpu_percent(self) -> float:
         return self.cpu_utilisation * 100
+
+
+@dataclass
+class FrontendConfig:
+    """Cost model for open-loop front-end runs (``run_frontend``).
+
+    The event loop executes *real* work (TLS/HTTP state machines,
+    handler dispatch, audit ocalls); this config converts each executed
+    scheduler slice into modelled time on the machine's cores, so
+    queueing delay past the capacity knee is emergent from genuine
+    ready-queue backlog rather than a dialled-in curve.
+    """
+
+    #: Simulated enclave worker slots the one scheduler multiplexes.
+    num_workers: int = 3
+    #: Fixed cycles per scheduler slice (dispatch + state-machine step).
+    slice_base_cycles: float = 25_000.0
+    #: Cycles a completed (or 400-rejected) request costs on top.
+    request_cycles: float = APACHE_REQUEST_CYCLES
+    #: Extra cycles per served request when the audit runtime is attached
+    #: (HTTP parse + SSM + hash chain of the logging pipeline).
+    audit_cycles: float = LOGGING_BASE_CYCLES
+    #: Attach an :class:`AsyncCallRuntime` so every audit append crosses
+    #: the enclave boundary as a metered async-ocall.
+    use_async_audit: bool = True
+    #: Deadlines for open-loop runs (generous: the load, not the
+    #: timeout, should be what ends a connection in a saturation sweep).
+    handshake_timeout_s: float = 60.0
+    idle_timeout_s: float = 120.0
+    #: Deadline-enforcement cadence, in executed slices.
+    tick_every_slices: int = 4096
+
+
+@dataclass
+class FrontendRunResult:
+    """Measurements from one open-loop front-end run."""
+
+    connections: int
+    offered_rps: float  # arrival rate over the admission window
+    completed: int  # connections whose request(s) finished
+    aborted: int  # torn down (violations + deadline reaps)
+    throughput_rps: float  # completed / makespan
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    makespan_s: float  # first arrival -> last completion (sim time)
+    peak_concurrent: int  # live-connection high-water mark
+    peak_ready_depth: int  # run-queue high-water mark
+    slices: int  # scheduler slices executed
+    task_wait_events: int  # driver parks on empty inboxes
+    audit_ocalls: int  # audit appends through the slot runtime
+    reaped_tasks: int  # parked tasks cancelled at teardown
+
+
+def _default_frontend_handler(request: HttpRequest) -> HttpResponse:
+    return HttpResponse(200, body=b"ok:" + request.path.encode())
 
 
 class ServerMachine:
@@ -307,6 +374,155 @@ class ServerMachine:
             yield from cores.execute(quantum)
             if idle_ratio:
                 yield quantum / cfg.freq_hz * idle_ratio
+
+    # ------------------------------------------------------------------
+    # Open-loop front-end runs (the async §4.3 core under real load)
+    # ------------------------------------------------------------------
+
+    def run_frontend(
+        self,
+        connections: int,
+        window_s: float = 0.5,
+        frontend: FrontendConfig | None = None,
+        arrivals: Iterable[Arrival] | None = None,
+        handler=None,
+    ) -> FrontendRunResult:
+        """Drive a *real* :class:`~repro.servers.eventloop.EventLoop`
+        with open-loop arrivals and convert executed slices into time.
+
+        ``connections`` clients arrive during ``window_s`` (uniformly, or
+        per ``arrivals`` — e.g. a seeded
+        :class:`~repro.workloads.traffic.DiurnalOpenLoopTraffic` stream),
+        each opens a supervised connection, sends one request and leaves
+        when answered. Every connection is a parked lthread task on the
+        single scheduler; service capacity is the machine's cores at
+        ``freq_hz``, so once the offered rate exceeds
+        ``capacity / cycles_per_request`` the ready queue backs up and
+        latency bends — the saturation knee the benchmark sweeps for.
+        """
+        cfg = self.config
+        fcfg = frontend or FrontendConfig()
+        capacity_hz = cfg.cores * cfg.freq_hz
+        clock = SimClock()
+        runtime = None
+        if fcfg.use_async_audit:
+            runtime = AsyncCallRuntime(
+                num_app_threads=1,
+                num_sgx_threads=cfg.sgx_threads,
+                tasks_per_thread=cfg.lthread_tasks_per_thread,
+            )
+        per_request_cycles = fcfg.request_cycles + (
+            fcfg.audit_cycles if runtime is not None else 0.0
+        )
+        limits = ConnectionLimits(
+            handshake_timeout_s=fcfg.handshake_timeout_s,
+            idle_timeout_s=fcfg.idle_timeout_s,
+        )
+        latencies: list[float] = []
+        finished: list[int] = []  # connections to close between slices
+        opened_at: dict[int, float] = {}
+
+        def on_result(conn_id, result):
+            if result.aborted:
+                return
+            latencies.append(clock.now() - opened_at.pop(conn_id))
+            finished.append(conn_id)
+
+        loop = EventLoop(
+            handler or _default_frontend_handler,
+            limits=limits,
+            clock=clock,
+            num_workers=fcfg.num_workers,
+            max_tasks=connections + 64,
+            async_runtime=runtime,
+            on_result=on_result,
+        )
+
+        def run_slice() -> bool:
+            """One scheduler slice; advance the clock by its cost."""
+            stats = loop.stats
+            before = stats.requests_served + stats.bad_requests
+            before_ocalls = loop.loop_stats.audit_ocalls
+            if not loop.step():
+                return False
+            delta_req = stats.requests_served + stats.bad_requests - before
+            delta_ocalls = loop.loop_stats.audit_ocalls - before_ocalls
+            cycles = (
+                fcfg.slice_base_cycles
+                + delta_req * per_request_cycles
+                + delta_ocalls * ASYNC_CALL_CYCLES
+            )
+            clock.advance(cycles / capacity_hz)
+            if loop.loop_stats.slices % fcfg.tick_every_slices == 0:
+                loop.tick()
+            return True
+
+        def flush_finished() -> None:
+            # Closing cancels the parked task; never do it mid-slice.
+            for conn_id in finished:
+                loop.close(conn_id)
+            finished.clear()
+
+        if arrivals is None:
+            gap = window_s / max(1, connections)
+            schedule: Iterable[Arrival] = (
+                Arrival(i * gap, i + 1, default_request(i + 1))
+                for i in range(connections)
+            )
+        else:
+            schedule = arrivals
+
+        admitted = 0
+        for arrival in schedule:
+            if admitted >= connections:
+                break
+            # Serve what capacity allows before this arrival's time.
+            while clock.now() < arrival.time_s and run_slice():
+                flush_finished()
+            if clock.now() < arrival.time_s:
+                clock.advance(arrival.time_s - clock.now())  # idle gap
+            conn_id = loop.open()
+            opened_at[conn_id] = clock.now()
+            loop.deliver(conn_id, arrival.request)
+            admitted += 1
+        while run_slice():
+            flush_finished()
+        flush_finished()
+        loop.tick()
+        loop.sample_obs()
+
+        makespan = clock.now()
+        ordered = sorted(latencies)
+
+        def pct(p: float) -> float:
+            if not ordered:
+                return 0.0
+            index = min(len(ordered) - 1, int(p / 100 * len(ordered)))
+            return ordered[index]
+
+        stats = loop.stats
+        lstats = loop.loop_stats
+        wait_events = lstats.parked_waits
+        if runtime is not None:
+            wait_events += runtime.stats.task_wait_events
+        return FrontendRunResult(
+            connections=admitted,
+            offered_rps=admitted / window_s if window_s else 0.0,
+            completed=len(ordered),
+            aborted=stats.aborted,
+            throughput_rps=len(ordered) / makespan if makespan else 0.0,
+            mean_latency_s=sum(ordered) / len(ordered) if ordered else 0.0,
+            p50_latency_s=pct(50),
+            p95_latency_s=pct(95),
+            p99_latency_s=pct(99),
+            makespan_s=makespan,
+            peak_concurrent=lstats.peak_concurrent,
+            peak_ready_depth=lstats.peak_ready_depth,
+            slices=lstats.slices,
+            task_wait_events=wait_events,
+            audit_ocalls=lstats.audit_ocalls,
+            reaped_tasks=lstats.reaped_tasks,
+        )
 
     # ------------------------------------------------------------------
     # Convenience sweeps

@@ -20,6 +20,7 @@ testbed as a discrete-event simulation:
   emergent rather than dialled in.
 """
 
+from repro.sim.clock import SimClock, SimulatorClock
 from repro.sim.engine import Process, Simulator
 from repro.sim.network import NetworkStats, SimNetwork
 from repro.sim.resources import CorePool, FifoDevice, Semaphore
@@ -27,6 +28,8 @@ from repro.sim.stats import LatencyStats, ThroughputMeter
 
 __all__ = [
     "Process",
+    "SimClock",
+    "SimulatorClock",
     "Simulator",
     "SimNetwork",
     "NetworkStats",

@@ -12,17 +12,31 @@ paper's workloads:
   and whole paragraphs, §6.4);
 - :class:`~repro.workloads.dropbox_ops.DropboxOpsWorkload` — file
   create/update/delete plus periodic list requests, after the Drago et
-  al. personal-cloud benchmark the paper uses (§6.4).
+  al. personal-cloud benchmark the paper uses (§6.4);
+- :mod:`repro.workloads.traffic` — deterministic *open-loop* traffic for
+  the async front end: Zipf-popular users out of populations of
+  millions (analytic inverse-CDF, O(1) memory) with a diurnal arrival
+  rate, used by the saturation-knee benchmark.
 """
 
 from repro.workloads.dropbox_ops import DropboxOpsWorkload
 from repro.workloads.git_replay import GitReplayWorkload
 from repro.workloads.messaging_traffic import MessagingWorkload
 from repro.workloads.owncloud_edits import OwnCloudEditWorkload
+from repro.workloads.traffic import (
+    Arrival,
+    DiurnalOpenLoopTraffic,
+    DiurnalProfile,
+    ZipfPopulation,
+)
 
 __all__ = [
+    "Arrival",
+    "DiurnalOpenLoopTraffic",
+    "DiurnalProfile",
     "DropboxOpsWorkload",
     "GitReplayWorkload",
     "MessagingWorkload",
     "OwnCloudEditWorkload",
+    "ZipfPopulation",
 ]

@@ -1,0 +1,160 @@
+"""Open-loop traffic over very large user populations.
+
+The closed-loop clients of :mod:`repro.servers.machine` model the paper's
+testbed (dozens of load generators); a deployed LibSEAL front end instead
+faces *open-loop* traffic from millions of independent users whose
+arrival rate follows the service's daily cycle. This module generates
+that traffic deterministically:
+
+- :class:`ZipfPopulation` — user popularity follows a Zipf law sampled
+  by analytic inverse-CDF (the continuous approximation
+  ``F(k) = H(k)/H(N)`` with ``H(x) = (x^(1-s) - 1)/(1-s)``), so a
+  population of millions costs O(1) memory and O(1) per sample instead
+  of a million-entry alias table;
+- :class:`DiurnalProfile` — a sinusoidal day/night rate swing
+  (``base`` at the trough, ``base × peak_factor`` at the peak);
+- :class:`DiurnalOpenLoopTraffic` — a seeded nonhomogeneous-Poisson
+  arrival stream pairing each arrival with a Zipf-sampled user and a
+  ready-to-feed HTTP request. Arrivals are independent of service
+  progress — that is what lets the saturation benchmark drive the
+  event loop past its capacity knee instead of self-throttling.
+
+Everything is seeded: the same ``(population, exponent, seed)`` triple
+reproduces the same users and the same arrival times bit-for-bit, which
+is what lets ``ci_baseline.json`` pin exact completion counts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+class ZipfPopulation:
+    """Zipf(s)-popular user ranks out of a population of ``population``.
+
+    Rank 1 is the most popular user. Sampling inverts the continuous
+    Zipf CDF, so millions of users need no per-rank table; the integer
+    rank distribution this induces is Zipf-like to well under a percent
+    for the exponents the evaluation uses.
+    """
+
+    def __init__(self, population: int, exponent: float = 1.1, seed: int = 0):
+        if population < 1:
+            raise ValueError("population must be at least 1")
+        if exponent <= 0:
+            raise ValueError("Zipf exponent must be positive")
+        self.population = population
+        self.exponent = exponent
+        self._rng = random.Random(f"zipf:{population}:{exponent}:{seed}")
+        self._one_minus_s = 1.0 - exponent
+        if abs(self._one_minus_s) < 1e-9:
+            # s == 1: H(x) degenerates to ln(x).
+            self._h_n = math.log(population)
+        else:
+            self._h_n = (
+                population**self._one_minus_s - 1.0
+            ) / self._one_minus_s
+
+    def rank_for(self, u: float) -> int:
+        """The rank at quantile ``u`` of the popularity CDF (0 <= u < 1)."""
+        if not 0.0 <= u < 1.0:
+            raise ValueError("quantile must be in [0, 1)")
+        if abs(self._one_minus_s) < 1e-9:
+            k = math.exp(u * self._h_n)
+        else:
+            k = (u * self._h_n * self._one_minus_s + 1.0) ** (
+                1.0 / self._one_minus_s
+            )
+        return min(self.population, max(1, int(k)))
+
+    def sample(self) -> int:
+        return self.rank_for(self._rng.random())
+
+    def sample_many(self, n: int) -> list[int]:
+        return [self.sample() for _ in range(n)]
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A day/night arrival-rate swing.
+
+    The instantaneous rate is ``base_rate_rps`` at the trough (t = 0)
+    and ``base_rate_rps * peak_factor`` half a period later, following
+    a raised cosine — the classic diurnal shape of consumer services.
+    """
+
+    base_rate_rps: float
+    peak_factor: float = 3.0
+    period_s: float = 86_400.0
+
+    def rate_at(self, t: float) -> float:
+        swing = 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * (t % self.period_s) / self.period_s)
+        )
+        return self.base_rate_rps * (1.0 + (self.peak_factor - 1.0) * swing)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One open-loop arrival: when, who, and the bytes they send."""
+
+    time_s: float
+    user: int
+    request: bytes
+
+
+def default_request(user: int) -> bytes:
+    """The canonical one-request payload an arriving user feeds."""
+    return (
+        f"GET /u/{user} HTTP/1.1\r\nHost: frontend\r\n\r\n"
+    ).encode()
+
+
+class DiurnalOpenLoopTraffic:
+    """Seeded open-loop arrivals: diurnal rate × Zipf-popular users.
+
+    Inter-arrival gaps are exponential at the profile's instantaneous
+    rate (a thinning-free nonhomogeneous-Poisson approximation that is
+    exact in the limit of slow rate change — a day-long period against
+    sub-second gaps). Arrivals never wait for service: the generator is
+    the load, the event loop is the bottleneck.
+    """
+
+    def __init__(
+        self,
+        population: ZipfPopulation,
+        profile: DiurnalProfile,
+        seed: int = 0,
+        request_for: Callable[[int], bytes] | None = None,
+        start_s: float = 0.0,
+    ):
+        self.population = population
+        self.profile = profile
+        self.request_for = request_for or default_request
+        self.start_s = start_s
+        self._rng = random.Random(f"traffic:{seed}")
+
+    def arrivals(
+        self,
+        duration_s: float | None = None,
+        limit: int | None = None,
+    ) -> Iterator[Arrival]:
+        """Yield arrivals until ``duration_s`` sim-seconds or ``limit``
+        arrivals, whichever comes first (at least one bound required)."""
+        if duration_s is None and limit is None:
+            raise ValueError("need duration_s or limit (or both)")
+        t = 0.0
+        emitted = 0
+        while True:
+            if limit is not None and emitted >= limit:
+                return
+            rate = self.profile.rate_at(self.start_s + t)
+            t += self._rng.expovariate(rate)
+            if duration_s is not None and t >= duration_s:
+                return
+            user = self.population.sample()
+            yield Arrival(t, user, self.request_for(user))
+            emitted += 1

@@ -1,0 +1,194 @@
+"""LThreadScheduler fairness, starvation bounds and task reaping.
+
+The FIFO ready queue promises *bounded wait*: a READY task runs its next
+slice no later than any task that became runnable after it. The cancel
+path promises a parked task's slot always comes back — the regression
+that motivated it leaked the task of every aborted connection whose
+driver was parked on a read.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lthreads import LThreadScheduler, TaskState
+
+
+def _spinner():
+    """A task that always has more work: yield, get resumed, repeat."""
+    while True:
+        yield "tick"
+
+
+def _drive(sched, slices):
+    """Run ``slices`` slices, re-readying each parked task — returns the
+    dispatch order as a list of task ids."""
+    order = []
+    for _ in range(slices):
+        if not sched.step():
+            break
+        task = sched.last_ran
+        order.append(task.task_id)
+        if task.state is TaskState.WAITING:
+            sched.resume(task, True)
+    return order
+
+
+class TestFairness:
+    def test_dispatch_is_round_robin_fifo(self):
+        sched = LThreadScheduler(num_tasks=4, num_workers=1)
+        for _ in range(4):
+            sched.spawn(_spinner())
+        order = _drive(sched, 12)
+        assert order == [0, 1, 2, 3] * 3
+
+    def test_steps_spread_stays_within_one_slice(self):
+        """No spinner gets ahead: after any number of slices the
+        most-run and least-run tasks differ by at most one."""
+        sched = LThreadScheduler(num_tasks=7, num_workers=2)
+        for _ in range(7):
+            sched.spawn(_spinner())
+        _drive(sched, 500)
+        steps = [t.steps_executed for t in sched.tasks]
+        assert max(steps) - min(steps) <= 1
+
+    def test_late_arrival_is_not_starved(self):
+        """Three greedy spinners cannot push a newcomer past one full
+        queue rotation: bounded wait == queue length at arrival."""
+        sched = LThreadScheduler(num_tasks=8, num_workers=1)
+        for _ in range(3):
+            sched.spawn(_spinner())
+        _drive(sched, 30)  # spinners are hot
+        late = sched.spawn(_spinner())
+        order = _drive(sched, 4)
+        assert late.task_id in order
+
+    def test_ready_depth_counts_queued_work(self):
+        sched = LThreadScheduler(num_tasks=5, num_workers=1)
+        for _ in range(5):
+            sched.spawn(_spinner())
+        assert sched.ready_depth() == 5
+        sched.step()
+        assert sched.ready_depth() == 4  # one now parked WAITING
+
+
+class TestCancellation:
+    def test_cancel_waiting_task_frees_its_slot(self):
+        """Regression: cancelling a parked (WAITING) task must return
+        its slot to the idle pool — with growth disabled, a full pool
+        must accept new work again right after the cancel."""
+        sched = LThreadScheduler(num_tasks=2, num_workers=1)
+        first = sched.spawn(_spinner())
+        sched.spawn(_spinner())
+        assert sched.run_until_blocked() == 2  # both parked WAITING
+        assert sched.assign(_spinner()) is None  # pool exhausted
+        assert sched.cancel(first) is True
+        assert first.state is TaskState.IDLE
+        assert sched.cancellations == 1
+        replacement = sched.assign(_spinner())
+        assert replacement is not None
+        assert replacement.task_id == first.task_id
+
+    def test_cancel_closes_the_generator(self):
+        closed = []
+
+        def with_cleanup():
+            try:
+                while True:
+                    yield "tick"
+            finally:
+                closed.append(True)
+
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+        task = sched.spawn(with_cleanup())
+        sched.step()  # park it
+        sched.cancel(task)
+        assert closed == [True]
+        assert task.generator is None and task.context == {}
+
+    def test_cancel_survives_hostile_cleanup(self):
+        """A finally block that raises must not block the reap."""
+        def hostile():
+            try:
+                while True:
+                    yield "tick"
+            finally:
+                raise RuntimeError("refusing to die")
+
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+        task = sched.spawn(hostile())
+        sched.step()
+        assert sched.cancel(task) is True
+        assert task.state is TaskState.IDLE
+
+    def test_cancel_running_task_rejected(self):
+        """Slices are atomic: nothing may cancel the task mid-slice."""
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+        caught = []
+
+        def self_cancelling():
+            try:
+                sched.cancel(sched.tasks[0])
+            except SimulationError as exc:
+                caught.append(exc)
+            yield "tick"
+
+        sched.spawn(self_cancelling())
+        sched.step()
+        assert len(caught) == 1
+        assert "RUNNING" in str(caught[0])
+
+    def test_cancel_ready_task_leaves_stale_queue_entry_skipped(self):
+        """Cancelling a READY task leaves its queue entry behind; step()
+        must skip the stale id and run the next genuinely READY task."""
+        sched = LThreadScheduler(num_tasks=2, num_workers=1)
+        first = sched.spawn(_spinner())
+        second = sched.spawn(_spinner())
+        sched.cancel(first)
+        assert sched.step() is True
+        assert sched.last_ran is second
+        assert first.state is TaskState.IDLE
+
+    def test_cancel_idle_task_is_a_noop(self):
+        sched = LThreadScheduler(num_tasks=2, num_workers=1)
+        assert sched.cancel(sched.tasks[0]) is False
+        assert sched.cancellations == 0
+
+
+class TestGrowth:
+    def test_spawn_grows_pool_when_allowed(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1,
+                                 allow_growth=True)
+        sched.spawn(_spinner())
+        grown = sched.spawn(_spinner())
+        assert grown.task_id == 1
+        assert len(sched.tasks) == 2
+
+    def test_growth_bounded_by_max_tasks(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1,
+                                 allow_growth=True, max_tasks=2)
+        sched.spawn(_spinner())
+        sched.spawn(_spinner())
+        with pytest.raises(SimulationError):
+            sched.spawn(_spinner())
+
+    def test_spawn_without_growth_raises_when_full(self):
+        sched = LThreadScheduler(num_tasks=1, num_workers=1)
+        sched.spawn(_spinner())
+        with pytest.raises(SimulationError):
+            sched.spawn(_spinner())
+
+    def test_state_counts_stay_exact_through_churn(self):
+        """The O(1) counters must agree with a full table scan after a
+        mix of spawns, slices, resumes and cancels."""
+        sched = LThreadScheduler(num_tasks=4, num_workers=2,
+                                 allow_growth=True)
+        tasks = [sched.spawn(_spinner()) for _ in range(6)]
+        _drive(sched, 37)
+        sched.cancel(tasks[1])
+        sched.cancel(tasks[4])
+        by_scan = {}
+        for t in sched.tasks:
+            by_scan[t.state] = by_scan.get(t.state, 0) + 1
+        assert sched.ready_depth() == by_scan.get(TaskState.READY, 0)
+        assert sched.waiting_count() == by_scan.get(TaskState.WAITING, 0)
+        assert sched.running_count() == by_scan.get(TaskState.RUNNING, 0)

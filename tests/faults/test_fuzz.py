@@ -10,6 +10,7 @@ import pytest
 
 from repro.faults.fuzz import (
     ALLOWED_ERRORS,
+    FUZZ_DRIVERS,
     FuzzReport,
     fuzz_http_layer,
     fuzz_service_layer,
@@ -77,6 +78,50 @@ class TestTypedErrorContract:
         for outcome in report.outcomes:
             if outcome.error:
                 assert outcome.error.startswith(allowed), outcome
+
+
+class TestEventLoopDriver:
+    """The same fuzz plans driven through the async lthreads front end.
+
+    The event loop is a drop-in for the direct supervisor, so every
+    mutation must produce the *identical* outcome stream — any
+    divergence is a supervisor-semantics parity bug, not flakiness."""
+
+    def test_driver_names(self):
+        assert FUZZ_DRIVERS == ("direct", "eventloop")
+
+    def test_http_outcomes_identical_across_drivers(self):
+        direct = fuzz_http_layer(seed=11, cases=60)
+        looped = fuzz_http_layer(seed=11, cases=60, driver="eventloop")
+        assert [_outcome_key(o) for o in direct.outcomes] == [
+            _outcome_key(o) for o in looped.outcomes
+        ]
+
+    def test_tls_outcomes_identical_across_drivers(self):
+        direct = fuzz_tls_layer(seed=11, cases=40)
+        looped = fuzz_tls_layer(seed=11, cases=40, driver="eventloop")
+        assert [_outcome_key(o) for o in direct.outcomes] == [
+            _outcome_key(o) for o in looped.outcomes
+        ]
+
+    def test_http_contract_holds_through_eventloop(self):
+        report = fuzz_http_layer(seed=0, cases=CASES, driver="eventloop")
+        assert report.ok, report.describe()
+        counts = report.counts()
+        assert counts.get("aborted", 0) > 0
+        assert counts.get("served", 0) > 0
+
+    def test_service_layer_audit_verifies_through_eventloop(self):
+        report = fuzz_service_layer(seed=0, cases=max(40, CASES // 4),
+                                    services=["git"], driver="eventloop")
+        assert report.ok, report.describe()
+        assert any("pairs_logged" in note for note in report.notes)
+
+    def test_run_fuzz_threads_driver_through_all_layers(self):
+        reports = run_fuzz(seed=3, cases_per_layer=40,
+                           layers=["tls", "http"], driver="eventloop")
+        assert [r.layer for r in reports] == ["tls", "http"]
+        assert all(r.ok for r in reports)
 
 
 class TestRunner:
