@@ -112,6 +112,7 @@ def _emit_curves(emit, name, title, rows, params):
             r["incremental_rows_scanned"],
             r["full_rows_scanned"],
             round(r["full_rows_scanned"] / max(1, r["incremental_rows_scanned"]), 1),
+            round(r["full_rows_vectorized"] / max(1, r["full_rows_scanned"]), 2),
         ]
         for r in rows
     ]
@@ -126,6 +127,7 @@ def _emit_curves(emit, name, title, rows, params):
             "incremental rows scanned",
             "full rows scanned",
             "rows speedup",
+            "vectorized fraction (full)",
         ],
         table,
         params=params,
@@ -134,6 +136,13 @@ def _emit_curves(emit, name, title, rows, params):
             "rows_speedup": last["full_rows_scanned"]
             / max(1, last["incremental_rows_scanned"]),
             "cycles_speedup": last["full_cycles"] / max(1.0, last["incremental_cycles"]),
+            # Vectorization gate: fraction of full-scan rows on the batch
+            # path, and the modelled cycle win vs pricing every row at the
+            # scalar per-row rate.
+            "vectorized_fraction": last["full_rows_vectorized"]
+            / max(1, last["full_rows_scanned"]),
+            "vectorized_cycle_improvement": last["full_cycles_scalar"]
+            / max(1.0, last["full_cycles"]),
             "per_invariant": last["per_invariant"],
             "curves": rows,
         },

@@ -1,0 +1,140 @@
+"""Group sealing: amortised seal epochs on an append-heavy workload.
+
+Deterministic by construction: seal counts are exact functions of the
+pair count and the window size, and the cycle cost of a seal epoch comes
+from the §6.8 model (``seal_cycles``), never from wall clock. The gate
+pins the modelled seal-cycle reduction (window 16 ⇒ 16x, CI floor 5x)
+and the two parity bits — identical hash chains and identical invariant
+verdicts vs per-pair sealing — so any semantic drift in grouping fails
+the bench before it fails an audit.
+"""
+
+from repro.core import LibSeal, LibSealConfig
+from repro.http import LIBSEAL_CHECK_HEADER, HttpRequest, HttpResponse
+from repro.sim.costs import seal_cycles
+from repro.ssm.base import ServiceSpecificModule
+
+PAIRS = 256
+WINDOW = 16
+#: CI floor for the modelled seal-cycle reduction (ISSUE gate: >= 5x).
+MIN_SEAL_CYCLE_REDUCTION = 5.0
+
+
+class AppendSSM(ServiceSpecificModule):
+    """Append-only SSM: one tuple per pair, one path-blacklist invariant."""
+
+    name = "appends"
+    schema_sql = "CREATE TABLE appends(time INTEGER, path TEXT)"
+    invariants = {"no-bad-paths": "SELECT * FROM appends WHERE path = '/bad'"}
+    trimming_queries = []
+
+    def log(self, request, response, emit, time):
+        emit("appends", (time, request.path))
+
+
+def run_workload(window: int) -> LibSeal:
+    libseal = LibSeal(
+        AppendSSM(), config=LibSealConfig(group_seal_pairs=window)
+    )
+    for index in range(PAIRS):
+        path = "/bad" if index % 100 == 7 else f"/append/{index}"
+        libseal.log_pair(HttpRequest("PUT", path), HttpResponse(200))
+    libseal.flush_pending()
+    libseal.verify_log()
+    return libseal
+
+
+def check_verdict(libseal: LibSeal) -> str:
+    request = HttpRequest("GET", "/check")
+    request.headers.set(LIBSEAL_CHECK_HEADER, "1")
+    verdict = libseal.log_pair(request, HttpResponse(200))
+    libseal.flush_pending()
+    return verdict
+
+
+def test_group_sealing_amortises_seal_cycles(emit):
+    legacy = run_workload(1)
+    grouped = run_workload(WINDOW)
+    seals_window1 = legacy.audit_log.epochs_sealed
+    seals_grouped = grouped.audit_log.epochs_sealed
+
+    # Parity first: grouping may only change seal timing, nothing else.
+    chain_parity = int(
+        legacy.audit_log.chain.head == grouped.audit_log.chain.head
+        and len(legacy.audit_log.chain) == len(grouped.audit_log.chain)
+    )
+    legacy_verdict = check_verdict(legacy)
+    grouped_verdict = check_verdict(grouped)
+    verdict_parity = int(legacy_verdict == grouped_verdict)
+    assert chain_parity == 1
+    assert verdict_parity == 1
+    assert legacy_verdict.startswith("VIOLATIONS")
+
+    assert seals_window1 == PAIRS
+    assert seals_grouped == PAIRS // WINDOW
+    stats = grouped.group_sealer.stats
+    assert stats.pairs_staged == PAIRS + 1  # +1 for the check request
+    assert stats.closed_by_pairs == PAIRS // WINDOW
+
+    reduction = seal_cycles(seals_window1) / seal_cycles(seals_grouped)
+    per_pair_window1 = seal_cycles(seals_window1) / PAIRS
+    per_pair_grouped = seal_cycles(seals_grouped) / PAIRS
+
+    emit(
+        "group_sealing",
+        f"Group sealing: {PAIRS} append pairs, window {WINDOW} vs per-pair",
+        ["window", "seal epochs", "modelled seal cycles/pair", "chain parity",
+         "verdict parity"],
+        [
+            [1, seals_window1, round(per_pair_window1, 1), "-", "-"],
+            [WINDOW, seals_grouped, round(per_pair_grouped, 1),
+             chain_parity, verdict_parity],
+            ["reduction", f"{reduction:.1f}x",
+             f"gate >= {MIN_SEAL_CYCLE_REDUCTION}x", "", ""],
+        ],
+        params={"pairs": PAIRS, "window": WINDOW},
+        metrics={
+            "pairs": PAIRS,
+            "window": WINDOW,
+            "seals_window1": seals_window1,
+            "seals_grouped": seals_grouped,
+            "seal_cycle_reduction": reduction,
+            "seal_cycles_per_pair_window1": per_pair_window1,
+            "seal_cycles_per_pair_grouped": per_pair_grouped,
+            "chain_parity": chain_parity,
+            "verdict_parity": verdict_parity,
+        },
+    )
+    assert reduction >= MIN_SEAL_CYCLE_REDUCTION
+    assert reduction == WINDOW  # exact under the model: seals scale 1/W
+
+
+def test_cycle_budget_bounds_deferral(emit):
+    # A budget sized for ~4 pairs of modelled append cycles closes
+    # windows by cycles even though the pair bound would allow 64.
+    from repro.sim.costs import LOGGING_BASE_CYCLES, LOGGING_SEALDB_INSERT_CYCLES
+
+    per_pair = LOGGING_BASE_CYCLES + LOGGING_SEALDB_INSERT_CYCLES
+    libseal = LibSeal(
+        AppendSSM(),
+        config=LibSealConfig(
+            group_seal_pairs=64, group_seal_cycle_budget=4 * per_pair
+        ),
+    )
+    for index in range(32):
+        libseal.log_pair(HttpRequest("PUT", f"/a/{index}"), HttpResponse(200))
+    libseal.flush_pending()
+    stats = libseal.group_sealer.stats
+    assert libseal.audit_log.epochs_sealed == 8  # 32 pairs / 4-pair budget
+    assert stats.closed_by_cycles == 8
+    assert stats.closed_by_pairs == 0
+    emit(
+        "group_sealing_budget",
+        "Group sealing: cycle budget closes windows before the pair bound",
+        ["pairs", "budget (pairs)", "seal epochs", "closed by cycles"],
+        [[32, 4, libseal.audit_log.epochs_sealed, stats.closed_by_cycles]],
+        metrics={
+            "seals": libseal.audit_log.epochs_sealed,
+            "closed_by_cycles": stats.closed_by_cycles,
+        },
+    )

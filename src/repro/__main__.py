@@ -84,7 +84,6 @@ def _cmd_detect(_args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench import perf
-    from repro.sim.costs import Mode
 
     if args.experiment == "fig5a":
         curves = perf.fig5a_git_curves(client_counts=(16, 48, 80))
@@ -209,11 +208,42 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.bench.regression import compare, render_verdicts
-
-    verdicts, ok = compare(
-        Path(args.results), Path(args.baseline), Path(args.output)
+    from repro.bench.regression import (
+        BaselineError,
+        check_canonical,
+        compare,
+        render_verdicts,
+        update_baseline,
     )
+
+    try:
+        if args.update_baseline:
+            changed = update_baseline(Path(args.results), Path(args.baseline))
+            print(f"rewrote {args.baseline} in canonical form")
+            if changed:
+                print(f"{len(changed)} metric value(s) changed:")
+                for metric in changed:
+                    print(f"  {metric}")
+            else:
+                print("no metric values changed")
+            return 0
+        if args.check_canonical:
+            ok, _ = check_canonical(Path(args.baseline))
+            if not ok:
+                print(
+                    f"{args.baseline} is not in canonical form: regenerate "
+                    "it with `python -m repro bench-compare "
+                    "--update-baseline` (after running the gated benches)"
+                )
+                return 1
+            print(f"{args.baseline} is canonical")
+            return 0
+        verdicts, ok = compare(
+            Path(args.results), Path(args.baseline), Path(args.output)
+        )
+    except BaselineError as exc:
+        print(f"baseline error: {exc}")
+        return 2
     print(render_verdicts(verdicts))
     print()
     print(f"wrote {args.output}: {'OK' if ok else 'REGRESSIONS DETECTED'}")
@@ -369,6 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--baseline",
                          default="benchmarks/baselines/ci_baseline.json")
     compare.add_argument("--output", default="BENCH_ci.json")
+    compare.add_argument("--update-baseline", action="store_true",
+                         help="rewrite every baseline value from the "
+                              "current summaries (canonical form; modes "
+                              "and tolerances preserved)")
+    compare.add_argument("--check-canonical", action="store_true",
+                         help="verify the baseline file is byte-identical "
+                              "to its canonical rendering and exit")
     compare.set_defaults(func=_cmd_bench_compare)
 
     chaos = subparsers.add_parser(

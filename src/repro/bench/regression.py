@@ -26,6 +26,23 @@ path into its ``metrics`` object. Modes:
 - ``range`` — measured must be within ``value * (1 ± tolerance)``
 - ``exact`` — measured must equal ``value`` (counts, outcome tallies)
 
+Failure modes are all loud, never vacuous:
+
+- a summary file that does not exist (the benchmark never ran, or
+  stopped emitting JSON) fails every metric gated on it with status
+  ``no-summary`` — results files are not committed, so a stale checkout
+  can never stand in for a benchmark run;
+- a metric path absent from an existing summary fails with ``missing``;
+- a malformed baseline (bad JSON, wrong shape, unknown mode) raises
+  :class:`BaselineError` instead of comparing nothing.
+
+The baseline itself is machine-written: ``python -m repro bench-compare
+--update-baseline`` rewrites every ``value`` from the current summaries
+in a canonical rendering (sorted keys, 6-significant-digit floats,
+2-space indent, trailing newline) that :func:`check_canonical` — run in
+CI — verifies byte-for-byte, so hand-edits that drift from canonical
+form are caught.
+
 ``compare`` writes the full verdict table to ``BENCH_ci.json`` so the CI
 artifact shows every measured value next to its baseline.
 """
@@ -38,6 +55,12 @@ from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.2
 
+_MODES = ("exact", "min", "max", "range")
+
+
+class BaselineError(ValueError):
+    """The baseline file is unusable: malformed JSON or a bad entry."""
+
 
 @dataclass
 class MetricVerdict:
@@ -48,8 +71,36 @@ class MetricVerdict:
     baseline: float
     measured: float | None
     tolerance: float
-    status: str  # "ok" | "regression" | "missing"
+    status: str  # "ok" | "regression" | "missing" | "no-summary"
     detail: str = ""
+
+
+def _load_baseline(baseline_path: Path) -> dict:
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {baseline_path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"malformed baseline JSON in {baseline_path}: {exc}") from None
+    if not isinstance(baseline, dict) or not isinstance(baseline.get("metrics", {}), dict):
+        raise BaselineError(
+            f"baseline {baseline_path} must be an object with a 'metrics' object"
+        )
+    return baseline
+
+
+def _spec_fields(metric: str, spec, default_tol: float) -> tuple[str, float, float]:
+    if not isinstance(spec, dict):
+        raise BaselineError(f"baseline entry {metric!r} must be an object")
+    mode = spec.get("mode", "range")
+    if mode not in _MODES:
+        raise BaselineError(f"baseline entry {metric!r} has unknown mode {mode!r}")
+    try:
+        value = float(spec["value"])
+        tol = float(spec.get("tolerance", default_tol))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BaselineError(f"baseline entry {metric!r} is unusable: {exc!r}") from None
+    return mode, value, tol
 
 
 def _lookup(summary: dict, path: list[str]) -> float | None:
@@ -60,7 +111,7 @@ def _lookup(summary: dict, path: list[str]) -> float | None:
         node = node[part]
     if isinstance(node, bool) or not isinstance(node, (int, float)):
         return None
-    return float(node)
+    return node  # int-ness preserved so baseline updates stay integral
 
 
 def _judge(mode: str, baseline: float, measured: float, tol: float) -> tuple[bool, str]:
@@ -74,9 +125,30 @@ def _judge(mode: str, baseline: float, measured: float, tol: float) -> tuple[boo
         return measured >= low, f"must be >= {low:.6g}"
     if mode == "max":
         return measured <= high, f"must be <= {high:.6g}"
-    if mode == "range":
-        return low <= measured <= high, f"must be within [{low:.6g}, {high:.6g}]"
-    raise ValueError(f"unknown comparison mode {mode!r}")
+    return low <= measured <= high, f"must be within [{low:.6g}, {high:.6g}]"
+
+
+def _load_summaries(
+    baseline: dict, results_dir: Path
+) -> tuple[dict[str, dict], dict[str, str]]:
+    """Per-benchmark summaries plus a reason string for each absent one."""
+    summaries: dict[str, dict] = {}
+    absent: dict[str, str] = {}
+    for metric in baseline.get("metrics", {}):
+        name = metric.partition(".")[0]
+        if name in summaries or name in absent:
+            continue
+        path = results_dir / f"{name}.json"
+        try:
+            summaries[name] = json.loads(path.read_text())
+        except FileNotFoundError:
+            absent[name] = (
+                f"no summary {path} — the benchmark emitted no JSON "
+                "(did it run?)"
+            )
+        except json.JSONDecodeError as exc:
+            absent[name] = f"unreadable summary {path}: {exc}"
+    return summaries, absent
 
 
 def compare(
@@ -86,23 +158,30 @@ def compare(
 ) -> tuple[list[MetricVerdict], bool]:
     """Compare every baseline metric; returns (verdicts, all_ok).
 
-    A missing summary file or metric path is a failure: a benchmark that
-    silently stopped emitting its gate metric must not pass the gate.
+    A missing summary file ("no-summary") or metric path ("missing") is
+    a failure: a benchmark that silently stopped emitting its gate
+    metric must not pass the gate.
     """
-    baseline = json.loads(baseline_path.read_text())
+    baseline = _load_baseline(baseline_path)
     default_tol = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
-    summaries: dict[str, dict] = {}
+    summaries, absent = _load_summaries(baseline, results_dir)
     verdicts: list[MetricVerdict] = []
     for metric, spec in sorted(baseline.get("metrics", {}).items()):
         name, _, rest = metric.partition(".")
-        mode = spec.get("mode", "range")
-        value = float(spec["value"])
-        tol = float(spec.get("tolerance", default_tol))
-        if name not in summaries:
-            path = results_dir / f"{name}.json"
-            summaries[name] = (
-                json.loads(path.read_text()) if path.exists() else {}
+        mode, value, tol = _spec_fields(metric, spec, default_tol)
+        if name in absent:
+            verdicts.append(
+                MetricVerdict(
+                    metric=metric,
+                    mode=mode,
+                    baseline=value,
+                    measured=None,
+                    tolerance=tol,
+                    status="no-summary",
+                    detail=absent[name],
+                )
             )
+            continue
         measured = _lookup(summaries[name], rest.split(".") if rest else [])
         if measured is None:
             verdicts.append(
@@ -145,7 +224,7 @@ def compare(
 
 def render_verdicts(verdicts: list[MetricVerdict]) -> str:
     """Aligned text table of the comparison, worst rows last."""
-    order = {"ok": 0, "regression": 1, "missing": 2}
+    order = {"ok": 0, "regression": 1, "missing": 2, "no-summary": 3}
     rows = sorted(verdicts, key=lambda v: (order[v.status], v.metric))
     width = max((len(v.metric) for v in rows), default=10)
     lines = []
@@ -162,3 +241,73 @@ def render_verdicts(verdicts: list[MetricVerdict]) -> str:
     if not lines:
         lines.append("(baseline contains no metrics)")
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Canonical baseline rendering + machine refresh
+# --------------------------------------------------------------------------
+
+
+def _canonical_value(node):
+    """Floats clipped to 6 significant digits (round-tripped through the
+    shortest repr, so the file is stable across regenerations); ints,
+    bools and strings pass through; containers recurse."""
+    if isinstance(node, bool) or isinstance(node, int) or node is None:
+        return node
+    if isinstance(node, float):
+        return float(f"{node:.6g}")
+    if isinstance(node, dict):
+        return {key: _canonical_value(value) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_canonical_value(value) for value in node]
+    return node
+
+
+def canonical_text(baseline: dict) -> str:
+    """The one true rendering of a baseline document."""
+    return json.dumps(_canonical_value(baseline), indent=2, sort_keys=True) + "\n"
+
+
+def check_canonical(baseline_path: Path) -> tuple[bool, str]:
+    """(is_canonical, canonical_text) for the committed baseline file.
+
+    Non-canonical means the file was hand-edited (or merged) out of the
+    machine-written form: re-run ``bench-compare --update-baseline`` (or
+    rewrite with :func:`canonical_text`) before committing.
+    """
+    text = canonical_text(_load_baseline(baseline_path))
+    return baseline_path.read_text() == text, text
+
+
+def update_baseline(results_dir: Path, baseline_path: Path) -> list[str]:
+    """Rewrite every baseline ``value`` from the current summaries.
+
+    Modes, tolerances and the metric set are preserved — this refreshes
+    expectations, it does not invent gates. Every gated benchmark must
+    have emitted its summary first; a missing summary or metric raises
+    :class:`BaselineError` rather than silently keeping a stale value.
+    Returns the metrics whose values changed. The file is always
+    rewritten in canonical form (deterministic: sorted keys, 6
+    significant digits, trailing newline).
+    """
+    baseline = _load_baseline(baseline_path)
+    default_tol = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    summaries, absent = _load_summaries(baseline, results_dir)
+    changed: list[str] = []
+    for metric, spec in sorted(baseline.get("metrics", {}).items()):
+        name, _, rest = metric.partition(".")
+        _spec_fields(metric, spec, default_tol)  # validate shape first
+        if name in absent:
+            raise BaselineError(f"cannot update {metric!r}: {absent[name]}")
+        measured = _lookup(summaries[name], rest.split(".") if rest else [])
+        if measured is None:
+            raise BaselineError(
+                f"cannot update {metric!r}: no metric {rest!r} in {name}.json"
+            )
+        if _canonical_value(spec["value"]) != _canonical_value(measured):
+            changed.append(metric)
+        spec["value"] = measured
+    tmp = baseline_path.with_suffix(baseline_path.suffix + ".tmp")
+    tmp.write_text(canonical_text(baseline))
+    tmp.replace(baseline_path)
+    return changed

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from repro.audit.log import AuditLog, Watermark
 from repro.core.decompose import Decomposition, classify_invariant
 from repro.obs import hooks as _obs
-from repro.sim.costs import CHECK_FIXED_CYCLES, CHECK_PER_ROW_CYCLES
+from repro.sim.costs import checking_cycles
 from repro.sealdb import ast
 from repro.sealdb.parser import parse_statement
 from repro.ssm.base import ServiceSpecificModule
@@ -56,6 +56,9 @@ class InvariantRunStats:
     violations: int
     decomposable: bool
     reason: str
+    #: Rows filtered through the executor's batch predicates (never more
+    #: than ``rows_scanned`` after clamping in the cost model).
+    rows_vectorized: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,18 @@ class CheckOutcome:
     @property
     def rows_scanned(self) -> int:
         return sum(s.rows_scanned for s in self.invariant_stats)
+
+    @property
+    def rows_vectorized(self) -> int:
+        return sum(s.rows_vectorized for s in self.invariant_stats)
+
+    @property
+    def modelled_cycles(self) -> float:
+        """§6.8 checking cost of this pass under the vectorized model."""
+        return sum(
+            checking_cycles(s.rows_scanned, 1, s.rows_vectorized)
+            for s in self.invariant_stats
+        )
 
     def header_value(self) -> str:
         """The ``Libseal-Check-Result`` header payload (§5.2)."""
@@ -125,6 +140,7 @@ class CheckerStats:
     delta_evaluations: int = 0
     skipped_evaluations: int = 0
     rows_scanned: int = 0
+    rows_vectorized: int = 0
     violation_history: deque = field(
         default_factory=lambda: deque(maxlen=VIOLATION_HISTORY_LIMIT)
     )
@@ -200,15 +216,16 @@ class InvariantChecker:
                         "check.invariant", invariant=state.name
                     )
                 try:
-                    rows, mode, scanned = self._run_one(state, force_full)
+                    rows, mode, scanned, vectorized = self._run_one(state, force_full)
                 finally:
                     if inv_span is not None:
                         _obs.active().tracer.end(inv_span)
                 if _obs.ON:
-                    cycles = CHECK_FIXED_CYCLES + scanned * CHECK_PER_ROW_CYCLES
+                    cycles = checking_cycles(scanned, 1, vectorized)
                     if inv_span is not None:
                         inv_span.set_attr("mode", mode)
                         inv_span.set_attr("rows_scanned", scanned)
+                        inv_span.set_attr("rows_vectorized", vectorized)
                         inv_span.add_cycles(cycles)
                     metrics = _obs.active().metrics
                     metrics.counter(
@@ -220,6 +237,11 @@ class InvariantChecker:
                         "check_rows_scanned_total",
                         "Rows scanned by invariant evaluation",
                     ).inc(scanned)
+                    if vectorized:
+                        metrics.counter(
+                            "check_rows_vectorized_total",
+                            "Invariant-evaluation rows on the batch path",
+                        ).inc(min(vectorized, scanned))
                 violations[state.name] = rows
                 if rows:
                     self.stats.record_violation(state.name)
@@ -231,6 +253,7 @@ class InvariantChecker:
                         violations=len(rows),
                         decomposable=state.plan.decomposable,
                         reason=state.plan.reason,
+                        rows_vectorized=min(vectorized, scanned),
                     )
                 )
                 if mode == "full":
@@ -240,6 +263,7 @@ class InvariantChecker:
                 else:
                     self.stats.skipped_evaluations += 1
                 self.stats.rows_scanned += scanned
+                self.stats.rows_vectorized += min(vectorized, scanned)
             elapsed = _time.perf_counter() - started
             self.stats.checks_run += 1
             self.stats.total_check_seconds += elapsed
@@ -251,7 +275,7 @@ class InvariantChecker:
 
     def _run_one(
         self, state: _InvariantState, force_full: bool
-    ) -> tuple[list[tuple], str, int]:
+    ) -> tuple[list[tuple], str, int, int]:
         log = self.audit_log
         watermark = state.watermark
         can_delta = (
@@ -267,7 +291,7 @@ class InvariantChecker:
         if can_delta:
             if log.next_row_id - 1 == watermark.row_id:
                 # Nothing appended anywhere since the last evaluation.
-                return list(state.accumulated), "skip", 0
+                return list(state.accumulated), "skip", 0, 0
             boundary = log.min_time_since(watermark)
             if boundary is None or boundary <= watermark.time:
                 # A tuple with unknown or at-or-under-watermark time was
@@ -281,16 +305,20 @@ class InvariantChecker:
                     # Appends happened, but none to this invariant's
                     # driver table: no new result rows are possible.
                     state.watermark = log.watermark()
-                    return list(state.accumulated), "skip", 0
+                    return list(state.accumulated), "skip", 0, 0
         if not can_delta:
             result = log.db.execute_ast(state.statement)
             state.accumulated = list(result.rows)
             state.watermark = log.watermark()
-            return list(result.rows), "full", result.rows_scanned
+            return list(result.rows), "full", result.rows_scanned, result.rows_vectorized
         result = log.db.execute_ast(state.plan.delta_select, (watermark.time,))
-        state.accumulated = state.accumulated + list(result.rows)
+        # Extend the cached accumulation in place: the full path always
+        # seeds a private list, and every caller-visible value is a copy,
+        # so extending avoids rebuilding an O(total-violations) list per
+        # incremental pass.
+        state.accumulated.extend(result.rows)
         state.watermark = log.watermark()
-        return list(state.accumulated), "delta", result.rows_scanned
+        return list(state.accumulated), "delta", result.rows_scanned, result.rows_vectorized
 
     def run_trimming(self) -> int:
         """Execute the SSM's trimming queries; returns tuples removed."""

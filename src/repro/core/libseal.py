@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.audit.group_sealing import GroupSealPolicy, GroupSealer
 from repro.audit.log import AuditLog
 from repro.audit.persistence import InMemoryStorage, LogStorage
 from repro.audit.recovery import RecoveryOutcome, RecoveryReport, recover_log
@@ -32,7 +33,7 @@ from repro.errors import (
 from repro.faults import hooks as _faults
 from repro.http import HttpRequest, HttpResponse
 from repro.obs import hooks as _obs
-from repro.sim.costs import LOGGING_BASE_CYCLES
+from repro.sim.costs import LOGGING_BASE_CYCLES, LOGGING_SEALDB_INSERT_CYCLES
 from repro.ssm.base import ServiceSpecificModule
 
 
@@ -62,6 +63,14 @@ class LibSealConfig:
     #: check's watermark (False = always full re-scan, the paper's
     #: baseline behaviour).
     incremental_checks: bool = True
+    #: Group sealing (Eleos-style transition batching): seal once per
+    #: window of up to this many accepted pairs instead of per pair.
+    #: 1 = the paper's per-pair behaviour. In grouped mode a pair's
+    #: acknowledgement rides on the seal that covers its window.
+    group_seal_pairs: int = 1
+    #: Close an open group-seal window early once its staged pairs'
+    #: modelled append cycles reach this budget (0 = records bound only).
+    group_seal_cycle_budget: float = 0.0
 
 
 @dataclass
@@ -117,6 +126,12 @@ class LibSeal:
         )
         self.rate_limiter = RateLimiter(
             self.config.check_rate_capacity, self.config.check_rate_refill
+        )
+        self.group_sealer = GroupSealer(
+            GroupSealPolicy(
+                max_pairs=self.config.group_seal_pairs,
+                max_cycles=self.config.group_seal_cycle_budget,
+            )
         )
         self.logger = AuditLogger(self._handle_pair)
         self.logical_time = 0
@@ -210,8 +225,15 @@ class LibSeal:
             if event.kind == "crash_after_log":
                 raise _faults.active().crash(event)
         if emitted and self.config.flush_each_pair:
-            if not self._try_seal():
-                self.degraded.unsealed_pairs += 1
+            pair_cycles = (
+                LOGGING_BASE_CYCLES + emitted * LOGGING_SEALDB_INSERT_CYCLES
+            )
+            window_closed = self.group_sealer.stage(pair_cycles)
+            # While degraded, grouping is suspended: every pair retries the
+            # seal so healing is detected immediately and the unsealed-pair
+            # bound counts exactly (legacy per-pair semantics).
+            if window_closed or self.degraded.active:
+                self._try_seal()
 
         self.rate_limiter.on_request()
         header_value: str | None = None
@@ -239,17 +261,24 @@ class LibSeal:
         """Seal now; on availability faults enter/extend degraded mode.
 
         Returns True when the epoch sealed (covering every appended tuple,
-        including any previously buffered ones) and False when the audit
-        path is degraded. Never raises for availability faults; integrity
-        errors still propagate.
+        including the staged group-seal window and any previously buffered
+        ones) and False when the audit path is degraded. Never raises for
+        availability faults; integrity errors still propagate.
         """
+        # The staged window rides on this seal attempt: drain it first so
+        # a failed seal converts exactly those pairs into *unsealed* pairs
+        # (counted against the degraded-mode bound) instead of leaving
+        # them invisibly deferred.
+        covered = self.group_sealer.drain(forced=self.degraded.active)
         try:
             self.audit_log.seal_epoch()
         except QuorumUnavailableError as exc:
             self._enter_degraded("freshness-unverifiable", exc)
+            self.degraded.unsealed_pairs += covered
             return False
         except StorageError as exc:
             self._enter_degraded("storage-unavailable", exc)
+            self.degraded.unsealed_pairs += covered
             return False
         if self.degraded.active:
             self.degraded = DegradedState()  # healed: the seal covered all
@@ -283,6 +312,17 @@ class LibSeal:
         """
         if not self.degraded.active:
             return True
+        return self._try_seal()
+
+    def flush_pending(self) -> bool:
+        """Close the open group-seal window now (if any pairs are staged).
+
+        The flush point for everything that must not ride an open window:
+        rotation epochs, graceful shutdown, the event loop's audit-flush
+        ocall completions. Returns True when nothing remained deferred
+        afterwards (window empty, or the seal succeeded)."""
+        if self.group_sealer.pending_pairs == 0:
+            return not self.degraded.active or self.try_reseal()
         return self._try_seal()
 
     # ------------------------------------------------------------------
@@ -375,7 +415,11 @@ class LibSeal:
 
     def trim(self) -> int:
         """Trim the log now; returns tuples removed (§5.1)."""
-        return self.checker.run_trimming()
+        removed = self.checker.run_trimming()
+        # Trimming seals a fresh epoch internally, which covered every
+        # staged pair; the open window is spent, not still deferred.
+        self.group_sealer.drain(forced=True)
+        return removed
 
     def verify_log(self, public_key: EcdsaPublicKey | None = None) -> None:
         """Full log verification (chain, signature, freshness)."""
@@ -397,6 +441,10 @@ class LibSeal:
             "reason": self.degraded.reason,
             "unsealed_pairs": self.degraded.unsealed_pairs,
             "max_unsealed_pairs": self.config.max_unsealed_pairs,
+            # The deferral is explicit: pairs staged in the open group-seal
+            # window, awaiting the seal that acknowledges them.
+            "pending_group_pairs": self.group_sealer.pending_pairs,
+            "group_seal_window": self.config.group_seal_pairs,
             "pairs_logged": self.pairs_logged,
             "entries": len(self.audit_log.chain),
             "head_counter": head.counter_value if head is not None else None,

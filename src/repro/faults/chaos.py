@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.audit.log import AuditLog
 from repro.audit.persistence import InMemoryStorage
@@ -46,7 +46,6 @@ from repro.audit.rote_replica import (
     CatchupRequest,
     CounterAttestation,
     JoinRequest,
-    LieModel,
 )
 from repro.audit.sealed_storage import SealedLogStorage, make_log_enclave
 from repro.core.libseal import LibSeal, LibSealConfig

@@ -28,14 +28,19 @@ class Database:
     ``use_planner=False`` disables every planner access path (index
     probes, sorted-range pruning, hash joins, predicate pushdown) and
     runs the original scan-everything executor — the reference behaviour
-    the parity tests compare against.
+    the parity tests compare against. ``vectorized=False`` keeps the
+    planner but filters row-at-a-time instead of through columnar batch
+    predicates — the scalar reference the vectorization parity tests
+    compare against. Vectorization only ever applies on top of the
+    planner, so ``use_planner=False`` implies the scalar path too.
     """
 
-    def __init__(self, use_planner: bool = True) -> None:
+    def __init__(self, use_planner: bool = True, vectorized: bool = True) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ast.Select] = {}
         self._view_names: dict[str, str] = {}
         self.use_planner = use_planner
+        self.vectorized = vectorized
         self._executor = Executor(self)
         self._statement_cache: dict[str, ast.Statement] = {}
 
@@ -76,6 +81,11 @@ class Database:
         metrics.counter(
             "sealdb_rows_scanned_total", "Rows touched by the SealDB executor"
         ).inc(result.rows_scanned)
+        if result.rows_vectorized:
+            metrics.counter(
+                "sealdb_rows_vectorized_total",
+                "Rows filtered through columnar batch predicates",
+            ).inc(result.rows_vectorized)
 
     @property
     def scan_stats(self):
@@ -109,7 +119,7 @@ class Database:
 
     def clone_schema(self) -> "Database":
         """A new empty database with the same tables and views."""
-        other = Database(use_planner=self.use_planner)
+        other = Database(use_planner=self.use_planner, vectorized=self.vectorized)
         for table in self._tables.values():
             other._tables[table.name.lower()] = Table(
                 table.name, list(table.columns)

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
-from repro.sealdb import ast, planner
+from repro.sealdb import ast, planner, vector
 from repro.sealdb.errors import SQLExecutionError
 from repro.sealdb.functions import evaluate_aggregate, evaluate_scalar, is_aggregate
 from repro.sealdb.table import SqlValue
@@ -166,10 +166,15 @@ class ScanStats:
     ``rows_scanned`` counts base-table rows materialised by scans plus
     join pairings examined — the work a disk-backed engine would pay for.
     Index probes that skip rows simply don't count them; that is the
-    point of the metric.
+    point of the metric. ``rows_vectorized`` counts the subset of those
+    rows filtered through batch predicates instead of per-row scopes —
+    it never exceeds ``rows_scanned`` for scans, though pushed/leftover
+    filters over already-counted rows can also vectorize, so the checking
+    layer clamps when converting to cycles.
     """
 
     rows_scanned: int = 0
+    rows_vectorized: int = 0
     index_probes: int = 0
     range_scans: int = 0
     full_scans: int = 0
@@ -186,6 +191,8 @@ class Result:
         self.rowcount = rowcount
         #: Base-table rows + join pairings this statement examined.
         self.rows_scanned = 0
+        #: Subset of the examined rows filtered through batch predicates.
+        self.rows_vectorized = 0
 
     def __iter__(self):
         return iter(self.rows)
@@ -246,6 +253,9 @@ class Executor:
         self._scan_plans: dict[tuple, tuple] = {}
         self._join_aliases: dict[int, tuple[ast.Join, set[str], set[str]]] = {}
         self._conjoined: dict[tuple[int, ...], tuple[tuple[ast.Expr, ...], ast.Expr | None]] = {}
+        # Batch-predicate memo per predicate node (None = proven
+        # unbatchable, also worth remembering).
+        self._batch_plans: dict[int, tuple[ast.Expr, vector.BatchPredicate | None]] = {}
 
     # ------------------------------------------------------------------
     # Statement dispatch
@@ -254,8 +264,10 @@ class Executor:
     def execute(self, statement: ast.Statement, params: tuple[SqlValue, ...]) -> Result:
         self._subquery_cache = {}
         before = self.stats.rows_scanned
+        before_vectorized = self.stats.rows_vectorized
         result = self._execute_statement(statement, params)
         result.rows_scanned = self.stats.rows_scanned - before
+        result.rows_vectorized = self.stats.rows_vectorized - before_vectorized
         return result
 
     def _execute_statement(
@@ -336,11 +348,18 @@ class Executor:
             source = self._source_relation(source_ast, params, outer)
 
         if leftover is not None:
-            kept = []
-            for row in source.rows:
-                scope = Scope(source.columns, row, outer)
-                if sql_truth(self._eval(leftover, scope, params)) is True:
-                    kept.append(row)
+            batch = self._bind_batch(leftover, source.columns, params, outer)
+            if batch is not None:
+                self.stats.rows_vectorized += len(source.rows)
+                kept = [
+                    row for row in source.rows if all(pred(row) for pred in batch)
+                ]
+            else:
+                kept = []
+                for row in source.rows:
+                    scope = Scope(source.columns, row, outer)
+                    if sql_truth(self._eval(leftover, scope, params)) is True:
+                        kept.append(row)
             source = Relation(source.columns, kept)
 
         aggregated = bool(select.group_by) or any(
@@ -555,6 +574,13 @@ class Executor:
         predicate = self._conjoin_cached(pushed) if pushed else None
         if predicate is None:
             return relation
+        batch = self._bind_batch(predicate, relation.columns, params, outer)
+        if batch is not None:
+            self.stats.rows_vectorized += len(relation.rows)
+            return Relation(
+                relation.columns,
+                [row for row in relation.rows if all(pred(row) for pred in batch)],
+            )
         kept = []
         for row in relation.rows:
             scope = Scope(relation.columns, row, outer)
@@ -628,6 +654,35 @@ class Executor:
             range_check = None
             residual = full_predicate
             self.stats.full_scans += 1
+
+        batch: list[vector.RowPredicate] | None = None
+        batchable = False
+        if self._db.vectorized:
+            if residual is None:
+                batchable = True  # pure materialisation: the batch loop itself
+            else:
+                batch = self._bind_batch(residual, columns, params, outer)
+                batchable = batch is not None
+        if batchable:
+            if range_check is not None:
+                rc_index = range_check.column_index
+                rc_inclusive = range_check.inclusive
+
+                def range_pred(row, _i=rc_index, _b=bound, _inc=rc_inclusive):
+                    comparison = sql_compare(row[_i], _b)
+                    return comparison is not None and (
+                        comparison > 0 or (comparison == 0 and _inc)
+                    )
+
+                batch = [range_pred] + (batch or [])
+            candidates = [rows[i] for i in positions]
+            self.stats.rows_scanned += len(candidates)
+            self.stats.rows_vectorized += len(candidates)
+            if batch:
+                candidates = [
+                    row for row in candidates if all(pred(row) for pred in batch)
+                ]
+            return Relation(columns, candidates)
 
         selected: list[list[SqlValue]] = []
         scanned = 0
@@ -804,6 +859,101 @@ class Executor:
         rows: list[list[SqlValue]] = []
         right_width = len(right.columns)
         empty: list[list[SqlValue]] = []
+        probe_preds: list[vector.RowPredicate] | None = None
+        prefix_preds: list[vector.RowPredicate] | None = None
+        prefix_residual: ast.Expr | None = None
+        if self._db.vectorized and join.kind != "LEFT":
+            # No NULL padding to track: the probe loop is a key lookup +
+            # row concatenation, plus — when the residual binds against
+            # the combined layout — a flat batched filter per pairing.
+            # (LEFT joins keep the row path: padding needs match
+            # tracking interleaved with residual evaluation.)
+            if residual is None:
+                probe_preds = []
+            else:
+                probe_preds = self._bind_batch(
+                    residual, combined_columns, params, outer
+                )
+                if probe_preds is None and len(residual_conjuncts) > 1:
+                    # Mixed residual: peel the longest batchable
+                    # *prefix* of the conjunct list. A prefix-False
+                    # verdict rejects the pairing exactly where the row
+                    # path's AND chain would short-circuit; anything
+                    # else falls through to Scope evaluation (the full
+                    # residual on an unknown prefix verdict, because
+                    # the row path keeps evaluating — with side effects
+                    # such as subquery scans — past a NULL conjunct).
+                    taken = 0
+                    preds: list[vector.RowPredicate] = []
+                    for conjunct in residual_conjuncts:
+                        bound = self._bind_batch(
+                            conjunct, combined_columns, params, outer
+                        )
+                        if bound is None:
+                            break
+                        preds.extend(bound)
+                        taken += 1
+                    if 0 < taken < len(residual_conjuncts):
+                        prefix_preds = preds
+                        prefix_residual = self._conjoin_cached(
+                            residual_conjuncts[taken:]
+                        )
+        if probe_preds is not None:
+            pairings = 0
+            for left_row in left.rows:
+                key = tuple(left_row[i] for i in left_keys)
+                candidates = empty if None in key else buckets.get(key, empty)
+                if not candidates:
+                    continue
+                pairings += len(candidates)
+                if probe_preds:
+                    for right_row in candidates:
+                        combined = list(left_row) + list(right_row)
+                        if all(pred(combined) for pred in probe_preds):
+                            rows.append(combined)
+                else:
+                    rows.extend(
+                        list(left_row) + list(right_row) for right_row in candidates
+                    )
+            self.stats.rows_scanned += scanned + pairings
+            # Build, probe and pairing rows all ran the flat columnar
+            # loop (key extraction, bucket lookup, batched residual) —
+            # the whole join is one vectorized operation. The fallback
+            # branch below counts nothing vectorized, even though its
+            # build side is the same loop: a join is priced columnar
+            # only when every phase of it is.
+            self.stats.rows_vectorized += scanned + pairings
+            return Relation(combined_columns, rows)
+        if prefix_preds is not None:
+            # Only pairings the pure prefix fully decides (rejects)
+            # count as vectorized: kept and unknown-verdict rows still
+            # pay the Scope walk for the unbatchable remainder.
+            decided = 0
+            for left_row in left.rows:
+                key = tuple(left_row[i] for i in left_keys)
+                candidates = empty if None in key else buckets.get(key, empty)
+                scanned += len(candidates)
+                for right_row in candidates:
+                    combined = list(left_row) + list(right_row)
+                    verdict: bool | None = True
+                    for pred in prefix_preds:
+                        value = pred(combined)
+                        if value is False:
+                            verdict = False
+                            break
+                        if value is None:
+                            verdict = None
+                    if verdict is False:
+                        decided += 1
+                        continue
+                    scope = Scope(combined_columns, combined, outer)
+                    rest = residual if verdict is None else prefix_residual
+                    if sql_truth(self._eval(rest, scope, params)) is not True:
+                        continue
+                    rows.append(combined)
+            self.stats.rows_scanned += scanned
+            self.stats.rows_vectorized += decided
+            return Relation(combined_columns, rows)
         for left_row in left.rows:
             key = tuple(left_row[i] for i in left_keys)
             candidates = empty if None in key else buckets.get(key, empty)
@@ -825,6 +975,35 @@ class Executor:
     # ------------------------------------------------------------------
     # Planner memos (identity-pinned, like the closure cache)
     # ------------------------------------------------------------------
+
+    def _batch_predicate(self, predicate: ast.Expr) -> vector.BatchPredicate | None:
+        entry = self._batch_plans.get(id(predicate))
+        if entry is not None and entry[0] is predicate:
+            return entry[1]
+        plan = vector.compile_batch(self._split_cached(predicate))
+        if len(self._batch_plans) > 8192:
+            self._batch_plans.clear()
+        self._batch_plans[id(predicate)] = (predicate, plan)
+        return plan
+
+    def _bind_batch(
+        self,
+        predicate: ast.Expr | None,
+        columns: list[ColumnInfo],
+        params: tuple[SqlValue, ...],
+        outer: "Scope | GroupScope | None" = None,
+    ) -> list[vector.RowPredicate] | None:
+        """Bound batch predicates for one scan, or None to use the row
+        path. ``outer`` lets correlated references bind as lazy per-scan
+        constants. Vectorization rides on the planner:
+        ``use_planner=False`` stays the untouched row-at-a-time
+        reference that the parity suite compares both against."""
+        if predicate is None or not (self._db.vectorized and self._db.use_planner):
+            return None
+        plan = self._batch_predicate(predicate)
+        if plan is None:
+            return None
+        return plan.bind(_resolution_map(columns), params, outer)
 
     def _split_cached(self, expr: ast.Expr | None) -> list[ast.Expr]:
         if expr is None:

@@ -130,6 +130,7 @@ class EventLoop:
         max_tasks: int = 2_000_000,
         async_runtime: AsyncCallRuntime | None = None,
         on_result: Callable[[int, FeedResult], None] | None = None,
+        audit_flush: Callable[[], Any] | None = None,
     ):
         if supervisor is None:
             if handler is None:
@@ -157,6 +158,12 @@ class EventLoop:
                 AUDIT_FLUSH_OCALL, lambda conn_id, served: served
             )
         self.on_result = on_result
+        # Invoked when an audit-flush ocall completes: the untrusted side
+        # has taken the appended records, which is the point where a
+        # group-sealing LibSeal closes its deferral window (wire
+        # ``libseal.flush_pending`` here) so staged pairs never wait on
+        # further traffic for their acknowledging seal.
+        self.audit_flush = audit_flush
         self.loop_stats = EventLoopStats()
         self._tasks: dict[int, LThreadTask] = {}
         self._inboxes: dict[int, deque[bytes]] = {}
@@ -368,6 +375,8 @@ class EventLoop:
                     "driver issued an ocall with no async runtime attached"
                 )
             reply = self.async_runtime.execute_ocall(task.task_id, request)
+            if request.name == AUDIT_FLUSH_OCALL and self.audit_flush is not None:
+                self.audit_flush()
             task.pending_yield = None
             self.scheduler.resume(task, reply if reply is not None else True)
         else:  # pragma: no cover - defensive

@@ -10,7 +10,7 @@ dedicated polling thread burns CPU (§4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.asynccalls import AsyncCallRuntime

@@ -96,12 +96,45 @@ TRANSITIONS_PER_4KB = 2
 # of magnitude, and the simulation must reflect that.
 CHECK_FIXED_CYCLES = 0.2e6  # per-invariant parse/plan/result handling
 CHECK_PER_ROW_CYCLES = 450.0  # per row scanned by the SealDB executor
+# Rows filtered/joined through the vectorized batch paths skip the
+# per-row scope allocation and interpreted predicate dispatch; what is
+# left is the comparison itself plus loop bookkeeping, the STANlite-style
+# batch-execution saving (5x per row).
+CHECK_PER_ROW_CYCLES_VECTORIZED = 90.0
 
 
-def checking_cycles(rows_scanned: float, invariants: int) -> float:
+def checking_cycles(
+    rows_scanned: float, invariants: int, rows_vectorized: float = 0.0
+) -> float:
     """Enclave cycles for one checking pass that scanned ``rows_scanned``
-    rows across ``invariants`` invariant queries."""
-    return invariants * CHECK_FIXED_CYCLES + rows_scanned * CHECK_PER_ROW_CYCLES
+    rows across ``invariants`` invariant queries.
+
+    ``rows_vectorized`` (a subset of ``rows_scanned``) counts the rows
+    the executor processed through its columnar batch paths; those are
+    charged the cheaper vectorized per-row cost.
+    """
+    vectorized = min(float(rows_vectorized), float(rows_scanned))
+    scalar = float(rows_scanned) - vectorized
+    return (
+        invariants * CHECK_FIXED_CYCLES
+        + scalar * CHECK_PER_ROW_CYCLES
+        + vectorized * CHECK_PER_ROW_CYCLES_VECTORIZED
+    )
+
+
+# --- class 2d: epoch sealing (§5.1 / Fig 7) ----------------------------------
+# One seal epoch leaves the enclave several times: the WAL intent write,
+# the ROTE quorum round, the atomic snapshot replacement and the intent
+# clear. Group sealing amortises exactly these crossings (plus the
+# signed-head work itself) across a window of accepted pairs.
+SEAL_OCALLS = 4  # intent write, counter round, snapshot write, intent clear
+
+
+def seal_cycles(seals: float, threads: int = 48) -> float:
+    """Modelled enclave cycles for ``seals`` epoch seals: the signed-head
+    work plus the synchronous boundary crossings each seal pays (§6.8
+    transition costs at the evaluation's 48-thread point)."""
+    return seals * (SEAL_EPOCH_CYCLES + SEAL_OCALLS * transition_cost_cycles(threads))
 
 
 @dataclass

@@ -17,7 +17,7 @@ Conventions follow OpenSSL where sensible:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.crypto.drbg import HmacDrbg

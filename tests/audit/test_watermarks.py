@@ -10,7 +10,6 @@ bump) so a checker can never silently skip rows it has not seen.
 import pytest
 
 from repro.audit import AuditLog, RoteCluster
-from repro.audit.log import Watermark
 from repro.audit.persistence import InMemoryStorage
 from repro.core import LibSeal, LibSealConfig
 from repro.crypto.drbg import HmacDrbg
@@ -185,8 +184,6 @@ class TestCheckerWatermarkLifecycle:
         assert all(s.mode == "full" for s in outcome.invariant_stats)
 
     def test_late_append_under_watermark_forces_full(self, key, rote):
-        from repro.core.checker import InvariantChecker
-
         libseal = LibSeal(GitSSM(), config=LibSealConfig(flush_each_pair=False))
         self.run_workload(libseal)
         libseal.check_invariants()

@@ -10,8 +10,6 @@ violating join spans the watermark. An incremental checker that only
 looked at new-vs-new rows would miss every one of these.
 """
 
-import pytest
-
 from repro.core import LibSeal, LibSealConfig
 from repro.core.checker import InvariantChecker
 from repro.ssm import DropboxSSM, GitSSM, MessagingSSM, OwnCloudSSM

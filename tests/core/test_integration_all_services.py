@@ -8,8 +8,6 @@ in-band check results.
 
 import json
 
-import pytest
-
 from repro.core import LibSeal, LibSealClient
 from repro.enclave_tls import EnclaveTlsRuntime
 from repro.http import (

@@ -10,7 +10,6 @@ requests) rewritten with the in-band result header — all over real
 import pytest
 
 from repro.core import LibSeal, LibSealConfig, provision_tls_identity
-from repro.crypto.drbg import HmacDrbg
 from repro.enclave_tls import EnclaveTlsRuntime
 from repro.errors import AttestationError
 from repro.http import (

@@ -1,7 +1,5 @@
 """Unit tests for the LibSEAL core: logger pairing, checker, rate limiting."""
 
-import pytest
-
 from repro.core import LibSeal, LibSealConfig
 from repro.core.checker import RateLimiter
 from repro.core.logger import AuditLogger
@@ -145,7 +143,6 @@ class TestLibSealPipeline:
 
     def test_flush_each_pair_seals_epochs(self):
         libseal = LibSeal(GitSSM())
-        body = b""
         request = HttpRequest("GET", "/p.git/info/refs?service=git-upload-pack")
         response = HttpResponse(200, body=b"a" * 40 + b" master\n")
         libseal.log_pair(request, response)

@@ -99,7 +99,6 @@ class TestHooks:
 
     def test_deactivates_on_crash_escape(self):
         plan = FaultPlan([FaultEvent("storage.save", "torn_write", at=1)])
-        storage = None
         with pytest.raises(InjectedCrash):
             with faults.inject(plan):
                 raise InjectedCrash("storage.save", "torn_write")

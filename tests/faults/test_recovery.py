@@ -14,7 +14,6 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecdsa import EcdsaPrivateKey
 from repro.errors import (
     AuditBufferFullError,
-    QuorumUnavailableError,
     RollbackError,
     StorageError,
 )

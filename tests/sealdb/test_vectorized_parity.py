@@ -1,0 +1,342 @@
+"""Vectorized-executor parity: batch filtering must be invisible.
+
+Three engines answer every query: vectorized (the default), scalar
+planner (``vectorized=False``) and the scan-everything reference
+(``use_planner=False``). Rows, row order, columns and ``rows_scanned``
+must be identical between the vectorized and scalar-planner engines;
+rows must also match the unplanned reference. ``rows_vectorized`` is the
+only permitted divergence — and it must be zero whenever vectorization
+is off or impossible.
+"""
+
+import pytest
+
+from repro.sealdb import Database
+from repro.sealdb.parser import parse_statement
+from repro.sealdb.planner import split_conjuncts
+from repro.sealdb.vector import compile_batch
+
+
+def make_db(use_planner=True, vectorized=True, sorted_time=False):
+    db = Database(use_planner=use_planner, vectorized=vectorized)
+    db.executescript(
+        """
+        CREATE TABLE updates(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+        CREATE TABLE advertisements(time INTEGER, repo TEXT, branch TEXT, cid TEXT);
+        """
+    )
+    for i in range(60):
+        cid = None if i % 7 == 0 else f"c{i}"  # NULLs exercise 3VL paths
+        db.execute(
+            "INSERT INTO updates VALUES (?, ?, ?, ?)",
+            (i, f"repo-{i % 4}", f"b{i % 5}", cid),
+        )
+        db.execute(
+            "INSERT INTO advertisements VALUES (?, ?, ?, ?)",
+            (i, f"repo-{i % 4}", f"b{i % 5}", f"c{max(0, i - 4)}"),
+        )
+    if sorted_time:
+        db.lookup_table("updates").mark_sorted(0)
+    return db
+
+
+def three_way(sql, params=(), sorted_time=False):
+    vectorized = make_db(True, True, sorted_time)
+    scalar = make_db(True, False, sorted_time)
+    reference = make_db(False, False, sorted_time)
+    a = vectorized.execute(sql, params)
+    b = scalar.execute(sql, params)
+    c = reference.execute(sql, params)
+    assert a.rows == b.rows == c.rows, sql
+    assert a.columns == b.columns == c.columns
+    assert a.rows_scanned == b.rows_scanned, sql
+    assert b.rows_vectorized == 0
+    assert c.rows_vectorized == 0
+    return a
+
+
+BATCHABLE_QUERIES = [
+    ("SELECT * FROM updates WHERE repo = 'repo-1'", ()),
+    ("SELECT * FROM updates WHERE time > 30", ()),
+    ("SELECT * FROM updates WHERE time >= ? AND repo != ?", (20, "repo-2")),
+    ("SELECT * FROM updates WHERE 40 > time", ()),
+    ("SELECT * FROM updates WHERE cid IS NULL", ()),
+    ("SELECT * FROM updates WHERE cid IS NOT NULL AND time < 50", ()),
+    ("SELECT * FROM updates WHERE time BETWEEN 10 AND 20", ()),
+    ("SELECT * FROM updates WHERE time NOT BETWEEN ? AND ?", (5, 55)),
+    ("SELECT * FROM updates WHERE branch IN ('b1', 'b3')", ()),
+    ("SELECT * FROM updates WHERE branch NOT IN (?, ?)", ("b0", "b4")),
+    ("SELECT * FROM updates WHERE cid IN ('c3', NULL)", ()),
+    ("SELECT * FROM updates u WHERE u.repo = 'repo-0' AND u.branch = 'b0'", ()),
+    ("SELECT * FROM updates WHERE 1", ()),
+    ("SELECT * FROM updates WHERE 0", ()),
+    ("SELECT * FROM updates WHERE repo = branch", ()),
+    ("SELECT * FROM updates WHERE time BETWEEN 10 AND time", ()),
+]
+
+FALLBACK_QUERIES = [
+    # Shapes outside the batchable subset: must run (identically) on the
+    # row-at-a-time path, and never count vectorized rows.
+    ("SELECT * FROM updates WHERE repo = 'repo-1' OR branch = 'b2'", ()),
+    ("SELECT * FROM updates WHERE repo LIKE 'repo-%'", ()),
+    ("SELECT * FROM updates WHERE time + 1 > 30", ()),
+    (
+        "SELECT * FROM updates u WHERE EXISTS ("
+        "SELECT 1 FROM advertisements a WHERE length(a.cid) = length(u.cid))",
+        (),
+    ),
+]
+
+
+class TestScanParity:
+    @pytest.mark.parametrize("sql,params", BATCHABLE_QUERIES)
+    def test_batchable_predicates(self, sql, params):
+        result = three_way(sql, params)
+        assert result.rows_vectorized > 0
+
+    @pytest.mark.parametrize("sql,params", BATCHABLE_QUERIES)
+    def test_batchable_predicates_sorted(self, sql, params):
+        three_way(sql, params, sorted_time=True)
+
+    @pytest.mark.parametrize("sql,params", FALLBACK_QUERIES)
+    def test_unbatchable_predicates_fall_back(self, sql, params):
+        result = three_way(sql, params)
+        assert result.rows_vectorized == 0
+
+    def test_range_scan_stays_pruned(self):
+        vectorized = make_db(sorted_time=True)
+        scalar = make_db(vectorized=False, sorted_time=True)
+        a = vectorized.execute("SELECT * FROM updates WHERE time > 49")
+        b = scalar.execute("SELECT * FROM updates WHERE time > 49")
+        assert a.rows == b.rows
+        assert a.rows_scanned == b.rows_scanned == 10  # bisect still prunes
+        assert a.rows_vectorized == 10
+
+    def test_ordering_preserved(self):
+        result = three_way(
+            "SELECT time, cid FROM updates WHERE time > 10 ORDER BY repo, time DESC"
+        )
+        assert len(result.rows) == 49
+
+
+class TestJoinParity:
+    def test_inner_hash_join_probe_is_batched(self):
+        sql = (
+            "SELECT u.time, a.time FROM updates u JOIN advertisements a "
+            "ON u.repo = a.repo AND u.branch = a.branch WHERE u.time > 50"
+        )
+        result = three_way(sql)
+        assert result.rows_vectorized > 0
+
+    def test_left_join_keeps_row_path(self):
+        sql = (
+            "SELECT u.time, a.cid FROM updates u LEFT JOIN advertisements a "
+            "ON u.cid = a.cid"
+        )
+        three_way(sql)
+
+    def test_join_residual_batches_on_combined_layout(self):
+        # The non-equi half of the ON clause (`u.time < a.time`) is a
+        # col-vs-col comparison over the combined row — batched in the
+        # probe loop rather than per-pair Scope evaluation.
+        sql = (
+            "SELECT u.time FROM updates u JOIN advertisements a "
+            "ON u.repo = a.repo AND u.time < a.time"
+        )
+        result = three_way(sql)
+        assert result.rows_vectorized > 0
+
+    def test_join_with_unbatchable_residual_falls_back(self):
+        sql = (
+            "SELECT u.time FROM updates u JOIN advertisements a "
+            "ON u.repo = a.repo AND u.time + 0 < a.time"
+        )
+        result = three_way(sql)
+        assert result.rows_vectorized == 0
+
+    def test_join_mixed_residual_batches_the_prefix(self):
+        # The branchcnt shape: `u.time < a.time` batches, the correlated
+        # subquery conjunct cannot. Pairings the prefix rejects never
+        # evaluate the subquery — and neither would the row path's AND
+        # short-circuit, which the identical rows_scanned proves.
+        sql = (
+            "SELECT u.time, a.time FROM updates u JOIN advertisements a "
+            "ON u.repo = a.repo AND u.time < a.time AND u.time = ("
+            "SELECT MAX(time) FROM updates WHERE repo = u.repo"
+            " AND time < a.time)"
+        )
+        result = three_way(sql)
+        assert result.rows_vectorized > 0
+
+    def test_join_prefix_with_null_verdicts_keeps_row_path_effects(self):
+        # `u.cid != a.cid` is NULL for NULL cids: an unknown prefix
+        # verdict must re-run the full residual so the subquery's scans
+        # (side effects in rows_scanned) match the row path exactly.
+        sql = (
+            "SELECT u.time FROM updates u JOIN advertisements a "
+            "ON u.repo = a.repo AND u.cid != a.cid AND u.time = ("
+            "SELECT MAX(time) FROM updates WHERE repo = u.repo"
+            " AND time < a.time)"
+        )
+        three_way(sql)
+
+
+class TestCorrelatedParity:
+    def test_correlated_inner_scan_batches(self):
+        # The subquery's residual (`u.time < a.time`) references the
+        # outer row: it binds as a lazy per-scan constant.
+        sql = (
+            "SELECT * FROM advertisements a WHERE EXISTS ("
+            "SELECT 1 FROM updates u WHERE u.repo = a.repo"
+            " AND u.time < a.time)"
+        )
+        result = three_way(sql)
+        assert result.rows_vectorized > 0
+
+    def test_soundness_shaped_scalar_subquery(self):
+        # The paper's SOUNDNESS invariant shape: a correlated scalar
+        # subquery whose inner scan filters on outer columns.
+        sql = (
+            "SELECT * FROM advertisements a WHERE cid != ("
+            "SELECT u.cid FROM updates u WHERE u.repo = a.repo"
+            " AND u.branch = a.branch AND u.time < a.time"
+            " ORDER BY u.time DESC LIMIT 1)"
+        )
+        result = three_way(sql)
+        assert result.rows_vectorized > 0
+
+    def test_empty_scan_never_touches_outer_scope(self):
+        # An unresolvable correlated reference only errors when a row
+        # actually evaluates it — on an empty inner table neither path
+        # may raise.
+        vectorized = make_db(True, True)
+        scalar = make_db(True, False)
+        for db in (vectorized, scalar):
+            db.execute("CREATE TABLE empty_t(x INTEGER)")
+        sql = (
+            "SELECT * FROM updates u WHERE EXISTS ("
+            "SELECT 1 FROM empty_t e WHERE e.x = u.nonexistent)"
+        )
+        a = vectorized.execute(sql)
+        b = scalar.execute(sql)
+        assert a.rows == b.rows == []
+        assert a.rows_scanned == b.rows_scanned
+
+
+class TestVectorizedAccounting:
+    def test_disabled_engines_never_vectorize(self):
+        scalar = make_db(vectorized=False)
+        reference = make_db(use_planner=False)
+        for db in (scalar, reference):
+            db.execute("SELECT * FROM updates WHERE repo = 'repo-1'")
+            assert db.scan_stats.rows_vectorized == 0
+
+    def test_unplanned_engine_ignores_vectorized_flag(self):
+        # Vectorization rides on the planner; without it the reference
+        # row path runs even with vectorized=True.
+        db = make_db(use_planner=False, vectorized=True)
+        result = db.execute("SELECT * FROM updates WHERE repo = 'repo-1'")
+        assert result.rows_vectorized == 0
+
+    def test_result_delta_matches_cumulative_stats(self):
+        db = make_db()
+        first = db.execute("SELECT * FROM updates WHERE time > 10")
+        second = db.execute("SELECT * FROM updates WHERE repo = 'repo-2'")
+        assert (
+            db.scan_stats.rows_vectorized
+            == first.rows_vectorized + second.rows_vectorized
+        )
+
+    def test_clone_schema_inherits_toggle(self):
+        assert make_db(vectorized=False).clone_schema().vectorized is False
+        assert make_db().clone_schema().vectorized is True
+
+
+class TestBatchCompiler:
+    def _conjuncts(self, sql):
+        return split_conjuncts(parse_statement(sql).where)
+
+    def test_compiles_supported_shapes(self):
+        plan = compile_batch(
+            self._conjuncts(
+                "SELECT * FROM updates WHERE time > 3 AND cid IS NULL "
+                "AND branch IN ('b1') AND time BETWEEN 1 AND 9"
+            )
+        )
+        assert plan is not None
+
+    def test_declines_or_and_functions(self):
+        assert compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE time > 3 OR time < 1"
+        )) is None
+        assert compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE length(repo) = 6"
+        )) is None
+
+    def test_empty_conjuncts_decline(self):
+        assert compile_batch([]) is None
+
+    def test_bind_declines_unknown_and_ambiguous_columns(self):
+        plan = compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE repo = 'repo-1'"
+        ))
+        assert plan.bind({}, ()) is None  # column not in this layout
+        assert plan.bind({(None, "repo"): -1}, ()) is None  # ambiguous
+
+    def test_bind_declines_out_of_range_parameter(self):
+        plan = compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE repo = ?"
+        ))
+        assert plan.bind({(None, "repo"): 1}, ()) is None  # no params bound
+        preds = plan.bind({(None, "repo"): 1}, ("repo-1",))
+        assert preds is not None
+        assert preds[0]([0, "repo-1"]) is True
+        assert preds[0]([0, "repo-9"]) is False
+        assert preds[0]([0, None]) is None  # NULL = x is unknown, not kept
+
+    def test_col_vs_col_binds_both_indices(self):
+        plan = compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE repo = branch"
+        ))
+        preds = plan.bind({(None, "repo"): 0, (None, "branch"): 1}, ())
+        assert preds[0](["same", "same"]) is True
+        assert preds[0](["one", "two"]) is False
+        assert preds[0]([None, None]) is None  # NULL = NULL is unknown
+
+    def test_unresolved_column_without_outer_declines(self):
+        plan = compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE repo = branch"
+        ))
+        assert plan.bind({(None, "repo"): 0}, ()) is None
+
+    def test_outer_reference_resolves_lazily_once(self):
+        class CountingOuter:
+            def __init__(self):
+                self.calls = 0
+
+            def resolve(self, table, column):
+                self.calls += 1
+                assert (table, column) == ("a", "time")
+                return 30
+
+        plan = compile_batch(self._conjuncts(
+            "SELECT * FROM updates u WHERE u.time < a.time"
+        ))
+        outer = CountingOuter()
+        preds = plan.bind({("u", "time"): 0, (None, "time"): 0}, (), outer)
+        assert outer.calls == 0  # binding alone never reads the outer row
+        assert preds[0]([10]) is True
+        assert preds[0]([40]) is False
+        assert preds[0]([None]) is None
+        assert outer.calls == 1  # pinned after the first row
+
+    def test_literal_node_reuse_is_safe_across_layouts(self):
+        # The same compiled plan binds against two different layouts.
+        plan = compile_batch(self._conjuncts(
+            "SELECT * FROM updates WHERE time >= 5"
+        ))
+        low = plan.bind({(None, "time"): 0}, ())
+        high = plan.bind({(None, "time"): 2}, ())
+        assert low[0]([7, "x", "y"]) is True
+        assert high[0]([0, "x", 7]) is True
+        assert high[0]([7, "x", 0]) is False

@@ -299,6 +299,27 @@ class TestEventLoopScheduling:
         assert runtime.stats.per_ocall[AUDIT_FLUSH_OCALL] == 1
         assert sum(runtime.stats.per_task_ocalls.values()) == 1
 
+    def test_audit_flush_callback_fires_per_flush_ocall(self):
+        # The group-sealing integration point: each completed audit-flush
+        # ocall invokes the callback (wired to LibSeal.flush_pending in
+        # production) so deferral windows close on request boundaries.
+        runtime = AsyncCallRuntime(num_app_threads=1, num_sgx_threads=1,
+                                   tasks_per_thread=4)
+        flushes = []
+        loop = EventLoop(_echo_handler, async_runtime=runtime,
+                         audit_flush=lambda: flushes.append(1))
+        cid = loop.open()
+        assert loop.feed(cid, _request("/a")).served == 1
+        assert loop.feed(cid, _request("/b")).served == 1
+        assert len(flushes) == runtime.stats.per_ocall[AUDIT_FLUSH_OCALL] == 2
+
+    def test_audit_flush_callback_without_runtime_is_inert(self):
+        flushes = []
+        loop = EventLoop(_echo_handler, audit_flush=lambda: flushes.append(1))
+        cid = loop.open()
+        assert loop.feed(cid, _request("/a")).served == 1
+        assert flushes == []  # no async runtime -> no flush ocalls
+
     def test_adopts_established_supervisor(self):
         """An EventLoop wrapped around a live supervisor re-spawns driver
         tasks for every existing connection (the fuzz deepcopy path)."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EnclaveError
-from repro.sgx import Enclave, EnclaveConfig, EnclaveInterface, transition_cost_cycles
+from repro.sgx import Enclave, EnclaveConfig, transition_cost_cycles
 from repro.sgx.interface import TRANSITION_BASE_CYCLES, TRANSITION_CYCLES_AT_48_THREADS
 
 

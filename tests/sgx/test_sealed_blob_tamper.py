@@ -17,7 +17,6 @@ from repro.sgx import (
     Enclave,
     EnclaveConfig,
     EpochState,
-    KeyPolicy,
     SealedBlob,
     SigningAuthority,
 )

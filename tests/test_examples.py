@@ -1,7 +1,6 @@
 """Every example script must run cleanly end to end."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
