@@ -218,14 +218,11 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
 
     try:
         if args.update_baseline:
-            changed = update_baseline(Path(args.results), Path(args.baseline))
+            diff = update_baseline(
+                Path(args.results), Path(args.baseline), prune=args.prune
+            )
             print(f"rewrote {args.baseline} in canonical form")
-            if changed:
-                print(f"{len(changed)} metric value(s) changed:")
-                for metric in changed:
-                    print(f"  {metric}")
-            else:
-                print("no metric values changed")
+            print(diff.describe())
             return 0
         if args.check_canonical:
             ok, _ = check_canonical(Path(args.baseline))
@@ -254,7 +251,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.faults.chaos import FAMILIES, run_soak
+    from repro.faults.chaos import FAMILIES, FAMILY_DESCRIPTIONS, run_soak
+
+    if args.list_families:
+        width = max(len(name) for name in FAMILY_DESCRIPTIONS)
+        for name, description in FAMILY_DESCRIPTIONS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
 
     families = tuple(args.family) if args.family else FAMILIES
     verdicts = run_soak(
@@ -406,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--check-canonical", action="store_true",
                          help="verify the baseline file is byte-identical "
                               "to its canonical rendering and exit")
+    compare.add_argument("--prune", action="store_true",
+                         help="with --update-baseline: drop gates whose "
+                              "metric vanished from the summaries instead "
+                              "of failing")
     compare.set_defaults(func=_cmd_bench_compare)
 
     chaos = subparsers.add_parser(
@@ -422,6 +429,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-scenario verdicts as JSON")
     chaos.add_argument("--check-determinism", action="store_true",
                        help="run twice and compare event-trace digests")
+    chaos.add_argument("--list-families", action="store_true",
+                       help="list every chaos family with its one-line "
+                            "description and exit")
     chaos.set_defaults(func=_cmd_chaos)
     return parser
 

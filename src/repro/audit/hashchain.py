@@ -222,6 +222,103 @@ class RotationIntent:
             raise IntegrityError(f"rotation intent unparsable: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class MembershipIntent:
+    """A signed write-ahead marker: "a shard membership change is in flight".
+
+    Mirrors :class:`RotationIntent` for the sharded audit plane: written
+    to the control log's storage *before* any step of a split/merge
+    executes, so a crash at any rebalance checkpoint (audited record →
+    provisioning → range transfer → cutover → source retire) replays to
+    exactly one owner per log range. Each replayed step is idempotent;
+    the sidecar is cleared only once the change has fully converged.
+    """
+
+    plane_id: str
+    change_id: str
+    kind: str  #: ``"split"`` (shard added) or ``"merge"`` (shard removed)
+    shard: str
+    generation_from: int
+    generation_to: int
+    epoch: int
+    signature: EcdsaSignature
+
+    def payload(self) -> bytes:
+        return (
+            b"SHARD-INTENT\x00"
+            + self.plane_id.encode()
+            + b"\x00"
+            + self.change_id.encode()
+            + b"\x00"
+            + self.kind.encode()
+            + b"\x00"
+            + self.shard.encode()
+            + b"\x00"
+            + self.generation_from.to_bytes(8, "big")
+            + self.generation_to.to_bytes(8, "big")
+            + self.epoch.to_bytes(4, "big")
+        )
+
+    @staticmethod
+    def sign(
+        key: EcdsaPrivateKey,
+        plane_id: str,
+        change_id: str,
+        kind: str,
+        shard: str,
+        generation_from: int,
+        generation_to: int,
+        epoch: int,
+    ) -> "MembershipIntent":
+        unsigned = MembershipIntent(
+            plane_id, change_id, kind, shard,
+            generation_from, generation_to, epoch, EcdsaSignature(0, 0),
+        )
+        return MembershipIntent(
+            plane_id, change_id, kind, shard,
+            generation_from, generation_to, epoch, key.sign(unsigned.payload()),
+        )
+
+    def verify(self, public_key: EcdsaPublicKey) -> None:
+        if not public_key.verify(self.payload(), self.signature):
+            raise IntegrityError("membership intent signature invalid")
+
+    def encode(self) -> bytes:
+        return b"\x00".join(
+            [
+                b"SHARD1",
+                self.plane_id.encode(),
+                self.change_id.encode(),
+                self.kind.encode(),
+                self.shard.encode(),
+                str(self.generation_from).encode(),
+                str(self.generation_to).encode(),
+                str(self.epoch).encode(),
+                self.signature.encode().hex().encode(),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "MembershipIntent":
+        try:
+            (magic, plane_id, change_id, kind, shard,
+             gen_from, gen_to, epoch, sig_hex) = blob.split(b"\x00")
+            if magic != b"SHARD1":
+                raise ValueError("bad magic")
+            return cls(
+                plane_id.decode(),
+                change_id.decode(),
+                kind.decode(),
+                shard.decode(),
+                int(gen_from),
+                int(gen_to),
+                int(epoch),
+                EcdsaSignature.decode(bytes.fromhex(sig_hex.decode())),
+            )
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise IntegrityError(f"membership intent unparsable: {exc}") from exc
+
+
 class HashChain:
     """An append-only hash chain with rebuild support for trimming."""
 

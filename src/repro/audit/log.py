@@ -337,6 +337,48 @@ class AuditLog:
             ).inc(removed)
         return removed
 
+    def remove_where(self, predicate) -> int:
+        """Remove every payload tuple matched by ``predicate(table, values)``.
+
+        The shard-rebalance primitive: after an ownership cutover the old
+        owner retires the migrated range by dropping exactly those tuples,
+        rebuilding the chain over the survivors and sealing a fresh epoch
+        (the same shape as :meth:`trim`, but predicate- rather than
+        SQL-driven, because range membership is a hash of the routing key
+        the relational layer cannot express). Idempotent: a replayed call
+        matches nothing and seals nothing. Returns the tuples removed.
+        """
+        survivors = [
+            (index, table, values)
+            for index, (table, values) in enumerate(self._payloads)
+            if not predicate(table, values)
+        ]
+        removed = len(self._payloads) - len(survivors)
+        if removed == 0:
+            return 0
+        # Rebuild the relational store from the surviving tuples; row ids
+        # keep their original (strictly increasing) values so outstanding
+        # deltas cannot alias, and the generation bump invalidates every
+        # watermark exactly as a trim would.
+        self.db = Database()
+        if self.schema_sql.strip():
+            self.db.executescript(self.schema_sql)
+        if EVENTS_TABLE not in {name.lower() for name in self.db.table_names()}:
+            self.db.executescript(EVENTS_SCHEMA)
+        self._time_columns = {}
+        self._install_time_hints()
+        for _, table, values in survivors:
+            placeholders = ", ".join("?" * len(values))
+            self.db.execute(
+                f"INSERT INTO {table} VALUES ({placeholders})", tuple(values)
+            )
+        self._payload_ids = [self._payload_ids[i] for i, _, _ in survivors]
+        self._payloads = [(table, values) for _, table, values in survivors]
+        self.chain.rebuild((t, list(v)) for t, v in self._payloads)
+        self.trim_generation += 1
+        self.seal_epoch()
+        return removed
+
     def _surviving_indices(self) -> list[int]:
         """Match the DB contents after DELETEs back to payload positions."""
         remaining: dict[str, dict[tuple, int]] = {}

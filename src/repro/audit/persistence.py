@@ -76,6 +76,10 @@ class LogStorage:
     def _rotation_path(self) -> Path:
         return self.path.with_suffix(self.path.suffix + ".rotation")
 
+    @property
+    def _membership_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".membership")
+
     def _cleanup_orphans(self) -> list[Path]:
         """Remove ``.tmp`` leftovers from crashed writes (torn tails)."""
         orphans: list[Path] = []
@@ -240,6 +244,38 @@ class LogStorage:
         except OSError:
             pass
 
+    # ------------------------------------------------------------------
+    # Membership-intent sidecar (write-ahead marker for shard rebalance)
+    # ------------------------------------------------------------------
+
+    def save_membership(self, blob: bytes) -> None:
+        """Durably record a shard membership intent (small, overwritten)."""
+        try:
+            with open(self._membership_path, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StorageError(
+                f"cannot write membership intent {self._membership_path}: {exc}"
+            ) from exc
+
+    def load_membership(self) -> bytes | None:
+        try:
+            return self._membership_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read membership intent {self._membership_path}: {exc}"
+            ) from exc
+
+    def clear_membership(self) -> None:
+        try:
+            self._membership_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
 
 class InMemoryStorage(LogStorage):
     """The LibSEAL-mem configuration: no disk, but same interface."""
@@ -253,6 +289,7 @@ class InMemoryStorage(LogStorage):
         self._blob: bytes | None = None
         self._intent: bytes | None = None
         self._rotation: bytes | None = None
+        self._membership: bytes | None = None
 
     def save(self, blob: bytes) -> None:
         self._blob = blob
@@ -288,3 +325,12 @@ class InMemoryStorage(LogStorage):
 
     def clear_rotation(self) -> None:
         self._rotation = None
+
+    def save_membership(self, blob: bytes) -> None:
+        self._membership = blob
+
+    def load_membership(self) -> bytes | None:
+        return self._membership
+
+    def clear_membership(self) -> None:
+        self._membership = None

@@ -105,6 +105,16 @@ class SealedLogStorage(LogStorage):
     def clear_rotation(self) -> None:
         self.inner.clear_rotation()
 
+    # Membership-intent sidecar: same reasoning — a signed public artifact.
+    def save_membership(self, blob: bytes) -> None:
+        self.inner.save_membership(blob)
+
+    def load_membership(self) -> bytes | None:
+        return self.inner.load_membership()
+
+    def clear_membership(self) -> None:
+        self.inner.clear_membership()
+
     @property
     def orphans_cleaned(self) -> list:
         return self.inner.orphans_cleaned

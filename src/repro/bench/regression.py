@@ -279,35 +279,96 @@ def check_canonical(baseline_path: Path) -> tuple[bool, str]:
     return baseline_path.read_text() == text, text
 
 
-def update_baseline(results_dir: Path, baseline_path: Path) -> list[str]:
+@dataclass
+class BaselineDiff:
+    """What ``update_baseline`` actually did, entry by entry.
+
+    A baseline refresh is an auditable event, not a silent rewrite: the
+    diff names every metric whose expectation moved (with the old and
+    new value), every drafted gate that received its first value, and
+    every gate that was pruned because its metric vanished.
+    """
+
+    changed: list[tuple[str, float, float]]  # (metric, old, new)
+    added: list[tuple[str, float]]  # (metric, new) — drafted gates filled
+    removed: list[str]  # pruned gates (only with prune=True)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.changed or self.added or self.removed)
+
+    def describe(self) -> str:
+        """Human-readable rendering, one line per affected metric."""
+        if self.empty:
+            return "no metric values changed"
+        lines = []
+        for metric, old, new in self.changed:
+            lines.append(
+                f"  changed  {metric}: {old:.6g} -> {new:.6g}"
+            )
+        for metric, new in self.added:
+            lines.append(f"  added    {metric}: {new:.6g}")
+        for metric in self.removed:
+            lines.append(f"  removed  {metric}")
+        summary = (
+            f"{len(self.changed)} changed, {len(self.added)} added, "
+            f"{len(self.removed)} removed"
+        )
+        return "\n".join([summary] + lines)
+
+
+def update_baseline(
+    results_dir: Path, baseline_path: Path, prune: bool = False
+) -> BaselineDiff:
     """Rewrite every baseline ``value`` from the current summaries.
 
     Modes, tolerances and the metric set are preserved — this refreshes
-    expectations, it does not invent gates. Every gated benchmark must
-    have emitted its summary first; a missing summary or metric raises
-    :class:`BaselineError` rather than silently keeping a stale value.
-    Returns the metrics whose values changed. The file is always
-    rewritten in canonical form (deterministic: sorted keys, 6
-    significant digits, trailing newline).
+    expectations, it does not invent gates. The two sanctioned ways the
+    set can move, both reported in the returned :class:`BaselineDiff`:
+
+    - an entry drafted by hand with ``"value": null`` receives its first
+      measured value ("added" — how a new gate enters the baseline);
+    - with ``prune=True``, an entry whose summary exists but whose
+      metric path vanished is dropped ("removed") instead of failing.
+
+    Everything else stays loud: a missing summary, or a missing metric
+    without ``prune``, raises :class:`BaselineError` rather than
+    silently keeping a stale value. The file is always rewritten in
+    canonical form (deterministic: sorted keys, 6 significant digits,
+    trailing newline).
     """
     baseline = _load_baseline(baseline_path)
     default_tol = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
     summaries, absent = _load_summaries(baseline, results_dir)
-    changed: list[str] = []
-    for metric, spec in sorted(baseline.get("metrics", {}).items()):
+    diff = BaselineDiff(changed=[], added=[], removed=[])
+    metrics = baseline.get("metrics", {})
+    for metric, spec in sorted(metrics.items()):
         name, _, rest = metric.partition(".")
-        _spec_fields(metric, spec, default_tol)  # validate shape first
+        drafted = isinstance(spec, dict) and spec.get("value") is None
+        if not drafted:
+            _spec_fields(metric, spec, default_tol)  # validate shape first
+        elif spec.get("mode", "range") not in _MODES:
+            raise BaselineError(
+                f"baseline entry {metric!r} has unknown mode "
+                f"{spec.get('mode')!r}"
+            )
         if name in absent:
             raise BaselineError(f"cannot update {metric!r}: {absent[name]}")
         measured = _lookup(summaries[name], rest.split(".") if rest else [])
         if measured is None:
+            if prune:
+                del metrics[metric]
+                diff.removed.append(metric)
+                continue
             raise BaselineError(
                 f"cannot update {metric!r}: no metric {rest!r} in {name}.json"
             )
-        if _canonical_value(spec["value"]) != _canonical_value(measured):
-            changed.append(metric)
+        if drafted:
+            diff.added.append((metric, measured))
+        elif _canonical_value(spec["value"]) != _canonical_value(measured):
+            diff.changed.append((metric, spec["value"], measured))
         spec["value"] = measured
     tmp = baseline_path.with_suffix(baseline_path.suffix + ".tmp")
     tmp.write_text(canonical_text(baseline))
     tmp.replace(baseline_path)
-    return changed
+    return diff

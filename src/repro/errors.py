@@ -104,6 +104,29 @@ class QuorumUnavailableError(AvailabilityError):
     """
 
 
+class FreshnessUnverifiableError(AvailabilityError):
+    """A log range's freshness could not be *proven* during a transfer.
+
+    Raised by the shard rebalance machinery whenever the source range's
+    chain head, ROTE counter, or key epoch cannot be verified (quorum
+    unreachable, head behind the quorum-certified value, retired epoch).
+    Fail-closed by design: the range stays with its current owner and
+    the membership-change WAL stays outstanding — the transfer is never
+    silently accepted, and an unprovable range is never treated as a
+    rollback claim against the source.
+    """
+
+
+class RangeUnavailableError(AvailabilityError):
+    """The log range owning this key is mid-rebalance.
+
+    Writes to a moving range are blocked explicitly between the
+    membership-change WAL write and the ownership cutover, so no audit
+    pair can land on the wrong side of a transfer. An availability
+    fault, bounded by the rebalance duration — retry after cutover.
+    """
+
+
 class AuditBufferFullError(AvailabilityError):
     """The unsealed-pair buffer is full while the audit path is degraded.
 

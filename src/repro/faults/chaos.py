@@ -72,21 +72,57 @@ from repro.sim.network import SimNetwork
 from repro.ssm.messaging import MessagingSSM
 from repro.workloads.messaging_traffic import MessagingWorkload
 
-FAMILIES = (
-    "partition-minority",
-    "partition-majority",
-    "restart-storm",
-    "restart-mid-increment",
-    "byzantine",
-    "message-storm",
-    "kitchen-sink",
-    "rotation-crash",
-    "rotation-stale-replica",
-    "rotation-byzantine-replay",
-    "attest-forged-join",
-    "attest-outage-restart",
-    "attest-revoked-tcb",
-)
+#: Every chaos family with its one-line description. This mapping is the
+#: single source of truth: ``FAMILIES`` derives from it, ``python -m
+#: repro chaos --list-families`` prints it, and the README's family table
+#: is generated from it (and checked for drift in CI).
+FAMILY_DESCRIPTIONS = {
+    "partition-minority":
+        "Partition f replicas away; the quorum keeps serving throughout.",
+    "partition-majority":
+        "Partition a majority away; pairs block explicitly, then heal.",
+    "restart-storm":
+        "Crash/restart waves across replicas; sealed state resumes exactly.",
+    "restart-mid-increment":
+        "Kill a replica between quorum rounds of a live counter increment.",
+    "byzantine":
+        "Equivocating replicas lie about counters; quorum certification holds.",
+    "message-storm":
+        "Loss, duplication and reorder on every link; retries stay exact.",
+    "kitchen-sink":
+        "Partitions, restarts, lies and storms stacked in one scenario.",
+    "rotation-crash":
+        "Crash the key-rotation WAL at a random checkpoint; replay converges.",
+    "rotation-stale-replica":
+        "Strand f+1 replicas on a pre-rotation build; degrade, then retire.",
+    "rotation-byzantine-replay":
+        "Replay retired-epoch counter claims; every one is rejected.",
+    "attest-forged-join":
+        "Forged/replayed join evidence probes every admission gate.",
+    "attest-outage-restart":
+        "Attestation outage during a rejoin; catch-up stays fail-closed.",
+    "attest-revoked-tcb":
+        "TCB revocation mid-run evicts and discounts the revoked replica.",
+    "shard-split-crash":
+        "Crash a shard split at every rebalance checkpoint; WAL replay "
+        "converges to one owner per range.",
+    "shard-merge-stale":
+        "Merge a shard stranded on a retired epoch; the change fails "
+        "closed, degrades, and never rolls back claims.",
+    "shard-rebalance-byzantine":
+        "An old owner keeps answering for a migrated range and replays "
+        "its transfer; both are dropped and counted.",
+}
+
+FAMILIES = tuple(FAMILY_DESCRIPTIONS)
+
+
+def family_table_markdown() -> str:
+    """The README's chaos-family table, generated so it cannot drift."""
+    lines = ["| Family | What it proves |", "| --- | --- |"]
+    for family, description in FAMILY_DESCRIPTIONS.items():
+        lines.append(f"| `{family}` | {description} |")
+    return "\n".join(lines)
 
 #: Attestation-plane knobs for the ``attest-*`` families: evidence stays
 #: fresh for minutes (joins re-quote anyway), while cached verification
@@ -436,6 +472,89 @@ def _script_attest_revoked_tcb(rng: random.Random, f: int, n: int) -> list:
     ]
 
 
+# The shard-plane families run against a full ShardPlane (see
+# repro.faults.chaos_shard); their action vocabulary:
+#
+#   ("pairs", k)                      k audited pairs through the plane router
+#   ("split", s) / ("merge", s)       a membership change (the split family's
+#                                     plan crashes it at a random checkpoint)
+#   ("merge_failclosed", s)           a merge expected to fail closed
+#   ("resume",)                       replay the membership WAL
+#   ("pin_shard", s)                  pin every ROTE replica of shard s
+#   ("rotate_epoch", reason)          rotate keys and force-retire the grace
+#                                     window (strands pinned replicas)
+#   ("upgrade_shard", s)              upgrade shard s's stranded replicas
+#   ("stale_claim", s) / ("honest", s)  Byzantine old-owner lifecycle
+#   ("replay_transfers", s)           shard s re-sends its past transfers
+#   ("scatter_check", expect)         networked check; "ok" or "dropped"
+#   ("check_coverage",)               one-owner-per-range oracle
+#   ("check_pairs",)                  zero-lost/zero-duplicated oracle
+#   ("check_failclosed",)             the stale merge really failed closed
+#   ("check_byzantine",)              stale claims and replays were counted
+#   ("verify_all",)                   full chain verification, every shard
+
+
+def _script_shard_split_crash(rng: random.Random, f: int, n: int) -> list:
+    # A split crashes at a random rebalance checkpoint (the plan injects
+    # it); traffic keeps flowing into the half-done change, then the WAL
+    # replays and the plane must converge to one owner per range.
+    return [
+        ("pairs", rng.randint(25, 35)),
+        ("split", "shard-2"),
+        ("pairs", rng.randint(10, 18)),
+        ("resume",),
+        ("pairs", rng.randint(8, 12)),
+        ("scatter_check", "ok"),
+        ("check_coverage",),
+        ("check_pairs",),
+        ("verify_all",),
+    ]
+
+
+def _script_shard_merge_stale(rng: random.Random, f: int, n: int) -> list:
+    # The merge victim's counter group is stranded on a retired epoch:
+    # its range freshness is unprovable, so the merge must fail closed
+    # (WAL held, ranges frozen, no rollback claim) until the replicas
+    # are upgraded and the change replays.
+    return [
+        ("pairs", rng.randint(30, 40)),
+        ("pin_shard", "shard-1"),
+        ("rotate_epoch", "suspected-exposure"),
+        ("merge_failclosed", "shard-1"),
+        ("pairs", rng.randint(4, 8)),
+        ("upgrade_shard", "shard-1"),
+        ("resume",),
+        ("pairs", rng.randint(8, 12)),
+        ("scatter_check", "ok"),
+        ("check_coverage",),
+        ("check_pairs",),
+        ("check_failclosed",),
+        ("verify_all",),
+    ]
+
+
+def _script_shard_rebalance_byzantine(rng: random.Random, f: int, n: int) -> list:
+    # After a completed split, the old owner keeps claiming its pre-split
+    # ownership in scatter replies and replays its range transfer. The
+    # gather layer must drop and count the stale claims, the import
+    # marker must drop the replays, and honesty must restore a clean
+    # merged verdict.
+    return [
+        ("pairs", rng.randint(30, 40)),
+        ("split", "shard-2"),
+        ("stale_claim", "shard-0"),
+        ("replay_transfers", "shard-0"),
+        ("scatter_check", "dropped"),
+        ("pairs", rng.randint(8, 12)),
+        ("honest", "shard-0"),
+        ("scatter_check", "ok"),
+        ("check_coverage",),
+        ("check_pairs",),
+        ("check_byzantine",),
+        ("verify_all",),
+    ]
+
+
 _BUILDERS = {
     "partition-minority": _script_partition_minority,
     "partition-majority": _script_partition_majority,
@@ -450,6 +569,9 @@ _BUILDERS = {
     "attest-forged-join": _script_attest_forged_join,
     "attest-outage-restart": _script_attest_outage_restart,
     "attest-revoked-tcb": _script_attest_revoked_tcb,
+    "shard-split-crash": _script_shard_split_crash,
+    "shard-merge-stale": _script_shard_merge_stale,
+    "shard-rebalance-byzantine": _script_shard_rebalance_byzantine,
 }
 
 
@@ -481,6 +603,19 @@ def _build_plan(family: str, rng: random.Random, f: int, n: int) -> FaultPlan | 
             seed=rng.randint(0, 2**31),
             scenario=family,
         )
+    if family == "shard-split-crash":
+        from repro.shard.rebalance import SHARD_CHECKPOINTS
+
+        return FaultPlan(
+            [
+                FaultEvent(
+                    "shard.step", "crash",
+                    at=rng.randint(1, SHARD_CHECKPOINTS),
+                ),
+            ],
+            seed=rng.randint(0, 2**31),
+            scenario=family,
+        )
     return None
 
 
@@ -505,6 +640,11 @@ class ChaosHarness:
     PARTITION_NAME = "wan-split"
 
     def __init__(self, scenario: ChaosScenario):
+        if scenario.family.startswith("shard-"):
+            raise SimulationError(
+                "shard-* families run under ShardChaosHarness "
+                "(repro.faults.chaos_shard)"
+            )
         self.scenario = scenario
         self.network = SimNetwork(
             seed=scenario.seed, latency_steps=1, jitter_steps=1
@@ -1226,7 +1366,14 @@ class ChaosHarness:
 
 def run_scenario(family: str, seed: int, f: int = 1) -> ScenarioVerdict:
     """Build and run one seeded scenario."""
-    return ChaosHarness(build_scenario(family, seed, f=f)).run()
+    scenario = build_scenario(family, seed, f=f)
+    if family.startswith("shard-"):
+        # Imported lazily: chaos_shard builds a full ShardPlane and
+        # imports this module for the scenario/verdict types.
+        from repro.faults.chaos_shard import ShardChaosHarness
+
+        return ShardChaosHarness(scenario).run()
+    return ChaosHarness(scenario).run()
 
 
 def run_soak(

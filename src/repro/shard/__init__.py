@@ -1,0 +1,54 @@
+"""The elastic sharded audit plane (consistent-hash routed enclaves)."""
+
+from repro.shard.instance import (
+    IMPORT_EVENT,
+    CheckCommand,
+    CheckReply,
+    RangeImportAck,
+    RangeManifest,
+    RangeTransfer,
+    ShardInstance,
+)
+from repro.shard.membership import MEMBERSHIP_EVENT, MembershipLog
+from repro.shard.plane import (
+    MESSAGING_ROUTE_COLUMNS,
+    ShardCheckOutcome,
+    ShardPlane,
+    messaging_route_key,
+)
+from repro.shard.provisioner import Provisioner
+from repro.shard.rebalance import (
+    SHARD_CHECKPOINTS,
+    RebalanceReport,
+    Rebalancer,
+)
+from repro.shard.router import (
+    DEFAULT_VNODES,
+    RING_SIZE,
+    HashRange,
+    ShardRouter,
+)
+
+__all__ = [
+    "IMPORT_EVENT",
+    "MEMBERSHIP_EVENT",
+    "MESSAGING_ROUTE_COLUMNS",
+    "DEFAULT_VNODES",
+    "RING_SIZE",
+    "SHARD_CHECKPOINTS",
+    "CheckCommand",
+    "CheckReply",
+    "HashRange",
+    "MembershipLog",
+    "Provisioner",
+    "RangeImportAck",
+    "RangeManifest",
+    "RangeTransfer",
+    "RebalanceReport",
+    "Rebalancer",
+    "ShardCheckOutcome",
+    "ShardInstance",
+    "ShardPlane",
+    "ShardRouter",
+    "messaging_route_key",
+]

@@ -1,0 +1,102 @@
+"""Elastic provisioning of enclave-backed shard instances.
+
+The provisioner is the plane's machine-room: it spins up a full
+:class:`~repro.shard.instance.ShardInstance` (enclave, signing key,
+per-shard ROTE group, LibSeal stack) on the simulated network, then
+walks it through *mutual* RA-TLS admission with the coordinator before
+the shard is allowed to hold a single audit tuple:
+
+- the shard sends quote-backed :class:`~repro.shard.instance.ShardJoin`
+  evidence bound to its network address;
+- the coordinator verifies it through its
+  :class:`~repro.audit.admission.AdmissionController` and answers with
+  its own evidence (:class:`~repro.shard.instance.ShardJoinAck`);
+- the shard verifies the coordinator in turn.
+
+If either direction fails — forged measurement, attestation-service
+outage, replayed evidence — provisioning **fails closed**: the instance
+is torn down and an :class:`~repro.errors.AttestationError` raised. A
+shard that was never mutually admitted never appears in the routing
+ring, never receives a range transfer, and never contributes to a
+scatter/gather verdict.
+
+Both :meth:`provision` and :meth:`decommission` are idempotent, because
+the rebalancer replays them from its membership WAL after a crash.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AttestationError
+from repro.shard.instance import ShardInstance, ShardJoin
+
+
+class Provisioner:
+    """Spins shard instances up and down for one plane."""
+
+    def __init__(self, plane) -> None:
+        self.plane = plane
+        self.provisioned = 0
+        self.decommissions = 0
+        self.admission_failures = 0
+
+    def provision(self, shard_id: str) -> ShardInstance:
+        """Create and mutually admit one shard (idempotent)."""
+        plane = self.plane
+        existing = plane.instances.get(shard_id)
+        if existing is not None:
+            return existing
+        instance = ShardInstance(
+            plane_id=plane.plane_id,
+            shard_id=shard_id,
+            network=plane.network,
+            authority=plane.authority,
+            attestation=plane.attestation,
+            ssm_factory=plane.ssm_factory,
+            route_columns=plane.route_columns,
+            hash_key=plane.router.point,
+            directory=plane.directory,
+            f=plane.f,
+            seed=plane.seed,
+            max_unsealed_pairs=plane.max_unsealed_pairs,
+        )
+        # Mutual admission over the wire: join evidence out, coordinator
+        # counter-evidence back, both sides verifying before trust.
+        plane.network.send(
+            instance.address,
+            plane.address,
+            ShardJoin(
+                op_id=plane.next_op(),
+                address=instance.address,
+                evidence=instance.join_evidence(),
+            ),
+        )
+        plane.network.settle()
+        if not (
+            plane.admission.is_admitted(instance.address)
+            and instance.plane_admitted
+        ):
+            # Fail closed: an unadmitted shard never joins the ring.
+            self.admission_failures += 1
+            instance.decommission()
+            raise AttestationError(
+                f"shard {shard_id} failed mutual admission; not provisioned"
+            )
+        plane.directory[shard_id] = instance.signing_key.public_key()
+        plane.instances[shard_id] = instance
+        self.provisioned += 1
+        return instance
+
+    def decommission(self, shard_id: str) -> bool:
+        """Tear one shard down (idempotent); True when it was live.
+
+        The shard's verification key leaves the plane directory with it,
+        so any later transfer claiming to originate from the departed
+        shard fails the manifest check as ``unknown source shard``.
+        """
+        instance = self.plane.instances.pop(shard_id, None)
+        if instance is None:
+            return False
+        self.plane.directory.pop(shard_id, None)
+        instance.decommission()
+        self.decommissions += 1
+        return True

@@ -1,0 +1,246 @@
+"""Consistent-hash routing of audit traffic onto shards.
+
+The sharded audit plane keys every request/response pair by its routing
+key (the SSM's partition column — ``channel`` for the messaging SSM) and
+maps the key's 64-bit hash onto a ring of virtual nodes. The router is
+the plane's *single source of truth for ownership*: it exposes the ring
+as explicit, non-overlapping ``[lo, hi)`` :class:`HashRange` segments
+tiling the whole hash space, so "exactly one owner per range" is a
+checkable invariant rather than an emergent property.
+
+Membership changes go through a two-phase shape: :meth:`plan_add` /
+:meth:`plan_remove` compute the ranges that *would* move (pure, no state
+change), the rebalancer transfers them with hash-chain splice
+verification, and only then does :meth:`apply_add` / :meth:`apply_remove`
+mutate the ring and bump :attr:`generation`. Scatter/gather replies and
+range transfers are stamped with the generation, so a stale owner that
+keeps answering for a migrated range is detectable (and dropped).
+
+All hashing is deterministic (SHA-256 of labelled strings): the same
+plane id, shard ids and virtual-node count produce the same ring on
+every run and after every crash-replay — the rebalance WAL depends on
+replayed plans being identical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+from repro.errors import SimulationError
+
+#: The ring is the 64-bit space ``[0, 2**64)``.
+RING_BITS = 64
+RING_SIZE = 1 << RING_BITS
+
+#: Virtual nodes per shard: enough that an added shard takes load from
+#: every existing shard, few enough that plans stay readable in traces.
+DEFAULT_VNODES = 8
+
+
+def _hash64(label: str) -> int:
+    return int.from_bytes(sha256(label.encode())[:8], "big")
+
+
+@dataclass(frozen=True)
+class HashRange:
+    """One half-open arc ``[lo, hi)`` of the hash ring (never wraps)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo < self.hi <= RING_SIZE):
+            raise SimulationError(f"invalid hash range [{self.lo}, {self.hi})")
+
+    def contains(self, point: int) -> bool:
+        return self.lo <= point < self.hi
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+    def describe(self) -> str:
+        return f"[{self.lo:#018x}, {self.hi:#018x})"
+
+
+class ShardRouter:
+    """Deterministic consistent-hash ring with explicit range ownership."""
+
+    def __init__(self, plane_id: str, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise SimulationError("vnodes must be >= 1")
+        self.plane_id = plane_id
+        self.vnodes = vnodes
+        #: Monotonic ownership generation, bumped on every applied change.
+        self.generation = 0
+        self._members: list[str] = []
+        self._ring_cache: list[tuple[int, str]] | None = None
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def point(self, key: str) -> int:
+        """The ring position of a routing key."""
+        return _hash64(f"{self.plane_id}|key|{key}")
+
+    def _shard_points(self, shard: str) -> list[int]:
+        return [
+            _hash64(f"{self.plane_id}|shard|{shard}|vn{i}")
+            for i in range(self.vnodes)
+        ]
+
+    def _ring(self, members: list[str]) -> list[tuple[int, str]]:
+        # Hashing members*vnodes labels per lookup would dominate bulk
+        # routing (the plane calls owner() once per audit pair), so the
+        # ring for the *current* membership is cached and invalidated by
+        # every membership mutation.
+        if members == self._members and self._ring_cache is not None:
+            return self._ring_cache
+        ring = sorted(
+            (point, shard)
+            for shard in members
+            for point in self._shard_points(shard)
+        )
+        if len({point for point, _ in ring}) != len(ring):
+            raise SimulationError("hash-ring vnode collision")  # pragma: no cover
+        if members == self._members:
+            self._ring_cache = ring
+        return ring
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(self._members)
+
+    @staticmethod
+    def _owner_on(ring: list[tuple[int, str]], point: int) -> str:
+        """A point is owned by the first vnode at-or-clockwise of it
+        (wrapping): the arc of a vnode at ``q`` is ``(prev_q, q]``."""
+        index = bisect_left(ring, (point, ""))
+        return ring[index % len(ring)][1]
+
+    def owner_of_point(self, point: int) -> str:
+        if not self._members:
+            raise SimulationError("router has no members")
+        return self._owner_on(self._ring(self._members), point)
+
+    def owner(self, key: str) -> str:
+        return self.owner_of_point(self.point(key))
+
+    @staticmethod
+    def _segments(ring: list[tuple[int, str]]) -> list[tuple[HashRange, str]]:
+        """The ring as non-wrapping segments tiling ``[0, RING_SIZE)``.
+
+        The arc that wraps past the top of the space appears as two
+        segments (head and tail) with the same owner.
+        """
+        segments: list[tuple[HashRange, str]] = []
+        previous = 0
+        for point, shard in ring:
+            boundary = point + 1  # arcs are (vnode, next vnode]
+            if boundary > previous:
+                segments.append((HashRange(previous, boundary), shard))
+            previous = boundary
+        if previous < RING_SIZE:
+            # Keys past the last vnode wrap to the first vnode's owner.
+            segments.append((HashRange(previous, RING_SIZE), ring[0][1]))
+        return segments
+
+    def ranges(self) -> list[tuple[HashRange, str]]:
+        """Every segment with its current owner, in ring order."""
+        if not self._members:
+            return []
+        return self._segments(self._ring(self._members))
+
+    def ranges_of(self, shard: str) -> list[HashRange]:
+        return [rng for rng, owner in self.ranges() if owner == shard]
+
+    def coverage_gaps(self) -> list[str]:
+        """Oracle helper: any holes/overlaps in the tiling (always none
+        by construction — asserted, not assumed, by the chaos oracle)."""
+        problems = []
+        cursor = 0
+        for rng, _ in self.ranges():
+            if rng.lo != cursor:
+                problems.append(f"gap/overlap at {cursor:#x} -> {rng.lo:#x}")
+            cursor = rng.hi
+        if self._members and cursor != RING_SIZE:
+            problems.append(f"ring ends at {cursor:#x}, not {RING_SIZE:#x}")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Membership change: plan (pure) then apply (mutating)
+    # ------------------------------------------------------------------
+
+    def _moves(
+        self, before: list[str], after: list[str]
+    ) -> list[tuple[HashRange, str, str]]:
+        """Segments whose owner differs between two member lists."""
+        if not before or not after:
+            raise SimulationError("membership change needs non-empty rings")
+        ring_before = self._ring(before)
+        ring_after = self._ring(after)
+        boundaries = sorted(
+            {0, RING_SIZE}
+            | {p + 1 for p, _ in ring_before}
+            | {p + 1 for p, _ in ring_after}
+        )
+        moves: list[tuple[HashRange, str, str]] = []
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            if lo >= RING_SIZE:
+                continue
+            src = self._owner_on(ring_before, lo)
+            dst = self._owner_on(ring_after, lo)
+            if src != dst:
+                # Coalesce with the previous move when contiguous and
+                # identically routed, so plans stay small.
+                if moves and moves[-1][0].hi == lo and moves[-1][1:] == (src, dst):
+                    moves[-1] = (HashRange(moves[-1][0].lo, hi), src, dst)
+                else:
+                    moves.append((HashRange(lo, hi), src, dst))
+        return moves
+
+    def plan_add(self, shard: str) -> list[tuple[HashRange, str, str]]:
+        """Ranges that move if ``shard`` joins: ``(range, from, to)``."""
+        if shard in self._members:
+            return []
+        return self._moves(self._members, sorted(self._members + [shard]))
+
+    def plan_remove(self, shard: str) -> list[tuple[HashRange, str, str]]:
+        """Ranges that move if ``shard`` leaves: ``(range, from, to)``."""
+        if shard not in self._members:
+            return []
+        remaining = [s for s in self._members if s != shard]
+        return self._moves(self._members, remaining)
+
+    def bootstrap(self, shards: list[str]) -> None:
+        """Install the initial membership (no transfer — logs are empty)."""
+        if self._members:
+            raise SimulationError("router already bootstrapped")
+        if not shards:
+            raise SimulationError("bootstrap needs at least one shard")
+        self._members = sorted(shards)
+        self._ring_cache = None
+        self.generation = 1
+
+    def apply_add(self, shard: str) -> None:
+        if shard in self._members:
+            return
+        self._members = sorted(self._members + [shard])
+        self._ring_cache = None
+        self.generation += 1
+
+    def apply_remove(self, shard: str) -> None:
+        if shard not in self._members:
+            return
+        if len(self._members) == 1:
+            raise SimulationError("cannot remove the last shard")
+        self._members = [s for s in self._members if s != shard]
+        self._ring_cache = None
+        self.generation += 1

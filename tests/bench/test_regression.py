@@ -183,8 +183,9 @@ class TestCanonicalBaseline:
             "bench.speedup": {"value": 29.8, "mode": "min"},
             "bench.count": {"value": 7, "mode": "exact"},
         })
-        changed = update_baseline(results, baseline)
-        assert changed == ["bench.speedup"]
+        diff = update_baseline(results, baseline)
+        assert diff.changed == [("bench.speedup", 29.8, 31.25)]
+        assert diff.added == [] and diff.removed == []
         doc = json.loads(baseline.read_text())
         assert doc["metrics"]["bench.speedup"] == {"value": 31.25, "mode": "min"}
         assert doc["metrics"]["bench.count"]["value"] == 7  # int stays int
@@ -196,7 +197,7 @@ class TestCanonicalBaseline:
         write_baseline(baseline, {"bench.ratio": {"value": 1.0, "mode": "range"}})
         update_baseline(results, baseline)
         first = baseline.read_text()
-        assert update_baseline(results, baseline) == []  # canonical fixpoint
+        assert update_baseline(results, baseline).empty  # canonical fixpoint
         assert baseline.read_text() == first
         assert json.loads(first)["metrics"]["bench.ratio"]["value"] == 1.23457
         ok, _ = check_canonical(baseline)
@@ -210,6 +211,60 @@ class TestCanonicalBaseline:
         write_summary(results, "ghost", {"other": 2})
         with pytest.raises(BaselineError, match="cannot update"):
             update_baseline(results, baseline)
+
+    def test_drafted_gate_receives_first_value_as_added(self, results, baseline):
+        # The sanctioned way a new gate enters the baseline: a hand
+        # drafted entry with value null, filled by --update-baseline.
+        write_summary(results, "bench", {"fresh": 42, "old": 1})
+        write_baseline(baseline, {
+            "bench.fresh": {"value": None, "mode": "min"},
+            "bench.old": {"value": 1, "mode": "exact"},
+        })
+        diff = update_baseline(results, baseline)
+        assert diff.added == [("bench.fresh", 42)]
+        assert diff.changed == [] and diff.removed == []
+        doc = json.loads(baseline.read_text())
+        assert doc["metrics"]["bench.fresh"] == {"value": 42, "mode": "min"}
+
+    def test_drafted_gate_with_unknown_mode_still_raises(self, results, baseline):
+        write_summary(results, "bench", {"fresh": 42})
+        write_baseline(baseline, {
+            "bench.fresh": {"value": None, "mode": "atleast"},
+        })
+        with pytest.raises(BaselineError, match="unknown mode"):
+            update_baseline(results, baseline)
+
+    def test_prune_drops_vanished_metrics_as_removed(self, results, baseline):
+        write_summary(results, "bench", {"kept": 5})
+        write_baseline(baseline, {
+            "bench.kept": {"value": 5, "mode": "exact"},
+            "bench.vanished": {"value": 9, "mode": "min"},
+        })
+        # Without prune the vanished gate stays loud...
+        with pytest.raises(BaselineError, match="cannot update"):
+            update_baseline(results, baseline)
+        # ...with prune it is dropped and reported.
+        diff = update_baseline(results, baseline, prune=True)
+        assert diff.removed == ["bench.vanished"]
+        doc = json.loads(baseline.read_text())
+        assert set(doc["metrics"]) == {"bench.kept"}
+        _, ok = compare(results, baseline)
+        assert ok
+
+    def test_diff_describe_is_human_readable(self, results, baseline):
+        write_summary(results, "bench", {"a": 2.0, "b": 3})
+        write_baseline(baseline, {
+            "bench.a": {"value": 1.0, "mode": "min"},
+            "bench.b": {"value": None, "mode": "exact"},
+            "bench.c": {"value": 9, "mode": "max"},
+        })
+        text = update_baseline(results, baseline, prune=True).describe()
+        assert "1 changed, 1 added, 1 removed" in text
+        assert "changed  bench.a: 1 -> 2" in text
+        assert "added    bench.b: 3" in text
+        assert "removed  bench.c" in text
+        empty = update_baseline(results, baseline)
+        assert empty.describe() == "no metric values changed"
 
     def test_hand_edited_file_is_not_canonical(self, results, baseline):
         write_summary(results, "bench", {"x": 1})

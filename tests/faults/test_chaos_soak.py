@@ -7,16 +7,44 @@ storms over the simulated network — and checks the harness's built-in
 safety/liveness oracle plus trace-digest determinism.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.errors import SimulationError
 from repro.faults.chaos import (
     FAMILIES,
+    FAMILY_DESCRIPTIONS,
     ChaosHarness,
     build_scenario,
+    family_table_markdown,
     run_scenario,
     run_soak,
 )
+
+pytestmark = pytest.mark.faults
+
+
+class TestFamilyTable:
+    """The README's chaos-family table is generated, never hand-edited."""
+
+    def test_readme_embeds_the_generated_table(self):
+        readme = Path(__file__).resolve().parents[2] / "README.md"
+        table = family_table_markdown().strip()
+        assert table in readme.read_text(encoding="utf-8"), (
+            "README.md's chaos-family table has drifted from "
+            "FAMILY_DESCRIPTIONS: paste the output of "
+            "repro.faults.chaos.family_table_markdown() back in"
+        )
+
+    def test_table_covers_every_family_exactly_once(self):
+        table = family_table_markdown()
+        for family in FAMILIES:
+            assert table.count(f"`{family}`") == 1
+
+    def test_every_family_has_a_description(self):
+        assert tuple(FAMILY_DESCRIPTIONS) == FAMILIES
+        assert all(desc.strip() for desc in FAMILY_DESCRIPTIONS.values())
 
 
 class TestSoak:
@@ -156,6 +184,73 @@ class TestAttestationFamilies:
         assert harness.cluster.replies_unadmitted > 0
         # Traffic kept flowing on the surviving quorum.
         assert harness.pairs_ok > 0
+
+
+class TestShardFamilies:
+    """The three shard families exercise what they claim to.
+
+    Each family's distinguishing event must appear in the harness trace
+    for *every* seed — a split soak whose crash never fires, a merge
+    soak whose stranded source never fails closed, or a Byzantine soak
+    whose stale claims are never dropped would pass the oracle
+    vacuously.
+    """
+
+    SEEDS = range(5)
+
+    def _run(self, family, seed):
+        from repro.faults.chaos_shard import ShardChaosHarness
+
+        harness = ShardChaosHarness(build_scenario(family, seed))
+        verdict = harness.run()
+        assert verdict.ok, verdict.violations
+        return harness
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_split_crash_fires_and_replays(self, seed):
+        harness = self._run("shard-split-crash", seed)
+        heads = {event[:2] for event in harness.trace}
+        # The injected crash interrupted the rebalance mid-WAL...
+        assert ("split", "crashed") in heads
+        # ...the replay completed it exactly once...
+        assert ("shard_resume", "replayed") in heads
+        changes = harness.plane.membership.changes()
+        assert sum(1 for c in changes if "[cutover]" in c) == 1
+        # ...and the change was non-vacuous: tuples really moved.
+        assert sum(
+            instance.tuples_imported
+            for instance in harness.plane.instances.values()
+        ) > 0
+        assert harness.plane.router.members == (
+            "shard-0", "shard-1", "shard-2",
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_merge_stale_fails_closed_then_recovers(self, seed):
+        harness = self._run("shard-merge-stale", seed)
+        heads = {event[:2] for event in harness.trace}
+        # The stranded source made the merge abort fail-closed...
+        assert ("merge", "failclosed") in heads
+        assert harness.plane.rebalancer.failclosed_aborts >= 1
+        # ...and after the upgrade the replay converged the ring.
+        assert ("shard_resume", "replayed") in heads
+        assert harness.plane.router.members == ("shard-0", "shard-2")
+        assert "shard-1" not in harness.plane.instances
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_byzantine_old_owner_is_dropped_and_counted(self, seed):
+        harness = self._run("shard-rebalance-byzantine", seed)
+        # The stale ownership claim was dropped from the merged verdict
+        # and the replayed transfers were refused as duplicates.
+        assert harness.plane.stale_owner_drops > 0
+        assert sum(
+            instance.duplicate_transfer_drops
+            for instance in harness.plane.instances.values()
+        ) > 0
+        expects = [e[1:3] for e in harness.trace if e[0] == "scatter_check"]
+        assert ("dropped", False) in expects
+        assert ("ok", True) in expects
+        assert harness.plane.pair_accounting() == []
 
 
 class TestDeterminism:

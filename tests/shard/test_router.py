@@ -1,0 +1,149 @@
+"""Consistent-hash router: ownership, tiling and move plans.
+
+The router is the plane's single source of truth for "exactly one owner
+per range" — these tests pin the properties the rebalancer and the
+chaos oracles lean on: the segment tiling is gapless, ``owner`` and
+``ranges`` agree everywhere, plans are pure and minimal, and the whole
+construction is deterministic (crash-replayed plans must be identical).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.shard.router import RING_SIZE, HashRange, ShardRouter
+
+
+def make_router(shards=("a", "b", "c")) -> ShardRouter:
+    router = ShardRouter("test-plane")
+    router.bootstrap(list(shards))
+    return router
+
+
+class TestHashRange:
+    def test_contains_half_open(self):
+        rng = HashRange(10, 20)
+        assert rng.contains(10)
+        assert rng.contains(19)
+        assert not rng.contains(20)
+        assert not rng.contains(9)
+
+    @pytest.mark.parametrize("lo,hi", [(5, 5), (9, 3), (-1, 4), (0, RING_SIZE + 1)])
+    def test_invalid_ranges_rejected(self, lo, hi):
+        with pytest.raises(SimulationError):
+            HashRange(lo, hi)
+
+    def test_full_ring_is_valid(self):
+        assert HashRange(0, RING_SIZE).width == RING_SIZE
+
+
+class TestTiling:
+    def test_segments_tile_the_whole_ring(self):
+        router = make_router()
+        assert router.coverage_gaps() == []
+        cursor = 0
+        for rng, _ in router.ranges():
+            assert rng.lo == cursor
+            cursor = rng.hi
+        assert cursor == RING_SIZE
+
+    def test_owner_agrees_with_segments(self):
+        router = make_router()
+        for rng, owner in router.ranges():
+            for point in (rng.lo, (rng.lo + rng.hi) // 2, rng.hi - 1):
+                assert router.owner_of_point(point) == owner
+
+    def test_every_member_owns_something(self):
+        router = make_router(("a", "b", "c", "d"))
+        for shard in router.members:
+            assert router.ranges_of(shard)
+
+    def test_single_member_owns_everything(self):
+        router = make_router(("solo",))
+        assert {owner for _, owner in router.ranges()} == {"solo"}
+        assert router.coverage_gaps() == []
+
+
+class TestDeterminism:
+    def test_same_inputs_same_ring(self):
+        first = make_router()
+        second = make_router()
+        assert first.ranges() == second.ranges()
+        assert first.plan_add("d") == second.plan_add("d")
+
+    def test_keys_spread_over_members(self):
+        router = make_router()
+        owners = {router.owner(f"chan-{i}") for i in range(64)}
+        assert owners == set(router.members)
+
+
+class TestPlans:
+    def test_plan_add_moves_only_onto_new_shard(self):
+        router = make_router()
+        for rng, source, target in router.plan_add("d"):
+            assert target == "d"
+            assert source in router.members
+            assert rng.width > 0
+
+    def test_plan_remove_moves_only_off_victim(self):
+        router = make_router()
+        for rng, source, target in router.plan_remove("b"):
+            assert source == "b"
+            assert target in ("a", "c")
+
+    def test_plans_are_pure(self):
+        router = make_router()
+        before = (router.members, router.generation, router.ranges())
+        router.plan_add("d")
+        router.plan_remove("a")
+        assert (router.members, router.generation, router.ranges()) == before
+
+    def test_plan_matches_applied_ownership(self):
+        router = make_router()
+        plan = router.plan_add("d")
+        router.apply_add("d")
+        for rng, _, target in plan:
+            for point in (rng.lo, rng.hi - 1):
+                assert router.owner_of_point(point) == target
+
+    def test_unmoved_ranges_keep_their_owner(self):
+        router = make_router()
+        moved = router.plan_add("d")
+        before = router.ranges()
+        router.apply_add("d")
+        for rng, owner in before:
+            mid = (rng.lo + rng.hi) // 2
+            if not any(m.contains(mid) for m, _, _ in moved):
+                assert router.owner_of_point(mid) == owner
+
+    def test_plan_for_existing_member_is_empty(self):
+        router = make_router()
+        assert router.plan_add("a") == []
+        assert router.plan_remove("zz") == []
+
+
+class TestApply:
+    def test_apply_bumps_generation(self):
+        router = make_router()
+        assert router.generation == 1
+        router.apply_add("d")
+        assert router.generation == 2
+        router.apply_remove("d")
+        assert router.generation == 3
+
+    def test_apply_is_idempotent(self):
+        router = make_router()
+        router.apply_add("d")
+        generation = router.generation
+        router.apply_add("d")
+        assert router.generation == generation
+
+    def test_cannot_remove_last_member(self):
+        router = make_router(("solo",))
+        with pytest.raises(SimulationError):
+            router.apply_remove("solo")
+        assert router.members == ("solo",)
+
+    def test_double_bootstrap_rejected(self):
+        router = make_router()
+        with pytest.raises(SimulationError):
+            router.bootstrap(["x"])

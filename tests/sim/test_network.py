@@ -172,6 +172,88 @@ class TestPartitions:
             net.partition("solo", [["a", "b"]])
 
 
+class TestDynamicTopology:
+    """Nodes appear and disappear mid-run — the provisioning plane's
+    view of the network. Departure must never wedge the step loop or
+    leak deliveries to the departed address."""
+
+    def test_node_added_mid_run_receives_later_traffic(self):
+        net = SimNetwork(seed=1)
+        a = collector(net, "a")
+        net.send("a", "late", "early")  # in flight before "late" exists
+        net.step()
+        assert net.stats.dropped_unroutable == 1
+        late = collector(net, "late")
+        net.send("a", "late", "after-join")
+        net.settle()
+        assert late == [("after-join", "a")]
+        assert a == []
+
+    def test_departed_node_drops_in_flight_messages(self):
+        net = SimNetwork(seed=1, latency_steps=2)
+        gone = collector(net, "gone")
+        net.send("a", "gone", "will-miss")
+        net.deregister("gone")  # leaves with the message still in flight
+        net.settle()
+        assert gone == []
+        assert net.stats.dropped_unroutable == 1
+        assert net.stats.delivered == 0
+
+    def test_deregister_is_idempotent_and_reusable(self):
+        net = SimNetwork(seed=1)
+        collector(net, "b")
+        net.deregister("b")
+        net.deregister("b")  # never raises
+        # The address can be taken again by a replacement instance.
+        reborn = collector(net, "b")
+        net.send("a", "b", "second-life")
+        net.settle()
+        assert reborn == [("second-life", "a")]
+
+    def test_partition_referencing_departed_node_still_applies(self):
+        net = SimNetwork(seed=1)
+        b = collector(net, "b")
+        collector(net, "c")
+        net.partition("split", [["a", "b"], ["c", "gone"]])
+        net.deregister("gone")  # partition still names it: no crash
+        net.send("c", "b", "cross")  # c and b sit in different groups
+        net.settle()
+        assert b == []
+        assert net.stats.dropped_partition == 1
+        # Traffic to the departed member of the far group is dropped at
+        # the partition, which is checked before routability.
+        net.send("b", "gone", "x")
+        net.settle()
+        assert net.stats.dropped_partition == 2
+        net.heal("split")
+        net.send("c", "b", "healed")
+        net.settle()
+        assert b == [("healed", "c")]
+
+    def test_settle_terminates_with_in_flight_to_dead_nodes(self):
+        # A storm of messages to departed nodes must drain, not spin.
+        net = SimNetwork(seed=1, latency_steps=3, jitter_steps=2)
+        for i in range(40):
+            net.send("a", f"dead-{i % 4}", i)
+        assert net.in_flight == 40
+        net.settle()
+        assert net.in_flight == 0
+        assert net.stats.dropped_unroutable == 40
+
+    def test_churn_preserves_determinism(self):
+        def run():
+            net = SimNetwork(seed=9, loss=0.2, duplication=0.1, reorder=0.2)
+            box = collector(net, "keep")
+            for i in range(20):
+                net.send("src", "keep", i)
+                net.send("src", "churn", i)
+            net.deregister("churn")
+            net.settle(max_steps=128)
+            return [m for m, _ in box], net.stats.as_dict()
+
+        assert run() == run()
+
+
 class TestStats:
     def test_as_dict_round_trip(self):
         net = SimNetwork(seed=1)
